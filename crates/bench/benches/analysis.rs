@@ -1,0 +1,55 @@
+//! B-1: cost of the escape analysis itself (the paper's §7 concern:
+//! "the computational complexity of finding fixpoints of higher order
+//! functions"). One criterion group per corpus program, measuring the
+//! full parse → infer → fixpoint-analysis pipeline, plus a group for
+//! analysis-only on a pre-parsed program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nml_escape::{analyze_source, global_escape, Engine};
+use nml_escape_analysis::corpus;
+use nml_syntax::{parse_program, Symbol};
+use nml_types::infer_program;
+use std::hint::black_box;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyze_source");
+    for w in corpus::ALL {
+        g.bench_function(w.name, |b| {
+            b.iter(|| black_box(analyze_source(black_box(w.source)).expect("analysis")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fixpoint_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixpoint_only");
+    for w in [corpus::PARTITION_SORT, corpus::MAP_PAIR, corpus::MERGE_SORT] {
+        let program = parse_program(w.source).expect("parse");
+        let info = infer_program(&program).expect("infer");
+        g.bench_function(w.name, |b| {
+            b.iter(|| {
+                let mut en = Engine::new(&program, &info);
+                for f in w.functions {
+                    black_box(global_escape(&mut en, Symbol::intern(f)).expect("test"));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_front_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("front_end");
+    let src = corpus::PARTITION_SORT.source;
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(parse_program(black_box(src)).expect("parse")))
+    });
+    let parsed = parse_program(src).expect("parse");
+    g.bench_function("infer", |b| {
+        b.iter(|| black_box(infer_program(black_box(&parsed)).expect("infer")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_fixpoint_only, bench_front_end);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! T-R3 / F-R1 as wall-clock: garbage-collection work under pressure,
+//! baseline vs block reclamation vs stack allocation, for the
+//! `sum (create_list n)` / `sum [literal]` workloads (§A.3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nml_bench::runner::{
+    build, build_repeated_block_variant, build_repeated_stack_variant, pressured_config,
+    repeated_consume_source, repeated_literal_source,
+};
+use nml_runtime::Interp;
+use std::hint::black_box;
+
+fn bench_block_vs_gc(c: &mut Criterion) {
+    // 16 iterations of produce/consume: dead inputs must actually be
+    // reclaimed, which is where block splices beat GC sweeps.
+    let k = 16usize;
+    let mut g = c.benchmark_group("repeated_consume_gc64");
+    for n in [256usize, 1024] {
+        let base = build(&repeated_consume_source(n, k));
+        let blk = build_repeated_block_variant(n, k);
+        g.bench_with_input(BenchmarkId::new("baseline", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut i = Interp::with_config(&base.ir, pressured_config(64)).expect("interp");
+                black_box(i.run().expect("run"))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("block", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut i = Interp::with_config(&blk.ir, pressured_config(64)).expect("interp");
+                black_box(i.run().expect("run"))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stack_vs_gc(c: &mut Criterion) {
+    let k = 16usize;
+    let mut g = c.benchmark_group("repeated_literal_gc64");
+    for n in [256usize, 1024] {
+        let base = build(&repeated_literal_source(n, k));
+        let stacked = build_repeated_stack_variant(n, k);
+        g.bench_with_input(BenchmarkId::new("baseline", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut i = Interp::with_config(&base.ir, pressured_config(64)).expect("interp");
+                black_box(i.run().expect("run"))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("stack", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut i =
+                    Interp::with_config(&stacked.ir, pressured_config(64)).expect("interp");
+                black_box(i.run().expect("run"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_vs_gc, bench_stack_vs_gc);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! T-R2 as wall-clock: baseline vs DCONS-reuse interpretation of the
+//! paper's transformed functions (`REV'`, `PS''`), and T-R1 as
+//! wall-clock: heap vs stack allocation for literal arguments.
+//!
+//! Absolute times are ours, not the paper's (they had no implementation);
+//! the *shape* — reuse wins, and wins more as n grows — is the claim
+//! under test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nml_bench::runner::{build, build_ps, build_rev, build_stack_variant, sum_literal_source};
+use nml_runtime::{Interp, InterpConfig};
+use std::hint::black_box;
+
+fn bench_rev_vs_rev_r(c: &mut Criterion) {
+    let (b, rev, rev_r) = build_rev();
+    let mut g = c.benchmark_group("reverse");
+    for n in [64usize, 256] {
+        let input: Vec<i64> = (0..n as i64).collect();
+        for (label, func) in [("baseline", rev), ("dcons", rev_r)] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+                bench.iter(|| {
+                    let mut interp = Interp::new(&b.ir).expect("interp");
+                    let l = interp.make_int_list(&input);
+                    black_box(interp.call(func, vec![l]).expect("call"))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_ps_vs_ps_r(c: &mut Criterion) {
+    let (b, ps, ps_r) = build_ps();
+    let mut g = c.benchmark_group("partition_sort");
+    for n in [64usize, 256] {
+        let input: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 1000).collect();
+        for (label, func) in [("baseline", ps), ("dcons", ps_r)] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+                bench.iter(|| {
+                    let mut interp = Interp::new(&b.ir).expect("interp");
+                    let l = interp.make_int_list(&input);
+                    black_box(interp.call(func, vec![l]).expect("call"))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_stack_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sum_literal");
+    for n in [256usize, 1024] {
+        let base = build(&sum_literal_source(n));
+        let stacked = build_stack_variant(n);
+        g.bench_with_input(BenchmarkId::new("heap", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut interp =
+                    Interp::with_config(&base.ir, InterpConfig::default()).expect("interp");
+                black_box(interp.run().expect("run"))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("stack", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut interp =
+                    Interp::with_config(&stacked.ir, InterpConfig::default()).expect("interp");
+                black_box(interp.run().expect("run"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rev_vs_rev_r, bench_ps_vs_ps_r, bench_stack_alloc);
+criterion_main!(benches);

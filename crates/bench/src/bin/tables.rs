@@ -1,0 +1,48 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! tables --all            every table
+//! tables --table a1       one table (a1, f1, a2, i1, p1, r1, r2, r3, fr1, s1, b0, ab1, ab2)
+//! ```
+
+use nml_bench::tables;
+
+fn main() {
+    // Generated programs contain deep literal lists; the recursive
+    // front-end passes need more than the default main-thread stack.
+    let child = std::thread::Builder::new()
+        .name("tables".into())
+        .stack_size(512 * 1024 * 1024)
+        .spawn(run)
+        .expect("spawn table thread");
+    child.join().expect("table generation succeeded");
+}
+
+fn run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pick = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    match pick {
+        None => print!("{}", tables::all_tables()),
+        Some("a1") => print!("{}", tables::table_a1()),
+        Some("f1") => print!("{}", tables::table_f1()),
+        Some("a2") => print!("{}", tables::table_a2()),
+        Some("i1") => print!("{}", tables::table_i1()),
+        Some("p1") => print!("{}", tables::table_p1()),
+        Some("r1") => print!("{}", tables::table_r1()),
+        Some("r2") => print!("{}", tables::table_r2()),
+        Some("r3") => print!("{}", tables::table_r3()),
+        Some("fr1") => print!("{}", tables::table_fr1()),
+        Some("s1") => print!("{}", tables::table_s1()),
+        Some("b0") => print!("{}", tables::table_b0()),
+        Some("ab1") => print!("{}", tables::table_ab1()),
+        Some("ab2") => print!("{}", tables::table_ab2()),
+        Some(other) => {
+            eprintln!("unknown table `{other}` (a1, f1, a2, i1, p1, r1, r2, r3, fr1, s1, b0, ab1, ab2)");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # nml-bench
+//!
+//! The benchmark harness for the reproduction of *Escape Analysis on
+//! Lists* (Park & Goldberg, PLDI 1992): program builders, measured runs,
+//! and regeneration of every table/figure in the paper's evaluation
+//! (Appendix A and the introduction's claims), plus the runtime tables
+//! our instrumented substrate adds.
+//!
+//! - `cargo run -p nml-bench --bin tables -- --all` regenerates the
+//!   tables (captured in the repository's EXPERIMENTS.md);
+//! - `cargo bench -p nml-bench` runs the criterion timing benches
+//!   (analysis cost, optimized-vs-baseline interpretation, GC work).
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod tables;

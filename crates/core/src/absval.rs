@@ -1,0 +1,410 @@
+//! Abstract escape values: the domain `D_e` of the abstract escape
+//! semantics (paper §3.4).
+//!
+//! A value has two components (following Hudak & Young's two-component
+//! construction for higher-order analyses): a basic escape pair in `B_e`
+//! describing *what is contained in the value*, and a function over
+//! abstract values describing *its behavior when applied*.
+//!
+//! The function component is represented **symbolically** — as a closure
+//! over an abstract environment, a partially applied primitive, the
+//! worst-case function `W^τ`, or a normalized join of those — rather than
+//! as an extensional table. Application of closures is resolved by the
+//! fixpoint engine ([`crate::engine`]).
+
+use crate::be::Be;
+use nml_syntax::{NodeId, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An abstract escape environment: maps identifiers to abstract values.
+///
+/// Environments are immutable and shared (`Rc`), and participate in memo
+/// keys and closure identity, so they are ordered maps with full
+/// `Eq + Ord + Hash`.
+pub type AbsEnv = Rc<BTreeMap<Symbol, EnvEntry>>;
+
+/// An environment entry.
+///
+/// `letrec`-bound names are stored as *stable references* into the
+/// engine's slot table rather than as values: a recursive closure would
+/// otherwise have to contain itself. The indirection also keeps closure
+/// identity (and therefore memo keys) unchanged while the engine grows the
+/// slot's value toward the fixpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EnvEntry {
+    /// An ordinary value binding (lambda parameter).
+    Val(AbsVal),
+    /// A reference to a `letrec` binding slot in the engine.
+    Rec(RecKey),
+}
+
+/// Identifies one `letrec` binding slot: the `letrec` node, the bound
+/// name, and the (outer) environment the `letrec` was evaluated in.
+///
+/// Including the outer environment distinguishes instantiations of an
+/// inner `letrec` reached under different bindings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecKey {
+    /// The `letrec` expression node (or the program's implicit top-level
+    /// `letrec`, which uses the program body's node id).
+    pub letrec: NodeId,
+    /// The bound name.
+    pub name: Symbol,
+    /// The environment surrounding the `letrec`.
+    pub outer: AbsEnv,
+}
+
+/// The function component of an abstract value.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FunVal {
+    /// The `err` function: never applicable (value of base type). Applying
+    /// it yields ⊥, which is safe because well-typed programs never do.
+    #[default]
+    Err,
+    /// The worst-case function `W^τ` (paper Definition 2): joins the basic
+    /// escape parts of everything it is applied to into its results.
+    Worst {
+        /// How many further arguments it accepts before returning a
+        /// primitive value (then the function component becomes `Err`).
+        remaining: u32,
+        /// Join of the basic parts of arguments received so far.
+        acc: Be,
+    },
+    /// `cons` awaiting its first argument.
+    Cons0,
+    /// `cons x`: the partial application capturing the element value.
+    Cons1(Rc<AbsVal>),
+    /// `car^s` awaiting its argument (abstract `sub^s`).
+    Car {
+        /// Static spine count of the argument type.
+        s: u32,
+    },
+    /// `cdr` awaiting its argument (abstract identity: `D^{τ list} = D^τ`).
+    Cdr,
+    /// `null` awaiting its argument (result contains nothing).
+    Null,
+    /// A two-argument arithmetic/comparison primitive awaiting its first
+    /// argument: `λx.⟨x₍₁₎, λy.⟨⟨0,0⟩, err⟩⟩`.
+    Arith0,
+    /// The same primitive having received one argument; the final result
+    /// contains no part of any interesting object.
+    Arith1,
+    /// A user closure: `lambda` node plus captured abstract environment
+    /// (restricted to the lambda's free identifiers).
+    Closure {
+        /// The `lambda` expression node.
+        lambda: NodeId,
+        /// Captured environment.
+        env: AbsEnv,
+    },
+    /// A normalized join of non-`Join`, non-`Err` components: sorted,
+    /// deduplicated, at least two elements.
+    Join(Rc<Vec<FunVal>>),
+}
+
+impl FunVal {
+    /// Joins two function components, normalizing.
+    #[must_use]
+    pub fn join(&self, other: &FunVal) -> FunVal {
+        if self == other {
+            return self.clone();
+        }
+        let mut parts: Vec<FunVal> = Vec::new();
+        collect(self, &mut parts);
+        collect(other, &mut parts);
+        parts.sort();
+        parts.dedup();
+        // Merge all worst-case components into one.
+        let mut worst: Option<(u32, Be)> = None;
+        parts.retain(|p| {
+            if let FunVal::Worst { remaining, acc } = p {
+                let (r, a) = worst.get_or_insert((*remaining, Be::bottom()));
+                *r = (*r).max(*remaining);
+                *a = a.join(*acc);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some((remaining, acc)) = worst {
+            parts.push(FunVal::Worst { remaining, acc });
+            parts.sort();
+        }
+        match parts.len() {
+            0 => FunVal::Err,
+            1 => parts.pop().expect("len checked"),
+            _ => FunVal::Join(Rc::new(parts)),
+        }
+    }
+
+    /// Structural depth, used by the widening safeguard.
+    pub fn depth(&self) -> u32 {
+        match self {
+            FunVal::Err
+            | FunVal::Worst { .. }
+            | FunVal::Cons0
+            | FunVal::Car { .. }
+            | FunVal::Cdr
+            | FunVal::Null
+            | FunVal::Arith0
+            | FunVal::Arith1 => 0,
+            FunVal::Cons1(v) => 1 + v.depth(),
+            FunVal::Closure { env, .. } => {
+                1 + env
+                    .values()
+                    .map(|e| match e {
+                        EnvEntry::Val(v) => v.depth(),
+                        EnvEntry::Rec(_) => 0,
+                    })
+                    .max()
+                    .unwrap_or(0)
+            }
+            FunVal::Join(parts) => 1 + parts.iter().map(FunVal::depth).max().unwrap_or(0),
+        }
+    }
+}
+
+fn collect(f: &FunVal, out: &mut Vec<FunVal>) {
+    match f {
+        FunVal::Err => {}
+        FunVal::Join(parts) => out.extend(parts.iter().cloned()),
+        other => out.push(other.clone()),
+    }
+}
+
+/// An abstract escape value `⟨be, fun⟩ ∈ D_e`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AbsVal {
+    /// What the value contains (first component).
+    pub be: Be,
+    /// How it behaves when applied (second component).
+    pub fun: FunVal,
+}
+
+impl AbsVal {
+    /// `⊥ = ⟨⟨0,0⟩, err⟩`: contains nothing, never applicable. This is
+    /// also the abstract value of `nil` and of every non-escaping base
+    /// value.
+    pub fn bottom() -> AbsVal {
+        AbsVal {
+            be: Be::bottom(),
+            fun: FunVal::Err,
+        }
+    }
+
+    /// A value with basic part `be` and inapplicable function part.
+    pub fn base(be: Be) -> AbsVal {
+        AbsVal { be, fun: FunVal::Err }
+    }
+
+    /// Joins componentwise.
+    #[must_use]
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            be: self.be.join(other.be),
+            fun: self.fun.join(&other.fun),
+        }
+    }
+
+    /// `sub^s` lifted to whole values (the abstract `car^s`): the basic
+    /// part is adjusted, the function component passes through — the
+    /// abstract list domain collapses `D^{τ list}` to `D^τ`, so the
+    /// element behavior *is* the list's function component.
+    #[must_use]
+    pub fn sub(&self, s: u32) -> AbsVal {
+        AbsVal {
+            be: self.be.sub(s),
+            fun: self.fun.clone(),
+        }
+    }
+
+    /// Structural depth (see [`FunVal::depth`]).
+    pub fn depth(&self) -> u32 {
+        self.fun.depth()
+    }
+
+    /// Widens the value to the worst-case function of generous arity,
+    /// preserving its basic part. Sound because `W` over-approximates any
+    /// function's escape behavior; used only when closure nesting exceeds
+    /// the engine's depth threshold.
+    #[must_use]
+    pub fn widen(&self, arity: u32) -> AbsVal {
+        AbsVal {
+            be: self.be,
+            fun: FunVal::Worst {
+                remaining: arity,
+                acc: self.be,
+            },
+        }
+    }
+}
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.fun {
+            FunVal::Err => write!(f, "<{}, err>", self.be),
+            other => write!(f, "<{}, {}>", self.be, other),
+        }
+    }
+}
+
+impl fmt::Display for FunVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunVal::Err => f.write_str("err"),
+            FunVal::Worst { remaining, acc } => write!(f, "W[{remaining},{acc}]"),
+            FunVal::Cons0 => f.write_str("cons"),
+            FunVal::Cons1(v) => write!(f, "cons({v})"),
+            FunVal::Car { s } => write!(f, "car^{s}"),
+            FunVal::Cdr => f.write_str("cdr"),
+            FunVal::Null => f.write_str("null"),
+            FunVal::Arith0 => f.write_str("arith"),
+            FunVal::Arith1 => f.write_str("arith1"),
+            FunVal::Closure { lambda, .. } => write!(f, "clo@{lambda}"),
+            FunVal::Join(parts) => {
+                let mut first = true;
+                for p in parts.iter() {
+                    if !first {
+                        f.write_str(" | ")?;
+                    }
+                    first = false;
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc(i: u32) -> AbsVal {
+        AbsVal::base(Be::escaping(i))
+    }
+
+    #[test]
+    fn bottom_is_identity_for_join() {
+        let v = esc(2);
+        assert_eq!(AbsVal::bottom().join(&v), v);
+        assert_eq!(v.join(&AbsVal::bottom()), v);
+    }
+
+    #[test]
+    fn join_is_componentwise() {
+        let a = AbsVal {
+            be: Be::escaping(1),
+            fun: FunVal::Cdr,
+        };
+        let b = AbsVal {
+            be: Be::escaping(2),
+            fun: FunVal::Err,
+        };
+        let j = a.join(&b);
+        assert_eq!(j.be, Be::escaping(2));
+        assert_eq!(j.fun, FunVal::Cdr);
+    }
+
+    #[test]
+    fn fun_join_normalizes() {
+        let a = FunVal::Cdr;
+        let b = FunVal::Null;
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        assert_eq!(ab, ba, "join commutes after normalization");
+        assert_eq!(ab.join(&a), ab, "idempotent under flattening");
+        match &ab {
+            FunVal::Join(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn err_is_identity_for_fun_join() {
+        assert_eq!(FunVal::Err.join(&FunVal::Cdr), FunVal::Cdr);
+        assert_eq!(FunVal::Cdr.join(&FunVal::Err), FunVal::Cdr);
+        assert_eq!(FunVal::Err.join(&FunVal::Err), FunVal::Err);
+    }
+
+    #[test]
+    fn worst_components_merge() {
+        let w1 = FunVal::Worst {
+            remaining: 2,
+            acc: Be::escaping(1),
+        };
+        let w2 = FunVal::Worst {
+            remaining: 3,
+            acc: Be::escaping(0),
+        };
+        match w1.join(&w2) {
+            FunVal::Worst { remaining, acc } => {
+                assert_eq!(remaining, 3);
+                assert_eq!(acc, Be::escaping(1));
+            }
+            other => panic!("expected merged worst, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_applies_to_basic_part_only() {
+        let v = AbsVal {
+            be: Be::escaping(2),
+            fun: FunVal::Cdr,
+        };
+        let r = v.sub(2);
+        assert_eq!(r.be, Be::escaping(1));
+        assert_eq!(r.fun, FunVal::Cdr);
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        let v0 = AbsVal::bottom();
+        assert_eq!(v0.depth(), 0);
+        let v1 = AbsVal {
+            be: Be::bottom(),
+            fun: FunVal::Cons1(Rc::new(v0)),
+        };
+        assert_eq!(v1.depth(), 1);
+        let v2 = AbsVal {
+            be: Be::bottom(),
+            fun: FunVal::Cons1(Rc::new(v1)),
+        };
+        assert_eq!(v2.depth(), 2);
+    }
+
+    #[test]
+    fn widen_preserves_basic_part() {
+        let v = AbsVal {
+            be: Be::escaping(1),
+            fun: FunVal::Cdr,
+        };
+        let w = v.widen(8);
+        assert_eq!(w.be, Be::escaping(1));
+        assert!(matches!(w.fun, FunVal::Worst { remaining: 8, .. }));
+    }
+
+    #[test]
+    fn display_is_paper_like() {
+        assert_eq!(AbsVal::bottom().to_string(), "<<0,0>, err>");
+        assert_eq!(esc(1).to_string(), "<<1,1>, err>");
+    }
+
+    #[test]
+    fn join_flattening_of_nested_joins() {
+        let j1 = FunVal::Cdr.join(&FunVal::Null);
+        let j2 = FunVal::Cons0.join(&FunVal::Arith0);
+        let all = j1.join(&j2);
+        match &all {
+            FunVal::Join(parts) => {
+                assert_eq!(parts.len(), 4);
+                let mut sorted = parts.to_vec();
+                sorted.sort();
+                assert_eq!(*parts.as_ref(), sorted, "parts are sorted");
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! High-level front-to-back analysis pipeline:
+//! parse → infer → (optionally monomorphize) → global escape tests.
+
+use crate::engine::{Engine, EngineConfig, EngineStats};
+use crate::error::AnalyzeError;
+use crate::global::{global_escape, EscapeSummary};
+use crate::sharing::unshared_from_summary;
+use nml_syntax::{parse_program, Program, Symbol};
+use nml_types::{infer_and_monomorphize, infer_program, TypeInfo};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How polymorphic programs are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolyMode {
+    /// Analyze the simplest monotype instance of each polymorphic function
+    /// (residual type variables default to `int`); results transfer to
+    /// other instances by polymorphic invariance (paper §5). The cheap
+    /// route the paper recommends.
+    #[default]
+    SimplestInstance,
+    /// Specialize every demanded instance first
+    /// ([`nml_types::monomorphize`]) and analyze each copy exactly.
+    Monomorphize,
+}
+
+/// The complete result of analyzing one program.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The analyzed program (specialized if [`PolyMode::Monomorphize`]).
+    pub program: Program,
+    /// Its type information.
+    pub info: TypeInfo,
+    /// Global escape summaries of every top-level function, by name.
+    pub summaries: BTreeMap<Symbol, EscapeSummary>,
+    /// Engine statistics accumulated over all tests.
+    pub stats: EngineStats,
+}
+
+impl Analysis {
+    /// The summary for `name`.
+    pub fn summary(&self, name: &str) -> Option<&EscapeSummary> {
+        self.summaries.get(&Symbol::intern(name))
+    }
+
+    /// Theorem 2 case 2 for `name`: unshared top spines of any call's
+    /// result.
+    pub fn unshared_result_spines(&self, name: &str) -> Option<u32> {
+        self.summary(name).map(unshared_from_summary)
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in self.summaries.values() {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyzes nml source end to end with default settings.
+///
+/// # Errors
+///
+/// Returns an [`AnalyzeError`] wrapping the first syntax, type, or
+/// analysis failure.
+///
+/// # Examples
+///
+/// ```
+/// use nml_escape::analyze_source;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let analysis = analyze_source(
+///     "letrec append x y = if (null x) then y
+///                          else cons (car x) (append (cdr x) y)
+///      in append [1] [2]",
+/// )?;
+/// let append = analysis.summary("append").expect("analyzed");
+/// // G(APPEND, 1) = ⟨1,0⟩: all but the top spine of x escapes.
+/// assert_eq!(append.param(0).verdict.to_string(), "<1,0>");
+/// // G(APPEND, 2) = ⟨1,1⟩: all of y escapes.
+/// assert_eq!(append.param(1).verdict.to_string(), "<1,1>");
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_source(src: &str) -> Result<Analysis, AnalyzeError> {
+    analyze_source_with(src, PolyMode::default(), EngineConfig::default())
+}
+
+/// Analyzes nml source with explicit polymorphism handling and engine
+/// configuration.
+///
+/// # Errors
+///
+/// See [`analyze_source`].
+pub fn analyze_source_with(
+    src: &str,
+    mode: PolyMode,
+    config: EngineConfig,
+) -> Result<Analysis, AnalyzeError> {
+    let parsed = parse_program(src)?;
+    let (program, info) = match mode {
+        PolyMode::SimplestInstance => {
+            let info = infer_program(&parsed)?;
+            (parsed, info)
+        }
+        PolyMode::Monomorphize => {
+            let mono = infer_and_monomorphize(&parsed)?;
+            (mono.program, mono.info)
+        }
+    };
+    analyze_program(program, info, config)
+}
+
+/// Analyzes an already-typed program.
+///
+/// # Errors
+///
+/// Returns an [`AnalyzeError::Escape`] if a fixpoint diverges.
+pub fn analyze_program(
+    program: Program,
+    info: TypeInfo,
+    config: EngineConfig,
+) -> Result<Analysis, AnalyzeError> {
+    let names: Vec<Symbol> = program.bindings.iter().map(|b| b.name).collect();
+    let mut summaries = BTreeMap::new();
+    let stats;
+    {
+        let mut engine = Engine::with_config(&program, &info, config);
+        for name in names {
+            // Only functions (arity >= 1) have escape tests.
+            let arity = info
+                .sig(name)
+                .map(|t| t.uncurry().0.len())
+                .unwrap_or(0);
+            if arity == 0 {
+                continue;
+            }
+            let summary = global_escape(&mut engine, name).map_err(AnalyzeError::Escape)?;
+            summaries.insert(name, summary);
+        }
+        stats = engine.stats.clone();
+    }
+    Ok(Analysis {
+        program,
+        info,
+        summaries,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::be::Be;
+
+    const PS: &str = r#"
+        letrec
+          append x y = if (null x) then y
+                       else cons (car x) (append (cdr x) y);
+          split p x l h =
+            if (null x) then (cons l (cons h nil))
+            else if (car x) < p
+                 then split p (cdr x) (cons (car x) l) h
+                 else split p (cdr x) l (cons (car x) h);
+          ps x = if (null x) then nil
+                 else append (ps (car (split (car x) (cdr x) nil nil)))
+                             (cons (car x) (ps (car (cdr (split (car x) (cdr x) nil nil)))))
+        in ps [5, 2, 7, 1, 3, 4]
+    "#;
+
+    /// The complete Appendix A.1 result table.
+    #[test]
+    fn paper_appendix_a1_all_results() {
+        let a = analyze_source(PS).expect("analysis");
+        let append = a.summary("append").unwrap();
+        assert_eq!(append.param(0).verdict, Be::escaping(0), "G(APPEND,1)");
+        assert_eq!(append.param(1).verdict, Be::escaping(1), "G(APPEND,2)");
+        let split = a.summary("split").unwrap();
+        assert_eq!(split.param(0).verdict, Be::bottom(), "G(SPLIT,1)");
+        assert_eq!(split.param(1).verdict, Be::escaping(0), "G(SPLIT,2)");
+        assert_eq!(split.param(2).verdict, Be::escaping(1), "G(SPLIT,3)");
+        assert_eq!(split.param(3).verdict, Be::escaping(1), "G(SPLIT,4)");
+        let ps = a.summary("ps").unwrap();
+        assert_eq!(ps.param(0).verdict, Be::escaping(0), "G(PS,1)");
+    }
+
+    #[test]
+    fn appendix_a2_sharing() {
+        let a = analyze_source(PS).expect("analysis");
+        assert_eq!(a.unshared_result_spines("ps"), Some(1));
+        assert_eq!(a.unshared_result_spines("split"), Some(1));
+    }
+
+    #[test]
+    fn syntax_error_propagates() {
+        assert!(matches!(
+            analyze_source("letrec in 1"),
+            Err(AnalyzeError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn type_error_propagates() {
+        assert!(matches!(
+            analyze_source("1 + true"),
+            Err(AnalyzeError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn non_function_bindings_are_skipped() {
+        let a = analyze_source("letrec k = 42; inc x = x + k in inc 1").unwrap();
+        assert!(a.summary("k").is_none());
+        assert!(a.summary("inc").is_some());
+    }
+
+    #[test]
+    fn monomorphize_mode_analyzes_instances() {
+        let a = analyze_source_with(
+            "letrec len l = if (null l) then 0 else 1 + len (cdr l)
+             in len [1] + len [[2]]",
+            PolyMode::Monomorphize,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(a.summary("len__i").is_some(), "summaries: {:?}", a.summaries.keys());
+        assert!(a.summary("len__iL").is_some());
+        // Neither instance lets its argument escape.
+        assert_eq!(a.summary("len__i").unwrap().param(0).verdict, Be::bottom());
+        assert_eq!(a.summary("len__iL").unwrap().param(0).verdict, Be::bottom());
+    }
+
+    #[test]
+    fn display_renders_all_summaries() {
+        let a = analyze_source("letrec id x = x in id 1").unwrap();
+        let text = a.to_string();
+        assert!(text.contains("id"), "{text}");
+        assert!(text.contains("G = <1,0>"), "{text}");
+    }
+}

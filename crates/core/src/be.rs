@@ -1,0 +1,202 @@
+//! The basic escape domain `B_e` (paper §3.2, §3.4).
+//!
+//! `B_e` is the finite chain
+//!
+//! ```text
+//! ⟨0,0⟩ ⊑ ⟨1,0⟩ ⊑ ⟨1,1⟩ ⊑ ... ⊑ ⟨1,d⟩
+//! ```
+//!
+//! where `d` is a per-program constant: the maximum spine count of any type
+//! in the program. In the abstract semantics, `⟨1,i⟩` means the bottom `i`
+//! spines of the interesting object **may** be contained in the value of
+//! the expression (`i = 0` for a non-list interesting object that is
+//! itself contained), and `⟨0,0⟩` means no part of it is.
+
+use std::fmt;
+
+/// An element of the basic escape domain `B_e`.
+///
+/// Constructed via [`Be::bottom`] (`⟨0,0⟩`) and [`Be::escaping`]
+/// (`⟨1,i⟩`); the invariant that `⟨0,_⟩` only pairs with `0` is enforced
+/// by construction.
+///
+/// ```
+/// use nml_escape::Be;
+///
+/// // The chain ⟨0,0⟩ ⊑ ⟨1,0⟩ ⊑ ⟨1,1⟩ ⊑ ...
+/// assert!(Be::bottom().le(Be::escaping(0)));
+/// assert!(Be::escaping(0).le(Be::escaping(1)));
+/// // Join is the maximum; sub^s strips a spine at matching depth.
+/// assert_eq!(Be::escaping(2).join(Be::escaping(1)), Be::escaping(2));
+/// assert_eq!(Be::escaping(2).sub(2), Be::escaping(1));
+/// assert_eq!(Be::escaping(1).sub(2), Be::escaping(1)); // mismatch: unchanged
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Be {
+    // Field order matters: deriving Ord on (escapes, spines) yields exactly
+    // the chain order ⟨0,0⟩ < ⟨1,0⟩ < ⟨1,1⟩ < ...
+    escapes: bool,
+    spines: u32,
+}
+
+impl Be {
+    /// `⟨0,0⟩`: no part of the interesting object is contained.
+    pub const fn bottom() -> Be {
+        Be {
+            escapes: false,
+            spines: 0,
+        }
+    }
+
+    /// `⟨1,i⟩`: the bottom `i` spines may be contained (`i = 0` means an
+    /// indivisible interesting object is contained).
+    pub const fn escaping(i: u32) -> Be {
+        Be {
+            escapes: true,
+            spines: i,
+        }
+    }
+
+    /// Whether any part of the interesting object is contained
+    /// (the first component of the pair).
+    pub fn escapes(self) -> bool {
+        self.escapes
+    }
+
+    /// The number of bottom spines contained (the second component).
+    pub fn spines(self) -> u32 {
+        self.spines
+    }
+
+    /// The least upper bound in the chain.
+    #[must_use]
+    pub fn join(self, other: Be) -> Be {
+        self.max(other)
+    }
+
+    /// Lattice order test: `self ⊑ other`.
+    pub fn le(self, other: Be) -> bool {
+        self <= other
+    }
+
+    /// The paper's `sub^s` on the basic component: if the value's spine
+    /// count equals `s` (the spine count of the `car`'s argument type), the
+    /// top spine is stripped by the `car`, so the contained part loses one
+    /// spine; otherwise the value passes through unchanged.
+    ///
+    /// `s` can never be *less* than the contained spine count in a
+    /// well-typed program (a list with `s` spines cannot contain a list
+    /// with more than `s` spines), so `s > spines` leaves the value alone
+    /// and `s == spines` decrements.
+    // The name mirrors the paper's `sub^s`; it is not subtraction.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn sub(self, s: u32) -> Be {
+        if self.escapes && self.spines == s {
+            // ⟨1, s⟩ -> ⟨1, s-1⟩; at s = 0 there is nothing to strip
+            // (non-list interesting object), keep ⟨1, 0⟩.
+            Be {
+                escapes: true,
+                spines: self.spines.saturating_sub(1),
+            }
+        } else {
+            self
+        }
+    }
+
+    /// Enumerates the whole chain up to bound `d` (for exhaustive property
+    /// tests over the finite domain).
+    pub fn all(d: u32) -> impl Iterator<Item = Be> {
+        std::iter::once(Be::bottom()).chain((0..=d).map(Be::escaping))
+    }
+}
+
+impl Default for Be {
+    fn default() -> Self {
+        Be::bottom()
+    }
+}
+
+impl fmt::Display for Be {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", u32::from(self.escapes), self.spines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_order() {
+        assert!(Be::bottom() < Be::escaping(0));
+        assert!(Be::escaping(0) < Be::escaping(1));
+        assert!(Be::escaping(1) < Be::escaping(2));
+        assert!(Be::bottom().le(Be::escaping(5)));
+        assert!(!Be::escaping(1).le(Be::escaping(0)));
+    }
+
+    #[test]
+    fn join_is_max() {
+        assert_eq!(Be::bottom().join(Be::escaping(0)), Be::escaping(0));
+        assert_eq!(Be::escaping(2).join(Be::escaping(1)), Be::escaping(2));
+        assert_eq!(Be::bottom().join(Be::bottom()), Be::bottom());
+    }
+
+    #[test]
+    fn join_laws() {
+        let d = 4;
+        for a in Be::all(d) {
+            assert_eq!(a.join(a), a, "idempotent");
+            for b in Be::all(d) {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                assert!(a.le(a.join(b)), "upper bound");
+                for c in Be::all(d) {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_decrements_on_match() {
+        assert_eq!(Be::escaping(2).sub(2), Be::escaping(1));
+        assert_eq!(Be::escaping(1).sub(1), Be::escaping(0));
+    }
+
+    #[test]
+    fn sub_passes_through_on_mismatch() {
+        // s > spines: the contained spines are below the stripped one.
+        assert_eq!(Be::escaping(1).sub(2), Be::escaping(1));
+        assert_eq!(Be::bottom().sub(1), Be::bottom());
+        assert_eq!(Be::escaping(0).sub(1), Be::escaping(0));
+    }
+
+    #[test]
+    fn sub_at_zero_keeps_indivisible() {
+        assert_eq!(Be::escaping(0).sub(0), Be::escaping(0));
+    }
+
+    #[test]
+    fn sub_is_monotone() {
+        let d = 4;
+        for s in 0..=d {
+            for a in Be::all(d) {
+                for b in Be::all(d) {
+                    if a.le(b) {
+                        assert!(
+                            a.sub(s).le(b.sub(s)),
+                            "sub^{s} not monotone at {a}, {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Be::bottom().to_string(), "<0,0>");
+        assert_eq!(Be::escaping(2).to_string(), "<1,2>");
+    }
+}

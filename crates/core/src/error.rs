@@ -1,0 +1,96 @@
+//! Errors of the escape analysis.
+
+use nml_syntax::SyntaxError;
+use nml_types::TypeError;
+use std::fmt;
+
+/// A failure inside the abstract interpreter or the escape tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EscapeError {
+    /// The fixpoint iteration exceeded its pass budget.
+    FixpointDiverged {
+        /// Passes executed before giving up.
+        passes: u32,
+    },
+    /// An escape test was requested for a name that is not a top-level
+    /// binding.
+    UnknownFunction {
+        /// The requested name.
+        name: String,
+    },
+    /// An escape test was requested with a parameter index out of range.
+    BadParameterIndex {
+        /// The requested (0-based) index.
+        index: usize,
+        /// The function's arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for EscapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EscapeError::FixpointDiverged { passes } => {
+                write!(f, "escape fixpoint did not converge within {passes} passes")
+            }
+            EscapeError::UnknownFunction { name } => {
+                write!(f, "`{name}` is not a top-level function")
+            }
+            EscapeError::BadParameterIndex { index, arity } => {
+                write!(f, "parameter index {index} out of range for arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EscapeError {}
+
+/// Any failure of the full front-to-back pipeline
+/// (parse → infer → analyze).
+#[derive(Debug, Clone)]
+pub enum AnalyzeError {
+    /// Lexing/parsing failed.
+    Syntax(SyntaxError),
+    /// Type inference failed.
+    Type(TypeError),
+    /// The analysis itself failed.
+    Escape(EscapeError),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Syntax(e) => write!(f, "syntax error: {e}"),
+            AnalyzeError::Type(e) => write!(f, "type error: {e}"),
+            AnalyzeError::Escape(e) => write!(f, "escape analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Syntax(e) => Some(e),
+            AnalyzeError::Type(e) => Some(e),
+            AnalyzeError::Escape(e) => Some(e),
+        }
+    }
+}
+
+impl From<SyntaxError> for AnalyzeError {
+    fn from(e: SyntaxError) -> Self {
+        AnalyzeError::Syntax(e)
+    }
+}
+
+impl From<TypeError> for AnalyzeError {
+    fn from(e: TypeError) -> Self {
+        AnalyzeError::Type(e)
+    }
+}
+
+impl From<EscapeError> for AnalyzeError {
+    fn from(e: EscapeError) -> Self {
+        AnalyzeError::Escape(e)
+    }
+}

@@ -1,0 +1,165 @@
+//! The local escape test `L(f, i, e₁, …, eₙ, env_e)` (paper §4.2).
+//!
+//! Where the global test assumes nothing about the arguments, the local
+//! test analyzes one *particular call* `f e₁ … eₙ`: the interesting
+//! argument keeps its actual behaviour — the test value is
+//! `⟨⟨1, s_i⟩, (E⟦e_i⟧ env_e)₍₂₎⟩`, i.e. its basic part is replaced by
+//! "the whole object is interesting" but its function component is the
+//! real one — and the other arguments get `⟨⟨0,0⟩, (E⟦e_j⟧ env_e)₍₂₎⟩`.
+
+use crate::absval::AbsVal;
+use crate::be::Be;
+use crate::engine::Engine;
+use crate::error::EscapeError;
+use nml_syntax::ast::Expr;
+use std::fmt;
+
+/// The outcome of a local escape test on one call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalEscape {
+    /// Per-argument verdicts `L(f, i, …) ∈ B_e`, by argument position.
+    pub verdicts: Vec<Be>,
+    /// Per-argument spine counts `s_i` of the actual argument expressions.
+    pub spines: Vec<u32>,
+}
+
+impl LocalEscape {
+    /// The number of top spines of argument `i` that do **not** escape
+    /// this call.
+    pub fn retained_spines(&self, i: usize) -> u32 {
+        let esc = if self.verdicts[i].escapes() {
+            self.verdicts[i].spines()
+        } else {
+            0
+        };
+        self.spines[i] - esc.min(self.spines[i])
+    }
+}
+
+impl fmt::Display for LocalEscape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (v, s)) in self.verdicts.iter().zip(&self.spines).enumerate() {
+            writeln!(f, "  arg {}: s={}: L = {}", i + 1, s, v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the local escape test on the call expression `call`, which must be
+/// a (curried) application `f e₁ … eₙ` of nodes belonging to the engine's
+/// program. Every argument position is tested in turn.
+///
+/// The test is only as precise as the program's typing: on a polymorphic
+/// program analyzed at its simplest instance, `car^s` annotations inside
+/// the callee may undershoot the call's actual spine depths and the result
+/// degrades (safely) toward "everything escapes". Run it on the
+/// monomorphized program ([`nml_types::monomorphize`]) for the paper's
+/// per-call precision.
+///
+/// # Errors
+///
+/// [`EscapeError::FixpointDiverged`] if the engine's pass budget is
+/// exhausted.
+pub fn local_escape(engine: &mut Engine<'_>, call: &Expr) -> Result<LocalEscape, EscapeError> {
+    let (head, args) = call.uncurry_app();
+    let n = args.len();
+    let spines: Vec<u32> = args
+        .iter()
+        .map(|a| engine.info().ty(a.id).spines())
+        .collect();
+
+    let mut verdicts = Vec::with_capacity(n);
+    for i in 0..n {
+        // Find the whole thing inside one engine fixpoint so argument
+        // values and the callee converge together.
+        let verdict = engine.run(|en| {
+            let env = en.top_env();
+            let fv = en.eval(head, &env);
+            let zs: Vec<AbsVal> = args
+                .iter()
+                .enumerate()
+                .map(|(j, a)| {
+                    let actual = en.eval(a, &env);
+                    let be = if i == j {
+                        Be::escaping(spines[j])
+                    } else {
+                        Be::bottom()
+                    };
+                    AbsVal {
+                        be,
+                        fun: actual.fun,
+                    }
+                })
+                .collect();
+            en.apply_n(&fv, &zs).be
+        })?;
+        verdicts.push(verdict);
+    }
+    Ok(LocalEscape { verdicts, spines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nml_syntax::{parse_program, Program};
+    use nml_types::{infer_and_monomorphize, TypeInfo};
+
+    /// Local tests are call-site specific, so they need the real instance
+    /// types at the call: monomorphize first (paper §3.1 assumes a
+    /// monomorphically typed program).
+    fn setup(src: &str) -> (Program, TypeInfo) {
+        let p = parse_program(src).expect("parse");
+        let m = infer_and_monomorphize(&p).expect("mono");
+        (m.program, m.info)
+    }
+
+    #[test]
+    fn paper_intro_map_pair_top_two_spines_do_not_escape() {
+        // (map pair [[1,2],[3,4],[5,6]]): the top two spines of the second
+        // argument do not escape the call (paper §1, property 3).
+        let src = "letrec
+                     pair x = cons (car x) (cons (car (cdr x)) nil);
+                     map f l = if (null l) then nil
+                               else cons (f (car l)) (map f (cdr l))
+                   in map pair [[1,2],[3,4],[5,6]]";
+        let (p, info) = setup(src);
+        let mut en = Engine::new(&p, &info);
+        let body = p.body.clone();
+        let local = local_escape(&mut en, &body).expect("local test");
+        // Argument 2 (the list of lists, s = 2): elements may escape
+        // (pair returns the integers), but neither spine does: L = ⟨1,0⟩,
+        // retained = 2.
+        assert_eq!(local.spines[1], 2);
+        assert_eq!(local.verdicts[1], Be::escaping(0));
+        assert_eq!(local.retained_spines(1), 2);
+    }
+
+    #[test]
+    fn local_with_identity_function_is_more_precise_than_global() {
+        // Globally, map's list argument escapes to the extent the unknown
+        // f lets it; locally with f = id the spine still does not escape.
+        let src = "letrec
+                     id x = x;
+                     map f l = if (null l) then nil
+                               else cons (f (car l)) (map f (cdr l))
+                   in map id [1, 2, 3]";
+        let (p, info) = setup(src);
+        let mut en = Engine::new(&p, &info);
+        let body = p.body.clone();
+        let local = local_escape(&mut en, &body).expect("local test");
+        assert_eq!(local.verdicts[1], Be::escaping(0));
+        assert_eq!(local.retained_spines(1), 1);
+    }
+
+    #[test]
+    fn argument_that_is_returned_escapes_locally() {
+        let src = "letrec second x y = y in second 1 [2]";
+        let (p, info) = setup(src);
+        let mut en = Engine::new(&p, &info);
+        let body = p.body.clone();
+        let local = local_escape(&mut en, &body).expect("local test");
+        assert_eq!(local.verdicts[0], Be::bottom());
+        assert_eq!(local.verdicts[1], Be::escaping(1));
+        assert_eq!(local.retained_spines(1), 0);
+    }
+}

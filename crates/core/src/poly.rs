@@ -1,0 +1,182 @@
+//! Polymorphic invariance (paper §5, Theorem 1).
+//!
+//! For any two monotype instances `f'`, `f''` of a polymorphic function
+//! `f`, the global escape test agrees up to the spine offset:
+//! either both are `⟨0,0⟩`, or both are `⟨1,k'⟩`/`⟨1,k''⟩` with
+//! `s'_i − k' = s''_i − k''` — the number of **retained top spines** is
+//! the invariant. Hence it suffices to analyze the simplest instance and
+//! *transfer* the result to any other instance, which this module
+//! implements (and the test suite verifies against direct analysis of the
+//! larger instances).
+
+use crate::be::Be;
+use crate::global::{EscapeSummary, ParamEscape};
+use nml_types::Ty;
+
+/// Transfers a verdict established at a parameter with `from_spines` to an
+/// instance of the same parameter with `to_spines`, using Theorem 1:
+/// retained top spines are invariant.
+///
+/// Non-escaping verdicts transfer unchanged. For an escaping verdict
+/// `⟨1,k⟩`, the transferred verdict is `⟨1, k + (to − from)⟩` — the same
+/// number of top spines is retained.
+///
+/// # Panics
+///
+/// Panics if `to_spines < from_spines − k` (the target instance cannot
+/// retain more spines than it has); that situation cannot arise between
+/// genuine instances of one polymorphic function.
+///
+/// ```
+/// use nml_escape::{transfer_verdict, Be};
+///
+/// // append at int list: ⟨1,0⟩ retains 1 top spine; at int list list it
+/// // must be ⟨1,1⟩ (still retaining exactly one).
+/// assert_eq!(transfer_verdict(Be::escaping(0), 1, 2), Be::escaping(1));
+/// assert_eq!(transfer_verdict(Be::bottom(), 1, 3), Be::bottom());
+/// ```
+#[must_use]
+pub fn transfer_verdict(verdict: Be, from_spines: u32, to_spines: u32) -> Be {
+    if !verdict.escapes() {
+        return verdict;
+    }
+    let k = verdict.spines();
+    let retained = from_spines - k.min(from_spines);
+    assert!(
+        to_spines >= retained,
+        "target instance has {to_spines} spines but must retain {retained}"
+    );
+    Be::escaping(to_spines - retained)
+}
+
+/// Transfers a whole parameter verdict to a new parameter type.
+#[must_use]
+pub fn transfer_param(p: &ParamEscape, to_ty: &Ty) -> ParamEscape {
+    let to_spines = to_ty.spines();
+    ParamEscape {
+        index: p.index,
+        ty: to_ty.clone(),
+        spines: to_spines,
+        verdict: transfer_verdict(p.verdict, p.spines, to_spines),
+    }
+}
+
+/// Checks Theorem 1 between two summaries of instances of the same
+/// polymorphic function: every parameter pair must either both not escape
+/// or retain the same number of top spines.
+pub fn invariance_holds(a: &EscapeSummary, b: &EscapeSummary) -> bool {
+    a.params.len() == b.params.len()
+        && a.params.iter().zip(&b.params).all(|(pa, pb)| {
+            match (pa.verdict.escapes(), pb.verdict.escapes()) {
+                (false, false) => true,
+                (true, true) => pa.retained_spines() == pb.retained_spines(),
+                _ => false,
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::global::global_escape;
+    use nml_syntax::{parse_program, Symbol};
+    use nml_types::infer_program;
+
+    fn summary_of(src: &str, name: &str) -> EscapeSummary {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let mut en = Engine::new(&p, &info);
+        global_escape(&mut en, Symbol::intern(name)).expect("global test")
+    }
+
+    #[test]
+    fn transfer_keeps_nonescape() {
+        assert_eq!(transfer_verdict(Be::bottom(), 1, 3), Be::bottom());
+    }
+
+    #[test]
+    fn transfer_shifts_spines() {
+        // append at int list: ⟨1,0⟩ with s=1 retains 1 top spine.
+        // At int list list (s=2) it must be ⟨1,1⟩ (retain 1).
+        assert_eq!(transfer_verdict(Be::escaping(0), 1, 2), Be::escaping(1));
+        assert_eq!(transfer_verdict(Be::escaping(1), 1, 2), Be::escaping(2));
+        assert_eq!(transfer_verdict(Be::escaping(2), 2, 1), Be::escaping(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must retain")]
+    fn transfer_rejects_impossible_targets() {
+        // Retaining 2 spines cannot fit a 1-spine instance.
+        let _ = transfer_verdict(Be::escaping(0), 2, 1);
+    }
+
+    /// Directly analyzes a *pinned* monotype instance of a function by
+    /// monomorphizing the program and testing the specialized copy.
+    fn instance_summary(src: &str, specialized: &str) -> EscapeSummary {
+        let p = parse_program(src).expect("parse");
+        let m = nml_types::infer_and_monomorphize(&p).expect("mono");
+        let mut en = Engine::new(&m.program, &m.info);
+        global_escape(&mut en, Symbol::intern(specialized)).expect("global test")
+    }
+
+    /// append instantiated at `int list` vs `int list list`: analyzing
+    /// both directly must satisfy Theorem 1 and match `transfer_verdict`.
+    #[test]
+    fn append_instances_are_invariant() {
+        let flat = instance_summary(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y)
+             in append [1] [2]",
+            "append__i",
+        );
+        let nested = instance_summary(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y)
+             in append [[1]] [[2]]",
+            "append__iL",
+        );
+        assert!(invariance_holds(&flat, &nested));
+        // flat: ⟨1,0⟩ at s=1; nested: ⟨1,1⟩ at s=2.
+        assert_eq!(flat.param(0).verdict, Be::escaping(0));
+        assert_eq!(nested.param(0).verdict, Be::escaping(1));
+        assert_eq!(
+            transfer_verdict(flat.param(0).verdict, 1, 2),
+            nested.param(0).verdict
+        );
+        assert_eq!(
+            transfer_verdict(flat.param(1).verdict, 1, 2),
+            nested.param(1).verdict
+        );
+    }
+
+    #[test]
+    fn length_instances_are_invariant() {
+        let flat = summary_of(
+            "letrec len l = if (null l) then 0 else 1 + len (cdr l) in len [1]",
+            "len",
+        );
+        let nested = summary_of(
+            "letrec len l = if (null l) then 0 else 1 + len (cdr l) in len [[1]]",
+            "len",
+        );
+        assert!(invariance_holds(&flat, &nested));
+        assert_eq!(flat.param(0).verdict, Be::bottom());
+        assert_eq!(nested.param(0).verdict, Be::bottom());
+    }
+
+    #[test]
+    fn transfer_param_rebuilds_type_info() {
+        let flat = summary_of(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y)
+             in append [1] [2]",
+            "append",
+        );
+        let to_ty = Ty::list(Ty::list(Ty::Int));
+        let p = transfer_param(flat.param(0), &to_ty);
+        assert_eq!(p.spines, 2);
+        assert_eq!(p.verdict, Be::escaping(1));
+        assert_eq!(p.retained_spines(), 1);
+    }
+}

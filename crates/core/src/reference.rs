@@ -1,0 +1,430 @@
+//! A reference implementation of the abstract escape semantics for
+//! **first-order** programs, used to differentially test the symbolic
+//! fixpoint engine.
+//!
+//! The paper's termination argument (§3.5) rests on the finiteness of the
+//! abstract domain: for a first-order function of `n` parameters over
+//! `B_e` with bound `d`, the function space `B_e^n → B_e` is small enough
+//! to *tabulate*. This module computes those tables by naive Kleene
+//! iteration — the most literal possible reading of the appendix's
+//! `append⁽⁰⁾, append⁽¹⁾, …` — and the test-suite checks the symbolic
+//! engine against the table at **every** point of the domain, not just
+//! the worst-case inputs of the global test.
+//!
+//! Scope: top-level functions whose parameters and results are base or
+//! list types (no function arguments, no closures escaping into results).
+//! Over that fragment the two-component value degenerates to its basic
+//! part, because `D_e^{τ list} = D_e^τ` bottoms out at `B_e × {err}`.
+
+use crate::be::Be;
+use crate::error::EscapeError;
+use nml_syntax::ast::{Const, Expr, ExprKind, Prim, Program};
+use nml_syntax::{Symbol};
+use nml_types::{Ty, TypeInfo};
+use std::collections::{BTreeMap, HashMap};
+
+/// A tabulated abstract function: argument tuples over `B_e` to results
+/// in `B_e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeTable {
+    /// The function's arity.
+    pub arity: usize,
+    /// The table rows, keyed by the full argument tuple.
+    pub rows: BTreeMap<Vec<Be>, Be>,
+}
+
+impl BeTable {
+    /// Looks up the result for `args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` is not a point of the tabulated domain.
+    pub fn get(&self, args: &[Be]) -> Be {
+        self.rows[args]
+    }
+}
+
+/// Why a program is outside the first-order fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotFirstOrder {
+    /// A top-level binding has a function-typed parameter.
+    FunctionParameter(String),
+    /// A lambda occurs somewhere other than a top-level binding's
+    /// parameter spine.
+    InnerLambda,
+    /// A nested letrec (the reference evaluator keeps things simple).
+    InnerLetrec,
+    /// A variable denotes a function but is not fully applied.
+    PartialApplication(String),
+}
+
+impl std::fmt::Display for NotFirstOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NotFirstOrder::FunctionParameter(n) => {
+                write!(f, "`{n}` takes a function parameter")
+            }
+            NotFirstOrder::InnerLambda => f.write_str("inner lambda"),
+            NotFirstOrder::InnerLetrec => f.write_str("nested letrec"),
+            NotFirstOrder::PartialApplication(n) => {
+                write!(f, "`{n}` is partially applied")
+            }
+        }
+    }
+}
+
+/// Tabulates every top-level function of a first-order program by Kleene
+/// iteration over the pointwise-ordered table lattice.
+///
+/// # Errors
+///
+/// Returns [`NotFirstOrder`] if the program falls outside the tabulable
+/// fragment. The iteration itself cannot fail: the lattice is finite and
+/// every step is monotone (§3.5).
+pub fn tabulate_program(
+    program: &Program,
+    info: &TypeInfo,
+) -> Result<BTreeMap<Symbol, BeTable>, NotFirstOrder> {
+    // Validate the fragment and collect (name, params, body).
+    let mut funcs: Vec<(Symbol, Vec<Symbol>, &Expr)> = Vec::new();
+    for b in &program.bindings {
+        let sig = &info.top_sigs[&b.name];
+        let (params_ty, _) = sig.uncurry();
+        if params_ty.iter().any(|t| matches!(t, Ty::Fun(..))) {
+            return Err(NotFirstOrder::FunctionParameter(b.name.to_string()));
+        }
+        let mut params = Vec::new();
+        let mut cur = &b.expr;
+        while let ExprKind::Lambda(p, inner) = &cur.kind {
+            params.push(*p);
+            cur = inner;
+        }
+        check_first_order(cur)?;
+        funcs.push((b.name, params, cur));
+    }
+
+    let d = info.max_spines;
+    let domain: Vec<Be> = Be::all(d).collect();
+
+    // Initialize every table to ⊥.
+    let mut tables: BTreeMap<Symbol, BeTable> = BTreeMap::new();
+    for (name, params, _) in &funcs {
+        let mut rows = BTreeMap::new();
+        for tuple in tuples(&domain, params.len()) {
+            rows.insert(tuple, Be::bottom());
+        }
+        tables.insert(
+            *name,
+            BeTable {
+                arity: params.len(),
+                rows,
+            },
+        );
+    }
+
+    // Kleene iteration to the simultaneous fixpoint.
+    loop {
+        let mut changed = false;
+        for (name, params, body) in &funcs {
+            let snapshot = tables.clone();
+            let table = tables.get_mut(name).expect("initialized");
+            let mut updates = Vec::new();
+            for (tuple, current) in &table.rows {
+                let env: HashMap<Symbol, Be> =
+                    params.iter().copied().zip(tuple.iter().copied()).collect();
+                let v = eval_be(body, &env, &snapshot, info)?;
+                if v != *current {
+                    updates.push((tuple.clone(), current.join(v)));
+                }
+            }
+            for (tuple, v) in updates {
+                changed = true;
+                table.rows.insert(tuple, v);
+            }
+        }
+        if !changed {
+            return Ok(tables);
+        }
+    }
+}
+
+fn check_first_order(e: &Expr) -> Result<(), NotFirstOrder> {
+    match &e.kind {
+        ExprKind::Const(_) | ExprKind::Var(_) => Ok(()),
+        ExprKind::Lambda(..) => Err(NotFirstOrder::InnerLambda),
+        ExprKind::Letrec(..) => Err(NotFirstOrder::InnerLetrec),
+        ExprKind::App(f, a) => {
+            check_first_order(f)?;
+            check_first_order(a)
+        }
+        ExprKind::If(c, t, f) => {
+            check_first_order(c)?;
+            check_first_order(t)?;
+            check_first_order(f)
+        }
+        ExprKind::Annot(inner, _) => check_first_order(inner),
+    }
+}
+
+/// All `n`-tuples over `domain`.
+fn tuples(domain: &[Be], n: usize) -> Vec<Vec<Be>> {
+    let mut out = vec![Vec::new()];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(out.len() * domain.len());
+        for prefix in &out {
+            for &b in domain {
+                let mut t = prefix.clone();
+                t.push(b);
+                next.push(t);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// First-order abstract evaluation directly in `B_e` (the two-component
+/// value collapses: no function component survives in this fragment).
+fn eval_be(
+    e: &Expr,
+    env: &HashMap<Symbol, Be>,
+    tables: &BTreeMap<Symbol, BeTable>,
+    info: &TypeInfo,
+) -> Result<Be, NotFirstOrder> {
+    match &e.kind {
+        ExprKind::Const(_) => Ok(Be::bottom()),
+        ExprKind::Var(x) => Ok(env.get(x).copied().unwrap_or_else(Be::bottom)),
+        ExprKind::If(_c, t, f) => {
+            let tv = eval_be(t, env, tables, info)?;
+            let fv = eval_be(f, env, tables, info)?;
+            Ok(tv.join(fv))
+        }
+        ExprKind::Annot(inner, _) => eval_be(inner, env, tables, info),
+        ExprKind::Lambda(..) => Err(NotFirstOrder::InnerLambda),
+        ExprKind::Letrec(..) => Err(NotFirstOrder::InnerLetrec),
+        ExprKind::App(..) => {
+            let (head, args) = e.uncurry_app();
+            match &head.kind {
+                ExprKind::Const(Const::Prim(p)) => {
+                    if args.len() != p.arity() {
+                        return Err(NotFirstOrder::PartialApplication(p.name().to_owned()));
+                    }
+                    let vals: Vec<Be> = args
+                        .iter()
+                        .map(|a| eval_be(a, env, tables, info))
+                        .collect::<Result<_, _>>()?;
+                    Ok(match p {
+                        Prim::Cons | Prim::MkPair => vals[0].join(vals[1]),
+                        Prim::Car => {
+                            let s = info.car_spines[&head.id];
+                            vals[0].sub(s)
+                        }
+                        Prim::Cdr | Prim::Fst | Prim::Snd => vals[0],
+                        // null and arithmetic results contain nothing.
+                        _ => Be::bottom(),
+                    })
+                }
+                ExprKind::Var(f) if !env.contains_key(f) && tables.contains_key(f) => {
+                    let table = &tables[f];
+                    if args.len() != table.arity {
+                        return Err(NotFirstOrder::PartialApplication(f.to_string()));
+                    }
+                    let vals: Vec<Be> = args
+                        .iter()
+                        .map(|a| eval_be(a, env, tables, info))
+                        .collect::<Result<_, _>>()?;
+                    Ok(table.get(&vals))
+                }
+                ExprKind::Var(f) => Err(NotFirstOrder::PartialApplication(f.to_string())),
+                _ => Err(NotFirstOrder::InnerLambda),
+            }
+        }
+    }
+}
+
+/// The reference global escape test: read `G(f, i)` straight off the
+/// table (interesting argument `⟨1, s_i⟩`, others `⟨0,0⟩`).
+///
+/// # Errors
+///
+/// [`EscapeError::UnknownFunction`] / [`EscapeError::BadParameterIndex`]
+/// mirror the engine-based test.
+pub fn reference_global(
+    tables: &BTreeMap<Symbol, BeTable>,
+    info: &TypeInfo,
+    name: Symbol,
+    i: usize,
+) -> Result<Be, EscapeError> {
+    let table = tables.get(&name).ok_or_else(|| EscapeError::UnknownFunction {
+        name: name.to_string(),
+    })?;
+    let sig = info.sig(name).expect("sig for tabulated function");
+    let (params, _) = sig.uncurry();
+    if i >= table.arity {
+        return Err(EscapeError::BadParameterIndex {
+            index: i,
+            arity: table.arity,
+        });
+    }
+    let args: Vec<Be> = (0..table.arity)
+        .map(|j| {
+            if j == i {
+                Be::escaping(params[j].spines())
+            } else {
+                Be::bottom()
+            }
+        })
+        .collect();
+    Ok(table.get(&args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use nml_syntax::parse_program;
+    use nml_types::infer_program;
+
+    fn setup(src: &str) -> (Program, TypeInfo) {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        (p, info)
+    }
+
+    #[test]
+    fn append_table_matches_paper_fixpoint() {
+        // append x y = y ⊔ sub¹(x), per the appendix.
+        let (p, info) = setup(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y)
+             in append [1] [2]",
+        );
+        let tables = tabulate_program(&p, &info).expect("first-order");
+        let t = &tables[&Symbol::intern("append")];
+        for x in Be::all(info.max_spines) {
+            for y in Be::all(info.max_spines) {
+                assert_eq!(t.get(&[x, y]), y.join(x.sub(1)), "at ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_global_reproduces_appendix() {
+        let (p, info) = setup(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y)
+             in append [1] [2]",
+        );
+        let tables = tabulate_program(&p, &info).expect("first-order");
+        let name = Symbol::intern("append");
+        assert_eq!(
+            reference_global(&tables, &info, name, 0).unwrap(),
+            Be::escaping(0)
+        );
+        assert_eq!(
+            reference_global(&tables, &info, name, 1).unwrap(),
+            Be::escaping(1)
+        );
+    }
+
+    #[test]
+    fn higher_order_programs_are_rejected() {
+        let (p, info) = setup(
+            "letrec apply f x = f x in apply (lambda(y). y) 1",
+        );
+        assert!(matches!(
+            tabulate_program(&p, &info),
+            Err(NotFirstOrder::FunctionParameter(_))
+        ));
+    }
+
+    #[test]
+    fn inner_lambda_rejected() {
+        let (p, info) = setup("letrec f x = (lambda(y). y) x in f 1");
+        assert!(matches!(
+            tabulate_program(&p, &info),
+            Err(NotFirstOrder::InnerLambda)
+        ));
+    }
+
+    /// The differential test: over the whole first-order corpus, the
+    /// symbolic engine must agree with the tabulated reference at every
+    /// argument tuple (engine inputs: ⟨be, err⟩ values; the fragment has
+    /// no function components).
+    #[test]
+    fn engine_agrees_with_reference_everywhere() {
+        let sources = [
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y)
+             in append [1] [2]",
+            "letrec sum l = if (null l) then 0 else car l + sum (cdr l)
+             in sum [1]",
+            "letrec take n l = if n = 0 then nil
+                               else if (null l) then nil
+                               else cons (car l) (take (n - 1) (cdr l));
+                    drop n l = if n = 0 then l
+                               else if (null l) then nil
+                               else drop (n - 1) (cdr l)
+             in take 1 (drop 1 [1, 2])",
+            "letrec inter a b = if (null a) then b
+                                else cons (car a) (inter b (cdr a))
+             in inter [1] [2]",
+            "letrec zipadd a b = if (null a) then nil
+                                 else if (null b) then nil
+                                 else cons (car a + car b) (zipadd (cdr a) (cdr b))
+             in zipadd [1] [2]",
+            "letrec flat ll = if (null ll) then nil
+                              else if (null (car ll)) then flat (cdr ll)
+                              else cons (car (car ll))
+                                        (flat (cons (cdr (car ll)) (cdr ll)))
+             in flat [[1, 2], [3]]",
+        ];
+        for src in sources {
+            let (p, info) = setup(src);
+            let tables = tabulate_program(&p, &info).expect("first-order");
+            for (name, table) in &tables {
+                for (tuple, want) in &table.rows {
+                    let mut engine = Engine::new(&p, &info);
+                    let args: Vec<crate::absval::AbsVal> =
+                        tuple.iter().map(|&b| crate::absval::AbsVal::base(b)).collect();
+                    let got = engine
+                        .run(|en| {
+                            let f = en.top_value(*name);
+                            en.apply_n(&f, &args).be
+                        })
+                        .expect("fixpoint");
+                    assert_eq!(
+                        got, *want,
+                        "{name}{tuple:?}: engine {got}, reference {want} in\n{src}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every table is monotone — a direct consequence of §3.5's
+    /// monotonicity argument, checked exhaustively.
+    #[test]
+    fn reference_tables_are_monotone() {
+        let (p, info) = setup(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y);
+                    rev l = if (null l) then nil
+                            else append (rev (cdr l)) (cons (car l) nil)
+             in rev [1]",
+        );
+        let tables = tabulate_program(&p, &info).expect("first-order");
+        for (name, table) in &tables {
+            for (a, va) in &table.rows {
+                for (b, vb) in &table.rows {
+                    if a.iter().zip(b.iter()).all(|(x, y)| (*x).le(*y)) {
+                        assert!(
+                            (*va).le(*vb),
+                            "{name}: not monotone between {a:?} and {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Sharing analysis derived from escape information (paper §6, Theorem 2).
+//!
+//! For a strict language, once escape counts are known, sharing of the
+//! *result* of a call follows arithmetically. Let `f` take `n` arguments,
+//! `d_i` the spines of the i-th parameter, `esc_i` its escaping spine
+//! count, `d_f` the spines of the result, and `u_i` the number of
+//! *unshared* top spines of the actual argument `e_i`. Then:
+//!
+//! 1. the top `d_f − max_i min(esc_i, d_i − u_i)` spines of the result of
+//!    `(f e₁ … eₙ)` are unshared;
+//! 2. with no knowledge of the arguments (`u_i = 0` worst case), the top
+//!    `d_f − max_i esc_i` spines are unshared.
+//!
+//! Unshared spines are what in-place reuse may destructively recycle.
+
+use crate::global::EscapeSummary;
+
+/// Per-argument facts feeding Theorem 2, case 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgSharing {
+    /// `esc_i`: escaping spine count of the parameter (from the global
+    /// escape test).
+    pub escaping_spines: u32,
+    /// `d_i`: spine count of the parameter type.
+    pub spines: u32,
+    /// `u_i`: number of unshared top spines of the actual argument.
+    pub unshared_spines: u32,
+}
+
+/// Theorem 2, case 1: unshared top spines of the result of
+/// `(f e₁ … eₙ)` given per-argument sharing knowledge.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if some `u_i > d_i` or `esc_i > d_i`, which
+/// would be inconsistent inputs.
+pub fn unshared_result_spines(result_spines: u32, args: &[ArgSharing]) -> u32 {
+    let worst = args
+        .iter()
+        .map(|a| {
+            debug_assert!(a.unshared_spines <= a.spines, "u_i exceeds d_i");
+            debug_assert!(a.escaping_spines <= a.spines, "esc_i exceeds d_i");
+            a.escaping_spines.min(a.spines - a.unshared_spines)
+        })
+        .max()
+        .unwrap_or(0);
+    result_spines.saturating_sub(worst)
+}
+
+/// Theorem 2, case 2: unshared top spines of the result for *any*
+/// arguments (no sharing knowledge, `u_i = 0`).
+///
+/// ```
+/// use nml_escape::unshared_result_spines_any_args;
+///
+/// // SPLIT returns a 2-spine list; its worst parameter escape is 1
+/// // spine, so the top spine of every result is unshared (paper §A.2).
+/// assert_eq!(unshared_result_spines_any_args(2, &[0, 1, 1, 1]), 1);
+/// ```
+pub fn unshared_result_spines_any_args(result_spines: u32, escaping: &[u32]) -> u32 {
+    let worst = escaping.iter().copied().max().unwrap_or(0);
+    result_spines.saturating_sub(worst)
+}
+
+/// Applies Theorem 2, case 2 to a function's global escape summary.
+pub fn unshared_from_summary(summary: &EscapeSummary) -> u32 {
+    let escs: Vec<u32> = summary
+        .params
+        .iter()
+        .map(|p| p.escaping_spines())
+        .collect();
+    unshared_result_spines_any_args(summary.result_ty.spines(), &escs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::global::global_escape;
+    use nml_syntax::{parse_program, Symbol};
+    use nml_types::infer_program;
+
+    #[test]
+    fn case2_takes_worst_argument() {
+        assert_eq!(unshared_result_spines_any_args(2, &[0, 1, 0]), 1);
+        assert_eq!(unshared_result_spines_any_args(1, &[0, 0]), 1);
+        assert_eq!(unshared_result_spines_any_args(1, &[1]), 0);
+        assert_eq!(unshared_result_spines_any_args(3, &[]), 3);
+    }
+
+    #[test]
+    fn case1_uses_sharing_knowledge() {
+        // esc = 1 but the argument's single spine is unshared: min(1, 1-1)
+        // = 0 shared spines can escape, so the whole result spine is
+        // unshared.
+        let args = [ArgSharing {
+            escaping_spines: 1,
+            spines: 1,
+            unshared_spines: 1,
+        }];
+        assert_eq!(unshared_result_spines(1, &args), 1);
+        // With a fully shared argument the escape dominates.
+        let shared = [ArgSharing {
+            escaping_spines: 1,
+            spines: 1,
+            unshared_spines: 0,
+        }];
+        assert_eq!(unshared_result_spines(1, &shared), 0);
+    }
+
+    #[test]
+    fn case1_with_no_args_keeps_all_spines() {
+        assert_eq!(unshared_result_spines(2, &[]), 2);
+    }
+
+    #[test]
+    fn saturates_at_zero() {
+        assert_eq!(unshared_result_spines_any_args(0, &[2]), 0);
+    }
+
+    fn summary_of(src: &str, name: &str) -> EscapeSummary {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let mut en = Engine::new(&p, &info);
+        global_escape(&mut en, Symbol::intern(name)).expect("global test")
+    }
+
+    #[test]
+    fn paper_ps_top_spine_of_result_unshared() {
+        // Appendix A.2: for (PS e), the top spine of the result is not
+        // shared — PS has esc = 0 on its only parameter and returns a
+        // 1-spine list.
+        let src = r#"
+            letrec
+              append x y = if (null x) then y
+                           else cons (car x) (append (cdr x) y);
+              split p x l h =
+                if (null x) then (cons l (cons h nil))
+                else if (car x) < p
+                     then split p (cdr x) (cons (car x) l) h
+                     else split p (cdr x) l (cons (car x) h);
+              ps x = if (null x) then nil
+                     else append (ps (car (split (car x) (cdr x) nil nil)))
+                                 (cons (car x) (ps (car (cdr (split (car x) (cdr x) nil nil)))))
+            in ps [5, 2, 7, 1, 3, 4]
+        "#;
+        let s = summary_of(src, "ps");
+        assert_eq!(unshared_from_summary(&s), 1);
+    }
+
+    #[test]
+    fn paper_split_top_spine_of_result_unshared() {
+        // Appendix A.2: for (SPLIT e₁ e₂ e₃ e₄), the top spine of the
+        // 2-spine result is not shared: max esc = 1 (x, l, h), d_f = 2.
+        let src = r#"
+            letrec
+              split p x l h =
+                if (null x) then (cons l (cons h nil))
+                else if (car x) < p
+                     then split p (cdr x) (cons (car x) l) h
+                     else split p (cdr x) l (cons (car x) h)
+            in split 3 [1, 2] nil nil
+        "#;
+        let s = summary_of(src, "split");
+        assert_eq!(unshared_from_summary(&s), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Property-based tests of the abstract domain and the engine.
+//!
+//! - lattice laws of `B_e`, `FunVal`, and `AbsVal` joins over randomly
+//!   generated values;
+//! - `sub^s` monotonicity and its interplay with join;
+//! - monotonicity of the engine on randomly generated first-order
+//!   programs: larger abstract inputs give larger outputs (the heart of
+//!   the §3.5 termination/safety argument);
+//! - agreement of the symbolic engine with the exhaustive tabulated
+//!   reference on random first-order programs (differential testing).
+
+use nml_escape::{tabulate_program, AbsVal, Be, Engine, FunVal};
+use nml_syntax::parse_program;
+use nml_types::infer_program;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+const D: u32 = 3;
+
+fn be_strategy() -> impl Strategy<Value = Be> {
+    prop_oneof![
+        Just(Be::bottom()),
+        (0..=D).prop_map(Be::escaping),
+    ]
+}
+
+/// Random function components (closure-free: closures need a program;
+/// their join behaviour is covered by the engine tests).
+fn funval_strategy() -> impl Strategy<Value = FunVal> {
+    let leaf = prop_oneof![
+        Just(FunVal::Err),
+        Just(FunVal::Cons0),
+        Just(FunVal::Cdr),
+        Just(FunVal::Null),
+        Just(FunVal::Arith0),
+        Just(FunVal::Arith1),
+        (1u32..=3).prop_map(|s| FunVal::Car { s }),
+        ((1u32..=4), be_strategy())
+            .prop_map(|(remaining, acc)| FunVal::Worst { remaining, acc }),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner, be_strategy()).prop_map(|(f, be)| {
+            FunVal::Cons1(Rc::new(AbsVal { be, fun: f }))
+        })
+    })
+}
+
+fn absval_strategy() -> impl Strategy<Value = AbsVal> {
+    (be_strategy(), funval_strategy()).prop_map(|(be, fun)| AbsVal { be, fun })
+}
+
+proptest! {
+    #[test]
+    fn be_join_laws(a in be_strategy(), b in be_strategy(), c in be_strategy()) {
+        prop_assert_eq!(a.join(a), a);
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert!(a.le(a.join(b)));
+        prop_assert!(b.le(a.join(b)));
+    }
+
+    #[test]
+    fn be_sub_monotone_and_reductive(a in be_strategy(), b in be_strategy(), s in 0u32..=D) {
+        if a.le(b) {
+            prop_assert!(a.sub(s).le(b.sub(s)));
+        }
+        // sub never increases a value.
+        prop_assert!(a.sub(s).le(a));
+    }
+
+    #[test]
+    fn funval_join_laws(a in funval_strategy(), b in funval_strategy(), c in funval_strategy()) {
+        prop_assert_eq!(a.join(&a), a.clone(), "idempotent");
+        prop_assert_eq!(a.join(&b), b.join(&a), "commutative");
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)), "associative");
+        prop_assert_eq!(FunVal::Err.join(&a), a.clone(), "err is identity");
+    }
+
+    #[test]
+    fn absval_join_laws(a in absval_strategy(), b in absval_strategy()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&a), a.clone());
+        prop_assert_eq!(AbsVal::bottom().join(&a), a.clone());
+        // Join dominates both components.
+        prop_assert!(a.be.le(a.join(&b).be));
+    }
+
+    #[test]
+    fn widening_dominates_be(a in absval_strategy(), arity in 1u32..16) {
+        let w = a.widen(arity);
+        prop_assert_eq!(w.be, a.be);
+        let is_worst = matches!(w.fun, FunVal::Worst { .. });
+        prop_assert!(is_worst);
+    }
+}
+
+// ---- engine monotonicity on random first-order programs ------------------
+
+/// Random single-parameter list-to-list function bodies (over `l` and the
+/// helpers), total by construction.
+#[derive(Debug, Clone)]
+enum Body {
+    L,
+    Nil,
+    SafeCdr(Box<Body>),
+    ConsHead(Box<Body>, Box<Body>),
+    Rec(Box<Body>),
+    IfNull(Box<Body>, Box<Body>),
+}
+
+impl Body {
+    fn render(&self) -> String {
+        match self {
+            Body::L => "l".into(),
+            Body::Nil => "nil".into(),
+            Body::SafeCdr(e) => format!("(safecdr {})", e.render()),
+            Body::ConsHead(a, b) => format!("(cons (safecar {}) {})", a.render(), b.render()),
+            // Recursion always on a structurally smaller list.
+            Body::Rec(e) => format!("(subject (safecdr {}))", e.render()),
+            Body::IfNull(t, f) => {
+                format!("(if (null l) then {} else {})", t.render(), f.render())
+            }
+        }
+    }
+}
+
+fn body_strategy() -> impl Strategy<Value = Body> {
+    let leaf = prop_oneof![Just(Body::L), Just(Body::Nil)];
+    leaf.prop_recursive(4, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Body::SafeCdr(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Body::ConsHead(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Body::Rec(Box::new(e))),
+            (inner.clone(), inner)
+                .prop_map(|(t, f)| Body::IfNull(Box::new(t), Box::new(f))),
+        ]
+    })
+}
+
+fn program_for(b: &Body) -> String {
+    format!(
+        "letrec
+           safecar l = if (null l) then 0 else car l;
+           safecdr l = if (null l) then nil else cdr l;
+           subject l = {}
+         in subject [1]",
+        b.render()
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Monotonicity: a ⊑ b implies subject(a) ⊑ subject(b).
+    #[test]
+    fn engine_is_monotone_on_random_programs(body in body_strategy()) {
+        let src = program_for(&body);
+        let program = parse_program(&src).expect("parse");
+        let info = infer_program(&program).expect("infer");
+        let d = info.max_spines;
+        let points: Vec<Be> = Be::all(d).collect();
+        let name = nml_syntax::Symbol::intern("subject");
+        let mut results = Vec::new();
+        for &p in &points {
+            let mut en = Engine::new(&program, &info);
+            let r = en
+                .run(|en| {
+                    let f = en.top_value(name);
+                    en.apply(&f, &AbsVal::base(p)).be
+                })
+                .expect("fixpoint");
+            results.push(r);
+        }
+        for (i, &a) in points.iter().enumerate() {
+            for (j, &b) in points.iter().enumerate() {
+                if a.le(b) {
+                    prop_assert!(
+                        results[i].le(results[j]),
+                        "not monotone: f({a}) = {} > f({b}) = {} in {}",
+                        results[i], results[j], body.render()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Differential: the symbolic engine matches the exhaustive tabulated
+    /// reference at every domain point on random first-order programs.
+    #[test]
+    fn engine_matches_reference_on_random_programs(body in body_strategy()) {
+        let src = program_for(&body);
+        let program = parse_program(&src).expect("parse");
+        let info = infer_program(&program).expect("infer");
+        let tables = tabulate_program(&program, &info).expect("first-order");
+        let name = nml_syntax::Symbol::intern("subject");
+        let table = &tables[&name];
+        for (tuple, want) in &table.rows {
+            let mut en = Engine::new(&program, &info);
+            let got = en
+                .run(|en| {
+                    let f = en.top_value(name);
+                    en.apply(&f, &AbsVal::base(tuple[0])).be
+                })
+                .expect("fixpoint");
+            prop_assert_eq!(
+                got, *want,
+                "engine and reference disagree at {:?} for {}",
+                tuple, body.render()
+            );
+        }
+    }
+}
+
+// ---- two-parameter differential testing ----------------------------------
+
+#[derive(Debug, Clone)]
+enum Body2 {
+    A,
+    B,
+    Nil,
+    SafeCdr(Box<Body2>),
+    ConsHead(Box<Body2>, Box<Body2>),
+    RecOnA(Box<Body2>),
+    IfNullA(Box<Body2>, Box<Body2>),
+}
+
+impl Body2 {
+    fn render(&self) -> String {
+        match self {
+            Body2::A => "a".into(),
+            Body2::B => "b".into(),
+            Body2::Nil => "nil".into(),
+            Body2::SafeCdr(e) => format!("(safecdr {})", e.render()),
+            Body2::ConsHead(x, y) => {
+                format!("(cons (safecar {}) {})", x.render(), y.render())
+            }
+            Body2::RecOnA(e) => {
+                format!("(if (null a) then {} else (subject (cdr a) b))", e.render())
+            }
+            Body2::IfNullA(t, f) => {
+                format!("(if (null a) then {} else {})", t.render(), f.render())
+            }
+        }
+    }
+}
+
+fn body2_strategy() -> impl Strategy<Value = Body2> {
+    let leaf = prop_oneof![Just(Body2::A), Just(Body2::B), Just(Body2::Nil)];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Body2::SafeCdr(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Body2::ConsHead(Box::new(x), Box::new(y))),
+            inner.clone().prop_map(|e| Body2::RecOnA(Box::new(e))),
+            (inner.clone(), inner)
+                .prop_map(|(t, f)| Body2::IfNullA(Box::new(t), Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two-parameter random programs: the symbolic engine agrees with the
+    /// tabulated reference on the full (d+2)² argument grid.
+    #[test]
+    fn engine_matches_reference_on_two_param_programs(body in body2_strategy()) {
+        let src = format!(
+            "letrec
+               safecar l = if (null l) then 0 else car l;
+               safecdr l = if (null l) then nil else cdr l;
+               subject a b = {}
+             in subject [1] [2]",
+            body.render()
+        );
+        let program = parse_program(&src).expect("parse");
+        let info = infer_program(&program).expect("infer");
+        let tables = tabulate_program(&program, &info).expect("first-order");
+        let name = nml_syntax::Symbol::intern("subject");
+        let table = &tables[&name];
+        for (tuple, want) in &table.rows {
+            let mut en = Engine::new(&program, &info);
+            let args: Vec<AbsVal> = tuple.iter().map(|&b| AbsVal::base(b)).collect();
+            let got = en
+                .run(|en| {
+                    let f = en.top_value(name);
+                    en.apply_n(&f, &args).be
+                })
+                .expect("fixpoint");
+            prop_assert_eq!(
+                got, *want,
+                "disagree at {:?} for {}",
+                tuple, body.render()
+            );
+        }
+    }
+}

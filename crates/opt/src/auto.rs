@@ -1,0 +1,254 @@
+//! The automatic in-place-reuse driver (paper §6, first transformation
+//! rule):
+//!
+//! > If the bottom `esc_i` spines of the i-th parameter of `f` escape `f`
+//! > globally then the expression can safely be transformed into
+//! > `(f' e₁ … eₙ)` where `f'` … directly reuses cons cells of the i-th
+//! > argument — *provided the argument's top spine is unshared*.
+//!
+//! [`reuse_variant`] builds the `f'`; this module decides **where calling
+//! it is safe**, using the sharing analysis: an argument is known
+//! unshared when it is a fresh direct construction (a literal `cons`
+//! chain), or the result of a call whose own result is unshared by
+//! Theorem 2 case 2 ([`unshared_from_summary`]). Only the program's main
+//! body is rewritten — inside function bodies an argument's sharing
+//! depends on the caller, which is exactly why the paper keeps the
+//! obligation at the call site.
+
+use crate::ir::{IrExpr, IrProgram};
+use crate::reuse::{reuse_variant, ReuseOptions};
+use nml_escape::{unshared_from_summary, Analysis};
+use nml_syntax::Symbol;
+use std::collections::BTreeMap;
+
+/// What the driver did.
+#[derive(Debug, Clone, Default)]
+pub struct AutoReuse {
+    /// Generated variants: original name → (variant name, reuse parameter
+    /// index).
+    pub variants: BTreeMap<Symbol, (Symbol, usize)>,
+    /// Number of main-body call sites redirected to a variant.
+    pub rewritten_calls: usize,
+}
+
+/// The parameter [`reuse_variant`] would pick for `name` (the first list
+/// parameter whose top spine is retained), if any.
+pub fn default_reuse_param(analysis: &Analysis, name: Symbol) -> Option<usize> {
+    analysis
+        .summaries
+        .get(&name)?
+        .params
+        .iter()
+        .position(|p| p.ty.is_list() && p.retained_spines() >= 1)
+}
+
+/// Generates a reuse variant for every eligible top-level function and
+/// redirects every main-body call whose reuse argument is provably
+/// unshared.
+pub fn auto_reuse(ir: &mut IrProgram, analysis: &Analysis) -> AutoReuse {
+    let mut result = AutoReuse::default();
+
+    // 1. Build every variant that the analysis and the last-use/guard
+    //    conditions license.
+    let names: Vec<Symbol> = analysis.summaries.keys().copied().collect();
+    for name in names {
+        let Some(param) = default_reuse_param(analysis, name) else {
+            continue;
+        };
+        if let Ok(variant) = reuse_variant(ir, analysis, name, &ReuseOptions::dcons()) {
+            result.variants.insert(name, (variant, param));
+        }
+    }
+    if result.variants.is_empty() {
+        return result;
+    }
+
+    // 2. Redirect safe main-body calls.
+    let body = std::mem::replace(&mut ir.body, IrExpr::Const(nml_syntax::Const::Nil));
+    ir.body = rewrite(body, analysis, &result.variants, &mut result.rewritten_calls);
+    result
+}
+
+/// Is the value of `e` certainly unshared in its **whole top spine**?
+///
+/// - `nil` has no cells;
+/// - a direct `cons` is fresh, but only the first cell — its *tail* must
+///   be unshared too (a `cons 0 shared_list` has a shared spine suffix,
+///   and the reuse variant walks the whole spine);
+/// - a *full* call of a top-level function `g` is unshared in its top
+///   `unshared_from_summary(g)` spines (Theorem 2, case 2) — variants
+///   inherit their original's summary.
+fn is_unshared(
+    e: &IrExpr,
+    analysis: &Analysis,
+    variants: &BTreeMap<Symbol, (Symbol, usize)>,
+) -> bool {
+    match e {
+        IrExpr::Const(nml_syntax::Const::Nil) => true,
+        IrExpr::Cons { tail, .. } | IrExpr::Dcons { tail, .. } => {
+            is_unshared(tail, analysis, variants)
+        }
+        IrExpr::Region { inner, .. } => is_unshared(inner, analysis, variants),
+        IrExpr::App(..) => {
+            let (head, args) = split(e);
+            let IrExpr::Var(g) = head else { return false };
+            // A variant g_r behaves like g for sharing purposes.
+            let orig = variants
+                .iter()
+                .find(|(_, (v, _))| *v == *g)
+                .map(|(o, _)| *o)
+                .unwrap_or(*g);
+            let Some(summary) = analysis.summaries.get(&orig) else {
+                return false;
+            };
+            summary.arity() == args.len() && unshared_from_summary(summary) >= 1
+        }
+        _ => false,
+    }
+}
+
+fn split(e: &IrExpr) -> (&IrExpr, Vec<&IrExpr>) {
+    let mut args = Vec::new();
+    let mut cur = e;
+    while let IrExpr::App(f, a) = cur {
+        args.push(a.as_ref());
+        cur = f;
+    }
+    args.reverse();
+    (cur, args)
+}
+
+fn rewrite(
+    e: IrExpr,
+    analysis: &Analysis,
+    variants: &BTreeMap<Symbol, (Symbol, usize)>,
+    count: &mut usize,
+) -> IrExpr {
+    // Children first, so chains like rev (rev l) redirect inside-out and
+    // the inner rewrite's unshared result licenses the outer one.
+    let e = crate::stack::map_children(e, &mut |c| rewrite(c, analysis, variants, count));
+    if !matches!(e, IrExpr::App(..)) {
+        return e;
+    }
+    let (head, args) = {
+        let (h, a) = split(&e);
+        (h.clone(), a.into_iter().cloned().collect::<Vec<_>>())
+    };
+    let IrExpr::Var(f) = head else { return e };
+    let Some(&(variant, param)) = variants.get(&f) else {
+        return e;
+    };
+    let Some(summary) = analysis.summaries.get(&f) else {
+        return e;
+    };
+    if summary.arity() != args.len() {
+        return e;
+    }
+    if !is_unshared(&args[param], analysis, variants) {
+        return e;
+    }
+    *count += 1;
+    args.into_iter().fold(IrExpr::Var(variant), |acc, a| {
+        IrExpr::App(Box::new(acc), Box::new(a))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower_program;
+    use nml_escape::analyze_source;
+    use nml_syntax::parse_program;
+    use nml_types::infer_program;
+
+    fn prep(src: &str) -> (IrProgram, Analysis) {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let ir = lower_program(&p, &info);
+        let analysis = analyze_source(src).expect("analysis");
+        (ir, analysis)
+    }
+
+    #[test]
+    fn literal_argument_is_rewritten() {
+        let (mut ir, analysis) = prep(
+            "letrec rev l a = if (null l) then a
+                              else rev (cdr l) (cons (car l) a)
+             in rev [1, 2, 3] nil",
+        );
+        let auto = auto_reuse(&mut ir, &analysis);
+        assert_eq!(auto.rewritten_calls, 1, "{}", ir.body);
+        assert!(ir.body.to_string().contains("rev_r"), "{}", ir.body);
+    }
+
+    #[test]
+    fn unshared_producer_chain_is_rewritten() {
+        // take's result is unshared (Thm 2 case 2: esc = 0 spines from its
+        // list parameter... take rebuilds its spine), so rev may reuse it.
+        let (mut ir, analysis) = prep(
+            "letrec take n l = if n = 0 then nil
+                               else if (null l) then nil
+                               else cons (car l) (take (n - 1) (cdr l));
+                    rev l a = if (null l) then a
+                              else rev (cdr l) (cons (car l) a)
+             in rev (take 2 [1, 2, 3]) nil",
+        );
+        let auto = auto_reuse(&mut ir, &analysis);
+        assert!(auto.rewritten_calls >= 1);
+        let text = ir.body.to_string();
+        assert!(text.contains("rev_r ((take_r 2)"), "{text}");
+    }
+
+    #[test]
+    fn shared_suffix_producer_blocks_rewrite() {
+        // drop returns a suffix of its argument — its result spine IS the
+        // argument's spine, shared: unshared_from_summary(drop) = 0, so a
+        // reuse variant must NOT be called on drop's result.
+        let (mut ir, analysis) = prep(
+            "letrec drop n l = if n = 0 then l
+                               else if (null l) then nil
+                               else drop (n - 1) (cdr l);
+                    rev l a = if (null l) then a
+                              else rev (cdr l) (cons (car l) a)
+             in rev (drop 1 [1, 2, 3]) nil",
+        );
+        let auto = auto_reuse(&mut ir, &analysis);
+        assert_eq!(auto.rewritten_calls, 0, "{}", ir.body);
+        assert!(!ir.body.to_string().contains("rev_r ("), "{}", ir.body);
+    }
+
+    #[test]
+    fn cons_onto_shared_tail_blocks_rewrite() {
+        // `cons 0 k` has a fresh head cell but k's shared spine as its
+        // tail; the reuse variant would destructively walk k. Must not
+        // rewrite.
+        let (mut ir, analysis) = prep(
+            "letrec k = [1, 2, 3];
+                    rev l a = if (null l) then a
+                              else rev (cdr l) (cons (car l) a)
+             in rev (cons 0 k) nil",
+        );
+        let auto = auto_reuse(&mut ir, &analysis);
+        assert_eq!(auto.rewritten_calls, 0, "{}", ir.body);
+        // A fully literal spine still rewrites.
+        let (mut ir2, analysis2) = prep(
+            "letrec rev l a = if (null l) then a
+                              else rev (cdr l) (cons (car l) a)
+             in rev (cons 0 (cons 1 nil)) nil",
+        );
+        let auto2 = auto_reuse(&mut ir2, &analysis2);
+        assert_eq!(auto2.rewritten_calls, 1, "{}", ir2.body);
+    }
+
+    #[test]
+    fn ineligible_functions_get_no_variant() {
+        let (mut ir, analysis) = prep("letrec inc x = x + 1 in inc 1");
+        let auto = auto_reuse(&mut ir, &analysis);
+        assert!(auto.variants.is_empty());
+        assert_eq!(auto.rewritten_calls, 0);
+    }
+
+    // Execution-level validation of auto_reuse lives in the workspace
+    // integration suite (tests/optimizations.rs): this crate cannot
+    // depend on nml-runtime.
+}

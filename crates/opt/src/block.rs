@@ -1,0 +1,289 @@
+//! Block allocation / reclamation (paper §1, §A.3.3).
+//!
+//! For `PS (create_list i)`, the list built by `create_list` cannot live
+//! in `PS`'s activation record — the record does not exist while the list
+//! is being built. The paper's alternative: `create_list` allocates the
+//! spine into a *block* of memory (Ruggieri & Murtagh's "local heap");
+//! since the spine does not escape `PS`, the whole block goes back on the
+//! free list when `PS` returns — without traversing the list.
+//!
+//! The transformation: given a call `f (g a₁ … aₘ)` where the global
+//! escape test says `f`'s parameter's top spine does not escape, create a
+//! variant `g_blk` whose **result-spine** `cons` sites allocate into the
+//! current block, and rewrite the call to
+//! `region[block] (f (g_blk a₁ … aₘ))`.
+
+use crate::error::OptError;
+use crate::ir::{AllocMode, IrExpr, IrFunc, IrProgram, RegionKind, SiteId};
+use crate::reuse::rewrite_calls;
+use nml_escape::Analysis;
+use nml_syntax::Symbol;
+
+/// The name of the block-allocating variant of `name`.
+pub fn block_name(name: Symbol) -> Symbol {
+    Symbol::intern(&format!("{name}_blk"))
+}
+
+/// Creates (or reuses) `g_blk`: a copy of `g` whose result-spine `cons`
+/// sites are annotated [`AllocMode::Block`], with self-recursion
+/// redirected to the variant.
+///
+/// # Errors
+///
+/// [`OptError::UnknownFunction`] if `g` is not a top-level function.
+pub fn block_producer_variant(ir: &mut IrProgram, g: Symbol) -> Result<Symbol, OptError> {
+    let func = ir
+        .func(g)
+        .filter(|f| f.is_function())
+        .ok_or_else(|| OptError::UnknownFunction {
+            name: g.to_string(),
+        })?
+        .clone();
+    let new_name = block_name(g);
+    if ir.func(new_name).is_some() {
+        return Ok(new_name);
+    }
+    let body = mark_result_spine(func.body);
+    let body = rewrite_calls(body, &[(g, new_name)]);
+    ir.funcs.push(IrFunc {
+        name: new_name,
+        params: func.params,
+        body,
+    });
+    Ok(new_name)
+}
+
+/// Annotates the `cons` cells that build the expression's result spine:
+/// the expression itself, both `if` branches, `letrec` bodies, and the
+/// *tails* of result conses (the spine chain). Elements are left on the
+/// heap.
+fn mark_result_spine(e: IrExpr) -> IrExpr {
+    match e {
+        IrExpr::Cons {
+            head, tail, site, ..
+        } => IrExpr::Cons {
+            alloc: AllocMode::Block,
+            head,
+            tail: Box::new(mark_result_spine(*tail)),
+            site,
+        },
+        IrExpr::If(c, t, f) => IrExpr::If(
+            c,
+            Box::new(mark_result_spine(*t)),
+            Box::new(mark_result_spine(*f)),
+        ),
+        IrExpr::Letrec(bs, body) => IrExpr::Letrec(bs, Box::new(mark_result_spine(*body))),
+        IrExpr::Region { kind, inner, site } => IrExpr::Region {
+            kind,
+            inner: Box::new(mark_result_spine(*inner)),
+            site,
+        },
+        other => other,
+    }
+}
+
+/// Rewrites every call `f (g …)` in the program — the main body and
+/// every function body — to `region[block] (f (g_blk …))`, provided
+/// `f`'s corresponding parameter retains its top spine. Returns the
+/// number of rewritten calls.
+///
+/// # Errors
+///
+/// - [`OptError::UnknownFunction`] if `f` or `g` is unknown;
+/// - [`OptError::NoMatchingCall`] if no such call exists or the escape
+///   analysis forbids the rewrite everywhere.
+pub fn block_call(ir: &mut IrProgram, analysis: &Analysis, f: Symbol, g: Symbol) -> Result<usize, OptError> {
+    if ir.func(f).is_none() {
+        return Err(OptError::UnknownFunction {
+            name: f.to_string(),
+        });
+    }
+    let g_blk = block_producer_variant(ir, g)?;
+    let summary = analysis
+        .summaries
+        .get(&f)
+        .ok_or_else(|| OptError::UnknownFunction {
+            name: f.to_string(),
+        })?
+        .clone();
+
+    let mut count = 0usize;
+    let mut next_site = ir.next_site;
+    let funcs = std::mem::take(&mut ir.funcs);
+    ir.funcs = funcs
+        .into_iter()
+        .map(|mut func| {
+            // The producer variant itself is left alone: rewriting inside
+            // it could nest a region around its own recursion.
+            if func.name != g_blk {
+                let body = std::mem::replace(&mut func.body, IrExpr::Const(nml_syntax::Const::Nil));
+                func.body = rewrite(body, f, g, g_blk, &summary, &mut next_site, &mut count);
+            }
+            func
+        })
+        .collect();
+    let body = std::mem::replace(&mut ir.body, IrExpr::Const(nml_syntax::Const::Nil));
+    ir.body = rewrite(body, f, g, g_blk, &summary, &mut next_site, &mut count);
+    ir.next_site = next_site;
+    if count == 0 {
+        return Err(OptError::NoMatchingCall {
+            pattern: format!("{f} ({g} ...)"),
+        });
+    }
+    Ok(count)
+}
+
+fn rewrite(
+    e: IrExpr,
+    f: Symbol,
+    g: Symbol,
+    g_blk: Symbol,
+    summary: &nml_escape::EscapeSummary,
+    next_site: &mut u32,
+    count: &mut usize,
+) -> IrExpr {
+    // Recurse first.
+    let e = crate::stack::map_children(e, &mut |c| {
+        rewrite(c, f, g, g_blk, summary, next_site, count)
+    });
+    // Match `f a1 .. an` with some `aj = g b1 .. bm`.
+    let (head, args) = split(e);
+    let is_f = matches!(&head, IrExpr::Var(x) if *x == f);
+    if !is_f || args.len() != summary.arity() {
+        return join(head, args);
+    }
+    let mut any = false;
+    let args: Vec<IrExpr> = args
+        .into_iter()
+        .enumerate()
+        .map(|(j, a)| {
+            if summary.param(j).retained_spines() < 1 {
+                return a;
+            }
+            let (ah, aargs) = split(a);
+            if matches!(&ah, IrExpr::Var(x) if *x == g) && !aargs.is_empty() {
+                any = true;
+                join(IrExpr::Var(g_blk), aargs)
+            } else {
+                join(ah, aargs)
+            }
+        })
+        .collect();
+    let call = join(head, args);
+    if any {
+        *count += 1;
+        let site = SiteId(*next_site);
+        *next_site += 1;
+        IrExpr::Region {
+            kind: RegionKind::Block,
+            inner: Box::new(call),
+            site,
+        }
+    } else {
+        call
+    }
+}
+
+fn split(e: IrExpr) -> (IrExpr, Vec<IrExpr>) {
+    let mut args = Vec::new();
+    let mut cur = e;
+    while let IrExpr::App(a, b) = cur {
+        args.push(*b);
+        cur = *a;
+    }
+    args.reverse();
+    (cur, args)
+}
+
+fn join(head: IrExpr, args: Vec<IrExpr>) -> IrExpr {
+    args.into_iter()
+        .fold(head, |f, a| IrExpr::App(Box::new(f), Box::new(a)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower_program;
+    use nml_escape::analyze_source;
+    use nml_syntax::parse_program;
+    use nml_types::infer_program;
+
+    const SRC: &str = "letrec sum l = if (null l) then 0 else car l + sum (cdr l);
+                              create_list n = if n = 0 then nil
+                                              else cons n (create_list (n - 1))
+                       in sum (create_list 10)";
+
+    fn prep(src: &str) -> (IrProgram, Analysis) {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let ir = lower_program(&p, &info);
+        let analysis = analyze_source(src).expect("analysis");
+        (ir, analysis)
+    }
+
+    #[test]
+    fn producer_variant_marks_spine() {
+        let (mut ir, _analysis) = prep(SRC);
+        let name = block_producer_variant(&mut ir, Symbol::intern("create_list")).unwrap();
+        assert_eq!(name.as_str(), "create_list_blk");
+        let text = ir.func(name).unwrap().body.to_string();
+        assert!(text.contains("cons[block] n"), "{text}");
+        assert!(text.contains("create_list_blk (- n 1)"), "recursion redirected: {text}");
+    }
+
+    #[test]
+    fn call_site_wrapped_in_block_region() {
+        let (mut ir, analysis) = prep(SRC);
+        let n = block_call(
+            &mut ir,
+            &analysis,
+            Symbol::intern("sum"),
+            Symbol::intern("create_list"),
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        let text = ir.body.to_string();
+        assert!(text.contains("(region[block] ((sum (create_list_blk 10))))")
+                || text.contains("(region[block] (sum (create_list_blk 10)))"), "{text}");
+    }
+
+    #[test]
+    fn escaping_consumer_rejects_rewrite() {
+        let src = "letrec idl l = cons (car l) (cdr l);
+                          create_list n = if n = 0 then nil
+                                          else cons n (create_list (n - 1))
+                   in idl (create_list 5)";
+        let (mut ir, analysis) = prep(src);
+        let err = block_call(
+            &mut ir,
+            &analysis,
+            Symbol::intern("idl"),
+            Symbol::intern("create_list"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptError::NoMatchingCall { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_functions_rejected() {
+        let (mut ir, analysis) = prep(SRC);
+        assert!(matches!(
+            block_call(&mut ir, &analysis, Symbol::intern("nope"), Symbol::intern("create_list")),
+            Err(OptError::UnknownFunction { .. })
+        ));
+        assert!(matches!(
+            block_call(&mut ir, &analysis, Symbol::intern("sum"), Symbol::intern("nope")),
+            Err(OptError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn producer_variant_is_idempotent() {
+        let (mut ir, _a) = prep(SRC);
+        let a = block_producer_variant(&mut ir, Symbol::intern("create_list")).unwrap();
+        let n = ir.funcs.len();
+        let b = block_producer_variant(&mut ir, Symbol::intern("create_list")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(n, ir.funcs.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Optimizer errors.
+
+use std::fmt;
+
+/// Why a requested optimization could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// The named top-level function does not exist (or is a value
+    /// binding).
+    UnknownFunction {
+        /// The requested name.
+        name: String,
+    },
+    /// No parameter of the function is a list whose top spine is retained
+    /// (escape analysis found nothing to exploit).
+    NoEligibleParam {
+        /// The function.
+        name: String,
+    },
+    /// No `cons` site satisfies the guardedness and last-use conditions
+    /// for `DCONS`.
+    NoEligibleSite {
+        /// The function.
+        name: String,
+    },
+    /// No call site matching the requested pattern was found.
+    NoMatchingCall {
+        /// Description of the pattern.
+        pattern: String,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::UnknownFunction { name } => {
+                write!(f, "`{name}` is not a top-level function")
+            }
+            OptError::NoEligibleParam { name } => write!(
+                f,
+                "no parameter of `{name}` is a list with a non-escaping top spine"
+            ),
+            OptError::NoEligibleSite { name } => write!(
+                f,
+                "no cons in `{name}` satisfies the DCONS guardedness/last-use conditions"
+            ),
+            OptError::NoMatchingCall { pattern } => {
+                write!(f, "no call site matches `{pattern}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {}

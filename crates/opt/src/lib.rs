@@ -1,0 +1,68 @@
+//! # nml-opt
+//!
+//! The storage optimizations that *Escape Analysis on Lists* (Park &
+//! Goldberg, PLDI 1992) derives from escape information (§1, §6, §A.3):
+//!
+//! - **In-place reuse** ([`reuse`]): rewrite a `cons` into the destructive
+//!   `DCONS` when the analysis shows a list parameter's top spine neither
+//!   escapes nor is used afterwards — the paper's `APPEND'`, `REV'`,
+//!   `PS''`.
+//! - **Stack allocation** ([`stack`]): allocate freshly constructed,
+//!   non-escaping list arguments into a region freed when the call
+//!   returns — no garbage collection.
+//! - **Block allocation/reclamation** ([`block`]): route a producer's
+//!   result spine into a memory block freed wholesale when the consumer
+//!   returns — the paper's `PS (create_list i)` example.
+//!
+//! All three operate on the storage-annotated [`ir`], which the
+//! `nml-runtime` crate executes with full allocation/GC instrumentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use nml_escape::analyze_source;
+//! use nml_opt::{lower_program, reuse_variant, ReuseOptions};
+//! use nml_syntax::{parse_program, Symbol};
+//! use nml_types::infer_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "letrec append x y = if (null x) then y
+//!                                else cons (car x) (append (cdr x) y)
+//!            in append [1] [2]";
+//! let program = parse_program(src)?;
+//! let info = infer_program(&program)?;
+//! let mut ir = lower_program(&program, &info);
+//! let analysis = analyze_source(src)?;
+//! let name = reuse_variant(
+//!     &mut ir,
+//!     &analysis,
+//!     Symbol::intern("append"),
+//!     &ReuseOptions::dcons(),
+//! )?;
+//! assert_eq!(name.as_str(), "append_r");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod auto;
+pub mod block;
+pub mod error;
+pub mod ir;
+pub mod lastuse;
+pub mod pipeline;
+pub mod reuse;
+pub mod stack;
+
+pub use auto::{auto_reuse, default_reuse_param, AutoReuse};
+pub use block::{block_call, block_name, block_producer_variant};
+pub use error::OptError;
+pub use ir::{
+    lower_program, lower_program_with, walk_ir, AllocMode, IrExpr, IrFunc, IrProgram, LowerPlan,
+    RegionKind, SiteId,
+};
+pub use lastuse::{eligible_sites, occurs_under_lambda, select_sites, EligibleSite};
+pub use pipeline::{auto_block, optimize, OptOptions, OptSummary};
+pub use reuse::{reuse_name, reuse_variant, rewrite_calls, ReuseOptions};
+pub use stack::{annotate_stack, plan_stack_allocation};

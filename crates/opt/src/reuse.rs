@@ -1,0 +1,443 @@
+//! The in-place reuse transformation (paper §6, §A.3.2).
+//!
+//! Given global escape information saying that the top spine of a list
+//! parameter does not escape, and last-use information saying the
+//! parameter is dead after a `cons`, the transformation produces a new
+//! version `f_r` of `f` in which that `cons` destructively reuses the
+//! parameter's first spine cell:
+//!
+//! ```text
+//! APPEND' x y = if (null x) then y
+//!               else DCONS x (car x) (APPEND' (cdr x) y)
+//! ```
+//!
+//! Applying `f_r` is only safe when the actual argument's top spine is
+//! **unshared** — which the sharing analysis (Theorem 2) establishes for
+//! results of functions like `PS`; that obligation stays with the caller,
+//! exactly as in the paper.
+
+use crate::error::OptError;
+use crate::ir::{IrExpr, IrFunc, IrProgram, SiteId};
+use crate::lastuse::{eligible_sites, select_sites};
+use nml_escape::Analysis;
+use nml_syntax::Symbol;
+use std::collections::BTreeSet;
+
+/// Options controlling [`reuse_variant`].
+#[derive(Debug, Clone, Default)]
+pub struct ReuseOptions {
+    /// Which parameter (0-based) to reuse. `None` picks the first
+    /// eligible list parameter.
+    pub param: Option<usize>,
+    /// Additional call rewrites to apply inside the new body, e.g.
+    /// `append -> append_r` when building the paper's `PS'` whose
+    /// intermediate lists are known unshared. The self-recursion rewrite
+    /// `f -> f_r` is always applied.
+    pub extra_rewrites: Vec<(Symbol, Symbol)>,
+    /// If `false`, no `DCONS` is introduced — only the rewrites are
+    /// applied (the paper's `PS'`, which merely calls `APPEND'`).
+    pub dcons: bool,
+}
+
+impl ReuseOptions {
+    /// The default full transformation: auto-select a parameter and
+    /// introduce `DCONS`.
+    pub fn dcons() -> Self {
+        ReuseOptions {
+            dcons: true,
+            ..ReuseOptions::default()
+        }
+    }
+}
+
+/// The name used for the reuse variant of `name` (the paper writes
+/// `APPEND'`; apostrophes are not identifiers, so this is `append_r`).
+pub fn reuse_name(name: Symbol) -> Symbol {
+    Symbol::intern(&format!("{name}_r"))
+}
+
+/// Creates the in-place-reuse variant of top-level function `name`,
+/// appends it to `ir`, and returns its name.
+///
+/// # Errors
+///
+/// - [`OptError::UnknownFunction`] if `name` is not a top-level function;
+/// - [`OptError::NoEligibleParam`] if no (selected) parameter is a list
+///   whose top spine is retained per the analysis;
+/// - [`OptError::NoEligibleSite`] if `dcons` was requested but no `cons`
+///   satisfies the guardedness/last-use conditions.
+pub fn reuse_variant(
+    ir: &mut IrProgram,
+    analysis: &Analysis,
+    name: Symbol,
+    options: &ReuseOptions,
+) -> Result<Symbol, OptError> {
+    let func = ir
+        .func(name)
+        .filter(|f| f.is_function())
+        .ok_or_else(|| OptError::UnknownFunction {
+            name: name.to_string(),
+        })?
+        .clone();
+    let new_name = reuse_name(name);
+    if ir.func(new_name).is_some() {
+        return Ok(new_name); // already generated
+    }
+
+    let mut rewrites = vec![(name, new_name)];
+    rewrites.extend(options.extra_rewrites.iter().copied());
+
+    let mut body = func.body.clone();
+
+    if options.dcons {
+        let summary = analysis
+            .summaries
+            .get(&name)
+            .ok_or_else(|| OptError::UnknownFunction {
+                name: name.to_string(),
+            })?;
+        // Pick the reuse parameter.
+        let param_idx = match options.param {
+            Some(i) => {
+                let p = summary.params.get(i).ok_or(OptError::NoEligibleParam {
+                    name: name.to_string(),
+                })?;
+                if !(p.ty.is_list() && p.retained_spines() >= 1) {
+                    return Err(OptError::NoEligibleParam {
+                        name: name.to_string(),
+                    });
+                }
+                i
+            }
+            None => summary
+                .params
+                .iter()
+                .position(|p| p.ty.is_list() && p.retained_spines() >= 1)
+                .ok_or(OptError::NoEligibleParam {
+                    name: name.to_string(),
+                })?,
+        };
+        let x = func.params[param_idx];
+        let eligible = eligible_sites(&body, x);
+        let chosen = select_sites(&body, &eligible);
+        if chosen.is_empty() {
+            return Err(OptError::NoEligibleSite {
+                name: name.to_string(),
+            });
+        }
+        body = to_dcons(body, x, &chosen);
+    }
+
+    body = rewrite_calls(body, &rewrites);
+
+    ir.funcs.push(IrFunc {
+        name: new_name,
+        params: func.params,
+        body,
+    });
+    Ok(new_name)
+}
+
+/// Replaces the chosen `cons` sites by `DCONS x …`.
+fn to_dcons(e: IrExpr, x: Symbol, chosen: &BTreeSet<SiteId>) -> IrExpr {
+    match e {
+        IrExpr::Cons {
+            alloc,
+            head,
+            tail,
+            site,
+        } => {
+            let head = Box::new(to_dcons(*head, x, chosen));
+            let tail = Box::new(to_dcons(*tail, x, chosen));
+            if chosen.contains(&site) {
+                IrExpr::Dcons {
+                    reused: x,
+                    head,
+                    tail,
+                    site,
+                }
+            } else {
+                IrExpr::Cons {
+                    alloc,
+                    head,
+                    tail,
+                    site,
+                }
+            }
+        }
+        IrExpr::App(a, b) => IrExpr::App(
+            Box::new(to_dcons(*a, x, chosen)),
+            Box::new(to_dcons(*b, x, chosen)),
+        ),
+        IrExpr::Lambda { param, body, site } => IrExpr::Lambda {
+            param,
+            body: Box::new(to_dcons(*body, x, chosen)),
+            site,
+        },
+        IrExpr::If(c, t, f) => IrExpr::If(
+            Box::new(to_dcons(*c, x, chosen)),
+            Box::new(to_dcons(*t, x, chosen)),
+            Box::new(to_dcons(*f, x, chosen)),
+        ),
+        IrExpr::Letrec(bs, body) => IrExpr::Letrec(
+            bs.into_iter()
+                .map(|(n, e)| (n, to_dcons(e, x, chosen)))
+                .collect(),
+            Box::new(to_dcons(*body, x, chosen)),
+        ),
+        IrExpr::Dcons {
+            reused,
+            head,
+            tail,
+            site,
+        } => IrExpr::Dcons {
+            reused,
+            head: Box::new(to_dcons(*head, x, chosen)),
+            tail: Box::new(to_dcons(*tail, x, chosen)),
+            site,
+        },
+        IrExpr::Prim1(p, a) => IrExpr::Prim1(p, Box::new(to_dcons(*a, x, chosen))),
+        IrExpr::Prim2(p, a, b) => IrExpr::Prim2(
+            p,
+            Box::new(to_dcons(*a, x, chosen)),
+            Box::new(to_dcons(*b, x, chosen)),
+        ),
+        IrExpr::Region { kind, inner, site } => IrExpr::Region {
+            kind,
+            inner: Box::new(to_dcons(*inner, x, chosen)),
+            site,
+        },
+        other @ (IrExpr::Const(_) | IrExpr::Var(_)) => other,
+    }
+}
+
+/// Renames free variable references per `rewrites` (used to redirect
+/// recursive and helper calls into the optimized variants). Respects
+/// shadowing by lambda parameters and `letrec` binders.
+pub fn rewrite_calls(e: IrExpr, rewrites: &[(Symbol, Symbol)]) -> IrExpr {
+    fn go(e: IrExpr, rw: &[(Symbol, Symbol)], bound: &mut Vec<Symbol>) -> IrExpr {
+        match e {
+            IrExpr::Var(x) => {
+                if !bound.contains(&x) {
+                    if let Some((_, to)) = rw.iter().find(|(from, _)| *from == x) {
+                        return IrExpr::Var(*to);
+                    }
+                }
+                IrExpr::Var(x)
+            }
+            IrExpr::Const(c) => IrExpr::Const(c),
+            IrExpr::App(a, b) => IrExpr::App(
+                Box::new(go(*a, rw, bound)),
+                Box::new(go(*b, rw, bound)),
+            ),
+            IrExpr::Lambda { param, body, site } => {
+                bound.push(param);
+                let body = Box::new(go(*body, rw, bound));
+                bound.pop();
+                IrExpr::Lambda { param, body, site }
+            }
+            IrExpr::If(c, t, f) => IrExpr::If(
+                Box::new(go(*c, rw, bound)),
+                Box::new(go(*t, rw, bound)),
+                Box::new(go(*f, rw, bound)),
+            ),
+            IrExpr::Letrec(bs, body) => {
+                let names: Vec<Symbol> = bs.iter().map(|(n, _)| *n).collect();
+                bound.extend(names.iter().copied());
+                let bs = bs
+                    .into_iter()
+                    .map(|(n, e)| (n, go(e, rw, bound)))
+                    .collect();
+                let body = Box::new(go(*body, rw, bound));
+                bound.truncate(bound.len() - names.len());
+                IrExpr::Letrec(bs, body)
+            }
+            IrExpr::Cons {
+                alloc,
+                head,
+                tail,
+                site,
+            } => IrExpr::Cons {
+                alloc,
+                head: Box::new(go(*head, rw, bound)),
+                tail: Box::new(go(*tail, rw, bound)),
+                site,
+            },
+            IrExpr::Dcons {
+                reused,
+                head,
+                tail,
+                site,
+            } => IrExpr::Dcons {
+                reused,
+                head: Box::new(go(*head, rw, bound)),
+                tail: Box::new(go(*tail, rw, bound)),
+                site,
+            },
+            IrExpr::Prim1(p, a) => IrExpr::Prim1(p, Box::new(go(*a, rw, bound))),
+            IrExpr::Prim2(p, a, b) => IrExpr::Prim2(
+                p,
+                Box::new(go(*a, rw, bound)),
+                Box::new(go(*b, rw, bound)),
+            ),
+            IrExpr::Region { kind, inner, site } => IrExpr::Region {
+                kind,
+                inner: Box::new(go(*inner, rw, bound)),
+                site,
+            },
+        }
+    }
+    go(e, rewrites, &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower_program;
+    use nml_escape::analyze_source;
+    use nml_syntax::parse_program;
+    use nml_types::infer_program;
+
+    const APPEND_SRC: &str = "letrec append x y = if (null x) then y
+                                                  else cons (car x) (append (cdr x) y)
+                              in append [1] [2]";
+
+    fn prep(src: &str) -> (IrProgram, Analysis) {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let ir = lower_program(&p, &info);
+        let analysis = analyze_source(src).expect("analysis");
+        (ir, analysis)
+    }
+
+    #[test]
+    fn append_prime_matches_paper() {
+        let (mut ir, analysis) = prep(APPEND_SRC);
+        let new =
+            reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
+                .expect("transform");
+        assert_eq!(new.as_str(), "append_r");
+        let f = ir.func(new).expect("variant exists");
+        let text = f.body.to_string();
+        // APPEND' x y = if (null x) then y else DCONS x (car x) (APPEND' (cdr x) y)
+        assert!(
+            text.contains("(DCONS x (car x) ((append_r (cdr x)) y))"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn rev_prime_matches_paper() {
+        let src = "letrec append x y = if (null x) then y
+                                       else cons (car x) (append (cdr x) y);
+                          rev l = if (null l) then nil
+                                  else append (rev (cdr l)) (cons (car l) nil)
+                   in rev [1, 2]";
+        let (mut ir, analysis) = prep(src);
+        let append_r =
+            reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
+                .unwrap();
+        let rev_r = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("rev"),
+            &ReuseOptions {
+                extra_rewrites: vec![(Symbol::intern("append"), append_r)],
+                dcons: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let text = ir.func(rev_r).unwrap().body.to_string();
+        // REV' l = if (null l) then nil
+        //          else APPEND' (REV' (cdr l)) (DCONS l (car l) nil)
+        assert!(
+            text.contains("((append_r (rev_r (cdr l))) (DCONS l (car l) nil))"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn ps_prime_without_dcons_only_rewrites() {
+        let src = "letrec append x y = if (null x) then y
+                                       else cons (car x) (append (cdr x) y);
+                          ps x = if (null x) then nil
+                                 else append (ps (cdr x)) (cons (car x) nil)
+                   in ps [2, 1]";
+        let (mut ir, analysis) = prep(src);
+        let append_r =
+            reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
+                .unwrap();
+        let ps_r = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("ps"),
+            &ReuseOptions {
+                extra_rewrites: vec![(Symbol::intern("append"), append_r)],
+                dcons: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let text = ir.func(ps_r).unwrap().body.to_string();
+        assert!(text.contains("append_r"), "{text}");
+        assert!(!text.contains("DCONS"), "PS' introduces no DCONS: {text}");
+        assert!(text.contains("ps_r (cdr x)"), "recursion redirected: {text}");
+    }
+
+    #[test]
+    fn ineligible_parameter_is_rejected() {
+        // sum's parameter does not escape but IS eligible (list, retained).
+        // A non-list parameter must be rejected.
+        let (mut ir, analysis) = prep("letrec inc x = x + 1 in inc 1");
+        let err = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("inc"),
+            &ReuseOptions::dcons(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptError::NoEligibleParam { .. }));
+    }
+
+    #[test]
+    fn escaping_spine_is_rejected() {
+        // id returns its whole argument: top spine escapes, no reuse.
+        let (mut ir, analysis) = prep("letrec idl l = cons (car l) (cdr l) in idl [1]");
+        let err = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("idl"),
+            &ReuseOptions::dcons(),
+        )
+        .unwrap_err();
+        // The whole spine of l escapes (cdr l is the result tail):
+        // retained = 0.
+        assert!(matches!(err, OptError::NoEligibleParam { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let (mut ir, analysis) = prep(APPEND_SRC);
+        let err = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("nope"),
+            &ReuseOptions::dcons(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptError::UnknownFunction { .. }));
+    }
+
+    #[test]
+    fn idempotent_generation() {
+        let (mut ir, analysis) = prep(APPEND_SRC);
+        let a = reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
+            .unwrap();
+        let n = ir.funcs.len();
+        let b = reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ir.funcs.len(), n, "no duplicate variant");
+    }
+}

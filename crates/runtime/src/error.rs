@@ -1,0 +1,85 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// A failure during program execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Unbound identifier at run time (should be prevented by type
+    /// checking; reachable when executing hand-built IR).
+    Unbound {
+        /// The identifier.
+        name: String,
+    },
+    /// A value of the wrong kind reached a primitive or application.
+    TypeMismatch {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What it got.
+        found: &'static str,
+        /// The operation.
+        op: &'static str,
+    },
+    /// `car`/`cdr` of the empty list.
+    EmptyList {
+        /// The operation.
+        op: &'static str,
+    },
+    /// Integer division by zero.
+    DivisionByZero,
+    /// `DCONS` applied to a variable not bound to a cons cell.
+    DconsOnNonPair {
+        /// Kind of the value found.
+        found: &'static str,
+    },
+    /// A reclaimed cell was read — an unsound storage annotation freed a
+    /// reachable cell. (The escape analysis guarantees this never happens
+    /// for annotations it licensed; this error existing is what makes the
+    /// soundness tests meaningful.)
+    UseAfterFree {
+        /// The cell index.
+        cell: u32,
+    },
+    /// Regions were popped out of order (an interpreter bug).
+    RegionMismatch,
+    /// The configured step budget was exhausted (runaway recursion).
+    StepLimitExceeded {
+        /// The budget.
+        limit: u64,
+    },
+    /// Region validation found a live cell escaping its region.
+    EscapedRegionCell {
+        /// The cell index.
+        cell: u32,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Unbound { name } => write!(f, "unbound identifier `{name}`"),
+            RuntimeError::TypeMismatch {
+                expected,
+                found,
+                op,
+            } => write!(f, "{op}: expected {expected}, found {found}"),
+            RuntimeError::EmptyList { op } => write!(f, "{op} of empty list"),
+            RuntimeError::DivisionByZero => f.write_str("division by zero"),
+            RuntimeError::DconsOnNonPair { found } => {
+                write!(f, "DCONS target must be a cons cell, found {found}")
+            }
+            RuntimeError::UseAfterFree { cell } => {
+                write!(f, "use of reclaimed cell #{cell}")
+            }
+            RuntimeError::RegionMismatch => f.write_str("regions popped out of order"),
+            RuntimeError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} exceeded")
+            }
+            RuntimeError::EscapedRegionCell { cell } => {
+                write!(f, "cell #{cell} escaped its region (unsound annotation)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,474 @@
+//! The instrumented cons heap: free list, stack/block regions, and
+//! provenance tags.
+//!
+//! This is the storage substrate the paper's optimizations act on. Every
+//! cell records which (if any) region it was allocated into; regions are
+//! a stack of dynamic extents pushed/popped by the interpreter. The
+//! garbage collector ([`crate::gc`]) reclaims unmarked heap cells;
+//! region cells are reclaimed wholesale at region exit instead.
+
+use crate::error::RuntimeError;
+use crate::stats::RuntimeStats;
+use crate::value::Value;
+use nml_opt::{AllocMode, RegionKind, SiteId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reference to a cell in the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellRef(pub u32);
+
+impl fmt::Display for CellRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// Provenance tag for the dynamic (exact) escape semantics: which
+/// interesting argument the cell belongs to and which spine (counted from
+/// the bottom, as in the paper's `⟨1,i⟩`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvTag {
+    /// 0-based argument index.
+    pub arg: u8,
+    /// Spine level, counted from the bottom (top spine of an `s`-spine
+    /// list has level `s`).
+    pub level: u8,
+}
+
+/// An identifier of an active region (index in the region stack plus a
+/// generation to catch mismatched pops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionId(pub u64);
+
+#[derive(Debug)]
+struct Cell<'p> {
+    car: Value<'p>,
+    cdr: Value<'p>,
+    tag: Option<ProvTag>,
+    live: bool,
+    /// Generation id of the region the cell was allocated into.
+    region: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Region {
+    id: u64,
+    kind: RegionKind,
+    cells: Vec<u32>,
+}
+
+/// Heap configuration.
+#[derive(Debug, Clone)]
+pub struct HeapConfig {
+    /// Run the garbage collector when live heap cells exceed this count
+    /// (the threshold grows if the heap stays mostly live).
+    pub gc_threshold: usize,
+    /// Disable GC entirely (pure allocation counting).
+    pub gc_enabled: bool,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            gc_threshold: 4096,
+            gc_enabled: true,
+        }
+    }
+}
+
+/// The instrumented cons heap.
+#[derive(Debug)]
+pub struct Heap<'p> {
+    cells: Vec<Cell<'p>>,
+    free: Vec<u32>,
+    regions: Vec<Region>,
+    next_region_id: u64,
+    live: u64,
+    threshold: usize,
+    config: HeapConfig,
+    /// Instrumentation counters (shared with the interpreter).
+    pub stats: RuntimeStats,
+    /// Per-allocation-site counters (cells allocated by each `cons`
+    /// site), for hot-site profiling.
+    site_allocs: HashMap<SiteId, u64>,
+    /// Per-site `DCONS` reuse counters.
+    site_reuses: HashMap<SiteId, u64>,
+}
+
+impl<'p> Heap<'p> {
+    /// Creates an empty heap.
+    pub fn new(config: HeapConfig) -> Self {
+        let threshold = config.gc_threshold;
+        Heap {
+            cells: Vec::new(),
+            free: Vec::new(),
+            regions: Vec::new(),
+            next_region_id: 0,
+            live: 0,
+            threshold,
+            config,
+            stats: RuntimeStats::default(),
+            site_allocs: HashMap::new(),
+            site_reuses: HashMap::new(),
+        }
+    }
+
+    /// Number of live cells.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Total cells ever created (heap footprint).
+    pub fn footprint(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the interpreter should run a GC before the next heap
+    /// allocation.
+    pub fn should_collect(&self) -> bool {
+        self.config.gc_enabled && self.live as usize >= self.threshold && self.free.is_empty()
+    }
+
+    /// Allocates a cell. Stack/block modes allocate into the innermost
+    /// region of the matching kind, falling back to the heap (with a
+    /// statistic) when no such region is active.
+    pub fn alloc(&mut self, car: Value<'p>, cdr: Value<'p>, mode: AllocMode) -> CellRef {
+        self.alloc_at(car, cdr, mode, None)
+    }
+
+    /// [`Heap::alloc`] with allocation-site attribution.
+    pub fn alloc_at(
+        &mut self,
+        car: Value<'p>,
+        cdr: Value<'p>,
+        mode: AllocMode,
+        site: Option<SiteId>,
+    ) -> CellRef {
+        if let Some(site) = site {
+            *self.site_allocs.entry(site).or_default() += 1;
+        }
+        let wanted = match mode {
+            AllocMode::Heap => None,
+            AllocMode::Stack => Some(RegionKind::Stack),
+            AllocMode::Block => Some(RegionKind::Block),
+        };
+        let region_idx = wanted.and_then(|k| {
+            let idx = self.regions.iter().rposition(|r| r.kind == k);
+            if idx.is_none() {
+                self.stats.region_fallbacks += 1;
+            }
+            idx
+        });
+        match (mode, region_idx.is_some()) {
+            (AllocMode::Heap, _) => self.stats.heap_allocs += 1,
+            (AllocMode::Stack, true) => self.stats.stack_allocs += 1,
+            (AllocMode::Block, true) => self.stats.block_allocs += 1,
+            (_, false) => self.stats.heap_allocs += 1,
+        }
+        let region_gen = region_idx.map(|i| self.regions[i].id);
+        let cell = Cell {
+            car,
+            cdr,
+            tag: None,
+            live: true,
+            region: region_gen,
+        };
+        let idx = if let Some(i) = self.free.pop() {
+            self.stats.freelist_reuses += 1;
+            self.cells[i as usize] = cell;
+            i
+        } else {
+            self.cells.push(cell);
+            (self.cells.len() - 1) as u32
+        };
+        if let Some(r) = region_idx {
+            self.regions[r].cells.push(idx);
+        }
+        self.live += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.live);
+        CellRef(idx)
+    }
+
+    fn cell(&self, r: CellRef) -> Result<&Cell<'p>, RuntimeError> {
+        let c = self
+            .cells
+            .get(r.0 as usize)
+            .ok_or(RuntimeError::UseAfterFree { cell: r.0 })?;
+        if !c.live {
+            return Err(RuntimeError::UseAfterFree { cell: r.0 });
+        }
+        Ok(c)
+    }
+
+    /// Records a `DCONS` reuse at `site`.
+    pub fn record_reuse(&mut self, site: SiteId) {
+        *self.site_reuses.entry(site).or_default() += 1;
+    }
+
+    /// The allocation sites ranked by cell count, hottest first.
+    pub fn hot_sites(&self) -> Vec<(SiteId, u64)> {
+        let mut v: Vec<(SiteId, u64)> = self.site_allocs.iter().map(|(&s, &n)| (s, n)).collect();
+        v.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s));
+        v
+    }
+
+    /// Per-site `DCONS` reuse counts, hottest first.
+    pub fn hot_reuse_sites(&self) -> Vec<(SiteId, u64)> {
+        let mut v: Vec<(SiteId, u64)> = self.site_reuses.iter().map(|(&s, &n)| (s, n)).collect();
+        v.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s));
+        v
+    }
+
+    /// The head of a cell.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UseAfterFree`] if the cell has been reclaimed —
+    /// which can only happen if an *unsound* storage annotation freed a
+    /// cell that was still reachable.
+    pub fn car(&self, r: CellRef) -> Result<Value<'p>, RuntimeError> {
+        Ok(self.cell(r)?.car.clone())
+    }
+
+    /// The tail of a cell (same errors as [`Heap::car`]).
+    pub fn cdr(&self, r: CellRef) -> Result<Value<'p>, RuntimeError> {
+        Ok(self.cell(r)?.cdr.clone())
+    }
+
+    /// Overwrites a cell in place (`DCONS`).
+    pub fn set(&mut self, r: CellRef, car: Value<'p>, cdr: Value<'p>) -> Result<(), RuntimeError> {
+        self.cell(r)?; // liveness check
+        let c = &mut self.cells[r.0 as usize];
+        c.car = car;
+        c.cdr = cdr;
+        Ok(())
+    }
+
+    /// The provenance tag of a cell, if any.
+    pub fn tag(&self, r: CellRef) -> Result<Option<ProvTag>, RuntimeError> {
+        Ok(self.cell(r)?.tag)
+    }
+
+    /// Sets the provenance tag of a cell.
+    pub fn set_tag(&mut self, r: CellRef, tag: ProvTag) -> Result<(), RuntimeError> {
+        self.cell(r)?;
+        self.cells[r.0 as usize].tag = Some(tag);
+        Ok(())
+    }
+
+    /// Pushes a new region of the given kind.
+    pub fn push_region(&mut self, kind: RegionKind) -> RegionId {
+        let id = self.next_region_id;
+        self.next_region_id += 1;
+        self.regions.push(Region {
+            id,
+            kind,
+            cells: Vec::new(),
+        });
+        RegionId(id)
+    }
+
+    /// Pops the innermost region, freeing all its cells.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::RegionMismatch`] if `id` is not the innermost
+    /// region (regions are strictly nested).
+    pub fn pop_region(&mut self, id: RegionId) -> Result<(), RuntimeError> {
+        match self.regions.last() {
+            Some(r) if r.id == id.0 => {}
+            _ => return Err(RuntimeError::RegionMismatch),
+        }
+        let region = self.regions.pop().expect("checked above");
+        let n = region.cells.len() as u64;
+        for idx in region.cells {
+            if self.cells[idx as usize].live {
+                self.cells[idx as usize].live = false;
+                self.cells[idx as usize].region = None;
+                self.free.push(idx);
+                self.live -= 1;
+            }
+        }
+        match region.kind {
+            RegionKind::Stack => self.stats.stack_freed += n,
+            RegionKind::Block => {
+                self.stats.block_freed += n;
+                self.stats.block_frees += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The cells currently belonging to the innermost region (for
+    /// validation before popping).
+    pub fn innermost_region_cells(&self) -> &[u32] {
+        self.regions
+            .last()
+            .map(|r| r.cells.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether any region is active.
+    pub fn in_region(&self) -> bool {
+        !self.regions.is_empty()
+    }
+
+    /// Sweeps every unmarked, region-free heap cell onto the free list.
+    /// `marked[i]` must be the result of a full mark phase over all roots.
+    /// Region cells are skipped: they are reclaimed at region exit.
+    pub fn sweep(&mut self, marked: &[bool]) {
+        self.stats.gc_runs += 1;
+        self.stats.gc_marked += marked.iter().filter(|&&m| m).count() as u64;
+        self.stats.gc_sweep_visits += self.cells.len() as u64;
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            if cell.live && cell.region.is_none() && !marked[i] {
+                cell.live = false;
+                // Drop payload now so Rc-closures release promptly.
+                cell.car = Value::Nil;
+                cell.cdr = Value::Nil;
+                cell.tag = None;
+                self.free.push(i as u32);
+                self.live -= 1;
+                self.stats.gc_swept += 1;
+            }
+        }
+        // If the heap is still mostly live, raise the threshold so we do
+        // not thrash.
+        if self.live as usize * 2 > self.threshold {
+            self.threshold *= 2;
+        }
+    }
+
+    /// Number of cells in the backing store (for building mark bitmaps).
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the cell is live (test/validation helper).
+    pub fn is_live(&self, r: CellRef) -> bool {
+        self.cells
+            .get(r.0 as usize)
+            .map(|c| c.live)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap<'p>() -> Heap<'p> {
+        Heap::new(HeapConfig::default())
+    }
+
+    #[test]
+    fn alloc_and_read() {
+        let mut h = heap();
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        assert!(matches!(h.car(c), Ok(Value::Int(1))));
+        assert!(matches!(h.cdr(c), Ok(Value::Nil)));
+        assert_eq!(h.stats.heap_allocs, 1);
+        assert_eq!(h.live(), 1);
+    }
+
+    #[test]
+    fn dcons_set_overwrites() {
+        let mut h = heap();
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        h.set(c, Value::Int(9), Value::Pair(c)).unwrap();
+        assert!(matches!(h.car(c), Ok(Value::Int(9))));
+    }
+
+    #[test]
+    fn stack_region_frees_on_pop() {
+        let mut h = heap();
+        let r = h.push_region(RegionKind::Stack);
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Stack);
+        assert_eq!(h.stats.stack_allocs, 1);
+        h.pop_region(r).unwrap();
+        assert_eq!(h.stats.stack_freed, 1);
+        assert_eq!(h.live(), 0);
+        assert!(matches!(
+            h.car(c),
+            Err(RuntimeError::UseAfterFree { .. })
+        ));
+    }
+
+    #[test]
+    fn block_region_counts_splices() {
+        let mut h = heap();
+        let r = h.push_region(RegionKind::Block);
+        h.alloc(Value::Int(1), Value::Nil, AllocMode::Block);
+        h.alloc(Value::Int(2), Value::Nil, AllocMode::Block);
+        h.pop_region(r).unwrap();
+        assert_eq!(h.stats.block_freed, 2);
+        assert_eq!(h.stats.block_frees, 1);
+    }
+
+    #[test]
+    fn stack_alloc_without_region_falls_back() {
+        let mut h = heap();
+        h.alloc(Value::Int(1), Value::Nil, AllocMode::Stack);
+        assert_eq!(h.stats.region_fallbacks, 1);
+        assert_eq!(h.stats.heap_allocs, 1);
+        assert_eq!(h.stats.stack_allocs, 0);
+    }
+
+    #[test]
+    fn nested_regions_pop_in_order() {
+        let mut h = heap();
+        let outer = h.push_region(RegionKind::Stack);
+        let inner = h.push_region(RegionKind::Block);
+        assert!(matches!(
+            h.pop_region(outer),
+            Err(RuntimeError::RegionMismatch)
+        ));
+        h.pop_region(inner).unwrap();
+        h.pop_region(outer).unwrap();
+    }
+
+    #[test]
+    fn freelist_reuse_after_sweep() {
+        let mut h = heap();
+        h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        let marked = vec![false; h.capacity()];
+        h.sweep(&marked);
+        assert_eq!(h.stats.gc_swept, 1);
+        h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        assert_eq!(h.stats.freelist_reuses, 1);
+        assert_eq!(h.footprint(), 1, "cell was reused, not grown");
+    }
+
+    #[test]
+    fn sweep_skips_region_cells() {
+        let mut h = heap();
+        let r = h.push_region(RegionKind::Stack);
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Stack);
+        let marked = vec![false; h.capacity()];
+        h.sweep(&marked);
+        assert!(h.is_live(c), "region cells are not GC-swept");
+        h.pop_region(r).unwrap();
+        assert!(!h.is_live(c));
+    }
+
+    #[test]
+    fn provenance_tags_roundtrip() {
+        let mut h = heap();
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        assert_eq!(h.tag(c).unwrap(), None);
+        h.set_tag(c, ProvTag { arg: 0, level: 1 }).unwrap();
+        assert_eq!(h.tag(c).unwrap(), Some(ProvTag { arg: 0, level: 1 }));
+    }
+
+    #[test]
+    fn peak_live_tracks_maximum() {
+        let mut h = heap();
+        let r = h.push_region(RegionKind::Stack);
+        h.alloc(Value::Int(1), Value::Nil, AllocMode::Stack);
+        h.alloc(Value::Int(2), Value::Nil, AllocMode::Stack);
+        h.pop_region(r).unwrap();
+        h.alloc(Value::Int(3), Value::Nil, AllocMode::Heap);
+        assert_eq!(h.stats.peak_live, 2);
+    }
+}

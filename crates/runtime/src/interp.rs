@@ -1,0 +1,1022 @@
+//! The nml abstract machine: an explicit-stack (CEK-style) interpreter
+//! over the storage-annotated IR.
+//!
+//! Keeping control, environment, and continuation in explicit structures
+//! gives the garbage collector an exact root set and makes region
+//! validation possible: before a region pops, a full mark from the
+//! machine state can prove no region cell is still reachable — turning
+//! the paper's safety argument into an executable check.
+
+use crate::error::RuntimeError;
+use crate::gc::mark;
+use crate::heap::{CellRef, Heap, HeapConfig, RegionId};
+use crate::value::{Closure, Env, Value};
+use nml_opt::{AllocMode, IrExpr, IrProgram, SiteId};
+use nml_syntax::{Const, Prim, Symbol};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Heap/GC settings.
+    pub heap: HeapConfig,
+    /// Abort after this many machine steps (runaway-recursion guard).
+    pub step_limit: u64,
+    /// Before each region pop, prove (by a full mark) that no region cell
+    /// is still reachable; error out otherwise. Slow — for tests.
+    pub validate_regions: bool,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            heap: HeapConfig::default(),
+            step_limit: 200_000_000,
+            validate_regions: false,
+        }
+    }
+}
+
+/// Continuation frames.
+enum Frame<'p> {
+    /// Have the callee expression's value next; then evaluate `arg`.
+    App1 { arg: &'p IrExpr, env: Env<'p> },
+    /// Have the argument's value next; then apply `fun`.
+    App2 { fun: Value<'p> },
+    If {
+        then_e: &'p IrExpr,
+        else_e: &'p IrExpr,
+        env: Env<'p>,
+    },
+    Cons1 {
+        tail: &'p IrExpr,
+        env: Env<'p>,
+        alloc: AllocMode,
+        site: SiteId,
+    },
+    Cons2 {
+        head: Value<'p>,
+        alloc: AllocMode,
+        site: SiteId,
+    },
+    Dcons1 {
+        tail: &'p IrExpr,
+        env: Env<'p>,
+        cell: CellRef,
+        site: SiteId,
+    },
+    Dcons2 {
+        head: Value<'p>,
+        cell: CellRef,
+        site: SiteId,
+    },
+    Prim1 { prim: Prim },
+    Prim2a {
+        prim: Prim,
+        rhs: &'p IrExpr,
+        env: Env<'p>,
+    },
+    Prim2b { prim: Prim, lhs: Value<'p> },
+    /// Sequential evaluation of a `letrec`'s non-lambda bindings.
+    Letrec {
+        bindings: Vec<(Symbol, &'p IrExpr)>,
+        idx: usize,
+        body: &'p IrExpr,
+        env: Env<'p>,
+    },
+    PopRegion { id: RegionId },
+}
+
+enum Ctrl<'p> {
+    Eval(&'p IrExpr, Env<'p>),
+    Ret(Value<'p>),
+}
+
+/// The instrumented interpreter for one IR program.
+pub struct Interp<'p> {
+    program: &'p IrProgram,
+    /// The instrumented heap (public for inspection in tests/benches).
+    pub heap: Heap<'p>,
+    globals: HashMap<Symbol, Value<'p>>,
+    config: InterpConfig,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter and evaluates the program's top-level
+    /// *value* bindings (non-function `letrec` bindings), in order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised while evaluating a value binding.
+    pub fn new(program: &'p IrProgram) -> Result<Self, RuntimeError> {
+        Interp::with_config(program, InterpConfig::default())
+    }
+
+    /// Creates an interpreter with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Interp::new`].
+    pub fn with_config(program: &'p IrProgram, config: InterpConfig) -> Result<Self, RuntimeError> {
+        let mut interp = Interp {
+            program,
+            heap: Heap::new(config.heap.clone()),
+            globals: HashMap::new(),
+            config,
+        };
+        for f in &program.funcs {
+            if !f.is_function() {
+                let v = interp.eval(&f.body, Env::empty())?;
+                interp.globals.insert(f.name, v);
+            }
+        }
+        Ok(interp)
+    }
+
+    /// Runs the program body to a value.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised during evaluation.
+    pub fn run(&mut self) -> Result<Value<'p>, RuntimeError> {
+        self.eval(&self.program.body, Env::empty())
+    }
+
+    /// Calls top-level function `name` with exactly its arity in `args`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unbound`] for unknown names, a
+    /// [`RuntimeError::TypeMismatch`] for arity mismatch, and any error
+    /// raised by the body.
+    pub fn call(&mut self, name: Symbol, args: Vec<Value<'p>>) -> Result<Value<'p>, RuntimeError> {
+        let func = self
+            .program
+            .func(name)
+            .filter(|f| f.is_function())
+            .ok_or_else(|| RuntimeError::Unbound {
+                name: name.to_string(),
+            })?;
+        if func.params.len() != args.len() {
+            return Err(RuntimeError::TypeMismatch {
+                expected: "full application",
+                found: "wrong arity",
+                op: "call",
+            });
+        }
+        let mut env = Env::empty();
+        for (p, a) in func.params.iter().zip(args) {
+            env = env.bind(*p, a);
+        }
+        self.eval(&func.body, env)
+    }
+
+    /// Looks up a variable: lexical environment, then globals, then
+    /// top-level functions.
+    fn lookup(&self, name: Symbol, env: &Env<'p>) -> Result<Value<'p>, RuntimeError> {
+        if let Some(v) = env.lookup(name) {
+            return Ok(v);
+        }
+        if let Some(v) = self.globals.get(&name) {
+            return Ok(v.clone());
+        }
+        if let Some(func) = self.program.func(name).filter(|f| f.is_function()) {
+            return Ok(Value::Func {
+                func,
+                applied: Rc::new(Vec::new()),
+            });
+        }
+        Err(RuntimeError::Unbound {
+            name: name.to_string(),
+        })
+    }
+
+    /// The machine loop.
+    fn eval(&mut self, expr: &'p IrExpr, env: Env<'p>) -> Result<Value<'p>, RuntimeError> {
+        let mut ctrl = Ctrl::Eval(expr, env);
+        let mut stack: Vec<Frame<'p>> = Vec::new();
+        loop {
+            self.heap.stats.steps += 1;
+            if self.heap.stats.steps > self.config.step_limit {
+                return Err(RuntimeError::StepLimitExceeded {
+                    limit: self.config.step_limit,
+                });
+            }
+            if self.heap.should_collect() {
+                self.collect(&ctrl, &stack);
+            }
+            ctrl = match ctrl {
+                Ctrl::Eval(e, env) => self.step_eval(e, env, &mut stack)?,
+                Ctrl::Ret(v) => match stack.pop() {
+                    None => return Ok(v),
+                    Some(frame) => self.step_ret(v, frame, &mut stack)?,
+                },
+            };
+        }
+    }
+
+    fn step_eval(
+        &mut self,
+        e: &'p IrExpr,
+        env: Env<'p>,
+        stack: &mut Vec<Frame<'p>>,
+    ) -> Result<Ctrl<'p>, RuntimeError> {
+        Ok(match e {
+            IrExpr::Const(c) => Ctrl::Ret(match c {
+                Const::Int(n) => Value::Int(*n),
+                Const::Bool(b) => Value::Bool(*b),
+                Const::Nil => Value::Nil,
+                Const::Prim(p) => Value::Prim {
+                    prim: *p,
+                    first: None,
+                },
+            }),
+            IrExpr::Var(x) => Ctrl::Ret(self.lookup(*x, &env)?),
+            IrExpr::App(f, a) => {
+                stack.push(Frame::App1 {
+                    arg: a,
+                    env: env.clone(),
+                });
+                Ctrl::Eval(f, env)
+            }
+            IrExpr::Lambda { param, body, .. } => Ctrl::Ret(Value::Closure(Rc::new(Closure {
+                param: *param,
+                body,
+                env,
+            }))),
+            IrExpr::If(c, t, f) => {
+                stack.push(Frame::If {
+                    then_e: t,
+                    else_e: f,
+                    env: env.clone(),
+                });
+                Ctrl::Eval(c, env)
+            }
+            IrExpr::Letrec(bs, body) => {
+                let mut lambdas = Vec::new();
+                let mut values = Vec::new();
+                for (name, be) in bs {
+                    if let IrExpr::Lambda { param, body, .. } = be {
+                        lambdas.push((*name, *param, body.as_ref()));
+                    } else {
+                        values.push((*name, be));
+                    }
+                }
+                let env2 = if lambdas.is_empty() {
+                    env
+                } else {
+                    env.bind_rec(Rc::new(lambdas))
+                };
+                if values.is_empty() {
+                    Ctrl::Eval(body, env2)
+                } else {
+                    let first = values[0].1;
+                    stack.push(Frame::Letrec {
+                        bindings: values,
+                        idx: 0,
+                        body,
+                        env: env2.clone(),
+                    });
+                    Ctrl::Eval(first, env2)
+                }
+            }
+            IrExpr::Cons {
+                alloc,
+                head,
+                tail,
+                site,
+            } => {
+                stack.push(Frame::Cons1 {
+                    tail,
+                    env: env.clone(),
+                    alloc: *alloc,
+                    site: *site,
+                });
+                Ctrl::Eval(head, env)
+            }
+            IrExpr::Dcons {
+                reused,
+                head,
+                tail,
+                site,
+            } => {
+                let target = self.lookup(*reused, &env)?;
+                let cell = match target {
+                    Value::Pair(c) => c,
+                    other => {
+                        return Err(RuntimeError::DconsOnNonPair {
+                            found: other.kind(),
+                        })
+                    }
+                };
+                stack.push(Frame::Dcons1 {
+                    tail,
+                    env: env.clone(),
+                    cell,
+                    site: *site,
+                });
+                Ctrl::Eval(head, env)
+            }
+            IrExpr::Prim1(p, a) => {
+                stack.push(Frame::Prim1 { prim: *p });
+                Ctrl::Eval(a, env)
+            }
+            IrExpr::Prim2(p, a, b) => {
+                stack.push(Frame::Prim2a {
+                    prim: *p,
+                    rhs: b,
+                    env: env.clone(),
+                });
+                Ctrl::Eval(a, env)
+            }
+            IrExpr::Region { kind, inner, .. } => {
+                let id = self.heap.push_region(*kind);
+                stack.push(Frame::PopRegion { id });
+                Ctrl::Eval(inner, env)
+            }
+        })
+    }
+
+    fn step_ret(
+        &mut self,
+        v: Value<'p>,
+        frame: Frame<'p>,
+        stack: &mut Vec<Frame<'p>>,
+    ) -> Result<Ctrl<'p>, RuntimeError> {
+        Ok(match frame {
+            Frame::App1 { arg, env } => {
+                stack.push(Frame::App2 { fun: v });
+                Ctrl::Eval(arg, env)
+            }
+            Frame::App2 { fun } => self.apply(fun, v)?,
+            Frame::If {
+                then_e,
+                else_e,
+                env,
+            } => match v {
+                Value::Bool(true) => Ctrl::Eval(then_e, env),
+                Value::Bool(false) => Ctrl::Eval(else_e, env),
+                other => {
+                    return Err(RuntimeError::TypeMismatch {
+                        expected: "bool",
+                        found: other.kind(),
+                        op: "if",
+                    })
+                }
+            },
+            Frame::Cons1 {
+                tail,
+                env,
+                alloc,
+                site,
+            } => {
+                stack.push(Frame::Cons2 {
+                    head: v,
+                    alloc,
+                    site,
+                });
+                Ctrl::Eval(tail, env)
+            }
+            Frame::Cons2 { head, alloc, site } => {
+                let cell = self.heap.alloc_at(head, v, alloc, Some(site));
+                Ctrl::Ret(Value::Pair(cell))
+            }
+            Frame::Dcons1 {
+                tail,
+                env,
+                cell,
+                site,
+            } => {
+                stack.push(Frame::Dcons2 {
+                    head: v,
+                    cell,
+                    site,
+                });
+                Ctrl::Eval(tail, env)
+            }
+            Frame::Dcons2 { head, cell, site } => {
+                self.heap.set(cell, head, v)?;
+                self.heap.stats.dcons_reuses += 1;
+                self.heap.record_reuse(site);
+                Ctrl::Ret(Value::Pair(cell))
+            }
+            Frame::Prim1 { prim } => Ctrl::Ret(self.prim1(prim, v)?),
+            Frame::Prim2a { prim, rhs, env } => {
+                stack.push(Frame::Prim2b { prim, lhs: v });
+                Ctrl::Eval(rhs, env)
+            }
+            Frame::Prim2b { prim, lhs } => Ctrl::Ret(self.prim2(prim, lhs, v)?),
+            Frame::Letrec {
+                bindings,
+                idx,
+                body,
+                env,
+            } => {
+                let (name, _) = bindings[idx];
+                let env2 = env.bind(name, v);
+                if idx + 1 < bindings.len() {
+                    let next = bindings[idx + 1].1;
+                    stack.push(Frame::Letrec {
+                        bindings,
+                        idx: idx + 1,
+                        body,
+                        env: env2.clone(),
+                    });
+                    Ctrl::Eval(next, env2)
+                } else {
+                    Ctrl::Eval(body, env2)
+                }
+            }
+            Frame::PopRegion { id } => {
+                if self.config.validate_regions {
+                    self.validate_region(&v, stack)?;
+                }
+                self.heap.pop_region(id)?;
+                Ctrl::Ret(v)
+            }
+        })
+    }
+
+    /// Applies `fun` to one argument.
+    fn apply(&mut self, fun: Value<'p>, arg: Value<'p>) -> Result<Ctrl<'p>, RuntimeError> {
+        match fun {
+            Value::Closure(clo) => {
+                let env = clo.env.bind(clo.param, arg);
+                Ok(Ctrl::Eval(clo.body, env))
+            }
+            Value::Func { func, applied } => {
+                let mut args = (*applied).clone();
+                args.push(arg);
+                if args.len() == func.params.len() {
+                    let mut env = Env::empty();
+                    for (p, a) in func.params.iter().zip(args) {
+                        env = env.bind(*p, a);
+                    }
+                    Ok(Ctrl::Eval(&func.body, env))
+                } else {
+                    Ok(Ctrl::Ret(Value::Func {
+                        func,
+                        applied: Rc::new(args),
+                    }))
+                }
+            }
+            Value::Prim { prim, first: None } => {
+                if prim.arity() == 1 {
+                    Ok(Ctrl::Ret(self.prim1(prim, arg)?))
+                } else {
+                    Ok(Ctrl::Ret(Value::Prim {
+                        prim,
+                        first: Some(Rc::new(arg)),
+                    }))
+                }
+            }
+            Value::Prim {
+                prim,
+                first: Some(first),
+            } => Ok(Ctrl::Ret(self.prim2(prim, (*first).clone(), arg)?)),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "function",
+                found: other.kind(),
+                op: "application",
+            }),
+        }
+    }
+
+    fn prim1(&mut self, p: Prim, v: Value<'p>) -> Result<Value<'p>, RuntimeError> {
+        match p {
+            Prim::Car => match v {
+                Value::Pair(c) => self.heap.car(c),
+                Value::Nil => Err(RuntimeError::EmptyList { op: "car" }),
+                other => Err(RuntimeError::TypeMismatch {
+                    expected: "list",
+                    found: other.kind(),
+                    op: "car",
+                }),
+            },
+            Prim::Cdr => match v {
+                Value::Pair(c) => self.heap.cdr(c),
+                Value::Nil => Err(RuntimeError::EmptyList { op: "cdr" }),
+                other => Err(RuntimeError::TypeMismatch {
+                    expected: "list",
+                    found: other.kind(),
+                    op: "cdr",
+                }),
+            },
+            Prim::Null => match v {
+                Value::Nil => Ok(Value::Bool(true)),
+                Value::Pair(_) => Ok(Value::Bool(false)),
+                other => Err(RuntimeError::TypeMismatch {
+                    expected: "list",
+                    found: other.kind(),
+                    op: "null",
+                }),
+            },
+            Prim::Fst => match v {
+                Value::Tuple(c) => self.heap.car(c),
+                other => Err(RuntimeError::TypeMismatch {
+                    expected: "tuple",
+                    found: other.kind(),
+                    op: "fst",
+                }),
+            },
+            Prim::Snd => match v {
+                Value::Tuple(c) => self.heap.cdr(c),
+                other => Err(RuntimeError::TypeMismatch {
+                    expected: "tuple",
+                    found: other.kind(),
+                    op: "snd",
+                }),
+            },
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "unary primitive",
+                found: "binary primitive",
+                op: other.name(),
+            }),
+        }
+    }
+
+    fn prim2(&mut self, p: Prim, a: Value<'p>, b: Value<'p>) -> Result<Value<'p>, RuntimeError> {
+        if p == Prim::Cons {
+            let cell = self.heap.alloc(a, b, AllocMode::Heap);
+            return Ok(Value::Pair(cell));
+        }
+        if p == Prim::MkPair {
+            let cell = self.heap.alloc(a, b, AllocMode::Heap);
+            return Ok(Value::Tuple(cell));
+        }
+        let (x, y) = match (&a, &b) {
+            (Value::Int(x), Value::Int(y)) => (*x, *y),
+            _ => {
+                return Err(RuntimeError::TypeMismatch {
+                    expected: "int",
+                    found: if matches!(a, Value::Int(_)) {
+                        b.kind()
+                    } else {
+                        a.kind()
+                    },
+                    op: p.name(),
+                })
+            }
+        };
+        Ok(match p {
+            Prim::Add => Value::Int(x.wrapping_add(y)),
+            Prim::Sub => Value::Int(x.wrapping_sub(y)),
+            Prim::Mul => Value::Int(x.wrapping_mul(y)),
+            Prim::Div => {
+                if y == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Value::Int(x.wrapping_div(y))
+            }
+            Prim::Eq => Value::Bool(x == y),
+            Prim::Ne => Value::Bool(x != y),
+            Prim::Lt => Value::Bool(x < y),
+            Prim::Le => Value::Bool(x <= y),
+            Prim::Gt => Value::Bool(x > y),
+            Prim::Ge => Value::Bool(x >= y),
+            Prim::Cons | Prim::Car | Prim::Cdr | Prim::Null | Prim::MkPair | Prim::Fst
+            | Prim::Snd => unreachable!("handled above"),
+        })
+    }
+
+    /// Runs a garbage collection with the machine state as roots.
+    fn collect(&mut self, ctrl: &Ctrl<'p>, stack: &[Frame<'p>]) {
+        let (values, envs) = self.roots(ctrl, stack);
+        let marked = mark(&self.heap, values, envs);
+        self.heap.sweep(&marked);
+    }
+
+    /// Gathers the exact root set from the machine state.
+    fn roots(&self, ctrl: &Ctrl<'p>, stack: &[Frame<'p>]) -> (Vec<Value<'p>>, Vec<Env<'p>>) {
+        let mut values: Vec<Value<'p>> = self.globals.values().cloned().collect();
+        let mut envs: Vec<Env<'p>> = Vec::new();
+        match ctrl {
+            Ctrl::Eval(_, env) => envs.push(env.clone()),
+            Ctrl::Ret(v) => values.push(v.clone()),
+        }
+        for f in stack {
+            match f {
+                Frame::App1 { env, .. }
+                | Frame::If { env, .. }
+                | Frame::Cons1 { env, .. }
+                | Frame::Prim2a { env, .. }
+                | Frame::Letrec { env, .. } => envs.push(env.clone()),
+                Frame::App2 { fun } => values.push(fun.clone()),
+                Frame::Cons2 { head, .. } => values.push(head.clone()),
+                // The DCONS target cell is live even when no variable
+                // still references it: it becomes the result.
+                Frame::Dcons1 { env, cell, .. } => {
+                    envs.push(env.clone());
+                    values.push(Value::Pair(*cell));
+                }
+                Frame::Dcons2 { head, cell, .. } => {
+                    values.push(head.clone());
+                    values.push(Value::Pair(*cell));
+                }
+                Frame::Prim2b { lhs, .. } => values.push(lhs.clone()),
+                Frame::Prim1 { .. } | Frame::PopRegion { .. } => {}
+            }
+        }
+        (values, envs)
+    }
+
+    /// Proves no cell of the innermost region is reachable from the
+    /// machine state (called just before the region pops).
+    fn validate_region(
+        &mut self,
+        result: &Value<'p>,
+        stack: &[Frame<'p>],
+    ) -> Result<(), RuntimeError> {
+        let ctrl = Ctrl::Ret(result.clone());
+        let (values, envs) = self.roots(&ctrl, stack);
+        let marked = mark(&self.heap, values, envs);
+        for &idx in self.heap.innermost_region_cells() {
+            if marked[idx as usize] {
+                return Err(RuntimeError::EscapedRegionCell { cell: idx });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a proper list from `items` (testing/benchmark helper).
+    pub fn make_list(&mut self, items: impl IntoIterator<Item = Value<'p>>) -> Value<'p> {
+        let items: Vec<Value<'p>> = items.into_iter().collect();
+        let mut acc = Value::Nil;
+        for v in items.into_iter().rev() {
+            let cell = self.heap.alloc(v, acc, AllocMode::Heap);
+            acc = Value::Pair(cell);
+        }
+        acc
+    }
+
+    /// Builds a list of integers.
+    pub fn make_int_list(&mut self, items: &[i64]) -> Value<'p> {
+        self.make_list(items.iter().map(|&n| Value::Int(n)))
+    }
+
+    /// Builds a tuple value.
+    pub fn make_tuple(&mut self, a: Value<'p>, b: Value<'p>) -> Value<'p> {
+        let cell = self.heap.alloc(a, b, AllocMode::Heap);
+        Value::Tuple(cell)
+    }
+
+    /// Reads a list of integers back out of the heap.
+    ///
+    /// # Errors
+    ///
+    /// Type mismatches if the value is not a proper `int list`, or
+    /// [`RuntimeError::UseAfterFree`] for dangling cells.
+    pub fn read_int_list(&self, mut v: Value<'p>) -> Result<Vec<i64>, RuntimeError> {
+        let mut out = Vec::new();
+        loop {
+            match v {
+                Value::Nil => return Ok(out),
+                Value::Pair(c) => {
+                    match self.heap.car(c)? {
+                        Value::Int(n) => out.push(n),
+                        other => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "int",
+                                found: other.kind(),
+                                op: "read_int_list",
+                            })
+                        }
+                    }
+                    v = self.heap.cdr(c)?;
+                }
+                other => {
+                    return Err(RuntimeError::TypeMismatch {
+                        expected: "list",
+                        found: other.kind(),
+                        op: "read_int_list",
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nml_opt::lower_program;
+    use nml_syntax::parse_program;
+    use nml_types::infer_program;
+
+    fn run_src(src: &str) -> (Vec<i64>, crate::stats::RuntimeStats) {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let ir = lower_program(&p, &info);
+        let mut interp = Interp::new(&ir).expect("init");
+        let v = interp.run().expect("run");
+        let ints = interp.read_int_list(v).expect("int list result");
+        (ints, interp.heap.stats)
+    }
+
+    fn run_int(src: &str) -> i64 {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let ir = lower_program(&p, &info);
+        let mut interp = Interp::new(&ir).expect("init");
+        match interp.run().expect("run") {
+            Value::Int(n) => n,
+            other => panic!("expected int, got {other}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run_int("1 + 2 * 3"), 7);
+        assert_eq!(run_int("(10 - 4) / 2"), 3);
+        assert_eq!(run_int("if 2 < 3 then 1 else 0"), 1);
+    }
+
+    #[test]
+    fn list_construction_and_car() {
+        assert_eq!(run_int("car [42, 1]"), 42);
+        assert_eq!(run_int("car (cdr [1, 2, 3])"), 2);
+    }
+
+    #[test]
+    fn append_computes_correctly() {
+        let (v, stats) = run_src(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y)
+             in append [1, 2] [3, 4]",
+        );
+        assert_eq!(v, vec![1, 2, 3, 4]);
+        // 4 literal cells + 2 result spine cells.
+        assert_eq!(stats.heap_allocs, 6);
+    }
+
+    #[test]
+    fn partition_sort_sorts() {
+        let (v, _) = run_src(
+            r#"
+            letrec
+              append x y = if (null x) then y
+                           else cons (car x) (append (cdr x) y);
+              split p x l h =
+                if (null x) then (cons l (cons h nil))
+                else if (car x) < p
+                     then split p (cdr x) (cons (car x) l) h
+                     else split p (cdr x) l (cons (car x) h);
+              ps x = if (null x) then nil
+                     else append (ps (car (split (car x) (cdr x) nil nil)))
+                                 (cons (car x) (ps (car (cdr (split (car x) (cdr x) nil nil)))))
+            in ps [5, 2, 7, 1, 3, 4]
+            "#,
+        );
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn higher_order_map() {
+        let (v, _) = run_src(
+            "letrec map f l = if (null l) then nil
+                              else cons (f (car l)) (map f (cdr l))
+             in map (lambda(x). x * x) [1, 2, 3]",
+        );
+        assert_eq!(v, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        assert_eq!(
+            run_int("letrec make x = lambda(y). x + y in (make 10) 5"),
+            15
+        );
+    }
+
+    #[test]
+    fn inner_letrec_recursion() {
+        assert_eq!(
+            run_int(
+                "letrec go n = letrec fact k = if k = 0 then 1 else k * fact (k - 1)
+                               in fact n
+                 in go 5"
+            ),
+            120
+        );
+    }
+
+    #[test]
+    fn inner_letrec_value_bindings() {
+        assert_eq!(run_int("letrec f x = letrec a = x + 1; b = a * 2 in b in f 3"), 8);
+    }
+
+    #[test]
+    fn partial_application_of_top_level() {
+        assert_eq!(
+            run_int("letrec add x y = x + y; apply f = f 10 in apply (add 5)"),
+            15
+        );
+    }
+
+    #[test]
+    fn primitive_as_value() {
+        // map (cons 9) over [[1],[2]] = [[9,1],[9,2]].
+        assert_eq!(
+            run_int(
+                "letrec map f l = if (null l) then nil
+                                  else cons (f (car l)) (map f (cdr l))
+                 in car (car (map (cons 9) [[1], [2]]))"
+            ),
+            9
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let p = parse_program("1 / 0").unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::new(&ir).unwrap();
+        assert_eq!(i.run().unwrap_err(), RuntimeError::DivisionByZero);
+    }
+
+    #[test]
+    fn car_of_nil_errors() {
+        let p = parse_program("car nil").unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::new(&ir).unwrap();
+        assert!(matches!(i.run().unwrap_err(), RuntimeError::EmptyList { .. }));
+    }
+
+    #[test]
+    fn step_limit_catches_divergence() {
+        let p = parse_program("letrec loop x = loop x in loop 1").unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::with_config(
+            &ir,
+            InterpConfig {
+                step_limit: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            i.run().unwrap_err(),
+            RuntimeError::StepLimitExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn gc_reclaims_garbage() {
+        // Build and drop many short-lived lists; with a small threshold
+        // the GC must run and the footprint stay bounded.
+        let src = "letrec len l = if (null l) then 0 else 1 + len (cdr l);
+                          go n acc = if n = 0 then acc
+                                     else go (n - 1) (acc + len [1, 2, 3, 4, 5])
+                   in go 200 0";
+        let p = parse_program(src).unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::with_config(
+            &ir,
+            InterpConfig {
+                heap: HeapConfig {
+                    gc_threshold: 64,
+                    gc_enabled: true,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let v = i.run().unwrap();
+        assert!(matches!(v, Value::Int(1000)));
+        assert!(i.heap.stats.gc_runs > 0, "GC must have run");
+        assert!(i.heap.stats.gc_swept > 0, "garbage must have been reclaimed");
+        assert!(
+            i.heap.footprint() < 1100,
+            "footprint bounded by reuse, got {}",
+            i.heap.footprint()
+        );
+    }
+
+    #[test]
+    fn call_api_invokes_functions() {
+        let src = "letrec double x = x * 2 in double 1";
+        let p = parse_program(src).unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::new(&ir).unwrap();
+        let r = i.call(Symbol::intern("double"), vec![Value::Int(21)]).unwrap();
+        assert!(matches!(r, Value::Int(42)));
+    }
+
+    #[test]
+    fn make_and_read_lists() {
+        let src = "0";
+        let p = parse_program(src).unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::new(&ir).unwrap();
+        let l = i.make_int_list(&[1, 2, 3]);
+        assert_eq!(i.read_int_list(l).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allocation_sites_are_profiled() {
+        let src = "letrec rep n = if n = 0 then nil else cons n (rep (n - 1))
+                   in cons 0 (rep 9)";
+        let p = parse_program(src).unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::new(&ir).unwrap();
+        i.run().unwrap();
+        let hot = i.heap.hot_sites();
+        assert_eq!(hot.len(), 2, "two cons sites: {hot:?}");
+        // The site inside `rep` allocated 9 cells; the body site 1.
+        assert_eq!(hot[0].1, 9);
+        assert_eq!(hot[1].1, 1);
+        assert_eq!(
+            ir.site_owner(hot[0].0).map(|s| s.to_string()),
+            Some("rep".to_owned())
+        );
+        assert_eq!(ir.site_owner(hot[1].0), None, "body site has no owner");
+    }
+
+    #[test]
+    fn tuples_construct_and_project() {
+        assert_eq!(run_int("fst (41 + 1, 0)"), 42);
+        assert_eq!(run_int("snd (0, 7) * 6"), 42);
+        // Tuples of lists round-trip through projections.
+        let (v, stats) = run_src(
+            "letrec swap p = (snd p, fst p) in fst (swap ([9], [1, 2]))",
+        );
+        assert_eq!(v, vec![1, 2]);
+        // Tuple cells are counted as allocations.
+        assert!(stats.heap_allocs >= 2);
+    }
+
+    #[test]
+    fn fst_of_list_is_a_runtime_type_error() {
+        // (Untyped IR path: the type checker rejects this, but the
+        // interpreter must fail cleanly, not crash.)
+        let p = parse_program("0").unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::new(&ir).unwrap();
+        let l = i.make_int_list(&[1]);
+        let err = i.prim1(Prim::Fst, l).unwrap_err();
+        assert!(matches!(err, RuntimeError::TypeMismatch { op: "fst", .. }));
+    }
+
+    #[test]
+    fn top_level_value_bindings_evaluate_once() {
+        assert_eq!(run_int("letrec k = 2 + 3; f x = x * k in f 4"), 20);
+    }
+}
+
+#[cfg(test)]
+mod letrec_edge_tests {
+    use super::*;
+    use nml_opt::lower_program;
+    use nml_syntax::parse_program;
+    use nml_types::infer_program;
+
+    fn try_run(src: &str) -> Result<String, RuntimeError> {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let ir = lower_program(&p, &info);
+        let mut i = Interp::new(&ir)?;
+        i.run().map(|v| v.to_string())
+    }
+
+    #[test]
+    fn cyclic_value_binding_is_a_clean_unbound_error() {
+        // `letrec x = x + 1` cannot be evaluated strictly: the reference
+        // to x is an error, not a hang or a panic.
+        let err = try_run("letrec f n = letrec x = x + 1 in x in f 0").unwrap_err();
+        assert!(matches!(err, RuntimeError::Unbound { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn forward_reference_between_value_bindings_errors() {
+        // y is evaluated before z exists (strict, sequential).
+        let err =
+            try_run("letrec f n = letrec y = z + 1; z = 2 in y in f 0").unwrap_err();
+        assert!(matches!(err, RuntimeError::Unbound { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn backward_reference_between_value_bindings_works() {
+        let out = try_run("letrec f n = letrec z = 2; y = z + 1 in y in f 0").unwrap();
+        assert_eq!(out, "3");
+    }
+
+    #[test]
+    fn value_bindings_may_call_lambda_siblings() {
+        // Lambda siblings are in scope (via the recursive group) even for
+        // value bindings that precede them textually.
+        let out = try_run(
+            "letrec f n = letrec v = g 20; g x = x * 2 in v + g 1 in f 0",
+        )
+        .unwrap();
+        assert_eq!(out, "42");
+    }
+}

@@ -1,0 +1,237 @@
+//! Runtime values and environments.
+
+use crate::heap::CellRef;
+use nml_opt::{IrExpr, IrFunc};
+use nml_syntax::{Prim, Symbol};
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value. `'p` is the lifetime of the executed [`nml_opt::IrProgram`].
+#[derive(Debug, Clone)]
+pub enum Value<'p> {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+    /// A cons cell in the instrumented heap.
+    Pair(CellRef),
+    /// A tuple cell in the instrumented heap (`pair`/`fst`/`snd` — the
+    /// paper's §1 tuple extension). Stored like a cons cell but distinct
+    /// at the value level so lists and tuples never confuse each other.
+    Tuple(CellRef),
+    /// A user closure.
+    Closure(Rc<Closure<'p>>),
+    /// A (possibly partially applied) top-level function.
+    Func {
+        /// The function.
+        func: &'p IrFunc,
+        /// Arguments received so far (fewer than `func.params.len()`).
+        applied: Rc<Vec<Value<'p>>>,
+    },
+    /// A primitive constant used as a first-class function, possibly
+    /// holding its first argument.
+    Prim {
+        /// Which primitive.
+        prim: Prim,
+        /// First argument, for binary primitives applied once.
+        first: Option<Rc<Value<'p>>>,
+    },
+}
+
+/// A user closure: parameter, body, captured environment.
+#[derive(Debug)]
+pub struct Closure<'p> {
+    /// The parameter.
+    pub param: Symbol,
+    /// The body expression.
+    pub body: &'p IrExpr,
+    /// The captured environment.
+    pub env: Env<'p>,
+}
+
+impl<'p> Value<'p> {
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Nil => "nil",
+            Value::Pair(_) => "pair",
+            Value::Tuple(_) => "tuple",
+            Value::Closure(_) => "closure",
+            Value::Func { .. } => "function",
+            Value::Prim { .. } => "primitive",
+        }
+    }
+
+    /// Whether this is a list value (`nil` or a pair).
+    pub fn is_list(&self) -> bool {
+        matches!(self, Value::Nil | Value::Pair(_))
+    }
+}
+
+impl fmt::Display for Value<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Nil => f.write_str("[]"),
+            Value::Pair(c) => write!(f, "<cell {}>", c.0),
+            Value::Tuple(c) => write!(f, "<tuple {}>", c.0),
+            Value::Closure(_) => f.write_str("<closure>"),
+            Value::Func { func, applied } => {
+                write!(f, "<{}/{}>", func.name, func.params.len() - applied.len())
+            }
+            Value::Prim { prim, first } => match first {
+                None => write!(f, "<prim {prim}>"),
+                Some(_) => write!(f, "<prim {prim} _>"),
+            },
+        }
+    }
+}
+
+/// A persistent environment: an immutable linked list of bindings plus
+/// recursive `letrec` nodes resolved lazily (so recursive closures need
+/// not contain themselves).
+#[derive(Debug, Clone, Default)]
+pub struct Env<'p> {
+    node: Option<Rc<EnvNode<'p>>>,
+}
+
+#[derive(Debug)]
+enum EnvNode<'p> {
+    /// An ordinary binding.
+    Bind {
+        name: Symbol,
+        value: Value<'p>,
+        next: Env<'p>,
+    },
+    /// A group of mutually recursive lambda bindings from a nested
+    /// `letrec`. Looking up a name builds the closure on demand with an
+    /// environment that *includes this node*, tying the knot without
+    /// mutation.
+    Rec {
+        /// (name, parameter, body) of each lambda binding.
+        lambdas: Rc<Vec<(Symbol, Symbol, &'p IrExpr)>>,
+        next: Env<'p>,
+    },
+}
+
+impl<'p> Env<'p> {
+    /// The empty environment.
+    pub fn empty() -> Self {
+        Env { node: None }
+    }
+
+    /// Extends with one binding.
+    #[must_use]
+    pub fn bind(&self, name: Symbol, value: Value<'p>) -> Env<'p> {
+        Env {
+            node: Some(Rc::new(EnvNode::Bind {
+                name,
+                value,
+                next: self.clone(),
+            })),
+        }
+    }
+
+    /// Extends with a recursive lambda group.
+    #[must_use]
+    pub fn bind_rec(&self, lambdas: Rc<Vec<(Symbol, Symbol, &'p IrExpr)>>) -> Env<'p> {
+        Env {
+            node: Some(Rc::new(EnvNode::Rec {
+                lambdas,
+                next: self.clone(),
+            })),
+        }
+    }
+
+    /// Looks up `name`, constructing recursive closures on demand.
+    pub fn lookup(&self, name: Symbol) -> Option<Value<'p>> {
+        let mut cur = self;
+        loop {
+            match cur.node.as_deref()? {
+                EnvNode::Bind {
+                    name: n,
+                    value,
+                    next,
+                } => {
+                    if *n == name {
+                        return Some(value.clone());
+                    }
+                    cur = next;
+                }
+                EnvNode::Rec { lambdas, next } => {
+                    if let Some((_, param, body)) =
+                        lambdas.iter().find(|(n, _, _)| *n == name)
+                    {
+                        return Some(Value::Closure(Rc::new(Closure {
+                            param: *param,
+                            body,
+                            env: cur.clone(),
+                        })));
+                    }
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    /// Visits every value bound in the environment (for GC marking).
+    /// `seen` deduplicates shared nodes by address.
+    pub(crate) fn for_each_value(
+        &self,
+        seen: &mut std::collections::HashSet<*const ()>,
+        f: &mut impl FnMut(&Value<'p>),
+    ) {
+        let mut cur = self.clone();
+        while let Some(rc) = cur.node {
+            let ptr = Rc::as_ptr(&rc) as *const ();
+            if !seen.insert(ptr) {
+                return; // shared suffix already visited
+            }
+            match &*rc {
+                EnvNode::Bind { value, next, .. } => {
+                    f(value);
+                    cur = next.clone();
+                }
+                EnvNode::Rec { next, .. } => {
+                    cur = next.clone();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup() {
+        let env = Env::empty()
+            .bind(Symbol::intern("x"), Value::Int(1))
+            .bind(Symbol::intern("y"), Value::Int(2));
+        assert!(matches!(env.lookup(Symbol::intern("x")), Some(Value::Int(1))));
+        assert!(matches!(env.lookup(Symbol::intern("y")), Some(Value::Int(2))));
+        assert!(env.lookup(Symbol::intern("z")).is_none());
+    }
+
+    #[test]
+    fn shadowing_finds_innermost() {
+        let env = Env::empty()
+            .bind(Symbol::intern("x"), Value::Int(1))
+            .bind(Symbol::intern("x"), Value::Int(2));
+        assert!(matches!(env.lookup(Symbol::intern("x")), Some(Value::Int(2))));
+    }
+
+    #[test]
+    fn value_kinds() {
+        assert_eq!(Value::Int(1).kind(), "int");
+        assert_eq!(Value::Nil.kind(), "nil");
+        assert!(Value::Nil.is_list());
+        assert!(!Value::Bool(true).is_list());
+    }
+}

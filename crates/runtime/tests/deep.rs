@@ -1,0 +1,71 @@
+//! Deep-recursion stress: the explicit-stack machine must handle inputs
+//! far beyond what Rust-stack recursion could, with GC active.
+
+use nml_opt::lower_program;
+use nml_runtime::{HeapConfig, Interp, InterpConfig, Value};
+use nml_syntax::{parse_program, Symbol};
+use nml_types::infer_program;
+
+fn config() -> InterpConfig {
+    InterpConfig {
+        heap: HeapConfig {
+            gc_threshold: 4096,
+            gc_enabled: true,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn sum_of_two_hundred_thousand_elements() {
+    let src = "letrec sum l = if (null l) then 0 else car l + sum (cdr l) in sum [1]";
+    let p = parse_program(src).unwrap();
+    let info = infer_program(&p).unwrap();
+    let ir = lower_program(&p, &info);
+    let mut i = Interp::with_config(&ir, config()).unwrap();
+    let n: i64 = 200_000;
+    let input: Vec<i64> = (1..=n).collect();
+    let l = i.make_int_list(&input);
+    let out = i.call(Symbol::intern("sum"), vec![l]).expect("no stack overflow");
+    assert!(matches!(out, Value::Int(x) if x == n * (n + 1) / 2));
+}
+
+#[test]
+fn accumulator_reverse_of_one_hundred_thousand() {
+    let src = "letrec revonto l acc = if (null l) then acc
+                                      else revonto (cdr l) (cons (car l) acc)
+               in revonto [1] nil";
+    let p = parse_program(src).unwrap();
+    let info = infer_program(&p).unwrap();
+    let ir = lower_program(&p, &info);
+    let mut i = Interp::with_config(&ir, config()).unwrap();
+    let n = 100_000usize;
+    let input: Vec<i64> = (0..n as i64).collect();
+    let l = i.make_int_list(&input);
+    let out = i
+        .call(Symbol::intern("revonto"), vec![l, Value::Nil])
+        .expect("runs");
+    let ints = i.read_int_list(out).expect("list");
+    assert_eq!(ints.len(), n);
+    assert_eq!(ints[0], n as i64 - 1);
+    assert_eq!(ints[n - 1], 0);
+    // At least the n result cells are live; the consumed input prefix is
+    // legitimately collectable (and the GC did run at this threshold).
+    assert!(i.heap.live() >= n as u64);
+    assert!(i.heap.stats.gc_runs > 0);
+}
+
+#[test]
+fn deeply_nested_non_tail_recursion() {
+    // len is not tail recursive: 50k pending continuation frames on the
+    // machine's *explicit* stack.
+    let src = "letrec len l = if (null l) then 0 else 1 + len (cdr l) in len [1]";
+    let p = parse_program(src).unwrap();
+    let info = infer_program(&p).unwrap();
+    let ir = lower_program(&p, &info);
+    let mut i = Interp::with_config(&ir, config()).unwrap();
+    let input: Vec<i64> = (0..50_000).collect();
+    let l = i.make_int_list(&input);
+    let out = i.call(Symbol::intern("len"), vec![l]).expect("no overflow");
+    assert!(matches!(out, Value::Int(50_000)));
+}

@@ -1,0 +1,140 @@
+//! GC transparency: collection must be unobservable. Random first-order
+//! list programs are run with garbage collection disabled, with an
+//! aggressive threshold, and with region validation enabled — all three
+//! must produce identical results and never touch a reclaimed cell.
+
+use nml_opt::lower_program;
+use nml_runtime::{HeapConfig, Interp, InterpConfig, Value};
+use nml_syntax::parse_program;
+use nml_types::infer_program;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Body {
+    L,
+    M,
+    Nil,
+    SafeCdr(Box<Body>),
+    ConsInc(Box<Body>, Box<Body>),
+    Append(Box<Body>, Box<Body>),
+    Rev(Box<Body>),
+    RecL(Box<Body>),
+    IfNull(Box<Body>, Box<Body>, Box<Body>),
+}
+
+impl Body {
+    fn render(&self) -> String {
+        match self {
+            Body::L => "l".into(),
+            Body::M => "m".into(),
+            Body::Nil => "nil".into(),
+            Body::SafeCdr(e) => format!("(safecdr {})", e.render()),
+            Body::ConsInc(a, b) => {
+                format!("(cons (safecar {} + 1) {})", a.render(), b.render())
+            }
+            Body::Append(a, b) => format!("(append {} {})", a.render(), b.render()),
+            Body::Rev(e) => format!("(rev {})", e.render()),
+            // Recursion is well-founded by construction: it only fires
+            // when `l` is non-empty and always recurses on `cdr l`, so
+            // every generated program terminates. (An inner expression
+            // like `subject (safecdr m) m` would diverge.)
+            Body::RecL(e) => format!(
+                "(if (null l) then {} else (subject (cdr l) m))",
+                e.render()
+            ),
+            Body::IfNull(c, t, f) => format!(
+                "(if (null {}) then {} else {})",
+                c.render(),
+                t.render(),
+                f.render()
+            ),
+        }
+    }
+}
+
+fn body_strategy() -> impl Strategy<Value = Body> {
+    let leaf = prop_oneof![Just(Body::L), Just(Body::M), Just(Body::Nil)];
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Body::SafeCdr(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Body::ConsInc(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Body::Append(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Body::Rev(Box::new(e))),
+            inner.clone().prop_map(|e| Body::RecL(Box::new(e))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| Body::IfNull(Box::new(c), Box::new(t), Box::new(f))),
+        ]
+    })
+}
+
+fn program_for(body: &Body, la: &[i64], lb: &[i64]) -> String {
+    fn lit(l: &[i64]) -> String {
+        let items: Vec<String> = l.iter().map(|n| n.to_string()).collect();
+        format!("[{}]", items.join(", "))
+    }
+    format!(
+        "letrec
+           safecar l = if (null l) then 0 else car l;
+           safecdr l = if (null l) then nil else cdr l;
+           append x y = if (null x) then y
+                        else cons (car x) (append (cdr x) y);
+           rev l = if (null l) then nil
+                   else append (rev (cdr l)) (cons (car l) nil);
+           subject l m = {}
+         in subject {} {}",
+        body.render(),
+        lit(la),
+        lit(lb)
+    )
+}
+
+fn run_with(src: &str, config: InterpConfig) -> (String, u64) {
+    let p = parse_program(src).expect("parse");
+    let info = infer_program(&p).expect("infer");
+    let ir = lower_program(&p, &info);
+    let mut interp = Interp::with_config(&ir, config).expect("interp");
+    let v = interp.run().expect("run");
+    let rendered = render(&interp, &v);
+    (rendered, interp.heap.stats.gc_runs)
+}
+
+fn render(interp: &Interp<'_>, v: &Value<'_>) -> String {
+    match v {
+        Value::Int(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Nil => "[]".to_string(),
+        Value::Pair(c) => {
+            let h = interp.heap.car(*c).expect("live");
+            let t = interp.heap.cdr(*c).expect("live");
+            format!("({} . {})", render(interp, &h), render(interp, &t))
+        }
+        other => format!("<{}>", other.kind()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gc_is_transparent(
+        body in body_strategy(),
+        la in proptest::collection::vec(0i64..50, 0..6),
+        lb in proptest::collection::vec(0i64..50, 0..6),
+    ) {
+        let src = program_for(&body, &la, &lb);
+        let (no_gc, runs_off) = run_with(&src, InterpConfig {
+            heap: HeapConfig { gc_threshold: usize::MAX, gc_enabled: false },
+            step_limit: 2_000_000,
+            validate_regions: false,
+        });
+        prop_assert_eq!(runs_off, 0);
+        let (stressed, _) = run_with(&src, InterpConfig {
+            heap: HeapConfig { gc_threshold: 4, gc_enabled: true },
+            validate_regions: true,
+            step_limit: 2_000_000,
+        });
+        prop_assert_eq!(no_gc, stressed, "GC changed the result of {}", body.render());
+    }
+}

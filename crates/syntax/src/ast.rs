@@ -1,0 +1,395 @@
+//! The abstract syntax of nml.
+//!
+//! The concrete grammar (paper §3.1):
+//!
+//! ```text
+//! e  ::= c | x | e1 e2 | lambda(x).e
+//!      | if e1 then e2 else e3
+//!      | letrec x1 = e1; ...; xn = en in e
+//! pr ::= letrec x1 = e1; ...; xn = en in e
+//! ```
+//!
+//! Surface sugar handled by the parser and represented here post-desugaring:
+//! multi-parameter lambdas and `f x1 .. xn = e` bindings (curried lambdas),
+//! infix arithmetic/comparison (application of primitive constants), list
+//! literals `[a, b, c]` and infix `::` (chains of `cons`), and `let` (a
+//! non-recursive `letrec`, which is equivalent because nml bindings are
+//! values and name shadowing is resolved before analysis).
+//!
+//! Every expression node carries a unique [`NodeId`]; later passes attach
+//! types and `car^s` spine annotations in side tables keyed by id.
+
+use crate::span::Span;
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A unique identifier for an expression node within one [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Primitive functions of nml (the function-valued constants of `Con`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Prim {
+    /// Integer addition `+ : int -> int -> int`.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (partial: division by zero is a runtime error).
+    Div,
+    /// Integer equality `= : int -> int -> bool`.
+    Eq,
+    /// Integer disequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// `cons : 'a -> 'a list -> 'a list`.
+    Cons,
+    /// `car : 'a list -> 'a`. Annotated as `car^s` by type inference.
+    Car,
+    /// `cdr : 'a list -> 'a list`.
+    Cdr,
+    /// `null : 'a list -> bool`.
+    Null,
+    /// `pair : 'a -> 'b -> 'a * 'b` — the tuple extension the paper
+    /// sketches in §1 ("tuples, trees, etc."). `(a, b)` is sugar.
+    MkPair,
+    /// `fst : 'a * 'b -> 'a`.
+    Fst,
+    /// `snd : 'a * 'b -> 'b`.
+    Snd,
+}
+
+impl Prim {
+    /// Number of arguments the primitive takes before returning a
+    /// non-function value.
+    pub fn arity(self) -> usize {
+        match self {
+            Prim::Car | Prim::Cdr | Prim::Null | Prim::Fst | Prim::Snd => 1,
+            _ => 2,
+        }
+    }
+
+    /// The primitive for an identifier, if that identifier names one.
+    pub fn from_name(name: &str) -> Option<Prim> {
+        Some(match name {
+            "cons" => Prim::Cons,
+            "car" => Prim::Car,
+            "cdr" => Prim::Cdr,
+            "null" => Prim::Null,
+            "pair" => Prim::MkPair,
+            "fst" => Prim::Fst,
+            "snd" => Prim::Snd,
+            _ => return None,
+        })
+    }
+
+    /// The surface name of the primitive.
+    pub fn name(self) -> &'static str {
+        match self {
+            Prim::Add => "+",
+            Prim::Sub => "-",
+            Prim::Mul => "*",
+            Prim::Div => "/",
+            Prim::Eq => "=",
+            Prim::Ne => "<>",
+            Prim::Lt => "<",
+            Prim::Le => "<=",
+            Prim::Gt => ">",
+            Prim::Ge => ">=",
+            Prim::Cons => "cons",
+            Prim::Car => "car",
+            Prim::Cdr => "cdr",
+            Prim::Null => "null",
+            Prim::MkPair => "pair",
+            Prim::Fst => "fst",
+            Prim::Snd => "snd",
+        }
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Non-function constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Const {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// The empty list.
+    Nil,
+    /// A primitive function constant.
+    Prim(Prim),
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(n) => write!(f, "{n}"),
+            Const::Bool(b) => write!(f, "{b}"),
+            Const::Nil => f.write_str("nil"),
+            Const::Prim(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Surface type expressions, used in optional ascriptions `(e : ty)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TyExpr {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `'a`
+    Var(Symbol),
+    /// `ty list`
+    List(Box<TyExpr>),
+    /// `ty * ty` (right-associative)
+    Prod(Box<TyExpr>, Box<TyExpr>),
+    /// `ty -> ty`
+    Fun(Box<TyExpr>, Box<TyExpr>),
+}
+
+impl fmt::Display for TyExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TyExpr::Int => f.write_str("int"),
+            TyExpr::Bool => f.write_str("bool"),
+            TyExpr::Var(s) => write!(f, "'{s}"),
+            TyExpr::List(t) => match **t {
+                TyExpr::Fun(..) | TyExpr::Prod(..) => write!(f, "({t}) list"),
+                _ => write!(f, "{t} list"),
+            },
+            TyExpr::Prod(a, b) => {
+                match **a {
+                    TyExpr::Fun(..) | TyExpr::Prod(..) => write!(f, "({a})")?,
+                    _ => write!(f, "{a}")?,
+                }
+                f.write_str(" * ")?;
+                match **b {
+                    TyExpr::Fun(..) => write!(f, "({b})"),
+                    _ => write!(f, "{b}"),
+                }
+            }
+            TyExpr::Fun(a, b) => match **a {
+                TyExpr::Fun(..) => write!(f, "({a}) -> {b}"),
+                _ => write!(f, "{a} -> {b}"),
+            },
+        }
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Unique id within the program.
+    pub id: NodeId,
+    /// Source span (dummy for synthesized nodes).
+    pub span: Span,
+    /// The expression proper.
+    pub kind: ExprKind,
+}
+
+/// Expression forms after desugaring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Constant.
+    Const(Const),
+    /// Variable reference.
+    Var(Symbol),
+    /// Application `e1 e2`.
+    App(Box<Expr>, Box<Expr>),
+    /// `lambda(x). e`
+    Lambda(Symbol, Box<Expr>),
+    /// `if e1 then e2 else e3`
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `letrec x1 = e1; ...; xn = en in e`
+    Letrec(Vec<Binding>, Box<Expr>),
+    /// Type ascription `(e : ty)`; erased after type inference.
+    Annot(Box<Expr>, TyExpr),
+}
+
+/// One binding of a `letrec`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Bound name.
+    pub name: Symbol,
+    /// Span of the name.
+    pub span: Span,
+    /// Bound expression (parameters already folded into lambdas).
+    pub expr: Expr,
+}
+
+/// A whole program: `letrec x1 = e1; ...; xn = en in e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Top-level recursive bindings.
+    pub bindings: Vec<Binding>,
+    /// The program body.
+    pub body: Expr,
+    /// Span of the whole program.
+    pub span: Span,
+    /// One past the largest [`NodeId`] in use; passes that synthesize nodes
+    /// allocate from here.
+    pub next_node_id: u32,
+}
+
+impl Program {
+    /// Allocates a fresh node id for synthesized expressions.
+    pub fn fresh_node_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_node_id);
+        self.next_node_id += 1;
+        id
+    }
+
+    /// Looks up a top-level binding by name.
+    pub fn binding(&self, name: Symbol) -> Option<&Binding> {
+        self.bindings.iter().find(|b| b.name == name)
+    }
+
+    /// Iterates over every expression node in the program (bindings then
+    /// body), pre-order.
+    pub fn exprs(&self) -> impl Iterator<Item = &Expr> {
+        let mut out = Vec::new();
+        for b in &self.bindings {
+            collect(&b.expr, &mut out);
+        }
+        collect(&self.body, &mut out);
+        out.into_iter()
+    }
+}
+
+fn collect<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    out.push(e);
+    match &e.kind {
+        ExprKind::Const(_) | ExprKind::Var(_) => {}
+        ExprKind::App(f, a) => {
+            collect(f, out);
+            collect(a, out);
+        }
+        ExprKind::Lambda(_, b) => collect(b, out),
+        ExprKind::If(c, t, f) => {
+            collect(c, out);
+            collect(t, out);
+            collect(f, out);
+        }
+        ExprKind::Letrec(bs, body) => {
+            for b in bs {
+                collect(&b.expr, out);
+            }
+            collect(body, out);
+        }
+        ExprKind::Annot(inner, _) => collect(inner, out),
+    }
+}
+
+impl Expr {
+    /// The number of curried parameters if this is a (possibly nested)
+    /// lambda, e.g. `lambda(x).lambda(y).e` has 2.
+    pub fn lambda_arity(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let ExprKind::Lambda(_, body) = &cur.kind {
+            n += 1;
+            cur = body;
+        }
+        n
+    }
+
+    /// Unfolds a curried application `f a1 a2 .. an` into `(f, [a1..an])`.
+    pub fn uncurry_app(&self) -> (&Expr, Vec<&Expr>) {
+        let mut args = Vec::new();
+        let mut cur = self;
+        while let ExprKind::App(f, a) = &cur.kind {
+            args.push(a.as_ref());
+            cur = f;
+        }
+        args.reverse();
+        (cur, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: u32, kind: ExprKind) -> Expr {
+        Expr {
+            id: NodeId(id),
+            span: Span::DUMMY,
+            kind,
+        }
+    }
+
+    #[test]
+    fn prim_arities() {
+        assert_eq!(Prim::Cons.arity(), 2);
+        assert_eq!(Prim::Car.arity(), 1);
+        assert_eq!(Prim::Add.arity(), 2);
+        assert_eq!(Prim::Null.arity(), 1);
+    }
+
+    #[test]
+    fn prim_from_name_roundtrip() {
+        for p in [Prim::Cons, Prim::Car, Prim::Cdr, Prim::Null] {
+            assert_eq!(Prim::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Prim::from_name("map"), None);
+    }
+
+    #[test]
+    fn lambda_arity_counts_nesting() {
+        let body = e(0, ExprKind::Var(Symbol::intern("x")));
+        let l1 = e(1, ExprKind::Lambda(Symbol::intern("y"), Box::new(body)));
+        let l2 = e(2, ExprKind::Lambda(Symbol::intern("x"), Box::new(l1)));
+        assert_eq!(l2.lambda_arity(), 2);
+    }
+
+    #[test]
+    fn uncurry_app_orders_args() {
+        let f = e(0, ExprKind::Var(Symbol::intern("f")));
+        let a = e(1, ExprKind::Const(Const::Int(1)));
+        let b = e(2, ExprKind::Const(Const::Int(2)));
+        let app1 = e(3, ExprKind::App(Box::new(f), Box::new(a)));
+        let app2 = e(4, ExprKind::App(Box::new(app1), Box::new(b)));
+        let (head, args) = app2.uncurry_app();
+        assert!(matches!(head.kind, ExprKind::Var(_)));
+        assert_eq!(args.len(), 2);
+        assert!(matches!(args[0].kind, ExprKind::Const(Const::Int(1))));
+        assert!(matches!(args[1].kind, ExprKind::Const(Const::Int(2))));
+    }
+
+    #[test]
+    fn ty_expr_display() {
+        let t = TyExpr::Fun(
+            Box::new(TyExpr::List(Box::new(TyExpr::Int))),
+            Box::new(TyExpr::List(Box::new(TyExpr::List(Box::new(TyExpr::Int))))),
+        );
+        assert_eq!(t.to_string(), "int list -> int list list");
+        let hof = TyExpr::Fun(
+            Box::new(TyExpr::Fun(Box::new(TyExpr::Int), Box::new(TyExpr::Int))),
+            Box::new(TyExpr::Int),
+        );
+        assert_eq!(hof.to_string(), "(int -> int) -> int");
+        let fl = TyExpr::List(Box::new(TyExpr::Fun(Box::new(TyExpr::Int), Box::new(TyExpr::Bool))));
+        assert_eq!(fl.to_string(), "(int -> bool) list");
+    }
+}

@@ -1,0 +1,79 @@
+//! Syntax errors (lexing and parsing).
+
+use crate::span::{SourceMap, Span};
+use crate::token::TokenKind;
+use std::fmt;
+
+/// The specific failure encountered while lexing or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyntaxErrorKind {
+    /// A block comment reached end of input without `*)`.
+    UnterminatedComment,
+    /// An integer literal does not fit in `i64`.
+    IntOutOfRange,
+    /// A `'` was not followed by a type-variable name.
+    EmptyTypeVariable,
+    /// A character that cannot begin any token.
+    UnexpectedChar(char),
+    /// The parser found `found` where one of `expected` was required.
+    UnexpectedToken {
+        /// What was found.
+        found: TokenKind,
+        /// Human description of what was expected.
+        expected: String,
+    },
+    /// A `letrec` with no bindings.
+    EmptyLetrec,
+    /// The same name is bound twice in one `letrec`.
+    DuplicateBinding(String),
+    /// A lambda with no parameters, e.g. `lambda().e`.
+    EmptyLambdaParams,
+}
+
+impl fmt::Display for SyntaxErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntaxErrorKind::UnterminatedComment => f.write_str("unterminated block comment"),
+            SyntaxErrorKind::IntOutOfRange => f.write_str("integer literal out of range for i64"),
+            SyntaxErrorKind::EmptyTypeVariable => f.write_str("expected type variable name after `'`"),
+            SyntaxErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            SyntaxErrorKind::UnexpectedToken { found, expected } => {
+                write!(f, "expected {expected}, found `{found}`")
+            }
+            SyntaxErrorKind::EmptyLetrec => f.write_str("letrec must bind at least one name"),
+            SyntaxErrorKind::DuplicateBinding(n) => {
+                write!(f, "name `{n}` is bound more than once in this letrec")
+            }
+            SyntaxErrorKind::EmptyLambdaParams => f.write_str("lambda requires at least one parameter"),
+        }
+    }
+}
+
+/// A lexing or parsing error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// What went wrong.
+    pub kind: SyntaxErrorKind,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl SyntaxError {
+    /// Creates an error.
+    pub fn new(kind: SyntaxErrorKind, span: Span) -> Self {
+        SyntaxError { kind, span }
+    }
+
+    /// Renders the error with a source snippet and caret.
+    pub fn render(&self, map: &SourceMap) -> String {
+        map.render(self.span, &self.kind.to_string())
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.span)
+    }
+}
+
+impl std::error::Error for SyntaxError {}

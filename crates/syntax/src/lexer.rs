@@ -1,0 +1,326 @@
+//! The nml lexer.
+//!
+//! Supports `--` line comments and nested `(* ... *)` block comments.
+
+use crate::error::{SyntaxError, SyntaxErrorKind};
+use crate::span::Span;
+use crate::symbol::Symbol;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src` into a token stream terminated by a single [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`SyntaxError`] on unterminated block comments, malformed
+/// integer literals, stray characters, and malformed type variables.
+pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start as u32, self.pos as u32)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let span = self.span_from(start);
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn error(&self, kind: SyntaxErrorKind, start: usize) -> SyntaxError {
+        SyntaxError::new(kind, self.span_from(start))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, SyntaxError> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'-' if self.peek2() == Some(b'-') => self.line_comment(),
+                b'(' if self.peek2() == Some(b'*') => self.block_comment(start)?,
+                b'0'..=b'9' => self.number(start)?,
+                b'\'' => self.ty_var(start)?,
+                _ if is_ident_start(b) => self.ident(start),
+                _ => self.punct(start)?,
+            }
+        }
+        let end = self.pos;
+        self.push(TokenKind::Eof, end);
+        Ok(self.tokens)
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self, start: usize) -> Result<(), SyntaxError> {
+        // Consume "(*"; block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek2()) {
+                (Some(b'('), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b')')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => {
+                    return Err(self.error(SyntaxErrorKind::UnterminatedComment, start));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), SyntaxError> {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        let n: i64 = text
+            .parse()
+            .map_err(|_| self.error(SyntaxErrorKind::IntOutOfRange, start))?;
+        self.push(TokenKind::Int(n), start);
+        Ok(())
+    }
+
+    fn ty_var(&mut self, start: usize) -> Result<(), SyntaxError> {
+        self.bump(); // consume '\''
+        let name_start = self.pos;
+        while matches!(self.peek(), Some(b) if is_ident_continue(b)) {
+            self.bump();
+        }
+        if self.pos == name_start {
+            return Err(self.error(SyntaxErrorKind::EmptyTypeVariable, start));
+        }
+        let sym = Symbol::intern(&self.src[name_start..self.pos]);
+        self.push(TokenKind::TyVar(sym), start);
+        Ok(())
+    }
+
+    fn ident(&mut self, start: usize) {
+        while matches!(self.peek(), Some(b) if is_ident_continue(b)) {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        let kind = match text {
+            "lambda" => TokenKind::Lambda,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "letrec" => TokenKind::Letrec,
+            "let" => TokenKind::Let,
+            "in" => TokenKind::In,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            _ => TokenKind::Ident(Symbol::intern(text)),
+        };
+        self.push(kind, start);
+    }
+
+    fn punct(&mut self, start: usize) -> Result<(), SyntaxError> {
+        let b = self.bump().expect("punct called at end of input");
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'.' => TokenKind::Dot,
+            b'+' => TokenKind::Plus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'=' => TokenKind::Eq,
+            b'-' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b':' => {
+                if self.peek() == Some(b':') {
+                    self.bump();
+                    TokenKind::ColonColon
+                } else {
+                    TokenKind::Colon
+                }
+            }
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Le
+                }
+                Some(b'>') => {
+                    self.bump();
+                    TokenKind::Ne
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            other => {
+                return Err(self.error(
+                    SyntaxErrorKind::UnexpectedChar(other as char),
+                    start,
+                ));
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("letrec f x = x in f"),
+            vec![
+                Letrec,
+                Ident(Symbol::intern("f")),
+                Ident(Symbol::intern("x")),
+                Eq,
+                Ident(Symbol::intern("x")),
+                In,
+                Ident(Symbol::intern("f")),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("0 42 1234567890"), vec![Int(0), Int(42), Int(1234567890), Eof]);
+    }
+
+    #[test]
+    fn rejects_overflowing_number() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::IntOutOfRange));
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("-> :: <= >= <> < > = : ."),
+            vec![Arrow, ColonColon, Le, Ge, Ne, Lt, Gt, Eq, Colon, Dot, Eof]
+        );
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(kinds("1-2"), vec![Int(1), Minus, Int(2), Eof]);
+        assert_eq!(kinds("a->b"), vec![Ident("a".into()), Arrow, Ident("b".into()), Eof]);
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        assert_eq!(kinds("1 -- comment\n2"), vec![Int(1), Int(2), Eof]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(kinds("1 (* a (* b *) c *) 2"), vec![Int(1), Int(2), Eof]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let err = lex("(* oops").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::UnterminatedComment));
+    }
+
+    #[test]
+    fn type_variables() {
+        assert_eq!(kinds("'a 'foo"), vec![TyVar("a".into()), TyVar("foo".into()), Eof]);
+        assert!(lex("' ").is_err());
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedChar('?')));
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn true_false_keywords() {
+        assert_eq!(kinds("true false trueish"), vec![True, False, Ident("trueish".into()), Eof]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Pretty-printing of nml expressions and programs.
+//!
+//! The printer produces valid nml concrete syntax: `pretty(parse(s))`
+//! re-parses to an alpha-identical AST (modulo node ids and spans). It
+//! re-sugars infix primitive applications and prints everything else in
+//! fully parenthesized prefix form.
+
+use crate::ast::{Binding, Const, Expr, ExprKind, Prim, Program};
+use std::fmt::Write;
+
+/// Pretty-prints an expression on one line.
+pub fn pretty_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e, Prec::Top);
+    out
+}
+
+/// Pretty-prints a whole program with one binding per line.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.bindings.is_empty() {
+        out.push_str("letrec\n");
+        for (i, b) in p.bindings.iter().enumerate() {
+            let _ = write!(out, "  {}", binding_text(b));
+            if i + 1 < p.bindings.len() {
+                out.push(';');
+            }
+            out.push('\n');
+        }
+        out.push_str("in ");
+    }
+    write_expr(&mut out, &p.body, Prec::Top);
+    out.push('\n');
+    out
+}
+
+fn binding_text(b: &Binding) -> String {
+    // Re-sugar `f = lambda(x).lambda(y).e` as `f x y = e`.
+    let mut params = Vec::new();
+    let mut body = &b.expr;
+    while let ExprKind::Lambda(x, inner) = &body.kind {
+        params.push(*x);
+        body = inner;
+    }
+    let mut s = b.name.to_string();
+    for p in &params {
+        let _ = write!(s, " {p}");
+    }
+    s.push_str(" = ");
+    write_expr(&mut s, body, Prec::Top);
+    s
+}
+
+/// Printing precedence levels, mirroring the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Top,
+    Compare,
+    Cons,
+    Add,
+    Mul,
+    App,
+    Atom,
+}
+
+fn infix_of(p: Prim) -> Option<(&'static str, Prec)> {
+    Some(match p {
+        Prim::Eq => ("=", Prec::Compare),
+        Prim::Ne => ("<>", Prec::Compare),
+        Prim::Lt => ("<", Prec::Compare),
+        Prim::Le => ("<=", Prec::Compare),
+        Prim::Gt => (">", Prec::Compare),
+        Prim::Ge => (">=", Prec::Compare),
+        Prim::Add => ("+", Prec::Add),
+        Prim::Sub => ("-", Prec::Add),
+        Prim::Mul => ("*", Prec::Mul),
+        Prim::Div => ("/", Prec::Mul),
+        _ => return None,
+    })
+}
+
+fn write_expr(out: &mut String, e: &Expr, min: Prec) {
+    let prec = expr_prec(e);
+    let need_parens = prec < min;
+    if need_parens {
+        out.push('(');
+    }
+    match &e.kind {
+        ExprKind::Const(c) => {
+            // A bare infix primitive prints as its section form `( + )`,
+            // which re-parses to the same constant. The inner spaces are
+            // load-bearing for `( * )`: `(*` would open a block comment.
+            if let Const::Prim(p) = c {
+                if infix_of(*p).is_some() {
+                    let _ = write!(out, "( {p} )");
+                    if need_parens {
+                        out.push(')');
+                    }
+                    return;
+                }
+            }
+            let _ = write!(out, "{c}");
+        }
+        ExprKind::Var(x) => {
+            let _ = write!(out, "{x}");
+        }
+        ExprKind::App(..) => {
+            let (head, args) = e.uncurry_app();
+            if let ExprKind::Const(Const::Prim(p)) = head.kind {
+                // Saturated `pair a b` re-sugars to the tuple literal.
+                if p == Prim::MkPair && args.len() == 2 {
+                    out.push('(');
+                    write_expr(out, args[0], Prec::Top);
+                    out.push_str(", ");
+                    write_expr(out, args[1], Prec::Top);
+                    out.push(')');
+                    if need_parens {
+                        out.push(')');
+                    }
+                    return;
+                }
+                if let Some((op, opp)) = infix_of(p) {
+                    if args.len() == 2 {
+                        // Left operand at op level, right one tighter, so
+                        // left-associative chains print without parens and
+                        // non-associative comparisons parenthesize nesting.
+                        let (lmin, rmin) = match opp {
+                            Prec::Add | Prec::Mul => (opp, next(opp)),
+                            _ => (next(opp), next(opp)),
+                        };
+                        write_expr(out, args[0], lmin);
+                        let _ = write!(out, " {op} ");
+                        write_expr(out, args[1], rmin);
+                        if need_parens {
+                            out.push(')');
+                        }
+                        return;
+                    }
+                }
+            }
+            write_expr(out, head, Prec::App);
+            for a in args {
+                out.push(' ');
+                write_expr(out, a, Prec::Atom);
+            }
+        }
+        ExprKind::Lambda(x, body) => {
+            let _ = write!(out, "lambda({x}). ");
+            write_expr(out, body, Prec::Top);
+        }
+        ExprKind::If(c, t, f) => {
+            out.push_str("if ");
+            write_expr(out, c, Prec::Top);
+            out.push_str(" then ");
+            write_expr(out, t, Prec::Top);
+            out.push_str(" else ");
+            write_expr(out, f, Prec::Top);
+        }
+        ExprKind::Letrec(bs, body) => {
+            out.push_str("letrec ");
+            for (i, b) in bs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                out.push_str(&binding_text(b));
+            }
+            out.push_str(" in ");
+            write_expr(out, body, Prec::Top);
+        }
+        ExprKind::Annot(inner, ty) => {
+            out.push('(');
+            write_expr(out, inner, Prec::Top);
+            let _ = write!(out, " : {ty})");
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+fn next(p: Prec) -> Prec {
+    match p {
+        Prec::Top => Prec::Compare,
+        Prec::Compare => Prec::Cons,
+        Prec::Cons => Prec::Add,
+        Prec::Add => Prec::Mul,
+        Prec::Mul => Prec::App,
+        Prec::App | Prec::Atom => Prec::Atom,
+    }
+}
+
+fn expr_prec(e: &Expr) -> Prec {
+    match &e.kind {
+        ExprKind::Const(_) | ExprKind::Var(_) | ExprKind::Annot(..) => Prec::Atom,
+        ExprKind::App(..) => {
+            let (head, args) = e.uncurry_app();
+            if let ExprKind::Const(Const::Prim(p)) = head.kind {
+                if p == Prim::MkPair && args.len() == 2 {
+                    return Prec::Atom; // prints as a parenthesized tuple
+                }
+                if let Some((_, opp)) = infix_of(p) {
+                    if args.len() == 2 {
+                        return opp;
+                    }
+                }
+            }
+            Prec::App
+        }
+        ExprKind::Lambda(..) | ExprKind::If(..) | ExprKind::Letrec(..) => Prec::Top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    /// Structural equality ignoring node ids and spans.
+    fn alpha_eq(a: &Expr, b: &Expr) -> bool {
+        use ExprKind::*;
+        match (&a.kind, &b.kind) {
+            (Const(x), Const(y)) => x == y,
+            (Var(x), Var(y)) => x == y,
+            (App(f1, a1), App(f2, a2)) => alpha_eq(f1, f2) && alpha_eq(a1, a2),
+            (Lambda(x1, b1), Lambda(x2, b2)) => x1 == x2 && alpha_eq(b1, b2),
+            (If(c1, t1, e1), If(c2, t2, e2)) => {
+                alpha_eq(c1, c2) && alpha_eq(t1, t2) && alpha_eq(e1, e2)
+            }
+            (Letrec(bs1, e1), Letrec(bs2, e2)) => {
+                bs1.len() == bs2.len()
+                    && bs1
+                        .iter()
+                        .zip(bs2)
+                        .all(|(x, y)| x.name == y.name && alpha_eq(&x.expr, &y.expr))
+                    && alpha_eq(e1, e2)
+            }
+            (Annot(e1, t1), Annot(e2, t2)) => t1 == t2 && alpha_eq(e1, e2),
+            _ => false,
+        }
+    }
+
+    fn roundtrips(src: &str) {
+        let e1 = parse_expr(src).expect("first parse");
+        let printed = pretty_expr(&e1);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+        assert!(alpha_eq(&e1, &e2), "roundtrip mismatch:\n  src: {src}\n  out: {printed}");
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrips("1 + 2 * 3");
+        roundtrips("(1 + 2) * 3");
+        roundtrips("f x y");
+        roundtrips("f (g x) y");
+        roundtrips("lambda(x). x + 1");
+        roundtrips("if x = 1 then 2 else 3");
+        roundtrips("1 :: 2 :: nil");
+        roundtrips("cons 1 nil");
+        roundtrips("[1, 2, 3]");
+        roundtrips("letrec f x = f x in f 1");
+        roundtrips("car (cdr [1, 2])");
+        roundtrips("(nil : int list)");
+        roundtrips("1 - 2 - 3");
+        roundtrips("f (lambda(x). x)");
+    }
+
+    #[test]
+    fn program_printing_resugars_params() {
+        let p = parse_program("letrec add x y = x + y in add 1 2").unwrap();
+        let printed = pretty_program(&p);
+        assert!(printed.contains("add x y = x + y"), "got: {printed}");
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p2.bindings.len(), 1);
+    }
+
+    #[test]
+    fn nested_comparison_parenthesized() {
+        roundtrips("(1 = 2) = false");
+    }
+
+    #[test]
+    fn partial_infix_prints_prefix() {
+        // A partially applied `+` must print as an application, not infix.
+        let e = parse_expr("f (cons 1)").unwrap();
+        let s = pretty_expr(&e);
+        assert!(s.contains("cons 1"), "got {s}");
+        roundtrips("f (cons 1)");
+    }
+}

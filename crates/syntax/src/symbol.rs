@@ -1,0 +1,125 @@
+//! Interned identifiers.
+//!
+//! Identifiers are interned in a process-wide table so that [`Symbol`] is a
+//! cheap, `Copy`, hashable handle usable as a map key throughout the
+//! pipeline (type environments, abstract environments, runtime frames).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier.
+///
+/// Two symbols are equal iff the identifiers they intern are equal. The
+/// ordering is by intern index (creation order), which is deterministic for
+/// a fixed sequence of interning calls but is *not* lexicographic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    table: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = i.table.get(name) {
+            return Symbol(id);
+        }
+        let id = i.names.len() as u32;
+        // Leaking is intentional: the interner lives for the whole process
+        // and makes `as_str` possible without a lock-guarded lifetime.
+        let stat: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.names.push(stat);
+        i.table.insert(stat, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("symbol interner poisoned");
+        i.names[self.0 as usize]
+    }
+
+    /// A fresh symbol guaranteed distinct from any previously interned
+    /// identifier, derived from `base` (used by monomorphization and the
+    /// optimizer to mangle names).
+    pub fn fresh(base: &str) -> Symbol {
+        let mut n = 0u32;
+        loop {
+            let candidate = format!("{base}%{n}");
+            let mut i = interner().lock().expect("symbol interner poisoned");
+            if !i.table.contains_key(candidate.as_str()) {
+                let id = i.names.len() as u32;
+                let stat: &'static str = Box::leak(candidate.into_boxed_str());
+                i.names.push(stat);
+                i.table.insert(stat, id);
+                return Symbol(id);
+            }
+            n += 1;
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("append");
+        let b = Symbol::intern("append");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "append");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::intern("x"), Symbol::intern("y"));
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let a = Symbol::intern("f%0");
+        let b = Symbol::fresh("f");
+        assert_ne!(a, b);
+        let c = Symbol::fresh("f");
+        assert_ne!(b, c);
+        assert!(b.as_str().starts_with("f%"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Symbol::intern("cons").to_string(), "cons");
+    }
+}

@@ -1,0 +1,136 @@
+//! Token kinds produced by the lexer.
+
+use crate::span::Span;
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier (including primitive names such as `cons`, `car`).
+    Ident(Symbol),
+    /// Type variable written `'a`.
+    TyVar(Symbol),
+
+    /// Keyword `lambda`.
+    Lambda,
+    /// Keyword `if`.
+    If,
+    /// Keyword `then`.
+    Then,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `letrec`.
+    Letrec,
+    /// Keyword `let`.
+    Let,
+    /// Keyword `in`.
+    In,
+    /// Literal `true`.
+    True,
+    /// Literal `false`.
+    False,
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Int(n) => write!(f, "{n}"),
+            Ident(s) => write!(f, "{s}"),
+            TyVar(s) => write!(f, "'{s}"),
+            Lambda => f.write_str("lambda"),
+            If => f.write_str("if"),
+            Then => f.write_str("then"),
+            Else => f.write_str("else"),
+            Letrec => f.write_str("letrec"),
+            Let => f.write_str("let"),
+            In => f.write_str("in"),
+            True => f.write_str("true"),
+            False => f.write_str("false"),
+            LParen => f.write_str("("),
+            RParen => f.write_str(")"),
+            LBracket => f.write_str("["),
+            RBracket => f.write_str("]"),
+            Comma => f.write_str(","),
+            Semi => f.write_str(";"),
+            Dot => f.write_str("."),
+            Colon => f.write_str(":"),
+            ColonColon => f.write_str("::"),
+            Arrow => f.write_str("->"),
+            Eq => f.write_str("="),
+            Ne => f.write_str("<>"),
+            Lt => f.write_str("<"),
+            Le => f.write_str("<="),
+            Gt => f.write_str(">"),
+            Ge => f.write_str(">="),
+            Plus => f.write_str("+"),
+            Minus => f.write_str("-"),
+            Star => f.write_str("*"),
+            Slash => f.write_str("/"),
+            Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}

@@ -1,0 +1,155 @@
+//! AST traversal utilities: free variables and expression walking.
+
+use crate::ast::{Expr, ExprKind};
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+
+/// The set of free identifiers of `e`.
+///
+/// Primitive constants (`cons`, `car`, ...) and literals are not
+/// identifiers, so they never appear. The result is a `BTreeSet` for
+/// deterministic iteration order.
+pub fn free_vars(e: &Expr) -> BTreeSet<Symbol> {
+    let mut free = BTreeSet::new();
+    let mut bound = Vec::new();
+    go(e, &mut bound, &mut free);
+    free
+}
+
+fn go(e: &Expr, bound: &mut Vec<Symbol>, free: &mut BTreeSet<Symbol>) {
+    match &e.kind {
+        ExprKind::Const(_) => {}
+        ExprKind::Var(x) => {
+            if !bound.contains(x) {
+                free.insert(*x);
+            }
+        }
+        ExprKind::App(f, a) => {
+            go(f, bound, free);
+            go(a, bound, free);
+        }
+        ExprKind::Lambda(x, body) => {
+            bound.push(*x);
+            go(body, bound, free);
+            bound.pop();
+        }
+        ExprKind::If(c, t, f) => {
+            go(c, bound, free);
+            go(t, bound, free);
+            go(f, bound, free);
+        }
+        ExprKind::Letrec(bs, body) => {
+            let n = bs.len();
+            for b in bs {
+                bound.push(b.name);
+            }
+            for b in bs {
+                go(&b.expr, bound, free);
+            }
+            go(body, bound, free);
+            bound.truncate(bound.len() - n);
+        }
+        ExprKind::Annot(inner, _) => go(inner, bound, free),
+    }
+}
+
+/// Calls `f` on every node of `e`, pre-order.
+pub fn walk_exprs<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Const(_) | ExprKind::Var(_) => {}
+        ExprKind::App(fun, arg) => {
+            walk_exprs(fun, f);
+            walk_exprs(arg, f);
+        }
+        ExprKind::Lambda(_, body) => walk_exprs(body, f),
+        ExprKind::If(c, t, el) => {
+            walk_exprs(c, f);
+            walk_exprs(t, f);
+            walk_exprs(el, f);
+        }
+        ExprKind::Letrec(bs, body) => {
+            for b in bs {
+                walk_exprs(&b.expr, f);
+            }
+            walk_exprs(body, f);
+        }
+        ExprKind::Annot(inner, _) => walk_exprs(inner, f),
+    }
+}
+
+/// Counts the occurrences of the variable `x` in `e`, respecting shadowing.
+pub fn count_occurrences(e: &Expr, x: Symbol) -> usize {
+    match &e.kind {
+        ExprKind::Const(_) => 0,
+        ExprKind::Var(y) => usize::from(*y == x),
+        ExprKind::App(f, a) => count_occurrences(f, x) + count_occurrences(a, x),
+        ExprKind::Lambda(y, body) => {
+            if *y == x {
+                0
+            } else {
+                count_occurrences(body, x)
+            }
+        }
+        ExprKind::If(c, t, f) => {
+            count_occurrences(c, x) + count_occurrences(t, x) + count_occurrences(f, x)
+        }
+        ExprKind::Letrec(bs, body) => {
+            if bs.iter().any(|b| b.name == x) {
+                0
+            } else {
+                bs.iter().map(|b| count_occurrences(&b.expr, x)).sum::<usize>()
+                    + count_occurrences(body, x)
+            }
+        }
+        ExprKind::Annot(inner, _) => count_occurrences(inner, x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn fv(src: &str) -> Vec<String> {
+        free_vars(&parse_expr(src).unwrap())
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn lambda_binds() {
+        assert_eq!(fv("lambda(x). x y"), vec!["y"]);
+    }
+
+    #[test]
+    fn letrec_binds_recursively() {
+        assert_eq!(fv("letrec f = g; g = f in f"), vec!["g"; 0]);
+        assert_eq!(fv("letrec f = h in f"), vec!["h"]);
+    }
+
+    #[test]
+    fn primitives_are_not_free() {
+        assert_eq!(fv("cons x nil"), vec!["x"]);
+    }
+
+    #[test]
+    fn shadowing_respected() {
+        assert_eq!(fv("lambda(x). letrec x = 1 in x"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn occurrence_counting() {
+        let e = parse_expr("x + (lambda(x). x) 1 + x").unwrap();
+        assert_eq!(count_occurrences(&e, crate::symbol::Symbol::intern("x")), 2);
+    }
+
+    #[test]
+    fn walk_visits_all() {
+        let e = parse_expr("if a then b else c").unwrap();
+        let mut n = 0;
+        walk_exprs(&e, &mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the front end: total lexing, and
+//! pretty-print/re-parse round-tripping over randomly generated ASTs.
+
+use nml_syntax::ast::{Binding, Const, Expr, ExprKind, NodeId, Prim};
+use nml_syntax::{lexer, parse_expr, pretty_expr, Span, Symbol};
+use proptest::prelude::*;
+
+// ---- lexer totality -------------------------------------------------------
+
+proptest! {
+    /// The lexer never panics: any string lexes to tokens or to an error.
+    #[test]
+    fn lexer_is_total(src in ".{0,200}") {
+        let _ = lexer::lex(&src);
+    }
+
+    /// Lexing ASCII-only strings is equally total (denser coverage of the
+    /// operator table).
+    #[test]
+    fn lexer_total_on_ascii_soup(src in "[ -~]{0,200}") {
+        let _ = lexer::lex(&src);
+    }
+
+    /// Parsing never panics either.
+    #[test]
+    fn parser_is_total(src in "[ -~]{0,120}") {
+        let _ = parse_expr(&src);
+    }
+}
+
+// ---- pretty-print round trip ---------------------------------------------
+
+fn var_names() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        Just(Symbol::intern("x")),
+        Just(Symbol::intern("y")),
+        Just(Symbol::intern("zs")),
+        Just(Symbol::intern("acc")),
+    ]
+}
+
+fn const_strategy() -> impl Strategy<Value = Const> {
+    prop_oneof![
+        // Only non-negative literals: the parser never produces negative
+        // Int constants (unary minus desugars to `0 - n`), so they are
+        // outside the printable fragment.
+        (0i64..100).prop_map(Const::Int),
+        any::<bool>().prop_map(Const::Bool),
+        Just(Const::Nil),
+        prop_oneof![
+            Just(Prim::Add),
+            Just(Prim::Sub),
+            Just(Prim::Mul),
+            Just(Prim::Eq),
+            Just(Prim::Lt),
+            Just(Prim::Cons),
+            Just(Prim::Car),
+            Just(Prim::Cdr),
+            Just(Prim::Null),
+        ]
+        .prop_map(Const::Prim),
+    ]
+}
+
+fn mk(kind: ExprKind) -> Expr {
+    Expr {
+        id: NodeId(0),
+        span: Span::DUMMY,
+        kind,
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        const_strategy().prop_map(|c| mk(ExprKind::Const(c))),
+        var_names().prop_map(|v| mk(ExprKind::Var(v))),
+    ];
+    leaf.prop_recursive(5, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(f, a)| mk(ExprKind::App(
+                Box::new(f),
+                Box::new(a)
+            ))),
+            (var_names(), inner.clone()).prop_map(|(x, b)| mk(ExprKind::Lambda(
+                x,
+                Box::new(b)
+            ))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| mk(
+                ExprKind::If(Box::new(c), Box::new(t), Box::new(f))
+            )),
+            (var_names(), inner.clone(), inner.clone()).prop_map(|(n, b, body)| mk(
+                ExprKind::Letrec(
+                    vec![Binding {
+                        name: n,
+                        span: Span::DUMMY,
+                        expr: b,
+                    }],
+                    Box::new(body)
+                )
+            )),
+        ]
+    })
+}
+
+/// Structural equality ignoring ids and spans.
+fn alpha_eq(a: &Expr, b: &Expr) -> bool {
+    match (&a.kind, &b.kind) {
+        (ExprKind::Const(x), ExprKind::Const(y)) => x == y,
+        (ExprKind::Var(x), ExprKind::Var(y)) => x == y,
+        (ExprKind::App(f1, a1), ExprKind::App(f2, a2)) => alpha_eq(f1, f2) && alpha_eq(a1, a2),
+        (ExprKind::Lambda(x1, b1), ExprKind::Lambda(x2, b2)) => x1 == x2 && alpha_eq(b1, b2),
+        (ExprKind::If(c1, t1, e1), ExprKind::If(c2, t2, e2)) => {
+            alpha_eq(c1, c2) && alpha_eq(t1, t2) && alpha_eq(e1, e2)
+        }
+        (ExprKind::Letrec(bs1, e1), ExprKind::Letrec(bs2, e2)) => {
+            bs1.len() == bs2.len()
+                && bs1
+                    .iter()
+                    .zip(bs2)
+                    .all(|(x, y)| x.name == y.name && alpha_eq(&x.expr, &y.expr))
+                && alpha_eq(e1, e2)
+        }
+        (ExprKind::Annot(e1, t1), ExprKind::Annot(e2, t2)) => t1 == t2 && alpha_eq(e1, e2),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// pretty ∘ parse is the identity on ASTs (modulo ids/spans): the
+    /// printer emits valid concrete syntax with correct precedence.
+    #[test]
+    fn pretty_print_roundtrips(e in expr_strategy()) {
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+        prop_assert!(
+            alpha_eq(&e, &reparsed),
+            "round trip changed the tree:\n  printed: {}\n  original: {:?}\n  reparsed: {:?}",
+            printed, e, reparsed
+        );
+    }
+}

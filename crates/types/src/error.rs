@@ -1,0 +1,72 @@
+//! Type errors.
+
+use crate::ty::{Ty, TyVar};
+use nml_syntax::{SourceMap, Span};
+use std::fmt;
+
+/// A type-inference failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeErrorKind {
+    /// Two types failed to unify.
+    Mismatch {
+        /// The type required by context.
+        expected: Ty,
+        /// The type found.
+        found: Ty,
+    },
+    /// The occurs check failed (infinite type).
+    Occurs {
+        /// The variable being solved.
+        var: TyVar,
+        /// The type it would have to contain itself in.
+        ty: Ty,
+    },
+    /// An unbound identifier.
+    Unbound {
+        /// The identifier.
+        name: String,
+    },
+}
+
+impl fmt::Display for TypeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeErrorKind::Mismatch { expected, found } => {
+                write!(f, "type mismatch: expected `{expected}`, found `{found}`")
+            }
+            TypeErrorKind::Occurs { var, ty } => {
+                write!(f, "cannot construct the infinite type `{var} = {ty}`")
+            }
+            TypeErrorKind::Unbound { name } => write!(f, "unbound identifier `{name}`"),
+        }
+    }
+}
+
+/// A type error with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// What went wrong.
+    pub kind: TypeErrorKind,
+    /// Where.
+    pub span: Span,
+}
+
+impl TypeError {
+    /// Creates an error.
+    pub fn new(kind: TypeErrorKind, span: Span) -> Self {
+        TypeError { kind, span }
+    }
+
+    /// Renders the error with a caret snippet.
+    pub fn render(&self, map: &SourceMap) -> String {
+        map.render(self.span, &self.kind.to_string())
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.span)
+    }
+}
+
+impl std::error::Error for TypeError {}

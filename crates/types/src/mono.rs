@@ -1,0 +1,453 @@
+//! Monomorphization by specialization.
+//!
+//! The escape analysis operates on monomorphically typed programs (paper
+//! §3.1). For polymorphic programs the paper offers two routes:
+//!
+//! 1. analyze only the **simplest monotype instance** of each polymorphic
+//!    function and transfer results by polymorphic invariance (§5), or
+//! 2. analyze each monotype instance separately.
+//!
+//! This module implements route 2 as a program transformation: each
+//! polymorphic top-level binding is cloned once per distinct ground
+//! instantiation demanded by the program, the clone's body is pinned to its
+//! instance with a type ascription, and use sites are rewritten to refer to
+//! the matching clone. The result re-infers with no defaulting in reachable
+//! code, so every `car^s` annotation is exact for its instance. Route 1 is
+//! what you get by *not* monomorphizing (the inferencer defaults residual
+//! variables to `int`), and the two routes are compared in the test suite —
+//! they must agree modulo the spine offset of Theorem 1.
+//!
+//! Scope: only *singleton* (non-mutually-recursive) polymorphic top-level
+//! bindings are specialized. Mutually recursive polymorphic groups and
+//! polymorphic bindings of nested `letrec`s are left to route 1; this
+//! covers every program in the paper and the benchmark corpus.
+
+use crate::infer::{infer_program, scc_order, TypeInfo};
+use crate::ty::{Ty, TyVar};
+use nml_syntax::ast::{Binding, Expr, ExprKind, NodeId, Program};
+use nml_syntax::Symbol;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// The output of monomorphization.
+#[derive(Debug, Clone)]
+pub struct MonoProgram {
+    /// The specialized program.
+    pub program: Program,
+    /// Fresh type information for the specialized program.
+    pub info: TypeInfo,
+    /// Map from (original name, instance tuple) to the specialized name.
+    /// Singleton-tuple of the original name means it was kept as-is.
+    pub copies: BTreeMap<(Symbol, Vec<Ty>), Symbol>,
+}
+
+/// Monomorphizes `program`, given the `info` from a prior inference run.
+///
+/// # Errors
+///
+/// Returns a [`crate::error::TypeError`] if the specialized program fails
+/// to re-infer. This indicates a bug in the specializer rather than in the
+/// input (the input already type-checked), so it is surfaced rather than
+/// panicked to keep the driver robust.
+pub fn monomorphize(
+    program: &Program,
+    info: &TypeInfo,
+) -> Result<MonoProgram, crate::error::TypeError> {
+    let mut m = Mono::new(program, info);
+    let new_program = m.run();
+    let new_info = infer_program(&new_program)?;
+    Ok(MonoProgram {
+        program: new_program,
+        info: new_info,
+        copies: m.copies,
+    })
+}
+
+/// Encodes a ground type as an identifier-safe string: `int` ↦ `i`,
+/// `bool` ↦ `b`, `τ list` ↦ `enc(τ) + "L"`, `τ1 -> τ2` ↦
+/// `"F" + enc(τ1) + enc(τ2) + "E"`. The encoding is injective.
+pub fn encode_ty(t: &Ty) -> String {
+    match t {
+        Ty::Int => "i".to_owned(),
+        Ty::Bool => "b".to_owned(),
+        Ty::Var(_) => "i".to_owned(), // defaulted simplest instance
+        Ty::List(e) => format!("{}L", encode_ty(e)),
+        Ty::Prod(a, b) => format!("P{}{}E", encode_ty(a), encode_ty(b)),
+        Ty::Fun(a, b) => format!("F{}{}E", encode_ty(a), encode_ty(b)),
+    }
+}
+
+fn mangle(name: Symbol, tuple: &[Ty]) -> Symbol {
+    let mut s = format!("{name}_");
+    for t in tuple {
+        s.push('_');
+        s.push_str(&encode_ty(t));
+    }
+    Symbol::intern(&s)
+}
+
+struct Mono<'a> {
+    program: &'a Program,
+    info: &'a TypeInfo,
+    /// Top-level poly bindings eligible for specialization.
+    specializable: HashSet<Symbol>,
+    /// (name, ground tuple) -> specialized name.
+    copies: BTreeMap<(Symbol, Vec<Ty>), Symbol>,
+    /// Instances not yet cloned.
+    queue: VecDeque<(Symbol, Vec<Ty>)>,
+    next_id: u32,
+}
+
+impl<'a> Mono<'a> {
+    fn new(program: &'a Program, info: &'a TypeInfo) -> Self {
+        let mut specializable = HashSet::new();
+        for comp in scc_order(&program.bindings) {
+            if comp.len() == 1 {
+                let b = &program.bindings[comp[0]];
+                if info
+                    .top_schemes
+                    .get(&b.name)
+                    .is_some_and(|s| s.is_poly())
+                {
+                    specializable.insert(b.name);
+                }
+            }
+        }
+        Mono {
+            program,
+            info,
+            specializable,
+            copies: BTreeMap::new(),
+            queue: VecDeque::new(),
+            next_id: program.next_node_id,
+        }
+    }
+
+    fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Demands the instance `(name, tuple)`; returns the specialized name.
+    fn demand(&mut self, name: Symbol, tuple: Vec<Ty>) -> Symbol {
+        if let Some(&n) = self.copies.get(&(name, tuple.clone())) {
+            return n;
+        }
+        let mangled = mangle(name, &tuple);
+        self.copies.insert((name, tuple.clone()), mangled);
+        self.queue.push_back((name, tuple));
+        mangled
+    }
+
+    fn run(&mut self) -> Program {
+        // Rewrite the body and every non-specializable binding first; their
+        // instantiation sites seed the demand queue. Instantiation vectors
+        // at these sites may still contain variables (dead or
+        // underdetermined code); they default to int.
+        let empty: HashMap<TyVar, Ty> = HashMap::new();
+        let body = self.clone_expr(&self.program.body, &empty, None, &mut Vec::new());
+
+        let mut kept: Vec<Binding> = Vec::new();
+        for b in &self.program.bindings {
+            if !self.specializable.contains(&b.name) {
+                let expr = self.clone_expr(&b.expr, &empty, None, &mut Vec::new());
+                kept.push(Binding {
+                    name: b.name,
+                    span: b.span,
+                    expr,
+                });
+            }
+        }
+
+        // Process demanded instances to a fixpoint.
+        let mut specialized: Vec<Binding> = Vec::new();
+        while let Some((name, tuple)) = self.queue.pop_front() {
+            let new_name = self.copies[&(name, tuple.clone())];
+            let orig = self
+                .program
+                .binding(name)
+                .expect("demanded instance of unknown binding");
+            let orig_vars = &self.info.top_scheme_orig_vars[&name];
+            let subst: HashMap<TyVar, Ty> = orig_vars
+                .iter()
+                .copied()
+                .zip(tuple.iter().cloned())
+                .collect();
+            let mut bound = Vec::new();
+            let expr = self.clone_expr(&orig.expr, &subst, Some((name, new_name)), &mut bound);
+            // Pin the clone to its instance so re-inference cannot
+            // re-generalize it.
+            let scheme = &self.info.top_schemes[&name];
+            let instance_ty = scheme.instantiate_with(&tuple).default_vars();
+            let id = self.fresh_id();
+            let expr = Expr {
+                id,
+                span: orig.expr.span,
+                kind: ExprKind::Annot(Box::new(expr), instance_ty.to_ty_expr()),
+            };
+            specialized.push(Binding {
+                name: new_name,
+                span: orig.span,
+                expr,
+            });
+        }
+
+        kept.extend(specialized);
+        Program {
+            bindings: kept,
+            body,
+            span: self.program.span,
+            next_node_id: self.next_id,
+        }
+    }
+
+    /// Clones `e` with fresh node ids, applying `subst` to recorded
+    /// instantiation vectors, redirecting instantiated uses of
+    /// specializable bindings to their demanded copies, and renaming free
+    /// recursive occurrences per `self_rename`.
+    fn clone_expr(
+        &mut self,
+        e: &Expr,
+        subst: &HashMap<TyVar, Ty>,
+        self_rename: Option<(Symbol, Symbol)>,
+        bound: &mut Vec<Symbol>,
+    ) -> Expr {
+        let id = self.fresh_id();
+        let kind = match &e.kind {
+            ExprKind::Const(c) => ExprKind::Const(*c),
+            ExprKind::Var(x) => {
+                let shadowed = bound.contains(x);
+                if !shadowed {
+                    if let Some((name, args)) = self.info.instantiations.get(&e.id) {
+                        if self.specializable.contains(name) {
+                            let tuple: Vec<Ty> = args
+                                .iter()
+                                .map(|t| t.apply(subst).default_vars())
+                                .collect();
+                            let new = self.demand(*name, tuple);
+                            return Expr {
+                                id,
+                                span: e.span,
+                                kind: ExprKind::Var(new),
+                            };
+                        }
+                    }
+                    if let Some((from, to)) = self_rename {
+                        if *x == from {
+                            return Expr {
+                                id,
+                                span: e.span,
+                                kind: ExprKind::Var(to),
+                            };
+                        }
+                    }
+                }
+                ExprKind::Var(*x)
+            }
+            ExprKind::App(f, a) => ExprKind::App(
+                Box::new(self.clone_expr(f, subst, self_rename, bound)),
+                Box::new(self.clone_expr(a, subst, self_rename, bound)),
+            ),
+            ExprKind::Lambda(x, body) => {
+                bound.push(*x);
+                let b = self.clone_expr(body, subst, self_rename, bound);
+                bound.pop();
+                ExprKind::Lambda(*x, Box::new(b))
+            }
+            ExprKind::If(c, t, f) => ExprKind::If(
+                Box::new(self.clone_expr(c, subst, self_rename, bound)),
+                Box::new(self.clone_expr(t, subst, self_rename, bound)),
+                Box::new(self.clone_expr(f, subst, self_rename, bound)),
+            ),
+            ExprKind::Letrec(bs, body) => {
+                let names: Vec<Symbol> = bs.iter().map(|b| b.name).collect();
+                bound.extend(names.iter().copied());
+                let new_bs: Vec<Binding> = bs
+                    .iter()
+                    .map(|b| Binding {
+                        name: b.name,
+                        span: b.span,
+                        expr: self.clone_expr(&b.expr, subst, self_rename, bound),
+                    })
+                    .collect();
+                let new_body = self.clone_expr(body, subst, self_rename, bound);
+                bound.truncate(bound.len() - names.len());
+                ExprKind::Letrec(new_bs, Box::new(new_body))
+            }
+            ExprKind::Annot(inner, ty) => ExprKind::Annot(
+                Box::new(self.clone_expr(inner, subst, self_rename, bound)),
+                ty.clone(),
+            ),
+        };
+        Expr {
+            id,
+            span: e.span,
+            kind,
+        }
+    }
+}
+
+/// Convenience: infer + monomorphize in one step.
+///
+/// # Errors
+///
+/// Propagates inference errors from either pass.
+pub fn infer_and_monomorphize(program: &Program) -> Result<MonoProgram, crate::error::TypeError> {
+    let info = infer_program(program)?;
+    monomorphize(program, &info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nml_syntax::{parse_program, pretty_program};
+
+    fn mono(src: &str) -> MonoProgram {
+        let p = parse_program(src).expect("parse");
+        infer_and_monomorphize(&p).expect("mono")
+    }
+
+    #[test]
+    fn encode_ty_injective_examples() {
+        assert_eq!(encode_ty(&Ty::list(Ty::list(Ty::Int))), "iLL");
+        assert_eq!(encode_ty(&Ty::fun(Ty::Int, Ty::list(Ty::Bool))), "FibLE");
+        assert_ne!(
+            encode_ty(&Ty::fun(Ty::list(Ty::Int), Ty::Int)),
+            encode_ty(&Ty::fun(Ty::Int, Ty::list(Ty::Int)))
+        );
+    }
+
+    #[test]
+    fn monomorphic_program_is_unchanged_in_shape() {
+        let m = mono("letrec inc x = x + 1 in inc 2");
+        assert_eq!(m.program.bindings.len(), 1);
+        assert_eq!(m.program.bindings[0].name.as_str(), "inc");
+        assert!(m.copies.is_empty());
+    }
+
+    #[test]
+    fn two_instances_two_copies() {
+        let m = mono(
+            "letrec len l = if (null l) then 0 else 1 + len (cdr l)
+             in len [1] + len [[2]]",
+        );
+        assert_eq!(m.program.bindings.len(), 2, "{}", pretty_program(&m.program));
+        let names: Vec<&str> = m
+            .program
+            .bindings
+            .iter()
+            .map(|b| b.name.as_str())
+            .collect();
+        assert!(names.contains(&"len__i"), "names: {names:?}");
+        assert!(names.contains(&"len__iL"), "names: {names:?}");
+        // Signatures are the two instances.
+        let s1 = m.info.top_sigs[&Symbol::intern("len__i")].to_string();
+        let s2 = m.info.top_sigs[&Symbol::intern("len__iL")].to_string();
+        assert_eq!(s1, "int list -> int");
+        assert_eq!(s2, "int list list -> int");
+    }
+
+    #[test]
+    fn recursive_use_points_at_copy() {
+        let m = mono(
+            "letrec len l = if (null l) then 0 else 1 + len (cdr l)
+             in len [[1]]",
+        );
+        let printed = pretty_program(&m.program);
+        // The clone's recursion must call the clone, not the dead original.
+        assert!(printed.contains("len__iL (cdr l)"), "{printed}");
+    }
+
+    #[test]
+    fn chained_demand_through_poly_callers() {
+        // concat uses append at the element type of its own instance; a
+        // bool-list use of concat must demand a bool-instance append.
+        let m = mono(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y);
+                    concat ll = if (null ll) then nil
+                                else append (car ll) (concat (cdr ll))
+             in concat [[true]]",
+        );
+        let names: Vec<&str> = m
+            .program
+            .bindings
+            .iter()
+            .map(|b| b.name.as_str())
+            .collect();
+        assert!(names.contains(&"append__b"), "names: {names:?}");
+        assert!(names.contains(&"concat__b"), "names: {names:?}");
+        // append's car inside the bool instance is still car^1.
+        let info = &m.info;
+        assert!(info.car_spines.values().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn specialized_program_has_no_reachable_defaulting() {
+        let m = mono(
+            "letrec id x = x in cons (id 1) (id [2])",
+        );
+        // Two copies of id at int and int list.
+        assert_eq!(m.program.bindings.len(), 2);
+        for b in &m.program.bindings {
+            let sig = &m.info.top_sigs[&b.name];
+            assert!(!sig.has_vars());
+        }
+    }
+
+    #[test]
+    fn car_spines_differ_across_instances() {
+        let m = mono(
+            "letrec first l = car l
+             in cons (first [[1]]) (cons (car (first [[[2]]])) nil)",
+        );
+        // first at int list list (car^2) and at int list list list (car^3).
+        let mut spines: Vec<u32> = m.info.car_spines.values().copied().collect();
+        spines.sort_unstable();
+        assert!(spines.contains(&2) && spines.contains(&3), "spines: {spines:?}");
+    }
+
+    #[test]
+    fn mutually_recursive_poly_group_left_alone() {
+        let m = mono(
+            "letrec pingpong l n = if n = 0 then l else pong l (n - 1);
+                    pong l n = if n = 0 then l else pingpong l (n - 1)
+             in pingpong [1] 3",
+        );
+        let names: Vec<&str> = m
+            .program
+            .bindings
+            .iter()
+            .map(|b| b.name.as_str())
+            .collect();
+        assert!(names.contains(&"pingpong"));
+        assert!(names.contains(&"pong"));
+    }
+
+    #[test]
+    fn shadowing_not_rewritten() {
+        let m = mono(
+            "letrec id x = x in (lambda(id). id) 5 + id 1",
+        );
+        let printed = pretty_program(&m.program);
+        assert!(printed.contains("lambda(id). id"), "{printed}");
+    }
+
+    #[test]
+    fn map_specializes_with_function_argument() {
+        let m = mono(
+            "letrec map f l = if (null l) then nil
+                              else cons (f (car l)) (map f (cdr l))
+             in map (lambda(x). cons x nil) [1, 2]",
+        );
+        let names: Vec<&str> = m
+            .program
+            .bindings
+            .iter()
+            .map(|b| b.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["map__i_iL"]);
+        let sig = m.info.top_sigs[&Symbol::intern("map__i_iL")].to_string();
+        assert_eq!(sig, "(int -> int list) -> int list -> int list list");
+    }
+}

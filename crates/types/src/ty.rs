@@ -1,0 +1,357 @@
+//! Monotypes, type schemes, and spine counting.
+//!
+//! The number of *spines* of a type (paper, Definition 1) drives the whole
+//! escape analysis: a value of type `int list list` has 2 spines, `int` has
+//! 0, and a function type has 0 (a closure is an indivisible object for the
+//! purposes of the basic escape domain).
+
+use nml_syntax::TyExpr;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An inference type variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TyVar(pub u32);
+
+impl fmt::Display for TyVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as 'a, 'b, ..., 'z, 't26, 't27, ...
+        let n = self.0;
+        if n < 26 {
+            write!(f, "'{}", (b'a' + n as u8) as char)
+        } else {
+            write!(f, "'t{n}")
+        }
+    }
+}
+
+/// A monotype (possibly containing inference variables).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// An inference or scheme-bound type variable.
+    Var(TyVar),
+    /// `τ list`
+    List(Rc<Ty>),
+    /// `τ1 * τ2` — the paper's suggested tuple extension (§1).
+    Prod(Rc<Ty>, Rc<Ty>),
+    /// `τ1 -> τ2`
+    Fun(Rc<Ty>, Rc<Ty>),
+}
+
+impl Ty {
+    /// Builds `τ list`.
+    pub fn list(elem: Ty) -> Ty {
+        Ty::List(Rc::new(elem))
+    }
+
+    /// Builds `τ1 -> τ2`.
+    pub fn fun(dom: Ty, cod: Ty) -> Ty {
+        Ty::Fun(Rc::new(dom), Rc::new(cod))
+    }
+
+    /// Builds `τ1 * τ2`.
+    pub fn prod(a: Ty, b: Ty) -> Ty {
+        Ty::Prod(Rc::new(a), Rc::new(b))
+    }
+
+    /// Builds the curried function type `t1 -> t2 -> ... -> ret`.
+    pub fn fun_n(params: impl IntoIterator<Item = Ty>, ret: Ty) -> Ty {
+        let params: Vec<Ty> = params.into_iter().collect();
+        params
+            .into_iter()
+            .rev()
+            .fold(ret, |acc, p| Ty::fun(p, acc))
+    }
+
+    /// The number of spines of this type (Definition 1): `0` for non-list
+    /// types, `1 + spines(τ)` for `τ list`.
+    pub fn spines(&self) -> u32 {
+        match self {
+            Ty::List(elem) => 1 + elem.spines(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the type is a list type.
+    pub fn is_list(&self) -> bool {
+        matches!(self, Ty::List(_))
+    }
+
+    /// Whether the type contains any type variable.
+    pub fn has_vars(&self) -> bool {
+        match self {
+            Ty::Int | Ty::Bool => false,
+            Ty::Var(_) => true,
+            Ty::List(t) => t.has_vars(),
+            Ty::Prod(a, b) | Ty::Fun(a, b) => a.has_vars() || b.has_vars(),
+        }
+    }
+
+    /// Collects the free type variables in order of first occurrence.
+    pub fn vars(&self) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<TyVar>) {
+        match self {
+            Ty::Int | Ty::Bool => {}
+            Ty::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Ty::List(t) => t.collect_vars(out),
+            Ty::Prod(a, b) | Ty::Fun(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Replaces every type variable according to `map`; variables absent
+    /// from `map` are left in place.
+    #[must_use]
+    pub fn apply(&self, map: &HashMap<TyVar, Ty>) -> Ty {
+        match self {
+            Ty::Int => Ty::Int,
+            Ty::Bool => Ty::Bool,
+            Ty::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Ty::List(t) => Ty::list(t.apply(map)),
+            Ty::Prod(a, b) => Ty::prod(a.apply(map), b.apply(map)),
+            Ty::Fun(a, b) => Ty::fun(a.apply(map), b.apply(map)),
+        }
+    }
+
+    /// Replaces every remaining type variable by `int` — the *simplest
+    /// monotype instance* used by the polymorphic-invariance argument
+    /// (paper §5).
+    #[must_use]
+    pub fn default_vars(&self) -> Ty {
+        match self {
+            Ty::Int | Ty::Bool => self.clone(),
+            Ty::Var(_) => Ty::Int,
+            Ty::List(t) => Ty::list(t.default_vars()),
+            Ty::Prod(a, b) => Ty::prod(a.default_vars(), b.default_vars()),
+            Ty::Fun(a, b) => Ty::fun(a.default_vars(), b.default_vars()),
+        }
+    }
+
+    /// Splits a curried function type into parameter types and the final
+    /// non-function result: `a -> b -> c` gives `([a, b], c)`.
+    pub fn uncurry(&self) -> (Vec<Ty>, Ty) {
+        let mut params = Vec::new();
+        let mut cur = self.clone();
+        while let Ty::Fun(a, b) = cur {
+            params.push((*a).clone());
+            cur = (*b).clone();
+        }
+        (params, cur)
+    }
+
+    /// The number of arguments a value of this type can take before
+    /// returning a primitive (non-function) value, looking *through* list
+    /// constructors as the worst-case function `W^τ` does (paper Def. 2:
+    /// `W^{τ list} = W^τ`).
+    pub fn worst_case_arity(&self) -> usize {
+        match self {
+            Ty::Fun(_, cod) => 1 + cod.worst_case_arity(),
+            Ty::List(elem) => elem.worst_case_arity(),
+            // A pair may hold functions in either slot; the worst case
+            // must be applicable as the longer of the two.
+            Ty::Prod(a, b) => a.worst_case_arity().max(b.worst_case_arity()),
+            Ty::Int | Ty::Bool | Ty::Var(_) => 0,
+        }
+    }
+
+    /// Converts a ground type into surface syntax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type contains variables (they have no stable surface
+    /// spelling after inference).
+    pub fn to_ty_expr(&self) -> TyExpr {
+        match self {
+            Ty::Int => TyExpr::Int,
+            Ty::Bool => TyExpr::Bool,
+            Ty::Var(v) => panic!("cannot convert open type (contains {v}) to surface syntax"),
+            Ty::List(t) => TyExpr::List(Box::new(t.to_ty_expr())),
+            Ty::Prod(a, b) => TyExpr::Prod(Box::new(a.to_ty_expr()), Box::new(b.to_ty_expr())),
+            Ty::Fun(a, b) => TyExpr::Fun(Box::new(a.to_ty_expr()), Box::new(b.to_ty_expr())),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => f.write_str("int"),
+            Ty::Bool => f.write_str("bool"),
+            Ty::Var(v) => write!(f, "{v}"),
+            Ty::List(t) => match **t {
+                Ty::Fun(..) | Ty::Prod(..) => write!(f, "({t}) list"),
+                _ => write!(f, "{t} list"),
+            },
+            Ty::Prod(a, b) => {
+                match **a {
+                    Ty::Fun(..) | Ty::Prod(..) => write!(f, "({a})")?,
+                    _ => write!(f, "{a}")?,
+                }
+                f.write_str(" * ")?;
+                match **b {
+                    Ty::Fun(..) => write!(f, "({b})"),
+                    _ => write!(f, "{b}"),
+                }
+            }
+            Ty::Fun(a, b) => match **a {
+                Ty::Fun(..) => write!(f, "({a}) -> {b}"),
+                _ => write!(f, "{a} -> {b}"),
+            },
+        }
+    }
+}
+
+/// A type scheme `∀ vars. ty`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheme {
+    /// Universally quantified variables.
+    pub vars: Vec<TyVar>,
+    /// The scheme body.
+    pub ty: Ty,
+}
+
+impl Scheme {
+    /// A scheme with no quantified variables.
+    pub fn mono(ty: Ty) -> Scheme {
+        Scheme { vars: Vec::new(), ty }
+    }
+
+    /// Whether the scheme quantifies at least one variable.
+    pub fn is_poly(&self) -> bool {
+        !self.vars.is_empty()
+    }
+
+    /// Instantiates the scheme with the given argument types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != self.vars.len()`.
+    pub fn instantiate_with(&self, args: &[Ty]) -> Ty {
+        assert_eq!(
+            args.len(),
+            self.vars.len(),
+            "scheme arity mismatch: {} vars, {} args",
+            self.vars.len(),
+            args.len()
+        );
+        let map: HashMap<TyVar, Ty> = self.vars.iter().copied().zip(args.iter().cloned()).collect();
+        self.ty.apply(&map)
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vars.is_empty() {
+            write!(f, "{}", self.ty)
+        } else {
+            f.write_str("forall")?;
+            for v in &self.vars {
+                write!(f, " {v}")?;
+            }
+            write!(f, ". {}", self.ty)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spine_counts() {
+        assert_eq!(Ty::Int.spines(), 0);
+        assert_eq!(Ty::Bool.spines(), 0);
+        assert_eq!(Ty::list(Ty::Int).spines(), 1);
+        assert_eq!(Ty::list(Ty::list(Ty::Int)).spines(), 2);
+        assert_eq!(Ty::fun(Ty::Int, Ty::list(Ty::Int)).spines(), 0);
+        assert_eq!(Ty::list(Ty::fun(Ty::Int, Ty::Int)).spines(), 1);
+    }
+
+    #[test]
+    fn worst_case_arity_looks_through_lists() {
+        // int -> int -> int: 2 args
+        assert_eq!(Ty::fun_n([Ty::Int, Ty::Int], Ty::Int).worst_case_arity(), 2);
+        // (int -> int) list: W^{τ list} = W^τ, so arity 1
+        assert_eq!(Ty::list(Ty::fun(Ty::Int, Ty::Int)).worst_case_arity(), 1);
+        // int list: 0
+        assert_eq!(Ty::list(Ty::Int).worst_case_arity(), 0);
+        // int -> (int -> int): 2
+        assert_eq!(Ty::fun(Ty::Int, Ty::fun(Ty::Int, Ty::Int)).worst_case_arity(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ty::list(Ty::list(Ty::Int)).to_string(), "int list list");
+        assert_eq!(
+            Ty::fun(Ty::fun(Ty::Int, Ty::Bool), Ty::Int).to_string(),
+            "(int -> bool) -> int"
+        );
+        assert_eq!(
+            Ty::list(Ty::fun(Ty::Int, Ty::Int)).to_string(),
+            "(int -> int) list"
+        );
+        assert_eq!(TyVar(0).to_string(), "'a");
+        assert_eq!(TyVar(30).to_string(), "'t30");
+    }
+
+    #[test]
+    fn defaulting_replaces_vars_with_int() {
+        let t = Ty::fun(Ty::Var(TyVar(0)), Ty::list(Ty::Var(TyVar(1))));
+        assert_eq!(t.default_vars(), Ty::fun(Ty::Int, Ty::list(Ty::Int)));
+        assert!(!t.default_vars().has_vars());
+    }
+
+    #[test]
+    fn uncurry_splits_params() {
+        let t = Ty::fun_n([Ty::Int, Ty::Bool], Ty::list(Ty::Int));
+        let (params, ret) = t.uncurry();
+        assert_eq!(params, vec![Ty::Int, Ty::Bool]);
+        assert_eq!(ret, Ty::list(Ty::Int));
+    }
+
+    #[test]
+    fn scheme_instantiation() {
+        // forall 'a. 'a list -> 'a
+        let s = Scheme {
+            vars: vec![TyVar(0)],
+            ty: Ty::fun(Ty::list(Ty::Var(TyVar(0))), Ty::Var(TyVar(0))),
+        };
+        let t = s.instantiate_with(&[Ty::list(Ty::Int)]);
+        assert_eq!(t, Ty::fun(Ty::list(Ty::list(Ty::Int)), Ty::list(Ty::Int)));
+        assert_eq!(s.to_string(), "forall 'a. 'a list -> 'a");
+    }
+
+    #[test]
+    fn vars_in_order_of_occurrence() {
+        let t = Ty::fun(Ty::Var(TyVar(3)), Ty::fun(Ty::Var(TyVar(1)), Ty::Var(TyVar(3))));
+        assert_eq!(t.vars(), vec![TyVar(3), TyVar(1)]);
+    }
+
+    #[test]
+    fn to_ty_expr_ground() {
+        let t = Ty::fun(Ty::list(Ty::Int), Ty::Bool);
+        assert_eq!(t.to_ty_expr().to_string(), "int list -> bool");
+    }
+
+    #[test]
+    #[should_panic(expected = "open type")]
+    fn to_ty_expr_rejects_vars() {
+        let _ = Ty::Var(TyVar(0)).to_ty_expr();
+    }
+}

@@ -1,0 +1,185 @@
+//! The unification engine: a mutable substitution with occurs check.
+
+use crate::error::{TypeError, TypeErrorKind};
+use crate::ty::{Ty, TyVar};
+use nml_syntax::Span;
+
+/// A mutable inference context: fresh-variable supply plus substitution.
+#[derive(Debug, Default)]
+pub struct InferCtx {
+    subst: Vec<Option<Ty>>,
+}
+
+impl InferCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        InferCtx::default()
+    }
+
+    /// Allocates a fresh type variable.
+    pub fn fresh(&mut self) -> Ty {
+        let v = TyVar(self.subst.len() as u32);
+        self.subst.push(None);
+        Ty::Var(v)
+    }
+
+    /// Allocates a fresh variable and returns it as a [`TyVar`].
+    pub fn fresh_var(&mut self) -> TyVar {
+        match self.fresh() {
+            Ty::Var(v) => v,
+            _ => unreachable!("fresh always returns a variable"),
+        }
+    }
+
+    /// Number of variables allocated so far.
+    pub fn var_count(&self) -> usize {
+        self.subst.len()
+    }
+
+    /// Follows the substitution one level: resolves a variable to its
+    /// binding's head, without rewriting sub-terms.
+    fn shallow(&self, t: &Ty) -> Ty {
+        let mut cur = t.clone();
+        while let Ty::Var(v) = cur {
+            match &self.subst[v.0 as usize] {
+                Some(bound) => cur = bound.clone(),
+                None => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Fully applies the substitution to `t`.
+    pub fn resolve(&self, t: &Ty) -> Ty {
+        match self.shallow(t) {
+            Ty::Int => Ty::Int,
+            Ty::Bool => Ty::Bool,
+            Ty::Var(v) => Ty::Var(v),
+            Ty::List(e) => Ty::list(self.resolve(&e)),
+            Ty::Prod(a, b) => Ty::prod(self.resolve(&a), self.resolve(&b)),
+            Ty::Fun(a, b) => Ty::fun(self.resolve(&a), self.resolve(&b)),
+        }
+    }
+
+    fn occurs(&self, v: TyVar, t: &Ty) -> bool {
+        match self.shallow(t) {
+            Ty::Int | Ty::Bool => false,
+            Ty::Var(w) => v == w,
+            Ty::List(e) => self.occurs(v, &e),
+            Ty::Prod(a, b) | Ty::Fun(a, b) => self.occurs(v, &a) || self.occurs(v, &b),
+        }
+    }
+
+    /// Unifies `a` with `b`, extending the substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] at `span` on constructor mismatch or a
+    /// failed occurs check.
+    pub fn unify(&mut self, a: &Ty, b: &Ty, span: Span) -> Result<(), TypeError> {
+        let a = self.shallow(a);
+        let b = self.shallow(b);
+        match (&a, &b) {
+            (Ty::Int, Ty::Int) | (Ty::Bool, Ty::Bool) => Ok(()),
+            (Ty::Var(v), Ty::Var(w)) if v == w => Ok(()),
+            (Ty::Var(v), other) | (other, Ty::Var(v)) => {
+                if self.occurs(*v, other) {
+                    return Err(TypeError::new(
+                        TypeErrorKind::Occurs {
+                            var: *v,
+                            ty: self.resolve(other),
+                        },
+                        span,
+                    ));
+                }
+                self.subst[v.0 as usize] = Some(other.clone());
+                Ok(())
+            }
+            (Ty::List(x), Ty::List(y)) => self.unify(x, y, span),
+            (Ty::Prod(a1, b1), Ty::Prod(a2, b2)) => {
+                self.unify(a1, a2, span)?;
+                self.unify(b1, b2, span)
+            }
+            (Ty::Fun(a1, r1), Ty::Fun(a2, r2)) => {
+                self.unify(a1, a2, span)?;
+                self.unify(r1, r2, span)
+            }
+            _ => Err(TypeError::new(
+                TypeErrorKind::Mismatch {
+                    expected: self.resolve(&a),
+                    found: self.resolve(&b),
+                },
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Span {
+        Span::DUMMY
+    }
+
+    #[test]
+    fn unify_identical_bases() {
+        let mut cx = InferCtx::new();
+        assert!(cx.unify(&Ty::Int, &Ty::Int, sp()).is_ok());
+        assert!(cx.unify(&Ty::Int, &Ty::Bool, sp()).is_err());
+    }
+
+    #[test]
+    fn unify_var_binds() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        cx.unify(&a, &Ty::list(Ty::Int), sp()).unwrap();
+        assert_eq!(cx.resolve(&a), Ty::list(Ty::Int));
+    }
+
+    #[test]
+    fn unify_through_chains() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        let b = cx.fresh();
+        cx.unify(&a, &b, sp()).unwrap();
+        cx.unify(&b, &Ty::Bool, sp()).unwrap();
+        assert_eq!(cx.resolve(&a), Ty::Bool);
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        let err = cx.unify(&a, &Ty::list(a.clone()), sp()).unwrap_err();
+        assert!(matches!(err.kind, TypeErrorKind::Occurs { .. }));
+    }
+
+    #[test]
+    fn unify_functions_componentwise() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        let b = cx.fresh();
+        let f1 = Ty::fun(a.clone(), b.clone());
+        let f2 = Ty::fun(Ty::Int, Ty::list(Ty::Bool));
+        cx.unify(&f1, &f2, sp()).unwrap();
+        assert_eq!(cx.resolve(&a), Ty::Int);
+        assert_eq!(cx.resolve(&b), Ty::list(Ty::Bool));
+    }
+
+    #[test]
+    fn mismatch_reports_resolved_types() {
+        let mut cx = InferCtx::new();
+        let a = cx.fresh();
+        cx.unify(&a, &Ty::Int, sp()).unwrap();
+        let err = cx.unify(&a, &Ty::Bool, sp()).unwrap_err();
+        match err.kind {
+            TypeErrorKind::Mismatch { expected, found } => {
+                assert_eq!(expected, Ty::Int);
+                assert_eq!(found, Ty::Bool);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Error diagnostics: type errors carry usable spans and render with
+//! carets pointing at the offending source.
+
+use nml_syntax::{parse_program, SourceMap};
+use nml_types::{infer_program, TypeErrorKind};
+
+fn error_render(src: &str) -> (TypeErrorKind, String) {
+    let map = SourceMap::new(src);
+    let p = parse_program(src).expect("parse");
+    let err = infer_program(&p).expect_err("ill-typed");
+    let rendered = err.render(&map);
+    (err.kind, rendered)
+}
+
+#[test]
+fn mismatch_points_at_the_bad_branch() {
+    let (kind, rendered) = error_render("if true then 1 else false");
+    assert!(matches!(kind, TypeErrorKind::Mismatch { .. }));
+    assert!(rendered.contains("expected `int`, found `bool`"), "{rendered}");
+    assert!(rendered.contains("^"), "{rendered}");
+    assert!(rendered.contains("-->"), "{rendered}");
+}
+
+#[test]
+fn unbound_identifier_names_it() {
+    let (kind, rendered) = error_render("missing 1");
+    assert!(matches!(kind, TypeErrorKind::Unbound { .. }));
+    assert!(rendered.contains("unbound identifier `missing`"), "{rendered}");
+}
+
+#[test]
+fn occurs_check_renders_infinite_type() {
+    let (kind, rendered) = error_render("lambda(x). x x");
+    assert!(matches!(kind, TypeErrorKind::Occurs { .. }));
+    assert!(rendered.contains("infinite type"), "{rendered}");
+}
+
+#[test]
+fn condition_type_error_points_at_condition() {
+    let src = "letrec f l = if l then 1 else 2 in f [1]";
+    let map = SourceMap::new(src);
+    let p = parse_program(src).expect("parse");
+    let err = infer_program(&p).expect_err("ill-typed");
+    let lc = map.line_col(err.span.start);
+    // The condition `l` is in the first (only) line, after `if `.
+    assert_eq!(lc.line, 1);
+    assert!(lc.col >= 17, "span points into the condition: {lc}");
+}
+
+#[test]
+fn error_spans_work_across_lines() {
+    let src = "letrec f x =\n  x + true\nin f 1";
+    let map = SourceMap::new(src);
+    let p = parse_program(src).expect("parse");
+    let err = infer_program(&p).expect_err("ill-typed");
+    let lc = map.line_col(err.span.start);
+    assert_eq!(lc.line, 2, "error on the second line");
+    let rendered = err.render(&map);
+    assert!(rendered.contains("x + true"), "snippet shows the line: {rendered}");
+}
+
+#[test]
+fn ascription_conflicts_render() {
+    let (kind, rendered) = error_render("([1] : bool list)");
+    assert!(matches!(kind, TypeErrorKind::Mismatch { .. }));
+    assert!(
+        rendered.contains("int") && rendered.contains("bool"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn product_mismatch_mentions_product_type() {
+    let (_, rendered) = error_render("fst [1]");
+    assert!(rendered.contains("*"), "product type in message: {rendered}");
+}

@@ -1,0 +1,89 @@
+//! Property tests over the type algebra.
+
+use nml_types::{Ty, TyVar};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn ty_strategy() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![
+        Just(Ty::Int),
+        Just(Ty::Bool),
+        (0u32..6).prop_map(|v| Ty::Var(TyVar(v))),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Ty::list),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::prod(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Ty::fun(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    /// Defaulting removes every variable and is idempotent.
+    #[test]
+    fn defaulting_grounds_and_is_idempotent(t in ty_strategy()) {
+        let d = t.default_vars();
+        prop_assert!(!d.has_vars());
+        prop_assert_eq!(d.default_vars(), d);
+    }
+
+    /// Applying the empty substitution is the identity.
+    #[test]
+    fn empty_substitution_is_identity(t in ty_strategy()) {
+        let empty: HashMap<TyVar, Ty> = HashMap::new();
+        prop_assert_eq!(t.apply(&empty), t);
+    }
+
+    /// `fun_n` and `uncurry` are inverse on ground return types.
+    #[test]
+    fn fun_n_uncurry_roundtrip(
+        params in proptest::collection::vec(ty_strategy(), 0..4),
+        ret in prop_oneof![Just(Ty::Int), Just(Ty::Bool), ty_strategy().prop_map(Ty::list)],
+    ) {
+        // `uncurry` splits at every arrow, so the return type must not
+        // itself be a function for the roundtrip to hold exactly.
+        prop_assume!(!matches!(ret, Ty::Fun(..)));
+        let mut all_params = params.clone();
+        // Parameters that are functions are fine; a *return* that is a
+        // list of functions is also fine (uncurry stops at non-arrows).
+        let t = Ty::fun_n(params, ret.clone());
+        let (got_params, got_ret) = t.uncurry();
+        // Drop trailing arrows hidden in ret (excluded by prop_assume).
+        prop_assert_eq!(&got_ret, &ret);
+        prop_assert_eq!(got_params.len(), all_params.len());
+        all_params.reverse();
+        for (a, b) in got_params.iter().zip(all_params.iter().rev()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Spine counts: lists add one; functions and products contribute 0.
+    #[test]
+    fn spines_only_count_list_layers(t in ty_strategy()) {
+        let mut expected = 0;
+        let mut cur = t.clone();
+        while let Ty::List(inner) = cur {
+            expected += 1;
+            cur = (*inner).clone();
+        }
+        prop_assert_eq!(t.spines(), expected);
+    }
+
+    /// Substitution commutes with the `vars` listing: after substituting
+    /// every free variable with a ground type, nothing is free.
+    #[test]
+    fn substituting_all_vars_grounds(t in ty_strategy()) {
+        let map: HashMap<TyVar, Ty> =
+            t.vars().into_iter().map(|v| (v, Ty::Int)).collect();
+        prop_assert!(!t.apply(&map).has_vars());
+    }
+
+    /// Display output re-parses as the same surface type for ground types.
+    #[test]
+    fn ground_display_roundtrips_through_surface_syntax(t in ty_strategy()) {
+        let g = t.default_vars();
+        let surface = g.to_ty_expr();
+        prop_assert_eq!(surface.to_string(), g.to_string());
+    }
+}

@@ -1,0 +1,26 @@
+//! Compiler-style optimization reports over the whole workload corpus:
+//! what the escape analysis licenses, program by program.
+//!
+//! ```sh
+//! cargo run --example escape_report
+//! ```
+
+use nml_escape_analysis::corpus;
+use nml_escape_analysis::report::OptimizationReport;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut exploitable = 0usize;
+    let mut total = 0usize;
+    for w in corpus::ALL {
+        println!("### {} ###", w.name);
+        let report = OptimizationReport::for_source(w.source)?;
+        println!("{report}\n");
+        exploitable += report.exploitable_functions();
+        total += report.functions.len();
+    }
+    println!("{}", "=".repeat(64));
+    println!(
+        "corpus total: {exploitable} of {total} functions have exploitable escape properties"
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! The paper's Appendix A, end to end: partition sort.
+//!
+//! Reproduces every concrete value in §A.1 (global escape results for
+//! `APPEND`, `SPLIT`, `PS`), the §A.2 sharing conclusions, and the §A.3.2
+//! in-place-reuse transformation (`APPEND'`, `PS'`), then measures the
+//! transformation's effect on the instrumented runtime.
+//!
+//! ```sh
+//! cargo run --example partition_sort
+//! ```
+
+use nml_escape_analysis::escape::{analyze_source, unshared_from_summary};
+use nml_escape_analysis::opt::{lower_program, reuse_variant, ReuseOptions};
+use nml_escape_analysis::runtime::{Interp, Value};
+use nml_escape_analysis::syntax::Symbol;
+
+const PS_SRC: &str = r#"
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  split p x l h =
+    if (null x) then (cons l (cons h nil))
+    else if (car x) < p
+         then split p (cdr x) (cons (car x) l) h
+         else split p (cdr x) l (cons (car x) h);
+  ps x = if (null x) then nil
+         else append (ps (car (split (car x) (cdr x) nil nil)))
+                     (cons (car x) (ps (car (cdr (split (car x) (cdr x) nil nil)))))
+in ps [5, 2, 7, 1, 3, 4]
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- A.1: global escape analysis -----------------------------------
+    let analysis = analyze_source(PS_SRC)?;
+    println!("=== Appendix A.1: global escape results ===");
+    for f in ["append", "split", "ps"] {
+        let s = analysis.summary(f).expect("in corpus");
+        for p in &s.params {
+            println!("G({f}, {}) = {}", p.index + 1, p.verdict);
+        }
+    }
+
+    // ---- A.2: sharing ----------------------------------------------------
+    println!("\n=== Appendix A.2: sharing from escape information ===");
+    for f in ["ps", "split"] {
+        let s = analysis.summary(f).expect("in corpus");
+        println!(
+            "top {} spine(s) of any ({f} ...) result are unshared",
+            unshared_from_summary(s)
+        );
+    }
+
+    // ---- A.3.2: in-place reuse -------------------------------------------
+    println!("\n=== Appendix A.3.2: in-place reuse ===");
+    let mut ir = lower_program(&analysis.program, &analysis.info);
+    let append_r = reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())?;
+    let ps_r = reuse_variant(
+        &mut ir,
+        &analysis,
+        Symbol::intern("ps"),
+        &ReuseOptions {
+            extra_rewrites: vec![(Symbol::intern("append"), append_r)],
+            dcons: true,
+            ..Default::default()
+        },
+    )?;
+    println!("APPEND' = {}", ir.func(append_r).expect("generated").body);
+    println!("PS''    = {}", ir.func(ps_r).expect("generated").body);
+
+    // ---- measure ----------------------------------------------------------
+    println!("\n=== effect on the instrumented runtime (n = 300) ===");
+    let input: Vec<i64> = (0..300).map(|i| (i * 7919) % 1000).collect();
+
+    let mut outputs: Vec<Vec<i64>> = Vec::new();
+    for (label, func) in [("baseline ps", Symbol::intern("ps")), ("reuse ps''", ps_r)] {
+        let mut interp = Interp::new(&ir)?;
+        let l = interp.make_int_list(&input);
+        let baseline_allocs = interp.heap.stats.heap_allocs;
+        let result = interp.call(func, vec![l])?;
+        outputs.push(interp.read_int_list(result)?);
+        let stats = interp.heap.stats;
+        println!(
+            "{label:12}  spine allocs: {:6}   dcons reuses: {:6}",
+            stats.heap_allocs - baseline_allocs,
+            stats.dcons_reuses
+        );
+    }
+    let (sorted_baseline, sorted_reuse) = (&outputs[0], &outputs[1]);
+    assert_eq!(sorted_baseline, sorted_reuse, "optimization preserves results");
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    assert_eq!(*sorted_baseline, expect, "partition sort sorts");
+    println!("\nresults identical and correctly sorted — reuse is observably safe");
+
+    // Note: ps'' still conses in `split` (which builds fresh l/h lists);
+    // the DCONS savings show up in append's spine work, exactly as the
+    // paper describes.
+    let _ = Value::Nil;
+    Ok(())
+}

@@ -1,0 +1,221 @@
+//! `nmlc` — the nml driver: type checking, escape analysis, optimization
+//! and instrumented execution from the command line.
+//!
+//! ```text
+//! nmlc check <file>                  parse + infer, print signatures
+//! nmlc analyze <file> [--mono]       escape analysis report
+//! nmlc ir <file> [--stack-alloc]     print the lowered IR
+//! nmlc run <file> [--stack-alloc] [--stats]
+//! ```
+
+use nml_escape_analysis::escape::{analyze_source_with, EngineConfig, PolyMode};
+use nml_escape_analysis::pipeline::{
+    compile, compile_optimized, compile_with_auto_reuse, compile_with_local_stack_alloc,
+    compile_with_stack_alloc, run,
+};
+use nml_escape_analysis::syntax::{parse_program, SourceMap};
+use nml_escape_analysis::types::infer_program;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "check" => cmd_check(rest),
+        "fmt" => cmd_fmt(rest),
+        "analyze" => cmd_analyze(rest),
+        "ir" => cmd_ir(rest),
+        "run" => cmd_run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: nmlc <command> <file> [flags]
+
+commands:
+  check   <file>                 parse and type-check; print signatures
+  fmt     <file>                 parse and pretty-print (canonical layout)
+  analyze <file> [--mono] [--report]
+                                 run the escape analysis; print G(f,i),
+                                 retained spines, and sharing info
+  ir      <file> [opt flags]     print the storage-annotated IR
+  run     <file> [opt flags] [--stats]
+                                 execute with the instrumented runtime
+
+optimization flags (ir/run):
+  -O, --optimize       the full pass manager: reuse -> block -> stack
+  --stack-alloc        stack regions from the global escape test
+  --local-stack-alloc  stack regions from the local test (monomorphizes first)
+  --auto-reuse         DCONS variants + Theorem-2-guided call rewriting
+
+run also accepts --profile (hottest allocation/reuse sites) and --stats";
+
+fn read_file(rest: &[String]) -> Result<(String, String), String> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or_else(|| format!("missing <file> argument\n{USAGE}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok((path.clone(), src))
+}
+
+fn has_flag(rest: &[String], flag: &str) -> bool {
+    rest.iter().any(|a| a == flag)
+}
+
+fn cmd_check(rest: &[String]) -> Result<(), String> {
+    let (_, src) = read_file(rest)?;
+    let map = SourceMap::new(src.clone());
+    let program = parse_program(&src).map_err(|e| e.render(&map))?;
+    let info = infer_program(&program).map_err(|e| e.render(&map))?;
+    for (name, scheme) in &info.top_schemes {
+        println!("{name} : {scheme}");
+    }
+    println!("max spine depth d = {}", info.max_spines);
+    Ok(())
+}
+
+fn cmd_fmt(rest: &[String]) -> Result<(), String> {
+    let (_, src) = read_file(rest)?;
+    let map = SourceMap::new(src.clone());
+    let program = parse_program(&src).map_err(|e| e.render(&map))?;
+    print!("{}", nml_escape_analysis::syntax::pretty_program(&program));
+    Ok(())
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+    let (_, src) = read_file(rest)?;
+    let mode = if has_flag(rest, "--mono") {
+        PolyMode::Monomorphize
+    } else {
+        PolyMode::SimplestInstance
+    };
+    let analysis = analyze_source_with(&src, mode, EngineConfig::default())
+        .map_err(|e| e.to_string())?;
+    if has_flag(rest, "--report") {
+        let report =
+            nml_escape_analysis::report::OptimizationReport::for_analysis(&analysis);
+        println!("{report}");
+        return Ok(());
+    }
+    for summary in analysis.summaries.values() {
+        print!("{summary}");
+        for p in &summary.params {
+            if p.ty.is_list() {
+                println!(
+                    "    -> top {} of {} spines never escape",
+                    p.retained_spines(),
+                    p.spines
+                );
+            }
+        }
+        let unshared = nml_escape_analysis::escape::unshared_from_summary(summary);
+        if summary.result_ty.is_list() {
+            println!(
+                "    -> top {unshared} spine(s) of any call's result are unshared"
+            );
+        }
+    }
+    println!(
+        "fixpoint: {} passes, {} memoized applications",
+        analysis.stats.passes, analysis.stats.memo_entries
+    );
+    Ok(())
+}
+
+/// Picks the compilation pipeline from the optimization flags.
+fn compile_for(
+    rest: &[String],
+    src: &str,
+) -> Result<nml_escape_analysis::pipeline::Compiled, nml_escape_analysis::pipeline::PipelineError> {
+    if has_flag(rest, "-O") || has_flag(rest, "--optimize") {
+        compile_optimized(src)
+    } else if has_flag(rest, "--local-stack-alloc") {
+        compile_with_local_stack_alloc(src)
+    } else if has_flag(rest, "--stack-alloc") {
+        compile_with_stack_alloc(src)
+    } else if has_flag(rest, "--auto-reuse") {
+        compile_with_auto_reuse(src)
+    } else {
+        compile(src)
+    }
+}
+
+fn cmd_ir(rest: &[String]) -> Result<(), String> {
+    let (_, src) = read_file(rest)?;
+    let compiled = compile_for(rest, &src).map_err(|e| e.to_string())?;
+    print!("{}", compiled.ir);
+    Ok(())
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let (_, src) = read_file(rest)?;
+    let compiled = compile_for(rest, &src).map_err(|e| e.to_string())?;
+    if has_flag(rest, "--profile") {
+        return run_profiled(&compiled, has_flag(rest, "--stats"));
+    }
+    let outcome = run(&compiled.ir).map_err(|e| e.to_string())?;
+    println!("{}", outcome.result);
+    if has_flag(rest, "--stats") {
+        println!("--- runtime statistics ---");
+        println!("{}", outcome.stats);
+    }
+    Ok(())
+}
+
+/// Runs with per-allocation-site attribution and prints the hottest
+/// sites.
+fn run_profiled(
+    compiled: &nml_escape_analysis::pipeline::Compiled,
+    stats: bool,
+) -> Result<(), String> {
+    use nml_escape_analysis::runtime::Interp;
+    let mut interp = Interp::new(&compiled.ir).map_err(|e| e.to_string())?;
+    let v = interp.run().map_err(|e| e.to_string())?;
+    let rendered = nml_escape_analysis::pipeline::render_value(&interp, &v)
+        .map_err(|e| e.to_string())?;
+    println!("{rendered}");
+    println!("--- hottest allocation sites ---");
+    for (site, n) in interp.heap.hot_sites().into_iter().take(8) {
+        let owner = compiled
+            .ir
+            .site_owner(site)
+            .map(|o| format!("in {o}"))
+            .unwrap_or_else(|| "in <main>".to_owned());
+        println!("  site {:>4} {owner:<20} {n:>8} cells", site.0);
+    }
+    let reuses = interp.heap.hot_reuse_sites();
+    if !reuses.is_empty() {
+        println!("--- hottest DCONS reuse sites ---");
+        for (site, n) in reuses.into_iter().take(8) {
+            let owner = compiled
+                .ir
+                .site_owner(site)
+                .map(|o| format!("in {o}"))
+                .unwrap_or_else(|| "in <main>".to_owned());
+            println!("  site {:>4} {owner:<20} {n:>8} reuses", site.0);
+        }
+    }
+    if stats {
+        println!("--- runtime statistics ---");
+        println!("{}", interp.heap.stats);
+    }
+    Ok(())
+}

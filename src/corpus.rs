@@ -1,0 +1,339 @@
+//! The workload corpus: nml programs used throughout the test suite, the
+//! soundness harness, and the benchmark tables.
+//!
+//! Each workload names the functions whose escape behaviour is
+//! interesting, and carries the expected global verdicts where the paper
+//! (or hand analysis) pins them down.
+
+/// One corpus program.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name.
+    pub name: &'static str,
+    /// nml source.
+    pub source: &'static str,
+    /// Functions to analyze.
+    pub functions: &'static [&'static str],
+}
+
+/// The paper's partition sort (Appendix A).
+pub const PARTITION_SORT: Workload = Workload {
+    name: "partition_sort",
+    source: r#"
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  split p x l h =
+    if (null x) then (cons l (cons h nil))
+    else if (car x) < p
+         then split p (cdr x) (cons (car x) l) h
+         else split p (cdr x) l (cons (car x) h);
+  ps x = if (null x) then nil
+         else append (ps (car (split (car x) (cdr x) nil nil)))
+                     (cons (car x) (ps (car (cdr (split (car x) (cdr x) nil nil)))))
+in ps [5, 2, 7, 1, 3, 4]
+"#,
+    functions: &["append", "split", "ps"],
+};
+
+/// The paper's introduction example.
+pub const MAP_PAIR: Workload = Workload {
+    name: "map_pair",
+    source: "letrec
+  pair x = cons (car x) (cons (car (cdr x)) nil);
+  map f l = if (null l) then nil
+            else cons (f (car l)) (map f (cdr l))
+in map pair [[1,2],[3,4],[5,6]]",
+    functions: &["pair", "map"],
+};
+
+/// Naive quadratic reverse (§A.3.2).
+pub const REV_NAIVE: Workload = Workload {
+    name: "rev_naive",
+    source: "letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  rev l = if (null l) then nil
+          else append (rev (cdr l)) (cons (car l) nil)
+in rev [1, 2, 3]",
+    functions: &["append", "rev"],
+};
+
+/// Accumulator reverse (linear).
+pub const REV_ACC: Workload = Workload {
+    name: "rev_acc",
+    source: "letrec
+  revonto l acc = if (null l) then acc
+                  else revonto (cdr l) (cons (car l) acc);
+  rev l = revonto l nil
+in rev [1, 2, 3]",
+    functions: &["revonto", "rev"],
+};
+
+/// Length, sum, last, nth: pure consumers.
+pub const CONSUMERS: Workload = Workload {
+    name: "consumers",
+    source: "letrec
+  len l = if (null l) then 0 else 1 + len (cdr l);
+  sum l = if (null l) then 0 else car l + sum (cdr l);
+  last l = if (null (cdr l)) then car l else last (cdr l);
+  nth n l = if n = 0 then car l else nth (n - 1) (cdr l)
+in len [1] + sum [2] + last [3] + nth 0 [4]",
+    functions: &["len", "sum", "last", "nth"],
+};
+
+/// take / drop: drop returns a suffix (escapes), take rebuilds (does not).
+pub const TAKE_DROP: Workload = Workload {
+    name: "take_drop",
+    source: "letrec
+  take n l = if n = 0 then nil
+             else if (null l) then nil
+             else cons (car l) (take (n - 1) (cdr l));
+  drop n l = if n = 0 then l
+             else if (null l) then nil
+             else drop (n - 1) (cdr l)
+in take 1 (drop 1 [1, 2, 3])",
+    functions: &["take", "drop"],
+};
+
+/// map / filter over unknown predicates and functions.
+pub const MAP_FILTER: Workload = Workload {
+    name: "map_filter",
+    source: "letrec
+  map f l = if (null l) then nil
+            else cons (f (car l)) (map f (cdr l));
+  filter p l = if (null l) then nil
+               else if p (car l) then cons (car l) (filter p (cdr l))
+               else filter p (cdr l)
+in map (lambda(x). x + 1) (filter (lambda(x). x > 0) [1, 0 - 2, 3])",
+    functions: &["map", "filter"],
+};
+
+/// concat (flatten): the outer spine is consumed, inner spines escape.
+pub const CONCAT: Workload = Workload {
+    name: "concat",
+    source: "letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  concat ll = if (null ll) then nil
+              else append (car ll) (concat (cdr ll))
+in concat [[1, 2], [3], [4, 5]]",
+    functions: &["append", "concat"],
+};
+
+/// Insertion sort: insert rebuilds the prefix, shares the suffix.
+pub const INSERTION_SORT: Workload = Workload {
+    name: "insertion_sort",
+    source: "letrec
+  insert x l = if (null l) then cons x nil
+               else if x <= car l then cons x l
+               else cons (car l) (insert x (cdr l));
+  isort l = if (null l) then nil
+            else insert (car l) (isort (cdr l))
+in isort [3, 1, 2]",
+    functions: &["insert", "isort"],
+};
+
+/// Merge sort with explicit halving.
+pub const MERGE_SORT: Workload = Workload {
+    name: "merge_sort",
+    source: "letrec
+  merge a b = if (null a) then b
+              else if (null b) then a
+              else if car a <= car b then cons (car a) (merge (cdr a) b)
+              else cons (car b) (merge a (cdr b));
+  evens l = if (null l) then nil
+            else if (null (cdr l)) then l
+            else cons (car l) (evens (cdr (cdr l)));
+  odds l = if (null l) then nil
+           else if (null (cdr l)) then nil
+           else cons (car (cdr l)) (odds (cdr (cdr l)));
+  msort l = if (null l) then nil
+            else if (null (cdr l)) then l
+            else merge (msort (evens l)) (msort (odds l))
+in msort [3, 1, 4, 1, 5]",
+    functions: &["merge", "evens", "odds", "msort"],
+};
+
+/// zipadd: consumes two spines, builds a fresh one.
+pub const ZIP_ADD: Workload = Workload {
+    name: "zip_add",
+    source: "letrec
+  zipadd a b = if (null a) then nil
+               else if (null b) then nil
+               else cons (car a + car b) (zipadd (cdr a) (cdr b))
+in zipadd [1, 2] [3, 4]",
+    functions: &["zipadd"],
+};
+
+/// member / assoc-style lookup over nested lists.
+pub const MEMBER: Workload = Workload {
+    name: "member",
+    source: "letrec
+  member x l = if (null l) then false
+               else if car l = x then true
+               else member x (cdr l)
+in member 2 [1, 2, 3]",
+    functions: &["member"],
+};
+
+/// interleave: both spines woven into the result.
+pub const INTERLEAVE: Workload = Workload {
+    name: "interleave",
+    source: "letrec
+  inter a b = if (null a) then b
+              else cons (car a) (inter b (cdr a))
+in inter [1, 3] [2, 4]",
+    functions: &["inter"],
+};
+
+/// create_list + consumer (the §A.3.3 shape).
+pub const CREATE_CONSUME: Workload = Workload {
+    name: "create_consume",
+    source: "letrec
+  create_list n = if n = 0 then nil
+                  else cons n (create_list (n - 1));
+  sum l = if (null l) then 0 else car l + sum (cdr l)
+in sum (create_list 50)",
+    functions: &["create_list", "sum"],
+};
+
+/// Higher-order compose / twice on list functions.
+pub const HIGHER_ORDER: Workload = Workload {
+    name: "higher_order",
+    source: "letrec
+  compose f g = lambda(x). f (g x);
+  tail l = cdr l;
+  twice f = compose f f
+in (twice tail) [1, 2, 3]",
+    functions: &["compose", "tail", "twice"],
+};
+
+/// replicate: builds a fresh spine sharing one element.
+pub const REPLICATE: Workload = Workload {
+    name: "replicate",
+    source: "letrec
+  replicate n x = if n = 0 then nil
+                  else cons x (replicate (n - 1) x)
+in replicate 3 [7]",
+    functions: &["replicate"],
+};
+
+/// The tuple extension (§1): partition with a tuple result instead of a
+/// two-element list — the escape verdicts must match the appendix's
+/// list-encoded SPLIT.
+pub const SPLIT_TUPLE: Workload = Workload {
+    name: "split_tuple",
+    source: "letrec
+  split2 p x l h =
+    if (null x) then (l, h)
+    else if (car x) < p
+         then split2 p (cdr x) (cons (car x) l) h
+         else split2 p (cdr x) l (cons (car x) h);
+  psort x = if (null x) then nil
+            else letrec halves = split2 (car x) (cdr x) nil nil;
+                        append a b = if (null a) then b
+                                     else cons (car a) (append (cdr a) b)
+                 in append (psort (fst halves))
+                           (cons (car x) (psort (snd halves)))
+in psort [5, 2, 7, 1, 3, 4]",
+    functions: &["split2", "psort"],
+};
+
+/// zip producing a list of tuples, and its inverse projections.
+pub const ZIP_TUPLE: Workload = Workload {
+    name: "zip_tuple",
+    source: "letrec
+  zip a b = if (null a) then nil
+            else if (null b) then nil
+            else cons (car a, car b) (zip (cdr a) (cdr b));
+  firsts l = if (null l) then nil
+             else cons (fst (car l)) (firsts (cdr l))
+in firsts (zip [1, 2] [3, 4])",
+    functions: &["zip", "firsts"],
+};
+
+
+/// Association lists of tuples: lookup shares nothing, extend shares the
+/// whole table in its result.
+pub const ASSOC: Workload = Workload {
+    name: "assoc",
+    source: "letrec
+  lookup k t = if (null t) then 0
+               else if fst (car t) = k then snd (car t)
+               else lookup k (cdr t);
+  extend k v t = cons (k, v) t
+in lookup 2 (extend 2 20 (extend 1 10 nil))",
+    functions: &["lookup", "extend"],
+};
+
+/// unzip: one pass over a list of tuples building two fresh spines,
+/// returned as a tuple of lists.
+pub const UNZIP: Workload = Workload {
+    name: "unzip",
+    source: "letrec
+  unzip l = if (null l) then (nil, nil)
+            else letrec rest = unzip (cdr l)
+                 in (cons (fst (car l)) (fst rest),
+                    cons (snd (car l)) (snd rest));
+  sum l = if (null l) then 0 else car l + sum (cdr l)
+in sum (fst (unzip [(1, 2), (3, 4)]))",
+    functions: &["unzip", "sum"],
+};
+
+/// All corpus programs.
+pub const ALL: &[Workload] = &[
+    PARTITION_SORT,
+    MAP_PAIR,
+    REV_NAIVE,
+    REV_ACC,
+    CONSUMERS,
+    TAKE_DROP,
+    MAP_FILTER,
+    CONCAT,
+    INSERTION_SORT,
+    MERGE_SORT,
+    ZIP_ADD,
+    MEMBER,
+    INTERLEAVE,
+    CREATE_CONSUME,
+    HIGHER_ORDER,
+    REPLICATE,
+    SPLIT_TUPLE,
+    ZIP_TUPLE,
+    ASSOC,
+    UNZIP,
+];
+
+/// Renders `[0, 1, ..., n-1]` as an nml list literal (for generated
+/// benchmark programs).
+pub fn int_list_literal(n: usize) -> String {
+    let mut s = String::from("[");
+    for i in 0..n {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&i.to_string());
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_rendering() {
+        assert_eq!(int_list_literal(0), "[]");
+        assert_eq!(int_list_literal(3), "[0, 1, 2]");
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let mut names: Vec<&str> = ALL.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

@@ -1,0 +1,257 @@
+//! One-call pipelines: source → analysis → optimized IR → instrumented
+//! execution.
+//!
+//! These helpers glue the workspace crates together for the examples, the
+//! `nmlc` driver, and the benchmark harness. Each step is also available
+//! à la carte from the individual crates.
+
+use nml_escape::{analyze_source, Analysis, AnalyzeError};
+use nml_opt::{annotate_stack, lower_program, IrProgram};
+use nml_runtime::{Interp, InterpConfig, RuntimeError, RuntimeStats, Value};
+use std::fmt;
+
+/// Everything the front half of the pipeline produces.
+pub struct Compiled {
+    /// The escape analysis (owns the program and type info).
+    pub analysis: Analysis,
+    /// The lowered, all-heap IR.
+    pub ir: IrProgram,
+}
+
+/// Any pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Front-end failure (syntax, types, analysis).
+    Analyze(AnalyzeError),
+    /// Execution failure.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Analyze(e) => write!(f, "{e}"),
+            PipelineError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<AnalyzeError> for PipelineError {
+    fn from(e: AnalyzeError) -> Self {
+        PipelineError::Analyze(e)
+    }
+}
+
+impl From<RuntimeError> for PipelineError {
+    fn from(e: RuntimeError) -> Self {
+        PipelineError::Runtime(e)
+    }
+}
+
+/// Parses, type-checks, analyzes, and lowers `src`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Analyze`] for any front-end failure.
+pub fn compile(src: &str) -> Result<Compiled, PipelineError> {
+    let analysis = analyze_source(src)?;
+    let ir = lower_program(&analysis.program, &analysis.info);
+    Ok(Compiled { analysis, ir })
+}
+
+/// Parses, analyzes, lowers, and applies the (global-summary-driven)
+/// stack-allocation pass.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_stack_alloc(src: &str) -> Result<Compiled, PipelineError> {
+    let mut c = compile(src)?;
+    annotate_stack(&mut c.ir, &c.analysis);
+    Ok(c)
+}
+
+/// Parses, **monomorphizes**, analyzes, and lowers with the local-escape-
+/// test-driven stack-allocation plan (paper §4.2): per-call precision, so
+/// e.g. both spines of `map pair [[1,2],[3,4],[5,6]]`'s literal are
+/// stacked, not just the top one.
+///
+/// # Errors
+///
+/// See [`compile`]; additionally surfaces analysis divergence from the
+/// planner.
+pub fn compile_with_local_stack_alloc(src: &str) -> Result<Compiled, PipelineError> {
+    use nml_escape::{EngineConfig, PolyMode};
+    let analysis =
+        nml_escape::analyze_source_with(src, PolyMode::Monomorphize, EngineConfig::default())?;
+    let plan = nml_opt::plan_stack_allocation(&analysis.program, &analysis.info)
+        .map_err(|e| PipelineError::Analyze(nml_escape::AnalyzeError::Escape(e)))?;
+    let ir = nml_opt::lower_program_with(&analysis.program, &analysis.info, &plan);
+    Ok(Compiled { analysis, ir })
+}
+
+/// Parses, analyzes, lowers, and runs the §6 automatic in-place-reuse
+/// driver: every eligible function gets a `DCONS` variant and every
+/// main-body call with a provably unshared argument is redirected.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_auto_reuse(src: &str) -> Result<Compiled, PipelineError> {
+    let mut c = compile(src)?;
+    nml_opt::auto_reuse(&mut c.ir, &c.analysis);
+    Ok(c)
+}
+
+/// Parses, analyzes, lowers, and runs the full optimization pass manager
+/// (reuse → block → stack, the sound order).
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_optimized(src: &str) -> Result<Compiled, PipelineError> {
+    let mut c = compile(src)?;
+    nml_opt::optimize(&mut c.ir, &c.analysis, &nml_opt::OptOptions::default());
+    Ok(c)
+}
+
+/// The outcome of running a program: a printable result digest plus the
+/// runtime statistics.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Human-readable rendering of the result value.
+    pub result: String,
+    /// Instrumentation counters.
+    pub stats: RuntimeStats,
+}
+
+/// Runs the IR's body and renders the result (int lists and scalars
+/// render fully; other values render by kind).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Runtime`] for any execution failure.
+pub fn run(ir: &IrProgram) -> Result<RunOutcome, PipelineError> {
+    run_with(ir, InterpConfig::default())
+}
+
+/// Runs the IR with an explicit interpreter configuration.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(ir: &IrProgram, config: InterpConfig) -> Result<RunOutcome, PipelineError> {
+    let mut interp = Interp::with_config(ir, config)?;
+    let v = interp.run()?;
+    let result = render_value(&interp, &v)?;
+    Ok(RunOutcome {
+        result,
+        stats: interp.heap.stats,
+    })
+}
+
+/// Renders a value, chasing list structure through the heap.
+///
+/// # Errors
+///
+/// Propagates heap access failures (dangling cells).
+pub fn render_value(interp: &Interp<'_>, v: &Value<'_>) -> Result<String, RuntimeError> {
+    fn go(interp: &Interp<'_>, v: &Value<'_>, out: &mut String) -> Result<(), RuntimeError> {
+        match v {
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Nil => out.push_str("[]"),
+            Value::Tuple(c) => {
+                out.push('(');
+                let h = interp.heap.car(*c)?;
+                go(interp, &h, out)?;
+                out.push_str(", ");
+                let t = interp.heap.cdr(*c)?;
+                go(interp, &t, out)?;
+                out.push(')');
+            }
+            Value::Pair(_) => {
+                out.push('[');
+                let mut cur = v.clone();
+                let mut first = true;
+                while let Value::Pair(c) = cur {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    let head = interp.heap.car(c)?;
+                    go(interp, &head, out)?;
+                    cur = interp.heap.cdr(c)?;
+                }
+                out.push(']');
+            }
+            other => {
+                out.push('<');
+                out.push_str(other.kind());
+                out.push('>');
+            }
+        }
+        Ok(())
+    }
+    let mut out = String::new();
+    go(interp, v, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_and_run_quick() {
+        let c = compile("letrec inc x = x + 1 in inc 41").unwrap();
+        let out = run(&c.ir).unwrap();
+        assert_eq!(out.result, "42");
+    }
+
+    #[test]
+    fn run_renders_nested_lists() {
+        let c = compile("[[1, 2], [3]]").unwrap();
+        let out = run(&c.ir).unwrap();
+        assert_eq!(out.result, "[[1, 2], [3]]");
+    }
+
+    #[test]
+    fn stack_alloc_pipeline_reduces_heap_allocs() {
+        let src = "letrec sum l = if (null l) then 0 else car l + sum (cdr l)
+                   in sum [1, 2, 3, 4]";
+        let plain = run(&compile(src).unwrap().ir).unwrap();
+        let stacked = run(&compile_with_stack_alloc(src).unwrap().ir).unwrap();
+        assert_eq!(plain.result, stacked.result);
+        assert_eq!(plain.stats.heap_allocs, 4);
+        assert_eq!(stacked.stats.heap_allocs, 0);
+        assert_eq!(stacked.stats.stack_allocs, 4);
+        assert_eq!(stacked.stats.stack_freed, 4);
+    }
+
+    #[test]
+    fn local_stack_alloc_pipeline_stacks_nested_spines() {
+        let src = "letrec
+          pair x = cons (car x) (cons (car (cdr x)) nil);
+          map f l = if (null l) then nil
+                    else cons (f (car l)) (map f (cdr l))
+        in map pair [[1,2],[3,4],[5,6]]";
+        let base = run(&compile(src).unwrap().ir).unwrap();
+        let local = run(&compile_with_local_stack_alloc(src).unwrap().ir).unwrap();
+        assert_eq!(base.result, local.result);
+        // 9 literal cells (3 top spine + 6 inner spines) go to the stack;
+        // only pair's fresh result cells stay on the heap.
+        assert_eq!(local.stats.stack_allocs, 9);
+        assert_eq!(local.stats.stack_freed, 9);
+        assert_eq!(base.stats.heap_allocs - local.stats.heap_allocs, 9);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(matches!(compile("1 +"), Err(PipelineError::Analyze(_))));
+        let c = compile("1 / 0").unwrap();
+        assert!(matches!(run(&c.ir), Err(PipelineError::Runtime(_))));
+    }
+}

@@ -1,0 +1,91 @@
+//! Differential testing of the interpreter against native Rust on the
+//! sorting workloads: partition sort (baseline and `PS''`), insertion
+//! sort, and merge sort must agree with `slice::sort` on random inputs —
+//! under GC pressure and with region validation enabled.
+
+use nml_escape_analysis::corpus;
+use nml_escape_analysis::escape::analyze_source;
+use nml_escape_analysis::opt::{lower_program, reuse_variant, IrProgram, ReuseOptions};
+use nml_escape_analysis::runtime::{HeapConfig, Interp, InterpConfig};
+use nml_escape_analysis::syntax::Symbol;
+use proptest::prelude::*;
+
+fn stress() -> InterpConfig {
+    InterpConfig {
+        heap: HeapConfig {
+            gc_threshold: 32,
+            gc_enabled: true,
+        },
+        validate_regions: true,
+        step_limit: 20_000_000,
+    }
+}
+
+fn call_sort(ir: &IrProgram, func: &str, input: &[i64]) -> Vec<i64> {
+    let mut interp = Interp::with_config(ir, stress()).expect("interp");
+    let l = interp.make_int_list(input);
+    let out = interp
+        .call(Symbol::intern(func), vec![l])
+        .expect("sort runs");
+    interp.read_int_list(out).expect("int list")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partition_sort_agrees_with_rust(input in proptest::collection::vec(-100i64..100, 0..40)) {
+        let analysis = analyze_source(corpus::PARTITION_SORT.source).expect("analysis");
+        let mut ir = lower_program(&analysis.program, &analysis.info);
+        let append_r = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("append"),
+            &ReuseOptions::dcons(),
+        )
+        .expect("append_r");
+        let ps_r = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("ps"),
+            &ReuseOptions {
+                extra_rewrites: vec![(Symbol::intern("append"), append_r)],
+                dcons: true,
+                ..Default::default()
+            },
+        )
+        .expect("ps_r");
+
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(&call_sort(&ir, "ps", &input), &expect);
+        prop_assert_eq!(&call_sort(&ir, ps_r.as_str(), &input), &expect);
+    }
+
+    #[test]
+    fn insertion_sort_agrees_with_rust(input in proptest::collection::vec(-50i64..50, 0..30)) {
+        let analysis = analyze_source(corpus::INSERTION_SORT.source).expect("analysis");
+        let ir = lower_program(&analysis.program, &analysis.info);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(&call_sort(&ir, "isort", &input), &expect);
+    }
+
+    #[test]
+    fn merge_sort_agrees_with_rust(input in proptest::collection::vec(-50i64..50, 0..30)) {
+        let analysis = analyze_source(corpus::MERGE_SORT.source).expect("analysis");
+        let ir = lower_program(&analysis.program, &analysis.info);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(&call_sort(&ir, "msort", &input), &expect);
+    }
+
+    #[test]
+    fn tuple_partition_sort_agrees_with_rust(input in proptest::collection::vec(-50i64..50, 0..30)) {
+        let analysis = analyze_source(corpus::SPLIT_TUPLE.source).expect("analysis");
+        let ir = lower_program(&analysis.program, &analysis.info);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(&call_sort(&ir, "psort", &input), &expect);
+    }
+}

@@ -1,0 +1,254 @@
+//! Whole-pipeline integration over the corpus: every workload parses,
+//! pretty-print round-trips, type-checks, analyzes, monomorphizes,
+//! lowers, and runs — and the monomorphized program computes the same
+//! value as the original.
+
+use nml_escape_analysis::corpus;
+use nml_escape_analysis::escape::analyze_source;
+use nml_escape_analysis::opt::lower_program;
+use nml_escape_analysis::pipeline::{compile, compile_with_stack_alloc, run, run_with};
+use nml_escape_analysis::runtime::{HeapConfig, Interp, InterpConfig};
+use nml_escape_analysis::syntax::{parse_program, pretty_program};
+use nml_escape_analysis::types::{infer_and_monomorphize, infer_program};
+
+#[test]
+fn corpus_parses_and_types() {
+    for w in corpus::ALL {
+        let p = parse_program(w.source)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", w.name));
+        let info =
+            infer_program(&p).unwrap_or_else(|e| panic!("{} does not type: {e}", w.name));
+        for f in w.functions {
+            assert!(
+                info.top_sigs
+                    .contains_key(&nml_escape_analysis::syntax::Symbol::intern(f)),
+                "{}: function {f} missing",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_pretty_print_roundtrips() {
+    for w in corpus::ALL {
+        let p1 = parse_program(w.source).expect("parse");
+        let printed = pretty_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{printed}", w.name));
+        assert_eq!(
+            p1.bindings.len(),
+            p2.bindings.len(),
+            "{}: binding count changed",
+            w.name
+        );
+        // The round-tripped program must type-check to the same
+        // signatures.
+        let i1 = infer_program(&p1).expect("infer 1");
+        let i2 = infer_program(&p2).expect("infer 2");
+        for (name, sig) in &i1.top_sigs {
+            assert_eq!(
+                Some(sig),
+                i2.top_sigs.get(name),
+                "{}: signature of {name} changed after round trip",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_analyzes_with_summaries_for_all_functions() {
+    for w in corpus::ALL {
+        let a = analyze_source(w.source)
+            .unwrap_or_else(|e| panic!("{} does not analyze: {e}", w.name));
+        for f in w.functions {
+            assert!(
+                a.summary(f).is_some(),
+                "{}: no escape summary for {f}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_runs_to_a_value() {
+    for w in corpus::ALL {
+        let c = compile(w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let out = run(&c.ir).unwrap_or_else(|e| panic!("{} failed to run: {e}", w.name));
+        assert!(!out.result.is_empty(), "{}: empty result", w.name);
+    }
+}
+
+#[test]
+fn monomorphized_corpus_computes_identical_results() {
+    for w in corpus::ALL {
+        let p = parse_program(w.source).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let base_ir = lower_program(&p, &info);
+        let mut base = Interp::new(&base_ir).expect("interp");
+        let base_v = base.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let base_text =
+            nml_escape_analysis::pipeline::render_value(&base, &base_v).expect("render");
+
+        let mono = infer_and_monomorphize(&p).expect("mono");
+        let mono_ir = lower_program(&mono.program, &mono.info);
+        let mut m = Interp::new(&mono_ir).expect("interp");
+        let mono_v = m.run().unwrap_or_else(|e| panic!("{} (mono): {e}", w.name));
+        let mono_text =
+            nml_escape_analysis::pipeline::render_value(&m, &mono_v).expect("render");
+
+        assert_eq!(base_text, mono_text, "{}: monomorphization changed the result", w.name);
+    }
+}
+
+#[test]
+fn corpus_runs_under_gc_pressure() {
+    let config = InterpConfig {
+        heap: HeapConfig {
+            gc_threshold: 16,
+            gc_enabled: true,
+        },
+        validate_regions: true,
+        ..Default::default()
+    };
+    for w in corpus::ALL {
+        let c = compile(w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let base = run(&c.ir).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let stressed = run_with(&c.ir, config.clone())
+            .unwrap_or_else(|e| panic!("{} under GC pressure: {e}", w.name));
+        assert_eq!(
+            base.result, stressed.result,
+            "{}: GC changed the program's result",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn corpus_stack_allocation_never_changes_results() {
+    let config = InterpConfig {
+        heap: HeapConfig {
+            gc_threshold: 16,
+            gc_enabled: true,
+        },
+        validate_regions: true,
+        ..Default::default()
+    };
+    for w in corpus::ALL {
+        let base = run(&compile(w.source).unwrap().ir).unwrap();
+        let stacked_ir = compile_with_stack_alloc(w.source).unwrap().ir;
+        let stacked = run_with(&stacked_ir, config.clone())
+            .unwrap_or_else(|e| panic!("{} with stack allocation: {e}", w.name));
+        assert_eq!(
+            base.result, stacked.result,
+            "{}: stack allocation changed the result",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn corpus_full_optimization_never_changes_results() {
+    // The whole pass manager (reuse → block → stack) over every workload,
+    // under GC pressure with region validation: results must be
+    // untouched.
+    let config = InterpConfig {
+        heap: HeapConfig {
+            gc_threshold: 16,
+            gc_enabled: true,
+        },
+        validate_regions: true,
+        ..Default::default()
+    };
+    for w in corpus::ALL {
+        let base = run(&compile(w.source).unwrap().ir).unwrap();
+        let optimized_ir = nml_escape_analysis::pipeline::compile_optimized(w.source)
+            .unwrap()
+            .ir;
+        let optimized = run_with(&optimized_ir, config.clone())
+            .unwrap_or_else(|e| panic!("{} fully optimized: {e}", w.name));
+        assert_eq!(
+            base.result, optimized.result,
+            "{}: the pass manager changed the result",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn shipped_programs_run_under_every_nmlc_mode() {
+    let exe = env!("CARGO_BIN_EXE_nmlc");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("programs dir exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("nml") {
+            continue;
+        }
+        count += 1;
+        for mode in [
+            vec!["check"],
+            vec!["analyze"],
+            vec!["analyze", "--report"],
+            vec!["run"],
+            vec!["run", "--stack-alloc"],
+            vec!["run", "--auto-reuse"],
+            vec!["run", "-O"],
+        ] {
+            let mut cmd = std::process::Command::new(exe);
+            cmd.arg(mode[0]).arg(&path);
+            for a in &mode[1..] {
+                cmd.arg(a);
+            }
+            let out = cmd.output().expect("nmlc runs");
+            assert!(
+                out.status.success(),
+                "nmlc {mode:?} {} failed:\n{}",
+                path.display(),
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+    }
+    assert!(count >= 5, "expected the shipped .nml programs, found {count}");
+}
+
+#[test]
+fn nmlc_binary_smoke() {
+    // Drive the driver end to end through a temp file.
+    let dir = std::env::temp_dir();
+    let path = dir.join("nmlc_smoke_test.nml");
+    std::fs::write(
+        &path,
+        "letrec append x y = if (null x) then y
+                             else cons (car x) (append (cdr x) y)
+         in append [1] [2, 3]",
+    )
+    .expect("write temp file");
+    let exe = env!("CARGO_BIN_EXE_nmlc");
+    for (args, needle) in [
+        (vec!["check"], "append : forall"),
+        (vec!["fmt"], "append x y = if"),
+        (vec!["analyze"], "G = <1,0>"),
+        (vec!["analyze", "--report"], "optimization report"),
+        (vec!["ir"], "(cons (car x)"),
+        (vec!["run", "--stats"], "[1, 2, 3]"),
+        (vec!["run", "--stack-alloc", "--stats"], "stack"),
+        (vec!["run", "--auto-reuse", "--stats"], "dcons-reuse"),
+        (vec!["run", "--profile"], "hottest allocation sites"),
+    ] {
+        let mut cmd = std::process::Command::new(exe);
+        cmd.arg(args[0]).arg(&path);
+        for a in &args[1..] {
+            cmd.arg(a);
+        }
+        let out = cmd.output().expect("nmlc runs");
+        assert!(out.status.success(), "nmlc {args:?} failed: {out:?}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains(needle),
+            "nmlc {args:?}: expected {needle:?} in output:\n{text}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Polymorphic invariance (paper §5, Theorem 1), verified empirically:
+//! for several polymorphic functions, analyze multiple monotype
+//! instances *directly* (via monomorphization) and check that the number
+//! of retained top spines is identical across instances — and that
+//! `transfer_verdict` predicts each instance from the simplest one.
+
+use nml_escape_analysis::escape::{
+    global_escape, invariance_holds, transfer_verdict, Engine, EscapeSummary,
+};
+use nml_escape_analysis::syntax::{parse_program, Symbol};
+use nml_escape_analysis::types::infer_and_monomorphize;
+
+/// Analyzes `specialized` inside the monomorphization of `src`.
+fn instance(src: &str, specialized: &str) -> EscapeSummary {
+    let p = parse_program(src).expect("parse");
+    let m = infer_and_monomorphize(&p).expect("mono");
+    let mut en = Engine::new(&m.program, &m.info);
+    global_escape(&mut en, Symbol::intern(specialized)).unwrap_or_else(|e| {
+        panic!(
+            "no {specialized} in {:?}: {e}",
+            m.program.bindings.iter().map(|b| b.name).collect::<Vec<_>>()
+        )
+    })
+}
+
+const APPEND_DEF: &str = "append x y = if (null x) then y
+                                       else cons (car x) (append (cdr x) y)";
+
+#[test]
+fn append_three_instances() {
+    let flat = instance(
+        &format!("letrec {APPEND_DEF} in append [1] [2]"),
+        "append__i",
+    );
+    let nested = instance(
+        &format!("letrec {APPEND_DEF} in append [[1]] [[2]]"),
+        "append__iL",
+    );
+    let deep = instance(
+        &format!("letrec {APPEND_DEF} in append [[[1]]] [[[2]]]"),
+        "append__iLL",
+    );
+    assert!(invariance_holds(&flat, &nested));
+    assert!(invariance_holds(&nested, &deep));
+    // Retained top spines: param 1 retains exactly 1 at every instance;
+    // param 2 retains 0.
+    for s in [&flat, &nested, &deep] {
+        assert_eq!(s.param(0).retained_spines(), 1, "{s}");
+        assert_eq!(s.param(1).retained_spines(), 0, "{s}");
+    }
+    // transfer_verdict reproduces the direct analyses.
+    assert_eq!(
+        transfer_verdict(flat.param(0).verdict, 1, 2),
+        nested.param(0).verdict
+    );
+    assert_eq!(
+        transfer_verdict(flat.param(0).verdict, 1, 3),
+        deep.param(0).verdict
+    );
+}
+
+#[test]
+fn length_never_escapes_at_any_instance() {
+    let def = "len l = if (null l) then 0 else 1 + len (cdr l)";
+    let flat = instance(&format!("letrec {def} in len [1]"), "len__i");
+    let nested = instance(&format!("letrec {def} in len [[1]]"), "len__iL");
+    assert!(invariance_holds(&flat, &nested));
+    assert!(!flat.param(0).escapes());
+    assert!(!nested.param(0).escapes());
+}
+
+#[test]
+fn rev_instances_retain_top_spine() {
+    let defs = "append x y = if (null x) then y
+                             else cons (car x) (append (cdr x) y);
+                rev l = if (null l) then nil
+                        else append (rev (cdr l)) (cons (car l) nil)";
+    let flat = instance(&format!("letrec {defs} in rev [1]"), "rev__i");
+    let nested = instance(&format!("letrec {defs} in rev [[1]]"), "rev__iL");
+    assert!(invariance_holds(&flat, &nested));
+    assert_eq!(flat.param(0).retained_spines(), 1);
+    assert_eq!(nested.param(0).retained_spines(), 1);
+    assert_eq!(nested.param(0).spines, 2);
+}
+
+#[test]
+fn map_instances_with_identity() {
+    // map id at element types int and int list.
+    let defs = "map f l = if (null l) then nil
+                          else cons (f (car l)) (map f (cdr l));
+                id x = x";
+    let flat = instance(
+        &format!("letrec {defs} in map id [1]"),
+        "map__i_i",
+    );
+    let nested = instance(
+        &format!("letrec {defs} in map id [[1]]"),
+        "map__iL_iL",
+    );
+    assert!(
+        invariance_holds(&flat, &nested),
+        "flat:\n{flat}\nnested:\n{nested}"
+    );
+    // The list parameter retains its top spine at both instances.
+    assert_eq!(flat.param(1).retained_spines(), 1);
+    assert_eq!(nested.param(1).retained_spines(), 1);
+}
+
+#[test]
+fn simplest_instance_route_agrees_with_direct_route() {
+    // Route 1 (paper): analyze the simplest instance, transfer.
+    // Route 2: monomorphize and analyze directly. They must agree.
+    let src = "letrec append x y = if (null x) then y
+                                   else cons (car x) (append (cdr x) y)
+               in append [[1]] [[2]]";
+    let simplest = {
+        let a = nml_escape_analysis::escape::analyze_source(src).expect("analysis");
+        a.summaries[&Symbol::intern("append")].clone()
+    };
+    let direct = instance(src, "append__iL");
+    for i in 0..2 {
+        let transferred = transfer_verdict(
+            simplest.param(i).verdict,
+            simplest.param(i).spines,
+            direct.param(i).spines,
+        );
+        assert_eq!(
+            transferred,
+            direct.param(i).verdict,
+            "param {i}: transfer disagrees with direct analysis"
+        );
+    }
+}
