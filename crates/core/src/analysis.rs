@@ -1,14 +1,25 @@
 //! High-level front-to-back analysis pipeline:
 //! parse → infer → (optionally monomorphize) → global escape tests.
+//!
+//! The pipeline is **total over well-typed programs**: once parsing and
+//! type inference succeed, analysis cannot fail. Any engine fault — a
+//! diverging fixpoint, an exhausted [`Budget`], an inconsistent AST, even
+//! a panic inside the abstract interpreter — is confined to the one
+//! function being tested: that function's summary degrades to the sound
+//! worst-case `W^τ` (every parameter reported fully escaping) and a
+//! [`Degradation`] event records what happened. Consumers that want
+//! hard failures instead can inspect [`Analysis::degradations`].
 
+use crate::budget::{Budget, Governor};
 use crate::engine::{Engine, EngineConfig, EngineStats};
-use crate::error::AnalyzeError;
-use crate::global::{global_escape, EscapeSummary};
+use crate::error::{AnalyzeError, EscapeError};
+use crate::global::{global_escape, worst_case_summary, EscapeSummary};
 use crate::sharing::unshared_from_summary;
 use nml_syntax::{parse_program, Program, Symbol};
 use nml_types::{infer_and_monomorphize, infer_program, TypeInfo};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How polymorphic programs are handled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +35,41 @@ pub enum PolyMode {
     Monomorphize,
 }
 
+/// Why one function's summary was degraded to the worst case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The engine reported a typed failure (budget exhaustion, fixpoint
+    /// divergence, inconsistent AST).
+    Engine(EscapeError),
+    /// The abstract interpreter panicked; the panic was quarantined and
+    /// the engine rebuilt.
+    Panic(String),
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::Engine(e) => write!(f, "{e}"),
+            DegradeReason::Panic(msg) => write!(f, "quarantined panic: {msg}"),
+        }
+    }
+}
+
+/// One function whose summary fell back to the sound worst case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The affected top-level function.
+    pub function: Symbol,
+    /// What forced the fallback.
+    pub reason: DegradeReason,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` degraded to worst-case: {}", self.function, self.reason)
+    }
+}
+
 /// The complete result of analyzing one program.
 #[derive(Debug)]
 pub struct Analysis {
@@ -32,9 +78,13 @@ pub struct Analysis {
     /// Its type information.
     pub info: TypeInfo,
     /// Global escape summaries of every top-level function, by name.
+    /// Degraded functions are present with worst-case summaries.
     pub summaries: BTreeMap<Symbol, EscapeSummary>,
     /// Engine statistics accumulated over all tests.
     pub stats: EngineStats,
+    /// Functions whose summaries are worst-case fallbacks, with reasons.
+    /// Empty when the analysis ran to completion everywhere.
+    pub degradations: Vec<Degradation>,
 }
 
 impl Analysis {
@@ -48,12 +98,31 @@ impl Analysis {
     pub fn unshared_result_spines(&self, name: &str) -> Option<u32> {
         self.summary(name).map(unshared_from_summary)
     }
+
+    /// Whether `name`'s summary is a worst-case fallback rather than the
+    /// exact global test result.
+    pub fn is_degraded(&self, name: &str) -> bool {
+        self.is_degraded_sym(Symbol::intern(name))
+    }
+
+    /// [`Analysis::is_degraded`] for an already-interned symbol.
+    pub fn is_degraded_sym(&self, name: Symbol) -> bool {
+        self.degradations.iter().any(|d| d.function == name)
+    }
+
+    /// Whether every summary is exact (no degradations anywhere).
+    pub fn fully_precise(&self) -> bool {
+        self.degradations.is_empty()
+    }
 }
 
 impl fmt::Display for Analysis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for s in self.summaries.values() {
             write!(f, "{s}")?;
+        }
+        for d in &self.degradations {
+            writeln!(f, "warning: {d}")?;
         }
         Ok(())
     }
@@ -100,6 +169,21 @@ pub fn analyze_source_with(
     mode: PolyMode,
     config: EngineConfig,
 ) -> Result<Analysis, AnalyzeError> {
+    analyze_source_governed(src, mode, config, Budget::unlimited())
+}
+
+/// Analyzes nml source under a resource [`Budget`]. On exhaustion the
+/// remaining functions degrade to worst-case summaries instead of failing.
+///
+/// # Errors
+///
+/// Only syntax and type errors; the analysis phase itself is total.
+pub fn analyze_source_governed(
+    src: &str,
+    mode: PolyMode,
+    config: EngineConfig,
+    budget: Budget,
+) -> Result<Analysis, AnalyzeError> {
     let parsed = parse_program(src)?;
     let (program, info) = match mode {
         PolyMode::SimplestInstance => {
@@ -111,43 +195,119 @@ pub fn analyze_source_with(
             (mono.program, mono.info)
         }
     };
-    analyze_program(program, info, config)
+    analyze_program_governed(program, info, config, budget)
 }
 
 /// Analyzes an already-typed program.
 ///
 /// # Errors
 ///
-/// Returns an [`AnalyzeError::Escape`] if a fixpoint diverges.
+/// None in practice: engine faults degrade per function (see
+/// [`analyze_program_governed`]); the `Result` is kept for signature
+/// stability.
 pub fn analyze_program(
     program: Program,
     info: TypeInfo,
     config: EngineConfig,
 ) -> Result<Analysis, AnalyzeError> {
+    analyze_program_governed(program, info, config, Budget::unlimited())
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn merge_stats(acc: &mut EngineStats, s: &EngineStats) {
+    acc.passes += s.passes;
+    acc.memo_entries = acc.memo_entries.max(s.memo_entries);
+    acc.widenings += s.widenings;
+    for (k, v) in &s.updates_per_binding {
+        *acc.updates_per_binding.entry(*k).or_default() += v;
+    }
+}
+
+/// Analyzes an already-typed program under a resource [`Budget`], with
+/// per-function fault isolation.
+///
+/// Each top-level function's global escape test runs inside a panic
+/// quarantine. Three classes of fault all lead to the same sound outcome —
+/// the function's summary becomes `W^τ` (every parameter fully escaping)
+/// and a [`Degradation`] is recorded:
+///
+/// - typed engine errors (budget exhaustion, fixpoint divergence,
+///   inconsistent AST nodes);
+/// - panics inside the abstract interpreter (the engine is rebuilt, the
+///   governor's accumulated usage carries over);
+/// - budget exhaustion part-way through the function list (remaining
+///   functions degrade immediately — the governor stays tripped).
+///
+/// # Errors
+///
+/// None in practice; the `Result` is kept for signature stability with
+/// the syntax/type phases.
+pub fn analyze_program_governed(
+    program: Program,
+    info: TypeInfo,
+    config: EngineConfig,
+    budget: Budget,
+) -> Result<Analysis, AnalyzeError> {
     let names: Vec<Symbol> = program.bindings.iter().map(|b| b.name).collect();
     let mut summaries = BTreeMap::new();
-    let stats;
+    let mut degradations = Vec::new();
+    let mut stats = EngineStats::default();
     {
-        let mut engine = Engine::with_config(&program, &info, config);
+        let mut engine = Engine::with_config(&program, &info, config.clone());
+        engine.set_governor(Governor::new(budget));
         for name in names {
             // Only functions (arity >= 1) have escape tests.
-            let arity = info
-                .sig(name)
-                .map(|t| t.uncurry().0.len())
-                .unwrap_or(0);
-            if arity == 0 {
+            let Some(sig) = info.sig(name).cloned() else {
+                continue;
+            };
+            if sig.uncurry().0.is_empty() {
                 continue;
             }
-            let summary = global_escape(&mut engine, name).map_err(AnalyzeError::Escape)?;
-            summaries.insert(name, summary);
+            let outcome = catch_unwind(AssertUnwindSafe(|| global_escape(&mut engine, name)));
+            match outcome {
+                Ok(Ok(summary)) => {
+                    summaries.insert(name, summary);
+                }
+                Ok(Err(e)) => {
+                    summaries.insert(name, worst_case_summary(name, &sig));
+                    degradations.push(Degradation {
+                        function: name,
+                        reason: DegradeReason::Engine(e),
+                    });
+                }
+                Err(payload) => {
+                    summaries.insert(name, worst_case_summary(name, &sig));
+                    degradations.push(Degradation {
+                        function: name,
+                        reason: DegradeReason::Panic(panic_message(payload)),
+                    });
+                    // The unwound engine may hold inconsistent memo/slot
+                    // state: rebuild it. The governor (with its usage)
+                    // carries over so the budget stays analysis-wide.
+                    let governor = engine.governor().clone();
+                    merge_stats(&mut stats, &engine.stats);
+                    engine = Engine::with_config(&program, &info, config.clone());
+                    engine.set_governor(governor);
+                }
+            }
         }
-        stats = engine.stats.clone();
+        merge_stats(&mut stats, &engine.stats);
     }
     Ok(Analysis {
         program,
         info,
         summaries,
         stats,
+        degradations,
     })
 }
 

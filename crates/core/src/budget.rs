@@ -1,0 +1,245 @@
+//! The resource governor: hard bounds on what one analysis may consume.
+//!
+//! A production analyzer must be *total*: no input — however adversarial —
+//! may make it loop, blow up memory, or miss a deadline. The paper already
+//! supplies the escape hatch that makes this free of soundness risk: any
+//! function can be summarized by the worst-case function `W^τ`
+//! (Definition 2), the top of the behaviour order, so when a resource
+//! bound is hit the analysis can stop refining and report `W^τ` instead of
+//! an error. A [`Budget`] names the bounds; a [`Governor`] meters usage
+//! against them and reports the first bound crossed.
+//!
+//! The governor is deliberately *cumulative across engine rebuilds*: when
+//! the driver quarantines a panicking function and constructs a fresh
+//! engine, it clones the old governor into the new one, so one analysis
+//! request can never exceed its budget by failing repeatedly.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Resource ceilings for one whole analysis (all functions, all fixpoint
+/// queries). `Default` is effectively unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum total fixpoint passes across every query.
+    pub max_passes: u32,
+    /// Maximum total abstract-value nodes constructed (measured as the
+    /// structural depth of every value the engine materializes).
+    pub max_nodes: u64,
+    /// Wall-clock deadline measured from governor creation.
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// No effective limits (the engine's own `max_passes` still applies
+    /// per query).
+    pub fn unlimited() -> Budget {
+        Budget {
+            max_passes: u32::MAX,
+            max_nodes: u64::MAX,
+            deadline: None,
+        }
+    }
+
+    /// A small budget suitable for interactive or adversarial inputs:
+    /// `passes` fixpoint passes, `nodes` abstract nodes, and an optional
+    /// deadline.
+    pub fn tight(passes: u32, nodes: u64, deadline: Option<Duration>) -> Budget {
+        Budget {
+            max_passes: passes,
+            max_nodes: nodes,
+            deadline,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+/// Which resource ran out first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// The cumulative fixpoint pass bound.
+    Passes,
+    /// The abstract-value node bound.
+    Nodes,
+    /// The wall-clock deadline.
+    WallClock,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Passes => f.write_str("fixpoint passes"),
+            Resource::Nodes => f.write_str("abstract-value nodes"),
+            Resource::WallClock => f.write_str("wall clock"),
+        }
+    }
+}
+
+/// Meters resource usage against a [`Budget`]. Once a bound is crossed the
+/// governor stays *tripped*: every subsequent check reports exhaustion, so
+/// later queries on the same (or a rebuilt) engine degrade immediately
+/// instead of spending resources that are already gone.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    budget: Budget,
+    started: Instant,
+    passes: u32,
+    nodes: u64,
+    checks: u32,
+    tripped: Option<Resource>,
+}
+
+impl Governor {
+    /// Starts metering now.
+    pub fn new(budget: Budget) -> Governor {
+        Governor {
+            budget,
+            started: Instant::now(),
+            passes: 0,
+            nodes: 0,
+            checks: 0,
+            tripped: None,
+        }
+    }
+
+    /// The budget being enforced.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Total passes charged so far.
+    pub fn passes_used(&self) -> u32 {
+        self.passes
+    }
+
+    /// Total nodes charged so far.
+    pub fn nodes_used(&self) -> u64 {
+        self.nodes
+    }
+
+    /// The resource that ran out, if any.
+    pub fn exhausted(&self) -> Option<Resource> {
+        self.tripped
+    }
+
+    /// Charges one fixpoint pass and re-checks every bound.
+    pub fn charge_pass(&mut self) -> Option<Resource> {
+        self.passes = self.passes.saturating_add(1);
+        if self.tripped.is_none() && self.passes > self.budget.max_passes {
+            self.tripped = Some(Resource::Passes);
+        }
+        self.check_deadline();
+        self.tripped
+    }
+
+    /// Charges `n` abstract-value nodes. The deadline is polled only every
+    /// 1024 charges to keep the hot path cheap.
+    pub fn charge_nodes(&mut self, n: u64) -> Option<Resource> {
+        self.nodes = self.nodes.saturating_add(n);
+        if self.tripped.is_none() && self.nodes > self.budget.max_nodes {
+            self.tripped = Some(Resource::Nodes);
+        }
+        self.checks = self.checks.wrapping_add(1);
+        if self.checks.is_multiple_of(1024) {
+            self.check_deadline();
+        }
+        self.tripped
+    }
+
+    /// Checks the wall-clock deadline immediately.
+    pub fn check_deadline(&mut self) -> Option<Resource> {
+        if self.tripped.is_none() {
+            if let Some(d) = self.budget.deadline {
+                if self.started.elapsed() >= d {
+                    self.tripped = Some(Resource::WallClock);
+                }
+            }
+        }
+        self.tripped
+    }
+
+    /// The limit of the given resource, as a number (milliseconds for the
+    /// deadline), for diagnostics.
+    pub fn limit_of(&self, r: Resource) -> u64 {
+        match r {
+            Resource::Passes => u64::from(self.budget.max_passes),
+            Resource::Nodes => self.budget.max_nodes,
+            Resource::WallClock => self
+                .budget
+                .deadline
+                .map_or(u64::MAX, |d| d.as_millis() as u64),
+        }
+    }
+
+    /// Usage of the given resource, in the same unit as [`Governor::limit_of`].
+    pub fn used_of(&self, r: Resource) -> u64 {
+        match r {
+            Resource::Passes => u64::from(self.passes),
+            Resource::Nodes => self.nodes,
+            Resource::WallClock => self.started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Governor::new(Budget::unlimited())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut g = Governor::default();
+        for _ in 0..10_000 {
+            assert_eq!(g.charge_pass(), None);
+            assert_eq!(g.charge_nodes(1_000_000), None);
+        }
+    }
+
+    #[test]
+    fn pass_budget_trips_and_stays_tripped() {
+        let mut g = Governor::new(Budget::tight(3, u64::MAX, None));
+        assert_eq!(g.charge_pass(), None);
+        assert_eq!(g.charge_pass(), None);
+        assert_eq!(g.charge_pass(), None);
+        assert_eq!(g.charge_pass(), Some(Resource::Passes));
+        // Sticky: any later charge still reports exhaustion.
+        assert_eq!(g.charge_nodes(1), Some(Resource::Passes));
+        assert_eq!(g.exhausted(), Some(Resource::Passes));
+    }
+
+    #[test]
+    fn node_budget_trips() {
+        let mut g = Governor::new(Budget::tight(u32::MAX, 10, None));
+        assert_eq!(g.charge_nodes(5), None);
+        assert_eq!(g.charge_nodes(6), Some(Resource::Nodes));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let mut g = Governor::new(Budget::tight(
+            u32::MAX,
+            u64::MAX,
+            Some(Duration::ZERO),
+        ));
+        assert_eq!(g.check_deadline(), Some(Resource::WallClock));
+    }
+
+    #[test]
+    fn cloned_governor_keeps_usage() {
+        let mut g = Governor::new(Budget::tight(2, u64::MAX, None));
+        g.charge_pass();
+        let mut g2 = g.clone();
+        g2.charge_pass();
+        assert_eq!(g2.charge_pass(), Some(Resource::Passes));
+    }
+}

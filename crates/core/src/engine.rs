@@ -20,6 +20,7 @@
 
 use crate::absval::{AbsEnv, AbsVal, EnvEntry, FunVal, RecKey};
 use crate::be::Be;
+use crate::budget::{Budget, Governor, Resource};
 use crate::error::EscapeError;
 use nml_syntax::ast::{Const, Expr, ExprKind, Prim, Program};
 use nml_syntax::visit::{free_vars, walk_exprs};
@@ -97,6 +98,11 @@ pub struct Engine<'a> {
     memo: HashMap<MemoKey, MemoEntry>,
     dirty: bool,
     pass: u32,
+    /// Meters cumulative resource usage across every query on this engine.
+    governor: Governor,
+    /// First internal inconsistency observed during evaluation; surfaced
+    /// as a typed error by [`Engine::run`] instead of a panic.
+    pending_error: Option<EscapeError>,
     /// Statistics for the current/most recent run.
     pub stats: EngineStats,
 }
@@ -139,8 +145,27 @@ impl<'a> Engine<'a> {
             memo: HashMap::new(),
             dirty: false,
             pass: 0,
+            governor: Governor::default(),
+            pending_error: None,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Starts metering this engine against `budget` (from now).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.governor = Governor::new(budget);
+    }
+
+    /// The governor metering this engine.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
+    /// Replaces the governor, keeping its accumulated usage. Used by the
+    /// driver to carry one budget across engine rebuilds (e.g. after a
+    /// quarantined panic).
+    pub fn set_governor(&mut self, governor: Governor) {
+        self.governor = governor;
     }
 
     /// The program under analysis.
@@ -177,14 +202,22 @@ impl<'a> Engine<'a> {
     ///
     /// # Errors
     ///
-    /// [`EscapeError::FixpointDiverged`] if `max_passes` is exceeded
-    /// (indicating a widening threshold too high for the program).
+    /// - [`EscapeError::FixpointDiverged`] if `max_passes` is exceeded
+    ///   (indicating a widening threshold too high for the program);
+    /// - [`EscapeError::BudgetExhausted`] if the engine's [`Budget`] ran
+    ///   out (callers may soundly fall back to the worst-case summary);
+    /// - [`EscapeError::MissingSpineAnnotation`] /
+    ///   [`EscapeError::UnknownLambda`] if evaluation met an inconsistent
+    ///   AST (the returned value side stays sound; the error reports it).
     pub fn run<T: Eq + Clone>(
         &mut self,
         mut query: impl FnMut(&mut Self) -> T,
     ) -> Result<T, EscapeError> {
         let mut last: Option<T> = None;
         loop {
+            if let Some(r) = self.governor.charge_pass() {
+                return Err(self.budget_error(r));
+            }
             self.pass += 1;
             if self.pass > self.config.max_passes {
                 return Err(EscapeError::FixpointDiverged {
@@ -196,10 +229,32 @@ impl<'a> Engine<'a> {
             self.refresh_top_bindings();
             let r = query(self);
             self.stats.memo_entries = self.memo.len();
+            if let Some(e) = self.pending_error.take() {
+                return Err(e);
+            }
+            if let Some(res) = self.governor.exhausted() {
+                return Err(self.budget_error(res));
+            }
             if !self.dirty && last.as_ref() == Some(&r) {
                 return Ok(r);
             }
             last = Some(r);
+        }
+    }
+
+    fn budget_error(&self, r: Resource) -> EscapeError {
+        EscapeError::BudgetExhausted {
+            resource: r,
+            used: self.governor.used_of(r),
+            limit: self.governor.limit_of(r),
+        }
+    }
+
+    /// Records the first internal inconsistency; evaluation continues with
+    /// a sound over-approximation and [`Engine::run`] reports the error.
+    fn note_error(&mut self, e: EscapeError) {
+        if self.pending_error.is_none() {
+            self.pending_error = Some(e);
         }
     }
 
@@ -261,7 +316,18 @@ impl<'a> Engine<'a> {
     }
 
     fn maybe_widen(&mut self, v: AbsVal) -> AbsVal {
-        if v.depth() > self.config.widen_depth {
+        let depth = v.depth();
+        self.governor.charge_nodes(u64::from(depth));
+        // Once the budget is gone, collapse aggressively: every structured
+        // value becomes `W` (sound — Definition 2 tops the behaviour
+        // order), which keeps the in-flight pass cheap while `run`
+        // surfaces the exhaustion as a typed error.
+        let threshold = if self.governor.exhausted().is_some() {
+            1
+        } else {
+            self.config.widen_depth
+        };
+        if depth > threshold {
             self.stats.widenings += 1;
             v.widen(self.config.widen_arity)
         } else {
@@ -271,13 +337,11 @@ impl<'a> Engine<'a> {
 
     /// Abstract evaluation `E⟦e⟧env` (paper §3.4).
     ///
-    /// `e` must consist of nodes of the engine's program (same node ids):
-    /// lambda bodies are resolved through tables built at construction.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `e` contains a `lambda` or `car` node unknown to the
-    /// program.
+    /// `e` should consist of nodes of the engine's program (same node
+    /// ids): lambda bodies are resolved through tables built at
+    /// construction. Unknown `lambda` or `car` nodes do not panic — they
+    /// evaluate to sound over-approximations (worst-case function,
+    /// identity `car`) and [`Engine::run`] reports a typed error.
     pub fn eval(&mut self, e: &Expr, env: &AbsEnv) -> AbsVal {
         match &e.kind {
             ExprKind::Const(c) => self.const_val(e.id, *c),
@@ -328,7 +392,19 @@ impl<'a> Engine<'a> {
     /// `E⟦lambda(x).e⟧env = ⟨V, λy.E⟦e⟧env[x ↦ y]⟩` with
     /// `V = ⟨0,0⟩ ⊔ ⊔_{z ∈ F} (env⟦z⟧)₍₁₎` over all free identifiers `F`.
     fn make_closure(&mut self, lam: &Expr, env: &AbsEnv) -> AbsVal {
-        let free = &self.lambda_free[&lam.id];
+        // Lambdas outside the indexed program (foreign ASTs spliced in by
+        // scaffolding) have no cached free-variable set; computing it on
+        // the fly keeps the capture analysis exact. Their *application*
+        // still degrades to worst-case in `apply_closure`, because the
+        // body pointer cannot be stored.
+        let computed;
+        let free = match self.lambda_free.get(&lam.id) {
+            Some(f) => f,
+            None => {
+                computed = free_vars(lam);
+                &computed
+            }
+        };
         let mut captured = BTreeMap::new();
         let mut v = Be::bottom();
         for z in free {
@@ -355,7 +431,7 @@ impl<'a> Engine<'a> {
     }
 
     /// The abstract constant semantics `C⟦c⟧` (paper §3.4).
-    fn const_val(&self, node: NodeId, c: Const) -> AbsVal {
+    fn const_val(&mut self, node: NodeId, c: Const) -> AbsVal {
         match c {
             Const::Int(_) | Const::Bool(_) | Const::Nil => AbsVal::bottom(),
             Const::Prim(p) => {
@@ -393,7 +469,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn car_spine_of(&self, node: NodeId) -> u32 {
+    fn car_spine_of(&mut self, node: NodeId) -> u32 {
         if let Some(&s) = self.info.car_spines.get(&node) {
             return s;
         }
@@ -402,7 +478,12 @@ impl<'a> Engine<'a> {
         if let Some(Ty::Fun(dom, _)) = self.info.node_ty.get(&node) {
             return dom.spines();
         }
-        panic!("car node {node} has no spine annotation");
+        // No annotation at all: treat the car as `sub^0`. `sub^s` is
+        // reductive for every `s` (a.sub(s) ⊑ a), so passing the argument
+        // through unreduced over-approximates any true spine count — the
+        // result stays sound while the typed error reports the broken AST.
+        self.note_error(EscapeError::MissingSpineAnnotation { node });
+        0
     }
 
     /// Abstract application: dispatches on the function component.
@@ -464,7 +545,20 @@ impl<'a> Engine<'a> {
     }
 
     fn apply_closure(&mut self, lambda: NodeId, env: AbsEnv, arg: AbsVal) -> AbsVal {
-        let (param, body) = self.lambdas[&lambda];
+        let Some(&(param, body)) = self.lambdas.get(&lambda) else {
+            // A closure over a lambda the engine never indexed: its body
+            // is unknown, so answer with the worst-case function — it
+            // dominates every possible behaviour (Definition 2) — and
+            // report the inconsistency as a typed error.
+            self.note_error(EscapeError::UnknownLambda { node: lambda });
+            return AbsVal {
+                be: arg.be,
+                fun: FunVal::Worst {
+                    remaining: self.config.widen_arity,
+                    acc: arg.be,
+                },
+            };
+        };
         let key = MemoKey {
             lambda,
             env: env.clone(),
@@ -493,10 +587,14 @@ impl<'a> Engine<'a> {
         let result = self.maybe_widen(result);
 
         let owner = self.lambda_owner.get(&lambda).copied();
-        let entry = self
-            .memo
-            .get_mut(&key)
-            .expect("memo entry inserted above");
+        // The entry was inserted above and eval never removes entries, but
+        // re-inserting on a (impossible) miss is cheaper than a panic path.
+        let pass = self.pass;
+        let entry = self.memo.entry(key).or_insert_with(|| MemoEntry {
+            value: AbsVal::bottom(),
+            epoch: pass,
+            in_progress: false,
+        });
         let joined = entry.value.join(&result);
         if joined != entry.value {
             entry.value = joined;

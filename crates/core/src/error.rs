@@ -1,6 +1,7 @@
 //! Errors of the escape analysis.
 
-use nml_syntax::SyntaxError;
+use crate::budget::Resource;
+use nml_syntax::{NodeId, SyntaxError};
 use nml_types::TypeError;
 use std::fmt;
 
@@ -25,6 +26,32 @@ pub enum EscapeError {
         /// The function's arity.
         arity: usize,
     },
+    /// The analysis-wide [`crate::budget::Budget`] ran out. The caller can
+    /// (and [`crate::analyze_program`] does) degrade the affected function
+    /// to the sound worst-case summary instead of failing.
+    BudgetExhausted {
+        /// The resource that ran out first.
+        resource: Resource,
+        /// Usage at trip time (milliseconds for the wall clock).
+        used: u64,
+        /// The configured limit, in the same unit.
+        limit: u64,
+    },
+    /// A `car` node carried neither a `car^s` annotation nor a usable
+    /// type. The engine recovers soundly (it treats the `car` as the
+    /// identity, an over-approximation since `sub^s` is reductive) but
+    /// reports the inconsistency instead of panicking.
+    MissingSpineAnnotation {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An application reached a lambda node that is not part of the
+    /// engine's program (foreign or synthesized AST). The engine recovers
+    /// soundly by treating the callee as the worst-case function.
+    UnknownLambda {
+        /// The offending node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for EscapeError {
@@ -38,6 +65,22 @@ impl fmt::Display for EscapeError {
             }
             EscapeError::BadParameterIndex { index, arity } => {
                 write!(f, "parameter index {index} out of range for arity {arity}")
+            }
+            EscapeError::BudgetExhausted {
+                resource,
+                used,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "analysis budget exhausted: {resource} used {used} of {limit}"
+                )
+            }
+            EscapeError::MissingSpineAnnotation { node } => {
+                write!(f, "car node {node} has no spine annotation")
+            }
+            EscapeError::UnknownLambda { node } => {
+                write!(f, "lambda node {node} is not part of the analyzed program")
             }
         }
     }

@@ -157,6 +157,33 @@ pub fn global_escape_param(
     })
 }
 
+/// The worst-case summary for a function of signature `sig`: every
+/// parameter is reported fully escaping (`⟨1, s_i⟩`). This is the sound
+/// degradation target when the real test cannot run (budget exhausted,
+/// engine fault): for any parameter, the true verdict is `⊑ ⟨1, s_i⟩` by
+/// construction of the chain, so every consumer of the summary
+/// (stack allocation, reuse, block reclamation) simply finds nothing to
+/// optimize — never an unsound optimization.
+pub fn worst_case_summary(name: Symbol, sig: &Ty) -> EscapeSummary {
+    let (param_tys, result_ty) = sig.uncurry();
+    let params = param_tys
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| ParamEscape {
+            index: i,
+            ty: ty.clone(),
+            spines: ty.spines(),
+            verdict: Be::escaping(ty.spines()),
+        })
+        .collect();
+    EscapeSummary {
+        name,
+        param_tys,
+        result_ty,
+        params,
+    }
+}
+
 /// Runs the global escape test for every parameter of `name`.
 ///
 /// # Errors

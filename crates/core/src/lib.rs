@@ -50,6 +50,7 @@
 pub mod absval;
 pub mod analysis;
 pub mod be;
+pub mod budget;
 pub mod engine;
 pub mod error;
 pub mod global;
@@ -59,14 +60,23 @@ pub mod reference;
 pub mod sharing;
 
 pub use absval::{AbsEnv, AbsVal, EnvEntry, FunVal, RecKey};
-pub use analysis::{analyze_program, analyze_source, analyze_source_with, Analysis, PolyMode};
+pub use analysis::{
+    analyze_program, analyze_program_governed, analyze_source, analyze_source_governed,
+    analyze_source_with, Analysis, Degradation, DegradeReason, PolyMode,
+};
 pub use be::Be;
+pub use budget::{Budget, Governor, Resource};
 pub use engine::{worst_value, Engine, EngineConfig, EngineStats};
 pub use error::{AnalyzeError, EscapeError};
-pub use global::{global_escape, global_escape_param, EscapeSummary, ParamEscape};
+pub use global::{
+    global_escape, global_escape_param, worst_case_summary, EscapeSummary, ParamEscape,
+};
 pub use local::{local_escape, LocalEscape};
 pub use poly::{invariance_holds, transfer_param, transfer_verdict};
-pub use reference::{reference_global, tabulate_program, BeTable, NotFirstOrder};
+pub use reference::{
+    reference_global, tabulate_program, tabulate_program_governed, BeTable, NotFirstOrder,
+    TabulateError,
+};
 pub use sharing::{
     unshared_from_summary, unshared_result_spines, unshared_result_spines_any_args, ArgSharing,
 };

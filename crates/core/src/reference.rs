@@ -17,6 +17,7 @@
 //! part, because `D_e^{τ list} = D_e^τ` bottoms out at `B_e × {err}`.
 
 use crate::be::Be;
+use crate::budget::Governor;
 use crate::error::EscapeError;
 use nml_syntax::ast::{Const, Expr, ExprKind, Prim, Program};
 use nml_syntax::{Symbol};
@@ -36,11 +37,19 @@ pub struct BeTable {
 impl BeTable {
     /// Looks up the result for `args`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `args` is not a point of the tabulated domain.
+    /// Total: if `args` is not a point of the tabulated domain (wrong
+    /// spine bound, foreign arity), the join of all table values is
+    /// returned. The table is monotone and complete over its domain, so
+    /// that join equals the value at the top tuple — an over-approximation
+    /// of every point, hence a sound answer for any query.
     pub fn get(&self, args: &[Be]) -> Be {
-        self.rows[args]
+        match self.rows.get(args) {
+            Some(&v) => v,
+            None => self
+                .rows
+                .values()
+                .fold(Be::bottom(), |acc, &v| acc.join(v)),
+        }
     }
 }
 
@@ -73,6 +82,34 @@ impl std::fmt::Display for NotFirstOrder {
     }
 }
 
+/// Why a governed tabulation could not produce tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TabulateError {
+    /// The program falls outside the first-order fragment.
+    NotFirstOrder(NotFirstOrder),
+    /// The [`crate::budget::Budget`] ran out mid-iteration. No partial
+    /// tables are returned: a truncated Kleene iterate would *under*-
+    /// approximate the fixpoint, which is the unsound direction.
+    Budget(EscapeError),
+}
+
+impl std::fmt::Display for TabulateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TabulateError::NotFirstOrder(e) => write!(f, "not first-order: {e}"),
+            TabulateError::Budget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TabulateError {}
+
+impl From<NotFirstOrder> for TabulateError {
+    fn from(e: NotFirstOrder) -> Self {
+        TabulateError::NotFirstOrder(e)
+    }
+}
+
 /// Tabulates every top-level function of a first-order program by Kleene
 /// iteration over the pointwise-ordered table lattice.
 ///
@@ -85,13 +122,36 @@ pub fn tabulate_program(
     program: &Program,
     info: &TypeInfo,
 ) -> Result<BTreeMap<Symbol, BeTable>, NotFirstOrder> {
+    let mut governor = Governor::default();
+    match tabulate_program_governed(program, info, &mut governor) {
+        Ok(tables) => Ok(tables),
+        Err(TabulateError::NotFirstOrder(e)) => Err(e),
+        // Unreachable: the default governor is unlimited.
+        Err(TabulateError::Budget(e)) => unreachable!("unlimited budget tripped: {e}"),
+    }
+}
+
+/// [`tabulate_program`] under an external [`Governor`]: each Kleene pass
+/// charges one fixpoint pass and each evaluated table row charges one
+/// node, so a shared analysis-wide budget also bounds reference
+/// tabulation (whose tables are exponential in arity).
+///
+/// # Errors
+///
+/// [`TabulateError::NotFirstOrder`] for programs outside the fragment,
+/// [`TabulateError::Budget`] when the governor trips.
+pub fn tabulate_program_governed(
+    program: &Program,
+    info: &TypeInfo,
+    governor: &mut Governor,
+) -> Result<BTreeMap<Symbol, BeTable>, TabulateError> {
     // Validate the fragment and collect (name, params, body).
     let mut funcs: Vec<(Symbol, Vec<Symbol>, &Expr)> = Vec::new();
     for b in &program.bindings {
         let sig = &info.top_sigs[&b.name];
         let (params_ty, _) = sig.uncurry();
         if params_ty.iter().any(|t| matches!(t, Ty::Fun(..))) {
-            return Err(NotFirstOrder::FunctionParameter(b.name.to_string()));
+            return Err(NotFirstOrder::FunctionParameter(b.name.to_string()).into());
         }
         let mut params = Vec::new();
         let mut cur = &b.expr;
@@ -124,10 +184,24 @@ pub fn tabulate_program(
 
     // Kleene iteration to the simultaneous fixpoint.
     loop {
+        if let Some(r) = governor.charge_pass() {
+            return Err(TabulateError::Budget(EscapeError::BudgetExhausted {
+                resource: r,
+                used: governor.used_of(r),
+                limit: governor.limit_of(r),
+            }));
+        }
         let mut changed = false;
         for (name, params, body) in &funcs {
             let snapshot = tables.clone();
             let table = tables.get_mut(name).expect("initialized");
+            if let Some(r) = governor.charge_nodes(table.rows.len() as u64) {
+                return Err(TabulateError::Budget(EscapeError::BudgetExhausted {
+                    resource: r,
+                    used: governor.used_of(r),
+                    limit: governor.limit_of(r),
+                }));
+            }
             let mut updates = Vec::new();
             for (tuple, current) in &table.rows {
                 let env: HashMap<Symbol, Be> =
@@ -216,7 +290,10 @@ fn eval_be(
                     Ok(match p {
                         Prim::Cons | Prim::MkPair => vals[0].join(vals[1]),
                         Prim::Car => {
-                            let s = info.car_spines[&head.id];
+                            // Missing annotation: fall back to sub⁰ (the
+                            // identity). `sub` is reductive, so skipping
+                            // the subtraction only over-approximates.
+                            let s = info.car_spines.get(&head.id).copied().unwrap_or(0);
                             vals[0].sub(s)
                         }
                         Prim::Cdr | Prim::Fst | Prim::Snd => vals[0],
@@ -258,7 +335,9 @@ pub fn reference_global(
     let table = tables.get(&name).ok_or_else(|| EscapeError::UnknownFunction {
         name: name.to_string(),
     })?;
-    let sig = info.sig(name).expect("sig for tabulated function");
+    let sig = info.sig(name).ok_or_else(|| EscapeError::UnknownFunction {
+        name: name.to_string(),
+    })?;
     let (params, _) = sig.uncurry();
     if i >= table.arity {
         return Err(EscapeError::BadParameterIndex {

@@ -52,6 +52,10 @@ pub fn auto_reuse(ir: &mut IrProgram, analysis: &Analysis) -> AutoReuse {
     //    conditions license.
     let names: Vec<Symbol> = analysis.summaries.keys().copied().collect();
     for name in names {
+        // Never build reuse variants from degraded (worst-case) summaries.
+        if analysis.is_degraded_sym(name) {
+            continue;
+        }
         let Some(param) = default_reuse_param(analysis, name) else {
             continue;
         };
@@ -101,7 +105,9 @@ fn is_unshared(
             let Some(summary) = analysis.summaries.get(&orig) else {
                 return false;
             };
-            summary.arity() == args.len() && unshared_from_summary(summary) >= 1
+            !analysis.is_degraded_sym(orig)
+                && summary.arity() == args.len()
+                && unshared_from_summary(summary) >= 1
         }
         _ => false,
     }

@@ -98,6 +98,16 @@ pub fn block_call(ir: &mut IrProgram, analysis: &Analysis, f: Symbol, g: Symbol)
             name: f.to_string(),
         });
     }
+    // A degraded summary is already maximally pessimistic (nothing
+    // retained), but refuse explicitly so callers get a typed reason
+    // rather than a misleading "no matching call".
+    for n in [f, g] {
+        if analysis.is_degraded_sym(n) {
+            return Err(OptError::DegradedSummary {
+                name: n.to_string(),
+            });
+        }
+    }
     let g_blk = block_producer_variant(ir, g)?;
     let summary = analysis
         .summaries

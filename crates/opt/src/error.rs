@@ -28,6 +28,13 @@ pub enum OptError {
         /// Description of the pattern.
         pattern: String,
     },
+    /// The function's escape summary is a worst-case degradation stand-in
+    /// (analysis budget exhausted or fault quarantined), so no storage
+    /// optimization may rely on it.
+    DegradedSummary {
+        /// The function.
+        name: String,
+    },
 }
 
 impl fmt::Display for OptError {
@@ -46,6 +53,9 @@ impl fmt::Display for OptError {
             ),
             OptError::NoMatchingCall { pattern } => {
                 write!(f, "no call site matches `{pattern}`")
+            }
+            OptError::DegradedSummary { name } => {
+                write!(f, "`{name}`'s summary is a worst-case degradation")
             }
         }
     }

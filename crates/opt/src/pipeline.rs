@@ -54,6 +54,12 @@ pub struct OptSummary {
 }
 
 /// Runs the enabled passes in the sound order: reuse → block → stack.
+///
+/// Functions whose summaries are worst-case degradations (see
+/// [`nml_escape::Degradation`]) are skipped by every pass: their
+/// summaries license nothing, and each pass additionally refuses them
+/// explicitly. An analysis that ran out of budget therefore costs
+/// optimization opportunities, never correctness.
 pub fn optimize(ir: &mut IrProgram, analysis: &Analysis, opts: &OptOptions) -> OptSummary {
     let mut summary = OptSummary::default();
     if opts.reuse {

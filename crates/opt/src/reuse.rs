@@ -65,13 +65,20 @@ pub fn reuse_name(name: Symbol) -> Symbol {
 /// - [`OptError::NoEligibleParam`] if no (selected) parameter is a list
 ///   whose top spine is retained per the analysis;
 /// - [`OptError::NoEligibleSite`] if `dcons` was requested but no `cons`
-///   satisfies the guardedness/last-use conditions.
+///   satisfies the guardedness/last-use conditions;
+/// - [`OptError::DegradedSummary`] if the function's summary is a
+///   worst-case degradation stand-in.
 pub fn reuse_variant(
     ir: &mut IrProgram,
     analysis: &Analysis,
     name: Symbol,
     options: &ReuseOptions,
 ) -> Result<Symbol, OptError> {
+    if analysis.is_degraded_sym(name) {
+        return Err(OptError::DegradedSummary {
+            name: name.to_string(),
+        });
+    }
     let func = ir
         .func(name)
         .filter(|f| f.is_function())

@@ -196,7 +196,10 @@ fn try_annotate_call(
     let Some(summary) = analysis.summaries.get(&name) else {
         return rebuild_call(head, args);
     };
-    if summary.arity() != args.len() {
+    // Degraded summaries claim every spine escapes, so they would never
+    // qualify below anyway; the explicit check keeps the pass safe even
+    // if degradation ever becomes partial.
+    if summary.arity() != args.len() || analysis.is_degraded_sym(name) {
         return rebuild_call(head, args);
     }
     let mut any = false;

@@ -52,6 +52,16 @@ pub enum RuntimeError {
         /// The cell index.
         cell: u32,
     },
+    /// The [`crate::FaultPlan`]'s heap capacity was exhausted: a rescue
+    /// GC could not bring the live-cell count under the bound. This is a
+    /// *recoverable* condition — the interpreter unwinds cleanly and the
+    /// machine can be re-run with a larger bound.
+    OutOfMemory {
+        /// Live cells at the failed allocation.
+        live: u64,
+        /// The configured capacity.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -77,6 +87,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::EscapedRegionCell { cell } => {
                 write!(f, "cell #{cell} escaped its region (unsound annotation)")
+            }
+            RuntimeError::OutOfMemory { live, capacity } => {
+                write!(f, "out of memory: {live} live cells at capacity {capacity}")
             }
         }
     }

@@ -1,0 +1,267 @@
+//! Deterministic runtime fault injection.
+//!
+//! A [`FaultPlan`] describes adverse runtime conditions — a bounded heap,
+//! spurious garbage collections, allocation sites losing their region,
+//! `DCONS` targets becoming unavailable — under which the optimized
+//! programs must still behave exactly like their unoptimized versions.
+//! Every optimization in this codebase has a semantics-preserving
+//! fallback (plain heap `CONS`); the plan forces those fallbacks to
+//! actually run, and the differential test-suite checks that the
+//! observable results never change.
+//!
+//! Decisions are driven by a seeded splitmix64 stream, so a failing
+//! configuration is reproducible from `(seed, knobs)` alone — no
+//! wall-clock or OS entropy is involved.
+
+use std::fmt;
+
+/// One fault probability, as a `num`-in-`den` chance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRate {
+    /// Numerator (0 disables the fault).
+    pub num: u32,
+    /// Denominator (must be nonzero).
+    pub den: u32,
+}
+
+impl FaultRate {
+    /// A rate that never fires.
+    pub const OFF: FaultRate = FaultRate { num: 0, den: 1 };
+
+    /// A `num`-in-`den` chance.
+    pub fn new(num: u32, den: u32) -> FaultRate {
+        assert!(den > 0, "fault rate denominator must be nonzero");
+        FaultRate { num, den }
+    }
+
+    /// Whether this rate can ever fire.
+    pub fn is_off(&self) -> bool {
+        self.num == 0
+    }
+}
+
+/// A deterministic schedule of runtime faults.
+///
+/// The default plan injects nothing; faults are enabled knob by knob with
+/// the `with_*` builders. The plan is carried by
+/// [`crate::InterpConfig::fault`] and consulted by the heap and the
+/// interpreter at each fault point.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    state: u64,
+    /// Hard bound on live cells: program allocations beyond it fail with
+    /// [`crate::RuntimeError::OutOfMemory`] (after a rescue GC attempt).
+    heap_capacity: Option<u64>,
+    /// Chance that an *optimized* allocation (stack/block `CONS`, or a
+    /// `DCONS` reuse) retreats to a plain heap `CONS`.
+    alloc_retreat: FaultRate,
+    /// Chance that a region push fails (the dynamic extent never opens;
+    /// its allocations fall back outward).
+    region_denial: FaultRate,
+    /// Chance, per allocation, of forcing a GC before the next step.
+    forced_gc: FaultRate,
+    /// Explicit allocation indices (0-based, across all program
+    /// allocations) at which a GC is forced.
+    forced_gc_at: Vec<u64>,
+    allocs_seen: u64,
+    gc_requested: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given RNG seed and every fault disabled.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            state: seed,
+            heap_capacity: None,
+            alloc_retreat: FaultRate::OFF,
+            region_denial: FaultRate::OFF,
+            forced_gc: FaultRate::OFF,
+            forced_gc_at: Vec::new(),
+            allocs_seen: 0,
+            gc_requested: false,
+        }
+    }
+
+    /// Bounds the heap at `cells` live cells.
+    pub fn with_heap_capacity(mut self, cells: u64) -> FaultPlan {
+        self.heap_capacity = Some(cells);
+        self
+    }
+
+    /// Makes optimized allocations retreat to plain heap `CONS` at the
+    /// given rate.
+    pub fn with_alloc_retreats(mut self, rate: FaultRate) -> FaultPlan {
+        self.alloc_retreat = rate;
+        self
+    }
+
+    /// Makes region pushes fail at the given rate.
+    pub fn with_region_denials(mut self, rate: FaultRate) -> FaultPlan {
+        self.region_denial = rate;
+        self
+    }
+
+    /// Forces a GC after each allocation at the given rate.
+    pub fn with_forced_gc(mut self, rate: FaultRate) -> FaultPlan {
+        self.forced_gc = rate;
+        self
+    }
+
+    /// Forces a GC right after the given (0-based) allocation indices.
+    pub fn with_forced_gc_at(mut self, indices: Vec<u64>) -> FaultPlan {
+        self.forced_gc_at = indices;
+        self
+    }
+
+    /// Whether any fault can fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.heap_capacity.is_some()
+            || !self.alloc_retreat.is_off()
+            || !self.region_denial.is_off()
+            || !self.forced_gc.is_off()
+            || !self.forced_gc_at.is_empty()
+    }
+
+    /// The configured heap capacity, if bounded.
+    pub fn heap_capacity(&self) -> Option<u64> {
+        self.heap_capacity
+    }
+
+    /// splitmix64: deterministic, full-period, and cheap.
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn decide(&mut self, rate: FaultRate) -> bool {
+        // An OFF rate consumes no randomness, so an inert plan costs
+        // nothing and enabling one fault never shifts another's stream.
+        if rate.is_off() {
+            return false;
+        }
+        self.next() % u64::from(rate.den) < u64::from(rate.num)
+    }
+
+    /// Should this optimized allocation retreat to a plain heap `CONS`?
+    pub(crate) fn retreat_alloc(&mut self) -> bool {
+        self.decide(self.alloc_retreat)
+    }
+
+    /// Should this region push fail?
+    pub(crate) fn deny_region(&mut self) -> bool {
+        self.decide(self.region_denial)
+    }
+
+    /// Records one program allocation; may arm a forced GC.
+    pub(crate) fn note_alloc(&mut self) {
+        if self.forced_gc_at.contains(&self.allocs_seen) || self.decide(self.forced_gc) {
+            self.gc_requested = true;
+        }
+        self.allocs_seen += 1;
+    }
+
+    /// Consumes a pending forced-GC request.
+    pub(crate) fn take_gc_request(&mut self) -> bool {
+        std::mem::take(&mut self.gc_requested)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_active() {
+            return f.write_str("faults: none");
+        }
+        f.write_str("faults:")?;
+        if let Some(c) = self.heap_capacity {
+            write!(f, " heap-capacity={c}")?;
+        }
+        if !self.alloc_retreat.is_off() {
+            write!(
+                f,
+                " alloc-retreat={}/{}",
+                self.alloc_retreat.num, self.alloc_retreat.den
+            )?;
+        }
+        if !self.region_denial.is_off() {
+            write!(
+                f,
+                " region-denial={}/{}",
+                self.region_denial.num, self.region_denial.den
+            )?;
+        }
+        if !self.forced_gc.is_off() {
+            write!(f, " forced-gc={}/{}", self.forced_gc.num, self.forced_gc.den)?;
+        }
+        if !self.forced_gc_at.is_empty() {
+            write!(f, " forced-gc-at={:?}", self.forced_gc_at)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let mut p = FaultPlan::default();
+        assert!(!p.is_active());
+        for _ in 0..100 {
+            assert!(!p.retreat_alloc());
+            assert!(!p.deny_region());
+            p.note_alloc();
+            assert!(!p.take_gc_request());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut p = FaultPlan::new(seed).with_alloc_retreats(FaultRate::new(1, 3));
+            (0..64).map(|_| p.retreat_alloc()).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn always_rate_always_fires() {
+        let mut p = FaultPlan::new(7).with_region_denials(FaultRate::new(1, 1));
+        for _ in 0..32 {
+            assert!(p.deny_region());
+        }
+    }
+
+    #[test]
+    fn forced_gc_at_named_indices() {
+        let mut p = FaultPlan::new(0).with_forced_gc_at(vec![0, 2]);
+        p.note_alloc();
+        assert!(p.take_gc_request());
+        p.note_alloc();
+        assert!(!p.take_gc_request());
+        p.note_alloc();
+        assert!(p.take_gc_request(), "index 2 forces a GC");
+        assert!(!p.take_gc_request(), "request is consumed");
+    }
+
+    #[test]
+    fn display_summarizes_knobs() {
+        let p = FaultPlan::new(0)
+            .with_heap_capacity(64)
+            .with_alloc_retreats(FaultRate::new(1, 4));
+        let s = p.to_string();
+        assert!(s.contains("heap-capacity=64"), "{s}");
+        assert!(s.contains("alloc-retreat=1/4"), "{s}");
+        assert_eq!(FaultPlan::default().to_string(), "faults: none");
+    }
+}

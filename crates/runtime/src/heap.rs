@@ -8,6 +8,7 @@
 //! region cells are reclaimed wholesale at region exit instead.
 
 use crate::error::RuntimeError;
+use crate::fault::FaultPlan;
 use crate::stats::RuntimeStats;
 use crate::value::Value;
 use nml_opt::{AllocMode, RegionKind, SiteId};
@@ -94,6 +95,8 @@ pub struct Heap<'p> {
     site_allocs: HashMap<SiteId, u64>,
     /// Per-site `DCONS` reuse counters.
     site_reuses: HashMap<SiteId, u64>,
+    /// Active fault-injection schedule (inert by default).
+    fault: FaultPlan,
 }
 
 impl<'p> Heap<'p> {
@@ -111,7 +114,13 @@ impl<'p> Heap<'p> {
             stats: RuntimeStats::default(),
             site_allocs: HashMap::new(),
             site_reuses: HashMap::new(),
+            fault: FaultPlan::default(),
         }
+    }
+
+    /// Installs a fault-injection schedule.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
     }
 
     /// Number of live cells.
@@ -125,20 +134,93 @@ impl<'p> Heap<'p> {
     }
 
     /// Whether the interpreter should run a GC before the next heap
-    /// allocation.
+    /// allocation — because the threshold was crossed, or because the
+    /// fault plan's heap capacity is under pressure (capacity pressure
+    /// ignores the free list: free cells do not reduce the live count).
     pub fn should_collect(&self) -> bool {
-        self.config.gc_enabled && self.live as usize >= self.threshold && self.free.is_empty()
+        if !self.config.gc_enabled {
+            return false;
+        }
+        if self.live as usize >= self.threshold && self.free.is_empty() {
+            return true;
+        }
+        self.fault.heap_capacity().is_some_and(|cap| self.live >= cap)
     }
 
-    /// Allocates a cell. Stack/block modes allocate into the innermost
-    /// region of the matching kind, falling back to the heap (with a
-    /// statistic) when no such region is active.
+    /// Consumes a fault-forced GC request, if one is pending.
+    pub fn take_forced_gc(&mut self) -> bool {
+        if self.fault.take_gc_request() {
+            self.stats.forced_gcs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the fault plan turns this `DCONS` reuse into a fresh heap
+    /// allocation.
+    pub fn fault_dcons_retreat(&mut self) -> bool {
+        if self.fault.retreat_alloc() {
+            self.stats.fault_dcons_retreats += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the fault plan denies this region push.
+    pub fn fault_deny_region(&mut self) -> bool {
+        if self.fault.deny_region() {
+            self.stats.fault_region_denials += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Allocates a cell outside the fault plan's jurisdiction (harness
+    /// helpers, test fixtures). Stack/block modes allocate into the
+    /// innermost region of the matching kind, falling back to the heap
+    /// (with a statistic) when no such region is active.
     pub fn alloc(&mut self, car: Value<'p>, cdr: Value<'p>, mode: AllocMode) -> CellRef {
-        self.alloc_at(car, cdr, mode, None)
+        self.alloc_raw(car, cdr, mode, None)
     }
 
-    /// [`Heap::alloc`] with allocation-site attribution.
+    /// A *program* allocation, with site attribution and fault injection:
+    /// optimized modes may retreat to plain heap `CONS`, and a bounded
+    /// heap may refuse the allocation outright.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::OutOfMemory`] when the fault plan bounds the heap
+    /// and the bound is reached (the interpreter runs a rescue GC before
+    /// every step, so by this point collection has already been tried).
     pub fn alloc_at(
+        &mut self,
+        car: Value<'p>,
+        cdr: Value<'p>,
+        mode: AllocMode,
+        site: Option<SiteId>,
+    ) -> Result<CellRef, RuntimeError> {
+        self.fault.note_alloc();
+        let mode = if mode != AllocMode::Heap && self.fault.retreat_alloc() {
+            self.stats.fault_alloc_retreats += 1;
+            AllocMode::Heap
+        } else {
+            mode
+        };
+        if let Some(cap) = self.fault.heap_capacity() {
+            if self.live >= cap {
+                return Err(RuntimeError::OutOfMemory {
+                    live: self.live,
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(self.alloc_raw(car, cdr, mode, site))
+    }
+
+    fn alloc_raw(
         &mut self,
         car: Value<'p>,
         cdr: Value<'p>,

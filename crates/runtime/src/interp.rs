@@ -8,6 +8,7 @@
 //! the paper's safety argument into an executable check.
 
 use crate::error::RuntimeError;
+use crate::fault::FaultPlan;
 use crate::gc::mark;
 use crate::heap::{CellRef, Heap, HeapConfig, RegionId};
 use crate::value::{Closure, Env, Value};
@@ -26,6 +27,9 @@ pub struct InterpConfig {
     /// Before each region pop, prove (by a full mark) that no region cell
     /// is still reachable; error out otherwise. Slow — for tests.
     pub validate_regions: bool,
+    /// Fault-injection schedule (inert by default); see
+    /// [`crate::fault::FaultPlan`].
+    pub fault: FaultPlan,
 }
 
 impl Default for InterpConfig {
@@ -34,6 +38,7 @@ impl Default for InterpConfig {
             heap: HeapConfig::default(),
             step_limit: 200_000_000,
             validate_regions: false,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -119,9 +124,11 @@ impl<'p> Interp<'p> {
     ///
     /// See [`Interp::new`].
     pub fn with_config(program: &'p IrProgram, config: InterpConfig) -> Result<Self, RuntimeError> {
+        let mut heap = Heap::new(config.heap.clone());
+        heap.set_fault_plan(config.fault.clone());
         let mut interp = Interp {
             program,
-            heap: Heap::new(config.heap.clone()),
+            heap,
             globals: HashMap::new(),
             config,
         };
@@ -203,7 +210,7 @@ impl<'p> Interp<'p> {
                     limit: self.config.step_limit,
                 });
             }
-            if self.heap.should_collect() {
+            if self.heap.take_forced_gc() || self.heap.should_collect() {
                 self.collect(&ctrl, &stack);
             }
             ctrl = match ctrl {
@@ -331,9 +338,18 @@ impl<'p> Interp<'p> {
                 Ctrl::Eval(a, env)
             }
             IrExpr::Region { kind, inner, .. } => {
-                let id = self.heap.push_region(*kind);
-                stack.push(Frame::PopRegion { id });
-                Ctrl::Eval(inner, env)
+                // A denied push means the dynamic extent never opens: the
+                // region's allocations fall back to an enclosing region
+                // of the same kind or to the GC'd heap. Reclamation is
+                // only ever *delayed*, never hastened, so results are
+                // unchanged.
+                if self.heap.fault_deny_region() {
+                    Ctrl::Eval(inner, env)
+                } else {
+                    let id = self.heap.push_region(*kind);
+                    stack.push(Frame::PopRegion { id });
+                    Ctrl::Eval(inner, env)
+                }
             }
         })
     }
@@ -379,7 +395,7 @@ impl<'p> Interp<'p> {
                 Ctrl::Eval(tail, env)
             }
             Frame::Cons2 { head, alloc, site } => {
-                let cell = self.heap.alloc_at(head, v, alloc, Some(site));
+                let cell = self.heap.alloc_at(head, v, alloc, Some(site))?;
                 Ctrl::Ret(Value::Pair(cell))
             }
             Frame::Dcons1 {
@@ -396,10 +412,20 @@ impl<'p> Interp<'p> {
                 Ctrl::Eval(tail, env)
             }
             Frame::Dcons2 { head, cell, site } => {
-                self.heap.set(cell, head, v)?;
-                self.heap.stats.dcons_reuses += 1;
-                self.heap.record_reuse(site);
-                Ctrl::Ret(Value::Pair(cell))
+                // Under a fault, the reuse retreats to a fresh heap cell.
+                // Sound: `DCONS` is only licensed when the target cell is
+                // dead, so writing the fresh cell instead leaves every
+                // reachable structure identical (the target just stays
+                // garbage until the GC finds it).
+                if self.heap.fault_dcons_retreat() {
+                    let fresh = self.heap.alloc_at(head, v, AllocMode::Heap, Some(site))?;
+                    Ctrl::Ret(Value::Pair(fresh))
+                } else {
+                    self.heap.set(cell, head, v)?;
+                    self.heap.stats.dcons_reuses += 1;
+                    self.heap.record_reuse(site);
+                    Ctrl::Ret(Value::Pair(cell))
+                }
             }
             Frame::Prim1 { prim } => Ctrl::Ret(self.prim1(prim, v)?),
             Frame::Prim2a { prim, rhs, env } => {
@@ -538,11 +564,11 @@ impl<'p> Interp<'p> {
 
     fn prim2(&mut self, p: Prim, a: Value<'p>, b: Value<'p>) -> Result<Value<'p>, RuntimeError> {
         if p == Prim::Cons {
-            let cell = self.heap.alloc(a, b, AllocMode::Heap);
+            let cell = self.heap.alloc_at(a, b, AllocMode::Heap, None)?;
             return Ok(Value::Pair(cell));
         }
         if p == Prim::MkPair {
-            let cell = self.heap.alloc(a, b, AllocMode::Heap);
+            let cell = self.heap.alloc_at(a, b, AllocMode::Heap, None)?;
             return Ok(Value::Tuple(cell));
         }
         let (x, y) = match (&a, &b) {

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod gc;
 pub mod heap;
 pub mod interp;
@@ -54,6 +55,7 @@ pub mod stats;
 pub mod value;
 
 pub use error::RuntimeError;
+pub use fault::{FaultPlan, FaultRate};
 pub use gc::mark;
 pub use heap::{CellRef, Heap, HeapConfig, ProvTag, RegionId};
 pub use interp::{Interp, InterpConfig};

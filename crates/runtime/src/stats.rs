@@ -40,6 +40,16 @@ pub struct RuntimeStats {
     pub peak_live: u64,
     /// Machine steps executed.
     pub steps: u64,
+    /// Optimized (stack/block) allocations that an injected fault forced
+    /// back to plain heap `CONS`.
+    pub fault_alloc_retreats: u64,
+    /// `DCONS` reuses that an injected fault turned into fresh heap
+    /// allocations.
+    pub fault_dcons_retreats: u64,
+    /// Region pushes denied by an injected fault.
+    pub fault_region_denials: u64,
+    /// Garbage collections forced by an injected fault.
+    pub forced_gcs: u64,
 }
 
 impl RuntimeStats {
@@ -78,7 +88,22 @@ impl fmt::Display for RuntimeStats {
             "regions: stack-freed={} block-freed={} (splices {}) fallbacks={}",
             self.stack_freed, self.block_freed, self.block_frees, self.region_fallbacks
         )?;
-        write!(f, "peak live: {}; steps: {}", self.peak_live, self.steps)
+        write!(f, "peak live: {}; steps: {}", self.peak_live, self.steps)?;
+        let faults = self.fault_alloc_retreats
+            + self.fault_dcons_retreats
+            + self.fault_region_denials
+            + self.forced_gcs;
+        if faults > 0 {
+            write!(
+                f,
+                "\nfaults: alloc-retreats={} dcons-retreats={} region-denials={} forced-gcs={}",
+                self.fault_alloc_retreats,
+                self.fault_dcons_retreats,
+                self.fault_region_denials,
+                self.forced_gcs
+            )?;
+        }
+        Ok(())
     }
 }
 

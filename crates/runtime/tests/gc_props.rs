@@ -128,12 +128,14 @@ proptest! {
             heap: HeapConfig { gc_threshold: usize::MAX, gc_enabled: false },
             step_limit: 2_000_000,
             validate_regions: false,
+            ..Default::default()
         });
         prop_assert_eq!(runs_off, 0);
         let (stressed, _) = run_with(&src, InterpConfig {
             heap: HeapConfig { gc_threshold: 4, gc_enabled: true },
             validate_regions: true,
             step_limit: 2_000_000,
+            ..Default::default()
         });
         prop_assert_eq!(no_gc, stressed, "GC changed the result of {}", body.render());
     }

@@ -7,15 +7,26 @@
 //! nmlc ir <file> [--stack-alloc]     print the lowered IR
 //! nmlc run <file> [--stack-alloc] [--stats]
 //! ```
+//!
+//! Every failure is a one-line (or rendered-span) diagnostic on stderr and
+//! a non-zero exit code — never a panic or a backtrace. Analysis resource
+//! budgets (`--max-passes=` etc.) degrade over-budget functions to the
+//! sound worst-case summary `W^τ` and print a warning per degraded
+//! function; `--strict` turns those warnings into errors.
 
-use nml_escape_analysis::escape::{analyze_source_with, EngineConfig, PolyMode};
-use nml_escape_analysis::pipeline::{
-    compile, compile_optimized, compile_with_auto_reuse, compile_with_local_stack_alloc,
-    compile_with_stack_alloc, run,
+use nml_escape_analysis::escape::{
+    analyze_source_governed, Analysis, AnalyzeError, Budget, EngineConfig, PolyMode,
 };
+use nml_escape_analysis::pipeline::{
+    compile_governed, compile_optimized_governed, compile_with_local_stack_alloc, run_with,
+    Compiled, PipelineError,
+};
+use nml_escape_analysis::runtime::{FaultPlan, FaultRate, InterpConfig};
 use nml_escape_analysis::syntax::{parse_program, SourceMap};
 use nml_escape_analysis::types::infer_program;
 use std::process::ExitCode;
+use std::str::FromStr;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +76,21 @@ optimization flags (ir/run):
   --local-stack-alloc  stack regions from the local test (monomorphizes first)
   --auto-reuse         DCONS variants + Theorem-2-guided call rewriting
 
+analysis budget flags (analyze/ir/run; over-budget functions degrade to
+the sound worst-case summary and a warning is printed):
+  --max-passes=N       cap total fixpoint passes
+  --max-nodes=N        cap total abstract-value nodes
+  --deadline-ms=N      wall-clock deadline for the whole analysis
+  --strict             treat any degradation as an error (non-zero exit)
+
+fault-injection flags (run; deterministic, seeded):
+  --fault-seed=N           RNG seed for the probabilistic faults (default 0)
+  --heap-capacity=N        fail program allocations beyond N live cells
+  --fault-alloc-retreat=N/D  retreat optimized allocations to heap at rate N/D
+  --fault-region-deny=N/D    refuse region pushes at rate N/D
+  --fault-forced-gc=N/D      force a collection before allocations at rate N/D
+  --fault-gc-at=i,j,...      force collections at exact allocation indices
+
 run also accepts --profile (hottest allocation/reuse sites) and --stats";
 
 fn read_file(rest: &[String]) -> Result<(String, String), String> {
@@ -78,6 +104,113 @@ fn read_file(rest: &[String]) -> Result<(String, String), String> {
 
 fn has_flag(rest: &[String], flag: &str) -> bool {
     rest.iter().any(|a| a == flag)
+}
+
+/// The value of a `--flag=value` argument, if present. Only the `=` form
+/// is accepted so that the positional `<file>` argument stays unambiguous.
+fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .find_map(|a| a.strip_prefix(flag)?.strip_prefix('='))
+}
+
+fn parse_num_flag<T: FromStr>(rest: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(rest, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{flag}: `{v}` is not a valid number")),
+    }
+}
+
+/// Parses a `--flag=N/D` fault rate (`N` alone means `N/1`).
+fn parse_rate_flag(rest: &[String], flag: &str) -> Result<Option<FaultRate>, String> {
+    let Some(v) = flag_value(rest, flag) else {
+        return Ok(None);
+    };
+    let bad = || format!("{flag}: `{v}` is not a rate (expected N/D with D > 0)");
+    let (num, den) = match v.split_once('/') {
+        Some((n, d)) => (n.parse::<u32>().map_err(|_| bad())?, d.parse::<u32>().map_err(|_| bad())?),
+        None => (v.parse::<u32>().map_err(|_| bad())?, 1),
+    };
+    if den == 0 {
+        return Err(bad());
+    }
+    Ok(Some(FaultRate::new(num, den)))
+}
+
+fn budget_from_flags(rest: &[String]) -> Result<Budget, String> {
+    let mut b = Budget::unlimited();
+    if let Some(n) = parse_num_flag::<u32>(rest, "--max-passes")? {
+        b.max_passes = n;
+    }
+    if let Some(n) = parse_num_flag::<u64>(rest, "--max-nodes")? {
+        b.max_nodes = n;
+    }
+    if let Some(ms) = parse_num_flag::<u64>(rest, "--deadline-ms")? {
+        b.deadline = Some(Duration::from_millis(ms));
+    }
+    Ok(b)
+}
+
+fn fault_from_flags(rest: &[String]) -> Result<FaultPlan, String> {
+    let seed = parse_num_flag::<u64>(rest, "--fault-seed")?.unwrap_or(0);
+    let mut plan = FaultPlan::new(seed);
+    if let Some(cells) = parse_num_flag::<u64>(rest, "--heap-capacity")? {
+        plan = plan.with_heap_capacity(cells);
+    }
+    if let Some(r) = parse_rate_flag(rest, "--fault-alloc-retreat")? {
+        plan = plan.with_alloc_retreats(r);
+    }
+    if let Some(r) = parse_rate_flag(rest, "--fault-region-deny")? {
+        plan = plan.with_region_denials(r);
+    }
+    if let Some(r) = parse_rate_flag(rest, "--fault-forced-gc")? {
+        plan = plan.with_forced_gc(r);
+    }
+    if let Some(list) = flag_value(rest, "--fault-gc-at") {
+        let indices: Vec<u64> = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("--fault-gc-at: `{s}` is not an allocation index"))
+            })
+            .collect::<Result<_, _>>()?;
+        plan = plan.with_forced_gc_at(indices);
+    }
+    Ok(plan)
+}
+
+/// Prints a `warning:` line per degradation event, or — under `--strict` —
+/// turns them into a single hard error.
+fn report_degradations(analysis: &Analysis, strict: bool) -> Result<(), String> {
+    if analysis.fully_precise() {
+        return Ok(());
+    }
+    if strict {
+        let mut msg =
+            String::from("error: analysis degraded to worst-case summaries (--strict):");
+        for d in &analysis.degradations {
+            msg.push_str(&format!("\n  {d}"));
+        }
+        return Err(msg);
+    }
+    for d in &analysis.degradations {
+        eprintln!("warning: {d}");
+    }
+    Ok(())
+}
+
+/// Renders a pipeline failure: syntax and type errors get the full span
+/// rendering; everything else gets its one-line `Display`.
+fn render_pipeline_err(e: PipelineError, src: &str) -> String {
+    let map = SourceMap::new(src.to_owned());
+    match e {
+        PipelineError::Analyze(AnalyzeError::Syntax(e)) => e.render(&map),
+        PipelineError::Analyze(AnalyzeError::Type(e)) => e.render(&map),
+        other => other.to_string(),
+    }
 }
 
 fn cmd_check(rest: &[String]) -> Result<(), String> {
@@ -107,8 +240,10 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     } else {
         PolyMode::SimplestInstance
     };
-    let analysis = analyze_source_with(&src, mode, EngineConfig::default())
-        .map_err(|e| e.to_string())?;
+    let budget = budget_from_flags(rest)?;
+    let analysis = analyze_source_governed(&src, mode, EngineConfig::default(), budget)
+        .map_err(|e| render_pipeline_err(PipelineError::Analyze(e), &src))?;
+    report_degradations(&analysis, has_flag(rest, "--strict"))?;
     if has_flag(rest, "--report") {
         let report =
             nml_escape_analysis::report::OptimizationReport::for_analysis(&analysis);
@@ -140,38 +275,59 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Picks the compilation pipeline from the optimization flags.
-fn compile_for(
-    rest: &[String],
-    src: &str,
-) -> Result<nml_escape_analysis::pipeline::Compiled, nml_escape_analysis::pipeline::PipelineError> {
-    if has_flag(rest, "-O") || has_flag(rest, "--optimize") {
-        compile_optimized(src)
+/// Picks the compilation pipeline from the optimization flags, threading
+/// the analysis budget through, and applies the degradation policy.
+fn compile_for(rest: &[String], src: &str) -> Result<Compiled, String> {
+    let budget = budget_from_flags(rest)?;
+    let compiled = if has_flag(rest, "-O") || has_flag(rest, "--optimize") {
+        compile_optimized_governed(src, budget)
     } else if has_flag(rest, "--local-stack-alloc") {
+        // The local planner re-analyzes per call site with its own engine;
+        // it does not take a budget. Refuse the combination instead of
+        // silently ignoring the flags.
+        if budget != Budget::unlimited() {
+            return Err(
+                "budget flags are not supported with --local-stack-alloc; use --stack-alloc"
+                    .to_owned(),
+            );
+        }
         compile_with_local_stack_alloc(src)
     } else if has_flag(rest, "--stack-alloc") {
-        compile_with_stack_alloc(src)
+        compile_governed(src, budget).map(|mut c| {
+            nml_escape_analysis::opt::annotate_stack(&mut c.ir, &c.analysis);
+            c
+        })
     } else if has_flag(rest, "--auto-reuse") {
-        compile_with_auto_reuse(src)
+        compile_governed(src, budget).map(|mut c| {
+            nml_escape_analysis::opt::auto_reuse(&mut c.ir, &c.analysis);
+            c
+        })
     } else {
-        compile(src)
-    }
+        compile_governed(src, budget)
+    };
+    let compiled = compiled.map_err(|e| render_pipeline_err(e, src))?;
+    report_degradations(&compiled.analysis, has_flag(rest, "--strict"))?;
+    Ok(compiled)
 }
 
 fn cmd_ir(rest: &[String]) -> Result<(), String> {
     let (_, src) = read_file(rest)?;
-    let compiled = compile_for(rest, &src).map_err(|e| e.to_string())?;
+    let compiled = compile_for(rest, &src)?;
     print!("{}", compiled.ir);
     Ok(())
 }
 
 fn cmd_run(rest: &[String]) -> Result<(), String> {
     let (_, src) = read_file(rest)?;
-    let compiled = compile_for(rest, &src).map_err(|e| e.to_string())?;
+    let compiled = compile_for(rest, &src)?;
+    let config = InterpConfig {
+        fault: fault_from_flags(rest)?,
+        ..InterpConfig::default()
+    };
     if has_flag(rest, "--profile") {
-        return run_profiled(&compiled, has_flag(rest, "--stats"));
+        return run_profiled(&compiled, config, has_flag(rest, "--stats"));
     }
-    let outcome = run(&compiled.ir).map_err(|e| e.to_string())?;
+    let outcome = run_with(&compiled.ir, config).map_err(|e| e.to_string())?;
     println!("{}", outcome.result);
     if has_flag(rest, "--stats") {
         println!("--- runtime statistics ---");
@@ -183,11 +339,12 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
 /// Runs with per-allocation-site attribution and prints the hottest
 /// sites.
 fn run_profiled(
-    compiled: &nml_escape_analysis::pipeline::Compiled,
+    compiled: &Compiled,
+    config: InterpConfig,
     stats: bool,
 ) -> Result<(), String> {
     use nml_escape_analysis::runtime::Interp;
-    let mut interp = Interp::new(&compiled.ir).map_err(|e| e.to_string())?;
+    let mut interp = Interp::with_config(&compiled.ir, config).map_err(|e| e.to_string())?;
     let v = interp.run().map_err(|e| e.to_string())?;
     let rendered = nml_escape_analysis::pipeline::render_value(&interp, &v)
         .map_err(|e| e.to_string())?;

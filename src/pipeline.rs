@@ -5,7 +5,10 @@
 //! `nmlc` driver, and the benchmark harness. Each step is also available
 //! à la carte from the individual crates.
 
-use nml_escape::{analyze_source, Analysis, AnalyzeError};
+use nml_escape::{
+    analyze_source, analyze_source_governed, Analysis, AnalyzeError, Budget, EngineConfig,
+    PolyMode,
+};
 use nml_opt::{annotate_stack, lower_program, IrProgram};
 use nml_runtime::{Interp, InterpConfig, RuntimeError, RuntimeStats, Value};
 use std::fmt;
@@ -59,6 +62,37 @@ pub fn compile(src: &str) -> Result<Compiled, PipelineError> {
     let analysis = analyze_source(src)?;
     let ir = lower_program(&analysis.program, &analysis.info);
     Ok(Compiled { analysis, ir })
+}
+
+/// [`compile`] under an analysis resource [`Budget`]. On budget
+/// exhaustion (or an engine fault) the affected functions are degraded to
+/// sound worst-case summaries and the pipeline continues; the events are
+/// in `compiled.analysis.degradations`.
+///
+/// # Errors
+///
+/// Syntax and type errors only — the analysis phase is total.
+pub fn compile_governed(src: &str, budget: Budget) -> Result<Compiled, PipelineError> {
+    let analysis = analyze_source_governed(
+        src,
+        PolyMode::SimplestInstance,
+        EngineConfig::default(),
+        budget,
+    )?;
+    let ir = lower_program(&analysis.program, &analysis.info);
+    Ok(Compiled { analysis, ir })
+}
+
+/// [`compile_governed`] followed by the full optimization pass manager.
+/// Degraded functions are skipped by every pass.
+///
+/// # Errors
+///
+/// See [`compile_governed`].
+pub fn compile_optimized_governed(src: &str, budget: Budget) -> Result<Compiled, PipelineError> {
+    let mut c = compile_governed(src, budget)?;
+    nml_opt::optimize(&mut c.ir, &c.analysis, &nml_opt::OptOptions::default());
+    Ok(c)
 }
 
 /// Parses, analyzes, lowers, and applies the (global-summary-driven)

@@ -18,6 +18,7 @@ fn stress() -> InterpConfig {
         },
         validate_regions: true,
         step_limit: 20_000_000,
+        ..Default::default()
     }
 }
 
