@@ -5,11 +5,16 @@
 //! analysis-only on a pre-parsed program.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nml_escape::{analyze_source, global_escape, Engine};
+use nml_escape::{
+    analyze_program_whole_program, analyze_source, analyze_source_scheduled, global_escape, Budget,
+    Engine, EngineConfig, PolyMode, ScheduleOptions,
+};
 use nml_escape_analysis::corpus;
 use nml_syntax::{parse_program, Symbol};
 use nml_types::infer_program;
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("analyze_source");
@@ -51,5 +56,143 @@ fn bench_front_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_fixpoint_only, bench_front_end);
+/// A program of `n` mutually independent self-recursive functions — the
+/// best case for wave parallelism (every SCC lands in wave 1).
+fn wide_program(n: usize) -> String {
+    let mut src = String::from("letrec\n");
+    for i in 0..n {
+        let _ = writeln!(
+            src,
+            "  f{i} l = if (null l) then nil else cons (car l) (f{i} (cdr l)){}",
+            if i + 1 < n { ";" } else { "" }
+        );
+    }
+    src.push_str("in f0 [1, 2, 3]");
+    src
+}
+
+/// Medians a closure over 3 warm-up + 9 timed runs.
+fn median_of<F: FnMut()>(mut f: F) -> Duration {
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// B-5: whole-program vs SCC-scheduled analysis (serial and `--jobs 4`,
+/// cold and warm summary cache), on the corpus and on a wide synthetic
+/// program. Besides the stdout lines, the medians are written to
+/// `BENCH_analysis.json` at the workspace root so the perf trajectory of
+/// the scheduler is diffable across commits.
+fn bench_schedulers(_c: &mut Criterion) {
+    let wide = wide_program(24);
+    let workloads: Vec<(&str, &str)> = vec![
+        ("partition_sort", corpus::PARTITION_SORT.source),
+        ("merge_sort", corpus::MERGE_SORT.source),
+        ("map_pair", corpus::MAP_PAIR.source),
+        ("wide24", &wide),
+    ];
+    let cache_path = std::env::temp_dir().join(format!("nml-bench-cache-{}", std::process::id()));
+    let scheduled = |src: &str, options: &ScheduleOptions| {
+        black_box(
+            analyze_source_scheduled(
+                black_box(src),
+                PolyMode::SimplestInstance,
+                EngineConfig::default(),
+                Budget::unlimited(),
+                options,
+            )
+            .expect("analysis"),
+        )
+    };
+    let mut json = String::from("{\n");
+    println!("group schedulers");
+    for (wi, (name, src)) in workloads.iter().enumerate() {
+        let serial = ScheduleOptions::default();
+        let jobs4 = ScheduleOptions {
+            jobs: 4,
+            ..ScheduleOptions::default()
+        };
+        let cached = ScheduleOptions {
+            summary_cache: Some(cache_path.clone()),
+            ..ScheduleOptions::default()
+        };
+        let whole = median_of(|| {
+            let program = parse_program(src).expect("parse");
+            let info = infer_program(&program).expect("infer");
+            black_box(
+                analyze_program_whole_program(
+                    program,
+                    info,
+                    EngineConfig::default(),
+                    Budget::unlimited(),
+                )
+                .expect("analysis"),
+            );
+        });
+        let scc_serial = median_of(|| {
+            scheduled(src, &serial);
+        });
+        let scc_jobs4 = median_of(|| {
+            scheduled(src, &jobs4);
+        });
+        let cold_cache = median_of(|| {
+            let _ = std::fs::remove_file(&cache_path);
+            scheduled(src, &cached);
+        });
+        // One priming run, then every timed run is a pure hit.
+        let _ = std::fs::remove_file(&cache_path);
+        scheduled(src, &cached);
+        let warm_cache = median_of(|| {
+            let a = scheduled(src, &cached);
+            assert_eq!(a.schedule.sccs_solved, 0, "{name}: warm run must hit");
+        });
+        let _ = std::fs::remove_file(&cache_path);
+        let modes = [
+            ("whole_program", whole),
+            ("scc_serial", scc_serial),
+            ("scc_jobs4", scc_jobs4),
+            ("scc_cold_cache", cold_cache),
+            ("scc_warm_cache", warm_cache),
+        ];
+        let _ = writeln!(json, "  \"{name}\": {{");
+        for (mi, (mode, t)) in modes.iter().enumerate() {
+            println!("bench schedulers/{name}/{mode}: median {t:?} over 9 samples");
+            let _ = writeln!(
+                json,
+                "    \"{mode}_ns\": {}{}",
+                t.as_nanos(),
+                if mi + 1 < modes.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "  }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("warning: cannot write {out}: {e}");
+    } else {
+        println!("wrote {out}");
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_fixpoint_only,
+    bench_front_end,
+    bench_schedulers
+);
 criterion_main!(benches);

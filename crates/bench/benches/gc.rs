@@ -48,8 +48,7 @@ fn bench_stack_vs_gc(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("stack", n), &n, |bench, _| {
             bench.iter(|| {
-                let mut i =
-                    Interp::with_config(&stacked.ir, pressured_config(64)).expect("interp");
+                let mut i = Interp::with_config(&stacked.ir, pressured_config(64)).expect("interp");
                 black_box(i.run().expect("run"))
             })
         });

@@ -70,5 +70,10 @@ fn bench_stack_alloc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rev_vs_rev_r, bench_ps_vs_ps_r, bench_stack_alloc);
+criterion_group!(
+    benches,
+    bench_rev_vs_rev_r,
+    bench_ps_vs_ps_r,
+    bench_stack_alloc
+);
 criterion_main!(benches);

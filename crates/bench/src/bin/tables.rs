@@ -41,7 +41,9 @@ fn run() {
         Some("ab1") => print!("{}", tables::table_ab1()),
         Some("ab2") => print!("{}", tables::table_ab2()),
         Some(other) => {
-            eprintln!("unknown table `{other}` (a1, f1, a2, i1, p1, r1, r2, r3, fr1, s1, b0, ab1, ab2)");
+            eprintln!(
+                "unknown table `{other}` (a1, f1, a2, i1, p1, r1, r2, r3, fr1, s1, b0, ab1, ab2)"
+            );
             std::process::exit(1);
         }
     }

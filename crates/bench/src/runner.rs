@@ -3,9 +3,7 @@
 
 use nml_escape::{analyze_source, Analysis};
 use nml_escape_analysis::corpus;
-use nml_opt::{
-    annotate_stack, block_call, lower_program, reuse_variant, IrProgram, ReuseOptions,
-};
+use nml_opt::{annotate_stack, block_call, lower_program, reuse_variant, IrProgram, ReuseOptions};
 use nml_runtime::{HeapConfig, Interp, InterpConfig, RuntimeStats};
 use nml_syntax::Symbol;
 
@@ -237,7 +235,11 @@ mod tests {
         let (b, rev, rev_r) = build_rev();
         let base = call_stats(&b.ir, rev, 40, InterpConfig::default());
         let opt = call_stats(&b.ir, rev_r, 40, InterpConfig::default());
-        assert!(base.heap_allocs > 700, "quadratic baseline: {}", base.heap_allocs);
+        assert!(
+            base.heap_allocs > 700,
+            "quadratic baseline: {}",
+            base.heap_allocs
+        );
         assert_eq!(opt.heap_allocs, 0, "reuse allocates nothing");
         assert!(opt.dcons_reuses > 700);
     }

@@ -8,9 +8,7 @@ use crate::runner::{
     build_stack_variant, call_stats, pressured_config, repeated_consume_source, run_stats,
     sum_literal_source,
 };
-use nml_escape::{
-    analyze_source, global_escape, local_escape, transfer_verdict, Be, Engine,
-};
+use nml_escape::{analyze_source, global_escape, local_escape, transfer_verdict, Be, Engine};
 use nml_escape_analysis::corpus;
 use nml_opt::lower_program;
 use nml_runtime::{dynamic_escape, Interp, InterpConfig};
@@ -33,7 +31,11 @@ pub fn table_a1() -> String {
     let a = analyze_source(corpus::PARTITION_SORT.source).expect("analysis");
     let mut out = String::new();
     let _ = writeln!(out, "T-A1: global escape test (paper Appendix A.1)");
-    let _ = writeln!(out, "{:<10} {:>5} {:>4} {:>8} {:>8} {:>6}", "function", "param", "s_i", "paper", "ours", "match");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>4} {:>8} {:>8} {:>6}",
+        "function", "param", "s_i", "paper", "ours", "match"
+    );
     for (f, i, want) in expected {
         let p = &a.summary(f).expect("summary").params[*i - 1];
         let _ = writeln!(
@@ -56,7 +58,10 @@ pub fn table_a1() -> String {
 /// parameter-1 test, so the counts are per-query.
 pub fn table_f1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "F-A1: fixpoint iteration effort (fresh engine per query)");
+    let _ = writeln!(
+        out,
+        "F-A1: fixpoint iteration effort (fresh engine per query)"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>7} {:>14} {:>12}",
@@ -112,7 +117,10 @@ pub fn table_f1() -> String {
 pub fn table_a2() -> String {
     let a = analyze_source(corpus::PARTITION_SORT.source).expect("analysis");
     let mut out = String::new();
-    let _ = writeln!(out, "T-A2: sharing from escape information (Appendix A.2, Thm 2)");
+    let _ = writeln!(
+        out,
+        "T-A2: sharing from escape information (Appendix A.2, Thm 2)"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>9} {:>10} {:>16} {:>8}",
@@ -120,7 +128,12 @@ pub fn table_a2() -> String {
     );
     for (f, paper) in [("ps", 1u32), ("split", 1u32)] {
         let s = a.summary(f).expect("summary");
-        let max_esc = s.params.iter().map(|p| p.escaping_spines()).max().unwrap_or(0);
+        let max_esc = s
+            .params
+            .iter()
+            .map(|p| p.escaping_spines())
+            .max()
+            .unwrap_or(0);
         let unshared = nml_escape::unshared_from_summary(s);
         let _ = writeln!(
             out,
@@ -139,7 +152,10 @@ pub fn table_a2() -> String {
 /// `map pair [[1,2],[3,4],[5,6]]`.
 pub fn table_i1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "T-I1: introduction example (map pair [[1,2],[3,4],[5,6]])");
+    let _ = writeln!(
+        out,
+        "T-I1: introduction example (map pair [[1,2],[3,4],[5,6]])"
+    );
     let parsed = parse_program(corpus::MAP_PAIR.source).expect("parse");
     let mono = infer_and_monomorphize(&parsed).expect("mono");
     let mut en = Engine::new(&mono.program, &mono.info);
@@ -201,9 +217,21 @@ pub fn table_p1() -> String {
     let append_def = "append x y = if (null x) then y
                                    else cons (car x) (append (cdr x) y)";
     let cases = [
-        ("append", format!("letrec {append_def} in append [1] [2]"), "append__i"),
-        ("append", format!("letrec {append_def} in append [[1]] [[2]]"), "append__iL"),
-        ("append", format!("letrec {append_def} in append [[[1]]] [[[2]]]"), "append__iLL"),
+        (
+            "append",
+            format!("letrec {append_def} in append [1] [2]"),
+            "append__i",
+        ),
+        (
+            "append",
+            format!("letrec {append_def} in append [[1]] [[2]]"),
+            "append__iL",
+        ),
+        (
+            "append",
+            format!("letrec {append_def} in append [[[1]]] [[[2]]]"),
+            "append__iLL",
+        ),
     ];
     let mut simplest: Option<(Be, u32)> = None;
     for (f, src, inst) in &cases {
@@ -237,7 +265,10 @@ pub fn table_p1() -> String {
 /// work for `sum [0..n]`.
 pub fn table_r1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "T-R1: stack allocation of non-escaping literal arguments (sum [0..n])");
+    let _ = writeln!(
+        out,
+        "T-R1: stack allocation of non-escaping literal arguments (sum [0..n])"
+    );
     let _ = writeln!(
         out,
         "{:>6} {:>12} {:>12} {:>12} {:>12} {:>14}",
@@ -259,7 +290,10 @@ pub fn table_r1() -> String {
             base_stats.reclamation_work()
         );
     }
-    let _ = writeln!(out, "(stack-mode reclamation work is 0 by the paper's model: frame pops are free)");
+    let _ = writeln!(
+        out,
+        "(stack-mode reclamation work is 0 by the paper's model: frame pops are free)"
+    );
     out
 }
 
@@ -267,7 +301,10 @@ pub fn table_r1() -> String {
 /// (quadratic) and `ps`.
 pub fn table_r2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "T-R2: in-place reuse via DCONS (call-only allocation counts)");
+    let _ = writeln!(
+        out,
+        "T-R2: in-place reuse via DCONS (call-only allocation counts)"
+    );
     let _ = writeln!(
         out,
         "{:<6} {:>6} {:>14} {:>14} {:>14}",
@@ -354,14 +391,8 @@ pub fn table_fr1() -> String {
         );
         // Stack allocation applies to the literal-argument form of the
         // same workload.
-        let stack = run_stats(
-            &build_repeated_stack_variant(n, k).ir,
-            pressured_config(64),
-        );
-        let blk = run_stats(
-            &build_repeated_block_variant(n, k).ir,
-            pressured_config(64),
-        );
+        let stack = run_stats(&build_repeated_stack_variant(n, k).ir, pressured_config(64));
+        let blk = run_stats(&build_repeated_block_variant(n, k).ir, pressured_config(64));
         let _ = writeln!(
             out,
             "{:>6} {:>16} {:>16} {:>16}",
@@ -382,7 +413,10 @@ pub fn table_fr1() -> String {
 /// every first-order list parameter in the corpus.
 pub fn table_s1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "T-S1: dynamic (exact) vs abstract escape, whole corpus");
+    let _ = writeln!(
+        out,
+        "T-S1: dynamic (exact) vs abstract escape, whole corpus"
+    );
     let _ = writeln!(
         out,
         "{:<16} {:<10} {:>5} {:>8} {:>8} {:>6}",
@@ -431,7 +465,11 @@ pub fn table_s1() -> String {
                     i + 1,
                     s.param(i).verdict.to_string(),
                     best_dynamic,
-                    if best_dynamic <= static_k { "yes" } else { "NO" }
+                    if best_dynamic <= static_k {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
                 );
             }
         }
@@ -486,7 +524,10 @@ pub fn table_b0() -> String {
 pub fn table_ab1() -> String {
     use nml_escape::{analyze_source_with, EngineConfig, PolyMode};
     let mut out = String::new();
-    let _ = writeln!(out, "AB-1: widening-threshold ablation (higher_order corpus)");
+    let _ = writeln!(
+        out,
+        "AB-1: widening-threshold ablation (higher_order corpus)"
+    );
     let _ = writeln!(
         out,
         "{:>11} {:>7} {:>13} {:>10} {:>22}",
@@ -523,7 +564,10 @@ pub fn table_ab1() -> String {
 pub fn table_ab2() -> String {
     use nml_escape::{analyze_source_with, EngineConfig, PolyMode};
     let mut out = String::new();
-    let _ = writeln!(out, "AB-2: simplest-instance (route 1) vs monomorphization (route 2)");
+    let _ = writeln!(
+        out,
+        "AB-2: simplest-instance (route 1) vs monomorphization (route 2)"
+    );
     let _ = writeln!(
         out,
         "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -536,8 +580,12 @@ pub fn table_ab2() -> String {
         corpus::MERGE_SORT,
         corpus::HIGHER_ORDER,
     ] {
-        let r1 = analyze_source_with(w.source, PolyMode::SimplestInstance, EngineConfig::default())
-            .expect("route 1");
+        let r1 = analyze_source_with(
+            w.source,
+            PolyMode::SimplestInstance,
+            EngineConfig::default(),
+        )
+        .expect("route 1");
         let r2 = analyze_source_with(w.source, PolyMode::Monomorphize, EngineConfig::default())
             .expect("route 2");
         let _ = writeln!(

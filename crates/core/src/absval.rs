@@ -16,14 +16,14 @@ use crate::be::Be;
 use nml_syntax::{NodeId, Symbol};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An abstract escape environment: maps identifiers to abstract values.
 ///
 /// Environments are immutable and shared (`Rc`), and participate in memo
 /// keys and closure identity, so they are ordered maps with full
 /// `Eq + Ord + Hash`.
-pub type AbsEnv = Rc<BTreeMap<Symbol, EnvEntry>>;
+pub type AbsEnv = Arc<BTreeMap<Symbol, EnvEntry>>;
 
 /// An environment entry.
 ///
@@ -75,7 +75,7 @@ pub enum FunVal {
     /// `cons` awaiting its first argument.
     Cons0,
     /// `cons x`: the partial application capturing the element value.
-    Cons1(Rc<AbsVal>),
+    Cons1(Arc<AbsVal>),
     /// `car^s` awaiting its argument (abstract `sub^s`).
     Car {
         /// Static spine count of the argument type.
@@ -101,7 +101,7 @@ pub enum FunVal {
     },
     /// A normalized join of non-`Join`, non-`Err` components: sorted,
     /// deduplicated, at least two elements.
-    Join(Rc<Vec<FunVal>>),
+    Join(Arc<Vec<FunVal>>),
 }
 
 impl FunVal {
@@ -135,7 +135,7 @@ impl FunVal {
         match parts.len() {
             0 => FunVal::Err,
             1 => parts.pop().expect("len checked"),
-            _ => FunVal::Join(Rc::new(parts)),
+            _ => FunVal::Join(Arc::new(parts)),
         }
     }
 
@@ -196,7 +196,10 @@ impl AbsVal {
 
     /// A value with basic part `be` and inapplicable function part.
     pub fn base(be: Be) -> AbsVal {
-        AbsVal { be, fun: FunVal::Err }
+        AbsVal {
+            be,
+            fun: FunVal::Err,
+        }
     }
 
     /// Joins componentwise.
@@ -365,12 +368,12 @@ mod tests {
         assert_eq!(v0.depth(), 0);
         let v1 = AbsVal {
             be: Be::bottom(),
-            fun: FunVal::Cons1(Rc::new(v0)),
+            fun: FunVal::Cons1(Arc::new(v0)),
         };
         assert_eq!(v1.depth(), 1);
         let v2 = AbsVal {
             be: Be::bottom(),
-            fun: FunVal::Cons1(Rc::new(v1)),
+            fun: FunVal::Cons1(Arc::new(v1)),
         };
         assert_eq!(v2.depth(), 2);
     }

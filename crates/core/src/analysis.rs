@@ -14,6 +14,7 @@ use crate::budget::{Budget, Governor};
 use crate::engine::{Engine, EngineConfig, EngineStats};
 use crate::error::{AnalyzeError, EscapeError};
 use crate::global::{global_escape, worst_case_summary, EscapeSummary};
+use crate::modular::{analyze_program_scheduled, ScheduleOptions, ScheduleReport};
 use crate::sharing::unshared_from_summary;
 use nml_syntax::{parse_program, Program, Symbol};
 use nml_types::{infer_and_monomorphize, infer_program, TypeInfo};
@@ -44,6 +45,15 @@ pub enum DegradeReason {
     /// The abstract interpreter panicked; the panic was quarantined and
     /// the engine rebuilt.
     Panic(String),
+    /// This function's own analysis succeeded, but it consumed the
+    /// worst-case values of a callee SCC that degraded (`origin` names a
+    /// function of that SCC). The summary is kept as computed — it is a
+    /// sound over-approximation — but it may be less precise than a clean
+    /// run would produce.
+    Transitive {
+        /// A function of the SCC where the degradation originated.
+        origin: Symbol,
+    },
 }
 
 impl fmt::Display for DegradeReason {
@@ -51,6 +61,9 @@ impl fmt::Display for DegradeReason {
         match self {
             DegradeReason::Engine(e) => write!(f, "{e}"),
             DegradeReason::Panic(msg) => write!(f, "quarantined panic: {msg}"),
+            DegradeReason::Transitive { origin } => {
+                write!(f, "transitively degraded via `{origin}`")
+            }
         }
     }
 }
@@ -66,7 +79,18 @@ pub struct Degradation {
 
 impl fmt::Display for Degradation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "`{}` degraded to worst-case: {}", self.function, self.reason)
+        match &self.reason {
+            // A transitively degraded summary is kept as computed (it is
+            // sound), so "worst-case" would overstate what happened.
+            DegradeReason::Transitive { .. } => {
+                write!(f, "`{}` {}", self.function, self.reason)
+            }
+            _ => write!(
+                f,
+                "`{}` degraded to worst-case: {}",
+                self.function, self.reason
+            ),
+        }
     }
 }
 
@@ -82,9 +106,14 @@ pub struct Analysis {
     pub summaries: BTreeMap<Symbol, EscapeSummary>,
     /// Engine statistics accumulated over all tests.
     pub stats: EngineStats,
-    /// Functions whose summaries are worst-case fallbacks, with reasons.
-    /// Empty when the analysis ran to completion everywhere.
+    /// Functions whose summaries are worst-case fallbacks (or, for
+    /// [`DegradeReason::Transitive`], computed from a degraded callee's
+    /// worst-case values), with reasons. Empty when the analysis ran to
+    /// completion everywhere.
     pub degradations: Vec<Degradation>,
+    /// What the SCC-modular scheduler did (all zeros for the legacy
+    /// whole-program driver).
+    pub schedule: ScheduleReport,
 }
 
 impl Analysis {
@@ -198,6 +227,33 @@ pub fn analyze_source_governed(
     analyze_program_governed(program, info, config, budget)
 }
 
+/// [`analyze_source_governed`] with explicit [`ScheduleOptions`]: worker
+/// threads per SCC wave and an optional persistent summary cache.
+///
+/// # Errors
+///
+/// Only syntax and type errors; the analysis phase itself is total.
+pub fn analyze_source_scheduled(
+    src: &str,
+    mode: PolyMode,
+    config: EngineConfig,
+    budget: Budget,
+    options: &crate::modular::ScheduleOptions,
+) -> Result<Analysis, AnalyzeError> {
+    let parsed = parse_program(src)?;
+    let (program, info) = match mode {
+        PolyMode::SimplestInstance => {
+            let info = infer_program(&parsed)?;
+            (parsed, info)
+        }
+        PolyMode::Monomorphize => {
+            let mono = infer_and_monomorphize(&parsed)?;
+            (mono.program, mono.info)
+        }
+    };
+    crate::modular::analyze_program_scheduled(program, info, config, budget, options)
+}
+
 /// Analyzes an already-typed program.
 ///
 /// # Errors
@@ -213,7 +269,7 @@ pub fn analyze_program(
     analyze_program_governed(program, info, config, Budget::unlimited())
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -223,7 +279,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn merge_stats(acc: &mut EngineStats, s: &EngineStats) {
+pub(crate) fn merge_stats(acc: &mut EngineStats, s: &EngineStats) {
     acc.passes += s.passes;
     acc.memo_entries = acc.memo_entries.max(s.memo_entries);
     acc.widenings += s.widenings;
@@ -232,8 +288,35 @@ fn merge_stats(acc: &mut EngineStats, s: &EngineStats) {
     }
 }
 
-/// Analyzes an already-typed program under a resource [`Budget`], with
-/// per-function fault isolation.
+/// Analyzes an already-typed program under a resource [`Budget`].
+///
+/// Since the SCC-modular refactor this is a thin wrapper over
+/// [`analyze_program_scheduled`](crate::modular::analyze_program_scheduled)
+/// in serial mode with no cache: the call graph is condensed into SCCs,
+/// each component gets an equal share of the budget, and any fault —
+/// typed engine error, quarantined panic, or budget exhaustion — degrades
+/// that component alone (dependents keep their computed summaries and
+/// are flagged [`DegradeReason::Transitive`]).
+///
+/// # Errors
+///
+/// None in practice; the `Result` is kept for signature stability with
+/// the syntax/type phases.
+pub fn analyze_program_governed(
+    program: Program,
+    info: TypeInfo,
+    config: EngineConfig,
+    budget: Budget,
+) -> Result<Analysis, AnalyzeError> {
+    analyze_program_scheduled(program, info, config, budget, &ScheduleOptions::default())
+}
+
+/// The legacy whole-program driver: one engine, one global fixpoint,
+/// per-*function* fault isolation.
+///
+/// Kept as the executable reference the SCC-modular scheduler is tested
+/// against (the equivalence suite asserts identical summaries), and for
+/// callers that want the paper's monolithic iteration verbatim.
 ///
 /// Each top-level function's global escape test runs inside a panic
 /// quarantine. Three classes of fault all lead to the same sound outcome —
@@ -251,7 +334,7 @@ fn merge_stats(acc: &mut EngineStats, s: &EngineStats) {
 ///
 /// None in practice; the `Result` is kept for signature stability with
 /// the syntax/type phases.
-pub fn analyze_program_governed(
+pub fn analyze_program_whole_program(
     program: Program,
     info: TypeInfo,
     config: EngineConfig,
@@ -308,6 +391,7 @@ pub fn analyze_program_governed(
         summaries,
         stats,
         degradations,
+        schedule: ScheduleReport::default(),
     })
 }
 
@@ -386,7 +470,11 @@ mod tests {
             EngineConfig::default(),
         )
         .unwrap();
-        assert!(a.summary("len__i").is_some(), "summaries: {:?}", a.summaries.keys());
+        assert!(
+            a.summary("len__i").is_some(),
+            "summaries: {:?}",
+            a.summaries.keys()
+        );
         assert!(a.summary("len__iL").is_some());
         // Neither instance lets its argument escape.
         assert_eq!(a.summary("len__i").unwrap().param(0).verdict, Be::bottom());

@@ -184,10 +184,7 @@ mod tests {
             for a in Be::all(d) {
                 for b in Be::all(d) {
                     if a.le(b) {
-                        assert!(
-                            a.sub(s).le(b.sub(s)),
-                            "sub^{s} not monotone at {a}, {b}"
-                        );
+                        assert!(a.sub(s).le(b.sub(s)), "sub^{s} not monotone at {a}, {b}");
                     }
                 }
             }

@@ -15,6 +15,8 @@
 //! request can never exceed its budget by failing repeatedly.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Resource ceilings for one whole analysis (all functions, all fixpoint
@@ -51,6 +53,30 @@ impl Budget {
             deadline,
         }
     }
+
+    /// Splits this budget into `n` equal shares, one per independently
+    /// governed unit of work (e.g. one per SCC of the call graph). The
+    /// `u32::MAX` / `u64::MAX` sentinels of [`Budget::unlimited`] are
+    /// preserved rather than divided, so an unlimited budget stays
+    /// unlimited; every share keeps the full wall-clock deadline because
+    /// the deadline is a point in time, not a divisible quantity.
+    pub fn apportion(&self, n: usize) -> Budget {
+        let n32 = u32::try_from(n.max(1)).unwrap_or(u32::MAX);
+        let n64 = n.max(1) as u64;
+        Budget {
+            max_passes: if self.max_passes == u32::MAX {
+                u32::MAX
+            } else {
+                (self.max_passes / n32).max(1)
+            },
+            max_nodes: if self.max_nodes == u64::MAX {
+                u64::MAX
+            } else {
+                (self.max_nodes / n64).max(1)
+            },
+            deadline: self.deadline,
+        }
+    }
 }
 
 impl Default for Budget {
@@ -80,96 +106,158 @@ impl fmt::Display for Resource {
     }
 }
 
+/// Shared, atomically updated metering state. See [`Governor`].
+#[derive(Debug)]
+struct GovernorInner {
+    budget: Budget,
+    started: Instant,
+    passes: AtomicU32,
+    nodes: AtomicU64,
+    checks: AtomicU32,
+    /// 0 = not tripped; otherwise `Resource` discriminant + 1.
+    tripped: AtomicU8,
+}
+
+const TRIP_NONE: u8 = 0;
+const TRIP_PASSES: u8 = 1;
+const TRIP_NODES: u8 = 2;
+const TRIP_WALL_CLOCK: u8 = 3;
+
+fn decode_trip(raw: u8) -> Option<Resource> {
+    match raw {
+        TRIP_PASSES => Some(Resource::Passes),
+        TRIP_NODES => Some(Resource::Nodes),
+        TRIP_WALL_CLOCK => Some(Resource::WallClock),
+        _ => None,
+    }
+}
+
+impl GovernorInner {
+    fn trip(&self, code: u8) {
+        // First trip wins; later trips of a different resource are ignored
+        // so diagnostics always name the bound that was crossed first.
+        let _ = self
+            .tripped
+            .compare_exchange(TRIP_NONE, code, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    fn tripped(&self) -> Option<Resource> {
+        decode_trip(self.tripped.load(Ordering::Acquire))
+    }
+}
+
 /// Meters resource usage against a [`Budget`]. Once a bound is crossed the
 /// governor stays *tripped*: every subsequent check reports exhaustion, so
 /// later queries on the same (or a rebuilt) engine degrade immediately
 /// instead of spending resources that are already gone.
+///
+/// The meter itself lives behind an [`Arc`] of atomics, so `Clone` produces
+/// a handle onto the *same* usage counters. That is what makes the governor
+/// cumulative across engine rebuilds, and it is also what lets several
+/// worker threads charge one shared budget without locks when SCC waves run
+/// in parallel.
 #[derive(Debug, Clone)]
 pub struct Governor {
-    budget: Budget,
-    started: Instant,
-    passes: u32,
-    nodes: u64,
-    checks: u32,
-    tripped: Option<Resource>,
+    inner: Arc<GovernorInner>,
 }
 
 impl Governor {
     /// Starts metering now.
     pub fn new(budget: Budget) -> Governor {
+        Governor::with_start(budget, Instant::now())
+    }
+
+    /// Starts metering against a clock that began at `started`. Per-SCC
+    /// governors use this so every share of an apportioned budget measures
+    /// its wall-clock deadline from the start of the whole analysis.
+    pub fn with_start(budget: Budget, started: Instant) -> Governor {
         Governor {
-            budget,
-            started: Instant::now(),
-            passes: 0,
-            nodes: 0,
-            checks: 0,
-            tripped: None,
+            inner: Arc::new(GovernorInner {
+                budget,
+                started,
+                passes: AtomicU32::new(0),
+                nodes: AtomicU64::new(0),
+                checks: AtomicU32::new(0),
+                tripped: AtomicU8::new(TRIP_NONE),
+            }),
         }
+    }
+
+    /// The instant this governor's clock started.
+    pub fn started(&self) -> Instant {
+        self.inner.started
     }
 
     /// The budget being enforced.
     pub fn budget(&self) -> Budget {
-        self.budget
+        self.inner.budget
     }
 
     /// Total passes charged so far.
     pub fn passes_used(&self) -> u32 {
-        self.passes
+        self.inner.passes.load(Ordering::Acquire)
     }
 
     /// Total nodes charged so far.
     pub fn nodes_used(&self) -> u64 {
-        self.nodes
+        self.inner.nodes.load(Ordering::Acquire)
     }
 
     /// The resource that ran out, if any.
     pub fn exhausted(&self) -> Option<Resource> {
-        self.tripped
+        self.inner.tripped()
     }
 
     /// Charges one fixpoint pass and re-checks every bound.
-    pub fn charge_pass(&mut self) -> Option<Resource> {
-        self.passes = self.passes.saturating_add(1);
-        if self.tripped.is_none() && self.passes > self.budget.max_passes {
-            self.tripped = Some(Resource::Passes);
+    pub fn charge_pass(&self) -> Option<Resource> {
+        let passes = self
+            .inner
+            .passes
+            .fetch_add(1, Ordering::AcqRel)
+            .saturating_add(1);
+        if passes > self.inner.budget.max_passes {
+            self.inner.trip(TRIP_PASSES);
         }
         self.check_deadline();
-        self.tripped
+        self.inner.tripped()
     }
 
     /// Charges `n` abstract-value nodes. The deadline is polled only every
     /// 1024 charges to keep the hot path cheap.
-    pub fn charge_nodes(&mut self, n: u64) -> Option<Resource> {
-        self.nodes = self.nodes.saturating_add(n);
-        if self.tripped.is_none() && self.nodes > self.budget.max_nodes {
-            self.tripped = Some(Resource::Nodes);
+    pub fn charge_nodes(&self, n: u64) -> Option<Resource> {
+        let nodes = self
+            .inner
+            .nodes
+            .fetch_add(n, Ordering::AcqRel)
+            .saturating_add(n);
+        if nodes > self.inner.budget.max_nodes {
+            self.inner.trip(TRIP_NODES);
         }
-        self.checks = self.checks.wrapping_add(1);
-        if self.checks.is_multiple_of(1024) {
+        let checks = self.inner.checks.fetch_add(1, Ordering::AcqRel);
+        if checks.wrapping_add(1).is_multiple_of(1024) {
             self.check_deadline();
         }
-        self.tripped
+        self.inner.tripped()
     }
 
     /// Checks the wall-clock deadline immediately.
-    pub fn check_deadline(&mut self) -> Option<Resource> {
-        if self.tripped.is_none() {
-            if let Some(d) = self.budget.deadline {
-                if self.started.elapsed() >= d {
-                    self.tripped = Some(Resource::WallClock);
-                }
+    pub fn check_deadline(&self) -> Option<Resource> {
+        if let Some(d) = self.inner.budget.deadline {
+            if self.inner.started.elapsed() >= d {
+                self.inner.trip(TRIP_WALL_CLOCK);
             }
         }
-        self.tripped
+        self.inner.tripped()
     }
 
     /// The limit of the given resource, as a number (milliseconds for the
     /// deadline), for diagnostics.
     pub fn limit_of(&self, r: Resource) -> u64 {
         match r {
-            Resource::Passes => u64::from(self.budget.max_passes),
-            Resource::Nodes => self.budget.max_nodes,
+            Resource::Passes => u64::from(self.inner.budget.max_passes),
+            Resource::Nodes => self.inner.budget.max_nodes,
             Resource::WallClock => self
+                .inner
                 .budget
                 .deadline
                 .map_or(u64::MAX, |d| d.as_millis() as u64),
@@ -179,9 +267,9 @@ impl Governor {
     /// Usage of the given resource, in the same unit as [`Governor::limit_of`].
     pub fn used_of(&self, r: Resource) -> u64 {
         match r {
-            Resource::Passes => u64::from(self.passes),
-            Resource::Nodes => self.nodes,
-            Resource::WallClock => self.started.elapsed().as_millis() as u64,
+            Resource::Passes => u64::from(self.passes_used()),
+            Resource::Nodes => self.nodes_used(),
+            Resource::WallClock => self.inner.started.elapsed().as_millis() as u64,
         }
     }
 }
@@ -198,7 +286,7 @@ mod tests {
 
     #[test]
     fn unlimited_never_trips() {
-        let mut g = Governor::default();
+        let g = Governor::default();
         for _ in 0..10_000 {
             assert_eq!(g.charge_pass(), None);
             assert_eq!(g.charge_nodes(1_000_000), None);
@@ -207,7 +295,7 @@ mod tests {
 
     #[test]
     fn pass_budget_trips_and_stays_tripped() {
-        let mut g = Governor::new(Budget::tight(3, u64::MAX, None));
+        let g = Governor::new(Budget::tight(3, u64::MAX, None));
         assert_eq!(g.charge_pass(), None);
         assert_eq!(g.charge_pass(), None);
         assert_eq!(g.charge_pass(), None);
@@ -219,26 +307,22 @@ mod tests {
 
     #[test]
     fn node_budget_trips() {
-        let mut g = Governor::new(Budget::tight(u32::MAX, 10, None));
+        let g = Governor::new(Budget::tight(u32::MAX, 10, None));
         assert_eq!(g.charge_nodes(5), None);
         assert_eq!(g.charge_nodes(6), Some(Resource::Nodes));
     }
 
     #[test]
     fn zero_deadline_trips_immediately() {
-        let mut g = Governor::new(Budget::tight(
-            u32::MAX,
-            u64::MAX,
-            Some(Duration::ZERO),
-        ));
+        let g = Governor::new(Budget::tight(u32::MAX, u64::MAX, Some(Duration::ZERO)));
         assert_eq!(g.check_deadline(), Some(Resource::WallClock));
     }
 
     #[test]
     fn cloned_governor_keeps_usage() {
-        let mut g = Governor::new(Budget::tight(2, u64::MAX, None));
+        let g = Governor::new(Budget::tight(2, u64::MAX, None));
         g.charge_pass();
-        let mut g2 = g.clone();
+        let g2 = g.clone();
         g2.charge_pass();
         assert_eq!(g2.charge_pass(), Some(Resource::Passes));
     }

@@ -1,0 +1,341 @@
+//! Persistent on-disk summary cache for the SCC-modular scheduler.
+//!
+//! Each SCC of the call graph gets a 64-bit FNV-1a content hash over
+//!
+//! 1. a format/salt line covering the cache version and the
+//!    [`EngineConfig`](crate::engine::EngineConfig) knobs that can change
+//!    verdicts (widening depth/arity, pass cap);
+//! 2. every member binding: its name, its pretty-printed right-hand side,
+//!    and its inferred signature;
+//! 3. the hashes of every dependency SCC, sorted.
+//!
+//! Point 3 makes the key *transitive*: editing any function invalidates
+//! exactly the SCCs that can observe the edit, and nothing else. The cache
+//! stores only the per-parameter escape verdicts — the cheap, stable part
+//! of an [`EscapeSummary`]; parameter types are reconstructed from the
+//! live [`TypeInfo`](nml_types::TypeInfo) at load, which is safe because a
+//! hash hit implies the member signatures are unchanged.
+//!
+//! Degraded (worst-case fallback) summaries are **never** stored: they are
+//! budget-dependent accidents, not facts about the program, and caching
+//! one would freeze an avoidable imprecision across runs.
+//!
+//! The file format is a line-oriented UTF-8 text file; an unreadable or
+//! corrupt file degrades to an empty cache with the error reported in the
+//! schedule report, never a failed analysis.
+
+use crate::be::Be;
+use crate::global::{EscapeSummary, ParamEscape};
+use nml_syntax::Symbol;
+use nml_types::Ty;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// FNV-1a, 64-bit. Hand-rolled so the key format is fully pinned by this
+/// crate (no dependency on the std hasher's unspecified algorithm).
+#[derive(Debug, Clone)]
+pub struct ContentHash(u64);
+
+impl ContentHash {
+    /// The FNV-1a offset basis.
+    pub fn new() -> ContentHash {
+        ContentHash(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a string and a separator (so adjacent fields cannot collide
+    /// by concatenation).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    /// The final 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for ContentHash {
+    fn default() -> Self {
+        ContentHash::new()
+    }
+}
+
+/// The cached escape verdicts of one function: `(escapes, spines)` per
+/// parameter, in parameter order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedFn {
+    /// The function's name.
+    pub name: String,
+    /// Per-parameter verdicts as `(escapes, spines)` pairs.
+    pub verdicts: Vec<(bool, u32)>,
+}
+
+/// The cached entry for one SCC: the verdicts of its function members.
+/// SCCs whose members are all non-functions store an empty list — the
+/// entry still short-circuits re-analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CachedScc {
+    /// Function members, in member order.
+    pub fns: Vec<CachedFn>,
+}
+
+impl CachedScc {
+    /// Rebuilds the summary of `name` from the cached verdicts and the
+    /// live signature. Returns `None` when the entry does not cover the
+    /// function or its arity changed (treated as a miss by the caller).
+    pub fn summary_for(&self, name: Symbol, sig: &Ty) -> Option<EscapeSummary> {
+        let cached = self.fns.iter().find(|f| f.name == name.as_str())?;
+        let (param_tys, result_ty) = sig.uncurry();
+        if cached.verdicts.len() != param_tys.len() {
+            return None;
+        }
+        let params = param_tys
+            .iter()
+            .zip(&cached.verdicts)
+            .enumerate()
+            .map(|(i, (ty, &(escapes, spines)))| ParamEscape {
+                index: i,
+                ty: ty.clone(),
+                spines: ty.spines(),
+                verdict: if escapes {
+                    Be::escaping(spines)
+                } else {
+                    Be::bottom()
+                },
+            })
+            .collect();
+        Some(EscapeSummary {
+            name,
+            param_tys,
+            result_ty,
+            params,
+        })
+    }
+}
+
+/// An in-memory view of one on-disk summary cache file.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryCache {
+    entries: BTreeMap<u64, CachedScc>,
+}
+
+const HEADER: &str = "nml-summary-cache v1";
+
+impl SummaryCache {
+    /// Loads the cache at `path`. A missing file is an empty cache; a
+    /// corrupt or unreadable one is an empty cache plus an error message
+    /// for diagnostics (the analysis itself must never fail on cache
+    /// trouble).
+    pub fn load(path: &Path) -> (SummaryCache, Option<String>) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return (SummaryCache::default(), None);
+            }
+            Err(e) => {
+                return (
+                    SummaryCache::default(),
+                    Some(format!("cannot read {}: {e}", path.display())),
+                );
+            }
+        };
+        match Self::parse(&text) {
+            Ok(cache) => (cache, None),
+            Err(msg) => (
+                SummaryCache::default(),
+                Some(format!("ignoring corrupt cache {}: {msg}", path.display())),
+            ),
+        }
+    }
+
+    fn parse(text: &str) -> Result<SummaryCache, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err("bad header".to_string());
+        }
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(u64, CachedScc)> = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("scc") => {
+                    if current.is_some() {
+                        return Err("scc without end".to_string());
+                    }
+                    let hex = parts.next().ok_or("scc missing hash")?;
+                    let hash =
+                        u64::from_str_radix(hex, 16).map_err(|e| format!("bad hash: {e}"))?;
+                    current = Some((hash, CachedScc::default()));
+                }
+                Some("fn") => {
+                    let (_, scc) = current.as_mut().ok_or("fn outside scc")?;
+                    let name = parts.next().ok_or("fn missing name")?.to_string();
+                    let arity: usize = parts
+                        .next()
+                        .ok_or("fn missing arity")?
+                        .parse()
+                        .map_err(|e| format!("bad arity: {e}"))?;
+                    let mut verdicts = Vec::with_capacity(arity);
+                    for _ in 0..arity {
+                        let v = parts.next().ok_or("fn missing verdict")?;
+                        let (esc, spines) = v.split_once(':').ok_or("bad verdict")?;
+                        let escapes = match esc {
+                            "1" => true,
+                            "0" => false,
+                            _ => return Err("bad escape flag".to_string()),
+                        };
+                        let spines: u32 = spines.parse().map_err(|e| format!("bad spines: {e}"))?;
+                        verdicts.push((escapes, spines));
+                    }
+                    scc.fns.push(CachedFn { name, verdicts });
+                }
+                Some("end") => {
+                    let (hash, scc) = current.take().ok_or("end outside scc")?;
+                    entries.insert(hash, scc);
+                }
+                Some(other) => return Err(format!("unknown record `{other}`")),
+                None => {}
+            }
+        }
+        if current.is_some() {
+            return Err("truncated file".to_string());
+        }
+        Ok(SummaryCache { entries })
+    }
+
+    /// Looks up the entry for one SCC hash.
+    pub fn get(&self, hash: u64) -> Option<&CachedScc> {
+        self.entries.get(&hash)
+    }
+
+    /// Inserts or replaces the entry for one SCC hash.
+    pub fn insert(&mut self, hash: u64, entry: CachedScc) {
+        self.entries.insert(hash, entry);
+    }
+
+    /// Number of cached SCC entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the cache back to its text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        for (hash, scc) in &self.entries {
+            let _ = writeln!(out, "scc {hash:016x}");
+            for f in &scc.fns {
+                let _ = write!(out, "fn {} {}", f.name, f.verdicts.len());
+                for (escapes, spines) in &f.verdicts {
+                    let _ = write!(out, " {}:{}", u8::from(*escapes), spines);
+                }
+                out.push('\n');
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Writes the cache to `path`, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on any I/O failure (the caller
+    /// reports it and moves on; a failed save never fails the analysis).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, self.render())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// Converts an [`EscapeSummary`] into its cacheable verdict form.
+pub fn cached_fn_of(summary: &EscapeSummary) -> CachedFn {
+    CachedFn {
+        name: summary.name.as_str().to_string(),
+        verdicts: summary
+            .params
+            .iter()
+            .map(|p| (p.verdict.escapes(), p.verdict.spines()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut cache = SummaryCache::default();
+        cache.insert(
+            0xdead_beef,
+            CachedScc {
+                fns: vec![CachedFn {
+                    name: "append".to_string(),
+                    verdicts: vec![(true, 0), (true, 1)],
+                }],
+            },
+        );
+        cache.insert(0x42, CachedScc { fns: vec![] });
+        let text = cache.render();
+        let parsed = SummaryCache::parse(&text).expect("parse");
+        assert_eq!(parsed.get(0xdead_beef), cache.get(0xdead_beef));
+        assert_eq!(parsed.get(0x42), cache.get(0x42));
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_text_is_rejected_not_panicking() {
+        assert!(SummaryCache::parse("garbage").is_err());
+        assert!(SummaryCache::parse(HEADER).unwrap().is_empty());
+        assert!(SummaryCache::parse(&format!("{HEADER}\nscc zz\nend")).is_err());
+        assert!(SummaryCache::parse(&format!("{HEADER}\nscc 1f")).is_err());
+        assert!(SummaryCache::parse(&format!("{HEADER}\nfn f 0")).is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        let mut h = ContentHash::new();
+        h.write_str("append");
+        let a = h.finish();
+        let mut h2 = ContentHash::new();
+        h2.write_str("append");
+        assert_eq!(a, h2.finish());
+        let mut h3 = ContentHash::new();
+        h3.write_str("appenc");
+        assert_ne!(a, h3.finish());
+    }
+
+    #[test]
+    fn missing_file_is_empty_cache() {
+        let (cache, err) = SummaryCache::load(Path::new("/nonexistent/dir/cache.txt"));
+        assert!(cache.is_empty());
+        assert!(err.is_none());
+    }
+}

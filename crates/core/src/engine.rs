@@ -27,7 +27,7 @@ use nml_syntax::visit::{free_vars, walk_exprs};
 use nml_syntax::{NodeId, Symbol};
 use nml_types::{Ty, TypeInfo};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tuning knobs for the fixpoint engine.
 #[derive(Debug, Clone)]
@@ -95,6 +95,11 @@ pub struct Engine<'a> {
     lambda_owner: HashMap<NodeId, Symbol>,
     /// `letrec` binding slots, grown monotonically.
     rec_slots: HashMap<RecKey, AbsVal>,
+    /// When set, only these top-level bindings are refreshed each pass;
+    /// the rest are treated as already-converged (their slots come from
+    /// [`Engine::seed_slots`]). This is what makes the engine *modular*:
+    /// an SCC's engine scopes to the SCC's members and pins every callee.
+    scope: Option<BTreeSet<Symbol>>,
     memo: HashMap<MemoKey, MemoEntry>,
     dirty: bool,
     pass: u32,
@@ -142,6 +147,7 @@ impl<'a> Engine<'a> {
             lambda_free,
             lambda_owner,
             rec_slots: HashMap::new(),
+            scope: None,
             memo: HashMap::new(),
             dirty: false,
             pass: 0,
@@ -168,6 +174,38 @@ impl<'a> Engine<'a> {
         self.governor = governor;
     }
 
+    /// Restricts the per-pass refresh to the given top-level bindings
+    /// (`None` restores whole-program refresh). Bindings outside the scope
+    /// keep whatever slot values were seeded — the modular scheduler seeds
+    /// them with the *converged* values of already-solved callee SCCs, so
+    /// pinning them is exact, not an approximation.
+    pub fn set_scope(&mut self, scope: Option<BTreeSet<Symbol>>) {
+        self.scope = scope;
+    }
+
+    /// A snapshot of every `letrec` slot (top-level *and* inner). The full
+    /// map matters: a converged top-level value can embed references to
+    /// inner-`letrec` slots inside captured closure environments, and a
+    /// dependent engine resolving such a reference against an empty slot
+    /// would silently read `⊥` — an under-approximation. Exporting the
+    /// whole map keeps every reachable reference meaningful.
+    pub fn export_slots(&self) -> HashMap<RecKey, AbsVal> {
+        self.rec_slots.clone()
+    }
+
+    /// Joins previously exported slot values into this engine. Used by the
+    /// modular scheduler to seed an SCC's engine with the finalized values
+    /// of every callee SCC before its local fixpoint starts.
+    pub fn seed_slots(&mut self, slots: &HashMap<RecKey, AbsVal>) {
+        for (k, v) in slots {
+            let entry = self.rec_slots.entry(k.clone()).or_default();
+            let joined = entry.join(v);
+            if joined != *entry {
+                *entry = joined;
+            }
+        }
+    }
+
     /// The program under analysis.
     pub fn program(&self) -> &'a Program {
         self.program
@@ -181,7 +219,7 @@ impl<'a> Engine<'a> {
     /// The environment of the program's top-level `letrec`: every binding
     /// is a stable slot reference.
     pub fn top_env(&self) -> AbsEnv {
-        let empty: AbsEnv = Rc::new(BTreeMap::new());
+        let empty: AbsEnv = Arc::new(BTreeMap::new());
         let mut map = BTreeMap::new();
         for b in &self.program.bindings {
             map.insert(
@@ -193,7 +231,7 @@ impl<'a> Engine<'a> {
                 }),
             );
         }
-        Rc::new(map)
+        Arc::new(map)
     }
 
     /// Runs `query` to a fixpoint: repeatedly refreshes the top-level
@@ -283,8 +321,13 @@ impl<'a> Engine<'a> {
     fn refresh_top_bindings(&mut self) {
         let program = self.program;
         let env = self.top_env();
-        let empty: AbsEnv = Rc::new(BTreeMap::new());
+        let empty: AbsEnv = Arc::new(BTreeMap::new());
         for b in &program.bindings {
+            if let Some(scope) = &self.scope {
+                if !scope.contains(&b.name) {
+                    continue;
+                }
+            }
             let key = RecKey {
                 letrec: program.body.id,
                 name: b.name,
@@ -378,7 +421,7 @@ impl<'a> Engine<'a> {
                 for (b, k) in bs.iter().zip(&keys) {
                     inner.insert(b.name, EnvEntry::Rec(k.clone()));
                 }
-                let inner: AbsEnv = Rc::new(inner);
+                let inner: AbsEnv = Arc::new(inner);
                 for (b, k) in bs.iter().zip(&keys) {
                     let v = self.eval(&b.expr, &inner);
                     self.update_slot(k.clone(), v);
@@ -411,11 +454,7 @@ impl<'a> Engine<'a> {
             if let Some(entry) = env.get(z) {
                 let be = match entry {
                     EnvEntry::Val(val) => val.be,
-                    EnvEntry::Rec(k) => self
-                        .rec_slots
-                        .get(k)
-                        .map(|val| val.be)
-                        .unwrap_or_default(),
+                    EnvEntry::Rec(k) => self.rec_slots.get(k).map(|val| val.be).unwrap_or_default(),
                 };
                 v = v.join(be);
                 captured.insert(*z, entry.clone());
@@ -425,7 +464,7 @@ impl<'a> Engine<'a> {
             be: v,
             fun: FunVal::Closure {
                 lambda: lam.id,
-                env: Rc::new(captured),
+                env: Arc::new(captured),
             },
         })
     }
@@ -509,7 +548,7 @@ impl<'a> Engine<'a> {
             // C⟦cons⟧ = ⟨⟨0,0⟩, λx.⟨x₍₁₎, λy. x ⊔ y⟩⟩
             FunVal::Cons0 => AbsVal {
                 be: arg.be,
-                fun: FunVal::Cons1(Rc::new(arg.clone())),
+                fun: FunVal::Cons1(Arc::new(arg.clone())),
             },
             FunVal::Cons1(x) => x.join(arg),
             // C⟦car^s⟧ = ⟨⟨0,0⟩, λx. sub^s(x)⟩
@@ -583,7 +622,7 @@ impl<'a> Engine<'a> {
 
         let mut inner = (*env).clone();
         inner.insert(param, EnvEntry::Val(arg));
-        let result = self.eval(body, &Rc::new(inner));
+        let result = self.eval(body, &Arc::new(inner));
         let result = self.maybe_widen(result);
 
         let owner = self.lambda_owner.get(&lambda).copied();
@@ -639,10 +678,7 @@ mod tests {
     use nml_syntax::parse_program;
     use nml_types::infer_program;
 
-    fn with_engine<T: Eq + Clone>(
-        src: &str,
-        f: impl FnMut(&mut Engine<'_>) -> T,
-    ) -> T {
+    fn with_engine<T: Eq + Clone>(src: &str, f: impl FnMut(&mut Engine<'_>) -> T) -> T {
         let program = parse_program(src).expect("parse");
         let info = infer_program(&program).expect("infer");
         let mut engine = Engine::new(&program, &info);
@@ -727,20 +763,17 @@ mod tests {
 
     #[test]
     fn both_if_branches_join() {
-        let v = with_engine(
-            "letrec pick b x y = if b then x else y in 0",
-            |en| {
-                let f = en.top_value(Symbol::intern("pick"));
-                en.apply_n(
-                    &f,
-                    &[
-                        AbsVal::bottom(),
-                        AbsVal::base(Be::escaping(0)),
-                        AbsVal::bottom(),
-                    ],
-                )
-            },
-        );
+        let v = with_engine("letrec pick b x y = if b then x else y in 0", |en| {
+            let f = en.top_value(Symbol::intern("pick"));
+            en.apply_n(
+                &f,
+                &[
+                    AbsVal::bottom(),
+                    AbsVal::base(Be::escaping(0)),
+                    AbsVal::bottom(),
+                ],
+            )
+        });
         assert_eq!(v.be, Be::escaping(0));
     }
 
@@ -752,14 +785,8 @@ mod tests {
                    in append [1] [2]";
         let (vx, vy) = with_engine(src, |en| {
             let f = en.top_value(Symbol::intern("append"));
-            let x_interesting = en.apply_n(
-                &f,
-                &[AbsVal::base(Be::escaping(1)), AbsVal::bottom()],
-            );
-            let y_interesting = en.apply_n(
-                &f,
-                &[AbsVal::bottom(), AbsVal::base(Be::escaping(1))],
-            );
+            let x_interesting = en.apply_n(&f, &[AbsVal::base(Be::escaping(1)), AbsVal::bottom()]);
+            let y_interesting = en.apply_n(&f, &[AbsVal::bottom(), AbsVal::base(Be::escaping(1))]);
             (x_interesting.be, y_interesting.be)
         });
         // All but the top spine of x escapes: sub¹⟨1,1⟩ = ⟨1,0⟩.
@@ -786,10 +813,7 @@ mod tests {
         let info = infer_program(&program).unwrap();
         let mut en = Engine::new(&program, &info);
         let w = worst_value(&t, Be::bottom());
-        let r = en.apply_n(
-            &w,
-            &[AbsVal::base(Be::escaping(0)), AbsVal::bottom()],
-        );
+        let r = en.apply_n(&w, &[AbsVal::base(Be::escaping(0)), AbsVal::bottom()]);
         assert_eq!(r.be, Be::escaping(0));
         assert_eq!(r.fun, FunVal::Err);
     }
@@ -834,7 +858,11 @@ mod tests {
             let f = en.top_value(Symbol::intern("make"));
             en.apply(&f, &AbsVal::base(Be::escaping(0)))
         });
-        assert_eq!(v.be, Be::escaping(0), "captured interesting value shows in V");
+        assert_eq!(
+            v.be,
+            Be::escaping(0),
+            "captured interesting value shows in V"
+        );
     }
 
     #[test]
@@ -876,10 +904,7 @@ mod tests {
         in 0";
         let (wrap_be, first_be, through_be) = with_engine(src, |en| {
             let wrap = en.top_value(Symbol::intern("wrap"));
-            let w = en.apply_n(
-                &wrap,
-                &[AbsVal::base(Be::escaping(1)), AbsVal::bottom()],
-            );
+            let w = en.apply_n(&wrap, &[AbsVal::base(Be::escaping(1)), AbsVal::bottom()]);
             let first = en.top_value(Symbol::intern("first"));
             let f = en.apply(&first, &AbsVal::base(Be::escaping(1)));
             let through = en.top_value(Symbol::intern("through"));
@@ -910,8 +935,7 @@ mod tests {
         let info = infer_program(&program).unwrap();
         let mut en = Engine::new(&program, &info);
         let name = Symbol::intern("split2");
-        let summary =
-            crate::global::global_escape(&mut en, name).expect("global test");
+        let summary = crate::global::global_escape(&mut en, name).expect("global test");
         assert_eq!(summary.param(0).verdict, Be::bottom(), "p");
         assert_eq!(summary.param(1).verdict, Be::escaping(0), "x");
         assert_eq!(summary.param(2).verdict, Be::escaping(1), "l");

@@ -259,8 +259,7 @@ mod tests {
         let program = parse_program(APPEND).unwrap();
         let info = infer_program(&program).unwrap();
         let mut engine = Engine::new(&program, &info);
-        let err =
-            global_escape_param(&mut engine, Symbol::intern("append"), 2).unwrap_err();
+        let err = global_escape_param(&mut engine, Symbol::intern("append"), 2).unwrap_err();
         assert!(matches!(
             err,
             EscapeError::BadParameterIndex { index: 2, arity: 2 }

@@ -51,27 +51,32 @@ pub mod absval;
 pub mod analysis;
 pub mod be;
 pub mod budget;
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod global;
 pub mod local;
+pub mod modular;
 pub mod poly;
 pub mod reference;
 pub mod sharing;
 
 pub use absval::{AbsEnv, AbsVal, EnvEntry, FunVal, RecKey};
 pub use analysis::{
-    analyze_program, analyze_program_governed, analyze_source, analyze_source_governed,
-    analyze_source_with, Analysis, Degradation, DegradeReason, PolyMode,
+    analyze_program, analyze_program_governed, analyze_program_whole_program, analyze_source,
+    analyze_source_governed, analyze_source_scheduled, analyze_source_with, Analysis, Degradation,
+    DegradeReason, PolyMode,
 };
 pub use be::Be;
 pub use budget::{Budget, Governor, Resource};
+pub use cache::SummaryCache;
 pub use engine::{worst_value, Engine, EngineConfig, EngineStats};
 pub use error::{AnalyzeError, EscapeError};
 pub use global::{
     global_escape, global_escape_param, worst_case_summary, EscapeSummary, ParamEscape,
 };
 pub use local::{local_escape, LocalEscape};
+pub use modular::{analyze_program_scheduled, ScheduleOptions, ScheduleReport};
 pub use poly::{invariance_holds, transfer_param, transfer_verdict};
 pub use reference::{
     reference_global, tabulate_program, tabulate_program_governed, BeTable, NotFirstOrder,

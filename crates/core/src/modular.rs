@@ -1,0 +1,502 @@
+//! The SCC-modular summary scheduler.
+//!
+//! Instead of one whole-program Kleene iteration, the program's top-level
+//! bindings are condensed into a call-graph SCC DAG
+//! ([`nml_syntax::callgraph`]) and solved one component at a time, in
+//! callees-first topological order. Each SCC gets its own [`Engine`]
+//! scoped to the component's members and *seeded* with the converged slot
+//! values of every callee SCC, so its fixpoint is small and local. Solving
+//! in dependency order against finalized callee values computes exactly
+//! the same least fixpoint as the global iteration (the slot/memo
+//! equations form a deterministic monotone system; pinning an equation at
+//! its own least solution changes nothing), which the equivalence test
+//! suite checks program-by-program.
+//!
+//! The modular structure buys three things the monolithic engine could
+//! not offer:
+//!
+//! - **fault isolation**: the [`Budget`] is apportioned per SCC, so one
+//!   adversarial component degrades to `W^τ` alone instead of starving
+//!   the whole pass — dependents keep their computed summaries and are
+//!   merely flagged transitively degraded;
+//! - **parallelism**: SCCs of the same scheduling wave have no dependency
+//!   path between them and run on worker threads (`jobs > 1`) with a
+//!   deterministic ascending-id merge;
+//! - **incrementality**: a persistent [`SummaryCache`] keyed by each
+//!   SCC's content hash (source + signatures + transitive dependency
+//!   hashes) lets repeated runs skip unchanged components entirely.
+
+use crate::absval::{AbsEnv, AbsVal, RecKey};
+use crate::analysis::{merge_stats, panic_message, Analysis, Degradation, DegradeReason};
+use crate::be::Be;
+use crate::budget::{Budget, Governor};
+use crate::cache::{cached_fn_of, CachedScc, ContentHash, SummaryCache};
+use crate::engine::{worst_value, Engine, EngineConfig, EngineStats};
+use crate::error::AnalyzeError;
+use crate::global::{global_escape, worst_case_summary, EscapeSummary};
+use nml_syntax::callgraph::{CallGraph, SccDag};
+use nml_syntax::{pretty_expr, Program, Symbol};
+use nml_types::TypeInfo;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How the modular scheduler should run.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleOptions {
+    /// Worker threads per wave. `0` and `1` both mean serial; the merge
+    /// order (and therefore every result) is identical for any value.
+    pub jobs: usize,
+    /// Path of the persistent summary cache, if any.
+    pub summary_cache: Option<PathBuf>,
+}
+
+/// What the scheduler did, for diagnostics and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleReport {
+    /// Number of SCCs in the condensed call graph.
+    pub scc_count: usize,
+    /// Number of scheduling waves.
+    pub wave_count: usize,
+    /// SCCs actually solved this run (cache misses plus the dependencies
+    /// their slots required). A fully warm cache makes this `0`.
+    pub sccs_solved: usize,
+    /// SCCs whose summaries were served from the cache.
+    pub cache_hits: usize,
+    /// SCCs the cache did not cover (always `0` without a cache path).
+    pub cache_misses: usize,
+    /// Worker threads used per wave (`1` = serial).
+    pub jobs: usize,
+    /// A cache load/save problem, if one occurred (the analysis itself
+    /// always completes; cache trouble only costs reuse).
+    pub cache_error: Option<String>,
+}
+
+/// Everything one solved SCC hands back to the merge step.
+struct SccOutcome {
+    id: usize,
+    slots: HashMap<RecKey, AbsVal>,
+    summaries: Vec<EscapeSummary>,
+    degradations: Vec<Degradation>,
+    stats: EngineStats,
+    /// `Some(origin)` when the exported slots are *not* exact (the slot
+    /// fixpoint failed or the engine unwound): dependents consuming them
+    /// must be flagged transitively degraded.
+    taint: Option<Symbol>,
+}
+
+/// Analyzes an already-typed program with the SCC-modular scheduler.
+///
+/// This is the modular counterpart of
+/// [`analyze_program_whole_program`](crate::analysis::analyze_program_whole_program):
+/// identical summaries (the equivalence suite checks this), but with
+/// per-SCC budget apportionment, optional wave parallelism, and an
+/// optional persistent summary cache.
+///
+/// # Errors
+///
+/// None in practice; the `Result` is kept for signature stability with
+/// the syntax/type phases.
+pub fn analyze_program_scheduled(
+    program: Program,
+    info: TypeInfo,
+    config: EngineConfig,
+    budget: Budget,
+    options: &ScheduleOptions,
+) -> Result<Analysis, AnalyzeError> {
+    let graph = CallGraph::build(&program);
+    let dag = graph.condense();
+    let n = dag.len();
+    let members: Vec<Vec<Symbol>> = (0..n).map(|id| dag.member_names(&graph, id)).collect();
+
+    let mut report = ScheduleReport {
+        scc_count: n,
+        wave_count: dag.wave_count(),
+        jobs: options.jobs.max(1),
+        ..ScheduleReport::default()
+    };
+
+    // Cache lookup: compute content hashes and reconstruct summaries for
+    // every SCC the cache covers.
+    let (mut cache, hashes, cached_summaries) = match &options.summary_cache {
+        Some(path) => {
+            let (cache, err) = SummaryCache::load(path);
+            report.cache_error = err;
+            let hashes = scc_hashes(&program, &info, &config, &dag);
+            let cached: Vec<Option<Vec<EscapeSummary>>> = (0..n)
+                .map(|id| cache_lookup(&cache, hashes[id], &members[id], &info))
+                .collect();
+            (Some(cache), hashes, cached)
+        }
+        None => (None, Vec::new(), vec![None; n]),
+    };
+    let hit: Vec<bool> = cached_summaries.iter().map(Option::is_some).collect();
+    if cache.is_some() {
+        report.cache_hits = hit.iter().filter(|h| **h).count();
+        report.cache_misses = n - report.cache_hits;
+    }
+
+    // The solve set: every miss, plus (transitively) everything a miss
+    // needs slot values from. Pure hits outside this set are skipped
+    // entirely — that is what makes a warm run re-analyze nothing.
+    let mut need: Vec<bool> = hit.iter().map(|h| !h).collect();
+    for id in (0..n).rev() {
+        if need[id] {
+            for &d in &dag.sccs[id].deps {
+                need[d] = true;
+            }
+        }
+    }
+    report.sccs_solved = need.iter().filter(|n| **n).count();
+
+    // One governor per solved SCC, all sharing the analysis start instant
+    // so the wall-clock deadline stays analysis-relative, each metering an
+    // equal share of the budget. Degradation is thereby confined: an SCC
+    // that burns its share trips only its own governor.
+    let started = Instant::now();
+    let share = budget.apportion(report.sccs_solved.max(1));
+    let governors: Vec<Option<Governor>> = (0..n)
+        .map(|id| need[id].then(|| Governor::with_start(share, started)))
+        .collect();
+
+    let mut snapshot: HashMap<RecKey, AbsVal> = HashMap::new();
+    let mut summaries = BTreeMap::new();
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut stats = EngineStats::default();
+    let mut taint: Vec<Option<Symbol>> = vec![None; n];
+    let mut precise: Vec<bool> = vec![false; n];
+
+    for wave in dag.waves() {
+        let to_solve: Vec<usize> = wave.iter().copied().filter(|&id| need[id]).collect();
+        let mut outcomes: Vec<SccOutcome> = run_wave(
+            &to_solve,
+            options.jobs.max(1),
+            &program,
+            &info,
+            &config,
+            &governors,
+            &members,
+            &snapshot,
+            &hit,
+        );
+        // Deterministic merge: ascending SCC id, whatever the thread
+        // interleaving was.
+        outcomes.sort_by_key(|o| o.id);
+        let mut solved: BTreeMap<usize, SccOutcome> = BTreeMap::new();
+        for o in outcomes.drain(..) {
+            solved.insert(o.id, o);
+        }
+        for &id in &wave {
+            // Dependencies are all in strictly earlier waves, so their
+            // taint state is final by now.
+            let inherited = dag.sccs[id].deps.iter().find_map(|&d| taint[d]);
+            if !need[id] {
+                // Pure cache hit, never touched this run: its cached
+                // summaries were computed from exact inputs in an earlier
+                // run, so it is precise regardless of this run's faults.
+                for s in cached_summaries[id].clone().unwrap_or_default() {
+                    summaries.insert(s.name, s);
+                }
+                precise[id] = true;
+                continue;
+            }
+            let Some(o) = solved.remove(&id) else {
+                continue;
+            };
+            for (k, v) in o.slots {
+                let entry = snapshot.entry(k).or_default();
+                let joined = entry.join(&v);
+                if joined != *entry {
+                    *entry = joined;
+                }
+            }
+            merge_stats(&mut stats, &o.stats);
+            taint[id] = o.taint.or(inherited);
+            if let Some(cached) = &cached_summaries[id] {
+                // Solved only for its slot values; the summaries come from
+                // the cache and are exact, so no degradation records even
+                // if this run's slot solve was cut short (the taint flag
+                // still protects dependents).
+                for s in cached.clone() {
+                    summaries.insert(s.name, s);
+                }
+                precise[id] = true;
+                continue;
+            }
+            precise[id] = o.taint.is_none() && inherited.is_none() && o.degradations.is_empty();
+            let own: BTreeSet<Symbol> = o.degradations.iter().map(|d| d.function).collect();
+            for s in &o.summaries {
+                summaries.insert(s.name, s.clone());
+            }
+            degradations.extend(o.degradations);
+            if o.taint.is_none() {
+                if let Some(origin) = inherited {
+                    // The summaries above were computed against a degraded
+                    // callee's worst-case slots: sound, kept as computed,
+                    // but flagged so `is_degraded` tells the truth.
+                    for s in &o.summaries {
+                        if !own.contains(&s.name) {
+                            degradations.push(Degradation {
+                                function: s.name,
+                                reason: DegradeReason::Transitive { origin },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Persist: store every precisely solved miss alongside what was
+    // already cached.
+    if let (Some(cache), Some(path)) = (cache.as_mut(), options.summary_cache.as_ref()) {
+        for id in 0..n {
+            if need[id] && !hit[id] && precise[id] {
+                let fns = members[id]
+                    .iter()
+                    .filter_map(|m| summaries.get(m).map(cached_fn_of))
+                    .collect();
+                cache.insert(hashes[id], CachedScc { fns });
+            }
+        }
+        if let Err(e) = cache.save(path) {
+            report.cache_error.get_or_insert(e);
+        }
+    }
+
+    Ok(Analysis {
+        program,
+        info,
+        summaries,
+        stats,
+        degradations,
+        schedule: report,
+    })
+}
+
+/// Solves one wave's SCCs, serially or on `jobs` worker threads. Returns
+/// outcomes in arbitrary order; the caller sorts.
+#[allow(clippy::too_many_arguments)]
+fn run_wave(
+    to_solve: &[usize],
+    jobs: usize,
+    program: &Program,
+    info: &TypeInfo,
+    config: &EngineConfig,
+    governors: &[Option<Governor>],
+    members: &[Vec<Symbol>],
+    snapshot: &HashMap<RecKey, AbsVal>,
+    hit: &[bool],
+) -> Vec<SccOutcome> {
+    let solve = |id: usize| {
+        let governor = governors[id]
+            .clone()
+            .expect("solve set entry has a governor");
+        // A cache-hit SCC inside the solve set only contributes slot
+        // values; its summaries come from the cache, so the expensive
+        // per-parameter queries are skipped.
+        solve_scc(
+            id,
+            program,
+            info,
+            config,
+            governor,
+            &members[id],
+            snapshot,
+            !hit[id],
+        )
+    };
+    if jobs <= 1 || to_solve.len() <= 1 {
+        return to_solve.iter().map(|&id| solve(id)).collect();
+    }
+    let buckets = {
+        let count = jobs.min(to_solve.len());
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); count];
+        for (i, &id) in to_solve.iter().enumerate() {
+            buckets[i % count].push(id);
+        }
+        buckets
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| s.spawn(move || bucket.into_iter().map(solve).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("SCC worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Solves one SCC: a local slot fixpoint over its members against the
+/// seeded snapshot, then (unless served by the cache) the global escape
+/// test for each function member. Engine faults follow the same
+/// quarantine discipline as the whole-program driver, but confined to
+/// this component.
+#[allow(clippy::too_many_arguments)]
+fn solve_scc(
+    id: usize,
+    program: &Program,
+    info: &TypeInfo,
+    config: &EngineConfig,
+    governor: Governor,
+    members: &[Symbol],
+    snapshot: &HashMap<RecKey, AbsVal>,
+    run_queries: bool,
+) -> SccOutcome {
+    let scope: BTreeSet<Symbol> = members.iter().copied().collect();
+    let build = |gov: Governor| {
+        let mut e = Engine::with_config(program, info, config.clone());
+        e.set_governor(gov);
+        e.set_scope(Some(scope.clone()));
+        e.seed_slots(snapshot);
+        e
+    };
+    let mut engine = build(governor.clone());
+    let mut out = SccOutcome {
+        id,
+        slots: HashMap::new(),
+        summaries: Vec::new(),
+        degradations: Vec::new(),
+        stats: EngineStats::default(),
+        taint: None,
+    };
+
+    // Phase 1: converge every member slot.
+    let phase1 = catch_unwind(AssertUnwindSafe(|| {
+        engine.run(|en| {
+            members
+                .iter()
+                .map(|m| en.top_value(*m))
+                .collect::<Vec<AbsVal>>()
+        })
+    }));
+    let slot_fault = match phase1 {
+        Ok(Ok(_)) => None,
+        Ok(Err(e)) => Some(DegradeReason::Engine(e)),
+        Err(payload) => Some(DegradeReason::Panic(panic_message(payload))),
+    };
+    if let Some(reason) = slot_fault {
+        // The member slots never converged: nothing this SCC exports can
+        // be trusted as exact. Every function member degrades to `W^τ`,
+        // the exported slots become the domain's top for their types
+        // (sound for any true value), and the component is marked as a
+        // degradation origin for its dependents.
+        merge_stats(&mut out.stats, &engine.stats);
+        let empty: AbsEnv = Arc::new(BTreeMap::new());
+        for m in members {
+            let Some(sig) = info.sig(*m) else { continue };
+            let key = RecKey {
+                letrec: program.body.id,
+                name: *m,
+                outer: empty.clone(),
+            };
+            out.slots
+                .insert(key, worst_value(sig, Be::escaping(info.max_spines)));
+            if !sig.uncurry().0.is_empty() {
+                out.summaries.push(worst_case_summary(*m, sig));
+                out.degradations.push(Degradation {
+                    function: *m,
+                    reason: reason.clone(),
+                });
+            }
+        }
+        out.taint = members.first().copied();
+        return out;
+    }
+
+    // Phase 2: per-member global escape tests, panic-quarantined exactly
+    // like the whole-program driver (rebuild on unwind, shared governor
+    // keeps the SCC's budget cumulative across rebuilds). A query fault
+    // degrades that member only: the converged slots stay exact, so no
+    // taint is raised for dependents.
+    if run_queries {
+        for m in members {
+            let Some(sig) = info.sig(*m).cloned() else {
+                continue;
+            };
+            if sig.uncurry().0.is_empty() {
+                continue;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| global_escape(&mut engine, *m)));
+            match outcome {
+                Ok(Ok(summary)) => out.summaries.push(summary),
+                Ok(Err(e)) => {
+                    out.summaries.push(worst_case_summary(*m, &sig));
+                    out.degradations.push(Degradation {
+                        function: *m,
+                        reason: DegradeReason::Engine(e),
+                    });
+                }
+                Err(payload) => {
+                    out.summaries.push(worst_case_summary(*m, &sig));
+                    out.degradations.push(Degradation {
+                        function: *m,
+                        reason: DegradeReason::Panic(panic_message(payload)),
+                    });
+                    merge_stats(&mut out.stats, &engine.stats);
+                    engine = build(governor.clone());
+                }
+            }
+        }
+    }
+    merge_stats(&mut out.stats, &engine.stats);
+    out.slots = engine.export_slots();
+    out
+}
+
+const CACHE_SALT: &str = "nml-scc-v1";
+
+/// Content hashes for every SCC, in id order. Dependencies always have
+/// smaller ids (Tarjan emits callees first), so one forward sweep settles
+/// the transitive keys.
+fn scc_hashes(program: &Program, info: &TypeInfo, config: &EngineConfig, dag: &SccDag) -> Vec<u64> {
+    let mut hashes = vec![0u64; dag.len()];
+    for id in 0..dag.len() {
+        let mut h = ContentHash::new();
+        h.write_str(CACHE_SALT);
+        h.write_str(&format!(
+            "{} {} {}",
+            config.max_passes, config.widen_depth, config.widen_arity
+        ));
+        for &m in &dag.sccs[id].members {
+            let b = &program.bindings[m];
+            h.write_str(b.name.as_str());
+            h.write_str(&pretty_expr(&b.expr));
+            match info.sig(b.name) {
+                Some(sig) => h.write_str(&sig.to_string()),
+                None => h.write_str("?"),
+            }
+        }
+        let mut dep_hashes: Vec<u64> = dag.sccs[id].deps.iter().map(|&d| hashes[d]).collect();
+        dep_hashes.sort_unstable();
+        for dh in dep_hashes {
+            h.write_str(&format!("{dh:016x}"));
+        }
+        hashes[id] = h.finish();
+    }
+    hashes
+}
+
+/// A cache hit for one SCC: the entry exists and reconstructs a summary
+/// for every function member. Anything less is a miss.
+fn cache_lookup(
+    cache: &SummaryCache,
+    hash: u64,
+    members: &[Symbol],
+    info: &TypeInfo,
+) -> Option<Vec<EscapeSummary>> {
+    let entry = cache.get(hash)?;
+    let mut out = Vec::new();
+    for m in members {
+        let Some(sig) = info.sig(*m) else { continue };
+        if sig.uncurry().0.is_empty() {
+            continue;
+        }
+        out.push(entry.summary_for(*m, sig)?);
+    }
+    Some(out)
+}

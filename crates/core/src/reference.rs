@@ -20,7 +20,7 @@ use crate::be::Be;
 use crate::budget::Governor;
 use crate::error::EscapeError;
 use nml_syntax::ast::{Const, Expr, ExprKind, Prim, Program};
-use nml_syntax::{Symbol};
+use nml_syntax::Symbol;
 use nml_types::{Ty, TypeInfo};
 use std::collections::{BTreeMap, HashMap};
 
@@ -45,10 +45,7 @@ impl BeTable {
     pub fn get(&self, args: &[Be]) -> Be {
         match self.rows.get(args) {
             Some(&v) => v,
-            None => self
-                .rows
-                .values()
-                .fold(Be::bottom(), |acc, &v| acc.join(v)),
+            None => self.rows.values().fold(Be::bottom(), |acc, &v| acc.join(v)),
         }
     }
 }
@@ -332,9 +329,11 @@ pub fn reference_global(
     name: Symbol,
     i: usize,
 ) -> Result<Be, EscapeError> {
-    let table = tables.get(&name).ok_or_else(|| EscapeError::UnknownFunction {
-        name: name.to_string(),
-    })?;
+    let table = tables
+        .get(&name)
+        .ok_or_else(|| EscapeError::UnknownFunction {
+            name: name.to_string(),
+        })?;
     let sig = info.sig(name).ok_or_else(|| EscapeError::UnknownFunction {
         name: name.to_string(),
     })?;
@@ -408,9 +407,7 @@ mod tests {
 
     #[test]
     fn higher_order_programs_are_rejected() {
-        let (p, info) = setup(
-            "letrec apply f x = f x in apply (lambda(y). y) 1",
-        );
+        let (p, info) = setup("letrec apply f x = f x in apply (lambda(y). y) 1");
         assert!(matches!(
             tabulate_program(&p, &info),
             Err(NotFirstOrder::FunctionParameter(_))
@@ -464,8 +461,10 @@ mod tests {
             for (name, table) in &tables {
                 for (tuple, want) in &table.rows {
                     let mut engine = Engine::new(&p, &info);
-                    let args: Vec<crate::absval::AbsVal> =
-                        tuple.iter().map(|&b| crate::absval::AbsVal::base(b)).collect();
+                    let args: Vec<crate::absval::AbsVal> = tuple
+                        .iter()
+                        .map(|&b| crate::absval::AbsVal::base(b))
+                        .collect();
                     let got = engine
                         .run(|en| {
                             let f = en.top_value(*name);

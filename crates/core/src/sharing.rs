@@ -64,11 +64,7 @@ pub fn unshared_result_spines_any_args(result_spines: u32, escaping: &[u32]) -> 
 
 /// Applies Theorem 2, case 2 to a function's global escape summary.
 pub fn unshared_from_summary(summary: &EscapeSummary) -> u32 {
-    let escs: Vec<u32> = summary
-        .params
-        .iter()
-        .map(|p| p.escaping_spines())
-        .collect();
+    let escs: Vec<u32> = summary.params.iter().map(|p| p.escaping_spines()).collect();
     unshared_result_spines_any_args(summary.result_ty.spines(), &escs)
 }
 

@@ -32,9 +32,16 @@ fn assert_sound_vs_reference(analysis: &Analysis) {
 fn assert_worst_case(analysis: &Analysis, name: &str) {
     let summary = analysis.summary(name).expect("summary exists");
     for p in &summary.params {
-        assert_eq!(p.verdict, Be::escaping(p.spines), "{name} is not worst-case");
+        assert_eq!(
+            p.verdict,
+            Be::escaping(p.spines),
+            "{name} is not worst-case"
+        );
     }
-    assert!(analysis.is_degraded(name), "{name} not recorded as degraded");
+    assert!(
+        analysis.is_degraded(name),
+        "{name} not recorded as degraded"
+    );
 }
 
 /// Deep spines (a triple-nested flatten) with a tiny widening threshold:
@@ -86,9 +93,13 @@ fn mutual_recursion_pass_budget_degrades_soundly() {
       pong l = if (null l) then nil else cons (car l) (ping (cdr l))
     in ping [1, 2, 3]";
     let budget = Budget::tight(1, u64::MAX, None);
-    let analysis =
-        analyze_source_governed(src, PolyMode::SimplestInstance, EngineConfig::default(), budget)
-            .expect("analysis is total under a budget");
+    let analysis = analyze_source_governed(
+        src,
+        PolyMode::SimplestInstance,
+        EngineConfig::default(),
+        budget,
+    )
+    .expect("analysis is total under a budget");
     assert!(!analysis.fully_precise());
     // The governor is sticky: once the pass budget is gone, *every*
     // remaining function degrades rather than silently re-spending.
@@ -115,9 +126,13 @@ fn expired_deadline_degrades_everything() {
       idl l = if (null l) then nil else cons (car l) (idl (cdr l))
     in len (idl [1, 2])";
     let budget = Budget::tight(u32::MAX, u64::MAX, Some(Duration::ZERO));
-    let analysis =
-        analyze_source_governed(src, PolyMode::SimplestInstance, EngineConfig::default(), budget)
-            .expect("analysis is total under a deadline");
+    let analysis = analyze_source_governed(
+        src,
+        PolyMode::SimplestInstance,
+        EngineConfig::default(),
+        budget,
+    )
+    .expect("analysis is total under a deadline");
     assert!(analysis.is_degraded("len"));
     assert!(analysis.is_degraded("idl"));
     assert_sound_vs_reference(&analysis);

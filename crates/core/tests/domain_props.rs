@@ -13,15 +13,12 @@ use nml_escape::{tabulate_program, AbsVal, Be, Engine, FunVal};
 use nml_syntax::parse_program;
 use nml_types::infer_program;
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const D: u32 = 3;
 
 fn be_strategy() -> impl Strategy<Value = Be> {
-    prop_oneof![
-        Just(Be::bottom()),
-        (0..=D).prop_map(Be::escaping),
-    ]
+    prop_oneof![Just(Be::bottom()), (0..=D).prop_map(Be::escaping),]
 }
 
 /// Random function components (closure-free: closures need a program;
@@ -35,13 +32,10 @@ fn funval_strategy() -> impl Strategy<Value = FunVal> {
         Just(FunVal::Arith0),
         Just(FunVal::Arith1),
         (1u32..=3).prop_map(|s| FunVal::Car { s }),
-        ((1u32..=4), be_strategy())
-            .prop_map(|(remaining, acc)| FunVal::Worst { remaining, acc }),
+        ((1u32..=4), be_strategy()).prop_map(|(remaining, acc)| FunVal::Worst { remaining, acc }),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
-        (inner, be_strategy()).prop_map(|(f, be)| {
-            FunVal::Cons1(Rc::new(AbsVal { be, fun: f }))
-        })
+        (inner, be_strategy()).prop_map(|(f, be)| FunVal::Cons1(Arc::new(AbsVal { be, fun: f })))
     })
 }
 
@@ -132,8 +126,7 @@ fn body_strategy() -> impl Strategy<Value = Body> {
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Body::ConsHead(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Body::Rec(Box::new(e))),
-            (inner.clone(), inner)
-                .prop_map(|(t, f)| Body::IfNull(Box::new(t), Box::new(f))),
+            (inner.clone(), inner).prop_map(|(t, f)| Body::IfNull(Box::new(t), Box::new(f))),
         ]
     })
 }
@@ -253,8 +246,7 @@ fn body2_strategy() -> impl Strategy<Value = Body2> {
             (inner.clone(), inner.clone())
                 .prop_map(|(x, y)| Body2::ConsHead(Box::new(x), Box::new(y))),
             inner.clone().prop_map(|e| Body2::RecOnA(Box::new(e))),
-            (inner.clone(), inner)
-                .prop_map(|(t, f)| Body2::IfNullA(Box::new(t), Box::new(f))),
+            (inner.clone(), inner).prop_map(|(t, f)| Body2::IfNullA(Box::new(t), Box::new(f))),
         ]
     })
 }

@@ -31,7 +31,11 @@ fn joined_functions_apply_pointwise() {
         // behaviour (identity) must dominate.
         en.apply(&joined, &AbsVal::base(Be::escaping(1))).be
     });
-    assert_eq!(be, Be::escaping(1), "the escaping branch dominates the join");
+    assert_eq!(
+        be,
+        Be::escaping(1),
+        "the escaping branch dominates the join"
+    );
 }
 
 #[test]
@@ -156,8 +160,14 @@ fn summaries_render_human_readably() {
     .expect("analysis");
     let text = a.summary("append").unwrap().to_string();
     assert!(text.contains("append:"), "{text}");
-    assert!(text.contains("param 1: int list (s=1): G = <1,0>"), "{text}");
-    assert!(text.contains("param 2: int list (s=1): G = <1,1>"), "{text}");
+    assert!(
+        text.contains("param 1: int list (s=1): G = <1,0>"),
+        "{text}"
+    );
+    assert!(
+        text.contains("param 2: int list (s=1): G = <1,1>"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -172,7 +182,10 @@ fn mutual_recursion_converges_with_correct_verdicts() {
     )
     .expect("analysis");
     // Both rebuild fresh spines; only elements escape.
-    assert_eq!(a.summary("evens").unwrap().param(0).verdict, Be::escaping(0));
+    assert_eq!(
+        a.summary("evens").unwrap().param(0).verdict,
+        Be::escaping(0)
+    );
     assert_eq!(a.summary("odds").unwrap().param(0).verdict, Be::escaping(0));
 }
 
@@ -186,7 +199,11 @@ fn accumulating_closure_chain_converges() {
     in 0";
     let a = analyze_source(src).expect("analysis");
     let s = a.summary("applyall").unwrap();
-    assert_eq!(s.param(0).verdict, Be::escaping(1), "l flows through both closures");
+    assert_eq!(
+        s.param(0).verdict,
+        Be::escaping(1),
+        "l flows through both closures"
+    );
 }
 
 #[test]

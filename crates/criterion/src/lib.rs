@@ -123,7 +123,10 @@ where
         .get(b.samples.len() / 2)
         .copied()
         .unwrap_or_default();
-    println!("bench {label}: median {median:?} over {} samples", b.samples.len());
+    println!(
+        "bench {label}: median {median:?} over {} samples",
+        b.samples.len()
+    );
 }
 
 /// Declares a function that runs each listed benchmark target in order.

@@ -69,7 +69,12 @@ pub fn auto_reuse(ir: &mut IrProgram, analysis: &Analysis) -> AutoReuse {
 
     // 2. Redirect safe main-body calls.
     let body = std::mem::replace(&mut ir.body, IrExpr::Const(nml_syntax::Const::Nil));
-    ir.body = rewrite(body, analysis, &result.variants, &mut result.rewritten_calls);
+    ir.body = rewrite(
+        body,
+        analysis,
+        &result.variants,
+        &mut result.rewritten_calls,
+    );
     result
 }
 

@@ -92,7 +92,12 @@ fn mark_result_spine(e: IrExpr) -> IrExpr {
 /// - [`OptError::UnknownFunction`] if `f` or `g` is unknown;
 /// - [`OptError::NoMatchingCall`] if no such call exists or the escape
 ///   analysis forbids the rewrite everywhere.
-pub fn block_call(ir: &mut IrProgram, analysis: &Analysis, f: Symbol, g: Symbol) -> Result<usize, OptError> {
+pub fn block_call(
+    ir: &mut IrProgram,
+    analysis: &Analysis,
+    f: Symbol,
+    g: Symbol,
+) -> Result<usize, OptError> {
     if ir.func(f).is_none() {
         return Err(OptError::UnknownFunction {
             name: f.to_string(),
@@ -238,7 +243,10 @@ mod tests {
         assert_eq!(name.as_str(), "create_list_blk");
         let text = ir.func(name).unwrap().body.to_string();
         assert!(text.contains("cons[block] n"), "{text}");
-        assert!(text.contains("create_list_blk (- n 1)"), "recursion redirected: {text}");
+        assert!(
+            text.contains("create_list_blk (- n 1)"),
+            "recursion redirected: {text}"
+        );
     }
 
     #[test]
@@ -253,8 +261,11 @@ mod tests {
         .unwrap();
         assert_eq!(n, 1);
         let text = ir.body.to_string();
-        assert!(text.contains("(region[block] ((sum (create_list_blk 10))))")
-                || text.contains("(region[block] (sum (create_list_blk 10)))"), "{text}");
+        assert!(
+            text.contains("(region[block] ((sum (create_list_blk 10))))")
+                || text.contains("(region[block] (sum (create_list_blk 10)))"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -278,11 +289,21 @@ mod tests {
     fn unknown_functions_rejected() {
         let (mut ir, analysis) = prep(SRC);
         assert!(matches!(
-            block_call(&mut ir, &analysis, Symbol::intern("nope"), Symbol::intern("create_list")),
+            block_call(
+                &mut ir,
+                &analysis,
+                Symbol::intern("nope"),
+                Symbol::intern("create_list")
+            ),
             Err(OptError::UnknownFunction { .. })
         ));
         assert!(matches!(
-            block_call(&mut ir, &analysis, Symbol::intern("sum"), Symbol::intern("nope")),
+            block_call(
+                &mut ir,
+                &analysis,
+                Symbol::intern("sum"),
+                Symbol::intern("nope")
+            ),
             Err(OptError::UnknownFunction { .. })
         ));
     }

@@ -83,8 +83,7 @@ pub fn uses(e: &IrExpr, x: Symbol) -> bool {
         IrExpr::Lambda { param, body, .. } => *param != x && uses(body, x),
         IrExpr::If(c, t, f) => uses(c, x) || uses(t, x) || uses(f, x),
         IrExpr::Letrec(bs, b) => {
-            !bs.iter().any(|(n, _)| *n == x)
-                && (bs.iter().any(|(_, e)| uses(e, x)) || uses(b, x))
+            !bs.iter().any(|(n, _)| *n == x) && (bs.iter().any(|(_, e)| uses(e, x)) || uses(b, x))
         }
         IrExpr::Cons { head, tail, .. } | IrExpr::Dcons { head, tail, .. } => {
             uses(head, x) || uses(tail, x)
@@ -103,13 +102,7 @@ fn is_null_test(c: &IrExpr, x: Symbol) -> bool {
 
 /// Walks `e` in evaluation order. `after` = "x is used by code that runs
 /// after `e` finishes"; `guarded` = "x is known non-nil here".
-fn collect(
-    e: &IrExpr,
-    x: Symbol,
-    after: bool,
-    guarded: bool,
-    out: &mut Vec<EligibleSite>,
-) {
+fn collect(e: &IrExpr, x: Symbol, after: bool, guarded: bool, out: &mut Vec<EligibleSite>) {
     match e {
         IrExpr::Const(_) | IrExpr::Var(_) => {}
         IrExpr::App(a, b) => {

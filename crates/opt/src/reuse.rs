@@ -233,10 +233,9 @@ pub fn rewrite_calls(e: IrExpr, rewrites: &[(Symbol, Symbol)]) -> IrExpr {
                 IrExpr::Var(x)
             }
             IrExpr::Const(c) => IrExpr::Const(c),
-            IrExpr::App(a, b) => IrExpr::App(
-                Box::new(go(*a, rw, bound)),
-                Box::new(go(*b, rw, bound)),
-            ),
+            IrExpr::App(a, b) => {
+                IrExpr::App(Box::new(go(*a, rw, bound)), Box::new(go(*b, rw, bound)))
+            }
             IrExpr::Lambda { param, body, site } => {
                 bound.push(param);
                 let body = Box::new(go(*body, rw, bound));
@@ -251,10 +250,7 @@ pub fn rewrite_calls(e: IrExpr, rewrites: &[(Symbol, Symbol)]) -> IrExpr {
             IrExpr::Letrec(bs, body) => {
                 let names: Vec<Symbol> = bs.iter().map(|(n, _)| *n).collect();
                 bound.extend(names.iter().copied());
-                let bs = bs
-                    .into_iter()
-                    .map(|(n, e)| (n, go(e, rw, bound)))
-                    .collect();
+                let bs = bs.into_iter().map(|(n, e)| (n, go(e, rw, bound))).collect();
                 let body = Box::new(go(*body, rw, bound));
                 bound.truncate(bound.len() - names.len());
                 IrExpr::Letrec(bs, body)
@@ -282,11 +278,9 @@ pub fn rewrite_calls(e: IrExpr, rewrites: &[(Symbol, Symbol)]) -> IrExpr {
                 site,
             },
             IrExpr::Prim1(p, a) => IrExpr::Prim1(p, Box::new(go(*a, rw, bound))),
-            IrExpr::Prim2(p, a, b) => IrExpr::Prim2(
-                p,
-                Box::new(go(*a, rw, bound)),
-                Box::new(go(*b, rw, bound)),
-            ),
+            IrExpr::Prim2(p, a, b) => {
+                IrExpr::Prim2(p, Box::new(go(*a, rw, bound)), Box::new(go(*b, rw, bound)))
+            }
             IrExpr::Region { kind, inner, site } => IrExpr::Region {
                 kind,
                 inner: Box::new(go(*inner, rw, bound)),
@@ -320,9 +314,13 @@ mod tests {
     #[test]
     fn append_prime_matches_paper() {
         let (mut ir, analysis) = prep(APPEND_SRC);
-        let new =
-            reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
-                .expect("transform");
+        let new = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("append"),
+            &ReuseOptions::dcons(),
+        )
+        .expect("transform");
         assert_eq!(new.as_str(), "append_r");
         let f = ir.func(new).expect("variant exists");
         let text = f.body.to_string();
@@ -341,9 +339,13 @@ mod tests {
                                   else append (rev (cdr l)) (cons (car l) nil)
                    in rev [1, 2]";
         let (mut ir, analysis) = prep(src);
-        let append_r =
-            reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
-                .unwrap();
+        let append_r = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("append"),
+            &ReuseOptions::dcons(),
+        )
+        .unwrap();
         let rev_r = reuse_variant(
             &mut ir,
             &analysis,
@@ -372,9 +374,13 @@ mod tests {
                                  else append (ps (cdr x)) (cons (car x) nil)
                    in ps [2, 1]";
         let (mut ir, analysis) = prep(src);
-        let append_r =
-            reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
-                .unwrap();
+        let append_r = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("append"),
+            &ReuseOptions::dcons(),
+        )
+        .unwrap();
         let ps_r = reuse_variant(
             &mut ir,
             &analysis,
@@ -389,7 +395,10 @@ mod tests {
         let text = ir.func(ps_r).unwrap().body.to_string();
         assert!(text.contains("append_r"), "{text}");
         assert!(!text.contains("DCONS"), "PS' introduces no DCONS: {text}");
-        assert!(text.contains("ps_r (cdr x)"), "recursion redirected: {text}");
+        assert!(
+            text.contains("ps_r (cdr x)"),
+            "recursion redirected: {text}"
+        );
     }
 
     #[test]
@@ -439,11 +448,21 @@ mod tests {
     #[test]
     fn idempotent_generation() {
         let (mut ir, analysis) = prep(APPEND_SRC);
-        let a = reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
-            .unwrap();
+        let a = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("append"),
+            &ReuseOptions::dcons(),
+        )
+        .unwrap();
         let n = ir.funcs.len();
-        let b = reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())
-            .unwrap();
+        let b = reuse_variant(
+            &mut ir,
+            &analysis,
+            Symbol::intern("append"),
+            &ReuseOptions::dcons(),
+        )
+        .unwrap();
         assert_eq!(a, b);
         assert_eq!(ir.funcs.len(), n, "no duplicate variant");
     }

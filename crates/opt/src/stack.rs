@@ -33,10 +33,7 @@ use nml_types::TypeInfo;
 ///
 /// [`EscapeError::FixpointDiverged`] if an engine run exceeds its pass
 /// budget.
-pub fn plan_stack_allocation(
-    program: &Program,
-    info: &TypeInfo,
-) -> Result<LowerPlan, EscapeError> {
+pub fn plan_stack_allocation(program: &Program, info: &TypeInfo) -> Result<LowerPlan, EscapeError> {
     let mut plan = LowerPlan::none();
     let top_names: std::collections::BTreeSet<nml_syntax::Symbol> =
         program.bindings.iter().map(|b| b.name).collect();
@@ -51,7 +48,9 @@ pub fn plan_stack_allocation(
 
     for call in candidates {
         let (head, args) = call.uncurry_app();
-        let ExprKind::Var(f) = head.kind else { continue };
+        let ExprKind::Var(f) = head.kind else {
+            continue;
+        };
         if !top_names.contains(&f) {
             continue;
         }
@@ -168,12 +167,7 @@ fn rebuild_call(head: IrExpr, args: Vec<IrExpr>) -> IrExpr {
         .fold(head, |f, a| IrExpr::App(Box::new(f), Box::new(a)))
 }
 
-fn annotate_expr(
-    e: IrExpr,
-    analysis: &Analysis,
-    next_site: &mut u32,
-    count: &mut usize,
-) -> IrExpr {
+fn annotate_expr(e: IrExpr, analysis: &Analysis, next_site: &mut u32, count: &mut usize) -> IrExpr {
     // First recurse structurally, then try to match a call at this node.
     let e = map_children(e, &mut |c| annotate_expr(c, analysis, next_site, count));
     try_annotate_call(e, analysis, next_site, count)
@@ -261,9 +255,7 @@ pub(crate) fn map_children(e: IrExpr, f: &mut impl FnMut(IrExpr) -> IrExpr) -> I
             body: Box::new(f(*body)),
             site,
         },
-        IrExpr::If(c, t, el) => {
-            IrExpr::If(Box::new(f(*c)), Box::new(f(*t)), Box::new(f(*el)))
-        }
+        IrExpr::If(c, t, el) => IrExpr::If(Box::new(f(*c)), Box::new(f(*t)), Box::new(f(*el))),
         IrExpr::Letrec(bs, body) => IrExpr::Letrec(
             bs.into_iter().map(|(n, e)| (n, f(e))).collect(),
             Box::new(f(*body)),
@@ -394,7 +386,10 @@ mod tests {
         let ir = lower_program_with(&mono.program, &mono.info, &plan);
         let text = ir.body.to_string();
         assert!(text.starts_with("(region[stack]"), "{text}");
-        assert!(text.contains("(cons[stack] 1"), "inner spine stacked: {text}");
+        assert!(
+            text.contains("(cons[stack] 1"),
+            "inner spine stacked: {text}"
+        );
     }
 
     #[test]

@@ -199,7 +199,11 @@ impl fmt::Display for FaultPlan {
             )?;
         }
         if !self.forced_gc.is_off() {
-            write!(f, " forced-gc={}/{}", self.forced_gc.num, self.forced_gc.den)?;
+            write!(
+                f,
+                " forced-gc={}/{}",
+                self.forced_gc.num, self.forced_gc.den
+            )?;
         }
         if !self.forced_gc_at.is_empty() {
             write!(f, " forced-gc-at={:?}", self.forced_gc_at)?;

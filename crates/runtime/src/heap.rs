@@ -144,7 +144,9 @@ impl<'p> Heap<'p> {
         if self.live as usize >= self.threshold && self.free.is_empty() {
             return true;
         }
-        self.fault.heap_capacity().is_some_and(|cap| self.live >= cap)
+        self.fault
+            .heap_capacity()
+            .is_some_and(|cap| self.live >= cap)
     }
 
     /// Consumes a fault-forced GC request, if one is pending.
@@ -471,10 +473,7 @@ mod tests {
         h.pop_region(r).unwrap();
         assert_eq!(h.stats.stack_freed, 1);
         assert_eq!(h.live(), 0);
-        assert!(matches!(
-            h.car(c),
-            Err(RuntimeError::UseAfterFree { .. })
-        ));
+        assert!(matches!(h.car(c), Err(RuntimeError::UseAfterFree { .. })));
     }
 
     #[test]

@@ -46,9 +46,14 @@ impl Default for InterpConfig {
 /// Continuation frames.
 enum Frame<'p> {
     /// Have the callee expression's value next; then evaluate `arg`.
-    App1 { arg: &'p IrExpr, env: Env<'p> },
+    App1 {
+        arg: &'p IrExpr,
+        env: Env<'p>,
+    },
     /// Have the argument's value next; then apply `fun`.
-    App2 { fun: Value<'p> },
+    App2 {
+        fun: Value<'p>,
+    },
     If {
         then_e: &'p IrExpr,
         else_e: &'p IrExpr,
@@ -76,13 +81,18 @@ enum Frame<'p> {
         cell: CellRef,
         site: SiteId,
     },
-    Prim1 { prim: Prim },
+    Prim1 {
+        prim: Prim,
+    },
     Prim2a {
         prim: Prim,
         rhs: &'p IrExpr,
         env: Env<'p>,
     },
-    Prim2b { prim: Prim, lhs: Value<'p> },
+    Prim2b {
+        prim: Prim,
+        lhs: Value<'p>,
+    },
     /// Sequential evaluation of a `letrec`'s non-lambda bindings.
     Letrec {
         bindings: Vec<(Symbol, &'p IrExpr)>,
@@ -90,7 +100,9 @@ enum Frame<'p> {
         body: &'p IrExpr,
         env: Env<'p>,
     },
-    PopRegion { id: RegionId },
+    PopRegion {
+        id: RegionId,
+    },
 }
 
 enum Ctrl<'p> {
@@ -601,7 +613,12 @@ impl<'p> Interp<'p> {
             Prim::Le => Value::Bool(x <= y),
             Prim::Gt => Value::Bool(x > y),
             Prim::Ge => Value::Bool(x >= y),
-            Prim::Cons | Prim::Car | Prim::Cdr | Prim::Null | Prim::MkPair | Prim::Fst
+            Prim::Cons
+            | Prim::Car
+            | Prim::Cdr
+            | Prim::Null
+            | Prim::MkPair
+            | Prim::Fst
             | Prim::Snd => unreachable!("handled above"),
         })
     }
@@ -829,7 +846,10 @@ mod tests {
 
     #[test]
     fn inner_letrec_value_bindings() {
-        assert_eq!(run_int("letrec f x = letrec a = x + 1; b = a * 2 in b in f 3"), 8);
+        assert_eq!(
+            run_int("letrec f x = letrec a = x + 1; b = a * 2 in b in f 3"),
+            8
+        );
     }
 
     #[test]
@@ -868,7 +888,10 @@ mod tests {
         let info = infer_program(&p).unwrap();
         let ir = lower_program(&p, &info);
         let mut i = Interp::new(&ir).unwrap();
-        assert!(matches!(i.run().unwrap_err(), RuntimeError::EmptyList { .. }));
+        assert!(matches!(
+            i.run().unwrap_err(),
+            RuntimeError::EmptyList { .. }
+        ));
     }
 
     #[test]
@@ -915,7 +938,10 @@ mod tests {
         let v = i.run().unwrap();
         assert!(matches!(v, Value::Int(1000)));
         assert!(i.heap.stats.gc_runs > 0, "GC must have run");
-        assert!(i.heap.stats.gc_swept > 0, "garbage must have been reclaimed");
+        assert!(
+            i.heap.stats.gc_swept > 0,
+            "garbage must have been reclaimed"
+        );
         assert!(
             i.heap.footprint() < 1100,
             "footprint bounded by reuse, got {}",
@@ -930,7 +956,9 @@ mod tests {
         let info = infer_program(&p).unwrap();
         let ir = lower_program(&p, &info);
         let mut i = Interp::new(&ir).unwrap();
-        let r = i.call(Symbol::intern("double"), vec![Value::Int(21)]).unwrap();
+        let r = i
+            .call(Symbol::intern("double"), vec![Value::Int(21)])
+            .unwrap();
         assert!(matches!(r, Value::Int(42)));
     }
 
@@ -971,9 +999,7 @@ mod tests {
         assert_eq!(run_int("fst (41 + 1, 0)"), 42);
         assert_eq!(run_int("snd (0, 7) * 6"), 42);
         // Tuples of lists round-trip through projections.
-        let (v, stats) = run_src(
-            "letrec swap p = (snd p, fst p) in fst (swap ([9], [1, 2]))",
-        );
+        let (v, stats) = run_src("letrec swap p = (snd p, fst p) in fst (swap ([9], [1, 2]))");
         assert_eq!(v, vec![1, 2]);
         // Tuple cells are counted as allocations.
         assert!(stats.heap_allocs >= 2);
@@ -1024,8 +1050,7 @@ mod letrec_edge_tests {
     #[test]
     fn forward_reference_between_value_bindings_errors() {
         // y is evaluated before z exists (strict, sequential).
-        let err =
-            try_run("letrec f n = letrec y = z + 1; z = 2 in y in f 0").unwrap_err();
+        let err = try_run("letrec f n = letrec y = z + 1; z = 2 in y in f 0").unwrap_err();
         assert!(matches!(err, RuntimeError::Unbound { .. }), "{err:?}");
     }
 
@@ -1039,10 +1064,7 @@ mod letrec_edge_tests {
     fn value_bindings_may_call_lambda_siblings() {
         // Lambda siblings are in scope (via the recursive group) even for
         // value bindings that precede them textually.
-        let out = try_run(
-            "letrec f n = letrec v = g 20; g x = x * 2 in v + g 1 in f 0",
-        )
-        .unwrap();
+        let out = try_run("letrec f n = letrec v = g 20; g x = x * 2 in v + g 1 in f 0").unwrap();
         assert_eq!(out, "42");
     }
 }

@@ -183,10 +183,7 @@ mod tests {
     use nml_syntax::parse_program;
     use nml_types::infer_program;
 
-    fn with_interp<R>(
-        src: &str,
-        f: impl FnOnce(&mut Interp<'_>) -> R,
-    ) -> R {
+    fn with_interp<R>(src: &str, f: impl FnOnce(&mut Interp<'_>) -> R) -> R {
         let p = parse_program(src).expect("parse");
         let info = infer_program(&p).expect("infer");
         let ir = lower_program(&p, &info);
@@ -261,7 +258,9 @@ mod tests {
     #[test]
     fn tagging_handles_cycles() {
         with_interp("0", |i| {
-            let a = i.heap.alloc(Value::Int(1), Value::Nil, nml_opt::AllocMode::Heap);
+            let a = i
+                .heap
+                .alloc(Value::Int(1), Value::Nil, nml_opt::AllocMode::Heap);
             i.heap.set(a, Value::Int(1), Value::Pair(a)).unwrap();
             tag_spines(&mut i.heap, &Value::Pair(a), 0, 1).unwrap();
             let lvl = max_escaping_level(&i.heap, &Value::Pair(a), 0).unwrap();

@@ -164,9 +164,7 @@ impl<'p> Env<'p> {
                     cur = next;
                 }
                 EnvNode::Rec { lambdas, next } => {
-                    if let Some((_, param, body)) =
-                        lambdas.iter().find(|(n, _, _)| *n == name)
-                    {
+                    if let Some((_, param, body)) = lambdas.iter().find(|(n, _, _)| *n == name) {
                         return Some(Value::Closure(Rc::new(Closure {
                             param: *param,
                             body,
@@ -214,8 +212,14 @@ mod tests {
         let env = Env::empty()
             .bind(Symbol::intern("x"), Value::Int(1))
             .bind(Symbol::intern("y"), Value::Int(2));
-        assert!(matches!(env.lookup(Symbol::intern("x")), Some(Value::Int(1))));
-        assert!(matches!(env.lookup(Symbol::intern("y")), Some(Value::Int(2))));
+        assert!(matches!(
+            env.lookup(Symbol::intern("x")),
+            Some(Value::Int(1))
+        ));
+        assert!(matches!(
+            env.lookup(Symbol::intern("y")),
+            Some(Value::Int(2))
+        ));
         assert!(env.lookup(Symbol::intern("z")).is_none());
     }
 
@@ -224,7 +228,10 @@ mod tests {
         let env = Env::empty()
             .bind(Symbol::intern("x"), Value::Int(1))
             .bind(Symbol::intern("x"), Value::Int(2));
-        assert!(matches!(env.lookup(Symbol::intern("x")), Some(Value::Int(2))));
+        assert!(matches!(
+            env.lookup(Symbol::intern("x")),
+            Some(Value::Int(2))
+        ));
     }
 
     #[test]

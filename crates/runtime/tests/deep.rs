@@ -26,7 +26,9 @@ fn sum_of_two_hundred_thousand_elements() {
     let n: i64 = 200_000;
     let input: Vec<i64> = (1..=n).collect();
     let l = i.make_int_list(&input);
-    let out = i.call(Symbol::intern("sum"), vec![l]).expect("no stack overflow");
+    let out = i
+        .call(Symbol::intern("sum"), vec![l])
+        .expect("no stack overflow");
     assert!(matches!(out, Value::Int(x) if x == n * (n + 1) / 2));
 }
 

@@ -38,10 +38,7 @@ impl Body {
             // when `l` is non-empty and always recurses on `cdr l`, so
             // every generated program terminates. (An inner expression
             // like `subject (safecdr m) m` would diverge.)
-            Body::RecL(e) => format!(
-                "(if (null l) then {} else (subject (cdr l) m))",
-                e.render()
-            ),
+            Body::RecL(e) => format!("(if (null l) then {} else (subject (cdr l) m))", e.render()),
             Body::IfNull(c, t, f) => format!(
                 "(if (null {}) then {} else {})",
                 c.render(),
@@ -63,8 +60,11 @@ fn body_strategy() -> impl Strategy<Value = Body> {
                 .prop_map(|(a, b)| Body::Append(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Body::Rev(Box::new(e))),
             inner.clone().prop_map(|e| Body::RecL(Box::new(e))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| Body::IfNull(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Body::IfNull(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
         ]
     })
 }

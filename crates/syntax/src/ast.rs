@@ -389,7 +389,10 @@ mod tests {
             Box::new(TyExpr::Int),
         );
         assert_eq!(hof.to_string(), "(int -> int) -> int");
-        let fl = TyExpr::List(Box::new(TyExpr::Fun(Box::new(TyExpr::Int), Box::new(TyExpr::Bool))));
+        let fl = TyExpr::List(Box::new(TyExpr::Fun(
+            Box::new(TyExpr::Int),
+            Box::new(TyExpr::Bool),
+        )));
         assert_eq!(fl.to_string(), "(int -> bool) list");
     }
 }

@@ -35,7 +35,9 @@ impl fmt::Display for SyntaxErrorKind {
         match self {
             SyntaxErrorKind::UnterminatedComment => f.write_str("unterminated block comment"),
             SyntaxErrorKind::IntOutOfRange => f.write_str("integer literal out of range for i64"),
-            SyntaxErrorKind::EmptyTypeVariable => f.write_str("expected type variable name after `'`"),
+            SyntaxErrorKind::EmptyTypeVariable => {
+                f.write_str("expected type variable name after `'`")
+            }
             SyntaxErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
             SyntaxErrorKind::UnexpectedToken { found, expected } => {
                 write!(f, "expected {expected}, found `{found}`")
@@ -44,7 +46,9 @@ impl fmt::Display for SyntaxErrorKind {
             SyntaxErrorKind::DuplicateBinding(n) => {
                 write!(f, "name `{n}` is bound more than once in this letrec")
             }
-            SyntaxErrorKind::EmptyLambdaParams => f.write_str("lambda requires at least one parameter"),
+            SyntaxErrorKind::EmptyLambdaParams => {
+                f.write_str("lambda requires at least one parameter")
+            }
         }
     }
 }

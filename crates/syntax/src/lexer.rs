@@ -214,10 +214,7 @@ impl<'s> Lexer<'s> {
                 }
             }
             other => {
-                return Err(self.error(
-                    SyntaxErrorKind::UnexpectedChar(other as char),
-                    start,
-                ));
+                return Err(self.error(SyntaxErrorKind::UnexpectedChar(other as char), start));
             }
         };
         self.push(kind, start);
@@ -239,7 +236,11 @@ mod tests {
     use TokenKind::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -261,7 +262,10 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(kinds("0 42 1234567890"), vec![Int(0), Int(42), Int(1234567890), Eof]);
+        assert_eq!(
+            kinds("0 42 1234567890"),
+            vec![Int(0), Int(42), Int(1234567890), Eof]
+        );
     }
 
     #[test]
@@ -281,7 +285,10 @@ mod tests {
     #[test]
     fn minus_vs_arrow() {
         assert_eq!(kinds("1-2"), vec![Int(1), Minus, Int(2), Eof]);
-        assert_eq!(kinds("a->b"), vec![Ident("a".into()), Arrow, Ident("b".into()), Eof]);
+        assert_eq!(
+            kinds("a->b"),
+            vec![Ident("a".into()), Arrow, Ident("b".into()), Eof]
+        );
     }
 
     #[test]
@@ -302,7 +309,10 @@ mod tests {
 
     #[test]
     fn type_variables() {
-        assert_eq!(kinds("'a 'foo"), vec![TyVar("a".into()), TyVar("foo".into()), Eof]);
+        assert_eq!(
+            kinds("'a 'foo"),
+            vec![TyVar("a".into()), TyVar("foo".into()), Eof]
+        );
         assert!(lex("' ").is_err());
     }
 
@@ -321,6 +331,9 @@ mod tests {
 
     #[test]
     fn true_false_keywords() {
-        assert_eq!(kinds("true false trueish"), vec![True, False, Ident("trueish".into()), Eof]);
+        assert_eq!(
+            kinds("true false trueish"),
+            vec![True, False, Ident("trueish".into()), Eof]
+        );
     }
 }

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod callgraph;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -46,6 +47,7 @@ pub mod token;
 pub mod visit;
 
 pub use ast::{Binding, Const, Expr, ExprKind, NodeId, Prim, Program, TyExpr};
+pub use callgraph::{CallGraph, Scc, SccDag};
 pub use error::{SyntaxError, SyntaxErrorKind};
 pub use parser::{parse_expr, parse_program};
 pub use pretty::{pretty_expr, pretty_program};

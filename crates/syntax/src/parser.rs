@@ -422,10 +422,7 @@ impl Parser {
                     {
                         self.bump();
                         let end = self.expect(TokenKind::RParen, "`)`")?.span;
-                        return Ok(self.node(
-                            start.to(end),
-                            ExprKind::Const(Const::Prim(p)),
-                        ));
+                        return Ok(self.node(start.to(end), ExprKind::Const(Const::Prim(p))));
                     }
                 }
                 let inner = self.expr()?;
@@ -580,7 +577,10 @@ mod tests {
     fn tuple_literals_desugar_to_pair() {
         let e = parse("(1, 2)");
         let (head, args) = e.uncurry_app();
-        assert!(matches!(head.kind, ExprKind::Const(Const::Prim(Prim::MkPair))));
+        assert!(matches!(
+            head.kind,
+            ExprKind::Const(Const::Prim(Prim::MkPair))
+        ));
         assert_eq!(args.len(), 2);
         // Triples nest rightward.
         let t = parse("(1, 2, 3)");
@@ -591,8 +591,14 @@ mod tests {
             ExprKind::Const(Const::Prim(Prim::MkPair))
         ));
         // fst/snd are primitive constants.
-        assert!(matches!(parse("fst").kind, ExprKind::Const(Const::Prim(Prim::Fst))));
-        assert!(matches!(parse("snd").kind, ExprKind::Const(Const::Prim(Prim::Snd))));
+        assert!(matches!(
+            parse("fst").kind,
+            ExprKind::Const(Const::Prim(Prim::Fst))
+        ));
+        assert!(matches!(
+            parse("snd").kind,
+            ExprKind::Const(Const::Prim(Prim::Snd))
+        ));
     }
 
     #[test]
@@ -643,7 +649,10 @@ mod tests {
         // Application of a section.
         let e = parse("f (+) 1");
         let (_, args) = e.uncurry_app();
-        assert!(matches!(args[0].kind, ExprKind::Const(Const::Prim(Prim::Add))));
+        assert!(matches!(
+            args[0].kind,
+            ExprKind::Const(Const::Prim(Prim::Add))
+        ));
         // Not confused with parenthesized unary minus.
         let neg = parse("(-5)");
         let (head, _) = neg.uncurry_app();
@@ -716,7 +725,10 @@ mod tests {
         assert!(matches!(head.kind, ExprKind::Const(Const::Prim(Prim::Add))));
         assert!(matches!(args[0].kind, ExprKind::Const(Const::Int(1))));
         let (inner_head, _) = args[1].uncurry_app();
-        assert!(matches!(inner_head.kind, ExprKind::Const(Const::Prim(Prim::Mul))));
+        assert!(matches!(
+            inner_head.kind,
+            ExprKind::Const(Const::Prim(Prim::Mul))
+        ));
     }
 
     #[test]
@@ -731,7 +743,10 @@ mod tests {
         // 1 :: 2 :: nil == cons 1 (cons 2 nil)
         let e = parse("1 :: 2 :: nil");
         let (head, args) = e.uncurry_app();
-        assert!(matches!(head.kind, ExprKind::Const(Const::Prim(Prim::Cons))));
+        assert!(matches!(
+            head.kind,
+            ExprKind::Const(Const::Prim(Prim::Cons))
+        ));
         assert!(matches!(args[0].kind, ExprKind::Const(Const::Int(1))));
         let (h2, a2) = args[1].uncurry_app();
         assert!(matches!(h2.kind, ExprKind::Const(Const::Prim(Prim::Cons))));
@@ -742,7 +757,10 @@ mod tests {
     fn list_literal_desugars_to_cons() {
         let e = parse("[1, 2]");
         let (head, args) = e.uncurry_app();
-        assert!(matches!(head.kind, ExprKind::Const(Const::Prim(Prim::Cons))));
+        assert!(matches!(
+            head.kind,
+            ExprKind::Const(Const::Prim(Prim::Cons))
+        ));
         assert!(matches!(args[0].kind, ExprKind::Const(Const::Int(1))));
         let empty = parse("[]");
         assert!(matches!(empty.kind, ExprKind::Const(Const::Nil)));
@@ -750,7 +768,10 @@ mod tests {
 
     #[test]
     fn primitive_names_are_constants() {
-        assert!(matches!(parse("cons").kind, ExprKind::Const(Const::Prim(Prim::Cons))));
+        assert!(matches!(
+            parse("cons").kind,
+            ExprKind::Const(Const::Prim(Prim::Cons))
+        ));
         assert!(matches!(parse("nil").kind, ExprKind::Const(Const::Nil)));
         assert!(matches!(parse("map").kind, ExprKind::Var(_)));
     }

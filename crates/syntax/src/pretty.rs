@@ -244,7 +244,10 @@ mod tests {
         let printed = pretty_expr(&e1);
         let e2 = parse_expr(&printed)
             .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
-        assert!(alpha_eq(&e1, &e2), "roundtrip mismatch:\n  src: {src}\n  out: {printed}");
+        assert!(
+            alpha_eq(&e1, &e2),
+            "roundtrip mismatch:\n  src: {src}\n  out: {printed}"
+        );
     }
 
     #[test]

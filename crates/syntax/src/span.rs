@@ -127,7 +127,8 @@ impl SourceMap {
     pub fn render(&self, span: Span, msg: &str) -> String {
         let lc = self.line_col(span.start);
         let line = self.line_text(lc.line);
-        let caret_len = (span.len().max(1) as usize).min(line.len().saturating_sub(lc.col as usize - 1).max(1));
+        let caret_len =
+            (span.len().max(1) as usize).min(line.len().saturating_sub(lc.col as usize - 1).max(1));
         format!(
             "error: {msg}\n --> {lc}\n  |\n  | {line}\n  | {}{}",
             " ".repeat(lc.col as usize - 1),

@@ -98,7 +98,9 @@ pub fn count_occurrences(e: &Expr, x: Symbol) -> usize {
             if bs.iter().any(|b| b.name == x) {
                 0
             } else {
-                bs.iter().map(|b| count_occurrences(&b.expr, x)).sum::<usize>()
+                bs.iter()
+                    .map(|b| count_occurrences(&b.expr, x))
+                    .sum::<usize>()
                     + count_occurrences(body, x)
             }
         }

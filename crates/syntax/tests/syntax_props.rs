@@ -77,17 +77,14 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(5, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(f, a)| mk(ExprKind::App(
-                Box::new(f),
-                Box::new(a)
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, a)| mk(ExprKind::App(Box::new(f), Box::new(a)))),
+            (var_names(), inner.clone()).prop_map(|(x, b)| mk(ExprKind::Lambda(x, Box::new(b)))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| mk(ExprKind::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
             ))),
-            (var_names(), inner.clone()).prop_map(|(x, b)| mk(ExprKind::Lambda(
-                x,
-                Box::new(b)
-            ))),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| mk(
-                ExprKind::If(Box::new(c), Box::new(t), Box::new(f))
-            )),
             (var_names(), inner.clone(), inner.clone()).prop_map(|(n, b, body)| mk(
                 ExprKind::Letrec(
                     vec![Binding {

@@ -120,7 +120,11 @@ impl Env {
     }
 
     fn lookup(&self, name: Symbol) -> Option<&Scheme> {
-        self.scopes.iter().rev().find(|(n, _)| *n == name).map(|(_, s)| s)
+        self.scopes
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
     }
 
     /// Type variables free in the environment (after resolution), used to
@@ -238,8 +242,7 @@ impl Inferencer {
                 let fty = self.infer(f, env)?;
                 let aty = self.infer(a, env)?;
                 let res = self.cx.fresh();
-                self.cx
-                    .unify(&fty, &Ty::fun(aty, res.clone()), e.span)?;
+                self.cx.unify(&fty, &Ty::fun(aty, res.clone()), e.span)?;
                 res
             }
             ExprKind::Lambda(x, body) => {
@@ -278,10 +281,7 @@ impl Inferencer {
         match t {
             TyExpr::Int => Ty::Int,
             TyExpr::Bool => Ty::Bool,
-            TyExpr::Var(s) => vars
-                .entry(*s)
-                .or_insert_with(|| self.cx.fresh())
-                .clone(),
+            TyExpr::Var(s) => vars.entry(*s).or_insert_with(|| self.cx.fresh()).clone(),
             TyExpr::List(e) => Ty::list(self.surface_ty(e, vars)),
             TyExpr::Prod(a, b) => {
                 let a = self.surface_ty(a, vars);
@@ -709,10 +709,7 @@ mod tests {
 
     #[test]
     fn scc_order_dependencies_first() {
-        let p = parse_program(
-            "letrec f x = g x; g x = x; h x = f (g x) in h 1",
-        )
-        .unwrap();
+        let p = parse_program("letrec f x = g x; g x = x; h x = f (g x) in h 1").unwrap();
         let order = scc_order(&p.bindings);
         // g (idx 1) must come before f (idx 0); h (idx 2) last.
         let pos = |i: usize| order.iter().position(|c| c.contains(&i)).unwrap();
@@ -723,10 +720,8 @@ mod tests {
 
     #[test]
     fn scc_order_mutual_group() {
-        let p = parse_program(
-            "letrec even n = odd n; odd n = even n; main x = even x in main 1",
-        )
-        .unwrap();
+        let p = parse_program("letrec even n = odd n; odd n = even n; main x = even x in main 1")
+            .unwrap();
         let order = scc_order(&p.bindings);
         assert_eq!(order.len(), 2);
         assert_eq!(order[0], vec![0, 1]);
@@ -736,10 +731,7 @@ mod tests {
     #[test]
     fn tuple_primitives_infer() {
         let info = infer("letrec swap p = (snd p, fst p) in swap (1, [2])");
-        assert_eq!(
-            scheme(&info, "swap"),
-            "forall 'a 'b. 'a * 'b -> 'b * 'a"
-        );
+        assert_eq!(scheme(&info, "swap"), "forall 'a 'b. 'a * 'b -> 'b * 'a");
         assert_eq!(sig(&info, "swap"), "int * int -> int * int");
     }
 

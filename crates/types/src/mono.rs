@@ -103,11 +103,7 @@ impl<'a> Mono<'a> {
         for comp in scc_order(&program.bindings) {
             if comp.len() == 1 {
                 let b = &program.bindings[comp[0]];
-                if info
-                    .top_schemes
-                    .get(&b.name)
-                    .is_some_and(|s| s.is_poly())
-                {
+                if info.top_schemes.get(&b.name).is_some_and(|s| s.is_poly()) {
                     specializable.insert(b.name);
                 }
             }
@@ -220,10 +216,8 @@ impl<'a> Mono<'a> {
                 if !shadowed {
                     if let Some((name, args)) = self.info.instantiations.get(&e.id) {
                         if self.specializable.contains(name) {
-                            let tuple: Vec<Ty> = args
-                                .iter()
-                                .map(|t| t.apply(subst).default_vars())
-                                .collect();
+                            let tuple: Vec<Ty> =
+                                args.iter().map(|t| t.apply(subst).default_vars()).collect();
                             let new = self.demand(*name, tuple);
                             return Expr {
                                 id,
@@ -331,13 +325,13 @@ mod tests {
             "letrec len l = if (null l) then 0 else 1 + len (cdr l)
              in len [1] + len [[2]]",
         );
-        assert_eq!(m.program.bindings.len(), 2, "{}", pretty_program(&m.program));
-        let names: Vec<&str> = m
-            .program
-            .bindings
-            .iter()
-            .map(|b| b.name.as_str())
-            .collect();
+        assert_eq!(
+            m.program.bindings.len(),
+            2,
+            "{}",
+            pretty_program(&m.program)
+        );
+        let names: Vec<&str> = m.program.bindings.iter().map(|b| b.name.as_str()).collect();
         assert!(names.contains(&"len__i"), "names: {names:?}");
         assert!(names.contains(&"len__iL"), "names: {names:?}");
         // Signatures are the two instances.
@@ -369,12 +363,7 @@ mod tests {
                                 else append (car ll) (concat (cdr ll))
              in concat [[true]]",
         );
-        let names: Vec<&str> = m
-            .program
-            .bindings
-            .iter()
-            .map(|b| b.name.as_str())
-            .collect();
+        let names: Vec<&str> = m.program.bindings.iter().map(|b| b.name.as_str()).collect();
         assert!(names.contains(&"append__b"), "names: {names:?}");
         assert!(names.contains(&"concat__b"), "names: {names:?}");
         // append's car inside the bool instance is still car^1.
@@ -384,9 +373,7 @@ mod tests {
 
     #[test]
     fn specialized_program_has_no_reachable_defaulting() {
-        let m = mono(
-            "letrec id x = x in cons (id 1) (id [2])",
-        );
+        let m = mono("letrec id x = x in cons (id 1) (id [2])");
         // Two copies of id at int and int list.
         assert_eq!(m.program.bindings.len(), 2);
         for b in &m.program.bindings {
@@ -404,7 +391,10 @@ mod tests {
         // first at int list list (car^2) and at int list list list (car^3).
         let mut spines: Vec<u32> = m.info.car_spines.values().copied().collect();
         spines.sort_unstable();
-        assert!(spines.contains(&2) && spines.contains(&3), "spines: {spines:?}");
+        assert!(
+            spines.contains(&2) && spines.contains(&3),
+            "spines: {spines:?}"
+        );
     }
 
     #[test]
@@ -414,21 +404,14 @@ mod tests {
                     pong l n = if n = 0 then l else pingpong l (n - 1)
              in pingpong [1] 3",
         );
-        let names: Vec<&str> = m
-            .program
-            .bindings
-            .iter()
-            .map(|b| b.name.as_str())
-            .collect();
+        let names: Vec<&str> = m.program.bindings.iter().map(|b| b.name.as_str()).collect();
         assert!(names.contains(&"pingpong"));
         assert!(names.contains(&"pong"));
     }
 
     #[test]
     fn shadowing_not_rewritten() {
-        let m = mono(
-            "letrec id x = x in (lambda(id). id) 5 + id 1",
-        );
+        let m = mono("letrec id x = x in (lambda(id). id) 5 + id 1");
         let printed = pretty_program(&m.program);
         assert!(printed.contains("lambda(id). id"), "{printed}");
     }
@@ -440,12 +423,7 @@ mod tests {
                               else cons (f (car l)) (map f (cdr l))
              in map (lambda(x). cons x nil) [1, 2]",
         );
-        let names: Vec<&str> = m
-            .program
-            .bindings
-            .iter()
-            .map(|b| b.name.as_str())
-            .collect();
+        let names: Vec<&str> = m.program.bindings.iter().map(|b| b.name.as_str()).collect();
         assert_eq!(names, vec!["map__i_iL"]);
         let sig = m.info.top_sigs[&Symbol::intern("map__i_iL")].to_string();
         assert_eq!(sig, "(int -> int list) -> int list -> int list list");

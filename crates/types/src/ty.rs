@@ -8,7 +8,7 @@
 use nml_syntax::TyExpr;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An inference type variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,36 +36,33 @@ pub enum Ty {
     /// An inference or scheme-bound type variable.
     Var(TyVar),
     /// `τ list`
-    List(Rc<Ty>),
+    List(Arc<Ty>),
     /// `τ1 * τ2` — the paper's suggested tuple extension (§1).
-    Prod(Rc<Ty>, Rc<Ty>),
+    Prod(Arc<Ty>, Arc<Ty>),
     /// `τ1 -> τ2`
-    Fun(Rc<Ty>, Rc<Ty>),
+    Fun(Arc<Ty>, Arc<Ty>),
 }
 
 impl Ty {
     /// Builds `τ list`.
     pub fn list(elem: Ty) -> Ty {
-        Ty::List(Rc::new(elem))
+        Ty::List(Arc::new(elem))
     }
 
     /// Builds `τ1 -> τ2`.
     pub fn fun(dom: Ty, cod: Ty) -> Ty {
-        Ty::Fun(Rc::new(dom), Rc::new(cod))
+        Ty::Fun(Arc::new(dom), Arc::new(cod))
     }
 
     /// Builds `τ1 * τ2`.
     pub fn prod(a: Ty, b: Ty) -> Ty {
-        Ty::Prod(Rc::new(a), Rc::new(b))
+        Ty::Prod(Arc::new(a), Arc::new(b))
     }
 
     /// Builds the curried function type `t1 -> t2 -> ... -> ret`.
     pub fn fun_n(params: impl IntoIterator<Item = Ty>, ret: Ty) -> Ty {
         let params: Vec<Ty> = params.into_iter().collect();
-        params
-            .into_iter()
-            .rev()
-            .fold(ret, |acc, p| Ty::fun(p, acc))
+        params.into_iter().rev().fold(ret, |acc, p| Ty::fun(p, acc))
     }
 
     /// The number of spines of this type (Definition 1): `0` for non-list
@@ -229,7 +226,10 @@ pub struct Scheme {
 impl Scheme {
     /// A scheme with no quantified variables.
     pub fn mono(ty: Ty) -> Scheme {
-        Scheme { vars: Vec::new(), ty }
+        Scheme {
+            vars: Vec::new(),
+            ty,
+        }
     }
 
     /// Whether the scheme quantifies at least one variable.
@@ -250,7 +250,12 @@ impl Scheme {
             self.vars.len(),
             args.len()
         );
-        let map: HashMap<TyVar, Ty> = self.vars.iter().copied().zip(args.iter().cloned()).collect();
+        let map: HashMap<TyVar, Ty> = self
+            .vars
+            .iter()
+            .copied()
+            .zip(args.iter().cloned())
+            .collect();
         self.ty.apply(&map)
     }
 }
@@ -292,7 +297,10 @@ mod tests {
         // int list: 0
         assert_eq!(Ty::list(Ty::Int).worst_case_arity(), 0);
         // int -> (int -> int): 2
-        assert_eq!(Ty::fun(Ty::Int, Ty::fun(Ty::Int, Ty::Int)).worst_case_arity(), 2);
+        assert_eq!(
+            Ty::fun(Ty::Int, Ty::fun(Ty::Int, Ty::Int)).worst_case_arity(),
+            2
+        );
     }
 
     #[test]
@@ -339,7 +347,10 @@ mod tests {
 
     #[test]
     fn vars_in_order_of_occurrence() {
-        let t = Ty::fun(Ty::Var(TyVar(3)), Ty::fun(Ty::Var(TyVar(1)), Ty::Var(TyVar(3))));
+        let t = Ty::fun(
+            Ty::Var(TyVar(3)),
+            Ty::fun(Ty::Var(TyVar(1)), Ty::Var(TyVar(3))),
+        );
         assert_eq!(t.vars(), vec![TyVar(3), TyVar(1)]);
     }
 

@@ -16,7 +16,10 @@ fn error_render(src: &str) -> (TypeErrorKind, String) {
 fn mismatch_points_at_the_bad_branch() {
     let (kind, rendered) = error_render("if true then 1 else false");
     assert!(matches!(kind, TypeErrorKind::Mismatch { .. }));
-    assert!(rendered.contains("expected `int`, found `bool`"), "{rendered}");
+    assert!(
+        rendered.contains("expected `int`, found `bool`"),
+        "{rendered}"
+    );
     assert!(rendered.contains("^"), "{rendered}");
     assert!(rendered.contains("-->"), "{rendered}");
 }
@@ -25,7 +28,10 @@ fn mismatch_points_at_the_bad_branch() {
 fn unbound_identifier_names_it() {
     let (kind, rendered) = error_render("missing 1");
     assert!(matches!(kind, TypeErrorKind::Unbound { .. }));
-    assert!(rendered.contains("unbound identifier `missing`"), "{rendered}");
+    assert!(
+        rendered.contains("unbound identifier `missing`"),
+        "{rendered}"
+    );
 }
 
 #[test]
@@ -56,7 +62,10 @@ fn error_spans_work_across_lines() {
     let lc = map.line_col(err.span.start);
     assert_eq!(lc.line, 2, "error on the second line");
     let rendered = err.render(&map);
-    assert!(rendered.contains("x + true"), "snippet shows the line: {rendered}");
+    assert!(
+        rendered.contains("x + true"),
+        "snippet shows the line: {rendered}"
+    );
 }
 
 #[test]
@@ -72,5 +81,8 @@ fn ascription_conflicts_render() {
 #[test]
 fn product_mismatch_mentions_product_type() {
     let (_, rendered) = error_render("fst [1]");
-    assert!(rendered.contains("*"), "product type in message: {rendered}");
+    assert!(
+        rendered.contains("*"),
+        "product type in message: {rendered}"
+    );
 }

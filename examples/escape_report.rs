@@ -19,8 +19,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total += report.functions.len();
     }
     println!("{}", "=".repeat(64));
-    println!(
-        "corpus total: {exploitable} of {total} functions have exploitable escape properties"
-    );
+    println!("corpus total: {exploitable} of {total} functions have exploitable escape properties");
     Ok(())
 }

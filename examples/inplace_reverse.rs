@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nREV'    = {}", ir.func(rev_r).expect("generated").body);
     println!("APPEND' = {}", ir.func(append_r).expect("generated").body);
 
-    println!("\n{:>6} {:>16} {:>16} {:>12}", "n", "rev allocs", "rev' allocs", "rev' reuses");
+    println!(
+        "\n{:>6} {:>16} {:>16} {:>12}",
+        "n", "rev allocs", "rev' allocs", "rev' reuses"
+    );
     for n in [50u64, 100, 200, 400] {
         let input: Vec<i64> = (0..n as i64).collect();
         let mut row = Vec::new();
@@ -67,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 interp.heap.stats.dcons_reuses,
             ));
         }
-        println!(
-            "{n:>6} {:>16} {:>16} {:>12}",
-            row[0].0, row[1].0, row[1].1
-        );
+        println!("{n:>6} {:>16} {:>16} {:>12}", row[0].0, row[1].0, row[1].1);
     }
     println!("\nrev allocates O(n²) cells; rev' allocates none and reuses O(n²) in place.");
     Ok(())

@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Global tests (properties 1 and 2).
     println!("=== global escape tests ===");
     for b in &mono.program.bindings {
-        let summary =
-            nml_escape_analysis::escape::global_escape(&mut engine, b.name)?;
+        let summary = nml_escape_analysis::escape::global_escape(&mut engine, b.name)?;
         print!("{summary}");
     }
 

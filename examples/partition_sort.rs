@@ -53,7 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- A.3.2: in-place reuse -------------------------------------------
     println!("\n=== Appendix A.3.2: in-place reuse ===");
     let mut ir = lower_program(&analysis.program, &analysis.info);
-    let append_r = reuse_variant(&mut ir, &analysis, Symbol::intern("append"), &ReuseOptions::dcons())?;
+    let append_r = reuse_variant(
+        &mut ir,
+        &analysis,
+        Symbol::intern("append"),
+        &ReuseOptions::dcons(),
+    )?;
     let ps_r = reuse_variant(
         &mut ir,
         &analysis,
@@ -86,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let (sorted_baseline, sorted_reuse) = (&outputs[0], &outputs[1]);
-    assert_eq!(sorted_baseline, sorted_reuse, "optimization preserves results");
+    assert_eq!(
+        sorted_baseline, sorted_reuse,
+        "optimization preserves results"
+    );
     let mut expect = input.clone();
     expect.sort_unstable();
     assert_eq!(*sorted_baseline, expect, "partition sort sorts");

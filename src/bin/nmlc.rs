@@ -15,10 +15,10 @@
 //! function; `--strict` turns those warnings into errors.
 
 use nml_escape_analysis::escape::{
-    analyze_source_governed, Analysis, AnalyzeError, Budget, EngineConfig, PolyMode,
+    Analysis, AnalyzeError, Budget, EngineConfig, PolyMode, ScheduleOptions,
 };
 use nml_escape_analysis::pipeline::{
-    compile_governed, compile_optimized_governed, compile_with_local_stack_alloc, run_with,
+    compile_optimized_scheduled, compile_scheduled, compile_with_local_stack_alloc, run_with,
     Compiled, PipelineError,
 };
 use nml_escape_analysis::runtime::{FaultPlan, FaultRate, InterpConfig};
@@ -83,6 +83,12 @@ the sound worst-case summary and a warning is printed):
   --deadline-ms=N      wall-clock deadline for the whole analysis
   --strict             treat any degradation as an error (non-zero exit)
 
+analysis scheduling flags (analyze/ir/run):
+  --jobs=N             solve independent call-graph SCCs on N worker
+                       threads (0 = one per available core; default serial)
+  --summary-cache=PATH reuse escape summaries across runs; only SCCs whose
+                       code or dependencies changed are re-analyzed
+
 fault-injection flags (run; deterministic, seeded):
   --fault-seed=N           RNG seed for the probabilistic faults (default 0)
   --heap-capacity=N        fail program allocations beyond N live cells
@@ -130,13 +136,58 @@ fn parse_rate_flag(rest: &[String], flag: &str) -> Result<Option<FaultRate>, Str
     };
     let bad = || format!("{flag}: `{v}` is not a rate (expected N/D with D > 0)");
     let (num, den) = match v.split_once('/') {
-        Some((n, d)) => (n.parse::<u32>().map_err(|_| bad())?, d.parse::<u32>().map_err(|_| bad())?),
+        Some((n, d)) => (
+            n.parse::<u32>().map_err(|_| bad())?,
+            d.parse::<u32>().map_err(|_| bad())?,
+        ),
         None => (v.parse::<u32>().map_err(|_| bad())?, 1),
     };
     if den == 0 {
         return Err(bad());
     }
     Ok(Some(FaultRate::new(num, den)))
+}
+
+/// Parses the scheduling flags: `--jobs=N` (0 = one worker per available
+/// core) and `--summary-cache=PATH`.
+fn schedule_from_flags(rest: &[String]) -> Result<ScheduleOptions, String> {
+    let mut opts = ScheduleOptions::default();
+    if let Some(n) = parse_num_flag::<usize>(rest, "--jobs")? {
+        opts.jobs = if n == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            n
+        };
+    }
+    if let Some(p) = flag_value(rest, "--summary-cache") {
+        opts.summary_cache = Some(std::path::PathBuf::from(p));
+    }
+    Ok(opts)
+}
+
+/// Prints the schedule/cache diagnostics: a warning for any cache I/O
+/// trouble, and — when scheduling flags were given — a one-line summary
+/// of the SCC schedule and cache effectiveness.
+fn report_schedule(analysis: &Analysis, rest: &[String]) {
+    let s = &analysis.schedule;
+    if let Some(err) = &s.cache_error {
+        eprintln!("warning: summary cache: {err}");
+    }
+    if flag_value(rest, "--jobs").is_some() || flag_value(rest, "--summary-cache").is_some() {
+        let mut line = format!(
+            "schedule: {} SCCs in {} waves, {} solved, jobs={}",
+            s.scc_count, s.wave_count, s.sccs_solved, s.jobs
+        );
+        if flag_value(rest, "--summary-cache").is_some() {
+            line.push_str(&format!(
+                ", cache {} hits / {} misses",
+                s.cache_hits, s.cache_misses
+            ));
+        }
+        eprintln!("{line}");
+    }
 }
 
 fn budget_from_flags(rest: &[String]) -> Result<Budget, String> {
@@ -189,8 +240,7 @@ fn report_degradations(analysis: &Analysis, strict: bool) -> Result<(), String> 
         return Ok(());
     }
     if strict {
-        let mut msg =
-            String::from("error: analysis degraded to worst-case summaries (--strict):");
+        let mut msg = String::from("error: analysis degraded to worst-case summaries (--strict):");
         for d in &analysis.degradations {
             msg.push_str(&format!("\n  {d}"));
         }
@@ -241,12 +291,19 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         PolyMode::SimplestInstance
     };
     let budget = budget_from_flags(rest)?;
-    let analysis = analyze_source_governed(&src, mode, EngineConfig::default(), budget)
-        .map_err(|e| render_pipeline_err(PipelineError::Analyze(e), &src))?;
+    let options = schedule_from_flags(rest)?;
+    let analysis = nml_escape_analysis::escape::analyze_source_scheduled(
+        &src,
+        mode,
+        EngineConfig::default(),
+        budget,
+        &options,
+    )
+    .map_err(|e| render_pipeline_err(PipelineError::Analyze(e), &src))?;
+    report_schedule(&analysis, rest);
     report_degradations(&analysis, has_flag(rest, "--strict"))?;
     if has_flag(rest, "--report") {
-        let report =
-            nml_escape_analysis::report::OptimizationReport::for_analysis(&analysis);
+        let report = nml_escape_analysis::report::OptimizationReport::for_analysis(&analysis);
         println!("{report}");
         return Ok(());
     }
@@ -263,9 +320,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         }
         let unshared = nml_escape_analysis::escape::unshared_from_summary(summary);
         if summary.result_ty.is_list() {
-            println!(
-                "    -> top {unshared} spine(s) of any call's result are unshared"
-            );
+            println!("    -> top {unshared} spine(s) of any call's result are unshared");
         }
     }
     println!(
@@ -279,8 +334,10 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
 /// the analysis budget through, and applies the degradation policy.
 fn compile_for(rest: &[String], src: &str) -> Result<Compiled, String> {
     let budget = budget_from_flags(rest)?;
+    let options = schedule_from_flags(rest)?;
+    let mode = PolyMode::SimplestInstance;
     let compiled = if has_flag(rest, "-O") || has_flag(rest, "--optimize") {
-        compile_optimized_governed(src, budget)
+        compile_optimized_scheduled(src, mode, budget, &options)
     } else if has_flag(rest, "--local-stack-alloc") {
         // The local planner re-analyzes per call site with its own engine;
         // it does not take a budget. Refuse the combination instead of
@@ -293,19 +350,20 @@ fn compile_for(rest: &[String], src: &str) -> Result<Compiled, String> {
         }
         compile_with_local_stack_alloc(src)
     } else if has_flag(rest, "--stack-alloc") {
-        compile_governed(src, budget).map(|mut c| {
+        compile_scheduled(src, mode, budget, &options).map(|mut c| {
             nml_escape_analysis::opt::annotate_stack(&mut c.ir, &c.analysis);
             c
         })
     } else if has_flag(rest, "--auto-reuse") {
-        compile_governed(src, budget).map(|mut c| {
+        compile_scheduled(src, mode, budget, &options).map(|mut c| {
             nml_escape_analysis::opt::auto_reuse(&mut c.ir, &c.analysis);
             c
         })
     } else {
-        compile_governed(src, budget)
+        compile_scheduled(src, mode, budget, &options)
     };
     let compiled = compiled.map_err(|e| render_pipeline_err(e, src))?;
+    report_schedule(&compiled.analysis, rest);
     report_degradations(&compiled.analysis, has_flag(rest, "--strict"))?;
     Ok(compiled)
 }
@@ -338,16 +396,12 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
 
 /// Runs with per-allocation-site attribution and prints the hottest
 /// sites.
-fn run_profiled(
-    compiled: &Compiled,
-    config: InterpConfig,
-    stats: bool,
-) -> Result<(), String> {
+fn run_profiled(compiled: &Compiled, config: InterpConfig, stats: bool) -> Result<(), String> {
     use nml_escape_analysis::runtime::Interp;
     let mut interp = Interp::with_config(&compiled.ir, config).map_err(|e| e.to_string())?;
     let v = interp.run().map_err(|e| e.to_string())?;
-    let rendered = nml_escape_analysis::pipeline::render_value(&interp, &v)
-        .map_err(|e| e.to_string())?;
+    let rendered =
+        nml_escape_analysis::pipeline::render_value(&interp, &v).map_err(|e| e.to_string())?;
     println!("{rendered}");
     println!("--- hottest allocation sites ---");
     for (site, n) in interp.heap.hot_sites().into_iter().take(8) {

@@ -253,7 +253,6 @@ in firsts (zip [1, 2] [3, 4])",
     functions: &["zip", "firsts"],
 };
 
-
 /// Association lists of tuples: lookup shares nothing, extend shares the
 /// whole table in its result.
 pub const ASSOC: Workload = Workload {

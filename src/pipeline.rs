@@ -6,11 +6,13 @@
 //! à la carte from the individual crates.
 
 use nml_escape::{
-    analyze_source, analyze_source_governed, Analysis, AnalyzeError, Budget, EngineConfig,
-    PolyMode,
+    analyze_program_scheduled, analyze_source, analyze_source_governed, Analysis, AnalyzeError,
+    Budget, EngineConfig, PolyMode, ScheduleOptions,
 };
 use nml_opt::{annotate_stack, lower_program, IrProgram};
 use nml_runtime::{Interp, InterpConfig, RuntimeError, RuntimeStats, Value};
+use nml_syntax::parse_program;
+use nml_types::{infer_and_monomorphize, infer_program};
 use std::fmt;
 
 /// Everything the front half of the pipeline produces.
@@ -81,6 +83,53 @@ pub fn compile_governed(src: &str, budget: Budget) -> Result<Compiled, PipelineE
     )?;
     let ir = lower_program(&analysis.program, &analysis.info);
     Ok(Compiled { analysis, ir })
+}
+
+/// [`compile_governed`] with explicit scheduling: worker threads per SCC
+/// wave (`--jobs`) and an optional persistent summary cache
+/// (`--summary-cache`). Serial with no cache is exactly
+/// [`compile_governed`].
+///
+/// # Errors
+///
+/// Syntax and type errors only — the analysis phase is total.
+pub fn compile_scheduled(
+    src: &str,
+    mode: PolyMode,
+    budget: Budget,
+    options: &ScheduleOptions,
+) -> Result<Compiled, PipelineError> {
+    let parsed = parse_program(src).map_err(AnalyzeError::from)?;
+    let (program, info) = match mode {
+        PolyMode::SimplestInstance => {
+            let info = infer_program(&parsed).map_err(AnalyzeError::from)?;
+            (parsed, info)
+        }
+        PolyMode::Monomorphize => {
+            let mono = infer_and_monomorphize(&parsed).map_err(AnalyzeError::from)?;
+            (mono.program, mono.info)
+        }
+    };
+    let analysis =
+        analyze_program_scheduled(program, info, EngineConfig::default(), budget, options)?;
+    let ir = lower_program(&analysis.program, &analysis.info);
+    Ok(Compiled { analysis, ir })
+}
+
+/// [`compile_scheduled`] followed by the full optimization pass manager.
+///
+/// # Errors
+///
+/// See [`compile_scheduled`].
+pub fn compile_optimized_scheduled(
+    src: &str,
+    mode: PolyMode,
+    budget: Budget,
+    options: &ScheduleOptions,
+) -> Result<Compiled, PipelineError> {
+    let mut c = compile_scheduled(src, mode, budget, options)?;
+    nml_opt::optimize(&mut c.ir, &c.analysis, &nml_opt::OptOptions::default());
+    Ok(c)
 }
 
 /// [`compile_governed`] followed by the full optimization pass manager.

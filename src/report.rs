@@ -31,6 +31,10 @@ pub struct FunctionReport {
     /// eligible-and-selected cons sites; `None` when reuse is not
     /// licensed.
     pub reuse: Option<(usize, usize)>,
+    /// Why this function's summary is not exact, when it is not: the
+    /// rendered [`nml_escape::DegradeReason`], including the originating
+    /// function for transitive degradations.
+    pub degraded: Option<String>,
 }
 
 /// The whole-program report.
@@ -79,6 +83,11 @@ impl OptimizationReport {
                 let chosen = select_sites(&func.body, &sites);
                 (!chosen.is_empty()).then_some((idx, chosen.len()))
             });
+            let degraded = analysis
+                .degradations
+                .iter()
+                .find(|d| d.function == *name)
+                .map(|d| d.reason.to_string());
             functions.push(FunctionReport {
                 name: *name,
                 signature: analysis
@@ -89,10 +98,10 @@ impl OptimizationReport {
                 params,
                 unshared_result_spines,
                 reuse,
+                degraded,
             });
         }
-        let plan = plan_stack_allocation(&analysis.program, &analysis.info)
-            .unwrap_or_default();
+        let plan = plan_stack_allocation(&analysis.program, &analysis.info).unwrap_or_default();
         OptimizationReport {
             functions,
             stack_call_sites: plan.stack_calls.len(),
@@ -116,10 +125,17 @@ impl OptimizationReport {
 
 impl fmt::Display for OptimizationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "escape-analysis optimization report (d = {})", self.max_spines)?;
+        writeln!(
+            f,
+            "escape-analysis optimization report (d = {})",
+            self.max_spines
+        )?;
         writeln!(f, "{}", "=".repeat(64))?;
         for func in &self.functions {
             writeln!(f, "{} : {}", func.name, func.signature)?;
+            if let Some(reason) = &func.degraded {
+                writeln!(f, "  degraded: {reason}")?;
+            }
             for (i, (verdict, spines, retained)) in func.params.iter().enumerate() {
                 write!(f, "  param {}: G = {verdict}", i + 1)?;
                 if *spines > 0 {
@@ -165,9 +181,15 @@ mod tests {
         assert_eq!(r.functions.len(), 3);
         assert_eq!(r.max_spines, 2);
         let text = r.to_string();
-        assert!(text.contains("append : int list -> int list -> int list"), "{text}");
+        assert!(
+            text.contains("append : int list -> int list -> int list"),
+            "{text}"
+        );
         assert!(text.contains("DCONS variant available"), "{text}");
-        assert!(text.contains("top 1 spine(s) of every result unshared"), "{text}");
+        assert!(
+            text.contains("top 1 spine(s) of every result unshared"),
+            "{text}"
+        );
         assert!(r.exploitable_functions() >= 2);
     }
 
@@ -179,6 +201,53 @@ mod tests {
             let text = r.to_string();
             assert!(text.contains("optimization report"), "{}", w.name);
         }
+    }
+
+    #[test]
+    fn transitive_degradation_names_its_origin() {
+        use nml_escape::{
+            analyze_source_scheduled, Budget, DegradeReason, EngineConfig, PolyMode,
+            ScheduleOptions,
+        };
+        // `len` depends on a six-function cycle. The apportioned node
+        // budget is enough for `len`'s whole solve but not for the
+        // cycle's slot fixpoint, so the cycle degrades to worst-case
+        // slots and `len` — analyzed against them — must report the
+        // provenance.
+        let src = "letrec
+          p1 l = if (null l) then nil else cons (car l) (p2 (cdr l));
+          p2 l = if (null l) then nil else cons (car l) (p3 (cdr l));
+          p3 l = if (null l) then nil else cons (car l) (p4 (cdr l));
+          p4 l = if (null l) then nil else cons (car l) (p5 (cdr l));
+          p5 l = if (null l) then nil else cons (car l) (p6 (cdr l));
+          p6 l = if (null l) then nil else cons (car l) (p1 (cdr l));
+          len l = if (null (p1 l)) then 0 else 1
+        in len [1, 2]";
+        let budget = Budget {
+            max_nodes: 40,
+            ..Budget::unlimited()
+        };
+        let analysis = analyze_source_scheduled(
+            src,
+            PolyMode::SimplestInstance,
+            EngineConfig::default(),
+            budget,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert!(analysis.is_degraded("p1"));
+        assert!(analysis.is_degraded("len"));
+        let transitive = analysis
+            .degradations
+            .iter()
+            .find(|d| d.function.as_str() == "len")
+            .expect("len has a degradation record");
+        assert!(
+            matches!(&transitive.reason, DegradeReason::Transitive { .. }),
+            "{transitive}"
+        );
+        let text = OptimizationReport::for_analysis(&analysis).to_string();
+        assert!(text.contains("transitively degraded via `p1`"), "{text}");
     }
 
     #[test]

@@ -58,8 +58,13 @@ fn a2_sharing_conclusions() {
 fn a3_2_transformed_definitions_match_paper() {
     let a = analyze_source(PARTITION_SORT.source).expect("analysis");
     let mut ir = lower_program(&a.program, &a.info);
-    let append_r =
-        reuse_variant(&mut ir, &a, Symbol::intern("append"), &ReuseOptions::dcons()).unwrap();
+    let append_r = reuse_variant(
+        &mut ir,
+        &a,
+        Symbol::intern("append"),
+        &ReuseOptions::dcons(),
+    )
+    .unwrap();
     // APPEND' x y = if (null x) then y
     //               else DCONS x (car x) (APPEND' (cdr x) y)
     let text = ir.func(append_r).unwrap().body.to_string();
@@ -99,5 +104,9 @@ fn a1_fixpoint_iteration_counts_are_small() {
             "{name} took {updates} cache updates — fixpoint not converging briskly"
         );
     }
-    assert!(a.stats.passes <= 64, "pass count exploded: {}", a.stats.passes);
+    assert!(
+        a.stats.passes <= 64,
+        "pass count exploded: {}",
+        a.stats.passes
+    );
 }

@@ -76,7 +76,10 @@ fn reuse_preserves_results_and_eliminates_spine_allocs() {
     // Baseline: the input (n cells) plus O(n²) append churn.
     assert!(base_stats.heap_allocs > (n as u64) * (n as u64) / 2);
     // Reuse: only the n input cells; every spine cons became a DCONS.
-    assert_eq!(opt_stats.heap_allocs, n as u64, "only the input is allocated");
+    assert_eq!(
+        opt_stats.heap_allocs, n as u64,
+        "only the input is allocated"
+    );
     assert!(opt_stats.dcons_reuses >= (n as u64) * (n as u64) / 2);
 }
 
@@ -149,7 +152,10 @@ in sum (create_list 100)";
     let mut base = Interp::with_config(&base_ir, config.clone()).expect("interp");
     let base_v = base.run().expect("run");
     assert!(matches!(base_v, Value::Int(5050)));
-    assert!(base.heap.stats.gc_runs > 0, "baseline must GC at this threshold");
+    assert!(
+        base.heap.stats.gc_runs > 0,
+        "baseline must GC at this threshold"
+    );
 
     let mut blk_ir = base_ir.clone();
     block_call(
@@ -200,7 +206,9 @@ fn unsound_annotation_is_caught_by_validation() {
         site: SiteId(9_001),
     };
     let mut interp = Interp::with_config(&ir, stress_config()).expect("interp");
-    let err = interp.run().expect_err("escaping region cell must be caught");
+    let err = interp
+        .run()
+        .expect_err("escaping region cell must be caught");
     assert!(matches!(
         err,
         nml_escape_analysis::runtime::RuntimeError::EscapedRegionCell { .. }
@@ -262,7 +270,10 @@ fn auto_reuse_is_sound_on_shared_arguments() {
     // licensed for reuse of a *shared-later* list... run and compare.
     let mut i = Interp::with_config(&ir, stress_config()).expect("interp");
     let v = i.run().expect("run");
-    assert!(matches!(v, Value::Int(n) if n == base_out), "auto_reuse changed the result ({auto:?})");
+    assert!(
+        matches!(v, Value::Int(n) if n == base_out),
+        "auto_reuse changed the result ({auto:?})"
+    );
 }
 
 #[test]

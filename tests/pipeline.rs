@@ -14,10 +14,9 @@ use nml_escape_analysis::types::{infer_and_monomorphize, infer_program};
 #[test]
 fn corpus_parses_and_types() {
     for w in corpus::ALL {
-        let p = parse_program(w.source)
-            .unwrap_or_else(|e| panic!("{} does not parse: {e}", w.name));
-        let info =
-            infer_program(&p).unwrap_or_else(|e| panic!("{} does not type: {e}", w.name));
+        let p =
+            parse_program(w.source).unwrap_or_else(|e| panic!("{} does not parse: {e}", w.name));
+        let info = infer_program(&p).unwrap_or_else(|e| panic!("{} does not type: {e}", w.name));
         for f in w.functions {
             assert!(
                 info.top_sigs
@@ -60,8 +59,8 @@ fn corpus_pretty_print_roundtrips() {
 #[test]
 fn corpus_analyzes_with_summaries_for_all_functions() {
     for w in corpus::ALL {
-        let a = analyze_source(w.source)
-            .unwrap_or_else(|e| panic!("{} does not analyze: {e}", w.name));
+        let a =
+            analyze_source(w.source).unwrap_or_else(|e| panic!("{} does not analyze: {e}", w.name));
         for f in w.functions {
             assert!(
                 a.summary(f).is_some(),
@@ -96,10 +95,13 @@ fn monomorphized_corpus_computes_identical_results() {
         let mono_ir = lower_program(&mono.program, &mono.info);
         let mut m = Interp::new(&mono_ir).expect("interp");
         let mono_v = m.run().unwrap_or_else(|e| panic!("{} (mono): {e}", w.name));
-        let mono_text =
-            nml_escape_analysis::pipeline::render_value(&m, &mono_v).expect("render");
+        let mono_text = nml_escape_analysis::pipeline::render_value(&m, &mono_v).expect("render");
 
-        assert_eq!(base_text, mono_text, "{}: monomorphization changed the result", w.name);
+        assert_eq!(
+            base_text, mono_text,
+            "{}: monomorphization changed the result",
+            w.name
+        );
     }
 }
 
@@ -211,7 +213,10 @@ fn shipped_programs_run_under_every_nmlc_mode() {
             );
         }
     }
-    assert!(count >= 5, "expected the shipped .nml programs, found {count}");
+    assert!(
+        count >= 5,
+        "expected the shipped .nml programs, found {count}"
+    );
 }
 
 #[test]

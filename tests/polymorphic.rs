@@ -18,7 +18,11 @@ fn instance(src: &str, specialized: &str) -> EscapeSummary {
     global_escape(&mut en, Symbol::intern(specialized)).unwrap_or_else(|e| {
         panic!(
             "no {specialized} in {:?}: {e}",
-            m.program.bindings.iter().map(|b| b.name).collect::<Vec<_>>()
+            m.program
+                .bindings
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
         )
     })
 }
@@ -89,14 +93,8 @@ fn map_instances_with_identity() {
     let defs = "map f l = if (null l) then nil
                           else cons (f (car l)) (map f (cdr l));
                 id x = x";
-    let flat = instance(
-        &format!("letrec {defs} in map id [1]"),
-        "map__i_i",
-    );
-    let nested = instance(
-        &format!("letrec {defs} in map id [[1]]"),
-        "map__iL_iL",
-    );
+    let flat = instance(&format!("letrec {defs} in map id [1]"), "map__i_i");
+    let nested = instance(&format!("letrec {defs} in map id [[1]]"), "map__iL_iL");
     assert!(
         invariance_holds(&flat, &nested),
         "flat:\n{flat}\nnested:\n{nested}"

@@ -26,7 +26,11 @@ fn gen_value<'p>(interp: &mut Interp<'p>, ty: &Ty, seed: u64) -> Option<Value<'p
             let len = (seed % 5) as usize + 1;
             let mut items = Vec::with_capacity(len);
             for i in 0..len {
-                items.push(gen_value(interp, elem, seed.wrapping_mul(31).wrapping_add(i as u64))?);
+                items.push(gen_value(
+                    interp,
+                    elem,
+                    seed.wrapping_mul(31).wrapping_add(i as u64),
+                )?);
             }
             Some(interp.make_list(items))
         }
@@ -142,11 +146,7 @@ impl ListExpr {
 }
 
 fn list_expr_strategy() -> impl Strategy<Value = ListExpr> {
-    let leaf = prop_oneof![
-        Just(ListExpr::A),
-        Just(ListExpr::B),
-        Just(ListExpr::Nil),
-    ];
+    let leaf = prop_oneof![Just(ListExpr::A), Just(ListExpr::B), Just(ListExpr::Nil),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| ListExpr::SafeCdr(Box::new(e))),
@@ -155,8 +155,11 @@ fn list_expr_strategy() -> impl Strategy<Value = ListExpr> {
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| ListExpr::Append(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| ListExpr::Rev(Box::new(e))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| ListExpr::IfNull(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| ListExpr::IfNull(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
         ]
     })
 }
