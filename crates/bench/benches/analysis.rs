@@ -188,11 +188,73 @@ fn bench_schedulers(_c: &mut Criterion) {
     }
 }
 
+/// B-6: runtime overhead of checked-optimization mode — the optimized
+/// program under a plain heap vs under the tombstoning sentinel heap.
+/// Medians land in `BENCH_checked.json` next to `BENCH_analysis.json`,
+/// together with the tombstone volume each workload generates, so the
+/// cost of `--checked` is diffable across commits.
+fn bench_checked_overhead(_c: &mut Criterion) {
+    use nml_escape_analysis::pipeline::{compile_optimized, run_with};
+    use nml_escape_analysis::runtime::{HeapConfig, InterpConfig};
+    let workloads: Vec<(&str, &str)> = vec![
+        ("partition_sort", corpus::PARTITION_SORT.source),
+        ("merge_sort", corpus::MERGE_SORT.source),
+        ("map_pair", corpus::MAP_PAIR.source),
+    ];
+    let checked_config = || InterpConfig {
+        heap: HeapConfig {
+            checked: true,
+            ..HeapConfig::default()
+        },
+        ..InterpConfig::default()
+    };
+    let mut json = String::from("{\n");
+    println!("group checked_overhead");
+    for (wi, (name, src)) in workloads.iter().enumerate() {
+        let compiled = compile_optimized(src).expect("front end");
+        let plain = median_of(|| {
+            black_box(run_with(&compiled.ir, InterpConfig::default()).expect("plain run"));
+        });
+        let checked = median_of(|| {
+            black_box(run_with(&compiled.ir, checked_config()).expect("checked run"));
+        });
+        let probe = run_with(&compiled.ir, checked_config()).expect("checked run");
+        let tombstoned = probe.stats.tombstoned;
+        let reuse_copies = probe.stats.reuse_copies;
+        println!(
+            "bench checked_overhead/{name}: plain {plain:?} checked {checked:?} \
+             (tombstoned={tombstoned} reuse-copies={reuse_copies})"
+        );
+        let _ = writeln!(json, "  \"{name}\": {{");
+        let _ = writeln!(json, "    \"optimized_ns\": {},", plain.as_nanos());
+        let _ = writeln!(
+            json,
+            "    \"optimized_checked_ns\": {},",
+            checked.as_nanos()
+        );
+        let _ = writeln!(json, "    \"tombstoned\": {tombstoned},");
+        let _ = writeln!(json, "    \"reuse_copies\": {reuse_copies}");
+        let _ = writeln!(
+            json,
+            "  }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checked.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("warning: cannot write {out}: {e}");
+    } else {
+        println!("wrote {out}");
+    }
+}
+
 criterion_group!(
     benches,
     bench_full_pipeline,
     bench_fixpoint_only,
     bench_front_end,
-    bench_schedulers
+    bench_schedulers,
+    bench_checked_overhead
 );
 criterion_main!(benches);

@@ -187,6 +187,7 @@ pub fn pressured_config(threshold: usize) -> InterpConfig {
         heap: HeapConfig {
             gc_threshold: threshold,
             gc_enabled: true,
+            checked: false,
         },
         ..Default::default()
     }

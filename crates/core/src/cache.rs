@@ -20,9 +20,24 @@
 //! budget-dependent accidents, not facts about the program, and caching
 //! one would freeze an avoidable imprecision across runs.
 //!
-//! The file format is a line-oriented UTF-8 text file; an unreadable or
-//! corrupt file degrades to an empty cache with the error reported in the
-//! schedule report, never a failed analysis.
+//! ## Hardened format (v2)
+//!
+//! The file is line-oriented UTF-8, and since v2 it does not trust the
+//! bytes it finds on disk:
+//!
+//! - the header carries a **format version** (`nml-summary-cache v2`);
+//!   any other version starts cold rather than misparse;
+//! - every entry's `end` record carries a **per-entry FNV checksum** over
+//!   the entry's canonical text, so a bit flip inside one entry drops
+//!   exactly that entry;
+//! - the final `file` record carries a **whole-file FNV checksum** over
+//!   everything above it, catching truncation and splices;
+//! - recovery **salvages**: corrupt or unverifiable entries are dropped
+//!   and counted, intact entries load normally, and the damage is
+//!   reported as a warning through the schedule report — never a failed
+//!   analysis, never a discarded-whole cache for one bad entry;
+//! - [`SummaryCache::save`] writes to a sibling temp file and renames it
+//!   into place, so a crash mid-save leaves the previous cache intact.
 
 use crate::be::Be;
 use crate::global::{EscapeSummary, ParamEscape};
@@ -129,13 +144,68 @@ pub struct SummaryCache {
     entries: BTreeMap<u64, CachedScc>,
 }
 
-const HEADER: &str = "nml-summary-cache v1";
+const HEADER: &str = "nml-summary-cache v2";
+
+/// What a salvaging parse recovered from an on-disk cache file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Salvage {
+    /// Entries that parsed and passed their checksums.
+    pub kept: usize,
+    /// Entries dropped as corrupt, truncated, or checksum-failing.
+    pub dropped: usize,
+    /// Whether the whole-file checksum trailer was present and matched.
+    pub file_ok: bool,
+}
+
+/// FNV-1a digest of a string (the cache's entry and file checksums).
+fn checksum(s: &str) -> u64 {
+    let mut h = ContentHash::new();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// The canonical text of one entry (everything its `end` checksum
+/// covers): the `scc` line plus its `fn` lines.
+fn entry_body(hash: u64, scc: &CachedScc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "scc {hash:016x}");
+    for f in &scc.fns {
+        let _ = write!(out, "fn {} {}", f.name, f.verdicts.len());
+        for (escapes, spines) in &f.verdicts {
+            let _ = write!(out, " {}:{}", u8::from(*escapes), spines);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_fn_line<'a>(mut parts: impl Iterator<Item = &'a str>) -> Result<CachedFn, String> {
+    let name = parts.next().ok_or("fn missing name")?.to_string();
+    let arity: usize = parts
+        .next()
+        .ok_or("fn missing arity")?
+        .parse()
+        .map_err(|e| format!("bad arity: {e}"))?;
+    let mut verdicts = Vec::with_capacity(arity.min(64));
+    for _ in 0..arity {
+        let v = parts.next().ok_or("fn missing verdict")?;
+        let (esc, spines) = v.split_once(':').ok_or("bad verdict")?;
+        let escapes = match esc {
+            "1" => true,
+            "0" => false,
+            _ => return Err("bad escape flag".to_string()),
+        };
+        let spines: u32 = spines.parse().map_err(|e| format!("bad spines: {e}"))?;
+        verdicts.push((escapes, spines));
+    }
+    Ok(CachedFn { name, verdicts })
+}
 
 impl SummaryCache {
     /// Loads the cache at `path`. A missing file is an empty cache; a
-    /// corrupt or unreadable one is an empty cache plus an error message
-    /// for diagnostics (the analysis itself must never fail on cache
-    /// trouble).
+    /// damaged one salvages every intact entry and reports the damage as
+    /// a warning string (the analysis itself must never fail on cache
+    /// trouble, and one flipped bit must never discard the whole cache).
     pub fn load(path: &Path) -> (SummaryCache, Option<String>) {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -150,21 +220,67 @@ impl SummaryCache {
             }
         };
         match Self::parse(&text) {
-            Ok(cache) => (cache, None),
+            Ok((cache, s)) if s.dropped == 0 && s.file_ok => (cache, None),
+            Ok((cache, s)) => {
+                let mut msg = format!(
+                    "cache {}: salvaged {} of {} entries",
+                    path.display(),
+                    s.kept,
+                    s.kept + s.dropped
+                );
+                if !s.file_ok {
+                    msg.push_str(" (file checksum mismatch or truncation)");
+                }
+                (cache, Some(msg))
+            }
             Err(msg) => (
                 SummaryCache::default(),
-                Some(format!("ignoring corrupt cache {}: {msg}", path.display())),
+                Some(format!("ignoring cache {}: {msg}", path.display())),
             ),
         }
     }
 
-    fn parse(text: &str) -> Result<SummaryCache, String> {
-        let mut lines = text.lines();
-        if lines.next() != Some(HEADER) {
-            return Err("bad header".to_string());
+    /// Salvaging parse: entries that fail to parse or fail their `end`
+    /// checksum are dropped individually; intact entries load.
+    ///
+    /// # Errors
+    ///
+    /// Only a missing or mismatched header (wrong format version) — then
+    /// nothing in the file can be trusted to follow this format.
+    fn parse(text: &str) -> Result<(SummaryCache, Salvage), String> {
+        // Split off and verify the whole-file checksum trailer. The
+        // trailer covers every byte above it, header included.
+        let (body, file_ok) = match text.rfind("\nfile ") {
+            Some(pos) => {
+                let prefix = &text[..pos + 1];
+                let ok = text[pos + 1..]
+                    .trim_end()
+                    .strip_prefix("file ")
+                    .and_then(|hex| u64::from_str_radix(hex.trim(), 16).ok())
+                    .is_some_and(|want| want == checksum(prefix));
+                (prefix, ok)
+            }
+            None => (text, false),
+        };
+        let mut lines = body.lines();
+        match lines.next() {
+            Some(h) if h == HEADER => {}
+            Some(h) if h.starts_with("nml-summary-cache ") => {
+                return Err(format!(
+                    "format version mismatch (`{h}`, expected `{HEADER}`)"
+                ));
+            }
+            _ => return Err("bad header".to_string()),
         }
         let mut entries = BTreeMap::new();
+        let mut salvage = Salvage {
+            file_ok,
+            ..Salvage::default()
+        };
+        // The entry being accumulated; `None` + `skipping` means we are
+        // discarding lines until the next `scc` record.
         let mut current: Option<(u64, CachedScc)> = None;
+        let mut skipping = false;
         for line in lines {
             let line = line.trim();
             if line.is_empty() {
@@ -173,48 +289,65 @@ impl SummaryCache {
             let mut parts = line.split_whitespace();
             match parts.next() {
                 Some("scc") => {
-                    if current.is_some() {
-                        return Err("scc without end".to_string());
+                    if current.take().is_some() {
+                        // Previous entry never reached its `end`.
+                        salvage.dropped += 1;
                     }
-                    let hex = parts.next().ok_or("scc missing hash")?;
-                    let hash =
-                        u64::from_str_radix(hex, 16).map_err(|e| format!("bad hash: {e}"))?;
-                    current = Some((hash, CachedScc::default()));
-                }
-                Some("fn") => {
-                    let (_, scc) = current.as_mut().ok_or("fn outside scc")?;
-                    let name = parts.next().ok_or("fn missing name")?.to_string();
-                    let arity: usize = parts
+                    skipping = false;
+                    match parts
                         .next()
-                        .ok_or("fn missing arity")?
-                        .parse()
-                        .map_err(|e| format!("bad arity: {e}"))?;
-                    let mut verdicts = Vec::with_capacity(arity);
-                    for _ in 0..arity {
-                        let v = parts.next().ok_or("fn missing verdict")?;
-                        let (esc, spines) = v.split_once(':').ok_or("bad verdict")?;
-                        let escapes = match esc {
-                            "1" => true,
-                            "0" => false,
-                            _ => return Err("bad escape flag".to_string()),
-                        };
-                        let spines: u32 = spines.parse().map_err(|e| format!("bad spines: {e}"))?;
-                        verdicts.push((escapes, spines));
+                        .ok_or(())
+                        .and_then(|hex| u64::from_str_radix(hex, 16).map_err(|_| ()))
+                    {
+                        Ok(hash) => current = Some((hash, CachedScc::default())),
+                        Err(()) => {
+                            salvage.dropped += 1;
+                            skipping = true;
+                        }
                     }
-                    scc.fns.push(CachedFn { name, verdicts });
                 }
+                Some("fn") if skipping => {}
+                Some("fn") => match (current.as_mut(), parse_fn_line(parts)) {
+                    (Some((_, scc)), Ok(f)) => scc.fns.push(f),
+                    (got, _) => {
+                        if got.is_some() {
+                            current = None;
+                            salvage.dropped += 1;
+                        }
+                        skipping = true;
+                    }
+                },
                 Some("end") => {
-                    let (hash, scc) = current.take().ok_or("end outside scc")?;
-                    entries.insert(hash, scc);
+                    if skipping {
+                        skipping = false;
+                        continue;
+                    }
+                    match current.take() {
+                        Some((hash, scc)) => {
+                            let want = parts.next().and_then(|h| u64::from_str_radix(h, 16).ok());
+                            if want == Some(checksum(&entry_body(hash, &scc))) {
+                                entries.insert(hash, scc);
+                                salvage.kept += 1;
+                            } else {
+                                salvage.dropped += 1;
+                            }
+                        }
+                        None => salvage.dropped += 1,
+                    }
                 }
-                Some(other) => return Err(format!("unknown record `{other}`")),
+                Some(_) => {
+                    if current.take().is_some() {
+                        salvage.dropped += 1;
+                    }
+                    skipping = true;
+                }
                 None => {}
             }
         }
         if current.is_some() {
-            return Err("truncated file".to_string());
+            salvage.dropped += 1;
         }
-        Ok(SummaryCache { entries })
+        Ok((SummaryCache { entries }, salvage))
     }
 
     /// Looks up the entry for one SCC hash.
@@ -237,26 +370,28 @@ impl SummaryCache {
         self.entries.is_empty()
     }
 
-    /// Serializes the cache back to its text format.
+    /// Serializes the cache to its checksummed text format: each entry's
+    /// `end` record carries the entry checksum, and a trailing `file`
+    /// record covers the whole text above it.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(HEADER);
         out.push('\n');
         for (hash, scc) in &self.entries {
-            let _ = writeln!(out, "scc {hash:016x}");
-            for f in &scc.fns {
-                let _ = write!(out, "fn {} {}", f.name, f.verdicts.len());
-                for (escapes, spines) in &f.verdicts {
-                    let _ = write!(out, " {}:{}", u8::from(*escapes), spines);
-                }
-                out.push('\n');
-            }
-            out.push_str("end\n");
+            let body = entry_body(*hash, scc);
+            let sum = checksum(&body);
+            out.push_str(&body);
+            let _ = writeln!(out, "end {sum:016x}");
         }
+        let file_sum = checksum(&out);
+        let _ = writeln!(out, "file {file_sum:016x}");
         out
     }
 
     /// Writes the cache to `path`, creating parent directories as needed.
+    /// The write is atomic: the text goes to a sibling temp file first and
+    /// is renamed into place, so a crash mid-save leaves the previous
+    /// cache intact and concurrent readers never see a torn file.
     ///
     /// # Errors
     ///
@@ -269,8 +404,13 @@ impl SummaryCache {
                     .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
             }
         }
-        std::fs::write(path, self.render())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.render())
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("cannot rename {} into place: {e}", tmp.display())
+        })
     }
 }
 
@@ -290,8 +430,7 @@ pub fn cached_fn_of(summary: &EscapeSummary) -> CachedFn {
 mod tests {
     use super::*;
 
-    #[test]
-    fn round_trips_through_text() {
+    fn sample_cache() -> SummaryCache {
         let mut cache = SummaryCache::default();
         cache.insert(
             0xdead_beef,
@@ -303,20 +442,97 @@ mod tests {
             },
         );
         cache.insert(0x42, CachedScc { fns: vec![] });
-        let text = cache.render();
-        let parsed = SummaryCache::parse(&text).expect("parse");
-        assert_eq!(parsed.get(0xdead_beef), cache.get(0xdead_beef));
-        assert_eq!(parsed.get(0x42), cache.get(0x42));
-        assert_eq!(parsed.len(), 2);
+        cache
     }
 
     #[test]
-    fn corrupt_text_is_rejected_not_panicking() {
+    fn round_trips_through_text() {
+        let cache = sample_cache();
+        let text = cache.render();
+        let (parsed, s) = SummaryCache::parse(&text).expect("parse");
+        assert_eq!(parsed.get(0xdead_beef), cache.get(0xdead_beef));
+        assert_eq!(parsed.get(0x42), cache.get(0x42));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            s,
+            Salvage {
+                kept: 2,
+                dropped: 0,
+                file_ok: true
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_format_version_starts_cold() {
         assert!(SummaryCache::parse("garbage").is_err());
-        assert!(SummaryCache::parse(HEADER).unwrap().is_empty());
-        assert!(SummaryCache::parse(&format!("{HEADER}\nscc zz\nend")).is_err());
-        assert!(SummaryCache::parse(&format!("{HEADER}\nscc 1f")).is_err());
-        assert!(SummaryCache::parse(&format!("{HEADER}\nfn f 0")).is_err());
+        let v1 = "nml-summary-cache v1\nscc 002a\nend\n";
+        let err = SummaryCache::parse(v1).unwrap_err();
+        assert!(err.contains("version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_entries_are_dropped_individually() {
+        // No trailer at all: nothing verifiable, but nothing to drop.
+        let (cache, s) = SummaryCache::parse(HEADER).unwrap();
+        assert!(cache.is_empty());
+        assert!(!s.file_ok);
+
+        // A bad scc hash poisons only that entry.
+        let mut good = SummaryCache::default();
+        good.insert(
+            0x1f,
+            CachedScc {
+                fns: vec![CachedFn {
+                    name: "f".to_string(),
+                    verdicts: vec![(false, 2)],
+                }],
+            },
+        );
+        let good_text = good.render();
+        let good_entry: String = good_text
+            .lines()
+            .filter(|l| !l.starts_with("file ") && *l != HEADER)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let text = format!("{HEADER}\nscc zz\nfn g 1 1:0\nend\n{good_entry}");
+        let (cache, s) = SummaryCache::parse(&text).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(0x1f).is_some());
+        assert_eq!(s.kept, 1);
+        assert_eq!(s.dropped, 1);
+
+        // An entry with no checksum on its `end` fails verification.
+        let text = format!("{HEADER}\nscc 000000000000001f\nfn f 1 0:2\nend\n");
+        let (cache, s) = SummaryCache::parse(&text).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(s.dropped, 1);
+
+        // Truncation mid-entry drops the tail entry only.
+        let truncated: String = good_text
+            .lines()
+            .take_while(|l| !l.starts_with("end"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let (cache, s) = SummaryCache::parse(&truncated).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(s.dropped, 1);
+        assert!(!s.file_ok);
+    }
+
+    #[test]
+    fn bit_flip_in_one_entry_salvages_the_rest() {
+        let cache = sample_cache();
+        let text = cache.render();
+        // Flip the verdict inside the 0xdeadbeef entry: "1:0" -> "1:9".
+        let corrupted = text.replace("fn append 2 1:0 1:1", "fn append 2 1:9 1:1");
+        assert_ne!(text, corrupted, "fixture must actually corrupt a line");
+        let (parsed, s) = SummaryCache::parse(&corrupted).unwrap();
+        assert!(parsed.get(0xdead_beef).is_none(), "corrupt entry dropped");
+        assert!(parsed.get(0x42).is_some(), "intact entry salvaged");
+        assert_eq!(s.kept, 1);
+        assert_eq!(s.dropped, 1);
+        assert!(!s.file_ok, "file checksum notices the flip");
     }
 
     #[test]

@@ -69,9 +69,11 @@ pub struct ScheduleReport {
     pub cache_misses: usize,
     /// Worker threads used per wave (`1` = serial).
     pub jobs: usize,
-    /// A cache load/save problem, if one occurred (the analysis itself
-    /// always completes; cache trouble only costs reuse).
-    pub cache_error: Option<String>,
+    /// Cache load/save problems, in the order they occurred (the
+    /// analysis itself always completes; cache trouble only costs
+    /// reuse). A salvaging load and a failed save each contribute one
+    /// entry, so neither can shadow the other.
+    pub cache_errors: Vec<String>,
 }
 
 /// Everything one solved SCC hands back to the merge step.
@@ -123,7 +125,7 @@ pub fn analyze_program_scheduled(
     let (mut cache, hashes, cached_summaries) = match &options.summary_cache {
         Some(path) => {
             let (cache, err) = SummaryCache::load(path);
-            report.cache_error = err;
+            report.cache_errors.extend(err);
             let hashes = scc_hashes(&program, &info, &config, &dag);
             let cached: Vec<Option<Vec<EscapeSummary>>> = (0..n)
                 .map(|id| cache_lookup(&cache, hashes[id], &members[id], &info))
@@ -262,7 +264,7 @@ pub fn analyze_program_scheduled(
             }
         }
         if let Err(e) = cache.save(path) {
-            report.cache_error.get_or_insert(e);
+            report.cache_errors.push(e);
         }
     }
 

@@ -52,6 +52,7 @@ pub mod error;
 pub mod ir;
 pub mod lastuse;
 pub mod pipeline;
+pub mod quarantine;
 pub mod reuse;
 pub mod stack;
 
@@ -64,5 +65,8 @@ pub use ir::{
 };
 pub use lastuse::{eligible_sites, occurs_under_lambda, select_sites, EligibleSite};
 pub use pipeline::{auto_block, optimize, OptOptions, OptSummary};
+pub use quarantine::{
+    apply_quarantine, body_cons_sites, sabotage_stack, walk_ir_mut, QuarantineSet, SabotagePlan,
+};
 pub use reuse::{reuse_name, reuse_variant, rewrite_calls, ReuseOptions};
 pub use stack::{annotate_stack, plan_stack_allocation};

@@ -1,5 +1,6 @@
 //! Runtime errors.
 
+use crate::checked::SoundnessViolation;
 use std::fmt;
 
 /// A failure during program execution.
@@ -41,7 +42,17 @@ pub enum RuntimeError {
         cell: u32,
     },
     /// Regions were popped out of order (an interpreter bug).
-    RegionMismatch,
+    RegionMismatch {
+        /// The innermost active region, if any.
+        expected: Option<u64>,
+        /// The region the pop asked for.
+        got: u64,
+    },
+    /// Checked mode caught an access to a cell freed by a wrong escape
+    /// claim. Carries the full structured report (site, claim, access,
+    /// region backtrace) the quarantine loop needs; boxed to keep the
+    /// error type small.
+    Soundness(Box<SoundnessViolation>),
     /// The configured step budget was exhausted (runaway recursion).
     StepLimitExceeded {
         /// The budget.
@@ -81,7 +92,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UseAfterFree { cell } => {
                 write!(f, "use of reclaimed cell #{cell}")
             }
-            RuntimeError::RegionMismatch => f.write_str("regions popped out of order"),
+            RuntimeError::RegionMismatch { expected, got } => match expected {
+                Some(e) => write!(f, "regions popped out of order: expected #{e}, got #{got}"),
+                None => write!(f, "region #{got} popped with no region active"),
+            },
+            RuntimeError::Soundness(v) => write!(f, "{v}"),
             RuntimeError::StepLimitExceeded { limit } => {
                 write!(f, "step limit of {limit} exceeded")
             }

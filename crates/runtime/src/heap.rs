@@ -7,6 +7,7 @@
 //! garbage collector ([`crate::gc`]) reclaims unmarked heap cells;
 //! region cells are reclaimed wholesale at region exit instead.
 
+use crate::checked::{AccessKind, ClaimKind, RegionNote, Tombstone};
 use crate::error::RuntimeError;
 use crate::fault::FaultPlan;
 use crate::stats::RuntimeStats;
@@ -50,6 +51,10 @@ struct Cell<'p> {
     live: bool,
     /// Generation id of the region the cell was allocated into.
     region: Option<u64>,
+    /// Checked mode: the site whose escape claim licensed this cell's
+    /// optimized placement (`None` for plain heap cells or unchecked
+    /// runs).
+    claim_site: Option<SiteId>,
 }
 
 #[derive(Debug)]
@@ -67,6 +72,11 @@ pub struct HeapConfig {
     pub gc_threshold: usize,
     /// Disable GC entirely (pure allocation counting).
     pub gc_enabled: bool,
+    /// Checked-optimization mode: claim-driven frees (region pops,
+    /// `DCONS` retirement) tombstone their cells instead of recycling
+    /// them, and any access to a tombstone is a structured
+    /// [`RuntimeError::Soundness`] naming the site that made the claim.
+    pub checked: bool,
 }
 
 impl Default for HeapConfig {
@@ -74,6 +84,7 @@ impl Default for HeapConfig {
         HeapConfig {
             gc_threshold: 4096,
             gc_enabled: true,
+            checked: false,
         }
     }
 }
@@ -97,6 +108,10 @@ pub struct Heap<'p> {
     site_reuses: HashMap<SiteId, u64>,
     /// Active fault-injection schedule (inert by default).
     fault: FaultPlan,
+    /// Checked mode: quarantined remains of claim-freed cells, keyed by
+    /// cell index. Tombstoned indices never return to the free list, so
+    /// a key here stays valid for the life of the heap.
+    tombstones: HashMap<u32, Tombstone>,
 }
 
 impl<'p> Heap<'p> {
@@ -115,6 +130,7 @@ impl<'p> Heap<'p> {
             site_allocs: HashMap::new(),
             site_reuses: HashMap::new(),
             fault: FaultPlan::default(),
+            tombstones: HashMap::new(),
         }
     }
 
@@ -251,12 +267,20 @@ impl<'p> Heap<'p> {
             (_, false) => self.stats.heap_allocs += 1,
         }
         let region_gen = region_idx.map(|i| self.regions[i].id);
+        // In checked mode, region-placed cells carry the site whose
+        // escape claim put them there; heap cells carry no claim.
+        let claim_site = if self.config.checked && region_gen.is_some() {
+            site
+        } else {
+            None
+        };
         let cell = Cell {
             car,
             cdr,
             tag: None,
             live: true,
             region: region_gen,
+            claim_site,
         };
         let idx = if let Some(i) = self.free.pop() {
             self.stats.freelist_reuses += 1;
@@ -274,7 +298,10 @@ impl<'p> Heap<'p> {
         CellRef(idx)
     }
 
-    fn cell(&self, r: CellRef) -> Result<&Cell<'p>, RuntimeError> {
+    fn cell_at(&self, r: CellRef, access: AccessKind) -> Result<&Cell<'p>, RuntimeError> {
+        if let Some(t) = self.tombstones.get(&r.0) {
+            return Err(RuntimeError::Soundness(Box::new(t.violation(r.0, access))));
+        }
         let c = self
             .cells
             .get(r.0 as usize)
@@ -312,17 +339,17 @@ impl<'p> Heap<'p> {
     /// which can only happen if an *unsound* storage annotation freed a
     /// cell that was still reachable.
     pub fn car(&self, r: CellRef) -> Result<Value<'p>, RuntimeError> {
-        Ok(self.cell(r)?.car.clone())
+        Ok(self.cell_at(r, AccessKind::Car)?.car.clone())
     }
 
     /// The tail of a cell (same errors as [`Heap::car`]).
     pub fn cdr(&self, r: CellRef) -> Result<Value<'p>, RuntimeError> {
-        Ok(self.cell(r)?.cdr.clone())
+        Ok(self.cell_at(r, AccessKind::Cdr)?.cdr.clone())
     }
 
     /// Overwrites a cell in place (`DCONS`).
     pub fn set(&mut self, r: CellRef, car: Value<'p>, cdr: Value<'p>) -> Result<(), RuntimeError> {
-        self.cell(r)?; // liveness check
+        self.cell_at(r, AccessKind::Set)?; // liveness check
         let c = &mut self.cells[r.0 as usize];
         c.car = car;
         c.cdr = cdr;
@@ -331,12 +358,12 @@ impl<'p> Heap<'p> {
 
     /// The provenance tag of a cell, if any.
     pub fn tag(&self, r: CellRef) -> Result<Option<ProvTag>, RuntimeError> {
-        Ok(self.cell(r)?.tag)
+        Ok(self.cell_at(r, AccessKind::Tag)?.tag)
     }
 
     /// Sets the provenance tag of a cell.
     pub fn set_tag(&mut self, r: CellRef, tag: ProvTag) -> Result<(), RuntimeError> {
-        self.cell(r)?;
+        self.cell_at(r, AccessKind::Tag)?;
         self.cells[r.0 as usize].tag = Some(tag);
         Ok(())
     }
@@ -353,25 +380,75 @@ impl<'p> Heap<'p> {
         RegionId(id)
     }
 
-    /// Pops the innermost region, freeing all its cells.
+    /// Pops the innermost region, freeing all its cells. In checked mode
+    /// the cells are tombstoned instead of recycled: the pop records a
+    /// per-cell [`Tombstone`] (claim site, region backtrace) and the
+    /// indices never return to the free list, so any later access is a
+    /// [`RuntimeError::Soundness`] rather than silent reuse.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::RegionMismatch`] if `id` is not the innermost
-    /// region (regions are strictly nested).
+    /// region (regions are strictly nested) or no region is active. The
+    /// region stack is left untouched in that case.
     pub fn pop_region(&mut self, id: RegionId) -> Result<(), RuntimeError> {
-        match self.regions.last() {
-            Some(r) if r.id == id.0 => {}
-            _ => return Err(RuntimeError::RegionMismatch),
+        let expected = self.regions.last().map(|r| r.id);
+        if expected != Some(id.0) {
+            return Err(RuntimeError::RegionMismatch {
+                expected,
+                got: id.0,
+            });
         }
-        let region = self.regions.pop().expect("checked above");
+        let Some(region) = self.regions.pop() else {
+            return Err(RuntimeError::RegionMismatch {
+                expected: None,
+                got: id.0,
+            });
+        };
         let n = region.cells.len() as u64;
+        let freed_by = Some(RegionNote {
+            id: region.id,
+            kind: region.kind,
+        });
+        // Regions still active after the pop — the backtrace every
+        // tombstone from this pop shares.
+        let backtrace: Vec<RegionNote> = if self.config.checked {
+            self.regions
+                .iter()
+                .map(|r| RegionNote {
+                    id: r.id,
+                    kind: r.kind,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         for idx in region.cells {
-            if self.cells[idx as usize].live {
-                self.cells[idx as usize].live = false;
-                self.cells[idx as usize].region = None;
+            let cell = &mut self.cells[idx as usize];
+            if !cell.live {
+                continue;
+            }
+            cell.live = false;
+            cell.region = None;
+            self.live -= 1;
+            if self.config.checked {
+                // Quarantine: drop the payload, remember the claim.
+                let site = cell.claim_site.take();
+                cell.car = Value::Nil;
+                cell.cdr = Value::Nil;
+                cell.tag = None;
+                self.tombstones.insert(
+                    idx,
+                    Tombstone {
+                        site,
+                        claim: ClaimKind::from(region.kind),
+                        freed_by,
+                        regions: backtrace.clone(),
+                    },
+                );
+                self.stats.tombstoned += 1;
+            } else {
                 self.free.push(idx);
-                self.live -= 1;
             }
         }
         match region.kind {
@@ -382,6 +459,57 @@ impl<'p> Heap<'p> {
             }
         }
         Ok(())
+    }
+
+    /// Checked-mode `DCONS` retirement: the reuse claim says `r` is
+    /// unshared and dead, so quarantine it. The interpreter allocates a
+    /// fresh cell for the new payload first, then retires the old one
+    /// through this — any later access to `r` proves the claim wrong.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Soundness`] if `r` is already tombstoned (a
+    /// double-retirement is itself a wrong claim);
+    /// [`RuntimeError::UseAfterFree`] if it was GC-reclaimed.
+    pub fn retire_reused(&mut self, r: CellRef, site: Option<SiteId>) -> Result<(), RuntimeError> {
+        self.cell_at(r, AccessKind::Set)?;
+        let backtrace: Vec<RegionNote> = self
+            .regions
+            .iter()
+            .map(|reg| RegionNote {
+                id: reg.id,
+                kind: reg.kind,
+            })
+            .collect();
+        let cell = &mut self.cells[r.0 as usize];
+        cell.live = false;
+        cell.region = None;
+        cell.claim_site = None;
+        cell.car = Value::Nil;
+        cell.cdr = Value::Nil;
+        cell.tag = None;
+        self.live -= 1;
+        self.tombstones.insert(
+            r.0,
+            Tombstone {
+                site,
+                claim: ClaimKind::Reuse,
+                freed_by: None,
+                regions: backtrace,
+            },
+        );
+        self.stats.tombstoned += 1;
+        Ok(())
+    }
+
+    /// Number of tombstoned cells (checked-mode quarantine footprint).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Whether checked mode has tombstoned this cell.
+    pub fn is_tombstoned(&self, r: CellRef) -> bool {
+        self.tombstones.contains_key(&r.0)
     }
 
     /// The cells currently belonging to the innermost region (for
@@ -501,12 +629,117 @@ mod tests {
         let mut h = heap();
         let outer = h.push_region(RegionKind::Stack);
         let inner = h.push_region(RegionKind::Block);
-        assert!(matches!(
+        assert_eq!(
             h.pop_region(outer),
-            Err(RuntimeError::RegionMismatch)
-        ));
+            Err(RuntimeError::RegionMismatch {
+                expected: Some(inner.0),
+                got: outer.0,
+            })
+        );
         h.pop_region(inner).unwrap();
         h.pop_region(outer).unwrap();
+    }
+
+    #[test]
+    fn pop_with_no_region_is_a_typed_error() {
+        let mut h = heap();
+        let r = h.push_region(RegionKind::Stack);
+        h.pop_region(r).unwrap();
+        assert_eq!(
+            h.pop_region(r),
+            Err(RuntimeError::RegionMismatch {
+                expected: None,
+                got: r.0,
+            })
+        );
+        // The mismatch must not disturb the (empty) region stack.
+        assert!(!h.in_region());
+    }
+
+    #[test]
+    fn out_of_order_pop_leaves_regions_intact() {
+        let mut h = heap();
+        let outer = h.push_region(RegionKind::Stack);
+        let inner = h.push_region(RegionKind::Stack);
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Stack);
+        assert!(h.pop_region(outer).is_err());
+        assert!(h.is_live(c), "failed pop must not free anything");
+        h.pop_region(inner).unwrap();
+        h.pop_region(outer).unwrap();
+    }
+
+    fn checked_heap<'p>() -> Heap<'p> {
+        Heap::new(HeapConfig {
+            checked: true,
+            ..HeapConfig::default()
+        })
+    }
+
+    #[test]
+    fn checked_pop_tombstones_with_claim() {
+        let mut h = checked_heap();
+        let outer = h.push_region(RegionKind::Block);
+        let r = h.push_region(RegionKind::Stack);
+        let c = h
+            .alloc_at(Value::Int(1), Value::Nil, AllocMode::Stack, Some(SiteId(7)))
+            .unwrap();
+        h.pop_region(r).unwrap();
+        assert!(h.is_tombstoned(c));
+        assert_eq!(h.tombstone_count(), 1);
+        assert_eq!(h.stats.tombstoned, 1);
+        let err = h.car(c).unwrap_err();
+        let RuntimeError::Soundness(v) = err else {
+            panic!("expected soundness violation, got {err:?}");
+        };
+        assert_eq!(v.site, Some(SiteId(7)));
+        assert_eq!(v.claim, ClaimKind::Stack);
+        assert_eq!(v.access, AccessKind::Car);
+        assert_eq!(v.freed_by.map(|r| r.kind), Some(RegionKind::Stack));
+        assert_eq!(v.regions.len(), 1, "outer block region in backtrace");
+        h.pop_region(outer).unwrap();
+    }
+
+    #[test]
+    fn checked_tombstones_never_reenter_free_list() {
+        let mut h = checked_heap();
+        let r = h.push_region(RegionKind::Stack);
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Stack);
+        h.pop_region(r).unwrap();
+        let fresh = h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        assert_ne!(c, fresh, "tombstoned index must not be recycled");
+        assert_eq!(h.stats.freelist_reuses, 0);
+    }
+
+    #[test]
+    fn checked_retire_reused_quarantines_cell() {
+        let mut h = checked_heap();
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        h.retire_reused(c, Some(SiteId(3))).unwrap();
+        let err = h.set(c, Value::Int(2), Value::Nil).unwrap_err();
+        let RuntimeError::Soundness(v) = err else {
+            panic!("expected soundness violation, got {err:?}");
+        };
+        assert_eq!(v.site, Some(SiteId(3)));
+        assert_eq!(v.claim, ClaimKind::Reuse);
+        assert_eq!(v.access, AccessKind::Set);
+        assert_eq!(v.freed_by, None);
+        // Double retirement is itself a violation, not a panic.
+        assert!(matches!(
+            h.retire_reused(c, Some(SiteId(3))),
+            Err(RuntimeError::Soundness(_))
+        ));
+    }
+
+    #[test]
+    fn unchecked_pop_recycles_as_before() {
+        let mut h = heap();
+        let r = h.push_region(RegionKind::Stack);
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Stack);
+        h.pop_region(r).unwrap();
+        assert!(!h.is_tombstoned(c));
+        assert!(matches!(h.car(c), Err(RuntimeError::UseAfterFree { .. })));
+        h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        assert_eq!(h.stats.freelist_reuses, 1);
     }
 
     #[test]

@@ -432,6 +432,17 @@ impl<'p> Interp<'p> {
                 if self.heap.fault_dcons_retreat() {
                     let fresh = self.heap.alloc_at(head, v, AllocMode::Heap, Some(site))?;
                     Ctrl::Ret(Value::Pair(fresh))
+                } else if self.config.heap.checked {
+                    // Checked mode runs the reuse as copy-then-retire:
+                    // the result goes to a fresh cell and the
+                    // claimed-dead target is tombstoned, so any later
+                    // access to the target disproves the reuse claim
+                    // instead of silently reading the overwrite.
+                    let fresh = self.heap.alloc_at(head, v, AllocMode::Heap, Some(site))?;
+                    self.heap.retire_reused(cell, Some(site))?;
+                    self.heap.stats.reuse_copies += 1;
+                    self.heap.record_reuse(site);
+                    Ctrl::Ret(Value::Pair(fresh))
                 } else {
                     self.heap.set(cell, head, v)?;
                     self.heap.stats.dcons_reuses += 1;
@@ -930,6 +941,7 @@ mod tests {
                 heap: HeapConfig {
                     gc_threshold: 64,
                     gc_enabled: true,
+                    checked: false,
                 },
                 ..Default::default()
             },

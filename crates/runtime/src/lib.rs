@@ -15,7 +15,11 @@
 //!   (§6);
 //! - **provenance tracking** ([`provenance`]): the paper's *exact* escape
 //!   semantics (§3.2) realized dynamically, used by the soundness tests
-//!   (`dynamic ⊑ abstract`).
+//!   (`dynamic ⊑ abstract`);
+//! - **checked-optimization mode** ([`checked`]): claim-driven frees
+//!   tombstone their cells instead of recycling them, so a wrong escape
+//!   claim surfaces as a structured [`SoundnessViolation`] (naming the
+//!   offending site) instead of silent heap corruption.
 //!
 //! ## Example
 //!
@@ -45,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checked;
 pub mod error;
 pub mod fault;
 pub mod gc;
@@ -54,6 +59,7 @@ pub mod provenance;
 pub mod stats;
 pub mod value;
 
+pub use checked::{AccessKind, ClaimKind, RegionNote, SoundnessViolation, Tombstone};
 pub use error::RuntimeError;
 pub use fault::{FaultPlan, FaultRate};
 pub use gc::mark;

@@ -50,6 +50,18 @@ pub struct RuntimeStats {
     pub fault_region_denials: u64,
     /// Garbage collections forced by an injected fault.
     pub forced_gcs: u64,
+    /// Checked mode: cells quarantined by claim-driven frees (region
+    /// pops and `DCONS` retirements) instead of recycled.
+    pub tombstoned: u64,
+    /// Checked mode: `DCONS` reuses executed as copy-then-retire (the
+    /// allocation the unchecked runtime would have avoided).
+    pub reuse_copies: u64,
+    /// Checked mode: soundness violations detected (tombstone accesses).
+    pub violations: u64,
+    /// Checked mode: sites quarantined by the re-execution loop.
+    pub quarantined_sites: u64,
+    /// Checked mode: re-executions performed after violations.
+    pub retries: u64,
 }
 
 impl RuntimeStats {
@@ -101,6 +113,22 @@ impl fmt::Display for RuntimeStats {
                 self.fault_dcons_retreats,
                 self.fault_region_denials,
                 self.forced_gcs
+            )?;
+        }
+        let checked = self.tombstoned
+            + self.reuse_copies
+            + self.violations
+            + self.quarantined_sites
+            + self.retries;
+        if checked > 0 {
+            write!(
+                f,
+                "\nchecked: tombstoned={} reuse-copies={} violations={} quarantined={} retries={}",
+                self.tombstoned,
+                self.reuse_copies,
+                self.violations,
+                self.quarantined_sites,
+                self.retries
             )?;
         }
         Ok(())

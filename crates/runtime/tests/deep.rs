@@ -11,6 +11,7 @@ fn config() -> InterpConfig {
         heap: HeapConfig {
             gc_threshold: 4096,
             gc_enabled: true,
+            checked: false,
         },
         ..Default::default()
     }

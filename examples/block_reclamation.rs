@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         heap: HeapConfig {
             gc_threshold: 512,
             gc_enabled: true,
+            checked: false,
         },
         ..Default::default()
     };

@@ -17,13 +17,15 @@
 use nml_escape_analysis::escape::{
     Analysis, AnalyzeError, Budget, EngineConfig, PolyMode, ScheduleOptions,
 };
+use nml_escape_analysis::opt::{OptOptions, SabotagePlan, SiteId};
 use nml_escape_analysis::pipeline::{
-    compile_optimized_scheduled, compile_scheduled, compile_with_local_stack_alloc, run_with,
-    Compiled, PipelineError,
+    compile_optimized_scheduled, compile_scheduled, compile_with_local_stack_alloc, run_checked,
+    run_with, CheckedOptions, Compiled, PipelineError,
 };
 use nml_escape_analysis::runtime::{FaultPlan, FaultRate, InterpConfig};
 use nml_escape_analysis::syntax::{parse_program, SourceMap};
 use nml_escape_analysis::types::infer_program;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::str::FromStr;
 use std::time::Duration;
@@ -96,6 +98,18 @@ fault-injection flags (run; deterministic, seeded):
   --fault-region-deny=N/D    refuse region pushes at rate N/D
   --fault-forced-gc=N/D      force a collection before allocations at rate N/D
   --fault-gc-at=i,j,...      force collections at exact allocation indices
+
+checked-optimization flags (run):
+  --checked                execute under the soundness sentinel: claim-freed
+                           cells are tombstoned, a wrong claim is caught as a
+                           violation, the offending site is quarantined, and
+                           the program re-executes with that optimization off
+  --max-retries=N          re-executions before degrading to the unoptimized
+                           interpreter (default 8)
+  --quarantine-file=PATH   persist the quarantine set across runs
+  --fault-unsound-stack=i,j,...
+                           deliberately inject wrong stack claims at the
+                           given cons sites (sentinel demonstration)
 
 run also accepts --profile (hottest allocation/reuse sites) and --stats";
 
@@ -172,7 +186,7 @@ fn schedule_from_flags(rest: &[String]) -> Result<ScheduleOptions, String> {
 /// of the SCC schedule and cache effectiveness.
 fn report_schedule(analysis: &Analysis, rest: &[String]) {
     let s = &analysis.schedule;
-    if let Some(err) = &s.cache_error {
+    for err in &s.cache_errors {
         eprintln!("warning: summary cache: {err}");
     }
     if flag_value(rest, "--jobs").is_some() || flag_value(rest, "--summary-cache").is_some() {
@@ -377,6 +391,9 @@ fn cmd_ir(rest: &[String]) -> Result<(), String> {
 
 fn cmd_run(rest: &[String]) -> Result<(), String> {
     let (_, src) = read_file(rest)?;
+    if has_flag(rest, "--checked") {
+        return cmd_run_checked(rest, &src);
+    }
     let compiled = compile_for(rest, &src)?;
     let config = InterpConfig {
         fault: fault_from_flags(rest)?,
@@ -390,6 +407,95 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     if has_flag(rest, "--stats") {
         println!("--- runtime statistics ---");
         println!("{}", outcome.stats);
+    }
+    Ok(())
+}
+
+/// `run --checked`: execute under the soundness sentinel with the
+/// quarantine-and-retry loop, then print the final value and — when
+/// anything was caught — the quarantine report (stderr), naming every
+/// condemned site, the claim it made, and the access that disproved it.
+fn cmd_run_checked(rest: &[String], src: &str) -> Result<(), String> {
+    if has_flag(rest, "--local-stack-alloc") {
+        return Err(
+            "--checked is not supported with --local-stack-alloc; use --stack-alloc".to_owned(),
+        );
+    }
+    let budget = budget_from_flags(rest)?;
+    let sched = schedule_from_flags(rest)?;
+    let mut copts = CheckedOptions::default();
+    if let Some(n) = parse_num_flag::<u32>(rest, "--max-retries")? {
+        copts.max_retries = n;
+    }
+    if let Some(p) = flag_value(rest, "--quarantine-file") {
+        copts.quarantine_path = Some(PathBuf::from(p));
+    }
+    // Narrow the pass set when a single-pass flag was given; plain
+    // `--checked` (with or without -O) checks the full pass manager.
+    if has_flag(rest, "--stack-alloc") {
+        copts.opt = OptOptions {
+            reuse: false,
+            block: false,
+            stack: true,
+        };
+    } else if has_flag(rest, "--auto-reuse") {
+        copts.opt = OptOptions {
+            reuse: true,
+            block: false,
+            stack: false,
+        };
+    }
+    if let Some(list) = flag_value(rest, "--fault-unsound-stack") {
+        let sites: Vec<SiteId> = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<u32>()
+                    .map(SiteId)
+                    .map_err(|_| format!("--fault-unsound-stack: `{s}` is not a cons site id"))
+            })
+            .collect::<Result<_, _>>()?;
+        copts.sabotage = SabotagePlan::stack(sites);
+    }
+    let config = InterpConfig {
+        fault: fault_from_flags(rest)?,
+        ..InterpConfig::default()
+    };
+    let (out, compiled) = run_checked(
+        src,
+        PolyMode::SimplestInstance,
+        budget,
+        &sched,
+        &copts,
+        &config,
+    )
+    .map_err(|e| render_pipeline_err(e, src))?;
+    report_schedule(&compiled.analysis, rest);
+    report_degradations(&compiled.analysis, has_flag(rest, "--strict"))?;
+    println!("{}", out.result);
+    if !out.quarantined.is_empty() || out.degraded_unoptimized {
+        eprintln!(
+            "--- checked-mode report: {} violation(s), {} attempt(s) ---",
+            out.stats.violations, out.attempts
+        );
+        for rec in &out.quarantined {
+            let owner = compiled
+                .ir
+                .site_owner(rec.site)
+                .map(|o| format!("in {o}"))
+                .unwrap_or_else(|| "in <main>".to_owned());
+            eprintln!(
+                "  quarantined site {:>4} {owner:<20} (attempt {}): {}",
+                rec.site.0, rec.attempt, rec.violation
+            );
+        }
+        if out.degraded_unoptimized {
+            eprintln!("  degraded to the fully unoptimized interpreter");
+        }
+    }
+    if has_flag(rest, "--stats") {
+        println!("--- runtime statistics ---");
+        println!("{}", out.stats);
     }
     Ok(())
 }

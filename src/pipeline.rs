@@ -9,11 +9,15 @@ use nml_escape::{
     analyze_program_scheduled, analyze_source, analyze_source_governed, Analysis, AnalyzeError,
     Budget, EngineConfig, PolyMode, ScheduleOptions,
 };
-use nml_opt::{annotate_stack, lower_program, IrProgram};
-use nml_runtime::{Interp, InterpConfig, RuntimeError, RuntimeStats, Value};
+use nml_opt::{
+    annotate_stack, apply_quarantine, lower_program, sabotage_stack, IrProgram, OptOptions,
+    QuarantineSet, SabotagePlan, SiteId,
+};
+use nml_runtime::{Interp, InterpConfig, RuntimeError, RuntimeStats, SoundnessViolation, Value};
 use nml_syntax::parse_program;
 use nml_types::{infer_and_monomorphize, infer_program};
 use std::fmt;
+use std::path::PathBuf;
 
 /// Everything the front half of the pipeline produces.
 pub struct Compiled {
@@ -233,6 +237,172 @@ pub fn run_with(ir: &IrProgram, config: InterpConfig) -> Result<RunOutcome, Pipe
         result,
         stats: interp.heap.stats,
     })
+}
+
+/// Configuration for a checked-optimization run ([`run_checked`]).
+#[derive(Debug, Clone)]
+pub struct CheckedOptions {
+    /// Re-executions allowed after violations before degrading to the
+    /// fully unoptimized interpreter.
+    pub max_retries: u32,
+    /// Which optimization passes to run on each attempt.
+    pub opt: OptOptions,
+    /// Deliberate wrong-claim injection (tests, `--fault-unsound-stack`);
+    /// empty by default.
+    pub sabotage: SabotagePlan,
+    /// Where to load/persist the quarantine set (`None` = in-memory
+    /// only, starting empty).
+    pub quarantine_path: Option<PathBuf>,
+}
+
+impl Default for CheckedOptions {
+    fn default() -> Self {
+        CheckedOptions {
+            max_retries: 8,
+            opt: OptOptions::default(),
+            sabotage: SabotagePlan::default(),
+            quarantine_path: None,
+        }
+    }
+}
+
+/// One quarantined site and the evidence that condemned it.
+#[derive(Debug, Clone)]
+pub struct QuarantineRecord {
+    /// The site whose optimization was disabled.
+    pub site: SiteId,
+    /// The violation that disproved the site's claim.
+    pub violation: SoundnessViolation,
+    /// Which attempt (0-based) detected it.
+    pub attempt: u32,
+}
+
+/// The outcome of a checked run: the (verified) result plus the full
+/// recovery history.
+#[derive(Debug, Clone)]
+pub struct CheckedOutcome {
+    /// Rendering of the final result value.
+    pub result: String,
+    /// Stats of the successful attempt, with the recovery counters
+    /// (`violations`, `quarantined_sites`, `retries`) aggregated across
+    /// all attempts.
+    pub stats: RuntimeStats,
+    /// Every site quarantined during this run, in detection order.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Total attempts executed (1 = clean first run).
+    pub attempts: u32,
+    /// Whether the run had to fall back to the fully unoptimized
+    /// interpreter (retries exhausted or an unattributable violation).
+    pub degraded_unoptimized: bool,
+}
+
+/// The checked-optimization driver: compile with the full pass manager,
+/// execute under the tombstoning heap, and on a [`SoundnessViolation`]
+/// quarantine the offending site, re-plan with that site's optimization
+/// disabled, and re-execute — up to `max_retries` times before degrading
+/// to the fully unoptimized interpreter, which cannot violate (it makes
+/// no claims).
+///
+/// The quarantine set persists across calls through
+/// `opts.quarantine_path`, so a site disproved once stays disabled.
+///
+/// # Errors
+///
+/// [`PipelineError::Analyze`] for front-end failures;
+/// [`PipelineError::Runtime`] only for *non-claim* runtime errors
+/// (division by zero, step limits, fault-injected OOM) — claim
+/// violations are consumed by the retry loop, never returned.
+pub fn run_checked(
+    src: &str,
+    mode: PolyMode,
+    budget: Budget,
+    sched: &ScheduleOptions,
+    opts: &CheckedOptions,
+    base_config: &InterpConfig,
+) -> Result<(CheckedOutcome, Compiled), PipelineError> {
+    let (mut quarantine, quarantine_warning) = match &opts.quarantine_path {
+        Some(p) => QuarantineSet::load(p),
+        None => (QuarantineSet::new(), None),
+    };
+    if let Some(w) = quarantine_warning {
+        eprintln!("warning: quarantine file: {w}");
+    }
+    let mut records: Vec<QuarantineRecord> = Vec::new();
+    let mut violations = 0u64;
+    let mut attempts = 0u32;
+    let mut degraded = false;
+
+    let (outcome, compiled) = loop {
+        let attempt = attempts;
+        attempts += 1;
+        let mut compiled = compile_scheduled(src, mode, budget, sched)?;
+        nml_opt::optimize(&mut compiled.ir, &compiled.analysis, &opts.opt);
+        sabotage_stack(&mut compiled.ir, &opts.sabotage);
+        apply_quarantine(&mut compiled.ir, &quarantine);
+        let mut config = base_config.clone();
+        config.heap.checked = true;
+        match run_with(&compiled.ir, config) {
+            Ok(out) => break (out, compiled),
+            Err(PipelineError::Runtime(RuntimeError::Soundness(v))) => {
+                violations += 1;
+                let quarantinable = v
+                    .site
+                    .filter(|s| attempt < opts.max_retries && !quarantine.contains(*s));
+                match quarantinable {
+                    Some(site) => {
+                        quarantine.insert(site);
+                        records.push(QuarantineRecord {
+                            site,
+                            violation: *v,
+                            attempt,
+                        });
+                    }
+                    None => {
+                        // Unattributable violation, repeat offender, or
+                        // retries exhausted: degrade to the unoptimized
+                        // interpreter, which makes no claims and so
+                        // cannot violate.
+                        if let Some(site) = v.site.filter(|_| attempt < opts.max_retries) {
+                            // A quarantined site violated again — the
+                            // fallback rewrite itself must be wrong;
+                            // record it for the report before degrading.
+                            records.push(QuarantineRecord {
+                                site,
+                                violation: *v,
+                                attempt,
+                            });
+                        }
+                        degraded = true;
+                        attempts += 1;
+                        let compiled = compile_scheduled(src, mode, budget, sched)?;
+                        let out = run_with(&compiled.ir, base_config.clone())?;
+                        break (out, compiled);
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    if let Some(p) = &opts.quarantine_path {
+        if let Err(e) = quarantine.save(p) {
+            eprintln!("warning: quarantine file: {e}");
+        }
+    }
+    let mut stats = outcome.stats;
+    stats.violations = violations;
+    stats.quarantined_sites = records.len() as u64;
+    stats.retries = attempts.saturating_sub(1).into();
+    Ok((
+        CheckedOutcome {
+            result: outcome.result,
+            stats,
+            quarantined: records,
+            attempts,
+            degraded_unoptimized: degraded,
+        },
+        compiled,
+    ))
 }
 
 /// Renders a value, chasing list structure through the heap.

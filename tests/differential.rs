@@ -1,0 +1,420 @@
+//! The differential soundness harness for checked-optimization mode.
+//!
+//! Two claims, each checked on generated programs:
+//!
+//! 1. **Transparency.** Without injected faults, a fully optimized
+//!    program executed under `--checked` (tombstoning heap, claim
+//!    stamps, copy-then-retire `DCONS`) is observationally identical to
+//!    the unoptimized interpreter, with zero violations, zero retries,
+//!    and an empty quarantine — the sentinel never cries wolf on claims
+//!    the analysis actually proved.
+//!
+//! 2. **Recovery.** With deliberately injected *wrong* claims (body cons
+//!    sites forced onto the stack), the checked run detects each
+//!    violation, quarantines exactly the offending site, re-executes,
+//!    and still converges to the unoptimized interpreter's value —
+//!    without ever degrading to the fully unoptimized fallback when
+//!    retries suffice.
+//!
+//! Scheduling mode follows `NML_TEST_JOBS` like the equivalence suite,
+//! so CI exercises the harness serially and with 4 workers.
+
+use nml_escape_analysis::escape::{Budget, PolyMode, ScheduleOptions};
+use nml_escape_analysis::opt::{body_cons_sites, SabotagePlan};
+use nml_escape_analysis::pipeline::{
+    compile_scheduled, run_checked, run_with, CheckedOptions, PipelineError,
+};
+use nml_escape_analysis::runtime::{InterpConfig, RuntimeError};
+use proptest::prelude::*;
+
+const PRELUDE: &str = "letrec
+  append x y = if (null x) then y else cons (car x) (append (cdr x) y);
+  revon l a = if (null l) then a else revon (cdr l) (cons (car l) a);
+  take n l = if n = 0 then nil
+             else if (null l) then nil
+             else cons (car l) (take (n - 1) (cdr l));
+  copy l = if (null l) then nil else cons (car l) (copy (cdr l));
+  incall l = if (null l) then nil else cons ((car l) + 1) (incall (cdr l));
+  mklist n = if n = 0 then nil else cons n (mklist (n - 1));
+  sum l = if (null l) then 0 else (car l) + sum (cdr l)
+in ";
+
+fn leaf() -> BoxedStrategy<String> {
+    prop_oneof![
+        proptest::collection::vec(0i64..9, 0..5).prop_map(|xs| {
+            let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+            format!("[{}]", items.join(", "))
+        }),
+        (0u32..6).prop_map(|k| format!("(mklist {k})")),
+    ]
+    .boxed()
+}
+
+fn list_expr() -> BoxedStrategy<String> {
+    leaf().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| format!("(copy {e})")),
+            inner.clone().prop_map(|e| format!("(incall {e})")),
+            inner.clone().prop_map(|e| format!("(revon {e} nil)")),
+            (0u32..4, inner.clone()).prop_map(|(k, e)| format!("(take {k} {e})")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("(append {a} {b})")),
+        ]
+    })
+}
+
+fn program() -> BoxedStrategy<String> {
+    prop_oneof![
+        list_expr().prop_map(|e| format!("{PRELUDE}{e}")),
+        list_expr().prop_map(|e| format!("{PRELUDE}(sum {e})")),
+    ]
+    .boxed()
+}
+
+/// Scheduling mode under test: serial unless `NML_TEST_JOBS` says
+/// otherwise (CI runs the suite once per mode).
+fn sched() -> ScheduleOptions {
+    let jobs = std::env::var("NML_TEST_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    ScheduleOptions {
+        jobs,
+        ..ScheduleOptions::default()
+    }
+}
+
+/// The unoptimized, unchecked oracle.
+fn oracle(src: &str) -> String {
+    let c = compile_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .expect("front end");
+    run_with(&c.ir, InterpConfig::default())
+        .expect("oracle run")
+        .result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Transparency: checked execution of the fully optimized program is
+    /// invisible — same value, no violations, no retries.
+    #[test]
+    fn checked_optimized_matches_unoptimized_cleanly(src in program()) {
+        let want = oracle(&src);
+        let (out, _) = run_checked(
+            &src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+            &CheckedOptions::default(),
+            &InterpConfig::default(),
+        )
+        .expect("checked run");
+        prop_assert_eq!(&out.result, &want, "{}", src);
+        prop_assert_eq!(out.stats.violations, 0, "{}", src);
+        prop_assert_eq!(out.attempts, 1, "{}", src);
+        prop_assert!(out.quarantined.is_empty(), "{}", src);
+        prop_assert!(!out.degraded_unoptimized, "{}", src);
+    }
+
+    /// Recovery: force wrong stack claims onto a random subset of the
+    /// body's cons sites; the checked run must converge to the oracle's
+    /// value, quarantining exactly the sites whose claims actually broke.
+    #[test]
+    fn injected_wrong_claims_recover_to_oracle(src in program(), mask in any::<u64>()) {
+        let want = oracle(&src);
+        let compiled = compile_scheduled(
+            &src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+        )
+        .expect("front end");
+        let all_sites = body_cons_sites(&compiled.ir);
+        let sabotaged: Vec<_> = all_sites
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
+            .map(|(_, s)| *s)
+            .collect();
+        let opts = CheckedOptions {
+            max_retries: sabotaged.len() as u32 + 2,
+            sabotage: SabotagePlan::stack(sabotaged.clone()),
+            ..CheckedOptions::default()
+        };
+        let (out, _) = run_checked(
+            &src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+            &opts,
+            &InterpConfig::default(),
+        )
+        .expect("checked run recovers");
+        prop_assert_eq!(&out.result, &want, "{}", src);
+        prop_assert!(!out.degraded_unoptimized, "{}: retries were sufficient", src);
+        // Every quarantined site is one we sabotaged (the analysis's own
+        // claims must never be condemned), and each contributed exactly
+        // one violation.
+        for rec in &out.quarantined {
+            prop_assert!(sabotaged.contains(&rec.site), "{}: site {:?}", src, rec.site);
+        }
+        prop_assert_eq!(out.stats.violations, out.quarantined.len() as u64, "{}", src);
+        prop_assert_eq!(u64::from(out.attempts), out.stats.retries + 1, "{}", src);
+    }
+}
+
+/// The acceptance scenario, pinned deterministically: all three cells of
+/// a literal result are claimed stack-dead; the checked run catches one
+/// violation per attempt (the renderer touches the outermost cell
+/// first), quarantines all three, and converges on the oracle's value
+/// without degrading.
+#[test]
+fn violation_quarantine_retry_converges() {
+    let src = "[1, 2, 3]";
+    let compiled = compile_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .expect("front end");
+    let sites = body_cons_sites(&compiled.ir);
+    assert_eq!(sites.len(), 3);
+    let opts = CheckedOptions {
+        max_retries: 8,
+        sabotage: SabotagePlan::stack(sites.clone()),
+        ..CheckedOptions::default()
+    };
+    let (out, _) = run_checked(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+        &opts,
+        &InterpConfig::default(),
+    )
+    .expect("checked run");
+    assert_eq!(out.result, "[1, 2, 3]");
+    assert!(!out.degraded_unoptimized);
+    assert_eq!(out.attempts, 4, "one retry per condemned site");
+    assert_eq!(out.stats.violations, 3);
+    assert_eq!(out.stats.quarantined_sites, 3);
+    assert_eq!(out.stats.retries, 3);
+    let mut condemned: Vec<_> = out.quarantined.iter().map(|r| r.site).collect();
+    condemned.sort_unstable();
+    assert_eq!(condemned, sites, "exactly the sabotaged sites");
+    for (i, rec) in out.quarantined.iter().enumerate() {
+        assert_eq!(rec.attempt, i as u32, "one detection per attempt");
+    }
+}
+
+/// Retry exhaustion: with `max_retries: 0` the first violation degrades
+/// straight to the unoptimized interpreter — still the right value,
+/// reported as a degradation.
+#[test]
+fn exhausted_retries_degrade_to_unoptimized() {
+    let src = "[4, 5]";
+    let compiled = compile_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .expect("front end");
+    let sites = body_cons_sites(&compiled.ir);
+    let opts = CheckedOptions {
+        max_retries: 0,
+        sabotage: SabotagePlan::stack(sites),
+        ..CheckedOptions::default()
+    };
+    let (out, _) = run_checked(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+        &opts,
+        &InterpConfig::default(),
+    )
+    .expect("degraded run still succeeds");
+    assert_eq!(out.result, "[4, 5]");
+    assert!(out.degraded_unoptimized);
+    assert_eq!(out.stats.violations, 1);
+}
+
+/// The quarantine set persists: a second run against the same file
+/// starts with every condemned site disabled and needs no retries.
+#[test]
+fn quarantine_file_warm_start_needs_no_retries() {
+    let dir = std::env::temp_dir().join(format!("nml-diff-quar-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("quarantine.txt");
+    let src = "[7, 8, 9]";
+    let compiled = compile_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .expect("front end");
+    let sites = body_cons_sites(&compiled.ir);
+    let opts = CheckedOptions {
+        max_retries: 8,
+        sabotage: SabotagePlan::stack(sites.clone()),
+        quarantine_path: Some(path.clone()),
+        ..CheckedOptions::default()
+    };
+    let (cold, _) = run_checked(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+        &opts,
+        &InterpConfig::default(),
+    )
+    .expect("cold run");
+    assert_eq!(cold.result, "[7, 8, 9]");
+    assert_eq!(cold.stats.retries, 3);
+    let (warm, _) = run_checked(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+        &opts,
+        &InterpConfig::default(),
+    )
+    .expect("warm run");
+    assert_eq!(warm.result, "[7, 8, 9]");
+    assert_eq!(warm.stats.retries, 0, "persisted quarantine pre-empts all");
+    assert_eq!(warm.stats.violations, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A wrong *reuse* claim (aliased `DCONS` target) is caught as a
+/// structured reuse violation by the copy-then-retire discipline.
+#[test]
+fn aliased_dcons_reuse_claim_is_caught() {
+    use nml_escape_analysis::opt::{IrExpr, IrProgram, SiteId};
+    use nml_escape_analysis::runtime::{AccessKind, ClaimKind, HeapConfig, Interp, InterpConfig};
+    use nml_escape_analysis::syntax::{Const, Prim, Symbol};
+
+    let x = Symbol::intern("x");
+    // letrec x = cons 1 nil in (car (DCONS x 2 nil)) + (car x)
+    // The DCONS claims x's cell is dead; the trailing `car x` disproves it.
+    let body = IrExpr::Letrec(
+        vec![(
+            x,
+            IrExpr::Cons {
+                alloc: nml_escape_analysis::opt::AllocMode::Heap,
+                head: Box::new(IrExpr::Const(Const::Int(1))),
+                tail: Box::new(IrExpr::Const(Const::Nil)),
+                site: SiteId(0),
+            },
+        )],
+        Box::new(IrExpr::Prim2(
+            Prim::Add,
+            Box::new(IrExpr::Prim1(
+                Prim::Car,
+                Box::new(IrExpr::Dcons {
+                    reused: x,
+                    head: Box::new(IrExpr::Const(Const::Int(2))),
+                    tail: Box::new(IrExpr::Const(Const::Nil)),
+                    site: SiteId(1),
+                }),
+            )),
+            Box::new(IrExpr::Prim1(Prim::Car, Box::new(IrExpr::Var(x)))),
+        )),
+    );
+    let ir = IrProgram {
+        funcs: vec![],
+        body,
+        next_site: 2,
+    };
+
+    // Unchecked: the aliased read silently sees the overwritten head.
+    let mut plain = Interp::new(&ir).expect("init");
+    let v = plain.run().expect("unchecked run completes");
+    assert!(matches!(v, nml_escape_analysis::runtime::Value::Int(4)));
+
+    // Checked: the same read is a reuse violation at the DCONS site.
+    let config = InterpConfig {
+        heap: HeapConfig {
+            checked: true,
+            ..HeapConfig::default()
+        },
+        ..InterpConfig::default()
+    };
+    let mut checked = Interp::with_config(&ir, config).expect("init");
+    let err = checked.run().expect_err("aliased reuse must be caught");
+    let RuntimeError::Soundness(v) = err else {
+        panic!("expected soundness violation, got {err}");
+    };
+    assert_eq!(v.claim, ClaimKind::Reuse);
+    assert_eq!(v.access, AccessKind::Car);
+    assert_eq!(v.site, Some(SiteId(1)));
+}
+
+/// Checked mode composes with the PR 1 fault plans: injected retreats,
+/// denials, and forced GCs are all claim-*preserving*, so a checked run
+/// under active faults still reports zero violations and matches the
+/// oracle.
+#[test]
+fn checked_mode_is_transparent_under_injected_faults() {
+    use nml_escape_analysis::runtime::{FaultPlan, FaultRate, HeapConfig};
+    let src = "letrec copy l = if (null l) then nil else cons (car l) (copy (cdr l));
+               mklist n = if n = 0 then nil else cons n (mklist (n - 1))
+               in copy (copy (mklist 12))";
+    let want = oracle(src);
+    for seed in 0..8u64 {
+        let plan = FaultPlan::new(seed)
+            .with_alloc_retreats(FaultRate::new(1, 3))
+            .with_region_denials(FaultRate::new(1, 3))
+            .with_forced_gc(FaultRate::new(1, 5));
+        let config = InterpConfig {
+            heap: HeapConfig {
+                gc_threshold: 16,
+                gc_enabled: true,
+                checked: false,
+            },
+            validate_regions: false,
+            fault: plan,
+            ..InterpConfig::default()
+        };
+        let (out, _) = run_checked(
+            src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+            &CheckedOptions::default(),
+            &config,
+        )
+        .expect("checked+faulted run");
+        assert_eq!(out.result, want, "seed {seed}");
+        assert_eq!(out.stats.violations, 0, "seed {seed}");
+        assert!(!out.degraded_unoptimized, "seed {seed}");
+    }
+}
+
+/// Non-claim runtime errors pass through the retry loop untouched.
+#[test]
+fn unrelated_runtime_errors_propagate() {
+    let outcome = run_checked(
+        "1 / 0",
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+        &CheckedOptions::default(),
+        &InterpConfig::default(),
+    );
+    let Err(err) = outcome else {
+        panic!("division by zero must not be recoverable");
+    };
+    assert!(matches!(
+        err,
+        PipelineError::Runtime(RuntimeError::DivisionByZero)
+    ));
+}

@@ -143,14 +143,14 @@ fn warm_cache_solves_nothing_and_agrees() {
             ..serial()
         };
         let cold = scheduled(w.source, &with_cache);
-        assert!(cold.schedule.cache_error.is_none(), "{}", w.name);
+        assert!(cold.schedule.cache_errors.is_empty(), "{}", w.name);
         assert_eq!(
             cold.schedule.sccs_solved, cold.schedule.scc_count,
             "{}: cold run solves everything",
             w.name
         );
         let warm = scheduled(w.source, &with_cache);
-        assert!(warm.schedule.cache_error.is_none(), "{}", w.name);
+        assert!(warm.schedule.cache_errors.is_empty(), "{}", w.name);
         assert_eq!(
             warm.schedule.sccs_solved, 0,
             "{}: warm run must re-analyze nothing",

@@ -10,8 +10,12 @@
 //!    allocation retreats, region denials) is observationally equal to
 //!    the unoptimized program on a fault-free interpreter.
 
-use nml_escape_analysis::escape::{reference_global, tabulate_program, Budget};
-use nml_escape_analysis::pipeline::{compile_governed, compile_optimized_governed, run_with};
+use nml_escape_analysis::escape::{
+    reference_global, tabulate_program, Budget, PolyMode, ScheduleOptions,
+};
+use nml_escape_analysis::pipeline::{
+    compile_governed, compile_optimized_governed, run_checked, run_with, CheckedOptions,
+};
 use nml_escape_analysis::runtime::{FaultPlan, FaultRate, HeapConfig, InterpConfig};
 use proptest::prelude::*;
 
@@ -107,6 +111,19 @@ fn fault_plan() -> BoxedStrategy<FaultPlan> {
         .boxed()
 }
 
+/// Scheduling mode for checked runs: serial unless `NML_TEST_JOBS` asks
+/// for workers (CI runs the suite once per mode).
+fn sched() -> ScheduleOptions {
+    let jobs = std::env::var("NML_TEST_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    ScheduleOptions {
+        jobs,
+        ..ScheduleOptions::default()
+    }
+}
+
 /// A fault-free oracle interpreter.
 fn clean_config() -> InterpConfig {
     InterpConfig::default()
@@ -120,6 +137,7 @@ fn faulted_config(plan: FaultPlan) -> InterpConfig {
         heap: HeapConfig {
             gc_threshold: 16,
             gc_enabled: true,
+            checked: false,
         },
         validate_regions: true,
         fault: plan,
@@ -165,6 +183,32 @@ proptest! {
         let faulted = run_with(&optimized.ir, faulted_config(plan))
             .expect("faults are recoverable: the run must still finish");
         prop_assert_eq!(&oracle.result, &faulted.result, "{}", src);
+    }
+
+    /// Checked mode under live faults: the soundness sentinel must stay
+    /// silent while retreats, denials, and forced GCs batter the heap —
+    /// those faults degrade claims, they never falsify one — and the
+    /// checked run must still match the fault-free oracle.
+    #[test]
+    fn checked_mode_stays_silent_under_faults(
+        src in program(),
+        plan in fault_plan(),
+    ) {
+        let compiled = compile_governed(&src, Budget::unlimited()).expect("front end");
+        let oracle = run_with(&compiled.ir, clean_config()).expect("clean run");
+        let (out, _) = run_checked(
+            &src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+            &CheckedOptions::default(),
+            &faulted_config(plan),
+        )
+        .expect("checked+faulted run finishes");
+        prop_assert_eq!(&out.result, &oracle.result, "{}", src);
+        prop_assert_eq!(out.stats.violations, 0, "{}: fault noise misread as unsoundness", src);
+        prop_assert_eq!(out.attempts, 1, "{}", src);
+        prop_assert!(!out.degraded_unoptimized, "{}", src);
     }
 
     /// Heap-capacity faults: the run either finishes with the oracle's

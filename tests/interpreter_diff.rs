@@ -15,6 +15,7 @@ fn stress() -> InterpConfig {
         heap: HeapConfig {
             gc_threshold: 32,
             gc_enabled: true,
+            checked: false,
         },
         validate_regions: true,
         step_limit: 20_000_000,

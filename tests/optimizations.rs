@@ -49,6 +49,7 @@ fn stress_config() -> InterpConfig {
         heap: HeapConfig {
             gc_threshold: 48,
             gc_enabled: true,
+            checked: false,
         },
         validate_regions: true,
         ..Default::default()
@@ -144,6 +145,7 @@ in sum (create_list 100)";
         heap: HeapConfig {
             gc_threshold: 32,
             gc_enabled: true,
+            checked: false,
         },
         validate_regions: true,
         ..Default::default()

@@ -111,6 +111,7 @@ fn corpus_runs_under_gc_pressure() {
         heap: HeapConfig {
             gc_threshold: 16,
             gc_enabled: true,
+            checked: false,
         },
         validate_regions: true,
         ..Default::default()
@@ -134,6 +135,7 @@ fn corpus_stack_allocation_never_changes_results() {
         heap: HeapConfig {
             gc_threshold: 16,
             gc_enabled: true,
+            checked: false,
         },
         validate_regions: true,
         ..Default::default()
@@ -160,6 +162,7 @@ fn corpus_full_optimization_never_changes_results() {
         heap: HeapConfig {
             gc_threshold: 16,
             gc_enabled: true,
+            checked: false,
         },
         validate_regions: true,
         ..Default::default()
