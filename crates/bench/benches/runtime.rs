@@ -5,11 +5,22 @@
 //! Absolute times are ours, not the paper's (they had no implementation);
 //! the *shape* — reuse wins, and wins more as n grows — is the claim
 //! under test.
+//!
+//! B-7 (`bench_engine_comparison`): the bytecode VM against the
+//! tree-walking interpreter on scaled-up corpus workloads. Medians land
+//! in `BENCH_runtime.json` at the workspace root, and the run fails if
+//! the VM's geometric-mean speedup drops below 3x — the engine's reason
+//! to exist, enforced on every bench run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nml_bench::runner::{build, build_ps, build_rev, build_stack_variant, sum_literal_source};
-use nml_runtime::{Interp, InterpConfig};
+use nml_bench::runner::{
+    build, build_ps, build_rev, build_stack_variant, create_consume_source,
+    repeated_consume_source, sum_literal_source,
+};
+use nml_runtime::{Interp, InterpConfig, Value, Vm};
+use std::fmt::Write as _;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn bench_rev_vs_rev_r(c: &mut Criterion) {
     let (b, rev, rev_r) = build_rev();
@@ -70,10 +81,138 @@ fn bench_stack_alloc(c: &mut Criterion) {
     g.finish();
 }
 
+/// Medians a closure over 3 warm-up + 9 timed runs.
+fn median_of<F: FnMut()>(mut f: F) -> Duration {
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// The corpus workloads scaled to interpretation-dominated sizes. Every
+/// main body reduces to an integer so the engines' results can be
+/// compared directly, without heap traversal.
+fn engine_workloads() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "naive_reverse",
+            "letrec
+               append x y = if (null x) then y else cons (car x) (append (cdr x) y);
+               rev l = if (null l) then nil else append (rev (cdr l)) (cons (car l) nil);
+               mklist n = if n = 0 then nil else cons n (mklist (n - 1));
+               sum l = if (null l) then 0 else (car l) + sum (cdr l)
+             in sum (rev (mklist 120))"
+                .to_owned(),
+        ),
+        (
+            "partition_sort",
+            "letrec
+               append x y = if (null x) then y else cons (car x) (append (cdr x) y);
+               split p x l h =
+                 if (null x) then (cons l (cons h nil))
+                 else if (car x) < p
+                      then split p (cdr x) (cons (car x) l) h
+                      else split p (cdr x) l (cons (car x) h);
+               ps x = if (null x) then nil
+                      else append (ps (car (split (car x) (cdr x) nil nil)))
+                                  (cons (car x) (ps (car (cdr (split (car x) (cdr x) nil nil)))));
+               mklist n = if n = 0 then nil else cons n (mklist (n - 1));
+               sum l = if (null l) then 0 else (car l) + sum (cdr l)
+             in sum (ps (mklist 90))"
+                .to_owned(),
+        ),
+        (
+            "map_pair",
+            "letrec
+               pair x = cons (car x) (cons (car (cdr x)) nil);
+               map f l = if (null l) then nil else cons (f (car l)) (map f (cdr l));
+               mkpairs n = if n = 0 then nil
+                           else cons (cons n (cons (n + 1) nil)) (mkpairs (n - 1));
+               sumheads l = if (null l) then 0 else (car (car l)) + sumheads (cdr l)
+             in sumheads (map pair (mkpairs 600))"
+                .to_owned(),
+        ),
+        ("create_consume", create_consume_source(3000)),
+        ("repeated_consume", repeated_consume_source(64, 250)),
+    ]
+}
+
+/// B-7: tree-walking interpreter vs bytecode VM on the scaled corpus.
+/// Each engine runs the *same* lowered IR under the default
+/// configuration; the medians and the geometric-mean speedup are written
+/// to `BENCH_runtime.json`, and the run fails below the 3x floor.
+fn bench_engine_comparison(_c: &mut Criterion) {
+    let workloads = engine_workloads();
+    let mut json = String::from("{\n  \"engine_comparison\": {\n");
+    let mut log_speedups: Vec<f64> = Vec::new();
+    println!("group engine_comparison");
+    for (wi, (name, src)) in workloads.iter().enumerate() {
+        let b = build(src);
+        // Correctness guard: both engines must produce the same integer
+        // before their timings are comparable at all.
+        let tree_val = Interp::with_config(&b.ir, InterpConfig::default())
+            .expect("interp")
+            .run()
+            .expect("tree run");
+        let vm_val = Vm::with_config(&b.ir, InterpConfig::default())
+            .expect("vm")
+            .run()
+            .expect("vm run");
+        match (&tree_val, &vm_val) {
+            (Value::Int(a), Value::Int(b)) if a == b => {}
+            _ => panic!("{name}: engines disagree: tree={tree_val:?} vm={vm_val:?}"),
+        }
+        let tree = median_of(|| {
+            let mut interp = Interp::with_config(&b.ir, InterpConfig::default()).expect("interp");
+            black_box(interp.run().expect("tree run"));
+        });
+        let vm = median_of(|| {
+            let mut vm = Vm::with_config(&b.ir, InterpConfig::default()).expect("vm");
+            black_box(vm.run().expect("vm run"));
+        });
+        let speedup = tree.as_nanos() as f64 / vm.as_nanos().max(1) as f64;
+        log_speedups.push(speedup.ln());
+        println!("bench engine_comparison/{name}: tree {tree:?} vm {vm:?} speedup {speedup:.2}x");
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(json, "      \"tree_ns\": {},", tree.as_nanos());
+        let _ = writeln!(json, "      \"vm_ns\": {},", vm.as_nanos());
+        let _ = writeln!(json, "      \"speedup\": {speedup:.3}");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    let geomean = (log_speedups.iter().sum::<f64>() / log_speedups.len() as f64).exp();
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"geomean_speedup\": {geomean:.3}");
+    json.push_str("}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("warning: cannot write {out}: {e}");
+    } else {
+        println!("wrote {out}");
+    }
+    println!("bench engine_comparison/geomean: {geomean:.2}x");
+    assert!(
+        geomean >= 3.0,
+        "VM speedup regressed: geometric mean {geomean:.2}x is below the 3x floor"
+    );
+}
+
 criterion_group!(
     benches,
     bench_rev_vs_rev_r,
     bench_ps_vs_ps_r,
-    bench_stack_alloc
+    bench_stack_alloc,
+    bench_engine_comparison
 );
 criterion_main!(benches);

@@ -53,6 +53,7 @@ pub mod ir;
 pub mod lastuse;
 pub mod pipeline;
 pub mod quarantine;
+pub mod resolve;
 pub mod reuse;
 pub mod stack;
 
@@ -67,6 +68,10 @@ pub use lastuse::{eligible_sites, occurs_under_lambda, select_sites, EligibleSit
 pub use pipeline::{auto_block, optimize, OptOptions, OptSummary};
 pub use quarantine::{
     apply_quarantine, body_cons_sites, sabotage_stack, walk_ir_mut, QuarantineSet, SabotagePlan,
+};
+pub use resolve::{
+    resolve_program, CaptureSrc, RExpr, RecGroup, ResolvedGlobal, ResolvedProgram, ResolvedUnit,
+    SlotRef,
 };
 pub use reuse::{reuse_name, reuse_variant, rewrite_calls, ReuseOptions};
 pub use stack::{annotate_stack, plan_stack_allocation};

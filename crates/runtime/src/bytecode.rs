@@ -1,0 +1,645 @@
+//! Flat bytecode for the register/stack VM ([`crate::vm`]).
+//!
+//! The compiler consumes the slot-resolved tree produced by
+//! [`nml_opt::resolve_program`] and flattens it into compact instruction
+//! sequences with explicit jump offsets. Each [`nml_opt::ResolvedUnit`]
+//! becomes one [`Chunk`] (same index), so a resolved `GlobalFunc`
+//! reference is directly a chunk to enter.
+//!
+//! Design points:
+//!
+//! - **Tail calls are resolved statically.** The emitter threads a
+//!   tail-position flag; an application in tail position compiles to
+//!   [`Op::TailCall`]/[`Op::TailCallGlobal`], which replace the current
+//!   frame in place, and every other tail expression ends in
+//!   [`Op::Return`]. Compiled code never falls off the end of a chunk.
+//! - **Saturated global calls skip closure creation.** An application
+//!   spine whose head resolves to a top-level function with enough
+//!   arguments compiles to a single [`Op::CallGlobal`]: the arguments
+//!   are moved from the operand stack straight into the callee's frame
+//!   slots, with no intermediate partial-application values.
+//! - **`DCONS` keeps the interpreter's error ordering.** The reuse
+//!   target is loaded and checked ([`Op::CheckPair`]) *before* the head
+//!   and tail evaluate, exactly like the tree-walker.
+//! - **`letrec` slots are cleared on scope exit** ([`Op::ClearLocal`]),
+//!   so a dead binding in a frame slot does not outlive its scope — the
+//!   VM's root set stays as tight as the tree-walker's environment
+//!   chains (this matters for region validation, which proves
+//!   *unreachability*).
+
+use nml_opt::{
+    resolve_program, AllocMode, CaptureSrc, IrProgram, RExpr, RegionKind, ResolvedGlobal, SiteId,
+    SlotRef,
+};
+use nml_syntax::ast::Const;
+use nml_syntax::{Prim, Symbol};
+
+/// One VM instruction. `Copy` so the dispatch loop can fetch by value
+/// and keep no borrow of the code while it mutates the machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a boolean constant.
+    PushBool(bool),
+    /// Push the empty list.
+    PushNil,
+    /// Push a primitive as a first-class function value.
+    PushPrim(Prim),
+    /// Push frame slot `i`.
+    LoadLocal(u16),
+    /// Push capture `i` of the current closure.
+    LoadCapture(u16),
+    /// Materialize member `j` of the current recursive group (shares the
+    /// current capture environment).
+    LoadRec(u16),
+    /// Push top-level function `i` (a partial-application seed).
+    LoadGlobalFunc(u32),
+    /// Push top-level value binding `i`; raises `Unbound` when startup
+    /// has not initialized it yet.
+    LoadGlobalVal(u32),
+    /// A statically unbound name: raises `Unbound` with this name.
+    Unbound(Symbol),
+    /// Pop into frame slot `i`.
+    StoreLocal(u16),
+    /// Overwrite frame slot `i` with nil (scope exit).
+    ClearLocal(u16),
+    /// Build a closure from closure-site `i`, copying its captures out
+    /// of the current frame.
+    MakeClosure(u32),
+    /// Build a mutually recursive closure group from rec-site `i`: one
+    /// shared capture environment, one materialized closure per member,
+    /// stored into the site's frame slots.
+    MakeRec(u32),
+    /// Unconditional jump to an absolute offset in the current chunk.
+    Jump(u32),
+    /// Pop a bool; jump to the offset when it is `false`.
+    JumpIfFalse(u32),
+    /// Pop argument then callee; apply one argument.
+    Call,
+    /// Like [`Op::Call`] but replaces the current frame (tail position).
+    TailCall,
+    /// Enter chunk `c` directly; its `n_params` arguments move from the
+    /// operand stack into the new frame's slots.
+    CallGlobal(u32),
+    /// Like [`Op::CallGlobal`] but replaces the current frame.
+    TailCallGlobal(u32),
+    /// Pop the result and return to the calling frame.
+    Return,
+    /// Pop tail then head; allocate a cons cell with the given mode.
+    Cons {
+        /// Storage decision from the escape analysis.
+        mode: AllocMode,
+        /// Allocation site (for statistics and checked-mode claims).
+        site: SiteId,
+    },
+    /// Assert the top of stack is a pair (the `DCONS` target check,
+    /// *before* head/tail evaluate).
+    CheckPair,
+    /// Pop tail, head, and target cell; reuse the target in place (or
+    /// copy-and-retire in checked mode).
+    Dcons(SiteId),
+    /// Pop one value, apply a unary primitive, push the result.
+    Prim1(Prim),
+    /// Pop two values, apply a binary primitive, push the result.
+    Prim2(Prim),
+    /// Fused `LoadLocal(i); Prim1(p)`: apply the primitive straight to
+    /// frame slot `i` (peephole superinstruction — no operand-stack
+    /// round trip).
+    Prim1Local(Prim, u16),
+    /// Fused `LoadLocal(i); Prim2(p)`: pop the left operand, take the
+    /// *right* operand from frame slot `i`. Never emitted for
+    /// allocating primitives (keeps the GC-poll sites exact).
+    Prim2Local(Prim, u16),
+    /// Fused `PushInt(n); Prim2(p)`: pop the left operand, use `n` as
+    /// the right. Never emitted for allocating primitives.
+    Prim2Imm(Prim, i64),
+    /// Fused `Prim1Local(Null, i); JumpIfFalse(t)` — the ubiquitous
+    /// `if (null l)` loop header: jump when frame slot `i` holds a cons
+    /// cell, fall through when nil.
+    JumpIfPairLocal(u16, u32),
+    /// Open a dynamic extent (stack region or block).
+    EnterRegion(RegionKind),
+    /// Close the innermost extent opened by this chunk.
+    ExitRegion,
+}
+
+/// One compiled code unit (a top-level binding body, a lambda, or the
+/// program body). Chunk indices coincide with resolved-unit indices.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Name, when the chunk is a named binding (diagnostics only).
+    pub name: Option<Symbol>,
+    /// Number of parameters, occupying slots `0..n_params` on entry.
+    pub n_params: u16,
+    /// Total frame slots (parameters plus `letrec` bindings).
+    pub n_slots: u16,
+    /// The instructions.
+    pub code: Vec<Op>,
+}
+
+/// A closure creation site: which chunk the closure runs and where its
+/// captures are copied from in the *creating* frame.
+#[derive(Debug, Clone)]
+pub struct ClosureSite {
+    /// The code unit the closure executes.
+    pub chunk: u32,
+    /// Capture sources, resolved against the creating frame.
+    pub captures: Vec<CaptureSrc>,
+}
+
+/// A `letrec` lambda-group creation site. All members share one capture
+/// environment; each materialized member closure lands in a frame slot.
+#[derive(Debug, Clone)]
+pub struct RecSite {
+    /// Member chunks, in binding order.
+    pub chunks: Vec<u32>,
+    /// The shared captures, resolved against the creating frame.
+    pub captures: Vec<CaptureSrc>,
+    /// Frame slots the member closures are stored into.
+    pub slots: Vec<u16>,
+}
+
+/// A compiled top-level binding.
+#[derive(Debug, Clone, Copy)]
+pub enum GlobalDef {
+    /// A function: entered directly via [`Op::CallGlobal`].
+    Func {
+        /// The chunk holding its body.
+        chunk: u32,
+        /// Curried arity.
+        arity: u16,
+    },
+    /// A value binding, evaluated once at startup.
+    Value {
+        /// The chunk holding its initializer.
+        chunk: u32,
+    },
+}
+
+/// A whole compiled program.
+#[derive(Debug, Clone)]
+pub struct BytecodeProgram {
+    /// All code units.
+    pub chunks: Vec<Chunk>,
+    /// Closure creation sites referenced by [`Op::MakeClosure`].
+    pub closures: Vec<ClosureSite>,
+    /// Recursive-group sites referenced by [`Op::MakeRec`].
+    pub recs: Vec<RecSite>,
+    /// Top-level bindings, parallel to `IrProgram::funcs`.
+    pub globals: Vec<GlobalDef>,
+    /// The program body's chunk.
+    pub main: u32,
+}
+
+/// Compiles an IR program to bytecode (slot resolution plus flattening).
+pub fn compile(p: &IrProgram) -> BytecodeProgram {
+    let r = resolve_program(p);
+    let globals: Vec<GlobalDef> = r
+        .globals
+        .iter()
+        .map(|g| match *g {
+            ResolvedGlobal::Func { unit, arity } => GlobalDef::Func { chunk: unit, arity },
+            ResolvedGlobal::Value { unit } => GlobalDef::Value { chunk: unit },
+        })
+        .collect();
+    let mut closures = Vec::new();
+    let mut recs = Vec::new();
+    let chunks = r
+        .units
+        .iter()
+        .map(|u| {
+            let mut e = Emitter {
+                code: Vec::new(),
+                closures: &mut closures,
+                recs: &mut recs,
+                globals: &globals,
+            };
+            e.emit(&u.body, true);
+            Chunk {
+                name: u.name,
+                n_params: u.n_params,
+                n_slots: u.n_slots,
+                // Two rounds: the second fuses pairs whose first half was
+                // itself produced by the first (e.g. the null-test branch).
+                code: peephole(peephole(e.code)),
+            }
+        })
+        .collect();
+    BytecodeProgram {
+        chunks,
+        closures,
+        recs,
+        globals,
+        main: r.main,
+    }
+}
+
+/// The peephole pass: fuses adjacent load/apply pairs into
+/// superinstructions, then remaps jump targets over the shortened code.
+/// A pair is only fused when its second instruction is not a jump
+/// target, and never for allocating primitives (the VM polls the GC at
+/// allocation instructions while the operands are still rooted, so the
+/// set of allocation instructions must survive fusion unchanged).
+fn peephole(code: Vec<Op>) -> Vec<Op> {
+    let mut is_target = vec![false; code.len() + 1];
+    for op in &code {
+        if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfPairLocal(_, t) = op {
+            is_target[*t as usize] = true;
+        }
+    }
+    // old pc -> new pc, for jump remapping.
+    let mut map = vec![0u32; code.len() + 1];
+    let mut out = Vec::with_capacity(code.len());
+    let mut i = 0;
+    while i < code.len() {
+        map[i] = out.len() as u32;
+        let fused = if i + 1 < code.len() && !is_target[i + 1] {
+            match (code[i], code[i + 1]) {
+                (Op::LoadLocal(s), Op::Prim1(p)) => Some(Op::Prim1Local(p, s)),
+                (Op::LoadLocal(s), Op::Prim2(p)) if !p.allocates() => Some(Op::Prim2Local(p, s)),
+                (Op::PushInt(n), Op::Prim2(p)) if !p.allocates() => Some(Op::Prim2Imm(p, n)),
+                // Second-round fusion: the `if (null l)` loop header. The
+                // jump target is an *old* pc here; the remap below fixes it.
+                (Op::Prim1Local(Prim::Null, s), Op::JumpIfFalse(t)) => {
+                    Some(Op::JumpIfPairLocal(s, t))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(op) = fused {
+            map[i + 1] = out.len() as u32;
+            out.push(op);
+            i += 2;
+        } else {
+            out.push(code[i]);
+            i += 1;
+        }
+    }
+    map[code.len()] = out.len() as u32;
+    for op in &mut out {
+        if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfPairLocal(_, t) = op {
+            *t = map[*t as usize];
+        }
+    }
+    out
+}
+
+struct Emitter<'a> {
+    code: Vec<Op>,
+    closures: &'a mut Vec<ClosureSite>,
+    recs: &'a mut Vec<RecSite>,
+    globals: &'a [GlobalDef],
+}
+
+impl Emitter<'_> {
+    /// Emits `e`; when `tail` is set the emitted code is guaranteed to
+    /// end the chunk (via `Return` or a tail call) — control never falls
+    /// through past a tail expression.
+    fn emit(&mut self, e: &RExpr, tail: bool) {
+        match e {
+            RExpr::Const(c) => {
+                self.code.push(match c {
+                    Const::Int(n) => Op::PushInt(*n),
+                    Const::Bool(b) => Op::PushBool(*b),
+                    Const::Nil => Op::PushNil,
+                    Const::Prim(p) => Op::PushPrim(*p),
+                });
+                self.ret_if(tail);
+            }
+            RExpr::Var(x, slot) => {
+                self.emit_load(*x, *slot);
+                self.ret_if(tail);
+            }
+            RExpr::App(..) => self.emit_app(e, tail),
+            RExpr::MakeClosure { unit, captures } => {
+                let idx = self.closures.len() as u32;
+                self.closures.push(ClosureSite {
+                    chunk: *unit,
+                    captures: captures.clone(),
+                });
+                self.code.push(Op::MakeClosure(idx));
+                self.ret_if(tail);
+            }
+            RExpr::If(c, t, f) => {
+                self.emit(c, false);
+                let jf = self.jump_placeholder(Op::JumpIfFalse(0));
+                self.emit(t, tail);
+                if tail {
+                    // Both branches end the chunk; no join point needed.
+                    self.patch(jf);
+                    self.emit(f, true);
+                } else {
+                    let jend = self.jump_placeholder(Op::Jump(0));
+                    self.patch(jf);
+                    self.emit(f, false);
+                    self.patch(jend);
+                }
+            }
+            RExpr::Letrec {
+                group,
+                values,
+                body,
+            } => {
+                let mut bound: Vec<u16> = Vec::new();
+                if let Some(g) = group {
+                    let idx = self.recs.len() as u32;
+                    self.recs.push(RecSite {
+                        chunks: g.units.clone(),
+                        captures: g.captures.clone(),
+                        slots: g.slots.clone(),
+                    });
+                    self.code.push(Op::MakeRec(idx));
+                    bound.extend(&g.slots);
+                }
+                for (slot, v) in values {
+                    self.emit(v, false);
+                    self.code.push(Op::StoreLocal(*slot));
+                    bound.push(*slot);
+                }
+                self.emit(body, tail);
+                if !tail {
+                    // Scope exit: drop the bindings so the frame keeps
+                    // nothing alive past its lexical extent. (In tail
+                    // position the whole frame unwinds instead.)
+                    for s in bound {
+                        self.code.push(Op::ClearLocal(s));
+                    }
+                }
+            }
+            RExpr::Cons {
+                alloc,
+                head,
+                tail: t,
+                site,
+            } => {
+                self.emit(head, false);
+                self.emit(t, false);
+                self.code.push(Op::Cons {
+                    mode: *alloc,
+                    site: *site,
+                });
+                self.ret_if(tail);
+            }
+            RExpr::Dcons {
+                reused,
+                target,
+                head,
+                tail: t,
+                site,
+            } => {
+                self.emit_load(*reused, *target);
+                self.code.push(Op::CheckPair);
+                self.emit(head, false);
+                self.emit(t, false);
+                self.code.push(Op::Dcons(*site));
+                self.ret_if(tail);
+            }
+            RExpr::Prim1(p, a) => {
+                self.emit(a, false);
+                self.code.push(Op::Prim1(*p));
+                self.ret_if(tail);
+            }
+            RExpr::Prim2(p, a, b) => {
+                self.emit(a, false);
+                self.emit(b, false);
+                self.code.push(Op::Prim2(*p));
+                self.ret_if(tail);
+            }
+            RExpr::Region { kind, inner } => {
+                self.code.push(Op::EnterRegion(*kind));
+                self.emit(inner, false);
+                self.code.push(Op::ExitRegion);
+                self.ret_if(tail);
+            }
+        }
+    }
+
+    /// Flattens an application spine. A head resolving to a top-level
+    /// function with enough arguments becomes a direct chunk call;
+    /// everything else goes through one-argument `Call`s, mirroring the
+    /// interpreter's currying (same evaluation order, same errors).
+    fn emit_app(&mut self, e: &RExpr, tail: bool) {
+        let mut args = Vec::new();
+        let mut head = e;
+        while let RExpr::App(f, a) = head {
+            args.push(a.as_ref());
+            head = f;
+        }
+        args.reverse();
+        if let RExpr::Var(_, SlotRef::GlobalFunc(i)) = head {
+            let GlobalDef::Func { chunk, arity } = self.globals[*i as usize] else {
+                unreachable!("GlobalFunc resolves to a function binding");
+            };
+            let arity = arity as usize;
+            if args.len() >= arity {
+                for a in &args[..arity] {
+                    self.emit(a, false);
+                }
+                let rest = &args[arity..];
+                if rest.is_empty() {
+                    self.code.push(if tail {
+                        Op::TailCallGlobal(chunk)
+                    } else {
+                        Op::CallGlobal(chunk)
+                    });
+                    return;
+                }
+                // Over-application: the saturated call produces a
+                // function value, applied to the leftovers one by one.
+                self.code.push(Op::CallGlobal(chunk));
+                self.emit_arg_calls(rest, tail);
+                return;
+            }
+        }
+        self.emit(head, false);
+        self.emit_arg_calls(&args, tail);
+    }
+
+    fn emit_arg_calls(&mut self, args: &[&RExpr], tail: bool) {
+        for (k, a) in args.iter().enumerate() {
+            self.emit(a, false);
+            let last = k + 1 == args.len();
+            self.code
+                .push(if last && tail { Op::TailCall } else { Op::Call });
+        }
+    }
+
+    fn emit_load(&mut self, name: Symbol, slot: SlotRef) {
+        self.code.push(match slot {
+            SlotRef::Local(i) => Op::LoadLocal(i),
+            SlotRef::Capture(i) => Op::LoadCapture(i),
+            SlotRef::Rec(j) => Op::LoadRec(j),
+            SlotRef::GlobalFunc(i) => Op::LoadGlobalFunc(i),
+            SlotRef::GlobalVal(i) => Op::LoadGlobalVal(i),
+            SlotRef::Unbound => Op::Unbound(name),
+        });
+    }
+
+    fn ret_if(&mut self, tail: bool) {
+        if tail {
+            self.code.push(Op::Return);
+        }
+    }
+
+    fn jump_placeholder(&mut self, op: Op) -> usize {
+        let at = self.code.len();
+        self.code.push(op);
+        at
+    }
+
+    /// Points the placeholder at `at` to the current end of code.
+    fn patch(&mut self, at: usize) {
+        let target = self.code.len() as u32;
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfFalse(t) => *t = target,
+            other => unreachable!("patching a non-jump {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nml_opt::lower_program;
+    use nml_syntax::parse_program;
+    use nml_types::infer_program;
+
+    fn compile_src(src: &str) -> BytecodeProgram {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        compile(&lower_program(&p, &info))
+    }
+
+    fn chunk<'a>(b: &'a BytecodeProgram, name: &str) -> &'a Chunk {
+        let n = Symbol::intern(name);
+        b.chunks
+            .iter()
+            .find(|c| c.name == Some(n))
+            .expect("named chunk")
+    }
+
+    #[test]
+    fn every_chunk_ends_with_terminal_control() {
+        let b = compile_src(
+            "letrec rev l = if null l then nil else app (rev (cdr l)) (cons (car l) nil);
+                    app a b = if null a then b else cons (car a) (app (cdr a) b)
+             in rev [1, 2, 3]",
+        );
+        for c in &b.chunks {
+            assert!(
+                matches!(
+                    c.code.last(),
+                    Some(Op::Return | Op::TailCall | Op::TailCallGlobal(_))
+                ),
+                "chunk {:?} ends in {:?} (would fall through)",
+                c.name,
+                c.code.last()
+            );
+        }
+    }
+
+    #[test]
+    fn self_recursive_tail_call_compiles_to_tail_call_global() {
+        let b = compile_src("letrec loop n = if n = 0 then 0 else loop (n - 1) in loop 10");
+        let c = chunk(&b, "loop");
+        assert!(
+            c.code.iter().any(|o| matches!(o, Op::TailCallGlobal(_))),
+            "{:?}",
+            c.code
+        );
+        assert!(
+            !c.code
+                .iter()
+                .any(|o| matches!(o, Op::Call | Op::CallGlobal(_))),
+            "no general dispatch on the recursion: {:?}",
+            c.code
+        );
+    }
+
+    #[test]
+    fn non_tail_recursion_uses_call_global() {
+        let b = compile_src("letrec sum l = if null l then 0 else car l + sum (cdr l) in sum [1]");
+        let c = chunk(&b, "sum");
+        assert!(c.code.iter().any(|o| matches!(o, Op::CallGlobal(_))));
+        assert!(!c.code.iter().any(|o| matches!(o, Op::TailCallGlobal(_))));
+    }
+
+    #[test]
+    fn if_branch_offsets_are_patched() {
+        let b = compile_src("letrec f x = if x = 0 then 1 else 2 in f 3");
+        let c = chunk(&b, "f");
+        for (i, op) in c.code.iter().enumerate() {
+            if let Op::Jump(t) | Op::JumpIfFalse(t) = op {
+                assert!(
+                    (*t as usize) <= c.code.len() && (*t as usize) > i,
+                    "jump at {i} targets {t} (len {})",
+                    c.code.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn letrec_bindings_clear_on_scope_exit_in_non_tail_position() {
+        // The letrec is an operand of `+`, so its body is non-tail and
+        // its slot must be cleared afterwards.
+        let b = compile_src("letrec f n = (letrec a = cons n nil in car a) + 1 in f 4");
+        let c = chunk(&b, "f");
+        assert!(
+            c.code.iter().any(|o| matches!(o, Op::ClearLocal(_))),
+            "{:?}",
+            c.code
+        );
+    }
+
+    #[test]
+    fn dcons_checks_target_before_head() {
+        // DCONS is introduced by the reuse transformation, not parsed;
+        // build the IR directly.
+        use nml_opt::{IrExpr, IrFunc};
+        let l = Symbol::intern("l");
+        let ir = nml_opt::IrProgram {
+            funcs: vec![IrFunc {
+                name: Symbol::intern("f"),
+                params: vec![l],
+                body: IrExpr::Dcons {
+                    reused: l,
+                    head: Box::new(IrExpr::Const(Const::Int(9))),
+                    tail: Box::new(IrExpr::Const(Const::Nil)),
+                    site: SiteId(0),
+                },
+            }],
+            body: IrExpr::Const(Const::Nil),
+            next_site: 1,
+        };
+        let b = compile(&ir);
+        let c = chunk(&b, "f");
+        let check = c.code.iter().position(|o| matches!(o, Op::CheckPair));
+        let head = c.code.iter().position(|o| matches!(o, Op::PushInt(9)));
+        let (check, head) = (check.expect("CheckPair"), head.expect("head push"));
+        assert!(check < head, "target checked before head evaluates");
+    }
+
+    #[test]
+    fn under_application_goes_through_generic_call() {
+        let b = compile_src(
+            "letrec add x y = x + y;
+                    use f = f 1
+             in use (add 5)",
+        );
+        let main = &b.chunks[b.main as usize];
+        // `add 5` under-applies a 2-ary global: generic Call path.
+        assert!(
+            main.code.iter().any(|o| matches!(o, Op::LoadGlobalFunc(_))),
+            "{:?}",
+            main.code
+        );
+        assert!(main
+            .code
+            .iter()
+            .any(|o| matches!(o, Op::Call | Op::TailCall)));
+    }
+}

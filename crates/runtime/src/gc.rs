@@ -1,61 +1,168 @@
 //! Mark phase of the mark–sweep collector.
 //!
-//! The interpreter keeps its entire state in explicit structures (control
-//! value, frame stack, environments, globals), so the root set is exact —
-//! no conservative stack scanning. Marking traverses cells through pairs
-//! and through values captured in closures, partial applications, and
-//! environments.
+//! The interpreter and the bytecode VM keep their entire state in
+//! explicit structures (control value, frame stack, environments,
+//! globals), so the root set is exact — no conservative stack scanning.
+//! Marking traverses cells through pairs and through values captured in
+//! closures, partial applications, and environments.
+//!
+//! Roots are registered *by reference* through a [`Marker`]: a collection
+//! never clones a root `Value` or `Env`. Only closure-shaped values met
+//! during the traversal are kept on an owned worklist (an `Rc` bump, not
+//! a deep copy); plain cells travel as bare [`CellRef`] indices.
 
-use crate::heap::Heap;
-use crate::value::Value;
+use crate::heap::{CellRef, Heap};
+use crate::value::{CaptureEnv, Env, Value};
 use std::collections::HashSet;
+use std::rc::Rc;
 
-/// Computes the mark bitmap for the given roots. Environments reachable
-/// from closures are deduplicated by node address, so shared environment
-/// suffixes are traversed once.
-pub fn mark<'p>(
-    heap: &Heap<'p>,
-    root_values: impl IntoIterator<Item = Value<'p>>,
-    root_envs: impl IntoIterator<Item = crate::value::Env<'p>>,
-) -> Vec<bool> {
-    let mut marked = vec![false; heap.capacity()];
-    let mut seen_envs: HashSet<*const ()> = HashSet::new();
-    let mut work: Vec<Value<'p>> = root_values.into_iter().collect();
-    for env in root_envs {
-        env.for_each_value(&mut seen_envs, &mut |v| work.push(v.clone()));
-    }
-    while let Some(v) = work.pop() {
-        match v {
-            Value::Int(_) | Value::Bool(_) | Value::Nil => {}
-            Value::Pair(c) | Value::Tuple(c) => {
-                let idx = c.0 as usize;
-                if idx < marked.len() && !marked[idx] && heap.is_live(c) {
-                    marked[idx] = true;
-                    if let Ok(car) = heap.car(c) {
-                        work.push(car);
-                    }
-                    if let Ok(cdr) = heap.cdr(c) {
-                        work.push(cdr);
-                    }
-                }
-            }
-            Value::Closure(clo) => {
-                clo.env
-                    .for_each_value(&mut seen_envs, &mut |v| work.push(v.clone()));
-            }
-            Value::Func { applied, .. } => {
-                for a in applied.iter() {
-                    work.push(a.clone());
-                }
-            }
-            Value::Prim { first, .. } => {
-                if let Some(f) = first {
-                    work.push((*f).clone());
-                }
-            }
+/// An in-progress mark phase. Register every root with the `root_*`
+/// methods, then call [`Marker::finish`] to run the traversal and obtain
+/// the mark bitmap for [`Heap::sweep`].
+pub struct Marker<'p> {
+    marked: Vec<bool>,
+    seen_envs: HashSet<*const ()>,
+    seen_caps: HashSet<*const ()>,
+    /// Cells whose car/cdr still need scanning.
+    cells: Vec<CellRef>,
+    /// Closure-shaped values whose innards still need scanning.
+    pending: Vec<Value<'p>>,
+    roots: usize,
+}
+
+/// Queues the cell or closure guts of `v` without cloning scalars.
+fn note<'p>(cells: &mut Vec<CellRef>, pending: &mut Vec<Value<'p>>, v: &Value<'p>) {
+    match v {
+        Value::Int(_) | Value::Bool(_) | Value::Nil => {}
+        Value::Pair(c) | Value::Tuple(c) => cells.push(*c),
+        Value::Prim { first: None, .. } => {}
+        Value::Func { applied, .. } if applied.is_empty() => {}
+        Value::Closure(_) | Value::Func { .. } | Value::Prim { .. } | Value::VmClosure { .. } => {
+            pending.push(v.clone());
         }
     }
-    marked
+}
+
+impl<'p> Marker<'p> {
+    /// Starts a mark phase sized to `heap`.
+    pub fn new(heap: &Heap<'p>) -> Self {
+        Marker {
+            marked: vec![false; heap.capacity()],
+            seen_envs: HashSet::new(),
+            seen_caps: HashSet::new(),
+            cells: Vec::new(),
+            pending: Vec::new(),
+            roots: 0,
+        }
+    }
+
+    /// Registers a root value (borrowed; nothing scalar is cloned).
+    pub fn root_value(&mut self, v: &Value<'p>) {
+        self.roots += 1;
+        note(&mut self.cells, &mut self.pending, v);
+    }
+
+    /// Registers a whole environment chain as a root.
+    pub fn root_env(&mut self, env: &Env<'p>) {
+        self.roots += 1;
+        let Marker {
+            seen_envs,
+            cells,
+            pending,
+            ..
+        } = self;
+        env.for_each_value(seen_envs, &mut |v| note(cells, pending, v));
+    }
+
+    /// Registers a bare cell as a root (e.g. a `DCONS` target held by a
+    /// continuation frame).
+    pub fn root_cell(&mut self, c: CellRef) {
+        self.roots += 1;
+        self.cells.push(c);
+    }
+
+    /// Registers a VM capture environment as a root.
+    pub fn root_captures(&mut self, cap: &Rc<CaptureEnv<'p>>) {
+        self.roots += 1;
+        self.trace_caps(cap);
+    }
+
+    /// Number of roots registered so far (assertable in tests: the root
+    /// set is exact, so its size is predictable).
+    pub fn roots_seen(&self) -> usize {
+        self.roots
+    }
+
+    fn trace_caps(&mut self, cap: &Rc<CaptureEnv<'p>>) {
+        if !self.seen_caps.insert(Rc::as_ptr(cap) as *const ()) {
+            return;
+        }
+        for v in &cap.values {
+            note(&mut self.cells, &mut self.pending, v);
+        }
+    }
+
+    /// Runs the traversal and returns the mark bitmap.
+    pub fn finish(mut self, heap: &Heap<'p>) -> Vec<bool> {
+        loop {
+            while let Some(c) = self.cells.pop() {
+                let idx = c.0 as usize;
+                if idx >= self.marked.len() || self.marked[idx] {
+                    continue;
+                }
+                let Some((car, cdr)) = heap.peek(c) else {
+                    continue; // dead cell: not marked, not traversed
+                };
+                self.marked[idx] = true;
+                note(&mut self.cells, &mut self.pending, car);
+                note(&mut self.cells, &mut self.pending, cdr);
+            }
+            let Some(v) = self.pending.pop() else {
+                break;
+            };
+            match v {
+                Value::Closure(clo) => {
+                    let Marker {
+                        seen_envs,
+                        cells,
+                        pending,
+                        ..
+                    } = &mut self;
+                    clo.env
+                        .for_each_value(seen_envs, &mut |x| note(cells, pending, x));
+                }
+                Value::Func { applied, .. } => {
+                    for a in applied.iter() {
+                        note(&mut self.cells, &mut self.pending, a);
+                    }
+                }
+                Value::Prim { first: Some(f), .. } => {
+                    note(&mut self.cells, &mut self.pending, &f);
+                }
+                Value::VmClosure { env, .. } => self.trace_caps(&env),
+                _ => {}
+            }
+        }
+        self.marked
+    }
+}
+
+/// Computes the mark bitmap for the given (borrowed) roots. Environments
+/// reachable from closures are deduplicated by node address, so shared
+/// environment suffixes are traversed once.
+pub fn mark<'a, 'p: 'a>(
+    heap: &Heap<'p>,
+    root_values: impl IntoIterator<Item = &'a Value<'p>>,
+    root_envs: impl IntoIterator<Item = &'a Env<'p>>,
+) -> Vec<bool> {
+    let mut m = Marker::new(heap);
+    for v in root_values {
+        m.root_value(v);
+    }
+    for env in root_envs {
+        m.root_env(env);
+    }
+    m.finish(heap)
 }
 
 #[cfg(test)]
@@ -66,12 +173,16 @@ mod tests {
     use nml_opt::AllocMode;
     use nml_syntax::Symbol;
 
+    const NO_VALUES: [&Value<'static>; 0] = [];
+    const NO_ENVS: [&Env<'static>; 0] = [];
+
     #[test]
     fn unreachable_cells_are_unmarked() {
         let mut h = Heap::new(HeapConfig::default());
         let a = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
         let _b = h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
-        let marked = mark(&h, [Value::Pair(a)], []);
+        let root = Value::Pair(a);
+        let marked = mark(&h, [&root], NO_ENVS);
         assert!(marked[a.0 as usize]);
         assert_eq!(marked.iter().filter(|&&m| m).count(), 1);
     }
@@ -81,7 +192,8 @@ mod tests {
         let mut h = Heap::new(HeapConfig::default());
         let inner = h.alloc(Value::Int(9), Value::Nil, AllocMode::Heap);
         let outer = h.alloc(Value::Pair(inner), Value::Nil, AllocMode::Heap);
-        let marked = mark(&h, [Value::Pair(outer)], []);
+        let root = Value::Pair(outer);
+        let marked = mark(&h, [&root], NO_ENVS);
         assert!(marked[inner.0 as usize]);
         assert!(marked[outer.0 as usize]);
     }
@@ -91,7 +203,7 @@ mod tests {
         let mut h = Heap::new(HeapConfig::default());
         let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
         let env = Env::empty().bind(Symbol::intern("x"), Value::Pair(c));
-        let marked = mark(&h, [], [env]);
+        let marked = mark(&h, NO_VALUES, [&env]);
         assert!(marked[c.0 as usize]);
     }
 
@@ -103,7 +215,7 @@ mod tests {
             prim: nml_syntax::Prim::Cons,
             first: Some(std::rc::Rc::new(Value::Pair(c))),
         };
-        let marked = mark(&h, [v], []);
+        let marked = mark(&h, [&v], NO_ENVS);
         assert!(marked[c.0 as usize]);
     }
 
@@ -113,7 +225,43 @@ mod tests {
         let a = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
         // Tie a cycle through DCONS-style mutation.
         h.set(a, Value::Int(1), Value::Pair(a)).unwrap();
-        let marked = mark(&h, [Value::Pair(a)], []);
+        let root = Value::Pair(a);
+        let marked = mark(&h, [&root], NO_ENVS);
         assert!(marked[a.0 as usize]);
+    }
+
+    #[test]
+    fn vm_capture_env_roots_are_traversed_once() {
+        let mut h = Heap::new(HeapConfig::default());
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        let cap = Rc::new(CaptureEnv {
+            values: vec![Value::Pair(c), Value::Int(5)],
+            rec: vec![0, 1],
+        });
+        let mut m = Marker::new(&h);
+        // Two closures sharing one capture env: deduplicated by address.
+        m.root_value(&Value::VmClosure {
+            chunk: 0,
+            env: cap.clone(),
+        });
+        m.root_value(&Value::VmClosure {
+            chunk: 1,
+            env: cap.clone(),
+        });
+        assert_eq!(m.roots_seen(), 2);
+        let marked = m.finish(&h);
+        assert!(marked[c.0 as usize]);
+    }
+
+    #[test]
+    fn root_count_is_exact() {
+        let h = Heap::new(HeapConfig::default());
+        let mut m = Marker::new(&h);
+        let v = Value::Int(1);
+        let env = Env::empty();
+        m.root_value(&v);
+        m.root_env(&env);
+        m.root_cell(CellRef(0));
+        assert_eq!(m.roots_seen(), 3);
     }
 }

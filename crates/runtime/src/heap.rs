@@ -102,10 +102,12 @@ pub struct Heap<'p> {
     /// Instrumentation counters (shared with the interpreter).
     pub stats: RuntimeStats,
     /// Per-allocation-site counters (cells allocated by each `cons`
-    /// site), for hot-site profiling.
-    site_allocs: HashMap<SiteId, u64>,
+    /// site), for hot-site profiling. Site ids are dense, so these are
+    /// flat arrays indexed by [`SiteId`] rather than hash maps — site
+    /// attribution sits on the allocation fast path.
+    site_allocs: Vec<u64>,
     /// Per-site `DCONS` reuse counters.
-    site_reuses: HashMap<SiteId, u64>,
+    site_reuses: Vec<u64>,
     /// Active fault-injection schedule (inert by default).
     fault: FaultPlan,
     /// Checked mode: quarantined remains of claim-freed cells, keyed by
@@ -127,8 +129,8 @@ impl<'p> Heap<'p> {
             threshold,
             config,
             stats: RuntimeStats::default(),
-            site_allocs: HashMap::new(),
-            site_reuses: HashMap::new(),
+            site_allocs: Vec::new(),
+            site_reuses: Vec::new(),
             fault: FaultPlan::default(),
             tombstones: HashMap::new(),
         }
@@ -238,6 +240,24 @@ impl<'p> Heap<'p> {
         Ok(self.alloc_raw(car, cdr, mode, site))
     }
 
+    /// The bytecode engine's inline allocation path: skips the fault-plan
+    /// bookkeeping of [`Heap::alloc_at`] entirely. **Callers must have
+    /// checked that the fault plan is inert**
+    /// ([`FaultPlan::is_active`] is false) — with no plan there are no
+    /// allocation ticks to record, no retreats to roll, and no capacity
+    /// bound to enforce, so this is observationally identical to
+    /// `alloc_at` while staying a straight-line allocation.
+    #[inline]
+    pub fn alloc_fast(
+        &mut self,
+        car: Value<'p>,
+        cdr: Value<'p>,
+        mode: AllocMode,
+        site: SiteId,
+    ) -> CellRef {
+        self.alloc_raw(car, cdr, mode, Some(site))
+    }
+
     fn alloc_raw(
         &mut self,
         car: Value<'p>,
@@ -246,7 +266,7 @@ impl<'p> Heap<'p> {
         site: Option<SiteId>,
     ) -> CellRef {
         if let Some(site) = site {
-            *self.site_allocs.entry(site).or_default() += 1;
+            bump_site(&mut self.site_allocs, site);
         }
         let wanted = match mode {
             AllocMode::Heap => None,
@@ -299,8 +319,12 @@ impl<'p> Heap<'p> {
     }
 
     fn cell_at(&self, r: CellRef, access: AccessKind) -> Result<&Cell<'p>, RuntimeError> {
-        if let Some(t) = self.tombstones.get(&r.0) {
-            return Err(RuntimeError::Soundness(Box::new(t.violation(r.0, access))));
+        // The tombstone map is only ever populated in checked mode; skip
+        // the hash probe on the (hot) unchecked access path.
+        if !self.tombstones.is_empty() {
+            if let Some(t) = self.tombstones.get(&r.0) {
+                return Err(RuntimeError::Soundness(Box::new(t.violation(r.0, access))));
+            }
         }
         let c = self
             .cells
@@ -314,21 +338,17 @@ impl<'p> Heap<'p> {
 
     /// Records a `DCONS` reuse at `site`.
     pub fn record_reuse(&mut self, site: SiteId) {
-        *self.site_reuses.entry(site).or_default() += 1;
+        bump_site(&mut self.site_reuses, site);
     }
 
     /// The allocation sites ranked by cell count, hottest first.
     pub fn hot_sites(&self) -> Vec<(SiteId, u64)> {
-        let mut v: Vec<(SiteId, u64)> = self.site_allocs.iter().map(|(&s, &n)| (s, n)).collect();
-        v.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s));
-        v
+        rank_sites(&self.site_allocs)
     }
 
     /// Per-site `DCONS` reuse counts, hottest first.
     pub fn hot_reuse_sites(&self) -> Vec<(SiteId, u64)> {
-        let mut v: Vec<(SiteId, u64)> = self.site_reuses.iter().map(|(&s, &n)| (s, n)).collect();
-        v.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s));
-        v
+        rank_sites(&self.site_reuses)
     }
 
     /// The head of a cell.
@@ -564,6 +584,39 @@ impl<'p> Heap<'p> {
             .map(|c| c.live)
             .unwrap_or(false)
     }
+
+    /// Borrows a live cell's fields for the GC mark phase, with none of
+    /// the access bookkeeping of [`Heap::car`]/[`Heap::cdr`] (marking is
+    /// not a program access). Returns `None` for dead or out-of-range
+    /// cells.
+    pub(crate) fn peek(&self, r: CellRef) -> Option<(&Value<'p>, &Value<'p>)> {
+        let c = self.cells.get(r.0 as usize)?;
+        if !c.live {
+            return None;
+        }
+        Some((&c.car, &c.cdr))
+    }
+}
+
+/// Increments a dense per-site counter, growing the array on first sight
+/// of a site.
+fn bump_site(counts: &mut Vec<u64>, site: SiteId) {
+    let i = site.0 as usize;
+    if i >= counts.len() {
+        counts.resize(i + 1, 0);
+    }
+    counts[i] += 1;
+}
+
+fn rank_sites(counts: &[u64]) -> Vec<(SiteId, u64)> {
+    let mut v: Vec<(SiteId, u64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(i, &n)| (SiteId(i as u32), n))
+        .collect();
+    v.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s));
+    v
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use crate::error::RuntimeError;
 use crate::fault::FaultPlan;
-use crate::gc::mark;
+use crate::gc::Marker;
 use crate::heap::{CellRef, Heap, HeapConfig, RegionId};
 use crate::value::{Closure, Env, Value};
 use nml_opt::{AllocMode, IrExpr, IrProgram, SiteId};
@@ -144,6 +144,23 @@ impl<'p> Interp<'p> {
             globals: HashMap::new(),
             config,
         };
+        // Prebuild the global map so lookup is a single probe instead of
+        // an O(globals) scan per miss. A name resolves to the textually
+        // first binding, and only if that binding is a function; value
+        // bindings overwrite their entry as startup evaluates them (the
+        // map insert below), preserving the original precedence.
+        let mut seen: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
+        for f in &program.funcs {
+            if seen.insert(f.name) && f.is_function() {
+                interp.globals.insert(
+                    f.name,
+                    Value::Func {
+                        func: f,
+                        applied: Rc::new(Vec::new()),
+                    },
+                );
+            }
+        }
         for f in &program.funcs {
             if !f.is_function() {
                 let v = interp.eval(&f.body, Env::empty())?;
@@ -191,20 +208,15 @@ impl<'p> Interp<'p> {
         self.eval(&func.body, env)
     }
 
-    /// Looks up a variable: lexical environment, then globals, then
-    /// top-level functions.
+    /// Looks up a variable: lexical environment, then one probe of the
+    /// prebuilt global map (which already holds `Func` values for every
+    /// reachable top-level function).
     fn lookup(&self, name: Symbol, env: &Env<'p>) -> Result<Value<'p>, RuntimeError> {
         if let Some(v) = env.lookup(name) {
             return Ok(v);
         }
         if let Some(v) = self.globals.get(&name) {
             return Ok(v.clone());
-        }
-        if let Some(func) = self.program.func(name).filter(|f| f.is_function()) {
-            return Ok(Value::Func {
-                func,
-                applied: Rc::new(Vec::new()),
-            });
         }
         Err(RuntimeError::Unbound {
             name: name.to_string(),
@@ -533,121 +545,31 @@ impl<'p> Interp<'p> {
     }
 
     fn prim1(&mut self, p: Prim, v: Value<'p>) -> Result<Value<'p>, RuntimeError> {
-        match p {
-            Prim::Car => match v {
-                Value::Pair(c) => self.heap.car(c),
-                Value::Nil => Err(RuntimeError::EmptyList { op: "car" }),
-                other => Err(RuntimeError::TypeMismatch {
-                    expected: "list",
-                    found: other.kind(),
-                    op: "car",
-                }),
-            },
-            Prim::Cdr => match v {
-                Value::Pair(c) => self.heap.cdr(c),
-                Value::Nil => Err(RuntimeError::EmptyList { op: "cdr" }),
-                other => Err(RuntimeError::TypeMismatch {
-                    expected: "list",
-                    found: other.kind(),
-                    op: "cdr",
-                }),
-            },
-            Prim::Null => match v {
-                Value::Nil => Ok(Value::Bool(true)),
-                Value::Pair(_) => Ok(Value::Bool(false)),
-                other => Err(RuntimeError::TypeMismatch {
-                    expected: "list",
-                    found: other.kind(),
-                    op: "null",
-                }),
-            },
-            Prim::Fst => match v {
-                Value::Tuple(c) => self.heap.car(c),
-                other => Err(RuntimeError::TypeMismatch {
-                    expected: "tuple",
-                    found: other.kind(),
-                    op: "fst",
-                }),
-            },
-            Prim::Snd => match v {
-                Value::Tuple(c) => self.heap.cdr(c),
-                other => Err(RuntimeError::TypeMismatch {
-                    expected: "tuple",
-                    found: other.kind(),
-                    op: "snd",
-                }),
-            },
-            other => Err(RuntimeError::TypeMismatch {
-                expected: "unary primitive",
-                found: "binary primitive",
-                op: other.name(),
-            }),
-        }
+        prim1(&self.heap, p, v)
     }
 
     fn prim2(&mut self, p: Prim, a: Value<'p>, b: Value<'p>) -> Result<Value<'p>, RuntimeError> {
-        if p == Prim::Cons {
-            let cell = self.heap.alloc_at(a, b, AllocMode::Heap, None)?;
-            return Ok(Value::Pair(cell));
-        }
-        if p == Prim::MkPair {
-            let cell = self.heap.alloc_at(a, b, AllocMode::Heap, None)?;
-            return Ok(Value::Tuple(cell));
-        }
-        let (x, y) = match (&a, &b) {
-            (Value::Int(x), Value::Int(y)) => (*x, *y),
-            _ => {
-                return Err(RuntimeError::TypeMismatch {
-                    expected: "int",
-                    found: if matches!(a, Value::Int(_)) {
-                        b.kind()
-                    } else {
-                        a.kind()
-                    },
-                    op: p.name(),
-                })
-            }
-        };
-        Ok(match p {
-            Prim::Add => Value::Int(x.wrapping_add(y)),
-            Prim::Sub => Value::Int(x.wrapping_sub(y)),
-            Prim::Mul => Value::Int(x.wrapping_mul(y)),
-            Prim::Div => {
-                if y == 0 {
-                    return Err(RuntimeError::DivisionByZero);
-                }
-                Value::Int(x.wrapping_div(y))
-            }
-            Prim::Eq => Value::Bool(x == y),
-            Prim::Ne => Value::Bool(x != y),
-            Prim::Lt => Value::Bool(x < y),
-            Prim::Le => Value::Bool(x <= y),
-            Prim::Gt => Value::Bool(x > y),
-            Prim::Ge => Value::Bool(x >= y),
-            Prim::Cons
-            | Prim::Car
-            | Prim::Cdr
-            | Prim::Null
-            | Prim::MkPair
-            | Prim::Fst
-            | Prim::Snd => unreachable!("handled above"),
-        })
+        prim2(&mut self.heap, p, a, b)
     }
 
     /// Runs a garbage collection with the machine state as roots.
     fn collect(&mut self, ctrl: &Ctrl<'p>, stack: &[Frame<'p>]) {
-        let (values, envs) = self.roots(ctrl, stack);
-        let marked = mark(&self.heap, values, envs);
+        let mut m = Marker::new(&self.heap);
+        match ctrl {
+            Ctrl::Eval(_, env) => m.root_env(env),
+            Ctrl::Ret(v) => m.root_value(v),
+        }
+        self.mark_roots(&mut m, stack);
+        let marked = m.finish(&self.heap);
         self.heap.sweep(&marked);
     }
 
-    /// Gathers the exact root set from the machine state.
-    fn roots(&self, ctrl: &Ctrl<'p>, stack: &[Frame<'p>]) -> (Vec<Value<'p>>, Vec<Env<'p>>) {
-        let mut values: Vec<Value<'p>> = self.globals.values().cloned().collect();
-        let mut envs: Vec<Env<'p>> = Vec::new();
-        match ctrl {
-            Ctrl::Eval(_, env) => envs.push(env.clone()),
-            Ctrl::Ret(v) => values.push(v.clone()),
+    /// Registers the exact root set — globals and the continuation stack
+    /// — with the marker, by reference (the control value is rooted by
+    /// the caller). Nothing is cloned here.
+    fn mark_roots(&self, m: &mut Marker<'p>, stack: &[Frame<'p>]) {
+        for v in self.globals.values() {
+            m.root_value(v);
         }
         for f in stack {
             match f {
@@ -655,24 +577,23 @@ impl<'p> Interp<'p> {
                 | Frame::If { env, .. }
                 | Frame::Cons1 { env, .. }
                 | Frame::Prim2a { env, .. }
-                | Frame::Letrec { env, .. } => envs.push(env.clone()),
-                Frame::App2 { fun } => values.push(fun.clone()),
-                Frame::Cons2 { head, .. } => values.push(head.clone()),
+                | Frame::Letrec { env, .. } => m.root_env(env),
+                Frame::App2 { fun } => m.root_value(fun),
+                Frame::Cons2 { head, .. } => m.root_value(head),
                 // The DCONS target cell is live even when no variable
                 // still references it: it becomes the result.
                 Frame::Dcons1 { env, cell, .. } => {
-                    envs.push(env.clone());
-                    values.push(Value::Pair(*cell));
+                    m.root_env(env);
+                    m.root_cell(*cell);
                 }
                 Frame::Dcons2 { head, cell, .. } => {
-                    values.push(head.clone());
-                    values.push(Value::Pair(*cell));
+                    m.root_value(head);
+                    m.root_cell(*cell);
                 }
-                Frame::Prim2b { lhs, .. } => values.push(lhs.clone()),
+                Frame::Prim2b { lhs, .. } => m.root_value(lhs),
                 Frame::Prim1 { .. } | Frame::PopRegion { .. } => {}
             }
         }
-        (values, envs)
     }
 
     /// Proves no cell of the innermost region is reachable from the
@@ -682,9 +603,10 @@ impl<'p> Interp<'p> {
         result: &Value<'p>,
         stack: &[Frame<'p>],
     ) -> Result<(), RuntimeError> {
-        let ctrl = Ctrl::Ret(result.clone());
-        let (values, envs) = self.roots(&ctrl, stack);
-        let marked = mark(&self.heap, values, envs);
+        let mut m = Marker::new(&self.heap);
+        m.root_value(result);
+        self.mark_roots(&mut m, stack);
+        let marked = m.finish(&self.heap);
         for &idx in self.heap.innermost_region_cells() {
             if marked[idx as usize] {
                 return Err(RuntimeError::EscapedRegionCell { cell: idx });
@@ -749,6 +671,114 @@ impl<'p> Interp<'p> {
             }
         }
     }
+}
+
+/// Applies a saturated unary primitive. Shared by the tree-walker and
+/// the bytecode VM so the two engines cannot drift.
+#[inline]
+pub(crate) fn prim1<'p>(heap: &Heap<'p>, p: Prim, v: Value<'p>) -> Result<Value<'p>, RuntimeError> {
+    match p {
+        Prim::Car => match v {
+            Value::Pair(c) => heap.car(c),
+            Value::Nil => Err(RuntimeError::EmptyList { op: "car" }),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "list",
+                found: other.kind(),
+                op: "car",
+            }),
+        },
+        Prim::Cdr => match v {
+            Value::Pair(c) => heap.cdr(c),
+            Value::Nil => Err(RuntimeError::EmptyList { op: "cdr" }),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "list",
+                found: other.kind(),
+                op: "cdr",
+            }),
+        },
+        Prim::Null => match v {
+            Value::Nil => Ok(Value::Bool(true)),
+            Value::Pair(_) => Ok(Value::Bool(false)),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "list",
+                found: other.kind(),
+                op: "null",
+            }),
+        },
+        Prim::Fst => match v {
+            Value::Tuple(c) => heap.car(c),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "tuple",
+                found: other.kind(),
+                op: "fst",
+            }),
+        },
+        Prim::Snd => match v {
+            Value::Tuple(c) => heap.cdr(c),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "tuple",
+                found: other.kind(),
+                op: "snd",
+            }),
+        },
+        other => Err(RuntimeError::TypeMismatch {
+            expected: "unary primitive",
+            found: "binary primitive",
+            op: other.name(),
+        }),
+    }
+}
+
+/// Applies a saturated binary primitive (shared by both engines).
+#[inline]
+pub(crate) fn prim2<'p>(
+    heap: &mut Heap<'p>,
+    p: Prim,
+    a: Value<'p>,
+    b: Value<'p>,
+) -> Result<Value<'p>, RuntimeError> {
+    if p == Prim::Cons {
+        let cell = heap.alloc_at(a, b, AllocMode::Heap, None)?;
+        return Ok(Value::Pair(cell));
+    }
+    if p == Prim::MkPair {
+        let cell = heap.alloc_at(a, b, AllocMode::Heap, None)?;
+        return Ok(Value::Tuple(cell));
+    }
+    let (x, y) = match (&a, &b) {
+        (Value::Int(x), Value::Int(y)) => (*x, *y),
+        _ => {
+            return Err(RuntimeError::TypeMismatch {
+                expected: "int",
+                found: if matches!(a, Value::Int(_)) {
+                    b.kind()
+                } else {
+                    a.kind()
+                },
+                op: p.name(),
+            })
+        }
+    };
+    Ok(match p {
+        Prim::Add => Value::Int(x.wrapping_add(y)),
+        Prim::Sub => Value::Int(x.wrapping_sub(y)),
+        Prim::Mul => Value::Int(x.wrapping_mul(y)),
+        Prim::Div => {
+            if y == 0 {
+                return Err(RuntimeError::DivisionByZero);
+            }
+            Value::Int(x.wrapping_div(y))
+        }
+        Prim::Eq => Value::Bool(x == y),
+        Prim::Ne => Value::Bool(x != y),
+        Prim::Lt => Value::Bool(x < y),
+        Prim::Le => Value::Bool(x <= y),
+        Prim::Gt => Value::Bool(x > y),
+        Prim::Ge => Value::Bool(x >= y),
+        Prim::Cons | Prim::Car | Prim::Cdr | Prim::Null | Prim::MkPair | Prim::Fst | Prim::Snd => {
+            unreachable!("handled above")
+        }
+    })
 }
 
 #[cfg(test)]
@@ -1033,6 +1063,33 @@ mod tests {
     #[test]
     fn top_level_value_bindings_evaluate_once() {
         assert_eq!(run_int("letrec k = 2 + 3; f x = x * k in f 4"), 20);
+    }
+
+    #[test]
+    fn root_count_is_exact_for_machine_state() {
+        // Two value globals + one function global = 3 global roots; the
+        // control value, an App2 function, and a Dcons2 frame (value +
+        // cell) add 4 more. The root set is exact — no duplicates, no
+        // misses — so the count is fully predictable.
+        let src = "letrec k = 1; j = 2; f x = x in 0";
+        let p = parse_program(src).unwrap();
+        let info = infer_program(&p).unwrap();
+        let ir = lower_program(&p, &info);
+        let i = Interp::new(&ir).unwrap();
+        let stack = vec![
+            Frame::App2 { fun: Value::Int(1) },
+            Frame::Prim1 { prim: Prim::Car },
+            Frame::Dcons2 {
+                head: Value::Int(2),
+                cell: CellRef(0),
+                site: SiteId(0),
+            },
+        ];
+        let mut m = Marker::new(&i.heap);
+        let ctrl_value = Value::Int(0);
+        m.root_value(&ctrl_value);
+        i.mark_roots(&mut m, &stack);
+        assert_eq!(m.roots_seen(), 3 + 1 + 1 + 2);
     }
 }
 

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod checked;
 pub mod error;
 pub mod fault;
@@ -58,7 +59,9 @@ pub mod interp;
 pub mod provenance;
 pub mod stats;
 pub mod value;
+pub mod vm;
 
+pub use bytecode::{compile, BytecodeProgram, Chunk, Op};
 pub use checked::{AccessKind, ClaimKind, RegionNote, SoundnessViolation, Tombstone};
 pub use error::RuntimeError;
 pub use fault::{FaultPlan, FaultRate};
@@ -67,4 +70,5 @@ pub use heap::{CellRef, Heap, HeapConfig, ProvTag, RegionId};
 pub use interp::{Interp, InterpConfig};
 pub use provenance::{dynamic_escape, max_escaping_level, tag_spines, DynamicEscape};
 pub use stats::RuntimeStats;
-pub use value::{Closure, Env, Value};
+pub use value::{CaptureEnv, Closure, Env, Value};
+pub use vm::{Engine, Vm};

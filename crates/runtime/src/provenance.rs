@@ -108,6 +108,11 @@ pub fn max_escaping_level<'p>(
                     work.push((*f).clone());
                 }
             }
+            Value::VmClosure { env, .. } => {
+                for x in &env.values {
+                    work.push(x.clone());
+                }
+            }
         }
     }
     Ok(best)

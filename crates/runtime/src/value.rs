@@ -38,6 +38,30 @@ pub enum Value<'p> {
         /// First argument, for binary primitives applied once.
         first: Option<Rc<Value<'p>>>,
     },
+    /// A closure of the bytecode engine: a code unit plus a flat capture
+    /// array (no `Env` chain — see [`crate::vm`]).
+    VmClosure {
+        /// Index of the compiled chunk.
+        chunk: u32,
+        /// The captured values (shared by a whole recursive group).
+        env: Rc<CaptureEnv<'p>>,
+    },
+}
+
+/// The flat capture environment of a [`Value::VmClosure`]: the values a
+/// closure (or a whole mutually recursive `letrec` group) closed over,
+/// copied out of the creating frame. Members of a recursive group share
+/// one `CaptureEnv` and reach each other through `rec` (the sibling's
+/// chunk index), materializing the sibling closure on demand — the flat
+/// analogue of the tree-walker's lazy `Rec` env node, and just as free of
+/// reference cycles.
+#[derive(Debug)]
+pub struct CaptureEnv<'p> {
+    /// Captured values, indexed by the compiler's capture slots.
+    pub values: Vec<Value<'p>>,
+    /// Chunk indices of the recursive group's members (empty for a plain
+    /// lambda).
+    pub rec: Vec<u32>,
 }
 
 /// A user closure: parameter, body, captured environment.
@@ -63,6 +87,7 @@ impl<'p> Value<'p> {
             Value::Closure(_) => "closure",
             Value::Func { .. } => "function",
             Value::Prim { .. } => "primitive",
+            Value::VmClosure { .. } => "closure",
         }
     }
 
@@ -88,6 +113,7 @@ impl fmt::Display for Value<'_> {
                 None => write!(f, "<prim {prim}>"),
                 Some(_) => write!(f, "<prim {prim} _>"),
             },
+            Value::VmClosure { .. } => f.write_str("<closure>"),
         }
     }
 }

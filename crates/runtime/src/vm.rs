@@ -1,0 +1,984 @@
+//! The bytecode execution engine.
+//!
+//! Where the tree-walker ([`crate::interp`]) re-resolves every variable
+//! against a linked `Env` chain and allocates an `Rc` node per binding,
+//! the VM executes the flat [`crate::bytecode`] form:
+//!
+//! - **flat call frames** in one contiguous `Vec` of [`Value`] slots —
+//!   entering a function extends the vector, returning truncates it;
+//! - **Rc-free access to non-escaping locals**: `LoadLocal`/`StoreLocal`
+//!   index the slot vector directly; only values captured by a closure
+//!   ever move into a shared [`CaptureEnv`];
+//! - **statically resolved tail calls** that replace the current frame
+//!   in place, so tail-recursive loops run in constant frame depth;
+//! - **inline allocation fast paths**: when the fault plan is inert,
+//!   `CONS` and `DCONS` skip the fault bookkeeping of
+//!   [`Heap::alloc_at`] and go straight to the allocator (which still
+//!   honors [`nml_opt::AllocMode`] region routing, site counters, and
+//!   checked-mode tombstone semantics).
+//!
+//! The engine is observationally equivalent to the tree-walker: same
+//! results, same errors, same allocation sequence (so deterministic
+//! fault plans fire identically under both). The differential suite in
+//! `tests/differential.rs` holds the two engines against each other
+//! over generated programs; the tree-walker stays as the oracle.
+
+use crate::bytecode::{compile, BytecodeProgram, GlobalDef, Op};
+use crate::error::RuntimeError;
+use crate::gc::Marker;
+use crate::heap::{Heap, RegionId};
+use crate::interp::{prim1, prim2, InterpConfig};
+use crate::value::{CaptureEnv, Value};
+use nml_opt::{AllocMode, CaptureSrc, IrProgram};
+use nml_syntax::{Prim, Symbol};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Which execution engine runs a program. Both produce identical
+/// observable behavior; the VM is the default, the tree-walker remains
+/// as the differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The CEK-style tree-walking interpreter ([`crate::Interp`]).
+    Tree,
+    /// The bytecode VM ([`Vm`]).
+    #[default]
+    Vm,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tree" => Ok(Engine::Tree),
+            "vm" => Ok(Engine::Vm),
+            other => Err(format!("unknown engine '{other}' (expected tree|vm)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Tree => "tree",
+            Engine::Vm => "vm",
+        })
+    }
+}
+
+/// The bytecode VM for one IR program.
+pub struct Vm<'p> {
+    program: &'p IrProgram,
+    code: BytecodeProgram,
+    /// The instrumented heap (public for inspection in tests/benches).
+    pub heap: Heap<'p>,
+    /// Top-level binding values, parallel to `IrProgram::funcs`.
+    globals: Vec<Value<'p>>,
+    /// Startup watermark: value bindings `0..init_done` are initialized.
+    init_done: usize,
+    /// First-occurrence function chunks, for saturating partial
+    /// applications (`Value::Func`).
+    func_index: HashMap<Symbol, u32>,
+    config: InterpConfig,
+    /// No fault can ever fire: allocation ops may use the straight-line
+    /// [`Heap::alloc_fast`] path.
+    fault_inert: bool,
+}
+
+impl<'p> Vm<'p> {
+    /// Compiles `program` and evaluates its top-level *value* bindings
+    /// in order, exactly like [`crate::Interp::new`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised while evaluating a value binding.
+    pub fn new(program: &'p IrProgram) -> Result<Self, RuntimeError> {
+        Vm::with_config(program, InterpConfig::default())
+    }
+
+    /// Creates a VM with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Vm::new`].
+    pub fn with_config(program: &'p IrProgram, config: InterpConfig) -> Result<Self, RuntimeError> {
+        let code = compile(program);
+        let mut heap = Heap::new(config.heap.clone());
+        heap.set_fault_plan(config.fault.clone());
+        let mut func_index = HashMap::new();
+        let mut globals = Vec::with_capacity(code.globals.len());
+        for (i, def) in code.globals.iter().enumerate() {
+            match def {
+                GlobalDef::Func { chunk, .. } => {
+                    func_index.entry(program.funcs[i].name).or_insert(*chunk);
+                    globals.push(Value::Func {
+                        func: &program.funcs[i],
+                        applied: Rc::new(Vec::new()),
+                    });
+                }
+                // Placeholder until startup evaluates the binding; loads
+                // check `init_done` first, so it is never observed.
+                GlobalDef::Value { .. } => globals.push(Value::Nil),
+            }
+        }
+        let fault_inert = !config.fault.is_active();
+        let mut vm = Vm {
+            program,
+            code,
+            heap,
+            globals,
+            init_done: 0,
+            func_index,
+            config,
+            fault_inert,
+        };
+        for i in 0..vm.code.globals.len() {
+            if let GlobalDef::Value { chunk } = vm.code.globals[i] {
+                vm.init_done = i;
+                let v = vm.exec(chunk, Vec::new())?;
+                vm.globals[i] = v;
+            }
+        }
+        vm.init_done = vm.code.globals.len();
+        Ok(vm)
+    }
+
+    /// Runs the program body to a value.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised during execution.
+    pub fn run(&mut self) -> Result<Value<'p>, RuntimeError> {
+        self.exec(self.code.main, Vec::new())
+    }
+
+    /// Calls top-level function `name` with exactly its arity in `args`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unbound`] for unknown names, a
+    /// [`RuntimeError::TypeMismatch`] for arity mismatch, and any error
+    /// raised by the body.
+    pub fn call(&mut self, name: Symbol, args: Vec<Value<'p>>) -> Result<Value<'p>, RuntimeError> {
+        let (i, func) = self
+            .program
+            .funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name && f.is_function())
+            .ok_or_else(|| RuntimeError::Unbound {
+                name: name.to_string(),
+            })?;
+        if func.params.len() != args.len() {
+            return Err(RuntimeError::TypeMismatch {
+                expected: "full application",
+                found: "wrong arity",
+                op: "call",
+            });
+        }
+        let GlobalDef::Func { chunk, .. } = self.code.globals[i] else {
+            unreachable!("function binding compiles to GlobalDef::Func");
+        };
+        self.exec(chunk, args)
+    }
+
+    fn exec(&mut self, chunk: u32, args: Vec<Value<'p>>) -> Result<Value<'p>, RuntimeError> {
+        let code = &self.code;
+        let heap = &mut self.heap;
+        let mut m = Machine {
+            locals: args,
+            stack: Vec::new(),
+            frames: vec![Activation {
+                chunk,
+                ret_chunk: 0,
+                ret_pc: 0,
+                locals_base: 0,
+                stack_base: 0,
+                env: None,
+            }],
+            regions: Vec::new(),
+            scratch: Vec::new(),
+            ops: code.chunks[chunk as usize].code.as_slice(),
+            lb: 0,
+            ci: chunk as usize,
+            pc: 0,
+            steps: heap.stats.steps,
+            step_limit: self.config.step_limit,
+            code,
+            heap,
+            globals: &self.globals,
+            program: self.program,
+            init_done: self.init_done,
+            func_index: &self.func_index,
+            config: &self.config,
+            fault_inert: self.fault_inert,
+        };
+        let n_slots = code.chunks[chunk as usize].n_slots as usize;
+        m.locals.resize(n_slots, Value::Nil);
+        m.run()
+    }
+
+    /// Builds a proper list from `items` (testing/benchmark helper).
+    pub fn make_list(&mut self, items: impl IntoIterator<Item = Value<'p>>) -> Value<'p> {
+        let items: Vec<Value<'p>> = items.into_iter().collect();
+        let mut acc = Value::Nil;
+        for v in items.into_iter().rev() {
+            let cell = self.heap.alloc(v, acc, AllocMode::Heap);
+            acc = Value::Pair(cell);
+        }
+        acc
+    }
+
+    /// Builds a list of integers.
+    pub fn make_int_list(&mut self, items: &[i64]) -> Value<'p> {
+        self.make_list(items.iter().map(|&n| Value::Int(n)))
+    }
+
+    /// Reads a list of integers back out of the heap.
+    ///
+    /// # Errors
+    ///
+    /// Type mismatches if the value is not a proper `int list`, or
+    /// [`RuntimeError::UseAfterFree`] for dangling cells.
+    pub fn read_int_list(&self, mut v: Value<'p>) -> Result<Vec<i64>, RuntimeError> {
+        let mut out = Vec::new();
+        loop {
+            match v {
+                Value::Nil => return Ok(out),
+                Value::Pair(c) => {
+                    match self.heap.car(c)? {
+                        Value::Int(n) => out.push(n),
+                        other => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "int",
+                                found: other.kind(),
+                                op: "read_int_list",
+                            })
+                        }
+                    }
+                    v = self.heap.cdr(c)?;
+                }
+                other => {
+                    return Err(RuntimeError::TypeMismatch {
+                        expected: "list",
+                        found: other.kind(),
+                        op: "read_int_list",
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// One call frame. Locals and operand-stack storage live in the shared
+/// machine vectors; the activation records only the bases.
+struct Activation<'p> {
+    chunk: u32,
+    ret_chunk: u32,
+    ret_pc: u32,
+    locals_base: usize,
+    stack_base: usize,
+    env: Option<Rc<CaptureEnv<'p>>>,
+}
+
+/// The running machine. Holds the [`Vm`]'s parts as *split* borrows so
+/// the dispatch loop can keep a direct reference to the current chunk's
+/// instructions (`ops`) alongside the mutable heap — one bounds check
+/// per fetch instead of a double indirection through the `Vm`.
+struct Machine<'v, 'p> {
+    /// All frames' local slots, contiguous.
+    locals: Vec<Value<'p>>,
+    /// The operand stack, shared across frames.
+    stack: Vec<Value<'p>>,
+    frames: Vec<Activation<'p>>,
+    /// Open dynamic extents; `None` marks a fault-denied push (the
+    /// matching `ExitRegion` then pops nothing from the heap).
+    regions: Vec<Option<RegionId>>,
+    /// Staging buffer for moving call arguments (reused, no per-call
+    /// allocation).
+    scratch: Vec<Value<'p>>,
+    /// The current chunk's instructions (cache of `code.chunks[ci].code`;
+    /// refreshed on every frame switch).
+    ops: &'v [Op],
+    /// The current frame's locals base (cache of
+    /// `frames.last().locals_base`; refreshed on every frame switch).
+    lb: usize,
+    ci: usize,
+    pc: usize,
+    /// Running step counter (flushed to `heap.stats.steps` on exit).
+    steps: u64,
+    step_limit: u64,
+    code: &'v BytecodeProgram,
+    heap: &'v mut Heap<'p>,
+    globals: &'v [Value<'p>],
+    program: &'p IrProgram,
+    init_done: usize,
+    func_index: &'v HashMap<Symbol, u32>,
+    config: &'v InterpConfig,
+    fault_inert: bool,
+}
+
+/// Resolves closure-capture sources against the creating frame.
+fn resolve_captures<'p>(
+    srcs: &[CaptureSrc],
+    locals: &[Value<'p>],
+    env: Option<&Rc<CaptureEnv<'p>>>,
+) -> Vec<Value<'p>> {
+    srcs.iter()
+        .map(|s| match *s {
+            CaptureSrc::Local(i) => locals[i as usize].clone(),
+            CaptureSrc::Capture(i) => {
+                env.expect("capturing frame has captures").values[i as usize].clone()
+            }
+            CaptureSrc::Rec(j) => {
+                let e = env.expect("capturing frame has a rec group");
+                Value::VmClosure {
+                    chunk: e.rec[j as usize],
+                    env: e.clone(),
+                }
+            }
+        })
+        .collect()
+}
+
+impl<'p> Machine<'_, 'p> {
+    fn run(&mut self) -> Result<Value<'p>, RuntimeError> {
+        let r = self.run_loop();
+        self.heap.stats.steps = self.steps;
+        r
+    }
+
+    /// GC poll. With an inert fault plan this is only called from the
+    /// allocation ops (the heap cannot need collecting anywhere else,
+    /// and forced-GC requests cannot exist); with an active plan the
+    /// dispatch loop polls every step, like the tree-walker.
+    #[inline]
+    fn maybe_collect(&mut self) {
+        if self.heap.take_forced_gc() || self.heap.should_collect() {
+            self.collect();
+        }
+    }
+
+    fn run_loop(&mut self) -> Result<Value<'p>, RuntimeError> {
+        loop {
+            self.steps += 1;
+            if self.steps > self.step_limit {
+                return Err(RuntimeError::StepLimitExceeded {
+                    limit: self.step_limit,
+                });
+            }
+            if !self.fault_inert {
+                self.maybe_collect();
+            }
+            let op = self.ops[self.pc];
+            self.pc += 1;
+            match op {
+                Op::PushInt(n) => self.stack.push(Value::Int(n)),
+                Op::PushBool(b) => self.stack.push(Value::Bool(b)),
+                Op::PushNil => self.stack.push(Value::Nil),
+                Op::PushPrim(p) => self.stack.push(Value::Prim {
+                    prim: p,
+                    first: None,
+                }),
+                Op::LoadLocal(i) => {
+                    self.stack.push(self.locals[self.lb + i as usize].clone());
+                }
+                Op::LoadCapture(i) => {
+                    let env = self
+                        .frames
+                        .last()
+                        .and_then(|f| f.env.as_ref())
+                        .expect("chunk with captures runs under a closure");
+                    self.stack.push(env.values[i as usize].clone());
+                }
+                Op::LoadRec(j) => {
+                    let env = self
+                        .frames
+                        .last()
+                        .and_then(|f| f.env.as_ref())
+                        .expect("chunk with rec refs runs under a closure");
+                    self.stack.push(Value::VmClosure {
+                        chunk: env.rec[j as usize],
+                        env: env.clone(),
+                    });
+                }
+                Op::LoadGlobalFunc(i) => self.stack.push(self.globals[i as usize].clone()),
+                Op::LoadGlobalVal(i) => {
+                    if (i as usize) < self.init_done {
+                        self.stack.push(self.globals[i as usize].clone());
+                    } else {
+                        return Err(RuntimeError::Unbound {
+                            name: self.program.funcs[i as usize].name.to_string(),
+                        });
+                    }
+                }
+                Op::Unbound(x) => {
+                    return Err(RuntimeError::Unbound {
+                        name: x.to_string(),
+                    })
+                }
+                Op::StoreLocal(i) => {
+                    let v = self.stack.pop().expect("value to store");
+                    self.locals[self.lb + i as usize] = v;
+                }
+                Op::ClearLocal(i) => {
+                    self.locals[self.lb + i as usize] = Value::Nil;
+                }
+                Op::MakeClosure(i) => {
+                    let fr = self.frames.last().expect("active frame");
+                    let site = &self.code.closures[i as usize];
+                    let values = resolve_captures(
+                        &site.captures,
+                        &self.locals[fr.locals_base..],
+                        fr.env.as_ref(),
+                    );
+                    self.stack.push(Value::VmClosure {
+                        chunk: site.chunk,
+                        env: Rc::new(CaptureEnv {
+                            values,
+                            rec: Vec::new(),
+                        }),
+                    });
+                }
+                Op::MakeRec(i) => {
+                    let fr = self.frames.last().expect("active frame");
+                    let base = fr.locals_base;
+                    let site = &self.code.recs[i as usize];
+                    let values =
+                        resolve_captures(&site.captures, &self.locals[base..], fr.env.as_ref());
+                    let env = Rc::new(CaptureEnv {
+                        values,
+                        rec: site.chunks.clone(),
+                    });
+                    for (k, &slot) in site.slots.iter().enumerate() {
+                        self.locals[base + slot as usize] = Value::VmClosure {
+                            chunk: site.chunks[k],
+                            env: env.clone(),
+                        };
+                    }
+                }
+                Op::Jump(t) => self.pc = t as usize,
+                Op::JumpIfFalse(t) => match self.stack.pop().expect("condition") {
+                    Value::Bool(true) => {}
+                    Value::Bool(false) => self.pc = t as usize,
+                    other => {
+                        return Err(RuntimeError::TypeMismatch {
+                            expected: "bool",
+                            found: other.kind(),
+                            op: "if",
+                        })
+                    }
+                },
+                Op::Call | Op::TailCall => {
+                    let arg = self.stack.pop().expect("argument");
+                    let fun = self.stack.pop().expect("callee");
+                    if let Some(v) = self.apply(fun, arg, matches!(op, Op::TailCall))? {
+                        return Ok(v);
+                    }
+                }
+                Op::CallGlobal(c) => {
+                    // Non-tail entry: move the arguments straight from
+                    // the operand stack into the new frame's slots (no
+                    // scratch round-trip).
+                    let chunk = &self.code.chunks[c as usize];
+                    let start = self.stack.len() - chunk.n_params as usize;
+                    let lb = self.locals.len();
+                    self.locals.extend(self.stack.drain(start..));
+                    self.locals.resize(lb + chunk.n_slots as usize, Value::Nil);
+                    self.frames.push(Activation {
+                        chunk: c,
+                        ret_chunk: self.ci as u32,
+                        ret_pc: self.pc as u32,
+                        locals_base: lb,
+                        stack_base: self.stack.len(),
+                        env: None,
+                    });
+                    self.lb = lb;
+                    self.ci = c as usize;
+                    self.pc = 0;
+                    self.ops = chunk.code.as_slice();
+                }
+                Op::TailCallGlobal(c) => {
+                    let n = self.code.chunks[c as usize].n_params as usize;
+                    let start = self.stack.len() - n;
+                    self.scratch.extend(self.stack.drain(start..));
+                    self.push_frame(c, None, true);
+                }
+                Op::Return => {
+                    let v = self.stack.pop().expect("return value");
+                    if let Some(v) = self.do_return(v) {
+                        return Ok(v);
+                    }
+                }
+                Op::Cons { mode, site } => {
+                    // The GC poll happens while head and tail are still
+                    // on the operand stack, so both are rooted.
+                    let cell = if self.fault_inert {
+                        self.maybe_collect();
+                        let tail = self.stack.pop().expect("cons tail");
+                        let head = self.stack.pop().expect("cons head");
+                        self.heap.alloc_fast(head, tail, mode, site)
+                    } else {
+                        let tail = self.stack.pop().expect("cons tail");
+                        let head = self.stack.pop().expect("cons head");
+                        self.heap.alloc_at(head, tail, mode, Some(site))?
+                    };
+                    self.stack.push(Value::Pair(cell));
+                }
+                Op::CheckPair => {
+                    let v = self.stack.last().expect("dcons target");
+                    if !matches!(v, Value::Pair(_)) {
+                        return Err(RuntimeError::DconsOnNonPair { found: v.kind() });
+                    }
+                }
+                Op::Dcons(site) => {
+                    if self.fault_inert {
+                        // Poll before the operands leave the stack.
+                        self.maybe_collect();
+                    }
+                    let tail = self.stack.pop().expect("dcons tail");
+                    let head = self.stack.pop().expect("dcons head");
+                    let Some(Value::Pair(cell)) = self.stack.pop() else {
+                        unreachable!("CheckPair ran before Dcons");
+                    };
+                    // Same three-way split as the tree-walker's Dcons2
+                    // frame: fault retreat, checked copy-and-retire, or
+                    // true in-place reuse.
+                    if !self.fault_inert && self.heap.fault_dcons_retreat() {
+                        let fresh = self
+                            .heap
+                            .alloc_at(head, tail, AllocMode::Heap, Some(site))?;
+                        self.stack.push(Value::Pair(fresh));
+                    } else if self.config.heap.checked {
+                        let fresh = if self.fault_inert {
+                            self.heap.alloc_fast(head, tail, AllocMode::Heap, site)
+                        } else {
+                            self.heap
+                                .alloc_at(head, tail, AllocMode::Heap, Some(site))?
+                        };
+                        self.heap.retire_reused(cell, Some(site))?;
+                        self.heap.stats.reuse_copies += 1;
+                        self.heap.record_reuse(site);
+                        self.stack.push(Value::Pair(fresh));
+                    } else {
+                        self.heap.set(cell, head, tail)?;
+                        self.heap.stats.dcons_reuses += 1;
+                        self.heap.record_reuse(site);
+                        self.stack.push(Value::Pair(cell));
+                    }
+                }
+                Op::Prim1(p) => {
+                    let v = self.stack.pop().expect("operand");
+                    let r = prim1(self.heap, p, v)?;
+                    self.stack.push(r);
+                }
+                Op::Prim2(p) => {
+                    if self.fault_inert && p.allocates() {
+                        // First-class cons/pair construction allocates;
+                        // poll while the operands are still rooted.
+                        self.maybe_collect();
+                    }
+                    let b = self.stack.pop().expect("rhs");
+                    let a = self.stack.pop().expect("lhs");
+                    let r = prim2(self.heap, p, a, b)?;
+                    self.stack.push(r);
+                }
+                Op::JumpIfPairLocal(i, t) => match &self.locals[self.lb + i as usize] {
+                    Value::Nil => {}
+                    Value::Pair(_) => self.pc = t as usize,
+                    other => {
+                        return Err(RuntimeError::TypeMismatch {
+                            expected: "list",
+                            found: other.kind(),
+                            op: "null",
+                        })
+                    }
+                },
+                Op::Prim1Local(p, i) => {
+                    // In-place fast paths for the hot list probes; the
+                    // generic call covers everything else (including the
+                    // error cases, which need the owned value).
+                    let r = match (p, &self.locals[self.lb + i as usize]) {
+                        (Prim::Car, Value::Pair(c)) => self.heap.car(*c)?,
+                        (Prim::Cdr, Value::Pair(c)) => self.heap.cdr(*c)?,
+                        (Prim::Null, Value::Nil) => Value::Bool(true),
+                        (Prim::Null, Value::Pair(_)) => Value::Bool(false),
+                        (_, v) => prim1(self.heap, p, v.clone())?,
+                    };
+                    self.stack.push(r);
+                }
+                Op::Prim2Local(p, i) => {
+                    let a = self.stack.pop().expect("lhs");
+                    let b = self.locals[self.lb + i as usize].clone();
+                    let r = prim2(self.heap, p, a, b)?;
+                    self.stack.push(r);
+                }
+                Op::Prim2Imm(p, n) => {
+                    let a = self.stack.pop().expect("lhs");
+                    let r = prim2(self.heap, p, a, Value::Int(n))?;
+                    self.stack.push(r);
+                }
+                Op::EnterRegion(kind) => {
+                    if self.heap.fault_deny_region() {
+                        self.regions.push(None);
+                    } else {
+                        self.regions.push(Some(self.heap.push_region(kind)));
+                    }
+                }
+                Op::ExitRegion => {
+                    if let Some(id) = self.regions.pop().expect("region balance") {
+                        if self.config.validate_regions {
+                            self.validate_region()?;
+                        }
+                        self.heap.pop_region(id)?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies `fun` to one argument. Returns the machine's final value
+    /// when a tail-position result pops the last frame.
+    fn apply(
+        &mut self,
+        fun: Value<'p>,
+        arg: Value<'p>,
+        tail: bool,
+    ) -> Result<Option<Value<'p>>, RuntimeError> {
+        match fun {
+            Value::VmClosure { chunk, env } => {
+                self.scratch.push(arg);
+                self.push_frame(chunk, Some(env), tail);
+                Ok(None)
+            }
+            Value::Func { func, applied } => {
+                if applied.len() + 1 == func.params.len() {
+                    // Saturating application: stage the arguments
+                    // directly, with no intermediate `applied` vector.
+                    let chunk = self.func_index.get(&func.name).copied().ok_or_else(|| {
+                        RuntimeError::Unbound {
+                            name: func.name.to_string(),
+                        }
+                    })?;
+                    self.scratch.extend(applied.iter().cloned());
+                    self.scratch.push(arg);
+                    self.push_frame(chunk, None, tail);
+                    Ok(None)
+                } else {
+                    let mut args = (*applied).clone();
+                    args.push(arg);
+                    Ok(self.ret_or_push(
+                        Value::Func {
+                            func,
+                            applied: Rc::new(args),
+                        },
+                        tail,
+                    ))
+                }
+            }
+            Value::Prim { prim, first: None } => {
+                if prim.arity() == 1 {
+                    let v = prim1(self.heap, prim, arg)?;
+                    Ok(self.ret_or_push(v, tail))
+                } else {
+                    Ok(self.ret_or_push(
+                        Value::Prim {
+                            prim,
+                            first: Some(Rc::new(arg)),
+                        },
+                        tail,
+                    ))
+                }
+            }
+            Value::Prim {
+                prim,
+                first: Some(first),
+            } => {
+                let v = prim2(self.heap, prim, (*first).clone(), arg)?;
+                Ok(self.ret_or_push(v, tail))
+            }
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "function",
+                found: other.kind(),
+                op: "application",
+            }),
+        }
+    }
+
+    /// Enters `chunk` with the staged arguments in `scratch`. A tail
+    /// entry replaces the current frame (constant-depth recursion); a
+    /// normal entry pushes a new one.
+    fn push_frame(&mut self, chunk: u32, env: Option<Rc<CaptureEnv<'p>>>, tail: bool) {
+        let n_slots = self.code.chunks[chunk as usize].n_slots as usize;
+        if tail {
+            let fr = self.frames.last_mut().expect("active frame");
+            let lb = fr.locals_base;
+            fr.chunk = chunk;
+            fr.env = env;
+            let sb = fr.stack_base;
+            self.locals.truncate(lb);
+            self.stack.truncate(sb);
+            self.locals.append(&mut self.scratch);
+            self.locals.resize(lb + n_slots, Value::Nil);
+            self.lb = lb;
+        } else {
+            let lb = self.locals.len();
+            self.locals.append(&mut self.scratch);
+            self.locals.resize(lb + n_slots, Value::Nil);
+            self.frames.push(Activation {
+                chunk,
+                ret_chunk: self.ci as u32,
+                ret_pc: self.pc as u32,
+                locals_base: lb,
+                stack_base: self.stack.len(),
+                env,
+            });
+            self.lb = lb;
+        }
+        self.ci = chunk as usize;
+        self.pc = 0;
+        self.ops = self.code.chunks[chunk as usize].code.as_slice();
+    }
+
+    /// Returns `v` from the current frame; yields the machine's final
+    /// value when this was the bottom frame.
+    fn do_return(&mut self, v: Value<'p>) -> Option<Value<'p>> {
+        let fr = self.frames.pop().expect("active frame");
+        let Some(caller) = self.frames.last() else {
+            return Some(v);
+        };
+        self.lb = caller.locals_base;
+        self.locals.truncate(fr.locals_base);
+        self.stack.truncate(fr.stack_base);
+        self.stack.push(v);
+        self.ci = fr.ret_chunk as usize;
+        self.pc = fr.ret_pc as usize;
+        self.ops = self.code.chunks[self.ci].code.as_slice();
+        None
+    }
+
+    /// An immediate result in tail position behaves like `Return`;
+    /// otherwise the value just lands on the operand stack.
+    fn ret_or_push(&mut self, v: Value<'p>, tail: bool) -> Option<Value<'p>> {
+        if tail {
+            self.do_return(v)
+        } else {
+            self.stack.push(v);
+            None
+        }
+    }
+
+    /// Registers the machine's exact root set: globals, every live
+    /// frame's locals, the operand stack, and closure capture arrays.
+    fn mark_roots(&self, m: &mut Marker<'p>) {
+        for v in self.globals {
+            m.root_value(v);
+        }
+        for v in &self.locals {
+            m.root_value(v);
+        }
+        for v in &self.stack {
+            m.root_value(v);
+        }
+        for fr in &self.frames {
+            if let Some(env) = &fr.env {
+                m.root_captures(env);
+            }
+        }
+    }
+
+    fn collect(&mut self) {
+        let mut m = Marker::new(self.heap);
+        self.mark_roots(&mut m);
+        let marked = m.finish(self.heap);
+        self.heap.sweep(&marked);
+    }
+
+    /// Proves no cell of the innermost region is reachable from the
+    /// machine state (the region's result is on the operand stack).
+    fn validate_region(&mut self) -> Result<(), RuntimeError> {
+        let mut m = Marker::new(self.heap);
+        self.mark_roots(&mut m);
+        let marked = m.finish(self.heap);
+        for &idx in self.heap.innermost_region_cells() {
+            if marked[idx as usize] {
+                return Err(RuntimeError::EscapedRegionCell { cell: idx });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use nml_opt::lower_program;
+    use nml_syntax::parse_program;
+    use nml_types::infer_program;
+
+    fn lower(src: &str) -> nml_opt::IrProgram {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        lower_program(&p, &info)
+    }
+
+    fn vm_ints(src: &str) -> Vec<i64> {
+        let ir = lower(src);
+        let mut vm = Vm::new(&ir).expect("startup");
+        let v = vm.run().expect("run");
+        vm.read_int_list(v).expect("int list")
+    }
+
+    fn vm_int(src: &str) -> i64 {
+        let ir = lower(src);
+        let mut vm = Vm::new(&ir).expect("startup");
+        match vm.run().expect("run") {
+            Value::Int(n) => n,
+            other => panic!("expected int, got {other}"),
+        }
+    }
+
+    /// Runs both engines and asserts the rendered int result agrees.
+    fn both_int(src: &str) -> i64 {
+        let ir = lower(src);
+        let mut interp = Interp::new(&ir).expect("tree startup");
+        let tree = match interp.run().expect("tree run") {
+            Value::Int(n) => n,
+            other => panic!("tree returned {other}"),
+        };
+        let got = vm_int(src);
+        assert_eq!(got, tree, "engines disagree on {src}");
+        got
+    }
+
+    #[test]
+    fn arithmetic_and_calls() {
+        assert_eq!(both_int("letrec add x y = x + y in add 2 (add 3 4)"), 9);
+    }
+
+    #[test]
+    fn list_reversal_matches_tree() {
+        let src = "letrec rev l = if null l then nil
+                       else app (rev (cdr l)) (cons (car l) nil);
+                   app a b = if null a then b else cons (car a) (app (cdr a) b)
+               in rev [1, 2, 3, 4, 5]";
+        assert_eq!(vm_ints(src), vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn closures_capture_locals() {
+        assert_eq!(
+            both_int(
+                "letrec pass f = f 10;
+                        make k = pass (lambda(x). x + k)
+                 in make 32"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn nested_letrec_mutual_recursion() {
+        assert_eq!(
+            both_int(
+                "letrec go n =
+                   letrec ev x = if x = 0 then 1 else od (x - 1);
+                          od x = if x = 0 then 0 else ev (x - 1)
+                   in ev n
+                 in go 10"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn tail_recursion_runs_in_constant_frame_depth() {
+        // Deep enough that per-call frame growth would exhaust memory;
+        // TailCallGlobal keeps the frame vector at depth 1.
+        assert_eq!(
+            vm_int("letrec loop n acc = if n = 0 then acc else loop (n - 1) (acc + 1) in loop 200000 0"),
+            200_000
+        );
+    }
+
+    #[test]
+    fn value_bindings_and_sequencing() {
+        assert_eq!(both_int("letrec k = 2 + 3; f x = x * k in f 4"), 20);
+    }
+
+    #[test]
+    fn partial_application_of_globals() {
+        assert_eq!(
+            both_int(
+                "letrec add x y = x + y;
+                        twice f z = f (f z)
+                 in twice (add 3) 1"
+            ),
+            7
+        );
+    }
+
+    #[test]
+    fn prims_as_first_class_values() {
+        // `car` passed as a function value.
+        assert_eq!(
+            vm_ints("letrec map f l = if null l then nil else cons (f (car l)) (map f (cdr l)) in map car [[8]]"),
+            vec![8]
+        );
+        // A binary prim applied once is a partial application.
+        assert_eq!(
+            vm_ints("letrec apply f x = f x in apply (cons 7) nil"),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn runtime_errors_match_tree() {
+        let srcs = [
+            "letrec f x = car x in f nil", // EmptyList
+            "letrec f x = x / 0 in f 1",   // DivisionByZero
+        ];
+        for src in srcs {
+            let ir = lower(src);
+            let tree = Interp::new(&ir).and_then(|mut i| i.run()).unwrap_err();
+            let vm = Vm::new(&ir).and_then(|mut v| v.run()).unwrap_err();
+            assert_eq!(format!("{vm}"), format!("{tree}"), "on {src}");
+        }
+    }
+
+    #[test]
+    fn gc_collects_dead_cells_mid_run() {
+        use crate::heap::HeapConfig;
+        let src = "letrec churn n = if n = 0 then 0
+                       else churn (n - 1) + car (cons n nil)
+               in churn 500";
+        let ir = lower(src);
+        let config = InterpConfig {
+            heap: HeapConfig {
+                gc_threshold: 64,
+                ..HeapConfig::default()
+            },
+            ..InterpConfig::default()
+        };
+        let mut vm = Vm::with_config(&ir, config).expect("startup");
+        let v = vm.run().expect("run");
+        // churn n = churn (n-1) + n, so the result is 1 + 2 + … + 500.
+        assert!(matches!(v, Value::Int(125_250)));
+        assert!(vm.heap.stats.gc_runs > 0, "GC ran under pressure");
+        assert!(vm.heap.live() < 500, "dead churn cells were reclaimed");
+    }
+
+    #[test]
+    fn call_entry_point_matches_interp() {
+        let src = "letrec sum l = if null l then 0 else car l + sum (cdr l) in sum nil";
+        let ir = lower(src);
+        let mut vm = Vm::new(&ir).expect("startup");
+        let l = vm.make_int_list(&[1, 2, 3, 4]);
+        let v = vm.call(Symbol::intern("sum"), vec![l]).expect("call");
+        assert!(matches!(v, Value::Int(10)));
+        let missing = vm.call(Symbol::intern("nope"), vec![]);
+        assert!(matches!(missing, Err(RuntimeError::Unbound { .. })));
+    }
+}

@@ -83,6 +83,13 @@ impl Prim {
         }
     }
 
+    /// Whether applying the primitive allocates a fresh cons cell
+    /// (interpreters poll the GC before these, with the operands still
+    /// rooted).
+    pub fn allocates(self) -> bool {
+        matches!(self, Prim::Cons | Prim::MkPair)
+    }
+
     /// The primitive for an identifier, if that identifier names one.
     pub fn from_name(name: &str) -> Option<Prim> {
         Some(match name {

@@ -20,9 +20,9 @@ use nml_escape_analysis::escape::{
 use nml_escape_analysis::opt::{OptOptions, SabotagePlan, SiteId};
 use nml_escape_analysis::pipeline::{
     compile_optimized_scheduled, compile_scheduled, compile_with_local_stack_alloc, run_checked,
-    run_with, CheckedOptions, Compiled, PipelineError,
+    run_with_engine, CheckedOptions, Compiled, PipelineError,
 };
-use nml_escape_analysis::runtime::{FaultPlan, FaultRate, InterpConfig};
+use nml_escape_analysis::runtime::{Engine, FaultPlan, FaultRate, InterpConfig};
 use nml_escape_analysis::syntax::{parse_program, SourceMap};
 use nml_escape_analysis::types::infer_program;
 use std::path::PathBuf;
@@ -71,6 +71,12 @@ commands:
   ir      <file> [opt flags]     print the storage-annotated IR
   run     <file> [opt flags] [--stats]
                                  execute with the instrumented runtime
+
+execution engine flags (run):
+  --engine=vm          compile to bytecode and run on the slot-resolved
+                       stack VM (the default)
+  --engine=tree        run on the CEK tree-walking interpreter (the
+                       differential oracle)
 
 optimization flags (ir/run):
   -O, --optimize       the full pass manager: reuse -> block -> stack
@@ -140,6 +146,16 @@ fn parse_num_flag<T: FromStr>(rest: &[String], flag: &str) -> Result<Option<T>, 
             .parse::<T>()
             .map(Some)
             .map_err(|_| format!("{flag}: `{v}` is not a valid number")),
+    }
+}
+
+/// Parses `--engine=tree|vm`; absent means the default engine (the VM).
+fn engine_from_flags(rest: &[String]) -> Result<Engine, String> {
+    match flag_value(rest, "--engine") {
+        None => Ok(Engine::default()),
+        Some(v) => v
+            .parse::<Engine>()
+            .map_err(|_| format!("--engine: `{v}` is not an engine (expected tree or vm)")),
     }
 }
 
@@ -395,14 +411,15 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
         return cmd_run_checked(rest, &src);
     }
     let compiled = compile_for(rest, &src)?;
+    let engine = engine_from_flags(rest)?;
     let config = InterpConfig {
         fault: fault_from_flags(rest)?,
         ..InterpConfig::default()
     };
     if has_flag(rest, "--profile") {
-        return run_profiled(&compiled, config, has_flag(rest, "--stats"));
+        return run_profiled(&compiled, config, engine, has_flag(rest, "--stats"));
     }
-    let outcome = run_with(&compiled.ir, config).map_err(|e| e.to_string())?;
+    let outcome = run_with_engine(&compiled.ir, config, engine).map_err(|e| e.to_string())?;
     println!("{}", outcome.result);
     if has_flag(rest, "--stats") {
         println!("--- runtime statistics ---");
@@ -423,7 +440,10 @@ fn cmd_run_checked(rest: &[String], src: &str) -> Result<(), String> {
     }
     let budget = budget_from_flags(rest)?;
     let sched = schedule_from_flags(rest)?;
-    let mut copts = CheckedOptions::default();
+    let mut copts = CheckedOptions {
+        engine: engine_from_flags(rest)?,
+        ..CheckedOptions::default()
+    };
     if let Some(n) = parse_num_flag::<u32>(rest, "--max-retries")? {
         copts.max_retries = n;
     }
@@ -501,16 +521,44 @@ fn cmd_run_checked(rest: &[String], src: &str) -> Result<(), String> {
 }
 
 /// Runs with per-allocation-site attribution and prints the hottest
-/// sites.
-fn run_profiled(compiled: &Compiled, config: InterpConfig, stats: bool) -> Result<(), String> {
-    use nml_escape_analysis::runtime::Interp;
-    let mut interp = Interp::with_config(&compiled.ir, config).map_err(|e| e.to_string())?;
-    let v = interp.run().map_err(|e| e.to_string())?;
-    let rendered =
-        nml_escape_analysis::pipeline::render_value(&interp, &v).map_err(|e| e.to_string())?;
-    println!("{rendered}");
+/// sites. Both engines attribute on the same `Heap`, so the report is
+/// engine-independent.
+fn run_profiled(
+    compiled: &Compiled,
+    config: InterpConfig,
+    engine: Engine,
+    stats: bool,
+) -> Result<(), String> {
+    use nml_escape_analysis::runtime::{Interp, Vm};
+    match engine {
+        Engine::Tree => {
+            let mut interp =
+                Interp::with_config(&compiled.ir, config).map_err(|e| e.to_string())?;
+            let v = interp.run().map_err(|e| e.to_string())?;
+            let rendered = nml_escape_analysis::pipeline::render_value(&interp, &v)
+                .map_err(|e| e.to_string())?;
+            println!("{rendered}");
+            report_hot_sites(&interp.heap, compiled, stats);
+        }
+        Engine::Vm => {
+            let mut vm = Vm::with_config(&compiled.ir, config).map_err(|e| e.to_string())?;
+            let v = vm.run().map_err(|e| e.to_string())?;
+            let rendered = nml_escape_analysis::pipeline::render_value_on(&vm.heap, &v)
+                .map_err(|e| e.to_string())?;
+            println!("{rendered}");
+            report_hot_sites(&vm.heap, compiled, stats);
+        }
+    }
+    Ok(())
+}
+
+fn report_hot_sites(
+    heap: &nml_escape_analysis::runtime::Heap<'_>,
+    compiled: &Compiled,
+    stats: bool,
+) {
     println!("--- hottest allocation sites ---");
-    for (site, n) in interp.heap.hot_sites().into_iter().take(8) {
+    for (site, n) in heap.hot_sites().into_iter().take(8) {
         let owner = compiled
             .ir
             .site_owner(site)
@@ -518,7 +566,7 @@ fn run_profiled(compiled: &Compiled, config: InterpConfig, stats: bool) -> Resul
             .unwrap_or_else(|| "in <main>".to_owned());
         println!("  site {:>4} {owner:<20} {n:>8} cells", site.0);
     }
-    let reuses = interp.heap.hot_reuse_sites();
+    let reuses = heap.hot_reuse_sites();
     if !reuses.is_empty() {
         println!("--- hottest DCONS reuse sites ---");
         for (site, n) in reuses.into_iter().take(8) {
@@ -532,7 +580,6 @@ fn run_profiled(compiled: &Compiled, config: InterpConfig, stats: bool) -> Resul
     }
     if stats {
         println!("--- runtime statistics ---");
-        println!("{}", interp.heap.stats);
+        println!("{}", heap.stats);
     }
-    Ok(())
 }

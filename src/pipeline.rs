@@ -13,7 +13,9 @@ use nml_opt::{
     annotate_stack, apply_quarantine, lower_program, sabotage_stack, IrProgram, OptOptions,
     QuarantineSet, SabotagePlan, SiteId,
 };
-use nml_runtime::{Interp, InterpConfig, RuntimeError, RuntimeStats, SoundnessViolation, Value};
+use nml_runtime::{
+    Engine, Heap, Interp, InterpConfig, RuntimeError, RuntimeStats, SoundnessViolation, Value, Vm,
+};
 use nml_syntax::parse_program;
 use nml_types::{infer_and_monomorphize, infer_program};
 use std::fmt;
@@ -215,7 +217,8 @@ pub struct RunOutcome {
 }
 
 /// Runs the IR's body and renders the result (int lists and scalars
-/// render fully; other values render by kind).
+/// render fully; other values render by kind). Uses the tree-walking
+/// interpreter; [`run_with_engine`] selects an engine explicitly.
 ///
 /// # Errors
 ///
@@ -224,19 +227,48 @@ pub fn run(ir: &IrProgram) -> Result<RunOutcome, PipelineError> {
     run_with(ir, InterpConfig::default())
 }
 
-/// Runs the IR with an explicit interpreter configuration.
+/// Runs the IR on the tree-walking interpreter with an explicit
+/// configuration (the differential oracle path).
 ///
 /// # Errors
 ///
 /// See [`run`].
 pub fn run_with(ir: &IrProgram, config: InterpConfig) -> Result<RunOutcome, PipelineError> {
-    let mut interp = Interp::with_config(ir, config)?;
-    let v = interp.run()?;
-    let result = render_value(&interp, &v)?;
-    Ok(RunOutcome {
-        result,
-        stats: interp.heap.stats,
-    })
+    run_with_engine(ir, config, Engine::Tree)
+}
+
+/// Runs the IR on the selected execution engine. Both engines produce
+/// identical results, errors, and allocation statistics; the VM is the
+/// production path, the tree-walker the oracle.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with_engine(
+    ir: &IrProgram,
+    config: InterpConfig,
+    engine: Engine,
+) -> Result<RunOutcome, PipelineError> {
+    match engine {
+        Engine::Tree => {
+            let mut interp = Interp::with_config(ir, config)?;
+            let v = interp.run()?;
+            let result = render_value_on(&interp.heap, &v)?;
+            Ok(RunOutcome {
+                result,
+                stats: interp.heap.stats,
+            })
+        }
+        Engine::Vm => {
+            let mut vm = Vm::with_config(ir, config)?;
+            let v = vm.run()?;
+            let result = render_value_on(&vm.heap, &v)?;
+            Ok(RunOutcome {
+                result,
+                stats: vm.heap.stats,
+            })
+        }
+    }
 }
 
 /// Configuration for a checked-optimization run ([`run_checked`]).
@@ -253,6 +285,9 @@ pub struct CheckedOptions {
     /// Where to load/persist the quarantine set (`None` = in-memory
     /// only, starting empty).
     pub quarantine_path: Option<PathBuf>,
+    /// Execution engine for every attempt, including the degraded
+    /// unoptimized fallback run.
+    pub engine: Engine,
 }
 
 impl Default for CheckedOptions {
@@ -262,6 +297,7 @@ impl Default for CheckedOptions {
             opt: OptOptions::default(),
             sabotage: SabotagePlan::default(),
             quarantine_path: None,
+            engine: Engine::default(),
         }
     }
 }
@@ -341,7 +377,7 @@ pub fn run_checked(
         apply_quarantine(&mut compiled.ir, &quarantine);
         let mut config = base_config.clone();
         config.heap.checked = true;
-        match run_with(&compiled.ir, config) {
+        match run_with_engine(&compiled.ir, config, opts.engine) {
             Ok(out) => break (out, compiled),
             Err(PipelineError::Runtime(RuntimeError::Soundness(v))) => {
                 violations += 1;
@@ -375,7 +411,7 @@ pub fn run_checked(
                         degraded = true;
                         attempts += 1;
                         let compiled = compile_scheduled(src, mode, budget, sched)?;
-                        let out = run_with(&compiled.ir, base_config.clone())?;
+                        let out = run_with_engine(&compiled.ir, base_config.clone(), opts.engine)?;
                         break (out, compiled);
                     }
                 }
@@ -405,24 +441,25 @@ pub fn run_checked(
     ))
 }
 
-/// Renders a value, chasing list structure through the heap.
+/// Renders a value, chasing list structure through the heap. Works for
+/// either engine — only the heap is consulted.
 ///
 /// # Errors
 ///
 /// Propagates heap access failures (dangling cells).
-pub fn render_value(interp: &Interp<'_>, v: &Value<'_>) -> Result<String, RuntimeError> {
-    fn go(interp: &Interp<'_>, v: &Value<'_>, out: &mut String) -> Result<(), RuntimeError> {
+pub fn render_value_on(heap: &Heap<'_>, v: &Value<'_>) -> Result<String, RuntimeError> {
+    fn go(heap: &Heap<'_>, v: &Value<'_>, out: &mut String) -> Result<(), RuntimeError> {
         match v {
             Value::Int(n) => out.push_str(&n.to_string()),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Nil => out.push_str("[]"),
             Value::Tuple(c) => {
                 out.push('(');
-                let h = interp.heap.car(*c)?;
-                go(interp, &h, out)?;
+                let h = heap.car(*c)?;
+                go(heap, &h, out)?;
                 out.push_str(", ");
-                let t = interp.heap.cdr(*c)?;
-                go(interp, &t, out)?;
+                let t = heap.cdr(*c)?;
+                go(heap, &t, out)?;
                 out.push(')');
             }
             Value::Pair(_) => {
@@ -434,9 +471,9 @@ pub fn render_value(interp: &Interp<'_>, v: &Value<'_>) -> Result<String, Runtim
                         out.push_str(", ");
                     }
                     first = false;
-                    let head = interp.heap.car(c)?;
-                    go(interp, &head, out)?;
-                    cur = interp.heap.cdr(c)?;
+                    let head = heap.car(c)?;
+                    go(heap, &head, out)?;
+                    cur = heap.cdr(c)?;
                 }
                 out.push(']');
             }
@@ -449,8 +486,18 @@ pub fn render_value(interp: &Interp<'_>, v: &Value<'_>) -> Result<String, Runtim
         Ok(())
     }
     let mut out = String::new();
-    go(interp, v, &mut out)?;
+    go(heap, v, &mut out)?;
     Ok(out)
+}
+
+/// Renders a value against an interpreter's heap (kept for callers that
+/// hold an [`Interp`]; see [`render_value_on`]).
+///
+/// # Errors
+///
+/// Propagates heap access failures (dangling cells).
+pub fn render_value(interp: &Interp<'_>, v: &Value<'_>) -> Result<String, RuntimeError> {
+    render_value_on(&interp.heap, v)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
-//! The differential soundness harness for checked-optimization mode.
+//! The differential soundness harness for checked-optimization mode and
+//! for the bytecode VM against its tree-walking oracle.
 //!
-//! Two claims, each checked on generated programs:
+//! Two claims for checked mode, each checked on generated programs:
 //!
 //! 1. **Transparency.** Without injected faults, a fully optimized
 //!    program executed under `--checked` (tombstoning heap, claim
@@ -20,11 +21,12 @@
 //! so CI exercises the harness serially and with 4 workers.
 
 use nml_escape_analysis::escape::{Budget, PolyMode, ScheduleOptions};
-use nml_escape_analysis::opt::{body_cons_sites, SabotagePlan};
+use nml_escape_analysis::opt::{body_cons_sites, IrProgram, SabotagePlan};
 use nml_escape_analysis::pipeline::{
-    compile_scheduled, run_checked, run_with, CheckedOptions, PipelineError,
+    compile_optimized_scheduled, compile_scheduled, run_checked, run_with, run_with_engine,
+    CheckedOptions, PipelineError,
 };
-use nml_escape_analysis::runtime::{InterpConfig, RuntimeError};
+use nml_escape_analysis::runtime::{Engine, InterpConfig, RuntimeError};
 use proptest::prelude::*;
 
 const PRELUDE: &str = "letrec
@@ -396,6 +398,166 @@ fn checked_mode_is_transparent_under_injected_faults() {
         assert_eq!(out.result, want, "seed {seed}");
         assert_eq!(out.stats.violations, 0, "seed {seed}");
         assert!(!out.degraded_unoptimized, "seed {seed}");
+    }
+}
+
+// --- Tree vs VM: the execution-engine differential ---------------------
+//
+// A third claim: the bytecode VM is observationally identical to the
+// tree-walking interpreter on every program the front end accepts —
+// same rendered value or same rendered error — before optimization,
+// after the full pass manager, and under the checked-mode sentinel with
+// deliberately wrong claims injected. Statistics and step counts are
+// engine-specific and deliberately *not* compared; the contract is the
+// observable outcome.
+
+/// Runs `ir` on `engine` and collapses the outcome to a comparable
+/// string: the rendered value on success, the rendered error otherwise.
+fn observe(ir: &IrProgram, engine: Engine) -> String {
+    match run_with_engine(ir, InterpConfig::default(), engine) {
+        Ok(out) => out.result,
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// Asserts the two engines agree on `src`, both on the plain lowering
+/// and after the full optimization pipeline.
+fn assert_engines_agree(name: &str, src: &str) {
+    let plain = compile_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .unwrap_or_else(|e| panic!("{name}: front end: {e}"));
+    assert_eq!(
+        observe(&plain.ir, Engine::Tree),
+        observe(&plain.ir, Engine::Vm),
+        "{name}: engines diverge unoptimized"
+    );
+    let opt = compile_optimized_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .unwrap_or_else(|e| panic!("{name}: optimizer: {e}"));
+    assert_eq!(
+        observe(&opt.ir, Engine::Tree),
+        observe(&opt.ir, Engine::Vm),
+        "{name}: engines diverge optimized"
+    );
+}
+
+/// The whole workload corpus — including the paper's Appendix A
+/// partition sort — runs identically on both engines, optimized and
+/// unoptimized.
+#[test]
+fn corpus_agrees_across_engines() {
+    for w in nml_escape_analysis::corpus::ALL {
+        assert_engines_agree(w.name, w.source);
+    }
+}
+
+/// The shipped example programs (`programs/*.nml`) agree across engines.
+#[test]
+fn program_files_agree_across_engines() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    let mut ran = 0;
+    for entry in std::fs::read_dir(&dir).expect("programs/ directory") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "nml") {
+            let src = std::fs::read_to_string(&path).expect("read program");
+            assert_engines_agree(&path.display().to_string(), &src);
+            ran += 1;
+        }
+    }
+    assert!(
+        ran >= 5,
+        "expected the shipped corpus, found {ran} programs"
+    );
+}
+
+/// Checked mode on the VM: inject wrong stack claims at every body cons
+/// site; the VM-executed sentinel must catch them, quarantine exactly
+/// the sabotaged sites, and converge to the tree-walker oracle's value.
+#[test]
+fn vm_checked_with_injected_unsound_claims_recovers() {
+    let src = "letrec rev l a = if (null l) then a
+                                else rev (cdr l) (cons (car l) a)
+               in rev [1, 2, 3, 4] nil";
+    let want = oracle(src);
+    let compiled = compile_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .expect("front end");
+    let sites = body_cons_sites(&compiled.ir);
+    assert!(!sites.is_empty());
+    for engine in [Engine::Vm, Engine::Tree] {
+        let opts = CheckedOptions {
+            max_retries: sites.len() as u32 + 2,
+            sabotage: SabotagePlan::stack(sites.clone()),
+            engine,
+            ..CheckedOptions::default()
+        };
+        let (out, _) = run_checked(
+            src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+            &opts,
+            &InterpConfig::default(),
+        )
+        .expect("checked run recovers");
+        assert_eq!(out.result, want, "{engine}");
+        assert!(!out.degraded_unoptimized, "{engine}");
+        for rec in &out.quarantined {
+            assert!(sites.contains(&rec.site), "{engine}: site {:?}", rec.site);
+        }
+        assert_eq!(
+            out.stats.violations,
+            out.quarantined.len() as u64,
+            "{engine}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The 128-case generated sweep: tree and VM agree on random list
+    /// programs, unoptimized and under the full pass manager.
+    #[test]
+    fn generated_programs_agree_across_engines(src in program()) {
+        let plain = compile_scheduled(
+            &src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+        )
+        .expect("front end");
+        prop_assert_eq!(
+            observe(&plain.ir, Engine::Tree),
+            observe(&plain.ir, Engine::Vm),
+            "unoptimized: {}",
+            src
+        );
+        let opt = compile_optimized_scheduled(
+            &src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+        )
+        .expect("optimizer");
+        prop_assert_eq!(
+            observe(&opt.ir, Engine::Tree),
+            observe(&opt.ir, Engine::Vm),
+            "optimized: {}",
+            src
+        );
     }
 }
 
