@@ -38,6 +38,22 @@
 //!   analysis, never a discarded-whole cache for one bad entry;
 //! - [`SummaryCache::save`] writes to a sibling temp file and renames it
 //!   into place, so a crash mid-save leaves the previous cache intact.
+//!
+//! ## Concurrent writers (v2 + locking)
+//!
+//! A persistent server (or several `nmlc` processes pointed at the same
+//! `--summary-cache`) can save concurrently. `save` therefore:
+//!
+//! 1. takes an **advisory exclusive lock** on a sibling `<path>.lock`
+//!    file (the lock file, not the cache file, because the atomic rename
+//!    replaces the cache's inode and would strand a lock held on it);
+//! 2. **merges on save**: re-reads the on-disk cache under the lock and
+//!    overlays this process's entries, so writers with disjoint entries
+//!    lose nothing — last-writer-wins applies per entry, not per file.
+//!    Stale entries are harmless: keys are content hashes, so an
+//!    outdated entry can never be *hit* incorrectly, only ignored;
+//! 3. falls back to the plain atomic rename (still torn-file-safe, just
+//!    last-writer-wins per file) on filesystems without lock support.
 
 use crate::be::Be;
 use crate::global::{EscapeSummary, ParamEscape};
@@ -155,6 +171,43 @@ pub struct Salvage {
     pub dropped: usize,
     /// Whether the whole-file checksum trailer was present and matched.
     pub file_ok: bool,
+}
+
+/// An advisory exclusive lock guarding the cache write path, held on a
+/// sibling `<path>.lock` file and released on drop. Acquisition is
+/// best-effort: `None` means the filesystem refused, and the caller
+/// degrades to an unmerged (but still atomic) save.
+struct CacheLock {
+    file: std::fs::File,
+}
+
+impl CacheLock {
+    fn lock_path(cache_path: &Path) -> std::path::PathBuf {
+        let mut os = cache_path.as_os_str().to_owned();
+        os.push(".lock");
+        std::path::PathBuf::from(os)
+    }
+
+    fn acquire(cache_path: &Path) -> Option<CacheLock> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(Self::lock_path(cache_path))
+            .ok()?;
+        // Blocks until the current writer finishes; cache saves are
+        // small, so contention is momentary.
+        file.lock().ok()?;
+        Some(CacheLock { file })
+    }
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        // Best-effort: the OS also releases the lock when the
+        // descriptor closes.
+        let _ = self.file.unlock();
+    }
 }
 
 /// FNV-1a digest of a string (the cache's entry and file checksums).
@@ -389,9 +442,17 @@ impl SummaryCache {
     }
 
     /// Writes the cache to `path`, creating parent directories as needed.
-    /// The write is atomic: the text goes to a sibling temp file first and
-    /// is renamed into place, so a crash mid-save leaves the previous
-    /// cache intact and concurrent readers never see a torn file.
+    ///
+    /// The write is concurrency-safe on two levels. It is **atomic**:
+    /// the text goes to a sibling temp file first and is renamed into
+    /// place, so a crash mid-save leaves the previous cache intact and
+    /// concurrent readers never see a torn file. And it is **merging**:
+    /// under an advisory exclusive lock on `<path>.lock`, the on-disk
+    /// entries are re-read and this cache's entries overlaid, so
+    /// concurrent writers interleave per entry instead of clobbering
+    /// each other's files wholesale. When the lock cannot be taken
+    /// (e.g. an exotic filesystem), the save degrades to the plain
+    /// atomic rename rather than failing.
     ///
     /// # Errors
     ///
@@ -404,13 +465,27 @@ impl SummaryCache {
                     .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
             }
         }
+        let lock = CacheLock::acquire(path);
+        let text = if lock.is_some() {
+            // Exclusive: nobody else is between their read and rename,
+            // so read-merge-rename is a consistent update.
+            let (disk, _) = SummaryCache::load(path);
+            let mut merged = disk;
+            for (hash, scc) in &self.entries {
+                merged.entries.insert(*hash, scc.clone());
+            }
+            merged.render()
+        } else {
+            self.render()
+        };
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp, self.render())
-            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             format!("cannot rename {} into place: {e}", tmp.display())
         })
+        // `lock` drops here, releasing the advisory lock after the
+        // rename is visible.
     }
 }
 

@@ -73,6 +73,34 @@ pub enum RuntimeError {
         /// The configured capacity.
         capacity: u64,
     },
+    /// The per-call fuel budget ([`crate::InterpConfig::fuel`]) ran out.
+    /// Unlike [`RuntimeError::StepLimitExceeded`] (a whole-machine
+    /// runaway guard), fuel is counted from the start of each entry
+    /// (`run`/`call`), so a server can meter every request separately.
+    /// The interruption is deterministic: exactly `fuel` machine steps of
+    /// the uninterrupted execution have run when this is raised.
+    FuelExhausted {
+        /// The fuel budget that was exhausted.
+        fuel: u64,
+    },
+    /// The call-frame (VM) or continuation (tree-walker) depth limit
+    /// ([`crate::InterpConfig::max_depth`]) was exceeded — deep non-tail
+    /// recursion. Tail calls run in constant depth and never trip this.
+    StackOverflow {
+        /// The configured depth limit.
+        limit: usize,
+    },
+    /// Execution was cancelled from outside through
+    /// [`crate::InterpConfig::cancel`] (server shutdown, client abort).
+    Cancelled,
+    /// An internal execution-engine invariant failed (malformed bytecode
+    /// or a compiler bug). Raised instead of panicking so a hosted
+    /// runtime (e.g. a server worker) degrades to a per-request error
+    /// rather than aborting the process.
+    Internal {
+        /// The broken invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -105,6 +133,16 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::OutOfMemory { live, capacity } => {
                 write!(f, "out of memory: {live} live cells at capacity {capacity}")
+            }
+            RuntimeError::FuelExhausted { fuel } => {
+                write!(f, "fuel exhausted after {fuel} steps")
+            }
+            RuntimeError::StackOverflow { limit } => {
+                write!(f, "stack overflow: call depth exceeded {limit}")
+            }
+            RuntimeError::Cancelled => f.write_str("cancelled"),
+            RuntimeError::Internal { what } => {
+                write!(f, "internal interpreter invariant failed: {what}")
             }
         }
     }

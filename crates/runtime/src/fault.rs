@@ -63,6 +63,11 @@ pub struct FaultPlan {
     /// Explicit allocation indices (0-based, across all program
     /// allocations) at which a GC is forced.
     forced_gc_at: Vec<u64>,
+    /// Explicit allocation index (0-based) at which the runtime panics —
+    /// a stand-in for "worker hit a bug" in crash-isolation tests. The
+    /// panic is injected *inside* the engine, exactly where a real
+    /// invariant failure would unwind from.
+    panic_at_alloc: Option<u64>,
     allocs_seen: u64,
     gc_requested: bool,
 }
@@ -83,6 +88,7 @@ impl FaultPlan {
             region_denial: FaultRate::OFF,
             forced_gc: FaultRate::OFF,
             forced_gc_at: Vec::new(),
+            panic_at_alloc: None,
             allocs_seen: 0,
             gc_requested: false,
         }
@@ -119,6 +125,14 @@ impl FaultPlan {
         self
     }
 
+    /// Panics the engine at the given (0-based) allocation index, for
+    /// crash-isolation tests (the panic unwinds through the engine like
+    /// a genuine bug would).
+    pub fn with_panic_at_alloc(mut self, index: u64) -> FaultPlan {
+        self.panic_at_alloc = Some(index);
+        self
+    }
+
     /// Whether any fault can fire under this plan.
     pub fn is_active(&self) -> bool {
         self.heap_capacity.is_some()
@@ -126,6 +140,7 @@ impl FaultPlan {
             || !self.region_denial.is_off()
             || !self.forced_gc.is_off()
             || !self.forced_gc_at.is_empty()
+            || self.panic_at_alloc.is_some()
     }
 
     /// The configured heap capacity, if bounded.
@@ -161,8 +176,15 @@ impl FaultPlan {
         self.decide(self.region_denial)
     }
 
-    /// Records one program allocation; may arm a forced GC.
+    /// Records one program allocation; may arm a forced GC, or fire the
+    /// injected panic.
     pub(crate) fn note_alloc(&mut self) {
+        if self.panic_at_alloc == Some(self.allocs_seen) {
+            panic!(
+                "fault plan: injected panic at allocation #{}",
+                self.allocs_seen
+            );
+        }
         if self.forced_gc_at.contains(&self.allocs_seen) || self.decide(self.forced_gc) {
             self.gc_requested = true;
         }
@@ -207,6 +229,9 @@ impl fmt::Display for FaultPlan {
         }
         if !self.forced_gc_at.is_empty() {
             write!(f, " forced-gc-at={:?}", self.forced_gc_at)?;
+        }
+        if let Some(i) = self.panic_at_alloc {
+            write!(f, " panic-at-alloc={i}")?;
         }
         Ok(())
     }

@@ -16,6 +16,12 @@ use nml_opt::{AllocMode, IrExpr, IrProgram, SiteId};
 use nml_syntax::{Const, Prim, Symbol};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How often (in machine steps) the engines poll the cooperative
+/// [`InterpConfig::cancel`] flag. A power of two so the poll is a mask.
+pub(crate) const CANCEL_POLL_MASK: u64 = 1023;
 
 /// Interpreter configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +36,24 @@ pub struct InterpConfig {
     /// Fault-injection schedule (inert by default); see
     /// [`crate::fault::FaultPlan`].
     pub fault: FaultPlan,
+    /// Per-entry fuel budget: each `run`/`call` may execute at most this
+    /// many machine steps before failing with
+    /// [`RuntimeError::FuelExhausted`]. Unlike `step_limit` (a
+    /// whole-machine guard counted across the interpreter's lifetime),
+    /// fuel restarts at every entry, so a persistent server can meter
+    /// requests individually. `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Depth limit for the call stack: live VM call frames, or live
+    /// continuation frames in the tree-walker. Deep *non-tail* recursion
+    /// fails with [`RuntimeError::StackOverflow`] instead of growing
+    /// memory without bound; tail calls run in constant depth and are
+    /// unaffected.
+    pub max_depth: usize,
+    /// Cooperative cancellation flag, polled every
+    /// [`CANCEL_POLL_MASK`]+1 steps. When set, execution stops with
+    /// [`RuntimeError::Cancelled`]. Shared (`Arc`) so a server can cancel
+    /// an in-flight request from another thread.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for InterpConfig {
@@ -39,6 +63,9 @@ impl Default for InterpConfig {
             step_limit: 200_000_000,
             validate_regions: false,
             fault: FaultPlan::default(),
+            fuel: None,
+            max_depth: 1_000_000,
+            cancel: None,
         }
     }
 }
@@ -223,28 +250,88 @@ impl<'p> Interp<'p> {
         })
     }
 
-    /// The machine loop.
+    /// The machine entry: runs the loop, and on *any* error closes the
+    /// dynamic extents the aborted computation left open, so the heap is
+    /// consistent for the next entry (a persistent server re-enters the
+    /// same interpreter after failed requests).
     fn eval(&mut self, expr: &'p IrExpr, env: Env<'p>) -> Result<Value<'p>, RuntimeError> {
-        let mut ctrl = Ctrl::Eval(expr, env);
         let mut stack: Vec<Frame<'p>> = Vec::new();
+        let r = self.eval_loop(expr, env, &mut stack);
+        if r.is_err() {
+            // Innermost extents first (reverse frame order is LIFO). No
+            // live value can reference these cells: the computation that
+            // owned them produced no result.
+            for f in stack.iter().rev() {
+                if let Frame::PopRegion { id } = f {
+                    let _ = self.heap.pop_region(*id);
+                }
+            }
+        }
+        r
+    }
+
+    /// The machine loop.
+    fn eval_loop(
+        &mut self,
+        expr: &'p IrExpr,
+        env: Env<'p>,
+        stack: &mut Vec<Frame<'p>>,
+    ) -> Result<Value<'p>, RuntimeError> {
+        let mut ctrl = Ctrl::Eval(expr, env);
+        // Fuel is metered from this entry, not machine birth, so every
+        // `run`/`call` gets the full budget.
+        let fuel_limit = self
+            .config
+            .fuel
+            .map(|f| self.heap.stats.steps.saturating_add(f));
         loop {
+            if let Some(limit) = fuel_limit {
+                if self.heap.stats.steps >= limit {
+                    return Err(RuntimeError::FuelExhausted {
+                        fuel: self.config.fuel.unwrap_or(0),
+                    });
+                }
+            }
             self.heap.stats.steps += 1;
             if self.heap.stats.steps > self.config.step_limit {
                 return Err(RuntimeError::StepLimitExceeded {
                     limit: self.config.step_limit,
                 });
             }
+            if self.heap.stats.steps & CANCEL_POLL_MASK == 0 {
+                if let Some(c) = &self.config.cancel {
+                    if c.load(Ordering::Relaxed) {
+                        return Err(RuntimeError::Cancelled);
+                    }
+                }
+            }
+            if stack.len() > self.config.max_depth {
+                return Err(RuntimeError::StackOverflow {
+                    limit: self.config.max_depth,
+                });
+            }
             if self.heap.take_forced_gc() || self.heap.should_collect() {
-                self.collect(&ctrl, &stack);
+                self.collect(&ctrl, stack);
             }
             ctrl = match ctrl {
-                Ctrl::Eval(e, env) => self.step_eval(e, env, &mut stack)?,
+                Ctrl::Eval(e, env) => self.step_eval(e, env, stack)?,
                 Ctrl::Ret(v) => match stack.pop() {
                     None => return Ok(v),
-                    Some(frame) => self.step_ret(v, frame, &mut stack)?,
+                    Some(frame) => self.step_ret(v, frame, stack)?,
                 },
             };
         }
+    }
+
+    /// Replaces the per-entry fuel budget (`None` = unlimited). A server
+    /// worker calls this before each request.
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.config.fuel = fuel;
+    }
+
+    /// Installs (or clears) the shared cooperative-cancellation flag.
+    pub fn set_cancel(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.config.cancel = cancel;
     }
 
     fn step_eval(

@@ -25,14 +25,17 @@
 
 use crate::bytecode::{compile, BytecodeProgram, GlobalDef, Op};
 use crate::error::RuntimeError;
+use crate::fault::FaultPlan;
 use crate::gc::Marker;
 use crate::heap::{Heap, RegionId};
-use crate::interp::{prim1, prim2, InterpConfig};
+use crate::interp::{prim1, prim2, InterpConfig, CANCEL_POLL_MASK};
 use crate::value::{CaptureEnv, Value};
 use nml_opt::{AllocMode, CaptureSrc, IrProgram};
 use nml_syntax::{Prim, Symbol};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Which execution engine runs a program. Both produce identical
 /// observable behavior; the VM is the default, the tree-walker remains
@@ -153,6 +156,27 @@ impl<'p> Vm<'p> {
         self.exec(self.code.main, Vec::new())
     }
 
+    /// Replaces the per-entry fuel budget (`None` = unlimited). A server
+    /// worker calls this before each request; every `run`/`call` entry
+    /// meters from its own start.
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.config.fuel = fuel;
+    }
+
+    /// Installs (or clears) the shared cooperative-cancellation flag.
+    pub fn set_cancel(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.config.cancel = cancel;
+    }
+
+    /// Replaces the fault plan for subsequent entries (a server worker
+    /// installs each request's plan, then resets to the inert default).
+    /// Re-derives the allocation fast-path flag, which is keyed on plan
+    /// inertness at construction time.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_inert = !plan.is_active();
+        self.heap.set_fault_plan(plan);
+    }
+
     /// Calls top-level function `name` with exactly its arity in `args`.
     ///
     /// # Errors
@@ -178,7 +202,10 @@ impl<'p> Vm<'p> {
             });
         }
         let GlobalDef::Func { chunk, .. } = self.code.globals[i] else {
-            unreachable!("function binding compiles to GlobalDef::Func");
+            // A function binding always compiles to `GlobalDef::Func`.
+            return Err(RuntimeError::Internal {
+                what: "function binding did not compile to a function chunk",
+            });
         };
         self.exec(chunk, args)
     }
@@ -205,6 +232,12 @@ impl<'p> Vm<'p> {
             pc: 0,
             steps: heap.stats.steps,
             step_limit: self.config.step_limit,
+            // Fuel is metered from this entry, not machine birth, so
+            // every `run`/`call` gets the full budget.
+            fuel_limit: self
+                .config
+                .fuel
+                .map_or(u64::MAX, |f| heap.stats.steps.saturating_add(f)),
             code,
             heap,
             globals: &self.globals,
@@ -309,6 +342,9 @@ struct Machine<'v, 'p> {
     /// Running step counter (flushed to `heap.stats.steps` on exit).
     steps: u64,
     step_limit: u64,
+    /// Absolute step count at which this entry's fuel runs out
+    /// (`u64::MAX` when unmetered).
+    fuel_limit: u64,
     code: &'v BytecodeProgram,
     heap: &'v mut Heap<'p>,
     globals: &'v [Value<'p>],
@@ -324,20 +360,27 @@ fn resolve_captures<'p>(
     srcs: &[CaptureSrc],
     locals: &[Value<'p>],
     env: Option<&Rc<CaptureEnv<'p>>>,
-) -> Vec<Value<'p>> {
+) -> Result<Vec<Value<'p>>, RuntimeError> {
     srcs.iter()
-        .map(|s| match *s {
-            CaptureSrc::Local(i) => locals[i as usize].clone(),
-            CaptureSrc::Capture(i) => {
-                env.expect("capturing frame has captures").values[i as usize].clone()
-            }
-            CaptureSrc::Rec(j) => {
-                let e = env.expect("capturing frame has a rec group");
-                Value::VmClosure {
-                    chunk: e.rec[j as usize],
-                    env: e.clone(),
+        .map(|s| {
+            Ok(match *s {
+                CaptureSrc::Local(i) => locals[i as usize].clone(),
+                CaptureSrc::Capture(i) => {
+                    let e = env.ok_or(RuntimeError::Internal {
+                        what: "capturing frame has no capture env",
+                    })?;
+                    e.values[i as usize].clone()
                 }
-            }
+                CaptureSrc::Rec(j) => {
+                    let e = env.ok_or(RuntimeError::Internal {
+                        what: "capturing frame has no rec group",
+                    })?;
+                    Value::VmClosure {
+                        chunk: e.rec[j as usize],
+                        env: e.clone(),
+                    }
+                }
+            })
         })
         .collect()
 }
@@ -346,7 +389,24 @@ impl<'p> Machine<'_, 'p> {
     fn run(&mut self) -> Result<Value<'p>, RuntimeError> {
         let r = self.run_loop();
         self.heap.stats.steps = self.steps;
+        if r.is_err() {
+            // Close the dynamic extents the aborted computation left
+            // open (innermost first), so the heap is consistent for the
+            // next `run`/`call` entry on the same `Vm`. No live value
+            // can reference these cells: the computation that owned
+            // them produced no result.
+            for id in self.regions.drain(..).rev().flatten() {
+                let _ = self.heap.pop_region(id);
+            }
+        }
         r
+    }
+
+    /// Pops an operand; a miss is a bytecode invariant violation
+    /// surfaced as a typed error (never a worker-killing panic).
+    #[inline]
+    fn pop(&mut self, what: &'static str) -> Result<Value<'p>, RuntimeError> {
+        self.stack.pop().ok_or(RuntimeError::Internal { what })
     }
 
     /// GC poll. With an inert fault plan this is only called from the
@@ -362,11 +422,27 @@ impl<'p> Machine<'_, 'p> {
 
     fn run_loop(&mut self) -> Result<Value<'p>, RuntimeError> {
         loop {
+            // Checked *before* the increment with `>=`, so exactly
+            // `fuel` steps of the uninterrupted execution have run when
+            // this trips (the prefix-determinism property the fuel
+            // proptest pins down).
+            if self.steps >= self.fuel_limit {
+                return Err(RuntimeError::FuelExhausted {
+                    fuel: self.config.fuel.unwrap_or(0),
+                });
+            }
             self.steps += 1;
             if self.steps > self.step_limit {
                 return Err(RuntimeError::StepLimitExceeded {
                     limit: self.step_limit,
                 });
+            }
+            if self.steps & CANCEL_POLL_MASK == 0 {
+                if let Some(c) = &self.config.cancel {
+                    if c.load(Ordering::Relaxed) {
+                        return Err(RuntimeError::Cancelled);
+                    }
+                }
             }
             if !self.fault_inert {
                 self.maybe_collect();
@@ -385,19 +461,19 @@ impl<'p> Machine<'_, 'p> {
                     self.stack.push(self.locals[self.lb + i as usize].clone());
                 }
                 Op::LoadCapture(i) => {
-                    let env = self
-                        .frames
-                        .last()
-                        .and_then(|f| f.env.as_ref())
-                        .expect("chunk with captures runs under a closure");
+                    let env = self.frames.last().and_then(|f| f.env.as_ref()).ok_or(
+                        RuntimeError::Internal {
+                            what: "chunk with captures ran without a closure env",
+                        },
+                    )?;
                     self.stack.push(env.values[i as usize].clone());
                 }
                 Op::LoadRec(j) => {
-                    let env = self
-                        .frames
-                        .last()
-                        .and_then(|f| f.env.as_ref())
-                        .expect("chunk with rec refs runs under a closure");
+                    let env = self.frames.last().and_then(|f| f.env.as_ref()).ok_or(
+                        RuntimeError::Internal {
+                            what: "chunk with rec refs ran without a closure env",
+                        },
+                    )?;
                     self.stack.push(Value::VmClosure {
                         chunk: env.rec[j as usize],
                         env: env.clone(),
@@ -419,20 +495,22 @@ impl<'p> Machine<'_, 'p> {
                     })
                 }
                 Op::StoreLocal(i) => {
-                    let v = self.stack.pop().expect("value to store");
+                    let v = self.pop("operand stack underflow on store")?;
                     self.locals[self.lb + i as usize] = v;
                 }
                 Op::ClearLocal(i) => {
                     self.locals[self.lb + i as usize] = Value::Nil;
                 }
                 Op::MakeClosure(i) => {
-                    let fr = self.frames.last().expect("active frame");
+                    let fr = self.frames.last().ok_or(RuntimeError::Internal {
+                        what: "no active frame at MakeClosure",
+                    })?;
                     let site = &self.code.closures[i as usize];
                     let values = resolve_captures(
                         &site.captures,
                         &self.locals[fr.locals_base..],
                         fr.env.as_ref(),
-                    );
+                    )?;
                     self.stack.push(Value::VmClosure {
                         chunk: site.chunk,
                         env: Rc::new(CaptureEnv {
@@ -442,11 +520,13 @@ impl<'p> Machine<'_, 'p> {
                     });
                 }
                 Op::MakeRec(i) => {
-                    let fr = self.frames.last().expect("active frame");
+                    let fr = self.frames.last().ok_or(RuntimeError::Internal {
+                        what: "no active frame at MakeRec",
+                    })?;
                     let base = fr.locals_base;
                     let site = &self.code.recs[i as usize];
                     let values =
-                        resolve_captures(&site.captures, &self.locals[base..], fr.env.as_ref());
+                        resolve_captures(&site.captures, &self.locals[base..], fr.env.as_ref())?;
                     let env = Rc::new(CaptureEnv {
                         values,
                         rec: site.chunks.clone(),
@@ -459,7 +539,7 @@ impl<'p> Machine<'_, 'p> {
                     }
                 }
                 Op::Jump(t) => self.pc = t as usize,
-                Op::JumpIfFalse(t) => match self.stack.pop().expect("condition") {
+                Op::JumpIfFalse(t) => match self.pop("operand stack underflow on branch")? {
                     Value::Bool(true) => {}
                     Value::Bool(false) => self.pc = t as usize,
                     other => {
@@ -471,8 +551,8 @@ impl<'p> Machine<'_, 'p> {
                     }
                 },
                 Op::Call | Op::TailCall => {
-                    let arg = self.stack.pop().expect("argument");
-                    let fun = self.stack.pop().expect("callee");
+                    let arg = self.pop("missing call argument")?;
+                    let fun = self.pop("missing callee")?;
                     if let Some(v) = self.apply(fun, arg, matches!(op, Op::TailCall))? {
                         return Ok(v);
                     }
@@ -481,8 +561,19 @@ impl<'p> Machine<'_, 'p> {
                     // Non-tail entry: move the arguments straight from
                     // the operand stack into the new frame's slots (no
                     // scratch round-trip).
+                    if self.frames.len() >= self.config.max_depth {
+                        return Err(RuntimeError::StackOverflow {
+                            limit: self.config.max_depth,
+                        });
+                    }
                     let chunk = &self.code.chunks[c as usize];
-                    let start = self.stack.len() - chunk.n_params as usize;
+                    let start = self
+                        .stack
+                        .len()
+                        .checked_sub(chunk.n_params as usize)
+                        .ok_or(RuntimeError::Internal {
+                            what: "operand stack underflow on global call",
+                        })?;
                     let lb = self.locals.len();
                     self.locals.extend(self.stack.drain(start..));
                     self.locals.resize(lb + chunk.n_slots as usize, Value::Nil);
@@ -501,13 +592,19 @@ impl<'p> Machine<'_, 'p> {
                 }
                 Op::TailCallGlobal(c) => {
                     let n = self.code.chunks[c as usize].n_params as usize;
-                    let start = self.stack.len() - n;
+                    let start = self
+                        .stack
+                        .len()
+                        .checked_sub(n)
+                        .ok_or(RuntimeError::Internal {
+                            what: "operand stack underflow on global tail call",
+                        })?;
                     self.scratch.extend(self.stack.drain(start..));
-                    self.push_frame(c, None, true);
+                    self.push_frame(c, None, true)?;
                 }
                 Op::Return => {
-                    let v = self.stack.pop().expect("return value");
-                    if let Some(v) = self.do_return(v) {
+                    let v = self.pop("missing return value")?;
+                    if let Some(v) = self.do_return(v)? {
                         return Ok(v);
                     }
                 }
@@ -516,18 +613,20 @@ impl<'p> Machine<'_, 'p> {
                     // on the operand stack, so both are rooted.
                     let cell = if self.fault_inert {
                         self.maybe_collect();
-                        let tail = self.stack.pop().expect("cons tail");
-                        let head = self.stack.pop().expect("cons head");
+                        let tail = self.pop("missing cons tail")?;
+                        let head = self.pop("missing cons head")?;
                         self.heap.alloc_fast(head, tail, mode, site)
                     } else {
-                        let tail = self.stack.pop().expect("cons tail");
-                        let head = self.stack.pop().expect("cons head");
+                        let tail = self.pop("missing cons tail")?;
+                        let head = self.pop("missing cons head")?;
                         self.heap.alloc_at(head, tail, mode, Some(site))?
                     };
                     self.stack.push(Value::Pair(cell));
                 }
                 Op::CheckPair => {
-                    let v = self.stack.last().expect("dcons target");
+                    let v = self.stack.last().ok_or(RuntimeError::Internal {
+                        what: "missing dcons target",
+                    })?;
                     if !matches!(v, Value::Pair(_)) {
                         return Err(RuntimeError::DconsOnNonPair { found: v.kind() });
                     }
@@ -537,10 +636,14 @@ impl<'p> Machine<'_, 'p> {
                         // Poll before the operands leave the stack.
                         self.maybe_collect();
                     }
-                    let tail = self.stack.pop().expect("dcons tail");
-                    let head = self.stack.pop().expect("dcons head");
+                    let tail = self.pop("missing dcons tail")?;
+                    let head = self.pop("missing dcons head")?;
                     let Some(Value::Pair(cell)) = self.stack.pop() else {
-                        unreachable!("CheckPair ran before Dcons");
+                        // CheckPair runs before Dcons in well-formed
+                        // bytecode; anything else is a compiler bug.
+                        return Err(RuntimeError::Internal {
+                            what: "dcons target is not a pair",
+                        });
                     };
                     // Same three-way split as the tree-walker's Dcons2
                     // frame: fault retreat, checked copy-and-retire, or
@@ -569,7 +672,7 @@ impl<'p> Machine<'_, 'p> {
                     }
                 }
                 Op::Prim1(p) => {
-                    let v = self.stack.pop().expect("operand");
+                    let v = self.pop("missing prim operand")?;
                     let r = prim1(self.heap, p, v)?;
                     self.stack.push(r);
                 }
@@ -579,8 +682,8 @@ impl<'p> Machine<'_, 'p> {
                         // poll while the operands are still rooted.
                         self.maybe_collect();
                     }
-                    let b = self.stack.pop().expect("rhs");
-                    let a = self.stack.pop().expect("lhs");
+                    let b = self.pop("missing prim rhs")?;
+                    let a = self.pop("missing prim lhs")?;
                     let r = prim2(self.heap, p, a, b)?;
                     self.stack.push(r);
                 }
@@ -609,13 +712,13 @@ impl<'p> Machine<'_, 'p> {
                     self.stack.push(r);
                 }
                 Op::Prim2Local(p, i) => {
-                    let a = self.stack.pop().expect("lhs");
+                    let a = self.pop("missing prim lhs")?;
                     let b = self.locals[self.lb + i as usize].clone();
                     let r = prim2(self.heap, p, a, b)?;
                     self.stack.push(r);
                 }
                 Op::Prim2Imm(p, n) => {
-                    let a = self.stack.pop().expect("lhs");
+                    let a = self.pop("missing prim lhs")?;
                     let r = prim2(self.heap, p, a, Value::Int(n))?;
                     self.stack.push(r);
                 }
@@ -627,7 +730,10 @@ impl<'p> Machine<'_, 'p> {
                     }
                 }
                 Op::ExitRegion => {
-                    if let Some(id) = self.regions.pop().expect("region balance") {
+                    let slot = self.regions.pop().ok_or(RuntimeError::Internal {
+                        what: "region exit with no region entered",
+                    })?;
+                    if let Some(id) = slot {
                         if self.config.validate_regions {
                             self.validate_region()?;
                         }
@@ -649,7 +755,7 @@ impl<'p> Machine<'_, 'p> {
         match fun {
             Value::VmClosure { chunk, env } => {
                 self.scratch.push(arg);
-                self.push_frame(chunk, Some(env), tail);
+                self.push_frame(chunk, Some(env), tail)?;
                 Ok(None)
             }
             Value::Func { func, applied } => {
@@ -663,32 +769,32 @@ impl<'p> Machine<'_, 'p> {
                     })?;
                     self.scratch.extend(applied.iter().cloned());
                     self.scratch.push(arg);
-                    self.push_frame(chunk, None, tail);
+                    self.push_frame(chunk, None, tail)?;
                     Ok(None)
                 } else {
                     let mut args = (*applied).clone();
                     args.push(arg);
-                    Ok(self.ret_or_push(
+                    self.ret_or_push(
                         Value::Func {
                             func,
                             applied: Rc::new(args),
                         },
                         tail,
-                    ))
+                    )
                 }
             }
             Value::Prim { prim, first: None } => {
                 if prim.arity() == 1 {
                     let v = prim1(self.heap, prim, arg)?;
-                    Ok(self.ret_or_push(v, tail))
+                    self.ret_or_push(v, tail)
                 } else {
-                    Ok(self.ret_or_push(
+                    self.ret_or_push(
                         Value::Prim {
                             prim,
                             first: Some(Rc::new(arg)),
                         },
                         tail,
-                    ))
+                    )
                 }
             }
             Value::Prim {
@@ -696,7 +802,7 @@ impl<'p> Machine<'_, 'p> {
                 first: Some(first),
             } => {
                 let v = prim2(self.heap, prim, (*first).clone(), arg)?;
-                Ok(self.ret_or_push(v, tail))
+                self.ret_or_push(v, tail)
             }
             other => Err(RuntimeError::TypeMismatch {
                 expected: "function",
@@ -707,12 +813,20 @@ impl<'p> Machine<'_, 'p> {
     }
 
     /// Enters `chunk` with the staged arguments in `scratch`. A tail
-    /// entry replaces the current frame (constant-depth recursion); a
-    /// normal entry pushes a new one.
-    fn push_frame(&mut self, chunk: u32, env: Option<Rc<CaptureEnv<'p>>>, tail: bool) {
+    /// entry replaces the current frame (constant-depth recursion, so it
+    /// can never overflow); a normal entry pushes a new one, subject to
+    /// the configured depth limit.
+    fn push_frame(
+        &mut self,
+        chunk: u32,
+        env: Option<Rc<CaptureEnv<'p>>>,
+        tail: bool,
+    ) -> Result<(), RuntimeError> {
         let n_slots = self.code.chunks[chunk as usize].n_slots as usize;
         if tail {
-            let fr = self.frames.last_mut().expect("active frame");
+            let fr = self.frames.last_mut().ok_or(RuntimeError::Internal {
+                what: "tail call with no active frame",
+            })?;
             let lb = fr.locals_base;
             fr.chunk = chunk;
             fr.env = env;
@@ -723,6 +837,13 @@ impl<'p> Machine<'_, 'p> {
             self.locals.resize(lb + n_slots, Value::Nil);
             self.lb = lb;
         } else {
+            if self.frames.len() >= self.config.max_depth {
+                // The staged arguments must not leak into the next call.
+                self.scratch.clear();
+                return Err(RuntimeError::StackOverflow {
+                    limit: self.config.max_depth,
+                });
+            }
             let lb = self.locals.len();
             self.locals.append(&mut self.scratch);
             self.locals.resize(lb + n_slots, Value::Nil);
@@ -739,14 +860,17 @@ impl<'p> Machine<'_, 'p> {
         self.ci = chunk as usize;
         self.pc = 0;
         self.ops = self.code.chunks[chunk as usize].code.as_slice();
+        Ok(())
     }
 
     /// Returns `v` from the current frame; yields the machine's final
     /// value when this was the bottom frame.
-    fn do_return(&mut self, v: Value<'p>) -> Option<Value<'p>> {
-        let fr = self.frames.pop().expect("active frame");
+    fn do_return(&mut self, v: Value<'p>) -> Result<Option<Value<'p>>, RuntimeError> {
+        let fr = self.frames.pop().ok_or(RuntimeError::Internal {
+            what: "return with no active frame",
+        })?;
         let Some(caller) = self.frames.last() else {
-            return Some(v);
+            return Ok(Some(v));
         };
         self.lb = caller.locals_base;
         self.locals.truncate(fr.locals_base);
@@ -755,17 +879,17 @@ impl<'p> Machine<'_, 'p> {
         self.ci = fr.ret_chunk as usize;
         self.pc = fr.ret_pc as usize;
         self.ops = self.code.chunks[self.ci].code.as_slice();
-        None
+        Ok(None)
     }
 
     /// An immediate result in tail position behaves like `Return`;
     /// otherwise the value just lands on the operand stack.
-    fn ret_or_push(&mut self, v: Value<'p>, tail: bool) -> Option<Value<'p>> {
+    fn ret_or_push(&mut self, v: Value<'p>, tail: bool) -> Result<Option<Value<'p>>, RuntimeError> {
         if tail {
             self.do_return(v)
         } else {
             self.stack.push(v);
-            None
+            Ok(None)
         }
     }
 

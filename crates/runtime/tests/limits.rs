@@ -1,0 +1,142 @@
+//! Resource-limit behavior: typed stack-overflow at the configured
+//! depth limit (tail calls unaffected), per-entry fuel, cooperative
+//! cancellation, and re-entry after an interrupted run — under both
+//! engines.
+
+use nml_opt::lower_program;
+use nml_runtime::{Interp, InterpConfig, RuntimeError, Value, Vm};
+use nml_syntax::parse_program;
+use nml_types::infer_program;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn lower(src: &str) -> nml_opt::IrProgram {
+    let p = parse_program(src).unwrap();
+    let info = infer_program(&p).unwrap();
+    lower_program(&p, &info)
+}
+
+/// Runs `src` under both engines with `config` and returns both results
+/// (startup errors surface as run errors).
+fn run_both(src: &str, config: &InterpConfig) -> [Result<Option<i64>, RuntimeError>; 2] {
+    let as_int = |v: Value| match v {
+        Value::Int(n) => Some(n),
+        _ => None,
+    };
+    let ir = lower(src);
+    let tree = Interp::with_config(&ir, config.clone())
+        .and_then(|mut i| i.run())
+        .map(as_int);
+    let ir = lower(src);
+    let vm = Vm::with_config(&ir, config.clone())
+        .and_then(|mut v| v.run())
+        .map(as_int);
+    [tree, vm]
+}
+
+// A non-tail sum: every recursive call leaves a pending `1 +` frame.
+const NON_TAIL_DEEP: &str = "letrec down n = if n = 0 then 0 else 1 + down (n - 1) in down 100000";
+
+// A tail loop of the same length: constant frame depth in the VM and a
+// bounded continuation stack in the tree-walker.
+const TAIL_DEEP: &str =
+    "letrec loop n acc = if n = 0 then acc else loop (n - 1) (acc + 1) in loop 100000 0";
+
+#[test]
+fn non_tail_recursion_overflows_at_depth_limit() {
+    let config = InterpConfig {
+        max_depth: 1000,
+        ..Default::default()
+    };
+    for r in run_both(NON_TAIL_DEEP, &config) {
+        assert!(
+            matches!(r, Err(RuntimeError::StackOverflow { limit: 1000 })),
+            "expected typed overflow, got {r:?}"
+        );
+    }
+}
+
+#[test]
+fn tail_calls_run_below_any_depth_limit() {
+    // A limit far below the iteration count: only non-tail growth can
+    // trip it, so the loop must complete.
+    let config = InterpConfig {
+        max_depth: 64,
+        ..Default::default()
+    };
+    for r in run_both(TAIL_DEEP, &config) {
+        assert_eq!(r.expect("tail loop completes"), Some(100_000));
+    }
+}
+
+#[test]
+fn default_depth_limit_admits_legitimate_deep_programs() {
+    // The default must not regress the existing deep-recursion suite's
+    // envelope (200k-element non-tail list folds).
+    for r in run_both(NON_TAIL_DEEP, &InterpConfig::default()) {
+        assert_eq!(r.expect("runs under default limit"), Some(100_000));
+    }
+}
+
+#[test]
+fn fuel_exhaustion_is_typed_and_carries_the_budget() {
+    let config = InterpConfig {
+        fuel: Some(500),
+        ..Default::default()
+    };
+    for r in run_both(TAIL_DEEP, &config) {
+        assert!(
+            matches!(r, Err(RuntimeError::FuelExhausted { fuel: 500 })),
+            "expected fuel exhaustion, got {r:?}"
+        );
+    }
+}
+
+#[test]
+fn fuel_is_per_entry_and_the_machine_reenters_cleanly() {
+    let src = "letrec sum n acc = if n = 0 then acc else sum (n - 1) (acc + n) in sum 3 0";
+    let ir = lower(src);
+    let mut vm = Vm::new(&ir).expect("startup");
+    vm.set_fuel(Some(10));
+    let err = vm.run().expect_err("10 steps is not enough");
+    assert!(matches!(err, RuntimeError::FuelExhausted { fuel: 10 }));
+    // Refueled, the same machine runs the same entry to completion:
+    // the interrupted run left no residue.
+    vm.set_fuel(Some(1_000_000));
+    assert!(matches!(vm.run().expect("refueled run"), Value::Int(6)));
+    vm.set_fuel(None);
+    assert!(matches!(vm.run().expect("unmetered run"), Value::Int(6)));
+
+    let ir = lower(src);
+    let mut interp = Interp::new(&ir).expect("startup");
+    interp.set_fuel(Some(10));
+    let err = interp.run().expect_err("10 steps is not enough");
+    assert!(matches!(err, RuntimeError::FuelExhausted { fuel: 10 }));
+    interp.set_fuel(None);
+    assert!(matches!(
+        interp.run().expect("unmetered run"),
+        Value::Int(6)
+    ));
+}
+
+#[test]
+fn cancellation_interrupts_both_engines() {
+    // The flag is raised before entry; the poll (every 1024 steps)
+    // trips it early in a 100k-iteration loop.
+    let flag = Arc::new(AtomicBool::new(true));
+    let config = InterpConfig {
+        cancel: Some(flag.clone()),
+        ..Default::default()
+    };
+    for r in run_both(TAIL_DEEP, &config) {
+        assert!(
+            matches!(r, Err(RuntimeError::Cancelled)),
+            "expected cancellation, got {r:?}"
+        );
+    }
+    // Lowered, the same config runs normally.
+    flag.store(false, Ordering::SeqCst);
+    for r in run_both(TAIL_DEEP, &config) {
+        assert_eq!(r.expect("uncancelled run"), Some(100_000));
+    }
+}

@@ -1,0 +1,98 @@
+//! A small blocking NDJSON client for the serve protocol, used by
+//! `nmlc call`, the chaos harness, and the throughput bench.
+
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A blocking connection to a running server.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to the server socket at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level connect failure.
+    pub fn connect(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connects, retrying until the socket exists and accepts (for
+    /// racing a just-spawned server).
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once `within` has elapsed.
+    pub fn connect_retry(path: &Path, within: Duration) -> std::io::Result<Client> {
+        let deadline = Instant::now() + within;
+        loop {
+            match Client::connect(path) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Sends one already-rendered request line.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level write failure.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives one response line (without the newline). `Ok(None)`
+    /// means the server closed the connection.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level read failure.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Sends a request line and parses the next response line.
+    ///
+    /// Responses arrive in completion order, not send order — callers
+    /// that pipeline multiple evals on one connection must correlate by
+    /// `id` instead of using this helper.
+    ///
+    /// # Errors
+    ///
+    /// An io error on socket failure or early close, or the parse
+    /// message if the response is not valid JSON.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Json> {
+        self.send_line(line)?;
+        let resp = self.recv_line()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )
+        })?;
+        crate::json::parse(&resp)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}

@@ -1,0 +1,34 @@
+//! A persistent compile-once/run-many execution server.
+//!
+//! `nmlc serve` compiles a program once — through the full governed,
+//! SCC-scheduled escape analysis and the optimization pass manager —
+//! and then executes many eval requests against it over a
+//! newline-delimited JSON protocol on a local Unix socket. Worker
+//! threads share the immutable compiled program but each owns a
+//! private heap, so a failing request can only ever damage its own
+//! worker, and the damage is bounded by design:
+//!
+//! - guest failures (type errors, fuel exhaustion, depth overflow,
+//!   injected faults) are typed responses, not server events;
+//! - a worker panic is caught, answered as `worker_panicked`, and the
+//!   worker's machine rebuilt from the shared program (crash-only);
+//! - overload is shed at admission with a typed `overloaded` response
+//!   instead of queue growth or silent drops;
+//! - in checked mode, a soundness violation quarantines the site and
+//!   recompiles *within the failing request*, leaving other workers
+//!   undisturbed.
+//!
+//! The protocol lives in [`proto`], the JSON layer in [`json`], the
+//! server in [`server`], and a small blocking client in [`client`].
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use server::{
+    compile_program, serve, ServeConfig, ServeError, ServerReport, DEFAULT_STEPS_PER_MS,
+};

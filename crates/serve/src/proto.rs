@@ -1,0 +1,317 @@
+//! The newline-delimited JSON protocol.
+//!
+//! Every request line gets **exactly one** terminal response line; the
+//! failure taxonomy is part of the protocol, so a client can always
+//! tell a guest-program failure (`runtime_error`, `fuel_exhausted`)
+//! from a server condition (`overloaded`, `worker_panicked`,
+//! `shutting_down`) and decide whether to retry.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"eval","id":1,"call":"f","args":[[1,2,3]],"fuel":100000}
+//! {"op":"eval","id":2}                      // run the program body
+//! {"op":"ping","id":3}
+//! {"op":"stats","id":4}
+//! {"op":"shutdown","id":5,"mode":"drain"}   // or "now"
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! {"id":1,"status":"ok","result":"[3, 2, 1]","steps":812,"degraded":false}
+//! {"id":2,"status":"error","kind":"fuel_exhausted","message":"..."}
+//! {"id":null,"status":"error","kind":"bad_request","message":"..."}
+//! ```
+
+use crate::json::Json;
+use nml_runtime::{FaultPlan, FaultRate, RuntimeError};
+
+/// One `eval` request.
+#[derive(Debug, Clone)]
+pub struct EvalRequest {
+    /// Client-chosen correlation id (echoed verbatim in the response).
+    pub id: Option<i64>,
+    /// Top-level function to call; `None` runs the program body.
+    pub call: Option<String>,
+    /// Arguments (integers, booleans, and nested arrays-as-lists).
+    pub args: Vec<Json>,
+    /// Explicit step budget for this request.
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline, mapped to fuel by the server's
+    /// steps-per-millisecond calibration. `fuel` wins if both are set.
+    pub timeout_ms: Option<u64>,
+    /// Per-request fault plan (chaos testing).
+    pub fault: FaultPlan,
+}
+
+/// Any parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Execute a call (or the program body) on a worker.
+    Eval(EvalRequest),
+    /// Liveness probe, answered inline by the reader.
+    Ping {
+        /// Correlation id.
+        id: Option<i64>,
+    },
+    /// Server-counter snapshot, answered inline by the reader.
+    Stats {
+        /// Correlation id.
+        id: Option<i64>,
+    },
+    /// Graceful (`now = false`) or immediate (`now = true`) shutdown.
+    Shutdown {
+        /// Correlation id.
+        id: Option<i64>,
+        /// `true` cancels in-flight work; `false` drains it first.
+        now: bool,
+    },
+}
+
+/// Parses one request frame. The id is extracted even when the rest of
+/// the frame is malformed, so the error response still correlates.
+///
+/// # Errors
+///
+/// `(id, message)` for any malformed frame.
+pub fn parse_request(line: &str) -> Result<Request, (Option<i64>, String)> {
+    let v = crate::json::parse(line).map_err(|e| (None, e))?;
+    let id = v.get("id").and_then(Json::as_int);
+    let fail = |msg: String| (id, msg);
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("missing `op`".to_owned()))?;
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => {
+            let now = match v.get("mode").and_then(Json::as_str) {
+                None | Some("drain") => false,
+                Some("now") => true,
+                Some(other) => return Err(fail(format!("unknown shutdown mode `{other}`"))),
+            };
+            Ok(Request::Shutdown { id, now })
+        }
+        "eval" => {
+            let call = match v.get("call") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(_) => return Err(fail("`call` must be a string".to_owned())),
+            };
+            let args = match v.get("args") {
+                None => Vec::new(),
+                Some(Json::Arr(items)) => items.clone(),
+                Some(_) => return Err(fail("`args` must be an array".to_owned())),
+            };
+            let fuel = parse_u64_field(&v, "fuel").map_err(&fail)?;
+            let timeout_ms = parse_u64_field(&v, "timeout_ms").map_err(&fail)?;
+            let fault = match v.get("fault") {
+                None => FaultPlan::default(),
+                Some(obj) => parse_fault(obj).map_err(&fail)?,
+            };
+            Ok(Request::Eval(EvalRequest {
+                id,
+                call,
+                args,
+                fuel,
+                timeout_ms,
+                fault,
+            }))
+        }
+        other => Err(fail(format!("unknown op `{other}`"))),
+    }
+}
+
+fn parse_u64_field(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Int(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(_) => Err(format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+/// Parses a per-request fault plan:
+/// `{"seed":N,"panic_at_alloc":N,"heap_capacity":N,"alloc_retreat":[n,d],
+///   "region_deny":[n,d],"forced_gc":[n,d],"forced_gc_at":[i,...]}`.
+fn parse_fault(v: &Json) -> Result<FaultPlan, String> {
+    let seed = parse_u64_field(v, "seed")?.unwrap_or(0);
+    let mut plan = FaultPlan::new(seed);
+    if let Some(n) = parse_u64_field(v, "panic_at_alloc")? {
+        plan = plan.with_panic_at_alloc(n);
+    }
+    if let Some(n) = parse_u64_field(v, "heap_capacity")? {
+        plan = plan.with_heap_capacity(n);
+    }
+    if let Some(r) = parse_rate(v, "alloc_retreat")? {
+        plan = plan.with_alloc_retreats(r);
+    }
+    if let Some(r) = parse_rate(v, "region_deny")? {
+        plan = plan.with_region_denials(r);
+    }
+    if let Some(r) = parse_rate(v, "forced_gc")? {
+        plan = plan.with_forced_gc(r);
+    }
+    if let Some(list) = v.get("forced_gc_at") {
+        let items = list
+            .as_arr()
+            .ok_or_else(|| "`forced_gc_at` must be an array".to_owned())?;
+        let mut at = Vec::with_capacity(items.len());
+        for it in items {
+            match it.as_int() {
+                Some(n) if n >= 0 => at.push(n as u64),
+                _ => return Err("`forced_gc_at` entries must be non-negative".to_owned()),
+            }
+        }
+        plan = plan.with_forced_gc_at(at);
+    }
+    Ok(plan)
+}
+
+fn parse_rate(v: &Json, key: &str) -> Result<Option<FaultRate>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Json::Arr(nd)) => match nd.as_slice() {
+            [Json::Int(n), Json::Int(d)] if *n >= 0 && *d > 0 => {
+                Ok(Some(FaultRate::new(*n as u32, *d as u32)))
+            }
+            _ => Err(format!("`{key}` must be [numerator, denominator>0]")),
+        },
+        Some(_) => Err(format!("`{key}` must be [numerator, denominator>0]")),
+    }
+}
+
+/// The protocol's failure taxonomy. `Display` gives the wire name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unparseable or ill-formed frame; the request never ran.
+    BadRequest,
+    /// The admission queue was full; the request was shed, not run.
+    Overloaded,
+    /// The server is draining; the request was not admitted.
+    ShuttingDown,
+    /// A worker panicked on this request; the worker was replaced.
+    WorkerPanicked,
+    /// The request's fuel budget ran out.
+    FuelExhausted,
+    /// The request exceeded the call-depth limit.
+    StackOverflow,
+    /// The request was cancelled (immediate shutdown).
+    Cancelled,
+    /// Any other typed guest-program failure.
+    Runtime,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind.
+    pub fn wire(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::WorkerPanicked => "worker_panicked",
+            ErrorKind::FuelExhausted => "fuel_exhausted",
+            ErrorKind::StackOverflow => "stack_overflow",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::Runtime => "runtime_error",
+        }
+    }
+
+    /// Maps a guest-program failure onto the taxonomy.
+    pub fn of_runtime(e: &RuntimeError) -> ErrorKind {
+        match e {
+            RuntimeError::FuelExhausted { .. } => ErrorKind::FuelExhausted,
+            RuntimeError::StackOverflow { .. } => ErrorKind::StackOverflow,
+            RuntimeError::Cancelled => ErrorKind::Cancelled,
+            _ => ErrorKind::Runtime,
+        }
+    }
+}
+
+fn id_json(id: Option<i64>) -> Json {
+    match id {
+        Some(n) => Json::Int(n),
+        None => Json::Null,
+    }
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn ok_response(id: Option<i64>, result: &str, steps: u64, degraded: bool) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id_json(id)),
+        ("status".to_owned(), Json::Str("ok".to_owned())),
+        ("result".to_owned(), Json::Str(result.to_owned())),
+        (
+            "steps".to_owned(),
+            Json::Int(steps.min(i64::MAX as u64) as i64),
+        ),
+        ("degraded".to_owned(), Json::Bool(degraded)),
+    ])
+    .to_string()
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn error_response(id: Option<i64>, kind: ErrorKind, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id_json(id)),
+        ("status".to_owned(), Json::Str("error".to_owned())),
+        ("kind".to_owned(), Json::Str(kind.wire().to_owned())),
+        ("message".to_owned(), Json::Str(message.to_owned())),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_eval_with_knobs() {
+        let r = parse_request(
+            "{\"op\":\"eval\",\"id\":9,\"call\":\"f\",\"args\":[[1,2]],\"fuel\":100,\
+             \"fault\":{\"seed\":3,\"panic_at_alloc\":5,\"alloc_retreat\":[1,4]}}",
+        )
+        .unwrap();
+        let Request::Eval(e) = r else {
+            panic!("not eval")
+        };
+        assert_eq!(e.id, Some(9));
+        assert_eq!(e.call.as_deref(), Some("f"));
+        assert_eq!(e.fuel, Some(100));
+        assert!(e.fault.is_active());
+    }
+
+    #[test]
+    fn malformed_frames_keep_the_id_when_parseable() {
+        let (id, _) = parse_request("{\"op\":\"eval\",\"id\":4,\"fuel\":-1}").unwrap_err();
+        assert_eq!(id, Some(4));
+        let (id, _) = parse_request("{nope").unwrap_err();
+        assert_eq!(id, None);
+        let (id, _) = parse_request("{\"id\":2}").unwrap_err();
+        assert_eq!(id, Some(2), "missing op still correlates");
+    }
+
+    #[test]
+    fn shutdown_modes() {
+        assert!(matches!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown { now: false, .. }
+        ));
+        assert!(matches!(
+            parse_request("{\"op\":\"shutdown\",\"mode\":\"now\"}").unwrap(),
+            Request::Shutdown { now: true, .. }
+        ));
+        assert!(parse_request("{\"op\":\"shutdown\",\"mode\":\"later\"}").is_err());
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let ok = ok_response(Some(1), "[1, 2]", 42, false);
+        assert!(crate::json::parse(&ok).is_ok(), "{ok}");
+        let err = error_response(None, ErrorKind::BadRequest, "broken \"frame\"\n");
+        let v = crate::json::parse(&err).unwrap();
+        assert_eq!(v.get("id"), Some(&Json::Null));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("bad_request"));
+    }
+}

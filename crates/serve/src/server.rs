@@ -1,0 +1,782 @@
+//! The server: compile once, serve many.
+//!
+//! One acceptor thread (inline in [`serve`]), one reader thread per
+//! connection, and a fixed worker pool over a shared immutable
+//! [`IrProgram`] — each worker owns its own `Vm` (and therefore its own
+//! heap), so requests never share mutable runtime state.
+//!
+//! Robustness layers:
+//!
+//! - **admission** — a bounded MPMC queue; a full queue sheds the
+//!   request with a typed `overloaded` response (never a silent drop),
+//!   and a closed queue (shutdown) answers `shutting_down`.
+//! - **worker** — every request runs under `catch_unwind`; a panic
+//!   poisons only that worker's heap, which is dropped and rebuilt
+//!   (crash-only recovery) while the request gets a structured
+//!   `worker_panicked` response and the server keeps serving.
+//! - **runtime** — per-request fuel (or a wall-clock deadline mapped to
+//!   fuel), the engine's depth limit, and a shared cancellation flag
+//!   for immediate shutdown; all surface as typed errors.
+//! - **checked mode** — a soundness violation quarantines the offending
+//!   site in a server-wide set, recompiles with the site disabled, and
+//!   retries *within the request*; other workers are never interrupted.
+
+use crate::json::Json;
+use crate::proto::{self, ErrorKind, EvalRequest, Request};
+use nml_escape::{analyze_source_scheduled, Budget, EngineConfig, PolyMode, ScheduleOptions};
+use nml_opt::{
+    apply_quarantine, lower_program, sabotage_stack, AllocMode, IrProgram, OptOptions,
+    QuarantineSet, SabotagePlan,
+};
+use nml_runtime::{FaultPlan, Heap, HeapConfig, InterpConfig, RuntimeError, Value, Vm};
+use nml_syntax::Symbol;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind as IoKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Default deadline→fuel calibration: a conservative estimate of VM
+/// steps per wall-clock millisecond (release builds run faster; the
+/// mapping errs toward letting work finish).
+pub const DEFAULT_STEPS_PER_MS: u64 = 200_000;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each owns one heap over the shared program).
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it requests are shed.
+    pub queue_cap: usize,
+    /// Fuel for requests that specify none (`None` = unmetered).
+    pub default_fuel: Option<u64>,
+    /// Deadline for requests that specify none, mapped to fuel.
+    pub default_timeout_ms: Option<u64>,
+    /// Call-depth limit (`None` = the engine default).
+    pub max_depth: Option<usize>,
+    /// Run the full optimization pass manager on the compiled program.
+    pub optimize: bool,
+    /// Execute under the soundness sentinel with per-request
+    /// quarantine→recompile→retry recovery.
+    pub checked: bool,
+    /// Violation retries per request before degrading to the
+    /// unoptimized program.
+    pub max_retries: u32,
+    /// Deadline→fuel calibration.
+    pub steps_per_ms: u64,
+    /// Analysis resource budget (degrades, never fails).
+    pub budget: Budget,
+    /// Analysis worker threads per SCC wave.
+    pub jobs: usize,
+    /// Persistent escape-summary cache path.
+    pub summary_cache: Option<PathBuf>,
+    /// Deliberate unsound stack claims (sentinel/chaos testing): forced
+    /// on every compile, then neutralized site-by-site as checked-mode
+    /// violations quarantine them — exactly how a genuine analysis bug
+    /// would be worn down at runtime.
+    pub sabotage: SabotagePlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 64,
+            default_fuel: None,
+            default_timeout_ms: None,
+            max_depth: None,
+            optimize: true,
+            checked: false,
+            max_retries: 4,
+            steps_per_ms: DEFAULT_STEPS_PER_MS,
+            budget: Budget::unlimited(),
+            jobs: 1,
+            summary_cache: None,
+            sabotage: SabotagePlan::default(),
+        }
+    }
+}
+
+/// A server failure (the *server's* — guest failures are responses).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The program did not compile; the server never started.
+    Compile(String),
+    /// Socket setup failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Compile(m) => write!(f, "compile error: {m}"),
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Final server counters, returned by [`serve`] after a clean drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Requests answered `ok`.
+    pub served_ok: u64,
+    /// Requests answered with a typed guest failure.
+    pub guest_errors: u64,
+    /// Worker panics (each also replaced a worker).
+    pub panics: u64,
+    /// Requests that succeeded only after checked-mode degradation.
+    pub degraded: u64,
+    /// Requests shed at admission (`overloaded` + `shutting_down`).
+    pub shed: u64,
+    /// Malformed frames answered `bad_request`.
+    pub bad_frames: u64,
+    /// Sites quarantined by checked-mode violations.
+    pub quarantined_sites: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    served_ok: AtomicU64,
+    guest_errors: AtomicU64,
+    panics: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    bad_frames: AtomicU64,
+    quarantined_sites: AtomicU64,
+}
+
+impl Stats {
+    fn report(&self) -> ServerReport {
+        ServerReport {
+            served_ok: self.served_ok.load(Ordering::Relaxed),
+            guest_errors: self.guest_errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            bad_frames: self.bad_frames.load(Ordering::Relaxed),
+            quarantined_sites: self.quarantined_sites.load(Ordering::Relaxed),
+        }
+    }
+
+    fn render(&self) -> String {
+        let r = self.report();
+        format!(
+            "ok={} guest_errors={} panics={} degraded={} shed={} bad_frames={} quarantined={}",
+            r.served_ok,
+            r.guest_errors,
+            r.panics,
+            r.degraded,
+            r.shed,
+            r.bad_frames,
+            r.quarantined_sites
+        )
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: the protected values
+/// (queue, stats, client streams) stay structurally valid across a
+/// worker panic, and crash-only recovery must keep serving.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------
+// Bounded MPMC admission queue
+// ---------------------------------------------------------------------
+
+/// Why admission failed.
+enum AdmitError {
+    /// The queue is at capacity — shed with `overloaded`.
+    Full,
+    /// The server is draining — shed with `shutting_down`.
+    Closed,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue (std's mpsc channel is
+/// single-consumer, and the pool needs any-worker pickup).
+struct BoundedQueue<T> {
+    cap: usize,
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admission: never blocks, never silently drops.
+    fn try_push(&self, item: T) -> Result<(), (AdmitError, T)> {
+        let mut g = lock(&self.inner);
+        if g.closed {
+            return Err((AdmitError::Closed, item));
+        }
+        if g.items.len() >= self.cap {
+            return Err((AdmitError::Full, item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item; `None` once closed *and* drained — the
+    /// worker-pool exit condition that guarantees every admitted
+    /// request is answered.
+    fn pop(&self) -> Option<T> {
+        let mut g = lock(&self.inner);
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self
+                .ready
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared server state
+// ---------------------------------------------------------------------
+
+type SharedWriter = Arc<Mutex<UnixStream>>;
+
+struct Job {
+    req: EvalRequest,
+    out: SharedWriter,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    /// Stop accepting connections (set by a shutdown request).
+    stopping: AtomicBool,
+    /// Hard-cancel flag shared with every worker's engine.
+    cancel: Arc<AtomicBool>,
+    /// All admitted work answered; readers may exit.
+    done: AtomicBool,
+    stats: Stats,
+    /// Server-wide checked-mode quarantine (sites disproved at runtime).
+    quarantine: Mutex<QuarantineSet>,
+}
+
+fn respond(out: &SharedWriter, line: &str) {
+    // A vanished client is not a server failure; the write result is
+    // deliberately ignored.
+    let mut g = lock(out);
+    let _ = g.write_all(line.as_bytes());
+    let _ = g.write_all(b"\n");
+    let _ = g.flush();
+}
+
+// ---------------------------------------------------------------------
+// Compilation (self-contained glue over the leaf crates; the root
+// crate's pipeline depends on this crate's consumer, not vice versa)
+// ---------------------------------------------------------------------
+
+/// Compiles `src` through the governed, SCC-scheduled analysis and the
+/// optimization pass manager, minus any quarantined sites.
+///
+/// # Errors
+///
+/// A rendered front-end diagnostic (syntax/type errors).
+pub fn compile_program(
+    src: &str,
+    cfg: &ServeConfig,
+    quarantine: &QuarantineSet,
+    optimize: bool,
+) -> Result<IrProgram, String> {
+    let sched = ScheduleOptions {
+        jobs: cfg.jobs,
+        summary_cache: cfg.summary_cache.clone(),
+    };
+    let analysis = analyze_source_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        EngineConfig::default(),
+        cfg.budget,
+        &sched,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut ir = lower_program(&analysis.program, &analysis.info);
+    if optimize {
+        nml_opt::optimize(&mut ir, &analysis, &OptOptions::default());
+    }
+    sabotage_stack(&mut ir, &cfg.sabotage);
+    if !quarantine.is_empty() {
+        apply_quarantine(&mut ir, quarantine);
+    }
+    Ok(ir)
+}
+
+// ---------------------------------------------------------------------
+// Request execution (worker side)
+// ---------------------------------------------------------------------
+
+/// Turns a JSON argument into a guest value (integers, booleans, and
+/// arrays as lists, built innermost-first on the worker's heap).
+fn build_arg<'p>(heap: &mut Heap<'p>, j: &Json) -> Result<Value<'p>, String> {
+    match j {
+        Json::Int(n) => Ok(Value::Int(*n)),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Arr(items) => {
+            let mut vs = Vec::with_capacity(items.len());
+            for it in items {
+                vs.push(build_arg(heap, it)?);
+            }
+            let mut acc = Value::Nil;
+            for v in vs.into_iter().rev() {
+                let cell = heap.alloc(v, acc, AllocMode::Heap);
+                acc = Value::Pair(cell);
+            }
+            Ok(acc)
+        }
+        other => Err(format!(
+            "unsupported argument {other} (int, bool, or array)"
+        )),
+    }
+}
+
+/// Renders a result value (same surface syntax as `nmlc run`).
+fn render_value(heap: &Heap<'_>, v: &Value<'_>) -> Result<String, RuntimeError> {
+    fn go(heap: &Heap<'_>, v: &Value<'_>, out: &mut String) -> Result<(), RuntimeError> {
+        match v {
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Nil => out.push_str("[]"),
+            Value::Tuple(c) => {
+                out.push('(');
+                let h = heap.car(*c)?;
+                go(heap, &h, out)?;
+                out.push_str(", ");
+                let t = heap.cdr(*c)?;
+                go(heap, &t, out)?;
+                out.push(')');
+            }
+            Value::Pair(_) => {
+                out.push('[');
+                let mut cur = v.clone();
+                let mut first = true;
+                while let Value::Pair(c) = cur {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    let head = heap.car(c)?;
+                    go(heap, &head, out)?;
+                    cur = heap.cdr(c)?;
+                }
+                out.push(']');
+            }
+            other => {
+                out.push('<');
+                out.push_str(other.kind());
+                out.push('>');
+            }
+        }
+        Ok(())
+    }
+    let mut out = String::new();
+    go(heap, v, &mut out)?;
+    Ok(out)
+}
+
+enum ReqError {
+    /// The request itself was unusable (bad argument shape).
+    Bad(String),
+    /// The guest program failed.
+    Rt(RuntimeError),
+}
+
+impl From<RuntimeError> for ReqError {
+    fn from(e: RuntimeError) -> Self {
+        ReqError::Rt(e)
+    }
+}
+
+/// The per-request fuel: explicit fuel, else the deadline mapping, else
+/// the server defaults.
+fn request_fuel(req: &EvalRequest, cfg: &ServeConfig) -> Option<u64> {
+    req.fuel
+        .or_else(|| req.timeout_ms.map(|ms| ms.saturating_mul(cfg.steps_per_ms)))
+        .or(cfg.default_fuel)
+        .or_else(|| {
+            cfg.default_timeout_ms
+                .map(|ms| ms.saturating_mul(cfg.steps_per_ms))
+        })
+}
+
+/// Runs one request on `vm`, restoring the machine's inert fault plan
+/// and unlimited fuel afterwards (also on the error paths — the next
+/// request must not inherit this one's knobs).
+fn execute<'p>(
+    vm: &mut Vm<'p>,
+    req: &EvalRequest,
+    fuel: Option<u64>,
+) -> Result<(String, u64), ReqError> {
+    vm.set_fault_plan(req.fault.clone());
+    vm.set_fuel(fuel);
+    let before = vm.heap.stats.steps;
+    let r = (|| -> Result<String, ReqError> {
+        let v = match &req.call {
+            Some(name) => {
+                let mut args = Vec::with_capacity(req.args.len());
+                for a in &req.args {
+                    args.push(build_arg(&mut vm.heap, a).map_err(ReqError::Bad)?);
+                }
+                vm.call(Symbol::intern(name), args)?
+            }
+            None => vm.run()?,
+        };
+        Ok(render_value(&vm.heap, &v)?)
+    })();
+    let steps = vm.heap.stats.steps.saturating_sub(before);
+    vm.set_fault_plan(FaultPlan::default());
+    vm.set_fuel(None);
+    r.map(|result| (result, steps))
+}
+
+fn worker_interp_config(cfg: &ServeConfig, sh: &Shared, checked: bool) -> InterpConfig {
+    let mut c = InterpConfig {
+        heap: HeapConfig {
+            checked,
+            ..HeapConfig::default()
+        },
+        cancel: Some(sh.cancel.clone()),
+        ..InterpConfig::default()
+    };
+    if let Some(d) = cfg.max_depth {
+        c.max_depth = d;
+    }
+    c
+}
+
+/// Checked-mode recovery, entirely within the failing request: record
+/// the disproved site in the server-wide quarantine, recompile with
+/// every quarantined site's optimization disabled, and retry — up to
+/// `max_retries` times, then once more fully unoptimized (which makes
+/// no claims and cannot violate). Other workers keep serving the
+/// original program; requests that hit the same site degrade the same
+/// way, in isolation.
+fn recover_violation(
+    src: &str,
+    cfg: &ServeConfig,
+    sh: &Shared,
+    req: &EvalRequest,
+    fuel: Option<u64>,
+    first: Box<nml_runtime::SoundnessViolation>,
+) -> String {
+    let mut violation = Some(first);
+    let mut attempt = 0u32;
+    loop {
+        if let Some(v) = violation.take() {
+            if let Some(site) = v.site {
+                if lock(&sh.quarantine).insert(site) {
+                    sh.stats.quarantined_sites.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        attempt += 1;
+        let exhausted = attempt > cfg.max_retries;
+        let q = {
+            let g = lock(&sh.quarantine);
+            let mut copy = QuarantineSet::new();
+            for s in g.iter() {
+                copy.insert(s);
+            }
+            copy
+        };
+        // While retrying, stay optimized-but-checked minus the
+        // quarantined sites; once exhausted, fall back to the
+        // unoptimized, unchecked program.
+        let (optimize, checked) = if exhausted {
+            (false, false)
+        } else {
+            (cfg.optimize, true)
+        };
+        // The exhausted fallback must make no claims at all — including
+        // sabotaged ones — so it compiles from a claim-free config.
+        let clean;
+        let compile_cfg = if exhausted && !cfg.sabotage.is_empty() {
+            clean = ServeConfig {
+                sabotage: SabotagePlan::default(),
+                ..cfg.clone()
+            };
+            &clean
+        } else {
+            cfg
+        };
+        let ir = match compile_program(src, compile_cfg, &q, optimize) {
+            Ok(ir) => ir,
+            Err(m) => {
+                return proto::error_response(
+                    req.id,
+                    ErrorKind::Runtime,
+                    &format!("recovery recompile failed: {m}"),
+                )
+            }
+        };
+        let config = worker_interp_config(cfg, sh, checked);
+        let outcome = Vm::with_config(&ir, config)
+            .map_err(ReqError::Rt)
+            .and_then(|mut vm| execute(&mut vm, req, fuel));
+        match outcome {
+            Ok((result, steps)) => {
+                sh.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                sh.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                return proto::ok_response(req.id, &result, steps, true);
+            }
+            Err(ReqError::Rt(RuntimeError::Soundness(v))) if !exhausted => {
+                violation = Some(v);
+            }
+            Err(e) => return guest_error_response(req.id, sh, e),
+        }
+    }
+}
+
+fn guest_error_response(id: Option<i64>, sh: &Shared, e: ReqError) -> String {
+    match e {
+        ReqError::Bad(m) => {
+            sh.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            proto::error_response(id, ErrorKind::BadRequest, &m)
+        }
+        ReqError::Rt(e) => {
+            sh.stats.guest_errors.fetch_add(1, Ordering::Relaxed);
+            proto::error_response(id, ErrorKind::of_runtime(&e), &e.to_string())
+        }
+    }
+}
+
+/// One worker: owns a `Vm` (heap included) over the shared program,
+/// serves jobs until the queue closes and drains. A panic during a
+/// request is caught, answered, and the machine rebuilt from scratch —
+/// crash-only recovery, nothing from the poisoned heap survives.
+fn worker_loop(program: &IrProgram, src: &str, cfg: &ServeConfig, sh: &Shared) {
+    let build = || Vm::with_config(program, worker_interp_config(cfg, sh, cfg.checked));
+    let mut vm = build().ok();
+    while let Some(job) = sh.queue.pop() {
+        if vm.is_none() {
+            vm = build().ok();
+        }
+        let Some(m) = vm.as_mut() else {
+            sh.stats.guest_errors.fetch_add(1, Ordering::Relaxed);
+            respond(
+                &job.out,
+                &proto::error_response(
+                    job.req.id,
+                    ErrorKind::Runtime,
+                    "worker failed to initialize the program",
+                ),
+            );
+            continue;
+        };
+        let req = &job.req;
+        let fuel = request_fuel(req, cfg);
+        let run = catch_unwind(AssertUnwindSafe(|| match execute(m, req, fuel) {
+            Ok((result, steps)) => {
+                sh.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                proto::ok_response(req.id, &result, steps, false)
+            }
+            Err(ReqError::Rt(RuntimeError::Soundness(v))) if cfg.checked => {
+                recover_violation(src, cfg, sh, req, fuel, v)
+            }
+            Err(e) => guest_error_response(req.id, sh, e),
+        }));
+        match run {
+            Ok(line) => respond(&job.out, &line),
+            Err(_) => {
+                // Crash-only: the poisoned machine (heap and all) is
+                // dropped; the next job gets a fresh one.
+                vm = None;
+                sh.stats.panics.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &job.out,
+                    &proto::error_response(
+                        req.id,
+                        ErrorKind::WorkerPanicked,
+                        "worker panicked on this request and was replaced",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection readers + acceptor
+// ---------------------------------------------------------------------
+
+fn handle_line(line: &str, out: &SharedWriter, sh: &Shared) {
+    let line = line.trim();
+    if line.is_empty() {
+        return;
+    }
+    match proto::parse_request(line) {
+        Err((id, msg)) => {
+            sh.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            respond(out, &proto::error_response(id, ErrorKind::BadRequest, &msg));
+        }
+        Ok(Request::Ping { id }) => {
+            respond(out, &proto::ok_response(id, "pong", 0, false));
+        }
+        Ok(Request::Stats { id }) => {
+            respond(out, &proto::ok_response(id, &sh.stats.render(), 0, false));
+        }
+        Ok(Request::Shutdown { id, now }) => {
+            // Respond first (the reply must not race the drain), then
+            // stop admissions; "now" also cancels in-flight work.
+            respond(
+                out,
+                &proto::ok_response(id, if now { "stopping" } else { "draining" }, 0, false),
+            );
+            if now {
+                sh.cancel.store(true, Ordering::SeqCst);
+            }
+            sh.stopping.store(true, Ordering::SeqCst);
+            sh.queue.close();
+        }
+        Ok(Request::Eval(req)) => {
+            let job = Job {
+                req,
+                out: out.clone(),
+            };
+            match sh.queue.try_push(job) {
+                Ok(()) => {}
+                Err((AdmitError::Full, job)) => {
+                    sh.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        &job.out,
+                        &proto::error_response(
+                            job.req.id,
+                            ErrorKind::Overloaded,
+                            "request queue is full; retry later",
+                        ),
+                    );
+                }
+                Err((AdmitError::Closed, job)) => {
+                    sh.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        &job.out,
+                        &proto::error_response(
+                            job.req.id,
+                            ErrorKind::ShuttingDown,
+                            "server is shutting down",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn reader_loop(stream: UnixStream, sh: &Shared) {
+    // The timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let out: SharedWriter = Arc::new(Mutex::new(writer));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if sh.done.load(Ordering::Relaxed) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                handle_line(&line, &out, sh);
+                line.clear();
+            }
+            // Timeout: keep any partial line accumulated so far and
+            // poll again.
+            Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {}
+            Err(e) if e.kind() == IoKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server entry
+// ---------------------------------------------------------------------
+
+/// Compiles `src` once and serves eval requests on a Unix socket at
+/// `socket` until a `shutdown` request. Returns the final counters
+/// after a clean drain (every admitted request answered, all threads
+/// joined, socket file removed).
+///
+/// # Errors
+///
+/// [`ServeError::Compile`] if the program doesn't compile (the socket
+/// is never created), [`ServeError::Io`] for socket setup failures.
+pub fn serve(src: &str, socket: &Path, cfg: &ServeConfig) -> Result<ServerReport, ServeError> {
+    let program = compile_program(src, cfg, &QuarantineSet::new(), cfg.optimize)
+        .map_err(ServeError::Compile)?;
+    let _ = std::fs::remove_file(socket);
+    let listener = UnixListener::bind(socket).map_err(ServeError::Io)?;
+    listener.set_nonblocking(true).map_err(ServeError::Io)?;
+    let sh = Shared {
+        queue: BoundedQueue::new(cfg.queue_cap),
+        stopping: AtomicBool::new(false),
+        cancel: Arc::new(AtomicBool::new(false)),
+        done: AtomicBool::new(false),
+        stats: Stats::default(),
+        quarantine: Mutex::new(QuarantineSet::new()),
+    };
+    let program = &program;
+    let sh = &sh;
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..cfg.workers.max(1))
+            .map(|_| s.spawn(move || worker_loop(program, src, cfg, sh)))
+            .collect();
+        while !sh.stopping.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    s.spawn(move || reader_loop(stream, sh));
+                }
+                Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == IoKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        // Shutdown: no new admissions (idempotent if the handler
+        // already closed the queue), drain the pool, then release the
+        // readers.
+        sh.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        sh.done.store(true, Ordering::SeqCst);
+    });
+    let _ = std::fs::remove_file(socket);
+    Ok(sh.stats.report())
+}

@@ -23,6 +23,8 @@ use nml_escape_analysis::pipeline::{
     run_with_engine, CheckedOptions, Compiled, PipelineError,
 };
 use nml_escape_analysis::runtime::{Engine, FaultPlan, FaultRate, InterpConfig};
+use nml_escape_analysis::serve::json::Json;
+use nml_escape_analysis::serve::{Client, ServeConfig, DEFAULT_STEPS_PER_MS};
 use nml_escape_analysis::syntax::{parse_program, SourceMap};
 use nml_escape_analysis::types::infer_program;
 use std::path::PathBuf;
@@ -45,6 +47,8 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "ir" => cmd_ir(rest),
         "run" => cmd_run(rest),
+        "serve" => cmd_serve(rest),
+        "call" => cmd_call(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -71,6 +75,11 @@ commands:
   ir      <file> [opt flags]     print the storage-annotated IR
   run     <file> [opt flags] [--stats]
                                  execute with the instrumented runtime
+  serve   <file> [serve flags]   compile once (the full governed pipeline),
+                                 then serve eval requests over newline-
+                                 delimited JSON on a unix socket
+  call    --socket=PATH [call flags]
+                                 send one request to a running server
 
 execution engine flags (run):
   --engine=vm          compile to bytecode and run on the slot-resolved
@@ -116,6 +125,27 @@ checked-optimization flags (run):
   --fault-unsound-stack=i,j,...
                            deliberately inject wrong stack claims at the
                            given cons sites (sentinel demonstration)
+
+resource-limit flags (run; serve takes them as per-request defaults):
+  --fuel=N             per-entry step budget; running out is a typed
+                       fuel_exhausted error, not a hang
+  --timeout-ms=N       wall-clock deadline, mapped to fuel by the
+                       steps-per-millisecond calibration
+  --max-depth=N        call-depth limit; deep non-tail recursion fails
+                       with stack_overflow (tail calls are unaffected)
+
+serve flags (serve also accepts -O/--no-optimize, --checked,
+--max-retries, and the analysis budget/scheduling flags):
+  --socket=PATH        unix socket path (default: <file>.sock)
+  --workers=N          worker threads, one private heap each (default 4)
+  --queue-cap=N        admission-queue bound; past it requests are shed
+                       with a typed `overloaded` response (default 64)
+  --steps-per-ms=N     deadline-to-fuel calibration (default 200000)
+
+call flags (one of):
+  --call=f --args=JSON [--fuel=N] [--timeout-ms=N]   evaluate f(args)
+  --eval               evaluate the program body
+  --ping | --stats | --shutdown[=drain|now]
 
 run also accepts --profile (hottest allocation/reuse sites) and --stats";
 
@@ -261,6 +291,21 @@ fn fault_from_flags(rest: &[String]) -> Result<FaultPlan, String> {
         plan = plan.with_forced_gc_at(indices);
     }
     Ok(plan)
+}
+
+/// Applies the resource-limit flags (`--fuel`, `--timeout-ms`,
+/// `--max-depth`) to an interpreter configuration. An explicit fuel
+/// budget wins over a deadline.
+fn resource_flags_into(rest: &[String], config: &mut InterpConfig) -> Result<(), String> {
+    if let Some(f) = parse_num_flag::<u64>(rest, "--fuel")? {
+        config.fuel = Some(f);
+    } else if let Some(ms) = parse_num_flag::<u64>(rest, "--timeout-ms")? {
+        config.fuel = Some(ms.saturating_mul(DEFAULT_STEPS_PER_MS));
+    }
+    if let Some(d) = parse_num_flag::<usize>(rest, "--max-depth")? {
+        config.max_depth = d;
+    }
+    Ok(())
 }
 
 /// Prints a `warning:` line per degradation event, or — under `--strict` —
@@ -412,10 +457,11 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     }
     let compiled = compile_for(rest, &src)?;
     let engine = engine_from_flags(rest)?;
-    let config = InterpConfig {
+    let mut config = InterpConfig {
         fault: fault_from_flags(rest)?,
         ..InterpConfig::default()
     };
+    resource_flags_into(rest, &mut config)?;
     if has_flag(rest, "--profile") {
         return run_profiled(&compiled, config, engine, has_flag(rest, "--stats"));
     }
@@ -477,10 +523,11 @@ fn cmd_run_checked(rest: &[String], src: &str) -> Result<(), String> {
             .collect::<Result<_, _>>()?;
         copts.sabotage = SabotagePlan::stack(sites);
     }
-    let config = InterpConfig {
+    let mut config = InterpConfig {
         fault: fault_from_flags(rest)?,
         ..InterpConfig::default()
     };
+    resource_flags_into(rest, &mut config)?;
     let (out, compiled) = run_checked(
         src,
         PolyMode::SimplestInstance,
@@ -516,6 +563,119 @@ fn cmd_run_checked(rest: &[String], src: &str) -> Result<(), String> {
     if has_flag(rest, "--stats") {
         println!("--- runtime statistics ---");
         println!("{}", out.stats);
+    }
+    Ok(())
+}
+
+/// `nmlc serve`: compile once, serve many. Blocks until a client sends
+/// a shutdown request, then prints the final counters.
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let (path, src) = read_file(rest)?;
+    let socket = flag_value(rest, "--socket")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{path}.sock")));
+    let mut cfg = ServeConfig {
+        budget: budget_from_flags(rest)?,
+        ..ServeConfig::default()
+    };
+    let sched = schedule_from_flags(rest)?;
+    cfg.jobs = sched.jobs;
+    cfg.summary_cache = sched.summary_cache;
+    if let Some(n) = parse_num_flag::<usize>(rest, "--workers")? {
+        cfg.workers = n.max(1);
+    }
+    if let Some(n) = parse_num_flag::<usize>(rest, "--queue-cap")? {
+        cfg.queue_cap = n.max(1);
+    }
+    cfg.default_fuel = parse_num_flag::<u64>(rest, "--fuel")?;
+    cfg.default_timeout_ms = parse_num_flag::<u64>(rest, "--timeout-ms")?;
+    cfg.max_depth = parse_num_flag::<usize>(rest, "--max-depth")?;
+    if let Some(n) = parse_num_flag::<u64>(rest, "--steps-per-ms")? {
+        cfg.steps_per_ms = n.max(1);
+    }
+    if has_flag(rest, "--no-optimize") {
+        cfg.optimize = false;
+    }
+    cfg.checked = has_flag(rest, "--checked");
+    if let Some(n) = parse_num_flag::<u32>(rest, "--max-retries")? {
+        cfg.max_retries = n;
+    }
+    eprintln!(
+        "serving {path} on {} ({} workers, queue {}{}{})",
+        socket.display(),
+        cfg.workers,
+        cfg.queue_cap,
+        if cfg.optimize { ", optimized" } else { "" },
+        if cfg.checked { ", checked" } else { "" },
+    );
+    let report =
+        nml_escape_analysis::serve::serve(&src, &socket, &cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "server drained: ok={} guest_errors={} panics={} degraded={} shed={} bad_frames={} quarantined={}",
+        report.served_ok,
+        report.guest_errors,
+        report.panics,
+        report.degraded,
+        report.shed,
+        report.bad_frames,
+        report.quarantined_sites,
+    );
+    Ok(())
+}
+
+/// `nmlc call`: one request against a running server, response on
+/// stdout. Exits non-zero when the server answers with an error.
+fn cmd_call(rest: &[String]) -> Result<(), String> {
+    let socket = flag_value(rest, "--socket")
+        .ok_or_else(|| format!("call requires --socket=PATH\n{USAGE}"))?;
+    let line = if has_flag(rest, "--ping") {
+        "{\"op\":\"ping\",\"id\":0}".to_owned()
+    } else if has_flag(rest, "--stats") {
+        "{\"op\":\"stats\",\"id\":0}".to_owned()
+    } else if has_flag(rest, "--shutdown") || flag_value(rest, "--shutdown").is_some() {
+        let mode = flag_value(rest, "--shutdown").unwrap_or("drain");
+        if mode != "drain" && mode != "now" {
+            return Err(format!("--shutdown: `{mode}` is not a mode (drain or now)"));
+        }
+        format!("{{\"op\":\"shutdown\",\"id\":0,\"mode\":\"{mode}\"}}")
+    } else if has_flag(rest, "--eval") || flag_value(rest, "--call").is_some() {
+        let mut obj = vec![
+            ("op".to_owned(), Json::Str("eval".to_owned())),
+            ("id".to_owned(), Json::Int(0)),
+        ];
+        if let Some(f) = flag_value(rest, "--call") {
+            obj.push(("call".to_owned(), Json::Str(f.to_owned())));
+        }
+        if let Some(a) = flag_value(rest, "--args") {
+            let v =
+                nml_escape_analysis::serve::json::parse(a).map_err(|e| format!("--args: {e}"))?;
+            if !matches!(v, Json::Arr(_)) {
+                return Err("--args must be a JSON array (one element per parameter)".to_owned());
+            }
+            obj.push(("args".to_owned(), v));
+        }
+        if let Some(f) = parse_num_flag::<i64>(rest, "--fuel")? {
+            obj.push(("fuel".to_owned(), Json::Int(f)));
+        }
+        if let Some(t) = parse_num_flag::<i64>(rest, "--timeout-ms")? {
+            obj.push(("timeout_ms".to_owned(), Json::Int(t)));
+        }
+        Json::Obj(obj).to_string()
+    } else {
+        return Err(format!(
+            "call needs one of --call/--eval/--ping/--stats/--shutdown\n{USAGE}"
+        ));
+    };
+    let mut client = Client::connect(std::path::Path::new(socket))
+        .map_err(|e| format!("connect {socket}: {e}"))?;
+    let resp = client
+        .request(&line)
+        .map_err(|e| format!("request failed: {e}"))?;
+    println!("{resp}");
+    if resp.get("status").and_then(Json::as_str) == Some("error") {
+        let kind = resp.get("kind").and_then(Json::as_str).unwrap_or("error");
+        let msg = resp.get("message").and_then(Json::as_str).unwrap_or("");
+        return Err(format!("server answered {kind}: {msg}"));
     }
     Ok(())
 }

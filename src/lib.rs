@@ -39,6 +39,7 @@
 pub use nml_escape as escape;
 pub use nml_opt as opt;
 pub use nml_runtime as runtime;
+pub use nml_serve as serve;
 pub use nml_syntax as syntax;
 pub use nml_types as types;
 

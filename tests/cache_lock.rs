@@ -1,0 +1,117 @@
+//! Concurrent-writer robustness for the persistent summary cache.
+//!
+//! `SummaryCache::save` holds an advisory exclusive lock on a sibling
+//! `.lock` file and merges the on-disk entries under it, so N writers —
+//! threads in one process, or separate processes pointed at the same
+//! `--summary-cache` — interleave per entry instead of clobbering each
+//! other's files. These tests hammer both arrangements and assert that
+//! no writer's entries are lost and the final file passes all of its
+//! checksums.
+
+use nml_escape_analysis::escape::cache::{CachedFn, CachedScc, SummaryCache};
+use std::path::{Path, PathBuf};
+
+const ENTRIES_PER_WRITER: u64 = 4;
+const SAVES_PER_WRITER: u64 = 5;
+
+fn entry(tag: u64, i: u64) -> (u64, CachedScc) {
+    (
+        tag * 1000 + i,
+        CachedScc {
+            fns: vec![CachedFn {
+                name: format!("f{tag}_{i}"),
+                verdicts: vec![(i.is_multiple_of(2), u32::try_from(i).unwrap())],
+            }],
+        },
+    )
+}
+
+fn cache_of_writer(tag: u64) -> SummaryCache {
+    let mut c = SummaryCache::default();
+    for i in 0..ENTRIES_PER_WRITER {
+        let (h, e) = entry(tag, i);
+        c.insert(h, e);
+    }
+    c
+}
+
+fn fresh_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nml-cache-lock-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn assert_all_present(path: &Path, writers: u64) {
+    let (merged, warn) = SummaryCache::load(path);
+    assert!(warn.is_none(), "clean load after the melee: {warn:?}");
+    assert_eq!(
+        merged.len() as u64,
+        writers * ENTRIES_PER_WRITER,
+        "every writer's entries survived"
+    );
+    for t in 0..writers {
+        for i in 0..ENTRIES_PER_WRITER {
+            let (h, e) = entry(t, i);
+            assert_eq!(merged.get(h), Some(&e), "entry {t}/{i} intact");
+        }
+    }
+}
+
+#[test]
+fn concurrent_threads_merge_instead_of_clobbering() {
+    let path = fresh_path("threads.cache");
+    const WRITERS: u64 = 8;
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let path = path.clone();
+            s.spawn(move || {
+                let c = cache_of_writer(t);
+                // Repeated saves maximize read-merge-rename interleaving.
+                for _ in 0..SAVES_PER_WRITER {
+                    c.save(&path).expect("save");
+                }
+            });
+        }
+    });
+    assert_all_present(&path, WRITERS);
+}
+
+/// The re-invoked half of the multi-process test below: a no-op under
+/// the normal suite, a real cache writer when the parent sets the env.
+#[test]
+fn child_writer_process() {
+    let Ok(tag) = std::env::var("NML_CACHE_LOCK_CHILD") else {
+        return;
+    };
+    let path = PathBuf::from(std::env::var("NML_CACHE_LOCK_PATH").expect("child needs path env"));
+    let tag: u64 = tag.parse().expect("numeric writer tag");
+    let c = cache_of_writer(tag);
+    for _ in 0..SAVES_PER_WRITER {
+        c.save(&path).expect("child save");
+    }
+}
+
+#[test]
+fn concurrent_processes_merge_instead_of_clobbering() {
+    let path = fresh_path("procs.cache");
+    let exe = std::env::current_exe().expect("test binary path");
+    const WRITERS: u64 = 4;
+    let children: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            std::process::Command::new(&exe)
+                .args(["child_writer_process", "--exact", "--test-threads=1"])
+                .env("NML_CACHE_LOCK_CHILD", t.to_string())
+                .env("NML_CACHE_LOCK_PATH", &path)
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn child writer")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("child exit");
+        assert!(status.success(), "child writer failed: {status}");
+    }
+    assert_all_present(&path, WRITERS);
+}

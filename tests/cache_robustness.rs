@@ -148,17 +148,23 @@ fn garbage_file_starts_cold_then_heals() {
 }
 
 /// Saving is atomic (write-to-temp + rename): after a run, the cache
-/// directory holds exactly the cache file — no orphaned temporaries.
+/// directory holds exactly the cache file and its persistent advisory
+/// `.lock` sibling — no orphaned temporaries.
 #[test]
 fn atomic_save_leaves_no_temp_files() {
     let dir = tmp_dir("atomic");
     let path = dir.join("summaries.cache");
     let _ = scheduled(SRC, &path);
-    let names: Vec<String> = std::fs::read_dir(&dir)
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
-    assert_eq!(names, vec!["summaries.cache"], "stray files: {names:?}");
+    names.sort();
+    assert_eq!(
+        names,
+        vec!["summaries.cache", "summaries.cache.lock"],
+        "stray files: {names:?}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,405 @@
+//! The chaos harness: a deterministic, seeded storm of hostile traffic
+//! against a live `nml_serve` server, at concurrency >= 4.
+//!
+//! Scenario kinds (drawn per request from a seeded generator):
+//! well-formed evals, per-request fault plans (forced GC, allocation
+//! retreats, tiny heap capacities), injected worker panics, looping
+//! guests bounded by fuel, oversized non-tail recursion bounded by the
+//! depth limit, unknown functions, and malformed frames (both invalid
+//! requests and unparseable bytes).
+//!
+//! The invariants, checked at the end of the melee:
+//!
+//! 1. **exactly one** terminal response per request — nothing dropped,
+//!    nothing duplicated, correlated by id (unparseable frames by their
+//!    per-connection `id:null` count);
+//! 2. every response's kind is in the scenario's expected set;
+//! 3. the server drains and exits cleanly, and its final counters are
+//!    consistent with what the clients observed.
+
+use nml_escape_analysis::serve::json::Json;
+use nml_escape_analysis::serve::{serve, Client, ServeConfig, ServerReport};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const SRC: &str = "letrec
+  append x y = if (null x) then y else cons (car x) (append (cdr x) y);
+  rev l = if (null l) then nil else append (rev (cdr l)) (cons (car l) nil);
+  sum l = if (null l) then 0 else car l + sum (cdr l);
+  spin n = spin n;
+  down n = if n = 0 then 0 else 1 + down (n - 1)
+in rev [1, 2, 3]";
+
+/// Deterministic splitmix64 — the chaos schedule is a pure function of
+/// the seed, so a failure reproduces exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One scripted request: the line to send and the response kinds it may
+/// legitimately receive. `expect_ok` admits `status:"ok"`; `kinds` are
+/// the admissible error kinds.
+struct Scenario {
+    id: i64,
+    line: String,
+    expect_ok: bool,
+    kinds: &'static [&'static str],
+    /// Unparseable on purpose: the response correlates as `id:null`.
+    unparseable: bool,
+}
+
+fn scenario(id: i64, rng: &mut Rng) -> Scenario {
+    let mk = |line: String, expect_ok: bool, kinds: &'static [&'static str]| Scenario {
+        id,
+        line,
+        expect_ok,
+        kinds,
+        unparseable: false,
+    };
+    match rng.below(10) {
+        // Plain evals: list reversal and folding.
+        0 | 1 => mk(
+            format!(
+                "{{\"op\":\"eval\",\"id\":{id},\"call\":\"rev\",\"args\":[[1,2,{}]]}}",
+                rng.below(90)
+            ),
+            true,
+            &[],
+        ),
+        2 => mk(
+            format!(
+                "{{\"op\":\"eval\",\"id\":{id},\"call\":\"sum\",\"args\":[[{},2,3]]}}",
+                rng.below(50)
+            ),
+            true,
+            &[],
+        ),
+        // Eval under a deterministic fault plan: forced GCs and
+        // allocation retreats are transparent; a tiny heap capacity may
+        // also surface as a typed out-of-memory runtime error.
+        3 => mk(
+            format!(
+                "{{\"op\":\"eval\",\"id\":{id},\"call\":\"rev\",\"args\":[[5,6,7,8]],\
+                 \"fault\":{{\"seed\":{},\"forced_gc\":[1,{}]}}}}",
+                rng.below(1000),
+                2 + rng.below(6),
+            ),
+            true,
+            &[],
+        ),
+        4 => mk(
+            format!(
+                "{{\"op\":\"eval\",\"id\":{id},\"call\":\"rev\",\"args\":[[1,2,3,4,5]],\
+                 \"fault\":{{\"seed\":{},\"heap_capacity\":{}}}}}",
+                rng.below(1000),
+                4 + rng.below(40),
+            ),
+            true,
+            &["runtime_error"],
+        ),
+        // Injected panic mid-request: quarantined, worker replaced.
+        5 => mk(
+            format!(
+                "{{\"op\":\"eval\",\"id\":{id},\"call\":\"rev\",\"args\":[[9,8,7]],\
+                 \"fault\":{{\"panic_at_alloc\":{}}}}}",
+                rng.below(6),
+            ),
+            false,
+            &["worker_panicked"],
+        ),
+        // A looping guest, bounded by fuel or by a deadline.
+        6 => {
+            if rng.below(2) == 0 {
+                mk(
+                    format!(
+                        "{{\"op\":\"eval\",\"id\":{id},\"call\":\"spin\",\"args\":[0],\
+                         \"fuel\":{}}}",
+                        1000 + rng.below(50_000),
+                    ),
+                    false,
+                    &["fuel_exhausted"],
+                )
+            } else {
+                mk(
+                    format!(
+                        "{{\"op\":\"eval\",\"id\":{id},\"call\":\"spin\",\"args\":[0],\
+                         \"timeout_ms\":1}}"
+                    ),
+                    false,
+                    &["fuel_exhausted"],
+                )
+            }
+        }
+        // Oversized non-tail recursion, stopped by the depth limit.
+        7 => mk(
+            format!(
+                "{{\"op\":\"eval\",\"id\":{id},\"call\":\"down\",\"args\":[{}]}}",
+                100_000 + rng.below(100_000),
+            ),
+            false,
+            &["stack_overflow"],
+        ),
+        // Well-formed JSON, ill-formed request.
+        8 => {
+            let junk = match rng.below(4) {
+                0 => format!("{{\"op\":\"eval\",\"id\":{id},\"fuel\":-7}}"),
+                1 => format!("{{\"op\":\"warp\",\"id\":{id}}}"),
+                2 => format!("{{\"op\":\"eval\",\"id\":{id},\"call\":7}}"),
+                _ => format!("{{\"op\":\"eval\",\"id\":{id},\"call\":\"nope\"}}"),
+            };
+            let kinds: &[&str] = if junk.contains("nope") {
+                &["runtime_error"]
+            } else {
+                &["bad_request"]
+            };
+            mk(junk, false, kinds)
+        }
+        // Unparseable bytes: the server answers id:null.
+        _ => Scenario {
+            id,
+            line: match rng.below(3) {
+                0 => "{nope".to_owned(),
+                1 => format!("{{\"op\":\"eval\",\"id\":{id}"),
+                _ => "\u{1}\u{2}garbage".to_owned(),
+            },
+            expect_ok: false,
+            kinds: &["bad_request"],
+            unparseable: true,
+        },
+    }
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nml-serve-chaos-{}-{tag}.sock", std::process::id()))
+}
+
+fn spawn_server(tag: &str, cfg: ServeConfig) -> (PathBuf, std::thread::JoinHandle<ServerReport>) {
+    let path = socket_path(tag);
+    let handle = {
+        let path = path.clone();
+        std::thread::spawn(move || serve(SRC, &path, &cfg).expect("server runs"))
+    };
+    (path, handle)
+}
+
+/// One client connection: pipelines its scenarios in windows, collects
+/// every response, and returns them keyed by id (unparseable frames
+/// under the `None` key, counted).
+fn run_client(path: &Path, scenarios: &[Scenario]) -> HashMap<Option<i64>, Vec<Json>> {
+    let mut client = Client::connect_retry(path, Duration::from_secs(10)).expect("connect");
+    let mut responses: HashMap<Option<i64>, Vec<Json>> = HashMap::new();
+    // A modest pipeline window: enough overlap to interleave with the
+    // other clients, small enough that the bounded queue (cap 64)
+    // admits everything — shedding is exercised by its own test below.
+    for window in scenarios.chunks(4) {
+        for s in window {
+            client.send_line(&s.line).expect("send");
+        }
+        for _ in window {
+            let line = client
+                .recv_line()
+                .expect("recv")
+                .expect("server kept the connection open");
+            let v = nml_escape_analysis::serve::json::parse(&line).expect("valid response JSON");
+            let id = v.get("id").and_then(Json::as_int);
+            responses.entry(id).or_default().push(v);
+        }
+    }
+    responses
+}
+
+#[test]
+fn chaos_storm_every_request_gets_exactly_one_response() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 24; // 96 seeded scenarios in total
+    let cfg = ServeConfig {
+        workers: 4,
+        queue_cap: 64,
+        max_depth: Some(20_000),
+        ..ServeConfig::default()
+    };
+    let (path, server) = spawn_server("storm", cfg);
+
+    // Deterministic per-client scripts; ids are globally unique.
+    let scripts: Vec<Vec<Scenario>> = (0..CLIENTS)
+        .map(|c| {
+            let mut rng = Rng(0xc0ffee ^ (c as u64) << 32);
+            (0..PER_CLIENT)
+                .map(|i| scenario((c * 1000 + i) as i64, &mut rng))
+                .collect()
+        })
+        .collect();
+
+    let all_responses: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| s.spawn(|| run_client(&path, script)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    let mut ok_seen = 0u64;
+    let mut panic_seen = 0u64;
+    for (script, responses) in scripts.iter().zip(&all_responses) {
+        let unparseable = script.iter().filter(|s| s.unparseable).count();
+        let null_responses = responses.get(&None).map_or(0, Vec::len);
+        assert_eq!(
+            null_responses, unparseable,
+            "every unparseable frame got exactly one id:null response"
+        );
+        for resp in responses.get(&None).into_iter().flatten() {
+            assert_eq!(resp.get("kind").and_then(Json::as_str), Some("bad_request"));
+        }
+        for s in script.iter().filter(|s| !s.unparseable) {
+            let got = responses.get(&Some(s.id)).map_or(&[][..], Vec::as_slice);
+            assert_eq!(
+                got.len(),
+                1,
+                "request {} must get exactly one terminal response, got {got:?}",
+                s.id
+            );
+            let resp = &got[0];
+            match resp.get("status").and_then(Json::as_str) {
+                Some("ok") => {
+                    ok_seen += 1;
+                    assert!(s.expect_ok, "unexpected success for {}: {resp}", s.line);
+                }
+                Some("error") => {
+                    let kind = resp.get("kind").and_then(Json::as_str).unwrap_or("?");
+                    assert!(
+                        s.kinds.contains(&kind),
+                        "scenario {} expected one of {:?}, got {resp}",
+                        s.line,
+                        s.kinds
+                    );
+                    if kind == "worker_panicked" {
+                        panic_seen += 1;
+                    }
+                }
+                other => panic!("response without a status ({other:?}): {resp}"),
+            }
+        }
+    }
+
+    // Clean exit: drain shutdown, server thread joins, counters agree.
+    let mut closer = Client::connect_retry(&path, Duration::from_secs(5)).expect("closer");
+    let resp = closer
+        .request("{\"op\":\"shutdown\",\"mode\":\"drain\"}")
+        .expect("shutdown");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let report = server.join().expect("server joined");
+    assert!(!path.exists(), "socket file removed on exit");
+    assert_eq!(report.served_ok, ok_seen, "{report:?}");
+    assert_eq!(report.panics, panic_seen, "{report:?}");
+    assert!(panic_seen > 0, "the seed must actually inject panics");
+    assert!(ok_seen > 0, "the seed must include healthy traffic");
+    assert_eq!(report.shed, 0, "nothing shed at queue cap 64: {report:?}");
+}
+
+#[test]
+fn overload_sheds_typed_responses_and_loses_nothing() {
+    // Two slow workers, a queue of two: a burst of looping requests must
+    // shed most of the burst as `overloaded` — and still answer every
+    // single frame exactly once.
+    const BURST: usize = 30;
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 2,
+        ..ServeConfig::default()
+    };
+    let (path, server) = spawn_server("overload", cfg);
+    let mut client = Client::connect_retry(&path, Duration::from_secs(10)).expect("connect");
+    let mut batch = String::new();
+    for id in 0..BURST {
+        batch.push_str(&format!(
+            "{{\"op\":\"eval\",\"id\":{id},\"call\":\"spin\",\"args\":[0],\"fuel\":2000000}}\n"
+        ));
+    }
+    // One write: the reader admits/sheds the burst far faster than the
+    // workers can drain it.
+    client.send_line(batch.trim_end()).expect("burst");
+    let mut counts: HashMap<i64, &str> = HashMap::new();
+    let mut overloaded = 0;
+    let mut exhausted = 0;
+    for _ in 0..BURST {
+        let line = client.recv_line().expect("recv").expect("open");
+        let v = nml_escape_analysis::serve::json::parse(&line).expect("response JSON");
+        let id = v.get("id").and_then(Json::as_int).expect("correlated");
+        let kind = match v.get("kind").and_then(Json::as_str) {
+            Some("overloaded") => {
+                overloaded += 1;
+                "overloaded"
+            }
+            Some("fuel_exhausted") => {
+                exhausted += 1;
+                "fuel_exhausted"
+            }
+            other => panic!("unexpected kind {other:?}: {v}"),
+        };
+        assert!(
+            counts.insert(id, kind).is_none(),
+            "duplicate response for {id}"
+        );
+    }
+    assert_eq!(counts.len(), BURST, "every request answered exactly once");
+    assert!(overloaded > 0, "the burst must overflow the queue");
+    assert!(exhausted > 0, "admitted requests still complete");
+    let resp = client
+        .request("{\"op\":\"shutdown\",\"mode\":\"drain\"}")
+        .expect("shutdown");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let report = server.join().expect("server joined");
+    assert_eq!(report.shed, overloaded as u64, "{report:?}");
+    assert_eq!(report.guest_errors, exhausted as u64, "{report:?}");
+}
+
+#[test]
+fn immediate_shutdown_cancels_in_flight_work() {
+    // A guest that would run for minutes; `shutdown now` must cancel it
+    // promptly with a typed response, then exit cleanly.
+    let cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (path, server) = spawn_server("now", cfg);
+    let mut runner = Client::connect_retry(&path, Duration::from_secs(10)).expect("runner");
+    runner
+        .send_line(
+            "{\"op\":\"eval\",\"id\":1,\"call\":\"spin\",\"args\":[0],\"fuel\":900000000000}",
+        )
+        .expect("long spin");
+    // Give the worker a moment to pick the job up, then pull the plug
+    // from a second connection.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut closer = Client::connect_retry(&path, Duration::from_secs(5)).expect("closer");
+    let resp = closer
+        .request("{\"op\":\"shutdown\",\"mode\":\"now\"}")
+        .expect("shutdown now");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let line = runner.recv_line().expect("recv").expect("open");
+    let v = nml_escape_analysis::serve::json::parse(&line).expect("response JSON");
+    assert_eq!(v.get("id").and_then(Json::as_int), Some(1));
+    assert_eq!(
+        v.get("kind").and_then(Json::as_str),
+        Some("cancelled"),
+        "{v}"
+    );
+    let report = server.join().expect("server joined promptly");
+    assert_eq!(report.guest_errors, 1, "{report:?}");
+}
