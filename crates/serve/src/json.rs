@@ -8,6 +8,13 @@
 
 use std::fmt;
 
+/// Maximum container-nesting depth the parser accepts. The parser is
+/// recursive-descent, so unbounded nesting would overflow the reader
+/// thread's stack — and a stack overflow aborts the process rather
+/// than unwinding, defeating crash isolation. 128 is far beyond any
+/// legitimate protocol frame.
+pub const MAX_DEPTH: usize = 128;
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Json {
@@ -117,6 +124,7 @@ pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -130,6 +138,7 @@ pub fn parse(input: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -172,14 +181,32 @@ impl Parser<'_> {
             Some(b't') => self.keyword("true", Json::Bool(true)),
             Some(b'f') => self.keyword("false", Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(other) => Err(format!(
                 "unexpected `{}` at byte {}",
                 other as char, self.pos
             )),
         }
+    }
+
+    /// Runs a container parse one nesting level deeper, rejecting
+    /// frames past [`MAX_DEPTH`] before recursing.
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Json, String>,
+    ) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -341,6 +368,21 @@ mod tests {
         ] {
             assert!(parse(src).is_err(), "{src:?} should fail");
         }
+    }
+
+    #[test]
+    fn nesting_is_depth_limited_not_a_stack_overflow() {
+        // Well under the limit: fine.
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&deep_ok).is_ok());
+        // Just past the limit: a parse error.
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&over).is_err());
+        // A hostile frame of tens of KB of '[' must error, not abort
+        // the process (stack overflow does not unwind).
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        let objs = format!("{}{}", "{\"k\":".repeat(100_000), "}".repeat(100_000));
+        assert!(parse(&objs).is_err());
     }
 
     #[test]

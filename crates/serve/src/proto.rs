@@ -172,13 +172,19 @@ fn parse_fault(v: &Json) -> Result<FaultPlan, String> {
 fn parse_rate(v: &Json, key: &str) -> Result<Option<FaultRate>, String> {
     match v.get(key) {
         None => Ok(None),
+        // Bounds-check both legs before narrowing: `4294967296 as u32`
+        // is 0, which would slip a zero denominator past the guard and
+        // panic in `FaultRate::new` on the reader thread.
         Some(Json::Arr(nd)) => match nd.as_slice() {
-            [Json::Int(n), Json::Int(d)] if *n >= 0 && *d > 0 => {
+            [Json::Int(n), Json::Int(d)]
+                if (0..=i64::from(u32::MAX)).contains(n)
+                    && (1..=i64::from(u32::MAX)).contains(d) =>
+            {
                 Ok(Some(FaultRate::new(*n as u32, *d as u32)))
             }
-            _ => Err(format!("`{key}` must be [numerator, denominator>0]")),
+            _ => Err(format!("`{key}` must be [numerator, denominator>0], both <= u32::MAX")),
         },
-        Some(_) => Err(format!("`{key}` must be [numerator, denominator>0]")),
+        Some(_) => Err(format!("`{key}` must be [numerator, denominator>0], both <= u32::MAX")),
     }
 }
 
@@ -290,6 +296,27 @@ mod tests {
         assert_eq!(id, None);
         let (id, _) = parse_request("{\"id\":2}").unwrap_err();
         assert_eq!(id, Some(2), "missing op still correlates");
+    }
+
+    #[test]
+    fn out_of_range_fault_rates_are_errors_not_panics() {
+        // 4294967296 truncates to 0 as u32; it must be rejected before
+        // the cast, not panic inside FaultRate::new.
+        for frame in [
+            "{\"op\":\"eval\",\"id\":1,\"fault\":{\"alloc_retreat\":[1,4294967296]}}",
+            "{\"op\":\"eval\",\"id\":1,\"fault\":{\"forced_gc\":[4294967296,2]}}",
+            "{\"op\":\"eval\",\"id\":1,\"fault\":{\"region_deny\":[1,0]}}",
+            "{\"op\":\"eval\",\"id\":1,\"fault\":{\"region_deny\":[-1,2]}}",
+        ] {
+            let (id, msg) = parse_request(frame).unwrap_err();
+            assert_eq!(id, Some(1), "{frame}");
+            assert!(msg.contains("denominator"), "{msg}");
+        }
+        // The full u32 range is accepted.
+        assert!(parse_request(
+            "{\"op\":\"eval\",\"fault\":{\"forced_gc\":[4294967295,4294967295]}}"
+        )
+        .is_ok());
     }
 
     #[test]

@@ -341,14 +341,25 @@ pub fn compile_program(
 
 /// Turns a JSON argument into a guest value (integers, booleans, and
 /// arrays as lists, built innermost-first on the worker's heap).
-fn build_arg<'p>(heap: &mut Heap<'p>, j: &Json) -> Result<Value<'p>, String> {
+///
+/// Recursion is bounded by the same depth cap as the protocol parser
+/// (`json::MAX_DEPTH`); the parser already enforces it on every frame,
+/// this re-check keeps the worker's stack safe against any future
+/// caller that builds a `Json` some other way.
+fn build_arg<'p>(heap: &mut Heap<'p>, j: &Json, depth: usize) -> Result<Value<'p>, String> {
+    if depth >= crate::json::MAX_DEPTH {
+        return Err(format!(
+            "argument nesting deeper than {}",
+            crate::json::MAX_DEPTH
+        ));
+    }
     match j {
         Json::Int(n) => Ok(Value::Int(*n)),
         Json::Bool(b) => Ok(Value::Bool(*b)),
         Json::Arr(items) => {
             let mut vs = Vec::with_capacity(items.len());
             for it in items {
-                vs.push(build_arg(heap, it)?);
+                vs.push(build_arg(heap, it, depth + 1)?);
             }
             let mut acc = Value::Nil;
             for v in vs.into_iter().rev() {
@@ -364,46 +375,65 @@ fn build_arg<'p>(heap: &mut Heap<'p>, j: &Json) -> Result<Value<'p>, String> {
 }
 
 /// Renders a result value (same surface syntax as `nmlc run`).
+///
+/// Iterative with an explicit worklist: rendering depth tracks the
+/// value's cons-in-car/tuple nesting, which is data-shaped and not
+/// under the server's control, and a native stack overflow aborts the
+/// process instead of unwinding — straight past `catch_unwind`,
+/// defeating crash isolation.
 fn render_value(heap: &Heap<'_>, v: &Value<'_>) -> Result<String, RuntimeError> {
-    fn go(heap: &Heap<'_>, v: &Value<'_>, out: &mut String) -> Result<(), RuntimeError> {
-        match v {
-            Value::Int(n) => out.push_str(&n.to_string()),
-            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Nil => out.push_str("[]"),
-            Value::Tuple(c) => {
-                out.push('(');
-                let h = heap.car(*c)?;
-                go(heap, &h, out)?;
-                out.push_str(", ");
-                let t = heap.cdr(*c)?;
-                go(heap, &t, out)?;
-                out.push(')');
-            }
-            Value::Pair(_) => {
-                out.push('[');
-                let mut cur = v.clone();
-                let mut first = true;
-                while let Value::Pair(c) = cur {
-                    if !first {
-                        out.push_str(", ");
-                    }
-                    first = false;
-                    let head = heap.car(c)?;
-                    go(heap, &head, out)?;
-                    cur = heap.cdr(c)?;
-                }
-                out.push(']');
-            }
-            other => {
-                out.push('<');
-                out.push_str(other.kind());
-                out.push('>');
-            }
-        }
-        Ok(())
+    enum Task<'p> {
+        /// Render one value.
+        Val(Value<'p>),
+        /// Continue a list whose remaining tail is this value.
+        Tail(Value<'p>),
+        /// Emit a literal (closers and separators).
+        Lit(&'static str),
     }
     let mut out = String::new();
-    go(heap, v, &mut out)?;
+    let mut work = vec![Task::Val(v.clone())];
+    while let Some(task) = work.pop() {
+        match task {
+            Task::Lit(s) => out.push_str(s),
+            Task::Val(v) => match v {
+                Value::Int(n) => out.push_str(&n.to_string()),
+                Value::Bool(b) => out.push_str(if b { "true" } else { "false" }),
+                Value::Nil => out.push_str("[]"),
+                Value::Tuple(c) => {
+                    let h = heap.car(c)?;
+                    let t = heap.cdr(c)?;
+                    out.push('(');
+                    work.push(Task::Lit(")"));
+                    work.push(Task::Val(t));
+                    work.push(Task::Lit(", "));
+                    work.push(Task::Val(h));
+                }
+                Value::Pair(c) => {
+                    let h = heap.car(c)?;
+                    let t = heap.cdr(c)?;
+                    out.push('[');
+                    work.push(Task::Tail(t));
+                    work.push(Task::Val(h));
+                }
+                other => {
+                    out.push('<');
+                    out.push_str(other.kind());
+                    out.push('>');
+                }
+            },
+            Task::Tail(v) => match v {
+                Value::Pair(c) => {
+                    let h = heap.car(c)?;
+                    let t = heap.cdr(c)?;
+                    out.push_str(", ");
+                    work.push(Task::Tail(t));
+                    work.push(Task::Val(h));
+                }
+                // Nil or an improper tail ends the list, as before.
+                _ => out.push(']'),
+            },
+        }
+    }
     Ok(out)
 }
 
@@ -446,11 +476,19 @@ fn execute<'p>(
     let r = (|| -> Result<String, ReqError> {
         let v = match &req.call {
             Some(name) => {
+                // Probe without interning: the interner is append-only
+                // and process-wide, so interning every bogus
+                // client-supplied name would leak for the life of the
+                // server. Every name in the compiled program is already
+                // interned, so a miss is always unbound.
+                let sym = Symbol::lookup(name).ok_or_else(|| {
+                    ReqError::Rt(RuntimeError::Unbound { name: name.clone() })
+                })?;
                 let mut args = Vec::with_capacity(req.args.len());
                 for a in &req.args {
-                    args.push(build_arg(&mut vm.heap, a).map_err(ReqError::Bad)?);
+                    args.push(build_arg(&mut vm.heap, a, 0).map_err(ReqError::Bad)?);
                 }
-                vm.call(Symbol::intern(name), args)?
+                vm.call(sym, args)?
             }
             None => vm.run()?,
         };
@@ -703,19 +741,44 @@ fn reader_loop(stream: UnixStream, sh: &Shared) {
     };
     let out: SharedWriter = Arc::new(Mutex::new(writer));
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    // Accumulate bytes, not a String: `read_line` discards its partial
+    // tail when a read times out mid-frame and the tail is not valid
+    // UTF-8 (a multi-byte character split across the timeout boundary
+    // would silently corrupt the frame). `read_until` keeps every byte
+    // consumed from the socket; UTF-8 is validated per complete line
+    // and a bad line becomes a `bad_request` response.
+    let mut buf = Vec::new();
     loop {
         if sh.done.load(Ordering::Relaxed) {
             return;
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                handle_line(&line, &out, sh);
-                line.clear();
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(n) => {
+                // `read_until` returns Ok only at the delimiter or at
+                // EOF (n == 0 and nothing new once drained).
+                let eof = n == 0;
+                if !buf.is_empty() && (eof || buf.ends_with(b"\n")) {
+                    match std::str::from_utf8(&buf) {
+                        Ok(line) => handle_line(line, &out, sh),
+                        Err(_) => {
+                            sh.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                            respond(
+                                &out,
+                                &proto::error_response(
+                                    None,
+                                    ErrorKind::BadRequest,
+                                    "frame is not valid UTF-8",
+                                ),
+                            );
+                        }
+                    }
+                    buf.clear();
+                }
+                if eof {
+                    return; // client closed
+                }
             }
-            // Timeout: keep any partial line accumulated so far and
-            // poll again.
+            // Timeout: `buf` keeps the partial frame; poll again.
             Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {}
             Err(e) if e.kind() == IoKind::Interrupted => {}
             Err(_) => return,
@@ -779,4 +842,67 @@ pub fn serve(src: &str, socket: &Path, cfg: &ServeConfig) -> Result<ServerReport
     });
     let _ = std::fs::remove_file(socket);
     Ok(sh.stats.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 100k levels of cons-in-car nesting, built directly on a heap
+    /// (the guest type system bounds nesting per program, but the
+    /// renderer must not bank on that): recursive rendering would
+    /// overflow the native stack and abort the process.
+    #[test]
+    fn render_value_handles_deep_nesting_iteratively() {
+        let mut heap = Heap::new(HeapConfig::default());
+        let mut acc = Value::Nil;
+        for _ in 0..100_000 {
+            let cell = heap.alloc(acc, Value::Nil, AllocMode::Heap);
+            acc = Value::Pair(cell);
+        }
+        let s = render_value(&heap, &acc).expect("render");
+        assert_eq!(s.len(), 2 * 100_000 + 2, "100k nested singleton lists");
+        assert!(s.starts_with("[[[") && s.ends_with("]]]"));
+
+        // Deep tuple-in-tuple nesting exercises the other recursive arm.
+        let mut acc = Value::Int(1);
+        for _ in 0..100_000 {
+            let cell = heap.alloc(acc, Value::Int(0), AllocMode::Heap);
+            acc = Value::Tuple(cell);
+        }
+        let s = render_value(&heap, &acc).expect("render tuples");
+        assert!(s.starts_with("(((") && s.ends_with("0), 0)"), "{}", &s[s.len() - 16..]);
+    }
+
+    #[test]
+    fn render_value_list_shapes() {
+        let mut heap = Heap::new(HeapConfig::default());
+        let inner = heap.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        let outer = heap.alloc(Value::Int(1), Value::Pair(inner), AllocMode::Heap);
+        let s = render_value(&heap, &Value::Pair(outer)).expect("render");
+        assert_eq!(s, "[1, 2]");
+        let t = heap.alloc(Value::Int(1), Value::Bool(true), AllocMode::Heap);
+        assert_eq!(render_value(&heap, &Value::Tuple(t)).unwrap(), "(1, true)");
+        assert_eq!(render_value(&heap, &Value::Nil).unwrap(), "[]");
+    }
+
+    /// `build_arg` is depth-limited in its own right, independent of
+    /// the protocol parser's limit.
+    #[test]
+    fn build_arg_rejects_excessive_nesting() {
+        let mut deep = Json::Int(1);
+        for _ in 0..(crate::json::MAX_DEPTH + 1) {
+            deep = Json::Arr(vec![deep]);
+        }
+        let mut heap = Heap::new(HeapConfig::default());
+        let err = build_arg(&mut heap, &deep, 0).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+
+        // At the boundary it still works.
+        let mut ok = Json::Int(1);
+        for _ in 0..(crate::json::MAX_DEPTH - 1) {
+            ok = Json::Arr(vec![ok]);
+        }
+        assert!(build_arg(&mut heap, &ok, 0).is_ok());
+    }
 }

@@ -150,6 +150,107 @@ fn resource_limits_are_typed_per_request() {
 }
 
 #[test]
+fn hostile_nesting_is_rejected_or_rendered_without_aborting() {
+    let report = with_server("nesting", ServeConfig::default(), |c| {
+        // Tens of KB of '[': the parser's depth limit must turn this
+        // into a bad_request, not a reader-thread stack overflow (which
+        // aborts the process — overflow does not unwind).
+        let resp = c.request(&"[".repeat(100_000)).expect("deep frame");
+        assert_error(&resp, "bad_request");
+        assert_eq!(resp.get("id"), Some(&Json::Null));
+
+        // Past-the-limit nesting inside an otherwise well-formed frame.
+        let deep_args = format!(
+            "{{\"op\":\"eval\",\"id\":1,\"call\":\"sum\",\"args\":[{}1{}]}}",
+            "[".repeat(300),
+            "]".repeat(300)
+        );
+        // The whole frame fails to parse, so the id cannot correlate.
+        let resp = c.request(&deep_args).expect("deep args");
+        assert_error(&resp, "bad_request");
+        assert_eq!(resp.get("id"), Some(&Json::Null));
+
+        // The reader thread that absorbed both hostile frames still
+        // serves normal requests.
+        let resp = c
+            .request("{\"op\":\"eval\",\"id\":2,\"call\":\"sum\",\"args\":[[1,2,3]]}")
+            .expect("sum after hostile frames");
+        assert_ok(&resp, "6");
+    });
+    assert_eq!(report.served_ok, 1);
+    assert_eq!(report.bad_frames, 2);
+    assert_eq!(report.panics, 0, "nesting must never reach a panic/abort");
+}
+
+#[test]
+fn byte_level_frame_handling_survives_timeouts_and_bad_utf8() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let path = socket_path("bytes");
+    let cfg = ServeConfig::default();
+    let server = {
+        let path = path.clone();
+        std::thread::spawn(move || serve(SRC, &path, &cfg))
+    };
+    // Wait for the socket, then talk raw bytes.
+    drop(Client::connect_retry(&path, Duration::from_secs(5)).expect("connect"));
+    let stream = UnixStream::connect(&path).expect("raw connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut recv = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        nml_serve::json::parse(line.trim()).expect("response json")
+    };
+
+    // An invalid-UTF-8 frame gets a typed bad_request, not a dropped
+    // connection or a desynchronized stream.
+    stream
+        .try_clone()
+        .unwrap()
+        .write_all(b"{\"op\":\"ping\",\"id\":1,\xff\xfe}\n")
+        .expect("write bad utf8");
+    assert_error(&recv(), "bad_request");
+
+    // A frame with a multi-byte character split across the server's
+    // 50ms read-timeout boundary must survive intact: read_line would
+    // discard the partial tail on the timeout (the split byte makes it
+    // invalid UTF-8) and silently corrupt the frame.
+    let frame = "{\"op\":\"eval\",\"id\":8,\"call\":\"é\"}\n".as_bytes();
+    let split = frame.iter().position(|&b| b == 0xC3).unwrap() + 1;
+    let mut w = stream.try_clone().unwrap();
+    w.write_all(&frame[..split]).expect("first half");
+    w.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    w.write_all(&frame[split..]).expect("second half");
+    w.flush().unwrap();
+    let resp = recv();
+    // The é function doesn't exist, but the frame parsed intact: the
+    // error is a correlated unbound-name runtime_error, not bad_request.
+    assert_error(&resp, "runtime_error");
+    assert_eq!(resp.get("id").and_then(Json::as_int), Some(8));
+
+    // The same connection still serves normal requests.
+    stream
+        .try_clone()
+        .unwrap()
+        .write_all(b"{\"op\":\"ping\",\"id\":9}\n")
+        .expect("ping");
+    assert_ok(&recv(), "pong");
+
+    let mut c = Client::connect_retry(&path, Duration::from_secs(5)).expect("connect 2");
+    let resp = c
+        .request("{\"op\":\"shutdown\",\"mode\":\"drain\"}")
+        .expect("shutdown");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    drop(c);
+    drop(stream);
+    let report = server.join().expect("thread").expect("serve");
+    assert_eq!(report.bad_frames, 1);
+    assert_eq!(report.guest_errors, 1);
+}
+
+#[test]
 fn worker_panic_is_quarantined_and_the_worker_replaced() {
     // One worker: if the panic killed it without replacement, the next
     // request would hang forever.

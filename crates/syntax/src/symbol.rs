@@ -47,6 +47,15 @@ impl Symbol {
         Symbol(id)
     }
 
+    /// The symbol for `name` if it has already been interned, without
+    /// interning on a miss. The table is append-only and process-wide,
+    /// so a long-running server probing client-supplied names must use
+    /// this instead of [`Symbol::intern`] to avoid unbounded growth.
+    pub fn lookup(name: &str) -> Option<Symbol> {
+        let i = interner().lock().expect("symbol interner poisoned");
+        i.table.get(name).copied().map(Symbol)
+    }
+
     /// The interned string.
     pub fn as_str(self) -> &'static str {
         let i = interner().lock().expect("symbol interner poisoned");
@@ -101,6 +110,22 @@ mod tests {
         let b = Symbol::intern("append");
         assert_eq!(a, b);
         assert_eq!(a.as_str(), "append");
+    }
+
+    #[test]
+    fn lookup_never_interns() {
+        assert_eq!(
+            Symbol::lookup("lookup-miss-stays-a-miss%nope"),
+            None,
+            "a miss must not intern"
+        );
+        assert_eq!(
+            Symbol::lookup("lookup-miss-stays-a-miss%nope"),
+            None,
+            "still a miss on the second probe"
+        );
+        let s = Symbol::intern("lookup-hit");
+        assert_eq!(Symbol::lookup("lookup-hit"), Some(s));
     }
 
     #[test]
