@@ -188,6 +188,7 @@ pub fn pressured_config(threshold: usize) -> InterpConfig {
             gc_threshold: threshold,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         ..Default::default()
     }

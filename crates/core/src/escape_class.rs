@@ -1,0 +1,113 @@
+//! Per-allocation-site escape classification.
+//!
+//! The analysis proper answers *how many spines of a parameter may
+//! escape a function* (`B_e` verdicts in [`crate::global`]). The memory
+//! system asks a coarser question about each allocation site: will the
+//! cell provably die inside its creation scope, provably outlive it, or
+//! is the analysis silent? This module folds the fine-grained verdicts
+//! into that three-way [`EscapeClass`], which the optimizer threads into
+//! the IR as allocation-mode hints:
+//!
+//! - **provably-local** sites keep the region fast path (stack/block
+//!   allocation — the paper's own optimizations);
+//! - **provably-escaping** sites are *pretenured*: the generational
+//!   runtime allocates them straight into the old space, skipping the
+//!   nursery slot and the promotion step a young allocation would pay;
+//! - **unknown** sites allocate young and let the minor collector decide.
+//!
+//! Classification is a pure performance hint: the runtime stays correct
+//! whatever class a site is given, so the folds below can be (and are)
+//! heuristic in the escaping direction while staying exact in the local
+//! one.
+
+use crate::global::{EscapeSummary, ParamEscape};
+use std::fmt;
+
+/// How an allocation site relates to its creation scope, as far as the
+/// analysis can prove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeClass {
+    /// No part of the value ever leaves the scope: the cell dies with it.
+    ProvablyLocal,
+    /// The whole value flows out of the scope: the cell outlives it.
+    ProvablyEscaping,
+    /// The analysis cannot tell (or the verdict is mixed: some spines
+    /// escape, some are retained).
+    Unknown,
+}
+
+impl fmt::Display for EscapeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EscapeClass::ProvablyLocal => "provably-local",
+            EscapeClass::ProvablyEscaping => "provably-escaping",
+            EscapeClass::Unknown => "unknown",
+        })
+    }
+}
+
+/// Classifies cells passed in a given parameter position: what the
+/// callee does with a list argument built at the call site.
+///
+/// - `⟨0,0⟩` (nothing escapes) — the argument's cells are provably local
+///   to the call;
+/// - every spine escaping — the cells provably flow into the callee's
+///   result;
+/// - a mixed verdict (elements escape, spines retained, or only some
+///   spines escape) — unknown.
+pub fn classify_param(p: &ParamEscape) -> EscapeClass {
+    if !p.verdict.escapes() {
+        EscapeClass::ProvablyLocal
+    } else if p.spines > 0 && p.escaping_spines() >= p.spines {
+        EscapeClass::ProvablyEscaping
+    } else {
+        EscapeClass::Unknown
+    }
+}
+
+/// Classifies cells constructed in *result position* of a summarized
+/// function. A cons in result position **is** part of the returned
+/// value, so whenever the result type has list structure at all, the
+/// cell provably outlives the call that built it.
+pub fn classify_result(s: &EscapeSummary) -> EscapeClass {
+    if s.result_ty.spines() >= 1 {
+        EscapeClass::ProvablyEscaping
+    } else {
+        EscapeClass::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_source;
+
+    const APPEND: &str = "letrec append x y = if (null x) then y
+                                              else cons (car x) (append (cdr x) y)
+                          in append [1] [2]";
+
+    #[test]
+    fn append_params_classify_as_paper_says() {
+        let a = analyze_source(APPEND).expect("analysis");
+        let s = a.summary("append").expect("summary");
+        // x: elements escape, top spine retained — mixed.
+        assert_eq!(classify_param(s.param(0)), EscapeClass::Unknown);
+        // y: the whole argument flows into the result.
+        assert_eq!(classify_param(s.param(1)), EscapeClass::ProvablyEscaping);
+        // append returns a list: result-position cells escape.
+        assert_eq!(classify_result(s), EscapeClass::ProvablyEscaping);
+    }
+
+    #[test]
+    fn consumed_parameter_is_provably_local() {
+        let a = analyze_source(
+            "letrec sum l = if (null l) then 0 else car l + sum (cdr l)
+             in sum [1, 2]",
+        )
+        .expect("analysis");
+        let s = a.summary("sum").expect("summary");
+        assert_eq!(classify_param(s.param(0)), EscapeClass::ProvablyLocal);
+        // sum returns an int: no list structure in the result.
+        assert_eq!(classify_result(s), EscapeClass::Unknown);
+    }
+}

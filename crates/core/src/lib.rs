@@ -54,6 +54,7 @@ pub mod budget;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod escape_class;
 pub mod global;
 pub mod local;
 pub mod modular;
@@ -72,6 +73,7 @@ pub use budget::{Budget, Governor, Resource};
 pub use cache::SummaryCache;
 pub use engine::{worst_value, Engine, EngineConfig, EngineStats};
 pub use error::{AnalyzeError, EscapeError};
+pub use escape_class::{classify_param, classify_result, EscapeClass};
 pub use global::{
     global_escape, global_escape_param, worst_case_summary, EscapeSummary, ParamEscape,
 };

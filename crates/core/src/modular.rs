@@ -252,8 +252,11 @@ pub fn analyze_program_scheduled(
     }
 
     // Persist: store every precisely solved miss alongside what was
-    // already cached.
+    // already cached. A fully warm run inserts nothing and must not
+    // rewrite the file: the serialize+rename costs more than the whole
+    // analysis on warm paths, and made warm runs *slower* than cold.
     if let (Some(cache), Some(path)) = (cache.as_mut(), options.summary_cache.as_ref()) {
+        let mut dirty = false;
         for id in 0..n {
             if need[id] && !hit[id] && precise[id] {
                 let fns = members[id]
@@ -261,10 +264,13 @@ pub fn analyze_program_scheduled(
                     .filter_map(|m| summaries.get(m).map(cached_fn_of))
                     .collect();
                 cache.insert(hashes[id], CachedScc { fns });
+                dirty = true;
             }
         }
-        if let Err(e) = cache.save(path) {
-            report.cache_errors.push(e);
+        if dirty {
+            if let Err(e) = cache.save(path) {
+                report.cache_errors.push(e);
+            }
         }
     }
 

@@ -33,6 +33,12 @@ pub enum AllocMode {
     /// Allocation into the innermost active block region: freed to the
     /// free list in one splice when the region exits.
     Block,
+    /// Heap allocation at a site the analysis proves escaping: the cell
+    /// will outlive its creation scope, so the generational runtime
+    /// allocates it directly in the old space (pretenuring) instead of
+    /// wasting a nursery slot and a promotion copy on it. Semantically
+    /// identical to [`AllocMode::Heap`]; a pure placement hint.
+    Pretenured,
 }
 
 impl fmt::Display for AllocMode {
@@ -41,6 +47,7 @@ impl fmt::Display for AllocMode {
             AllocMode::Heap => f.write_str("heap"),
             AllocMode::Stack => f.write_str("stack"),
             AllocMode::Block => f.write_str("block"),
+            AllocMode::Pretenured => f.write_str("pretenure"),
         }
     }
 }

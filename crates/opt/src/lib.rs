@@ -52,6 +52,7 @@ pub mod error;
 pub mod ir;
 pub mod lastuse;
 pub mod pipeline;
+pub mod pretenure;
 pub mod quarantine;
 pub mod resolve;
 pub mod reuse;
@@ -66,6 +67,7 @@ pub use ir::{
 };
 pub use lastuse::{eligible_sites, occurs_under_lambda, select_sites, EligibleSite};
 pub use pipeline::{auto_block, optimize, OptOptions, OptSummary};
+pub use pretenure::annotate_pretenure;
 pub use quarantine::{
     apply_quarantine, body_cons_sites, sabotage_stack, walk_ir_mut, QuarantineSet, SabotagePlan,
 };

@@ -16,6 +16,7 @@
 use crate::auto::{auto_reuse, AutoReuse};
 use crate::block::block_call;
 use crate::ir::{IrExpr, IrProgram};
+use crate::pretenure::annotate_pretenure;
 use crate::stack::annotate_stack;
 use nml_escape::Analysis;
 use nml_syntax::Symbol;
@@ -30,6 +31,9 @@ pub struct OptOptions {
     pub block: bool,
     /// Stack-allocate non-escaping literal arguments (§A.3.1).
     pub stack: bool,
+    /// Mark provably-escaping sites for old-space allocation (see
+    /// [`crate::pretenure`]).
+    pub pretenure: bool,
 }
 
 impl Default for OptOptions {
@@ -38,6 +42,7 @@ impl Default for OptOptions {
             reuse: true,
             block: true,
             stack: true,
+            pretenure: true,
         }
     }
 }
@@ -51,9 +56,12 @@ pub struct OptSummary {
     pub block_calls: usize,
     /// Calls wrapped in stack regions.
     pub stack_calls: usize,
+    /// Cons sites marked for old-space allocation.
+    pub pretenured_sites: usize,
 }
 
-/// Runs the enabled passes in the sound order: reuse → block → stack.
+/// Runs the enabled passes in the sound order: reuse → block → stack →
+/// pretenure (last, so it only upgrades sites no stronger pass claimed).
 ///
 /// Functions whose summaries are worst-case degradations (see
 /// [`nml_escape::Degradation`]) are skipped by every pass: their
@@ -70,6 +78,9 @@ pub fn optimize(ir: &mut IrProgram, analysis: &Analysis, opts: &OptOptions) -> O
     }
     if opts.stack {
         summary.stack_calls = annotate_stack(ir, analysis);
+    }
+    if opts.pretenure {
+        summary.pretenured_sites = annotate_pretenure(ir, analysis);
     }
     summary
 }
@@ -227,6 +238,7 @@ mod tests {
                 reuse: false,
                 block: false,
                 stack: true,
+                pretenure: false,
             },
         );
         assert!(summary.reuse.is_none());

@@ -1,0 +1,270 @@
+//! Escape-informed pretenuring: route provably-escaping allocation
+//! sites straight to the old space.
+//!
+//! The paper's optimizations exploit *non*-escaping cells (stack
+//! allocation, reuse, block reclamation). The same verdicts also
+//! identify the opposite end: a `cons` in **result position** of a
+//! list-returning function is part of the value the call hands back, so
+//! the cell provably outlives the call that built it; likewise a
+//! constructed argument whose parameter verdict says *every* spine
+//! escapes flows wholesale into the callee's result. A generational
+//! runtime wastes work allocating such cells in the nursery — they are
+//! guaranteed survivors, each costing a minor-GC visit and a promotion.
+//! This pass marks them [`AllocMode::Pretenured`] so the heap places
+//! them in the old space directly.
+//!
+//! Pretenuring is purely a placement hint: a wrongly pretenured cell is
+//! reclaimed by the next major collection instead of a minor one, which
+//! costs time but never correctness. The pass is still conservative: it
+//! only consults non-degraded summaries, and it never overrides a
+//! stack/block annotation (those sites were *proven* local — the exact
+//! opposite claim, licensed by the stronger test, and their region free
+//! is cheaper than any GC).
+//!
+//! Runs **after** reuse/block/stack in the pipeline so every site those
+//! passes claimed keeps its fast path; only plain heap sites are
+//! upgraded.
+
+use crate::ir::{AllocMode, IrExpr, IrProgram};
+use crate::stack::map_children;
+use nml_escape::{classify_param, classify_result, Analysis, EscapeClass};
+
+/// Marks provably-escaping `cons` sites in `ir` as
+/// [`AllocMode::Pretenured`]. Returns the number of sites marked.
+pub fn annotate_pretenure(ir: &mut IrProgram, analysis: &Analysis) -> usize {
+    let mut count = 0;
+    let funcs = std::mem::take(&mut ir.funcs);
+    ir.funcs = funcs
+        .into_iter()
+        .map(|mut f| {
+            let escaping_result = f.is_function()
+                && analysis
+                    .summaries
+                    .get(&f.name)
+                    .is_some_and(|s| classify_result(s) == EscapeClass::ProvablyEscaping)
+                && !analysis.is_degraded_sym(f.name);
+            if escaping_result {
+                f.body = mark_result(f.body, analysis, &mut count);
+            } else {
+                // Result cells stay young, but fully-escaping call
+                // arguments inside the body are still worth marking.
+                f.body = mark_calls_only(f.body, analysis, &mut count);
+            }
+            f
+        })
+        .collect();
+    // The program body's result is the program's final value — it
+    // survives until exit by definition.
+    let body = std::mem::replace(&mut ir.body, IrExpr::Const(nml_syntax::Const::Nil));
+    ir.body = mark_result(body, analysis, &mut count);
+    count
+}
+
+/// Marks the constructed parts of a result-position expression: every
+/// heap `cons` here is part of the escaping value.
+fn mark_result(e: IrExpr, analysis: &Analysis, count: &mut usize) -> IrExpr {
+    match e {
+        IrExpr::Cons {
+            alloc,
+            head,
+            tail,
+            site,
+        } => {
+            let alloc = if alloc == AllocMode::Heap {
+                *count += 1;
+                AllocMode::Pretenured
+            } else {
+                alloc
+            };
+            IrExpr::Cons {
+                alloc,
+                head: Box::new(mark_result(*head, analysis, count)),
+                tail: Box::new(mark_result(*tail, analysis, count)),
+                site,
+            }
+        }
+        IrExpr::Dcons {
+            reused,
+            head,
+            tail,
+            site,
+        } => IrExpr::Dcons {
+            reused,
+            head: Box::new(mark_result(*head, analysis, count)),
+            tail: Box::new(mark_result(*tail, analysis, count)),
+            site,
+        },
+        IrExpr::If(c, t, f) => IrExpr::If(
+            Box::new(mark_calls_only(*c, analysis, count)),
+            Box::new(mark_result(*t, analysis, count)),
+            Box::new(mark_result(*f, analysis, count)),
+        ),
+        IrExpr::Letrec(bs, body) => IrExpr::Letrec(
+            bs.into_iter()
+                .map(|(n, e)| (n, mark_calls_only(e, analysis, count)))
+                .collect(),
+            Box::new(mark_result(*body, analysis, count)),
+        ),
+        IrExpr::Region { kind, inner, site } => IrExpr::Region {
+            kind,
+            inner: Box::new(mark_result(*inner, analysis, count)),
+            site,
+        },
+        IrExpr::App(..) => mark_call(e, analysis, count, true),
+        other => mark_calls_only(other, analysis, count),
+    }
+}
+
+/// Walks a non-result expression, applying only the call-argument rule.
+fn mark_calls_only(e: IrExpr, analysis: &Analysis, count: &mut usize) -> IrExpr {
+    if matches!(e, IrExpr::App(..)) {
+        mark_call(e, analysis, count, false)
+    } else {
+        map_children(e, &mut |c| mark_calls_only(c, analysis, count))
+    }
+}
+
+/// At a saturated call of a summarized function, marks constructed
+/// arguments whose parameter verdict says the whole value escapes into
+/// the callee's result: the argument's cells outlive the frame
+/// constructing them regardless of where the call sits. (Partially
+/// escaping arguments are left alone — their retained top spines *do*
+/// die with the frame, and marking site-granular spine prefixes is the
+/// stack pass's job, not ours.)
+fn mark_call(e: IrExpr, analysis: &Analysis, count: &mut usize, _in_result: bool) -> IrExpr {
+    let (head, args) = split_call(e);
+    let recurse = |a: IrExpr, count: &mut usize| mark_calls_only(a, analysis, count);
+    let name = match &head {
+        IrExpr::Var(x) => Some(*x),
+        _ => None,
+    };
+    let summary = name.and_then(|n| {
+        (!analysis.is_degraded_sym(n))
+            .then(|| analysis.summaries.get(&n))
+            .flatten()
+    });
+    let args: Vec<IrExpr> = match summary {
+        Some(s) if s.arity() == args.len() => args
+            .into_iter()
+            .enumerate()
+            .map(|(j, a)| {
+                let fully_escapes = classify_param(s.param(j)) == EscapeClass::ProvablyEscaping;
+                if fully_escapes && matches!(a, IrExpr::Cons { .. }) {
+                    mark_result(a, analysis, count)
+                } else {
+                    recurse(a, count)
+                }
+            })
+            .collect(),
+        _ => args.into_iter().map(|a| recurse(a, count)).collect(),
+    };
+    let head = match head {
+        IrExpr::Var(_) | IrExpr::Const(_) => head,
+        other => recurse(other, count),
+    };
+    rebuild_call(head, args)
+}
+
+fn split_call(e: IrExpr) -> (IrExpr, Vec<IrExpr>) {
+    let mut args = Vec::new();
+    let mut cur = e;
+    while let IrExpr::App(f, a) = cur {
+        args.push(*a);
+        cur = *f;
+    }
+    args.reverse();
+    (cur, args)
+}
+
+fn rebuild_call(head: IrExpr, args: Vec<IrExpr>) -> IrExpr {
+    args.into_iter()
+        .fold(head, |f, a| IrExpr::App(Box::new(f), Box::new(a)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{lower_program, walk_ir};
+    use nml_escape::analyze_source;
+    use nml_syntax::{parse_program, Symbol};
+    use nml_types::infer_program;
+
+    fn prep(src: &str) -> (IrProgram, Analysis) {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let ir = lower_program(&p, &info);
+        let analysis = analyze_source(src).expect("analysis");
+        (ir, analysis)
+    }
+
+    fn pretenured_sites(e: &IrExpr) -> usize {
+        let mut n = 0;
+        walk_ir(e, &mut |x| {
+            if matches!(
+                x,
+                IrExpr::Cons {
+                    alloc: AllocMode::Pretenured,
+                    ..
+                }
+            ) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn list_builder_result_is_pretenured() {
+        let (mut ir, analysis) = prep(
+            "letrec make n = if n = 0 then nil else cons n (make (n - 1))
+             in make 10",
+        );
+        let n = annotate_pretenure(&mut ir, &analysis);
+        assert_eq!(n, 1);
+        let make = ir.func(Symbol::intern("make")).unwrap();
+        assert_eq!(pretenured_sites(&make.body), 1);
+        assert!(make.body.to_string().contains("cons[pretenure]"));
+    }
+
+    #[test]
+    fn consumed_list_is_not_pretenured() {
+        let (mut ir, analysis) = prep(
+            "letrec sum l = if (null l) then 0 else car l + sum (cdr l)
+             in sum (cons 1 (cons 2 nil))",
+        );
+        let n = annotate_pretenure(&mut ir, &analysis);
+        // sum's parameter is provably local and its result is an int:
+        // nothing qualifies.
+        assert_eq!(n, 0);
+        assert_eq!(pretenured_sites(&ir.body), 0);
+    }
+
+    #[test]
+    fn fully_escaping_call_argument_is_pretenured() {
+        // append's second parameter escapes wholly: a literal passed
+        // there flows into the (escaping) result.
+        let (mut ir, analysis) = prep(
+            "letrec append x y = if (null x) then y
+                                 else cons (car x) (append (cdr x) y)
+             in append (cons 1 nil) (cons 2 nil)",
+        );
+        let n = annotate_pretenure(&mut ir, &analysis);
+        assert!(n >= 2, "append body cons + y argument: {n}");
+        let text = ir.body.to_string();
+        assert!(text.contains("(cons[pretenure] 2"), "{text}");
+    }
+
+    #[test]
+    fn stack_annotations_are_never_overridden() {
+        let (mut ir, analysis) = prep(
+            "letrec sum l = if (null l) then 0 else car l + sum (cdr l)
+             in sum (cons 1 (cons 2 nil))",
+        );
+        let stacked = crate::stack::annotate_stack(&mut ir, &analysis);
+        assert_eq!(stacked, 1);
+        annotate_pretenure(&mut ir, &analysis);
+        let text = ir.body.to_string();
+        assert!(text.contains("cons[stack]"), "{text}");
+        assert!(!text.contains("cons[pretenure]"), "{text}");
+    }
+}

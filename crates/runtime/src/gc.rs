@@ -35,9 +35,8 @@ fn note<'p>(cells: &mut Vec<CellRef>, pending: &mut Vec<Value<'p>>, v: &Value<'p
     match v {
         Value::Int(_) | Value::Bool(_) | Value::Nil => {}
         Value::Pair(c) | Value::Tuple(c) => cells.push(*c),
-        Value::Prim { first: None, .. } => {}
-        Value::Func { applied, .. } if applied.is_empty() => {}
-        Value::Closure(_) | Value::Func { .. } | Value::Prim { .. } | Value::VmClosure { .. } => {
+        Value::Prim(_) | Value::Func(_) => {}
+        Value::Closure(_) | Value::PartialFunc(_) | Value::PrimApp(_) | Value::VmClosure(_) => {
             pending.push(v.clone());
         }
     }
@@ -87,6 +86,21 @@ impl<'p> Marker<'p> {
         self.trace_caps(cap);
     }
 
+    /// Seeds a **minor** mark phase with the heap's remembered set: the
+    /// *referents* of each remembered old cell are roots (the old cell
+    /// itself is outside a minor collection's jurisdiction). Dead or
+    /// stale entries are skipped.
+    pub fn root_remset(&mut self, heap: &Heap<'p>) {
+        for &idx in heap.remset_cells() {
+            let Some((car, cdr)) = heap.peek(CellRef(idx)) else {
+                continue;
+            };
+            self.roots += 1;
+            note(&mut self.cells, &mut self.pending, car);
+            note(&mut self.cells, &mut self.pending, cdr);
+        }
+    }
+
     /// Number of roots registered so far (assertable in tests: the root
     /// set is exact, so its size is predictable).
     pub fn roots_seen(&self) -> usize {
@@ -102,13 +116,33 @@ impl<'p> Marker<'p> {
         }
     }
 
-    /// Runs the traversal and returns the mark bitmap.
-    pub fn finish(mut self, heap: &Heap<'p>) -> Vec<bool> {
+    /// Runs the full traversal and returns the mark bitmap (for
+    /// [`Heap::sweep`]).
+    pub fn finish(self, heap: &Heap<'p>) -> Vec<bool> {
+        self.run(heap, false)
+    }
+
+    /// Runs a **minor** traversal: old cells are cut points — they are
+    /// neither marked nor traversed into, because a minor collection
+    /// cannot free them and every live old→young edge is covered by the
+    /// remembered set (seed it with [`Marker::root_remset`]). Region
+    /// cells are traversed like young ones: the region, not this
+    /// collection, frees them, and they may guard young referents. The
+    /// bitmap is only meaningful for nursery cells; pass it to
+    /// [`Heap::sweep_minor`].
+    pub fn finish_minor(self, heap: &Heap<'p>) -> Vec<bool> {
+        self.run(heap, true)
+    }
+
+    fn run(mut self, heap: &Heap<'p>, minor: bool) -> Vec<bool> {
         loop {
             while let Some(c) = self.cells.pop() {
                 let idx = c.0 as usize;
                 if idx >= self.marked.len() || self.marked[idx] {
                     continue;
+                }
+                if minor && heap.is_old_cell(c.0) {
+                    continue; // old generation: a minor never frees it
                 }
                 let Some((car, cdr)) = heap.peek(c) else {
                     continue; // dead cell: not marked, not traversed
@@ -131,15 +165,15 @@ impl<'p> Marker<'p> {
                     clo.env
                         .for_each_value(seen_envs, &mut |x| note(cells, pending, x));
                 }
-                Value::Func { applied, .. } => {
-                    for a in applied.iter() {
+                Value::PartialFunc(p) => {
+                    for a in &p.applied {
                         note(&mut self.cells, &mut self.pending, a);
                     }
                 }
-                Value::Prim { first: Some(f), .. } => {
-                    note(&mut self.cells, &mut self.pending, &f);
+                Value::PrimApp(p) => {
+                    note(&mut self.cells, &mut self.pending, &p.first);
                 }
-                Value::VmClosure { env, .. } => self.trace_caps(&env),
+                Value::VmClosure(c) => self.trace_caps(&c.env),
                 _ => {}
             }
         }
@@ -211,10 +245,10 @@ mod tests {
     fn partial_application_roots() {
         let mut h = Heap::new(HeapConfig::default());
         let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
-        let v = Value::Prim {
+        let v = Value::PrimApp(std::rc::Rc::new(crate::value::PrimApp {
             prim: nml_syntax::Prim::Cons,
-            first: Some(std::rc::Rc::new(Value::Pair(c))),
-        };
+            first: Value::Pair(c),
+        }));
         let marked = mark(&h, [&v], NO_ENVS);
         assert!(marked[c.0 as usize]);
     }
@@ -240,17 +274,59 @@ mod tests {
         });
         let mut m = Marker::new(&h);
         // Two closures sharing one capture env: deduplicated by address.
-        m.root_value(&Value::VmClosure {
+        m.root_value(&Value::VmClosure(Rc::new(crate::value::VmClosure {
             chunk: 0,
             env: cap.clone(),
-        });
-        m.root_value(&Value::VmClosure {
+        })));
+        m.root_value(&Value::VmClosure(Rc::new(crate::value::VmClosure {
             chunk: 1,
             env: cap.clone(),
-        });
+        })));
         assert_eq!(m.roots_seen(), 2);
         let marked = m.finish(&h);
         assert!(marked[c.0 as usize]);
+    }
+
+    #[test]
+    fn minor_mark_stops_at_old_cells() {
+        let mut h = Heap::new(HeapConfig::default());
+        // young ← old ← young chain, rooted at the top young cell.
+        let deep_young = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        let old = h.alloc(Value::Pair(deep_young), Value::Nil, AllocMode::Pretenured);
+        let top_young = h.alloc(Value::Pair(old), Value::Nil, AllocMode::Heap);
+        let root = Value::Pair(top_young);
+        let mut m = Marker::new(&h);
+        m.root_value(&root);
+        let marked = m.finish_minor(&h);
+        assert!(marked[top_young.0 as usize], "young root marked");
+        assert!(!marked[old.0 as usize], "old cell is a cut point");
+        assert!(
+            !marked[deep_young.0 as usize],
+            "not traversed through the old cell — the remset covers it"
+        );
+        // The alloc-time barrier did record the old→young edge, so the
+        // full minor protocol (roots + remset) keeps deep_young alive.
+        let mut m = Marker::new(&h);
+        m.root_value(&root);
+        m.root_remset(&h);
+        let marked = m.finish_minor(&h);
+        assert!(marked[deep_young.0 as usize]);
+    }
+
+    #[test]
+    fn minor_mark_traverses_region_cells() {
+        let mut h = Heap::new(HeapConfig::default());
+        let young = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        let _r = h.push_region(nml_opt::RegionKind::Stack);
+        let region_cell = h.alloc(Value::Pair(young), Value::Nil, AllocMode::Stack);
+        let root = Value::Pair(region_cell);
+        let mut m = Marker::new(&h);
+        m.root_value(&root);
+        let marked = m.finish_minor(&h);
+        assert!(
+            marked[young.0 as usize],
+            "young cell reached through a region cell"
+        );
     }
 
     #[test]

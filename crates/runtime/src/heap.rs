@@ -1,11 +1,57 @@
-//! The instrumented cons heap: free list, stack/block regions, and
-//! provenance tags.
+//! The instrumented cons heap: generational free-list allocator,
+//! stack/block regions, and provenance tags.
 //!
 //! This is the storage substrate the paper's optimizations act on. Every
 //! cell records which (if any) region it was allocated into; regions are
 //! a stack of dynamic extents pushed/popped by the interpreter. The
 //! garbage collector ([`crate::gc`]) reclaims unmarked heap cells;
 //! region cells are reclaimed wholesale at region exit instead.
+//!
+//! # Generations
+//!
+//! The heap is split into a **nursery** (young cells) and an **old
+//! space**. Because a [`CellRef`] is a stable index — shared freely
+//! through immutable `Rc` environments that no collector could rewrite —
+//! generations are *logical*, not physical: a cell's generation is a
+//! flag, promotion flips it, and a cell never moves (a "sticky"
+//! generation scheme). The young generation is the `young` index list:
+//! every non-region, non-pretenured allocation appends itself, and when
+//! the list reaches the configured nursery size a **minor collection**
+//! runs:
+//!
+//! - marking starts from the machine roots *plus the remembered set* and
+//!   never traverses into an old cell (old cells are the cut points;
+//!   region cells are traversed like young ones, since the region — not
+//!   the GC — frees them);
+//! - a surviving young cell is **aged** on its first survival and
+//!   **promoted** (flag flip, no copy) on its second — one round of
+//!   aging, so a working set that happens to be live at one nursery
+//!   snapshot but dies soon after is not flooded into the old space;
+//! - dead young cells go back to the free list having been visited by
+//!   nothing but the young list itself — a minor sweep is O(nursery),
+//!   not O(heap). Aged survivors stay on the young list, and remembered-
+//!   set entries that still reference young cells are retained.
+//!
+//! The **remembered set** records cells a minor mark phase would not
+//! otherwise traverse — old cells and region cells — that may reference
+//! young ones. Three barriers keep it complete: an allocation-time
+//! check (a pretenured cell born holding young references), the write
+//! barrier in the one mutation door ([`Heap::set`], the `DCONS` write,
+//! firing for old *and* region targets), and a promotion-time check in
+//! [`Heap::sweep_minor`] (a promoted cell may still hold a young cell a
+//! `DCONS` installed while both were young). After each minor, entries
+//! that still guard a possibly-young referent are retained; the rest
+//! are dropped.
+//!
+//! **Pretenuring**: sites the escape analysis proves escaping allocate
+//! with [`AllocMode::Pretenured`] and are placed directly in the old
+//! space — they are guaranteed minor-GC survivors, so the nursery slot
+//! and the promotion visit would be pure waste.
+//!
+//! A **major collection** is the pre-generational full mark–sweep
+//! (triggered by the live threshold, fault-plan capacity pressure, or a
+//! forced-GC fault): it frees unmarked cells of either generation and
+//! rebuilds the young list and remembered set.
 
 use crate::checked::{AccessKind, ClaimKind, RegionNote, Tombstone};
 use crate::error::RuntimeError;
@@ -43,18 +89,61 @@ pub struct ProvTag {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionId(pub u64);
 
+/// Which collection to run (see [`Heap::collect_kind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcKind {
+    /// Scan the nursery only, promote survivors.
+    Minor,
+    /// Full mark–sweep over both generations.
+    Major,
+}
+
+/// Cell flag: the cell is allocated (not on the free list / tombstoned).
+const F_LIVE: u8 = 1;
+/// Cell flag: the cell belongs to the old generation.
+const F_OLD: u8 = 1 << 1;
+/// Cell flag: the cell is already in the remembered set.
+const F_REMSET: u8 = 1 << 2;
+/// Cell flag: the cell has survived one minor collection. A second
+/// survival promotes it — one round of aging keeps a medium-lived
+/// working set (live at a nursery snapshot, dead shortly after) from
+/// flooding the old generation with cells only a major can reclaim.
+const F_AGE: u8 = 1 << 3;
+
+/// Sentinel for "no region" in [`Cell::region`].
+const NO_REGION: u64 = u64::MAX;
+/// Sentinel for "no claim site" in [`Cell::claim_site`].
+const NO_SITE: u32 = u32::MAX;
+
+/// One cons cell, packed to 48 bytes (pinned by test): two 16-byte
+/// compact [`Value`]s plus sentinel-encoded region/claim words and a
+/// flag byte — `Option` wrappers on the metadata would push the struct
+/// past the next alignment step and fatten every heap by a third.
 #[derive(Debug)]
 struct Cell<'p> {
     car: Value<'p>,
     cdr: Value<'p>,
-    tag: Option<ProvTag>,
-    live: bool,
-    /// Generation id of the region the cell was allocated into.
-    region: Option<u64>,
+    /// Generation id of the region the cell was allocated into
+    /// ([`NO_REGION`] for ordinary heap cells).
+    region: u64,
     /// Checked mode: the site whose escape claim licensed this cell's
-    /// optimized placement (`None` for plain heap cells or unchecked
-    /// runs).
-    claim_site: Option<SiteId>,
+    /// optimized placement ([`NO_SITE`] for plain heap cells or
+    /// unchecked runs).
+    claim_site: u32,
+    tag: Option<ProvTag>,
+    flags: u8,
+}
+
+impl Cell<'_> {
+    #[inline]
+    fn live(&self) -> bool {
+        self.flags & F_LIVE != 0
+    }
+
+    #[inline]
+    fn old(&self) -> bool {
+        self.flags & F_OLD != 0
+    }
 }
 
 #[derive(Debug)]
@@ -77,6 +166,14 @@ pub struct HeapConfig {
     /// them, and any access to a tombstone is a structured
     /// [`RuntimeError::Soundness`] naming the site that made the claim.
     pub checked: bool,
+    /// Generational collection: allocate into a nursery, run minor
+    /// collections that scan only young cells, promote survivors. When
+    /// off, every allocation is old and only full collections run (the
+    /// pre-generational behavior).
+    pub gen_gc: bool,
+    /// Nursery size in KiB (converted to a cell count); a minor
+    /// collection runs when the nursery fills.
+    pub nursery_kb: usize,
 }
 
 impl Default for HeapConfig {
@@ -85,7 +182,17 @@ impl Default for HeapConfig {
             gc_threshold: 4096,
             gc_enabled: true,
             checked: false,
+            gen_gc: true,
+            nursery_kb: 256,
         }
+    }
+}
+
+impl HeapConfig {
+    /// The nursery size in cells implied by [`HeapConfig::nursery_kb`]
+    /// (at least 8, so pathological configurations still make progress).
+    pub fn nursery_cells(&self) -> usize {
+        (self.nursery_kb * 1024 / std::mem::size_of::<Cell<'_>>()).max(8)
     }
 }
 
@@ -114,12 +221,26 @@ pub struct Heap<'p> {
     /// cell index. Tombstoned indices never return to the free list, so
     /// a key here stays valid for the life of the heap.
     tombstones: HashMap<u32, Tombstone>,
+    /// Indices of nursery cells, in allocation order. Emptied by every
+    /// collection (minor: promote-or-free; major: rebuilt from
+    /// survivors).
+    young: Vec<u32>,
+    /// Old cells that may hold a reference to a young cell (see the
+    /// module docs). May contain stale indices of since-freed cells;
+    /// consumers skip dead entries.
+    remset: Vec<u32>,
+    /// Nursery capacity in cells (derived from the config).
+    nursery_cells: usize,
+    /// Live old-generation cells (pretenured + promoted), for
+    /// observability and tests.
+    old_live: u64,
 }
 
 impl<'p> Heap<'p> {
     /// Creates an empty heap.
     pub fn new(config: HeapConfig) -> Self {
         let threshold = config.gc_threshold;
+        let nursery_cells = config.nursery_cells();
         Heap {
             cells: Vec::new(),
             free: Vec::new(),
@@ -133,7 +254,35 @@ impl<'p> Heap<'p> {
             site_reuses: Vec::new(),
             fault: FaultPlan::default(),
             tombstones: HashMap::new(),
+            // Pre-size the nursery index list (bounded for pathological
+            // configurations) so steady-state allocation never grows it.
+            young: Vec::with_capacity(nursery_cells.min(1 << 16)),
+            remset: Vec::new(),
+            nursery_cells,
+            old_live: 0,
         }
+    }
+
+    /// Whether generational collection is on.
+    #[inline]
+    fn gen_on(&self) -> bool {
+        self.config.gen_gc
+    }
+
+    /// Number of cells currently in the nursery.
+    pub fn young_len(&self) -> usize {
+        self.young.len()
+    }
+
+    /// Number of live old-generation cells (pretenured + promoted).
+    pub fn old_live(&self) -> u64 {
+        self.old_live
+    }
+
+    /// Size of the remembered set (old cells registered as possibly
+    /// referencing young ones).
+    pub fn remset_len(&self) -> usize {
+        self.remset.len()
     }
 
     /// Installs a fault-injection schedule.
@@ -152,12 +301,16 @@ impl<'p> Heap<'p> {
     }
 
     /// Whether the interpreter should run a GC before the next heap
-    /// allocation — because the threshold was crossed, or because the
-    /// fault plan's heap capacity is under pressure (capacity pressure
-    /// ignores the free list: free cells do not reduce the live count).
+    /// allocation — because the nursery filled, the live threshold was
+    /// crossed, or the fault plan's heap capacity is under pressure
+    /// (capacity pressure ignores the free list: free cells do not
+    /// reduce the live count).
     pub fn should_collect(&self) -> bool {
         if !self.config.gc_enabled {
             return false;
+        }
+        if self.gen_on() && self.young.len() >= self.nursery_cells {
+            return true;
         }
         if self.live as usize >= self.threshold && self.free.is_empty() {
             return true;
@@ -165,6 +318,29 @@ impl<'p> Heap<'p> {
         self.fault
             .heap_capacity()
             .is_some_and(|cap| self.live >= cap)
+    }
+
+    /// Which collection the next GC should be. Minor collections only
+    /// help when there are young cells to scan, so an empty nursery (or
+    /// generations off) demands a full collection, as does fault-plan
+    /// capacity pressure (capacity ignores the free list, which is all
+    /// a minor can refill). Ordinary threshold pressure stays minor:
+    /// most young cells are usually dead, and the engines escalate to a
+    /// major in the same poll when a minor fails to relieve pressure —
+    /// so a mostly-live nursery (e.g. one big list under construction)
+    /// still reaches the threshold-doubling major instead of thrashing.
+    pub fn collect_kind(&self) -> GcKind {
+        if !self.gen_on() || self.young.is_empty() {
+            return GcKind::Major;
+        }
+        if self
+            .fault
+            .heap_capacity()
+            .is_some_and(|cap| self.live >= cap)
+        {
+            return GcKind::Major;
+        }
+        GcKind::Minor
     }
 
     /// Consumes a fault-forced GC request, if one is pending.
@@ -223,12 +399,16 @@ impl<'p> Heap<'p> {
         site: Option<SiteId>,
     ) -> Result<CellRef, RuntimeError> {
         self.fault.note_alloc();
-        let mode = if mode != AllocMode::Heap && self.fault.retreat_alloc() {
-            self.stats.fault_alloc_retreats += 1;
-            AllocMode::Heap
-        } else {
-            mode
-        };
+        // Only region modes retreat: a retreat models a *region* refusing
+        // an allocation, and pretenuring is a placement hint with no
+        // region to refuse.
+        let mode =
+            if matches!(mode, AllocMode::Stack | AllocMode::Block) && self.fault.retreat_alloc() {
+                self.stats.fault_alloc_retreats += 1;
+                AllocMode::Heap
+            } else {
+                mode
+            };
         if let Some(cap) = self.fault.heap_capacity() {
             if self.live >= cap {
                 return Err(RuntimeError::OutOfMemory {
@@ -269,7 +449,7 @@ impl<'p> Heap<'p> {
             bump_site(&mut self.site_allocs, site);
         }
         let wanted = match mode {
-            AllocMode::Heap => None,
+            AllocMode::Heap | AllocMode::Pretenured => None,
             AllocMode::Stack => Some(RegionKind::Stack),
             AllocMode::Block => Some(RegionKind::Block),
         };
@@ -282,6 +462,10 @@ impl<'p> Heap<'p> {
         });
         match (mode, region_idx.is_some()) {
             (AllocMode::Heap, _) => self.stats.heap_allocs += 1,
+            (AllocMode::Pretenured, _) => {
+                self.stats.heap_allocs += 1;
+                self.stats.pretenured += 1;
+            }
             (AllocMode::Stack, true) => self.stats.stack_allocs += 1,
             (AllocMode::Block, true) => self.stats.block_allocs += 1,
             (_, false) => self.stats.heap_allocs += 1,
@@ -294,13 +478,33 @@ impl<'p> Heap<'p> {
         } else {
             None
         };
+        // Generation routing. Region cells are *neither* generation —
+        // the region, not the GC, frees them. Everything else is old
+        // when generations are off (the legacy heap), when the site is
+        // pretenured, or when the nursery is full and no collection has
+        // run (GC disabled, or harness allocations between polls).
+        let gen = self.gen_on();
+        let old = if region_gen.is_some() {
+            false
+        } else if !gen || mode == AllocMode::Pretenured {
+            true
+        } else if self.young.len() >= self.nursery_cells {
+            self.stats.nursery_fallbacks += 1;
+            true
+        } else {
+            false
+        };
+        let mut flags = F_LIVE;
+        if old {
+            flags |= F_OLD;
+        }
         let cell = Cell {
             car,
             cdr,
             tag: None,
-            live: true,
-            region: region_gen,
-            claim_site,
+            region: region_gen.unwrap_or(NO_REGION),
+            claim_site: claim_site.map_or(NO_SITE, |s| s.0),
+            flags,
         };
         let idx = if let Some(i) = self.free.pop() {
             self.stats.freelist_reuses += 1;
@@ -313,9 +517,52 @@ impl<'p> Heap<'p> {
         if let Some(r) = region_idx {
             self.regions[r].cells.push(idx);
         }
+        if old {
+            self.old_live += 1;
+            if gen {
+                // Allocation-time barrier: an old cell born holding a
+                // young reference is an old→young edge the next minor
+                // must know about.
+                let refs_young = {
+                    let c = &self.cells[idx as usize];
+                    self.may_ref_young(&c.car) || self.may_ref_young(&c.cdr)
+                };
+                if refs_young {
+                    self.remember(idx);
+                }
+            }
+        } else if region_gen.is_none() {
+            self.young.push(idx);
+        }
         self.live += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.live);
         CellRef(idx)
+    }
+
+    /// Conservative test: can `v` lead to a non-old cell? Direct cell
+    /// references check the target's generation; closure-shaped values
+    /// drag whole environments, and scanning those at every write would
+    /// cost more than a (harmless) remembered-set entry.
+    fn may_ref_young(&self, v: &Value<'p>) -> bool {
+        match v {
+            Value::Int(_) | Value::Bool(_) | Value::Nil | Value::Prim(_) | Value::Func(_) => false,
+            Value::Pair(c) | Value::Tuple(c) => {
+                self.cells.get(c.0 as usize).is_some_and(|cell| !cell.old())
+            }
+            Value::Closure(_) | Value::PartialFunc(_) | Value::PrimApp(_) | Value::VmClosure(_) => {
+                true
+            }
+        }
+    }
+
+    /// Adds an old cell to the remembered set (idempotent via the
+    /// [`F_REMSET`] flag).
+    fn remember(&mut self, idx: u32) {
+        let cell = &mut self.cells[idx as usize];
+        if cell.flags & F_REMSET == 0 {
+            cell.flags |= F_REMSET;
+            self.remset.push(idx);
+        }
     }
 
     fn cell_at(&self, r: CellRef, access: AccessKind) -> Result<&Cell<'p>, RuntimeError> {
@@ -330,7 +577,7 @@ impl<'p> Heap<'p> {
             .cells
             .get(r.0 as usize)
             .ok_or(RuntimeError::UseAfterFree { cell: r.0 })?;
-        if !c.live {
+        if !c.live() {
             return Err(RuntimeError::UseAfterFree { cell: r.0 });
         }
         Ok(c)
@@ -367,12 +614,30 @@ impl<'p> Heap<'p> {
         Ok(self.cell_at(r, AccessKind::Cdr)?.cdr.clone())
     }
 
-    /// Overwrites a cell in place (`DCONS`).
+    /// Overwrites a cell in place (`DCONS`). This is the heap's only
+    /// mutation door, so it carries the generational **write barrier**:
+    /// storing a possibly-young reference into an old cell records the
+    /// cell in the remembered set.
     pub fn set(&mut self, r: CellRef, car: Value<'p>, cdr: Value<'p>) -> Result<(), RuntimeError> {
         self.cell_at(r, AccessKind::Set)?; // liveness check
+                                           // The barrier fires for any cell a minor mark phase will not
+                                           // traverse unconditionally: old cells (cut points) *and* region
+                                           // cells (only reached through whatever references them — which
+                                           // may be an old cut point). Without the region case, an
+                                           // old→region→young chain built by DCONS would hide the young
+                                           // cell from the next minor.
+        let barrier = self.gen_on()
+            && {
+                let c = &self.cells[r.0 as usize];
+                (c.old() || c.region != NO_REGION) && c.flags & F_REMSET == 0
+            }
+            && (self.may_ref_young(&car) || self.may_ref_young(&cdr));
         let c = &mut self.cells[r.0 as usize];
         c.car = car;
         c.cdr = cdr;
+        if barrier {
+            self.remember(r.0);
+        }
         Ok(())
     }
 
@@ -445,15 +710,16 @@ impl<'p> Heap<'p> {
         };
         for idx in region.cells {
             let cell = &mut self.cells[idx as usize];
-            if !cell.live {
+            if !cell.live() {
                 continue;
             }
-            cell.live = false;
-            cell.region = None;
+            cell.flags &= !F_LIVE;
+            cell.region = NO_REGION;
             self.live -= 1;
             if self.config.checked {
                 // Quarantine: drop the payload, remember the claim.
-                let site = cell.claim_site.take();
+                let site = (cell.claim_site != NO_SITE).then_some(SiteId(cell.claim_site));
+                cell.claim_site = NO_SITE;
                 cell.car = Value::Nil;
                 cell.cdr = Value::Nil;
                 cell.tag = None;
@@ -502,13 +768,17 @@ impl<'p> Heap<'p> {
             })
             .collect();
         let cell = &mut self.cells[r.0 as usize];
-        cell.live = false;
-        cell.region = None;
-        cell.claim_site = None;
+        let was_old = cell.old();
+        cell.flags &= !F_LIVE;
+        cell.region = NO_REGION;
+        cell.claim_site = NO_SITE;
         cell.car = Value::Nil;
         cell.cdr = Value::Nil;
         cell.tag = None;
         self.live -= 1;
+        if was_old {
+            self.old_live -= 1;
+        }
         self.tombstones.insert(
             r.0,
             Tombstone {
@@ -546,16 +816,23 @@ impl<'p> Heap<'p> {
         !self.regions.is_empty()
     }
 
-    /// Sweeps every unmarked, region-free heap cell onto the free list.
-    /// `marked[i]` must be the result of a full mark phase over all roots.
-    /// Region cells are skipped: they are reclaimed at region exit.
+    /// Major collection sweep: frees every unmarked, region-free cell of
+    /// either generation. `marked[i]` must be the result of a full mark
+    /// phase over all roots. Region cells are skipped: they are
+    /// reclaimed at region exit. Surviving young cells are promoted —
+    /// they lived through a full collection — leaving the nursery empty
+    /// and the remembered set clearable wholesale.
     pub fn sweep(&mut self, marked: &[bool]) {
         self.stats.gc_runs += 1;
+        self.stats.major_gcs += 1;
         self.stats.gc_marked += marked.iter().filter(|&&m| m).count() as u64;
         self.stats.gc_sweep_visits += self.cells.len() as u64;
         for (i, cell) in self.cells.iter_mut().enumerate() {
-            if cell.live && cell.region.is_none() && !marked[i] {
-                cell.live = false;
+            if cell.live() && cell.region == NO_REGION && !marked[i] {
+                if cell.old() {
+                    self.old_live -= 1;
+                }
+                cell.flags &= !F_LIVE;
                 // Drop payload now so Rc-closures release promptly.
                 cell.car = Value::Nil;
                 cell.cdr = Value::Nil;
@@ -565,10 +842,115 @@ impl<'p> Heap<'p> {
                 self.stats.gc_swept += 1;
             }
         }
+        let young = std::mem::take(&mut self.young);
+        for idx in young {
+            let cell = &mut self.cells[idx as usize];
+            if cell.live() && !cell.old() {
+                cell.flags = (cell.flags & !F_AGE) | F_OLD;
+                self.old_live += 1;
+                self.stats.promoted += 1;
+            }
+        }
+        self.clear_remset();
         // If the heap is still mostly live, raise the threshold so we do
         // not thrash.
         if self.live as usize * 2 > self.threshold {
             self.threshold *= 2;
+        }
+    }
+
+    /// Minor collection sweep: visits *only* the nursery. `marked` must
+    /// come from a minor mark phase (roots + remembered set, old cells
+    /// as cut points). A marked young cell is aged in place on its first
+    /// survival and promoted — a flag flip, cells never move — on its
+    /// second. Because aged survivors stay young, old→young edges can
+    /// outlive the collection: the remembered set is filtered, not
+    /// cleared, and freshly promoted cells that still hold young
+    /// references (a DCONS can install a *newer* cell into an older one)
+    /// are added to it.
+    pub fn sweep_minor(&mut self, marked: &[bool]) {
+        self.stats.gc_runs += 1;
+        self.stats.minor_gcs += 1;
+        self.stats.gc_marked += marked.iter().filter(|&&m| m).count() as u64;
+        self.stats.gc_sweep_visits += self.young.len() as u64;
+        // In-place survivor compaction: the young list keeps its
+        // capacity across minors (a fresh Vec per collection would
+        // reallocate up to nursery size every cycle).
+        let mut promoted: Vec<u32> = Vec::new();
+        let mut w = 0;
+        for r in 0..self.young.len() {
+            let idx = self.young[r];
+            let cell = &mut self.cells[idx as usize];
+            if !cell.live() {
+                // Tombstoned (checked-mode retirement) under us:
+                // quarantined indices never rejoin the free list.
+                continue;
+            }
+            if marked[idx as usize] {
+                if cell.flags & F_AGE != 0 {
+                    cell.flags = (cell.flags & !F_AGE) | F_OLD;
+                    self.old_live += 1;
+                    self.stats.promoted += 1;
+                    promoted.push(idx);
+                } else {
+                    cell.flags |= F_AGE;
+                    self.young[w] = idx;
+                    w += 1;
+                }
+            } else {
+                cell.flags &= !F_LIVE;
+                cell.car = Value::Nil;
+                cell.cdr = Value::Nil;
+                cell.tag = None;
+                self.free.push(idx);
+                self.live -= 1;
+                self.stats.gc_swept += 1;
+            }
+        }
+        self.young.truncate(w);
+        // Promotion-time barrier: a cell crossing into the old
+        // generation may still reference young (aged) cells — an edge
+        // that was young→young when written and is old→young now. The
+        // check runs after the whole pass so every referent's final
+        // generation is settled.
+        for idx in promoted {
+            let refs_young = {
+                let cell = &self.cells[idx as usize];
+                self.may_ref_young(&cell.car) || self.may_ref_young(&cell.cdr)
+            };
+            if refs_young {
+                self.remember(idx);
+            }
+        }
+        // Aged survivors are still young, so an old→young edge can
+        // outlive the collection: retain exactly the remembered cells
+        // that still reference young ones (same in-place compaction).
+        let mut w = 0;
+        for r in 0..self.remset.len() {
+            let idx = self.remset[r];
+            let keep = {
+                let cell = &self.cells[idx as usize];
+                cell.live() && (self.may_ref_young(&cell.car) || self.may_ref_young(&cell.cdr))
+            };
+            if keep {
+                self.remset[w] = idx;
+                w += 1;
+            } else {
+                self.cells[idx as usize].flags &= !F_REMSET;
+            }
+        }
+        self.remset.truncate(w);
+    }
+
+    /// Drops every remembered-set entry and its flag. Sound only when
+    /// the nursery is empty — a major sweep guarantees it on exit by
+    /// promoting every young survivor.
+    fn clear_remset(&mut self) {
+        let remset = std::mem::take(&mut self.remset);
+        for idx in remset {
+            if let Some(cell) = self.cells.get_mut(idx as usize) {
+                cell.flags &= !F_REMSET;
+            }
         }
     }
 
@@ -581,7 +963,16 @@ impl<'p> Heap<'p> {
     pub fn is_live(&self, r: CellRef) -> bool {
         self.cells
             .get(r.0 as usize)
-            .map(|c| c.live)
+            .map(|c| c.live())
+            .unwrap_or(false)
+    }
+
+    /// Whether the cell belongs to the old generation (pretenured or
+    /// promoted). Region cells and nursery cells are not old.
+    pub fn is_old(&self, r: CellRef) -> bool {
+        self.cells
+            .get(r.0 as usize)
+            .map(|c| c.live() && c.old())
             .unwrap_or(false)
     }
 
@@ -591,10 +982,24 @@ impl<'p> Heap<'p> {
     /// cells.
     pub(crate) fn peek(&self, r: CellRef) -> Option<(&Value<'p>, &Value<'p>)> {
         let c = self.cells.get(r.0 as usize)?;
-        if !c.live {
+        if !c.live() {
             return None;
         }
         Some((&c.car, &c.cdr))
+    }
+
+    /// The remembered set, for seeding a minor mark phase. May contain
+    /// indices of since-freed cells; [`Heap::peek`] skips those.
+    pub(crate) fn remset_cells(&self) -> &[u32] {
+        &self.remset
+    }
+
+    /// Whether the index names a live old-generation cell (minor-mark
+    /// cut-point test).
+    pub(crate) fn is_old_cell(&self, idx: u32) -> bool {
+        self.cells
+            .get(idx as usize)
+            .is_some_and(|c| c.live() && c.old())
     }
 }
 
@@ -826,6 +1231,250 @@ mod tests {
         assert_eq!(h.tag(c).unwrap(), None);
         h.set_tag(c, ProvTag { arg: 0, level: 1 }).unwrap();
         assert_eq!(h.tag(c).unwrap(), Some(ProvTag { arg: 0, level: 1 }));
+    }
+
+    #[test]
+    fn cell_stays_packed() {
+        // Two compact Values + metadata. Growing this fattens every heap
+        // in every benchmark — treat a failure as a design regression.
+        assert!(
+            std::mem::size_of::<Cell<'_>>() <= 48,
+            "Cell grew to {} bytes",
+            std::mem::size_of::<Cell<'_>>()
+        );
+    }
+
+    #[test]
+    fn pretenured_alloc_goes_straight_to_old_space() {
+        let mut h = heap();
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Pretenured);
+        assert!(h.is_old(c));
+        assert_eq!(h.young_len(), 0);
+        assert_eq!(h.old_live(), 1);
+        assert_eq!(h.stats.pretenured, 1);
+        assert_eq!(h.stats.heap_allocs, 1, "pretenured is still a heap alloc");
+    }
+
+    #[test]
+    fn plain_heap_alloc_is_young_until_promoted() {
+        let mut h = heap();
+        let keep = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        let drop_ = h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        assert_eq!(h.young_len(), 2);
+        assert!(!h.is_old(keep));
+        let mut marked = vec![false; h.capacity()];
+        marked[keep.0 as usize] = true;
+        h.sweep_minor(&marked);
+        assert_eq!(h.young_len(), 1, "first survival ages, stays young");
+        assert!(!h.is_old(keep), "one survival is not enough to promote");
+        assert!(!h.is_live(drop_), "unmarked young cell freed");
+        assert_eq!(h.stats.minor_gcs, 1);
+        assert_eq!(h.stats.gc_swept, 1);
+        let mut marked = vec![false; h.capacity()];
+        marked[keep.0 as usize] = true;
+        h.sweep_minor(&marked);
+        assert_eq!(h.young_len(), 0, "nursery empty after the second minor");
+        assert!(h.is_old(keep), "second survival promotes");
+        assert_eq!(h.stats.promoted, 1);
+        assert_eq!(h.old_live(), 1);
+    }
+
+    #[test]
+    fn gen_off_allocates_old_directly() {
+        let mut h: Heap<'_> = Heap::new(HeapConfig {
+            gen_gc: false,
+            ..HeapConfig::default()
+        });
+        let c = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        assert!(h.is_old(c));
+        assert_eq!(h.young_len(), 0);
+        assert_eq!(h.remset_len(), 0, "no barrier bookkeeping when gen off");
+    }
+
+    #[test]
+    fn full_nursery_falls_back_to_old_space() {
+        // nursery_kb: 0 clamps to the 8-cell minimum; with GC disabled
+        // no minor ever drains it, so the 9th allocation must go old.
+        let mut h: Heap<'_> = Heap::new(HeapConfig {
+            gc_enabled: false,
+            nursery_kb: 0,
+            ..HeapConfig::default()
+        });
+        for i in 0..9 {
+            h.alloc(Value::Int(i), Value::Nil, AllocMode::Heap);
+        }
+        assert_eq!(h.young_len(), 8);
+        assert_eq!(h.stats.nursery_fallbacks, 1);
+        assert_eq!(h.old_live(), 1);
+    }
+
+    #[test]
+    fn dcons_write_barrier_remembers_old_to_young_edge() {
+        let mut h = heap();
+        let old = h.alloc(Value::Int(1), Value::Nil, AllocMode::Pretenured);
+        let young = h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        assert_eq!(h.remset_len(), 0);
+        h.set(old, Value::Pair(young), Value::Nil).unwrap();
+        assert_eq!(h.remset_len(), 1);
+        // Idempotent: a second young store adds no duplicate entry.
+        h.set(old, Value::Pair(young), Value::Pair(young)).unwrap();
+        assert_eq!(h.remset_len(), 1);
+        // Old→old stores never enter the remset.
+        let old2 = h.alloc(Value::Int(3), Value::Nil, AllocMode::Pretenured);
+        h.set(old2, Value::Pair(old), Value::Nil).unwrap();
+        assert_eq!(h.remset_len(), 1);
+    }
+
+    #[test]
+    fn alloc_time_barrier_covers_pretenured_payloads() {
+        let mut h = heap();
+        let young = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        h.alloc(Value::Pair(young), Value::Nil, AllocMode::Pretenured);
+        assert_eq!(h.remset_len(), 1, "old cell born pointing at nursery");
+    }
+
+    #[test]
+    fn remset_keeps_young_referent_alive_then_clears() {
+        let mut h = heap();
+        let young = h.alloc(Value::Int(7), Value::Nil, AllocMode::Heap);
+        let old = h.alloc(Value::Pair(young), Value::Nil, AllocMode::Pretenured);
+        // Minor with *no* machine roots: the remset alone must save the
+        // young cell (it is reachable from the old one).
+        let mut marker = crate::gc::Marker::new(&h);
+        marker.root_remset(&h);
+        let marked = marker.finish_minor(&h);
+        h.sweep_minor(&marked);
+        assert!(h.is_live(young), "remset-protected cell survived");
+        assert!(!h.is_old(young), "aged, not yet promoted");
+        assert!(h.is_live(old));
+        assert_eq!(
+            h.remset_len(),
+            1,
+            "old→young edge outlives the minor, so the entry is retained"
+        );
+        // Second minor: the referent promotes, the edge becomes
+        // old→old, and the remembered set finally drains.
+        let mut marker = crate::gc::Marker::new(&h);
+        marker.root_remset(&h);
+        let marked = marker.finish_minor(&h);
+        h.sweep_minor(&marked);
+        assert!(h.is_old(young), "second survival promotes");
+        assert_eq!(h.remset_len(), 0, "remset cleared once the edge is old→old");
+    }
+
+    /// Regression: a DCONS can store a *newer* young cell into an older
+    /// one; when the older cell promotes (second survival), the edge
+    /// silently becomes old→young. Promotion must register it in the
+    /// remembered set, or the next minor frees the referent while live.
+    #[test]
+    fn promotion_remembers_surviving_young_referents() {
+        let mut h = heap();
+        let elder = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        let root = Value::Pair(elder);
+        // First minor: elder survives and ages.
+        let mut m = crate::gc::Marker::new(&h);
+        m.root_value(&root);
+        let marked = m.finish_minor(&h);
+        h.sweep_minor(&marked);
+        assert!(!h.is_old(elder));
+        // The aged cell is mutated to hold a brand-new young cell —
+        // young→young, so no write barrier fires.
+        let newborn = h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        h.set(elder, Value::Pair(newborn), Value::Nil).unwrap();
+        assert_eq!(h.remset_len(), 0);
+        // Second minor: elder promotes while newborn merely ages. The
+        // promotion-time barrier must record the now old→young edge.
+        let mut m = crate::gc::Marker::new(&h);
+        m.root_value(&root);
+        let marked = m.finish_minor(&h);
+        h.sweep_minor(&marked);
+        assert!(h.is_old(elder), "second survival promotes");
+        assert!(!h.is_old(newborn), "first survival only ages");
+        assert_eq!(h.remset_len(), 1, "promotion registered the edge");
+        // Third minor with no machine roots: the remset alone keeps the
+        // newborn alive (reachable only through the promoted cut point).
+        let mut m = crate::gc::Marker::new(&h);
+        m.root_remset(&h);
+        let marked = m.finish_minor(&h);
+        h.sweep_minor(&marked);
+        assert!(h.is_live(newborn), "referent survived behind the cut point");
+        assert!(h.is_old(newborn), "and promoted on its second survival");
+        assert_eq!(h.remset_len(), 0, "edge is old→old now; entry dropped");
+    }
+
+    /// Regression: storing a young reference into a *region* cell must
+    /// also fire the barrier — minors never traverse past old cut
+    /// points, so an old→region→young chain is only visible if the
+    /// region cell enters the remembered set.
+    #[test]
+    fn dcons_write_barrier_covers_region_cells() {
+        let mut h = heap();
+        let rid = h.push_region(RegionKind::Stack);
+        let in_region = h.alloc(Value::Int(1), Value::Nil, AllocMode::Stack);
+        let young = h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        assert_eq!(h.remset_len(), 0);
+        h.set(in_region, Value::Pair(young), Value::Nil).unwrap();
+        assert_eq!(h.remset_len(), 1, "region cell remembered");
+        // A minor rooted only in the remset must keep the young cell.
+        let mut m = crate::gc::Marker::new(&h);
+        m.root_remset(&h);
+        let marked = m.finish_minor(&h);
+        h.sweep_minor(&marked);
+        assert!(
+            h.is_live(young),
+            "young cell reached through the region cell"
+        );
+        h.pop_region(rid).unwrap();
+    }
+
+    #[test]
+    fn major_sweep_promotes_survivors_and_rebuilds() {
+        let mut h = heap();
+        let keep = h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        h.alloc(Value::Int(2), Value::Nil, AllocMode::Heap);
+        let mut marked = vec![false; h.capacity()];
+        marked[keep.0 as usize] = true;
+        h.sweep(&marked);
+        assert_eq!(h.stats.major_gcs, 1);
+        assert_eq!(h.young_len(), 0);
+        assert!(h.is_old(keep), "young survivor of a major is promoted");
+        assert_eq!(h.old_live(), 1);
+        assert_eq!(h.live(), 1);
+    }
+
+    #[test]
+    fn collect_kind_prefers_minor_with_young_cells() {
+        let mut h = heap();
+        assert_eq!(h.collect_kind(), GcKind::Major, "empty nursery → major");
+        h.alloc(Value::Int(1), Value::Nil, AllocMode::Heap);
+        assert_eq!(h.collect_kind(), GcKind::Minor);
+        let off: Heap<'_> = Heap::new(HeapConfig {
+            gen_gc: false,
+            ..HeapConfig::default()
+        });
+        assert_eq!(off.collect_kind(), GcKind::Major);
+    }
+
+    #[test]
+    fn claim_site_survives_promotion() {
+        // Checked mode: a cell's claim metadata must be unaffected by the
+        // generation flip (promotion moves nothing).
+        let mut h = checked_heap();
+        let r = h.push_region(RegionKind::Stack);
+        let c = h
+            .alloc_at(Value::Int(1), Value::Nil, AllocMode::Stack, Some(SiteId(5)))
+            .unwrap();
+        // Region cells are neither young nor old; promotion machinery
+        // must leave them for the region to free.
+        let marked = vec![false; h.capacity()];
+        h.sweep(&marked);
+        assert!(h.is_live(c), "region cell untouched by major");
+        h.pop_region(r).unwrap();
+        let err = h.car(c).unwrap_err();
+        let RuntimeError::Soundness(v) = err else {
+            panic!("expected soundness violation, got {err:?}");
+        };
+        assert_eq!(v.site, Some(SiteId(5)), "claim survived the collection");
     }
 
     #[test]

@@ -10,9 +10,9 @@
 use crate::error::RuntimeError;
 use crate::fault::FaultPlan;
 use crate::gc::Marker;
-use crate::heap::{CellRef, Heap, HeapConfig, RegionId};
-use crate::value::{Closure, Env, Value};
-use nml_opt::{AllocMode, IrExpr, IrProgram, SiteId};
+use crate::heap::{CellRef, GcKind, Heap, HeapConfig, RegionId};
+use crate::value::{Closure, Env, PartialApp, PrimApp, Value};
+use nml_opt::{AllocMode, IrExpr, IrFunc, IrProgram, SiteId};
 use nml_syntax::{Const, Prim, Symbol};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -179,13 +179,7 @@ impl<'p> Interp<'p> {
         let mut seen: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
         for f in &program.funcs {
             if seen.insert(f.name) && f.is_function() {
-                interp.globals.insert(
-                    f.name,
-                    Value::Func {
-                        func: f,
-                        applied: Rc::new(Vec::new()),
-                    },
-                );
+                interp.globals.insert(f.name, Value::Func(f));
             }
         }
         for f in &program.funcs {
@@ -310,8 +304,9 @@ impl<'p> Interp<'p> {
                     limit: self.config.max_depth,
                 });
             }
-            if self.heap.take_forced_gc() || self.heap.should_collect() {
-                self.collect(&ctrl, stack);
+            let forced = self.heap.take_forced_gc();
+            if forced || self.heap.should_collect() {
+                self.collect(&ctrl, stack, forced);
             }
             ctrl = match ctrl {
                 Ctrl::Eval(e, env) => self.step_eval(e, env, stack)?,
@@ -345,10 +340,7 @@ impl<'p> Interp<'p> {
                 Const::Int(n) => Value::Int(*n),
                 Const::Bool(b) => Value::Bool(*b),
                 Const::Nil => Value::Nil,
-                Const::Prim(p) => Value::Prim {
-                    prim: *p,
-                    first: None,
-                },
+                Const::Prim(p) => Value::Prim(*p),
             }),
             IrExpr::Var(x) => Ctrl::Ret(self.lookup(*x, &env)?),
             IrExpr::App(f, a) => {
@@ -593,41 +585,53 @@ impl<'p> Interp<'p> {
                 let env = clo.env.bind(clo.param, arg);
                 Ok(Ctrl::Eval(clo.body, env))
             }
-            Value::Func { func, applied } => {
-                let mut args = (*applied).clone();
-                args.push(arg);
-                if args.len() == func.params.len() {
-                    let mut env = Env::empty();
-                    for (p, a) in func.params.iter().zip(args) {
-                        env = env.bind(*p, a);
-                    }
-                    Ok(Ctrl::Eval(&func.body, env))
-                } else {
-                    Ok(Ctrl::Ret(Value::Func {
-                        func,
-                        applied: Rc::new(args),
-                    }))
-                }
+            Value::Func(func) => self.apply_func(func, Vec::new(), arg),
+            Value::PartialFunc(p) => {
+                let applied = p.applied.clone();
+                self.apply_func(p.func, applied, arg)
             }
-            Value::Prim { prim, first: None } => {
+            Value::Prim(prim) => {
                 if prim.arity() == 1 {
                     Ok(Ctrl::Ret(self.prim1(prim, arg)?))
                 } else {
-                    Ok(Ctrl::Ret(Value::Prim {
+                    Ok(Ctrl::Ret(Value::PrimApp(Rc::new(PrimApp {
                         prim,
-                        first: Some(Rc::new(arg)),
-                    }))
+                        first: arg,
+                    }))))
                 }
             }
-            Value::Prim {
-                prim,
-                first: Some(first),
-            } => Ok(Ctrl::Ret(self.prim2(prim, (*first).clone(), arg)?)),
+            Value::PrimApp(p) => {
+                let first = p.first.clone();
+                Ok(Ctrl::Ret(self.prim2(p.prim, first, arg)?))
+            }
             other => Err(RuntimeError::TypeMismatch {
                 expected: "function",
                 found: other.kind(),
                 op: "application",
             }),
+        }
+    }
+
+    /// Applies a top-level function to one more argument, entering the
+    /// body when saturated.
+    fn apply_func(
+        &mut self,
+        func: &'p IrFunc,
+        mut args: Vec<Value<'p>>,
+        arg: Value<'p>,
+    ) -> Result<Ctrl<'p>, RuntimeError> {
+        args.push(arg);
+        if args.len() == func.params.len() {
+            let mut env = Env::empty();
+            for (p, a) in func.params.iter().zip(args) {
+                env = env.bind(*p, a);
+            }
+            Ok(Ctrl::Eval(&func.body, env))
+        } else {
+            Ok(Ctrl::Ret(Value::PartialFunc(Rc::new(PartialApp {
+                func,
+                applied: args,
+            }))))
         }
     }
 
@@ -639,8 +643,26 @@ impl<'p> Interp<'p> {
         prim2(&mut self.heap, p, a, b)
     }
 
-    /// Runs a garbage collection with the machine state as roots.
-    fn collect(&mut self, ctrl: &Ctrl<'p>, stack: &[Frame<'p>]) {
+    /// Runs a garbage collection with the machine state as roots. A
+    /// fault-forced GC is always a full collection (the fault models
+    /// external memory pressure); otherwise the heap picks minor or
+    /// major. A minor that fails to relieve the pressure escalates to a
+    /// major in the same poll.
+    fn collect(&mut self, ctrl: &Ctrl<'p>, stack: &[Frame<'p>], force_major: bool) {
+        if !force_major && self.heap.collect_kind() == GcKind::Minor {
+            let mut m = Marker::new(&self.heap);
+            match ctrl {
+                Ctrl::Eval(_, env) => m.root_env(env),
+                Ctrl::Ret(v) => m.root_value(v),
+            }
+            self.mark_roots(&mut m, stack);
+            m.root_remset(&self.heap);
+            let marked = m.finish_minor(&self.heap);
+            self.heap.sweep_minor(&marked);
+            if !self.heap.should_collect() {
+                return;
+            }
+        }
         let mut m = Marker::new(&self.heap);
         match ctrl {
             Ctrl::Eval(_, env) => m.root_env(env),
@@ -1059,6 +1081,7 @@ mod tests {
                     gc_threshold: 64,
                     gc_enabled: true,
                     checked: false,
+                    ..HeapConfig::default()
                 },
                 ..Default::default()
             },

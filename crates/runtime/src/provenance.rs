@@ -98,18 +98,17 @@ pub fn max_escaping_level<'p>(
                 clo.env
                     .for_each_value(&mut seen_envs, &mut |x| work.push(x.clone()));
             }
-            Value::Func { applied, .. } => {
-                for a in applied.iter() {
+            Value::Func(_) | Value::Prim(_) => {}
+            Value::PartialFunc(p) => {
+                for a in &p.applied {
                     work.push(a.clone());
                 }
             }
-            Value::Prim { first, .. } => {
-                if let Some(f) = first {
-                    work.push((*f).clone());
-                }
+            Value::PrimApp(p) => {
+                work.push(p.first.clone());
             }
-            Value::VmClosure { env, .. } => {
-                for x in &env.values {
+            Value::VmClosure(c) => {
+                for x in &c.env.values {
                     work.push(x.clone());
                 }
             }

@@ -24,6 +24,20 @@ pub struct RuntimeStats {
     pub region_fallbacks: u64,
     /// Garbage collections run.
     pub gc_runs: u64,
+    /// Minor (nursery-only) collections.
+    pub minor_gcs: u64,
+    /// Major (full mark–sweep) collections.
+    pub major_gcs: u64,
+    /// Young cells promoted to the old generation (minor-GC survivors).
+    pub promoted: u64,
+    /// Cells allocated directly into the old generation because the
+    /// escape analysis proved the site escaping (`AllocMode::Pretenured`
+    /// in `nml-opt` terms).
+    pub pretenured: u64,
+    /// Plain heap allocations that went old because the nursery was full
+    /// and no minor collection had run (GC disabled, or allocations
+    /// between collection polls).
+    pub nursery_fallbacks: u64,
     /// Total cells marked (traversal work) across all GCs.
     pub gc_marked: u64,
     /// Total cells reclaimed by sweeps.
@@ -94,6 +108,11 @@ impl fmt::Display for RuntimeStats {
             f,
             "gc: runs={} marked={} swept={} sweep-visits={}",
             self.gc_runs, self.gc_marked, self.gc_swept, self.gc_sweep_visits
+        )?;
+        writeln!(
+            f,
+            "gen: minor={} major={} promoted={} pretenured={} nursery-fallbacks={}",
+            self.minor_gcs, self.major_gcs, self.promoted, self.pretenured, self.nursery_fallbacks
         )?;
         writeln!(
             f,

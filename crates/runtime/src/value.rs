@@ -7,6 +7,13 @@ use std::fmt;
 use std::rc::Rc;
 
 /// A runtime value. `'p` is the lifetime of the executed [`nml_opt::IrProgram`].
+///
+/// The representation is deliberately compact: every variant's payload
+/// fits in one word, so the whole enum is 16 bytes (pinned by
+/// `value_fits_two_words` below). Partial applications — which need more
+/// than a word of state — live behind an `Rc` box ([`PartialApp`],
+/// [`PrimApp`]); the common zero-applied cases ([`Value::Func`],
+/// [`Value::Prim`]) stay inline and allocation-free.
 #[derive(Debug, Clone)]
 pub enum Value<'p> {
     /// Integer.
@@ -23,29 +30,47 @@ pub enum Value<'p> {
     Tuple(CellRef),
     /// A user closure.
     Closure(Rc<Closure<'p>>),
-    /// A (possibly partially applied) top-level function.
-    Func {
-        /// The function.
-        func: &'p IrFunc,
-        /// Arguments received so far (fewer than `func.params.len()`).
-        applied: Rc<Vec<Value<'p>>>,
-    },
-    /// A primitive constant used as a first-class function, possibly
-    /// holding its first argument.
-    Prim {
-        /// Which primitive.
-        prim: Prim,
-        /// First argument, for binary primitives applied once.
-        first: Option<Rc<Value<'p>>>,
-    },
+    /// A top-level function with no arguments applied yet (the hot case:
+    /// loading a global for a saturated call allocates nothing).
+    Func(&'p IrFunc),
+    /// A partially applied top-level function.
+    PartialFunc(Rc<PartialApp<'p>>),
+    /// A primitive constant used as a first-class function, with no
+    /// argument applied yet.
+    Prim(Prim),
+    /// A binary primitive applied to its first argument.
+    PrimApp(Rc<PrimApp<'p>>),
     /// A closure of the bytecode engine: a code unit plus a flat capture
     /// array (no `Env` chain — see [`crate::vm`]).
-    VmClosure {
-        /// Index of the compiled chunk.
-        chunk: u32,
-        /// The captured values (shared by a whole recursive group).
-        env: Rc<CaptureEnv<'p>>,
-    },
+    VmClosure(Rc<VmClosure<'p>>),
+}
+
+/// A partially applied top-level function: the function plus the
+/// arguments received so far (always fewer than `func.params.len()`).
+#[derive(Debug)]
+pub struct PartialApp<'p> {
+    /// The function.
+    pub func: &'p IrFunc,
+    /// Arguments received so far.
+    pub applied: Vec<Value<'p>>,
+}
+
+/// A binary primitive holding its first argument.
+#[derive(Debug)]
+pub struct PrimApp<'p> {
+    /// Which primitive.
+    pub prim: Prim,
+    /// The first argument.
+    pub first: Value<'p>,
+}
+
+/// The guts of a [`Value::VmClosure`]: chunk index plus shared captures.
+#[derive(Debug)]
+pub struct VmClosure<'p> {
+    /// Index of the compiled chunk.
+    pub chunk: u32,
+    /// The captured values (shared by a whole recursive group).
+    pub env: Rc<CaptureEnv<'p>>,
 }
 
 /// The flat capture environment of a [`Value::VmClosure`]: the values a
@@ -85,9 +110,9 @@ impl<'p> Value<'p> {
             Value::Pair(_) => "pair",
             Value::Tuple(_) => "tuple",
             Value::Closure(_) => "closure",
-            Value::Func { .. } => "function",
-            Value::Prim { .. } => "primitive",
-            Value::VmClosure { .. } => "closure",
+            Value::Func(_) | Value::PartialFunc(_) => "function",
+            Value::Prim(_) | Value::PrimApp(_) => "primitive",
+            Value::VmClosure(_) => "closure",
         }
     }
 
@@ -106,14 +131,14 @@ impl fmt::Display for Value<'_> {
             Value::Pair(c) => write!(f, "<cell {}>", c.0),
             Value::Tuple(c) => write!(f, "<tuple {}>", c.0),
             Value::Closure(_) => f.write_str("<closure>"),
-            Value::Func { func, applied } => {
+            Value::Func(func) => write!(f, "<{}/{}>", func.name, func.params.len()),
+            Value::PartialFunc(p) => {
+                let PartialApp { func, applied } = &**p;
                 write!(f, "<{}/{}>", func.name, func.params.len() - applied.len())
             }
-            Value::Prim { prim, first } => match first {
-                None => write!(f, "<prim {prim}>"),
-                Some(_) => write!(f, "<prim {prim} _>"),
-            },
-            Value::VmClosure { .. } => f.write_str("<closure>"),
+            Value::Prim(prim) => write!(f, "<prim {prim}>"),
+            Value::PrimApp(p) => write!(f, "<prim {} _>", p.prim),
+            Value::VmClosure(_) => f.write_str("<closure>"),
         }
     }
 }
@@ -266,5 +291,18 @@ mod tests {
         assert_eq!(Value::Nil.kind(), "nil");
         assert!(Value::Nil.is_list());
         assert!(!Value::Bool(true).is_list());
+    }
+
+    /// The compact representation is load-bearing for VM locals, frame
+    /// slots, and heap cells — a variant growing past one word would
+    /// silently fatten all three. Pin it.
+    #[test]
+    fn value_fits_two_words() {
+        assert!(
+            std::mem::size_of::<Value<'_>>() <= 16,
+            "Value grew past 16 bytes: {}",
+            std::mem::size_of::<Value<'_>>()
+        );
+        assert!(std::mem::size_of::<Option<Value<'_>>>() <= 24);
     }
 }

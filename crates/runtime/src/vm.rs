@@ -27,10 +27,12 @@ use crate::bytecode::{compile, BytecodeProgram, GlobalDef, Op};
 use crate::error::RuntimeError;
 use crate::fault::FaultPlan;
 use crate::gc::Marker;
-use crate::heap::{Heap, RegionId};
+use crate::heap::{GcKind, Heap, RegionId};
 use crate::interp::{prim1, prim2, InterpConfig, CANCEL_POLL_MASK};
-use crate::value::{CaptureEnv, Value};
-use nml_opt::{AllocMode, CaptureSrc, IrProgram};
+use crate::value::{
+    CaptureEnv, PartialApp, PrimApp as PrimAppData, Value, VmClosure as VmClosureData,
+};
+use nml_opt::{AllocMode, CaptureSrc, IrFunc, IrProgram};
 use nml_syntax::{Prim, Symbol};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -115,10 +117,7 @@ impl<'p> Vm<'p> {
             match def {
                 GlobalDef::Func { chunk, .. } => {
                     func_index.entry(program.funcs[i].name).or_insert(*chunk);
-                    globals.push(Value::Func {
-                        func: &program.funcs[i],
-                        applied: Rc::new(Vec::new()),
-                    });
+                    globals.push(Value::Func(&program.funcs[i]));
                 }
                 // Placeholder until startup evaluates the binding; loads
                 // check `init_done` first, so it is never observed.
@@ -375,10 +374,10 @@ fn resolve_captures<'p>(
                     let e = env.ok_or(RuntimeError::Internal {
                         what: "capturing frame has no rec group",
                     })?;
-                    Value::VmClosure {
+                    Value::VmClosure(Rc::new(VmClosureData {
                         chunk: e.rec[j as usize],
                         env: e.clone(),
-                    }
+                    }))
                 }
             })
         })
@@ -415,8 +414,9 @@ impl<'p> Machine<'_, 'p> {
     /// dispatch loop polls every step, like the tree-walker.
     #[inline]
     fn maybe_collect(&mut self) {
-        if self.heap.take_forced_gc() || self.heap.should_collect() {
-            self.collect();
+        let forced = self.heap.take_forced_gc();
+        if forced || self.heap.should_collect() {
+            self.collect(forced);
         }
     }
 
@@ -453,10 +453,7 @@ impl<'p> Machine<'_, 'p> {
                 Op::PushInt(n) => self.stack.push(Value::Int(n)),
                 Op::PushBool(b) => self.stack.push(Value::Bool(b)),
                 Op::PushNil => self.stack.push(Value::Nil),
-                Op::PushPrim(p) => self.stack.push(Value::Prim {
-                    prim: p,
-                    first: None,
-                }),
+                Op::PushPrim(p) => self.stack.push(Value::Prim(p)),
                 Op::LoadLocal(i) => {
                     self.stack.push(self.locals[self.lb + i as usize].clone());
                 }
@@ -474,10 +471,10 @@ impl<'p> Machine<'_, 'p> {
                             what: "chunk with rec refs ran without a closure env",
                         },
                     )?;
-                    self.stack.push(Value::VmClosure {
+                    self.stack.push(Value::VmClosure(Rc::new(VmClosureData {
                         chunk: env.rec[j as usize],
                         env: env.clone(),
-                    });
+                    })));
                 }
                 Op::LoadGlobalFunc(i) => self.stack.push(self.globals[i as usize].clone()),
                 Op::LoadGlobalVal(i) => {
@@ -511,13 +508,13 @@ impl<'p> Machine<'_, 'p> {
                         &self.locals[fr.locals_base..],
                         fr.env.as_ref(),
                     )?;
-                    self.stack.push(Value::VmClosure {
+                    self.stack.push(Value::VmClosure(Rc::new(VmClosureData {
                         chunk: site.chunk,
                         env: Rc::new(CaptureEnv {
                             values,
                             rec: Vec::new(),
                         }),
-                    });
+                    })));
                 }
                 Op::MakeRec(i) => {
                     let fr = self.frames.last().ok_or(RuntimeError::Internal {
@@ -532,10 +529,11 @@ impl<'p> Machine<'_, 'p> {
                         rec: site.chunks.clone(),
                     });
                     for (k, &slot) in site.slots.iter().enumerate() {
-                        self.locals[base + slot as usize] = Value::VmClosure {
-                            chunk: site.chunks[k],
-                            env: env.clone(),
-                        };
+                        self.locals[base + slot as usize] =
+                            Value::VmClosure(Rc::new(VmClosureData {
+                                chunk: site.chunks[k],
+                                env: env.clone(),
+                            }));
                     }
                 }
                 Op::Jump(t) => self.pc = t as usize,
@@ -753,55 +751,26 @@ impl<'p> Machine<'_, 'p> {
         tail: bool,
     ) -> Result<Option<Value<'p>>, RuntimeError> {
         match fun {
-            Value::VmClosure { chunk, env } => {
+            Value::VmClosure(clo) => {
                 self.scratch.push(arg);
-                self.push_frame(chunk, Some(env), tail)?;
+                self.push_frame(clo.chunk, Some(clo.env.clone()), tail)?;
                 Ok(None)
             }
-            Value::Func { func, applied } => {
-                if applied.len() + 1 == func.params.len() {
-                    // Saturating application: stage the arguments
-                    // directly, with no intermediate `applied` vector.
-                    let chunk = self.func_index.get(&func.name).copied().ok_or_else(|| {
-                        RuntimeError::Unbound {
-                            name: func.name.to_string(),
-                        }
-                    })?;
-                    self.scratch.extend(applied.iter().cloned());
-                    self.scratch.push(arg);
-                    self.push_frame(chunk, None, tail)?;
-                    Ok(None)
-                } else {
-                    let mut args = (*applied).clone();
-                    args.push(arg);
-                    self.ret_or_push(
-                        Value::Func {
-                            func,
-                            applied: Rc::new(args),
-                        },
-                        tail,
-                    )
-                }
-            }
-            Value::Prim { prim, first: None } => {
+            Value::Func(func) => self.apply_func(func, &[], arg, tail),
+            Value::PartialFunc(p) => self.apply_func(p.func, &p.applied, arg, tail),
+            Value::Prim(prim) => {
                 if prim.arity() == 1 {
                     let v = prim1(self.heap, prim, arg)?;
                     self.ret_or_push(v, tail)
                 } else {
                     self.ret_or_push(
-                        Value::Prim {
-                            prim,
-                            first: Some(Rc::new(arg)),
-                        },
+                        Value::PrimApp(Rc::new(PrimAppData { prim, first: arg })),
                         tail,
                     )
                 }
             }
-            Value::Prim {
-                prim,
-                first: Some(first),
-            } => {
-                let v = prim2(self.heap, prim, (*first).clone(), arg)?;
+            Value::PrimApp(p) => {
+                let v = prim2(self.heap, p.prim, p.first.clone(), arg)?;
                 self.ret_or_push(v, tail)
             }
             other => Err(RuntimeError::TypeMismatch {
@@ -809,6 +778,42 @@ impl<'p> Machine<'_, 'p> {
                 found: other.kind(),
                 op: "application",
             }),
+        }
+    }
+
+    /// Applies a top-level function carrying `applied` earlier arguments
+    /// to one more, saturating into a frame entry when the arity is met.
+    fn apply_func(
+        &mut self,
+        func: &'p IrFunc,
+        applied: &[Value<'p>],
+        arg: Value<'p>,
+        tail: bool,
+    ) -> Result<Option<Value<'p>>, RuntimeError> {
+        if applied.len() + 1 == func.params.len() {
+            // Saturating application: stage the arguments directly, with
+            // no intermediate `applied` vector.
+            let chunk =
+                self.func_index
+                    .get(&func.name)
+                    .copied()
+                    .ok_or_else(|| RuntimeError::Unbound {
+                        name: func.name.to_string(),
+                    })?;
+            self.scratch.extend(applied.iter().cloned());
+            self.scratch.push(arg);
+            self.push_frame(chunk, None, tail)?;
+            Ok(None)
+        } else {
+            let mut args = applied.to_vec();
+            args.push(arg);
+            self.ret_or_push(
+                Value::PartialFunc(Rc::new(PartialApp {
+                    func,
+                    applied: args,
+                })),
+                tail,
+            )
         }
     }
 
@@ -912,7 +917,21 @@ impl<'p> Machine<'_, 'p> {
         }
     }
 
-    fn collect(&mut self) {
+    /// Same minor/major dispatch as the tree-walker (the engines must
+    /// collect at identical points with identical scopes for the
+    /// differential suite to hold): forced GCs are major, a minor that
+    /// fails to relieve pressure escalates within the same poll.
+    fn collect(&mut self, force_major: bool) {
+        if !force_major && self.heap.collect_kind() == GcKind::Minor {
+            let mut m = Marker::new(self.heap);
+            self.mark_roots(&mut m);
+            m.root_remset(self.heap);
+            let marked = m.finish_minor(self.heap);
+            self.heap.sweep_minor(&marked);
+            if !self.heap.should_collect() {
+                return;
+            }
+        }
         let mut m = Marker::new(self.heap);
         self.mark_roots(&mut m);
         let marked = m.finish(self.heap);

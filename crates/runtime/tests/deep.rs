@@ -12,6 +12,7 @@ fn config() -> InterpConfig {
             gc_threshold: 4096,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         ..Default::default()
     }

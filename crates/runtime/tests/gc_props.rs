@@ -125,14 +125,14 @@ proptest! {
     ) {
         let src = program_for(&body, &la, &lb);
         let (no_gc, runs_off) = run_with(&src, InterpConfig {
-            heap: HeapConfig { gc_threshold: usize::MAX, gc_enabled: false, checked: false },
+            heap: HeapConfig { gc_threshold: usize::MAX, gc_enabled: false, checked: false, ..HeapConfig::default() },
             step_limit: 2_000_000,
             validate_regions: false,
             ..Default::default()
         });
         prop_assert_eq!(runs_off, 0);
         let (stressed, _) = run_with(&src, InterpConfig {
-            heap: HeapConfig { gc_threshold: 4, gc_enabled: true, checked: false },
+            heap: HeapConfig { gc_threshold: 4, gc_enabled: true, checked: false, ..HeapConfig::default() },
             validate_regions: true,
             step_limit: 2_000_000,
             ..Default::default()

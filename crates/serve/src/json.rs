@@ -376,7 +376,11 @@ mod tests {
         let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
         assert!(parse(&deep_ok).is_ok());
         // Just past the limit: a parse error.
-        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
         assert!(parse(&over).is_err());
         // A hostile frame of tens of KB of '[' must error, not abort
         // the process (stack overflow does not unwind).

@@ -182,9 +182,13 @@ fn parse_rate(v: &Json, key: &str) -> Result<Option<FaultRate>, String> {
             {
                 Ok(Some(FaultRate::new(*n as u32, *d as u32)))
             }
-            _ => Err(format!("`{key}` must be [numerator, denominator>0], both <= u32::MAX")),
+            _ => Err(format!(
+                "`{key}` must be [numerator, denominator>0], both <= u32::MAX"
+            )),
         },
-        Some(_) => Err(format!("`{key}` must be [numerator, denominator>0], both <= u32::MAX")),
+        Some(_) => Err(format!(
+            "`{key}` must be [numerator, denominator>0], both <= u32::MAX"
+        )),
     }
 }
 

@@ -73,6 +73,11 @@ pub struct ServeConfig {
     pub jobs: usize,
     /// Persistent escape-summary cache path.
     pub summary_cache: Option<PathBuf>,
+    /// Generational collection in each worker's heap (see
+    /// `HeapConfig::gen_gc`).
+    pub gen_gc: bool,
+    /// Worker nursery size in KiB (see `HeapConfig::nursery_kb`).
+    pub nursery_kb: usize,
     /// Deliberate unsound stack claims (sentinel/chaos testing): forced
     /// on every compile, then neutralized site-by-site as checked-mode
     /// violations quarantine them — exactly how a genuine analysis bug
@@ -95,6 +100,8 @@ impl Default for ServeConfig {
             budget: Budget::unlimited(),
             jobs: 1,
             summary_cache: None,
+            gen_gc: HeapConfig::default().gen_gc,
+            nursery_kb: HeapConfig::default().nursery_kb,
             sabotage: SabotagePlan::default(),
         }
     }
@@ -481,9 +488,8 @@ fn execute<'p>(
                 // client-supplied name would leak for the life of the
                 // server. Every name in the compiled program is already
                 // interned, so a miss is always unbound.
-                let sym = Symbol::lookup(name).ok_or_else(|| {
-                    ReqError::Rt(RuntimeError::Unbound { name: name.clone() })
-                })?;
+                let sym = Symbol::lookup(name)
+                    .ok_or_else(|| ReqError::Rt(RuntimeError::Unbound { name: name.clone() }))?;
                 let mut args = Vec::with_capacity(req.args.len());
                 for a in &req.args {
                     args.push(build_arg(&mut vm.heap, a, 0).map_err(ReqError::Bad)?);
@@ -504,6 +510,8 @@ fn worker_interp_config(cfg: &ServeConfig, sh: &Shared, checked: bool) -> Interp
     let mut c = InterpConfig {
         heap: HeapConfig {
             checked,
+            gen_gc: cfg.gen_gc,
+            nursery_kb: cfg.nursery_kb,
             ..HeapConfig::default()
         },
         cancel: Some(sh.cancel.clone()),
@@ -871,7 +879,11 @@ mod tests {
             acc = Value::Tuple(cell);
         }
         let s = render_value(&heap, &acc).expect("render tuples");
-        assert!(s.starts_with("(((") && s.ends_with("0), 0)"), "{}", &s[s.len() - 16..]);
+        assert!(
+            s.starts_with("(((") && s.ends_with("0), 0)"),
+            "{}",
+            &s[s.len() - 16..]
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             gc_threshold: 512,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         ..Default::default()
     };

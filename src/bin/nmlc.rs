@@ -126,6 +126,14 @@ checked-optimization flags (run):
                            deliberately inject wrong stack claims at the
                            given cons sites (sentinel demonstration)
 
+generational-heap flags (run/serve):
+  --gen-gc=on|off      generational collection: allocate into a nursery,
+                       scan only young cells at a minor GC, promote
+                       survivors in place (default on); escape-proven
+                       sites pretenure straight into the old space
+  --nursery-kb=N       nursery size in KiB (default 256); a minor
+                       collection runs when it fills
+
 resource-limit flags (run; serve takes them as per-request defaults):
   --fuel=N             per-entry step budget; running out is a typed
                        fuel_exhausted error, not a hang
@@ -304,6 +312,22 @@ fn resource_flags_into(rest: &[String], config: &mut InterpConfig) -> Result<(),
     }
     if let Some(d) = parse_num_flag::<usize>(rest, "--max-depth")? {
         config.max_depth = d;
+    }
+    heap_flags_into(rest, config)
+}
+
+/// Applies the generational-heap flags (`--gen-gc=on|off`,
+/// `--nursery-kb=N`) to an interpreter configuration.
+fn heap_flags_into(rest: &[String], config: &mut InterpConfig) -> Result<(), String> {
+    if let Some(v) = flag_value(rest, "--gen-gc") {
+        config.heap.gen_gc = match v {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("--gen-gc: `{other}` is not a mode (on or off)")),
+        };
+    }
+    if let Some(kb) = parse_num_flag::<usize>(rest, "--nursery-kb")? {
+        config.heap.nursery_kb = kb;
     }
     Ok(())
 }
@@ -503,12 +527,14 @@ fn cmd_run_checked(rest: &[String], src: &str) -> Result<(), String> {
             reuse: false,
             block: false,
             stack: true,
+            pretenure: false,
         };
     } else if has_flag(rest, "--auto-reuse") {
         copts.opt = OptOptions {
             reuse: true,
             block: false,
             stack: false,
+            pretenure: false,
         };
     }
     if let Some(list) = flag_value(rest, "--fault-unsound-stack") {
@@ -592,6 +618,16 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     cfg.max_depth = parse_num_flag::<usize>(rest, "--max-depth")?;
     if let Some(n) = parse_num_flag::<u64>(rest, "--steps-per-ms")? {
         cfg.steps_per_ms = n.max(1);
+    }
+    if let Some(v) = flag_value(rest, "--gen-gc") {
+        cfg.gen_gc = match v {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("--gen-gc: `{other}` is not a mode (on or off)")),
+        };
+    }
+    if let Some(kb) = parse_num_flag::<usize>(rest, "--nursery-kb")? {
+        cfg.nursery_kb = kb;
     }
     if has_flag(rest, "--no-optimize") {
         cfg.optimize = false;

@@ -381,6 +381,7 @@ fn checked_mode_is_transparent_under_injected_faults() {
                 gc_threshold: 16,
                 gc_enabled: true,
                 checked: false,
+                ..HeapConfig::default()
             },
             validate_regions: false,
             fault: plan,

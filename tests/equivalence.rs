@@ -166,6 +166,33 @@ fn warm_cache_solves_nothing_and_agrees() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A warm run must not rewrite the cache file: nothing was inserted, and
+/// the serialize+rename costs more than the warm analysis itself (this
+/// was the warm-slower-than-cold regression in the analysis bench).
+#[test]
+fn warm_cache_does_not_rewrite_the_file() {
+    let path = std::env::temp_dir().join(format!("nml-equiv-rewrite-{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let options = ScheduleOptions {
+        summary_cache: Some(path.clone()),
+        ..serial()
+    };
+    let src = corpus::ALL[0].source;
+    let cold = scheduled(src, &options);
+    assert!(cold.schedule.cache_errors.is_empty());
+    let cold_meta = std::fs::metadata(&path).expect("cold run wrote the cache");
+    let cold_mtime = cold_meta.modified().expect("mtime");
+    let warm = scheduled(src, &options);
+    assert_eq!(warm.schedule.sccs_solved, 0, "fully warm");
+    let warm_meta = std::fs::metadata(&path).expect("cache still present");
+    assert_eq!(
+        warm_meta.modified().expect("mtime"),
+        cold_mtime,
+        "warm run rewrote the cache file"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Editing a callee invalidates its dependents too (the content hash is
 /// transitive), while an untouched independent function stays cached.
 #[test]

@@ -138,6 +138,7 @@ fn faulted_config(plan: FaultPlan) -> InterpConfig {
             gc_threshold: 16,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         validate_regions: true,
         fault: plan,

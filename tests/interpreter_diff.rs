@@ -16,6 +16,7 @@ fn stress() -> InterpConfig {
             gc_threshold: 32,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         validate_regions: true,
         step_limit: 20_000_000,

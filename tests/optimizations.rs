@@ -50,6 +50,7 @@ fn stress_config() -> InterpConfig {
             gc_threshold: 48,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         validate_regions: true,
         ..Default::default()
@@ -146,6 +147,7 @@ in sum (create_list 100)";
             gc_threshold: 32,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         validate_regions: true,
         ..Default::default()

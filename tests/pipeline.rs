@@ -112,6 +112,7 @@ fn corpus_runs_under_gc_pressure() {
             gc_threshold: 16,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         validate_regions: true,
         ..Default::default()
@@ -136,6 +137,7 @@ fn corpus_stack_allocation_never_changes_results() {
             gc_threshold: 16,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         validate_regions: true,
         ..Default::default()
@@ -163,6 +165,7 @@ fn corpus_full_optimization_never_changes_results() {
             gc_threshold: 16,
             gc_enabled: true,
             checked: false,
+            ..HeapConfig::default()
         },
         validate_regions: true,
         ..Default::default()
