@@ -188,6 +188,131 @@ fn bench_schedulers(_c: &mut Criterion) {
     }
 }
 
+/// B-7: scaling on the mega corpus — 2000 generated functions in mixed
+/// clusters, the workload `--jobs` exists for. Measures analysis-only
+/// (parse/infer hoisted out) serial vs 4 workers, plus the incremental
+/// session: cold start, then a warm single-binding re-analysis, which
+/// must re-solve only the edited cluster's dirty cone and come in under
+/// a millisecond. Medians land in the `scaling` key of
+/// `BENCH_analysis.json`, with the host core count recorded so the
+/// parallel numbers are interpretable: on a single-core host jobs4 can
+/// only tie (and the guard merely requires it not to lose badly); with
+/// ≥ 2 cores it must win outright.
+fn bench_scaling(_c: &mut Criterion) {
+    use nml_corpusgen::{generate, parse_shape};
+    use nml_escape::{analyze_program_scheduled, Incremental};
+
+    let shape = parse_shape("mega").expect("shape");
+    let corpus = generate(0, &shape);
+    let src = corpus.source();
+    let program = parse_program(&src).expect("parse");
+    let info = infer_program(&program).expect("infer");
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let analyze = |jobs: usize| {
+        let options = ScheduleOptions {
+            jobs,
+            ..ScheduleOptions::default()
+        };
+        black_box(
+            analyze_program_scheduled(
+                program.clone(),
+                info.clone(),
+                EngineConfig::default(),
+                Budget::unlimited(),
+                &options,
+            )
+            .expect("analysis"),
+        )
+    };
+    println!(
+        "group scaling ({} functions, {host_cores} cores)",
+        shape.functions
+    );
+    let serial = median_of(|| {
+        analyze(1);
+    });
+    let jobs4 = median_of(|| {
+        analyze(4);
+    });
+    println!("bench scaling/mega2000/serial: median {serial:?} over 9 samples");
+    println!("bench scaling/mega2000/jobs4: median {jobs4:?} over 9 samples");
+    if host_cores >= 2 {
+        assert!(
+            jobs4 < serial,
+            "with {host_cores} cores, jobs4 ({jobs4:?}) must beat serial ({serial:?})"
+        );
+    } else {
+        assert!(
+            jobs4 <= serial * 3 / 2,
+            "on one core, jobs4 ({jobs4:?}) must not lose badly to serial ({serial:?})"
+        );
+    }
+
+    // Incremental: cold session build, then warm single-binding updates.
+    // Alternate between two RHS texts for one binding so every timed
+    // update really dirties its cone (a repeat of the same text would
+    // short-circuit on the content hash and re-solve nothing).
+    let cold_start = Instant::now();
+    let mut inc = Incremental::from_source(&src).expect("cold incremental");
+    let cold = cold_start.elapsed();
+    let m = corpus.mutate(0xbead);
+    let original = corpus.bindings[m.index].rhs.clone();
+    let mut flip = false;
+    let warm = median_of(|| {
+        flip = !flip;
+        let rhs = if flip { &m.rhs } else { &original };
+        let a = inc.update_binding(&m.name, rhs).expect("warm update");
+        assert!(a.schedule.sccs_solved >= 1, "update must dirty its cone");
+        black_box(a.schedule.sccs_solved);
+    });
+    let solved = inc.analysis().schedule.sccs_solved;
+    let reused = inc.analysis().schedule.sccs_reused;
+    println!("bench scaling/mega2000/incremental_cold: {cold:?}");
+    println!(
+        "bench scaling/mega2000/incremental_warm: median {warm:?} over 9 samples \
+         ({solved} solved, {reused} reused)"
+    );
+    assert!(
+        warm < Duration::from_millis(1),
+        "warm single-binding re-analysis must stay under 1ms, got {warm:?}"
+    );
+
+    // Splice a `scaling` section into BENCH_analysis.json (written just
+    // before by `bench_schedulers`), keeping one diffable file per group.
+    let section = format!(
+        "  \"scaling\": {{\n    \"host_cores\": {host_cores},\n    \"functions\": {},\n    \
+         \"serial_ns\": {},\n    \"jobs4_ns\": {},\n    \"incremental_cold_ns\": {},\n    \
+         \"incremental_warm_ns\": {},\n    \"warm_sccs_solved\": {solved},\n    \
+         \"warm_sccs_reused\": {reused}\n  }}\n}}\n",
+        shape.functions,
+        serial.as_nanos(),
+        jobs4.as_nanos(),
+        cold.as_nanos(),
+        warm.as_nanos()
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");
+    match std::fs::read_to_string(out) {
+        Ok(existing) => {
+            // Drop any previous scaling section, then strip the closing
+            // brace so the fresh section can take its place.
+            let head = match existing.find("  \"scaling\":") {
+                Some(pos) => &existing[..pos],
+                None => existing.trim_end().strip_suffix('}').unwrap_or("{\n"),
+            };
+            let combined = format!("{},\n{section}", head.trim_end().trim_end_matches(','));
+            if let Err(e) = std::fs::write(out, &combined) {
+                eprintln!("warning: cannot write {out}: {e}");
+            } else {
+                println!("updated {out} with the scaling section");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot read {out}: {e}"),
+    }
+}
+
 /// B-6: runtime overhead of checked-optimization mode — the optimized
 /// program under a plain heap vs under the tombstoning sentinel heap.
 /// Medians land in `BENCH_checked.json` next to `BENCH_analysis.json`,
@@ -255,6 +380,7 @@ criterion_group!(
     bench_fixpoint_only,
     bench_front_end,
     bench_schedulers,
+    bench_scaling,
     bench_checked_overhead
 );
 criterion_main!(benches);

@@ -81,20 +81,98 @@ struct MemoEntry {
     in_progress: bool,
 }
 
-/// The abstract escape interpreter over one (monomorphically typed)
-/// program.
-pub struct Engine<'a> {
-    program: &'a Program,
-    info: &'a TypeInfo,
-    config: EngineConfig,
+/// Lambda tables shared by every engine over one program: node id to
+/// (parameter, body), cached free-variable sets, and owning top-level
+/// binding. Building this once per analysis — instead of once per
+/// SCC-scoped engine — is what keeps modular scheduling O(program)
+/// instead of O(program · sccs).
+pub struct ProgramIndex<'a> {
     /// lambda node -> (parameter, body pointer).
     lambdas: HashMap<NodeId, (Symbol, &'a Expr)>,
     /// lambda node -> cached free identifiers.
     lambda_free: HashMap<NodeId, BTreeSet<Symbol>>,
     /// lambda node -> top-level binding it belongs to (for stats).
     lambda_owner: HashMap<NodeId, Symbol>,
+    /// binding name -> position in `program.bindings` (always complete,
+    /// even for subset indexes — it is cheap and lets scoped engines
+    /// refresh only their members).
+    binding_pos: HashMap<Symbol, usize>,
+}
+
+impl<'a> ProgramIndex<'a> {
+    /// Indexes every binding and the program body.
+    pub fn build(program: &'a Program) -> Self {
+        Self::build_subset(program, None)
+    }
+
+    /// Indexes only the bindings whose position is in `members` (plus the
+    /// program body when `members` is `None`). The incremental scheduler
+    /// uses this to index a dirty cone instead of the whole program.
+    pub fn build_subset(program: &'a Program, members: Option<&[usize]>) -> Self {
+        let mut idx = ProgramIndex {
+            lambdas: HashMap::new(),
+            lambda_free: HashMap::new(),
+            lambda_owner: HashMap::new(),
+            binding_pos: program
+                .bindings
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b.name, i))
+                .collect(),
+        };
+        match members {
+            Some(members) => {
+                for &i in members {
+                    if let Some(b) = program.bindings.get(i) {
+                        idx.index_expr(&b.expr, Some(b.name));
+                    }
+                }
+            }
+            None => {
+                for b in &program.bindings {
+                    idx.index_expr(&b.expr, Some(b.name));
+                }
+                idx.index_expr(&program.body, None);
+            }
+        }
+        idx
+    }
+
+    fn index_expr(&mut self, e: &'a Expr, owner: Option<Symbol>) {
+        walk_exprs(e, &mut |node| {
+            if let ExprKind::Lambda(param, body) = &node.kind {
+                self.lambdas.insert(node.id, (*param, body.as_ref()));
+                self.lambda_free.insert(node.id, free_vars(node));
+                if let Some(o) = owner {
+                    self.lambda_owner.insert(node.id, o);
+                }
+            }
+        });
+    }
+}
+
+/// Converged slot values shared across engines: consulted lazily on a
+/// local miss instead of being cloned wholesale into every engine.
+pub type SharedSlots = Arc<std::sync::RwLock<HashMap<RecKey, AbsVal>>>;
+
+/// The abstract escape interpreter over one (monomorphically typed)
+/// program.
+pub struct Engine<'a> {
+    program: &'a Program,
+    info: &'a TypeInfo,
+    config: EngineConfig,
+    /// Shared lambda tables (possibly shared with sibling engines).
+    index: Arc<ProgramIndex<'a>>,
     /// `letrec` binding slots, grown monotonically.
     rec_slots: HashMap<RecKey, AbsVal>,
+    /// Fallback slot values consulted (and materialized locally) when a
+    /// key misses `rec_slots` — the converged exports of already-solved
+    /// SCCs. Reading through instead of eagerly seeding keeps per-SCC
+    /// setup proportional to what the SCC actually touches.
+    base_slots: Option<SharedSlots>,
+    /// The top-level environment, built once per engine (or injected and
+    /// shared across sibling engines — it only depends on the program).
+    top_env_cache: std::cell::OnceCell<AbsEnv>,
     /// When set, only these top-level bindings are refreshed each pass;
     /// the rest are treated as already-converged (their slots come from
     /// [`Engine::seed_slots`]). This is what makes the engine *modular*:
@@ -119,34 +197,34 @@ impl<'a> Engine<'a> {
         Engine::with_config(program, info, EngineConfig::default())
     }
 
-    /// Creates an engine with explicit configuration.
+    /// Creates an engine with explicit configuration, building a private
+    /// [`ProgramIndex`].
     pub fn with_config(program: &'a Program, info: &'a TypeInfo, config: EngineConfig) -> Self {
-        let mut lambdas = HashMap::new();
-        let mut lambda_free = HashMap::new();
-        let mut lambda_owner = HashMap::new();
-        let mut index = |e: &'a Expr, owner: Option<Symbol>| {
-            walk_exprs(e, &mut |node| {
-                if let ExprKind::Lambda(param, body) = &node.kind {
-                    lambdas.insert(node.id, (*param, body.as_ref()));
-                    lambda_free.insert(node.id, free_vars(node));
-                    if let Some(o) = owner {
-                        lambda_owner.insert(node.id, o);
-                    }
-                }
-            });
-        };
-        for b in &program.bindings {
-            index(&b.expr, Some(b.name));
-        }
-        index(&program.body, None);
+        Engine::with_index(
+            program,
+            info,
+            config,
+            Arc::new(ProgramIndex::build(program)),
+        )
+    }
+
+    /// Creates an engine over pre-built (shared) lambda tables. The index
+    /// must cover every lambda this engine will apply; lambdas outside it
+    /// degrade soundly to the worst-case function.
+    pub fn with_index(
+        program: &'a Program,
+        info: &'a TypeInfo,
+        config: EngineConfig,
+        index: Arc<ProgramIndex<'a>>,
+    ) -> Self {
         Engine {
             program,
             info,
             config,
-            lambdas,
-            lambda_free,
-            lambda_owner,
+            index,
             rec_slots: HashMap::new(),
+            base_slots: None,
+            top_env_cache: std::cell::OnceCell::new(),
             scope: None,
             memo: HashMap::new(),
             dirty: false,
@@ -181,6 +259,42 @@ impl<'a> Engine<'a> {
     /// pinning them is exact, not an approximation.
     pub fn set_scope(&mut self, scope: Option<BTreeSet<Symbol>>) {
         self.scope = scope;
+    }
+
+    /// Installs a shared fallback slot map. Keys missing from this
+    /// engine's local slots are read (and cached) from here; the values
+    /// must be *converged* exports of already-finalized components, so
+    /// reading through is exact.
+    pub fn set_base_slots(&mut self, base: Option<SharedSlots>) {
+        self.base_slots = base;
+    }
+
+    /// Local slot value for `k`, falling back to (and materializing from)
+    /// the shared base map, then `⊥`.
+    fn slot_value(&mut self, k: &RecKey) -> AbsVal {
+        if let Some(v) = self.rec_slots.get(k) {
+            return v.clone();
+        }
+        if let Some(base) = &self.base_slots {
+            let hit = base
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(k)
+                .cloned();
+            if let Some(v) = hit {
+                self.rec_slots.insert(k.clone(), v.clone());
+                return v;
+            }
+        }
+        AbsVal::bottom()
+    }
+
+    /// Pulls `k`'s base value into the local slots (without reading it),
+    /// so a following join starts from the converged value instead of `⊥`.
+    fn materialize_base(&mut self, k: &RecKey) {
+        if self.base_slots.is_some() && !self.rec_slots.contains_key(k) {
+            let _ = self.slot_value(k);
+        }
     }
 
     /// A snapshot of every `letrec` slot (top-level *and* inner). The full
@@ -219,19 +333,16 @@ impl<'a> Engine<'a> {
     /// The environment of the program's top-level `letrec`: every binding
     /// is a stable slot reference.
     pub fn top_env(&self) -> AbsEnv {
-        let empty: AbsEnv = Arc::new(BTreeMap::new());
-        let mut map = BTreeMap::new();
-        for b in &self.program.bindings {
-            map.insert(
-                b.name,
-                EnvEntry::Rec(RecKey {
-                    letrec: self.program.body.id,
-                    name: b.name,
-                    outer: empty.clone(),
-                }),
-            );
-        }
-        Arc::new(map)
+        self.top_env_cache
+            .get_or_init(|| build_top_env(self.program))
+            .clone()
+    }
+
+    /// Injects a pre-built top-level environment (see [`build_top_env`]);
+    /// the modular scheduler shares one across every SCC engine instead
+    /// of rebuilding an `O(bindings)` map per engine per pass.
+    pub fn set_top_env(&mut self, env: AbsEnv) {
+        let _ = self.top_env_cache.set(env);
     }
 
     /// Runs `query` to a fixpoint: repeatedly refreshes the top-level
@@ -317,17 +428,26 @@ impl<'a> Engine<'a> {
         Ok((result, trace))
     }
 
-    /// Re-evaluates every top-level binding into its slot.
+    /// Re-evaluates every top-level binding into its slot (only the
+    /// scoped members when a scope is set — in program order, exactly as
+    /// the unscoped sweep would visit them).
     fn refresh_top_bindings(&mut self) {
         let program = self.program;
         let env = self.top_env();
         let empty: AbsEnv = Arc::new(BTreeMap::new());
-        for b in &program.bindings {
-            if let Some(scope) = &self.scope {
-                if !scope.contains(&b.name) {
-                    continue;
-                }
+        let positions: Vec<usize> = match &self.scope {
+            Some(scope) => {
+                let mut ids: Vec<usize> = scope
+                    .iter()
+                    .filter_map(|n| self.index.binding_pos.get(n).copied())
+                    .collect();
+                ids.sort_unstable();
+                ids
             }
+            None => (0..program.bindings.len()).collect(),
+        };
+        for i in positions {
+            let b = &program.bindings[i];
             let key = RecKey {
                 letrec: program.body.id,
                 name: b.name,
@@ -343,13 +463,20 @@ impl<'a> Engine<'a> {
     pub fn top_value(&mut self, name: Symbol) -> AbsVal {
         let env = self.top_env();
         match env.get(&name) {
-            Some(EnvEntry::Rec(k)) => self.rec_slots.get(k).cloned().unwrap_or_default(),
+            Some(EnvEntry::Rec(k)) => {
+                let k = k.clone();
+                self.slot_value(&k)
+            }
             _ => AbsVal::bottom(),
         }
     }
 
     fn update_slot(&mut self, key: RecKey, v: AbsVal) {
         let v = self.maybe_widen(v);
+        // Join must start from the converged base value (if any), not ⊥:
+        // a locally-absent key may still have a finalized value from an
+        // earlier component, and losing it would under-approximate.
+        self.materialize_base(&key);
         let entry = self.rec_slots.entry(key).or_default();
         let joined = entry.join(&v);
         if joined != *entry {
@@ -390,7 +517,10 @@ impl<'a> Engine<'a> {
             ExprKind::Const(c) => self.const_val(e.id, *c),
             ExprKind::Var(x) => match env.get(x) {
                 Some(EnvEntry::Val(v)) => v.clone(),
-                Some(EnvEntry::Rec(k)) => self.rec_slots.get(k).cloned().unwrap_or_default(),
+                Some(EnvEntry::Rec(k)) => {
+                    let k = k.clone();
+                    self.slot_value(&k)
+                }
                 // nullenv_e maps unknowns to the least element.
                 None => AbsVal::bottom(),
             },
@@ -440,8 +570,9 @@ impl<'a> Engine<'a> {
         // the fly keeps the capture analysis exact. Their *application*
         // still degrades to worst-case in `apply_closure`, because the
         // body pointer cannot be stored.
+        let index = Arc::clone(&self.index);
         let computed;
-        let free = match self.lambda_free.get(&lam.id) {
+        let free = match index.lambda_free.get(&lam.id) {
             Some(f) => f,
             None => {
                 computed = free_vars(lam);
@@ -454,7 +585,10 @@ impl<'a> Engine<'a> {
             if let Some(entry) = env.get(z) {
                 let be = match entry {
                     EnvEntry::Val(val) => val.be,
-                    EnvEntry::Rec(k) => self.rec_slots.get(k).map(|val| val.be).unwrap_or_default(),
+                    EnvEntry::Rec(k) => {
+                        let k = k.clone();
+                        self.slot_value(&k).be
+                    }
                 };
                 v = v.join(be);
                 captured.insert(*z, entry.clone());
@@ -584,7 +718,7 @@ impl<'a> Engine<'a> {
     }
 
     fn apply_closure(&mut self, lambda: NodeId, env: AbsEnv, arg: AbsVal) -> AbsVal {
-        let Some(&(param, body)) = self.lambdas.get(&lambda) else {
+        let Some(&(param, body)) = self.index.lambdas.get(&lambda) else {
             // A closure over a lambda the engine never indexed: its body
             // is unknown, so answer with the worst-case function — it
             // dominates every possible behaviour (Definition 2) — and
@@ -625,7 +759,7 @@ impl<'a> Engine<'a> {
         let result = self.eval(body, &Arc::new(inner));
         let result = self.maybe_widen(result);
 
-        let owner = self.lambda_owner.get(&lambda).copied();
+        let owner = self.index.lambda_owner.get(&lambda).copied();
         // The entry was inserted above and eval never removes entries, but
         // re-inserting on a (impossible) miss is cheaper than a panic path.
         let pass = self.pass;
@@ -654,6 +788,26 @@ impl<'a> Engine<'a> {
         }
         cur
     }
+}
+
+/// The top-level environment of `program`: every binding as a stable
+/// slot reference. Engines build this lazily themselves; the modular
+/// scheduler builds it once and injects it into every SCC engine via
+/// [`Engine::set_top_env`].
+pub fn build_top_env(program: &Program) -> AbsEnv {
+    let empty: AbsEnv = Arc::new(BTreeMap::new());
+    let mut map = BTreeMap::new();
+    for b in &program.bindings {
+        map.insert(
+            b.name,
+            EnvEntry::Rec(RecKey {
+                letrec: program.body.id,
+                name: b.name,
+                outer: empty.clone(),
+            }),
+        );
+    }
+    Arc::new(map)
 }
 
 /// Builds the worst-case abstract value for a parameter of type `ty` with

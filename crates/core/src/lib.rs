@@ -56,6 +56,7 @@ pub mod engine;
 pub mod error;
 pub mod escape_class;
 pub mod global;
+pub mod incremental;
 pub mod local;
 pub mod modular;
 pub mod poly;
@@ -77,6 +78,7 @@ pub use escape_class::{classify_param, classify_result, EscapeClass};
 pub use global::{
     global_escape, global_escape_param, worst_case_summary, EscapeSummary, ParamEscape,
 };
+pub use incremental::{Incremental, UpdateError};
 pub use local::{local_escape, LocalEscape};
 pub use modular::{analyze_program_scheduled, ScheduleOptions, ScheduleReport};
 pub use poly::{invariance_holds, transfer_param, transfer_verdict};

@@ -31,16 +31,21 @@ use crate::analysis::{merge_stats, panic_message, Analysis, Degradation, Degrade
 use crate::be::Be;
 use crate::budget::{Budget, Governor};
 use crate::cache::{cached_fn_of, CachedScc, ContentHash, SummaryCache};
-use crate::engine::{worst_value, Engine, EngineConfig, EngineStats};
+use crate::engine::{
+    build_top_env, worst_value, Engine, EngineConfig, EngineStats, ProgramIndex, SharedSlots,
+};
 use crate::error::AnalyzeError;
 use crate::global::{global_escape, worst_case_summary, EscapeSummary};
 use nml_syntax::callgraph::{CallGraph, SccDag};
-use nml_syntax::{pretty_expr, Program, Symbol};
+use nml_syntax::visit::walk_exprs;
+use nml_syntax::{pretty_expr, Binding, Program, Symbol};
 use nml_types::TypeInfo;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 /// How the modular scheduler should run.
@@ -74,19 +79,28 @@ pub struct ScheduleReport {
     /// reuse). A salvaging load and a failed save each contribute one
     /// entry, so neither can shadow the other.
     pub cache_errors: Vec<String>,
+    /// Ready-queue batches the SCCs were grouped into (small neighboring
+    /// components share a batch so they don't serialize on scheduling).
+    pub batch_count: usize,
+    /// Batches a worker took from another worker's deque (`0` when
+    /// serial).
+    pub steals: usize,
+    /// SCCs served from retained in-process state by the incremental
+    /// re-solver (always `0` for a cold scheduled run).
+    pub sccs_reused: usize,
 }
 
 /// Everything one solved SCC hands back to the merge step.
-struct SccOutcome {
-    id: usize,
-    slots: HashMap<RecKey, AbsVal>,
-    summaries: Vec<EscapeSummary>,
-    degradations: Vec<Degradation>,
-    stats: EngineStats,
+pub(crate) struct SccOutcome {
+    pub(crate) id: usize,
+    pub(crate) slots: HashMap<RecKey, AbsVal>,
+    pub(crate) summaries: Vec<EscapeSummary>,
+    pub(crate) degradations: Vec<Degradation>,
+    pub(crate) stats: EngineStats,
     /// `Some(origin)` when the exported slots are *not* exact (the slot
     /// fixpoint failed or the engine unwound): dependents consuming them
     /// must be flagged transitively degraded.
-    taint: Option<Symbol>,
+    pub(crate) taint: Option<Symbol>,
 }
 
 /// Analyzes an already-typed program with the SCC-modular scheduler.
@@ -163,88 +177,88 @@ pub fn analyze_program_scheduled(
         .map(|id| need[id].then(|| Governor::with_start(share, started)))
         .collect();
 
-    let mut snapshot: HashMap<RecKey, AbsVal> = HashMap::new();
+    // One lambda index for every engine this run creates, and one shared
+    // slot map that engines read through lazily — per-SCC setup is then
+    // proportional to the component, not the program.
+    let index = Arc::new(ProgramIndex::build(&program));
+    let shared: SharedSlots = Arc::new(RwLock::new(HashMap::new()));
+    let top_env = build_top_env(&program);
+
+    let batches = plan_batches(&program, &dag, options.jobs.max(1));
+    report.batch_count = batches.len();
+    let runner = BatchRunner {
+        program: &program,
+        info: &info,
+        config: &config,
+        index: &index,
+        top_env: &top_env,
+        shared: &shared,
+        governors: &governors,
+        members: &members,
+        need: &need,
+        hit: &hit,
+    };
+    let (outcomes, steals) = runner.run(&batches, options.jobs.max(1));
+    report.steals = steals;
+    let mut solved: BTreeMap<usize, SccOutcome> = BTreeMap::new();
+    for o in outcomes {
+        solved.insert(o.id, o);
+    }
+
     let mut summaries = BTreeMap::new();
     let mut degradations: Vec<Degradation> = Vec::new();
     let mut stats = EngineStats::default();
     let mut taint: Vec<Option<Symbol>> = vec![None; n];
     let mut precise: Vec<bool> = vec![false; n];
 
-    for wave in dag.waves() {
-        let to_solve: Vec<usize> = wave.iter().copied().filter(|&id| need[id]).collect();
-        let mut outcomes: Vec<SccOutcome> = run_wave(
-            &to_solve,
-            options.jobs.max(1),
-            &program,
-            &info,
-            &config,
-            &governors,
-            &members,
-            &snapshot,
-            &hit,
-        );
-        // Deterministic merge: ascending SCC id, whatever the thread
-        // interleaving was.
-        outcomes.sort_by_key(|o| o.id);
-        let mut solved: BTreeMap<usize, SccOutcome> = BTreeMap::new();
-        for o in outcomes.drain(..) {
-            solved.insert(o.id, o);
+    // Deterministic merge: ascending SCC id, whatever the worker
+    // interleaving was. Dependencies have strictly smaller ids, so their
+    // taint state is final when a component is visited.
+    for id in 0..n {
+        let inherited = dag.sccs[id].deps.iter().find_map(|&d| taint[d]);
+        if !need[id] {
+            // Pure cache hit, never touched this run: its cached
+            // summaries were computed from exact inputs in an earlier
+            // run, so it is precise regardless of this run's faults.
+            for s in cached_summaries[id].clone().unwrap_or_default() {
+                summaries.insert(s.name, s);
+            }
+            precise[id] = true;
+            continue;
         }
-        for &id in &wave {
-            // Dependencies are all in strictly earlier waves, so their
-            // taint state is final by now.
-            let inherited = dag.sccs[id].deps.iter().find_map(|&d| taint[d]);
-            if !need[id] {
-                // Pure cache hit, never touched this run: its cached
-                // summaries were computed from exact inputs in an earlier
-                // run, so it is precise regardless of this run's faults.
-                for s in cached_summaries[id].clone().unwrap_or_default() {
-                    summaries.insert(s.name, s);
-                }
-                precise[id] = true;
-                continue;
+        let Some(o) = solved.remove(&id) else {
+            continue;
+        };
+        merge_stats(&mut stats, &o.stats);
+        taint[id] = o.taint.or(inherited);
+        if let Some(cached) = &cached_summaries[id] {
+            // Solved only for its slot values; the summaries come from
+            // the cache and are exact, so no degradation records even
+            // if this run's slot solve was cut short (the taint flag
+            // still protects dependents).
+            for s in cached.clone() {
+                summaries.insert(s.name, s);
             }
-            let Some(o) = solved.remove(&id) else {
-                continue;
-            };
-            for (k, v) in o.slots {
-                let entry = snapshot.entry(k).or_default();
-                let joined = entry.join(&v);
-                if joined != *entry {
-                    *entry = joined;
-                }
-            }
-            merge_stats(&mut stats, &o.stats);
-            taint[id] = o.taint.or(inherited);
-            if let Some(cached) = &cached_summaries[id] {
-                // Solved only for its slot values; the summaries come from
-                // the cache and are exact, so no degradation records even
-                // if this run's slot solve was cut short (the taint flag
-                // still protects dependents).
-                for s in cached.clone() {
-                    summaries.insert(s.name, s);
-                }
-                precise[id] = true;
-                continue;
-            }
-            precise[id] = o.taint.is_none() && inherited.is_none() && o.degradations.is_empty();
-            let own: BTreeSet<Symbol> = o.degradations.iter().map(|d| d.function).collect();
-            for s in &o.summaries {
-                summaries.insert(s.name, s.clone());
-            }
-            degradations.extend(o.degradations);
-            if o.taint.is_none() {
-                if let Some(origin) = inherited {
-                    // The summaries above were computed against a degraded
-                    // callee's worst-case slots: sound, kept as computed,
-                    // but flagged so `is_degraded` tells the truth.
-                    for s in &o.summaries {
-                        if !own.contains(&s.name) {
-                            degradations.push(Degradation {
-                                function: s.name,
-                                reason: DegradeReason::Transitive { origin },
-                            });
-                        }
+            precise[id] = true;
+            continue;
+        }
+        precise[id] = o.taint.is_none() && inherited.is_none() && o.degradations.is_empty();
+        let own: BTreeSet<Symbol> = o.degradations.iter().map(|d| d.function).collect();
+        for s in &o.summaries {
+            summaries.insert(s.name, s.clone());
+        }
+        degradations.extend(o.degradations);
+        if o.taint.is_none() {
+            if let Some(origin) = inherited {
+                // The summaries above were computed against a degraded
+                // callee's worst-case slots: sound, kept as computed,
+                // but flagged so `is_degraded` tells the truth.
+                for s in &o.summaries {
+                    if !own.contains(&s.name) {
+                        degradations.push(Degradation {
+                            function: s.name,
+                            reason: DegradeReason::Transitive { origin },
+                        });
                     }
                 }
             }
@@ -284,83 +298,275 @@ pub fn analyze_program_scheduled(
     })
 }
 
-/// Solves one wave's SCCs, serially or on `jobs` worker threads. Returns
-/// outcomes in arbitrary order; the caller sorts.
-#[allow(clippy::too_many_arguments)]
-fn run_wave(
-    to_solve: &[usize],
-    jobs: usize,
-    program: &Program,
-    info: &TypeInfo,
-    config: &EngineConfig,
-    governors: &[Option<Governor>],
-    members: &[Vec<Symbol>],
-    snapshot: &HashMap<RecKey, AbsVal>,
-    hit: &[bool],
-) -> Vec<SccOutcome> {
-    let solve = |id: usize| {
-        let governor = governors[id]
-            .clone()
-            .expect("solve set entry has a governor");
-        // A cache-hit SCC inside the solve set only contributes slot
-        // values; its summaries come from the cache, so the expensive
-        // per-parameter queries are skipped.
-        solve_scc(
-            id,
-            program,
-            info,
-            config,
-            governor,
-            &members[id],
-            snapshot,
-            !hit[id],
-        )
-    };
-    if jobs <= 1 || to_solve.len() <= 1 {
-        return to_solve.iter().map(|&id| solve(id)).collect();
+/// One scheduling batch: a *consecutive* interval of SCC ids. Tarjan
+/// numbers every dependency below its dependent, so interval batches
+/// always condense to an acyclic quotient graph — a batch may depend
+/// only on strictly earlier batches, never on a later one.
+#[derive(Debug, Clone)]
+pub(crate) struct Batch {
+    /// SCC ids in ascending order (a contiguous range).
+    pub ids: std::ops::Range<usize>,
+    /// Indices of earlier batches this batch reads slot values from.
+    pub deps: Vec<usize>,
+}
+
+/// Estimated solve cost of one binding: its AST node count.
+fn binding_cost(b: &Binding) -> usize {
+    let mut nodes = 0usize;
+    walk_exprs(&b.expr, &mut |_| nodes += 1);
+    nodes
+}
+
+/// Groups the condensation into interval batches of roughly even cost so
+/// that tiny SCCs — the overwhelmingly common case — don't pay one
+/// scheduling round-trip each. Aims for ~16 batches per worker.
+pub(crate) fn plan_batches(program: &Program, dag: &SccDag, jobs: usize) -> Vec<Batch> {
+    let n = dag.len();
+    if n == 0 {
+        return Vec::new();
     }
-    let buckets = {
-        let count = jobs.min(to_solve.len());
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); count];
-        for (i, &id) in to_solve.iter().enumerate() {
-            buckets[i % count].push(id);
+    let costs: Vec<usize> = (0..n)
+        .map(|id| {
+            dag.sccs[id]
+                .members
+                .iter()
+                .map(|&m| binding_cost(&program.bindings[m]) + 8)
+                .sum()
+        })
+        .collect();
+    let total: usize = costs.iter().sum();
+    let cap = (total / (jobs.max(1) * 16).max(1)).max(32);
+
+    let mut batches: Vec<Batch> = Vec::new();
+    let mut batch_of = vec![0usize; n];
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (id, &cost) in costs.iter().enumerate() {
+        if acc > 0 && acc + cost > cap {
+            batch_of[start..id].fill(batches.len());
+            batches.push(Batch {
+                ids: start..id,
+                deps: Vec::new(),
+            });
+            start = id;
+            acc = 0;
         }
-        buckets
-    };
-    std::thread::scope(|s| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| s.spawn(move || bucket.into_iter().map(solve).collect::<Vec<_>>()))
+        acc += cost;
+    }
+    batch_of[start..n].fill(batches.len());
+    batches.push(Batch {
+        ids: start..n,
+        deps: Vec::new(),
+    });
+
+    for (bi, batch) in batches.iter_mut().enumerate() {
+        let mut deps: Vec<usize> = batch
+            .ids
+            .clone()
+            .flat_map(|id| dag.sccs[id].deps.iter().map(|&d| batch_of[d]))
+            .filter(|&d| d != bi)
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("SCC worker thread panicked"))
-            .collect()
-    })
+        deps.sort_unstable();
+        deps.dedup();
+        batch.deps = deps;
+    }
+    batches
+}
+
+/// Joins one engine's exported slots into the shared map. Values are
+/// converged (or worst-case, under taint) and the lattice join is
+/// commutative and idempotent, so merge order cannot change the result.
+pub(crate) fn merge_into_shared(shared: &SharedSlots, slots: HashMap<RecKey, AbsVal>) {
+    let mut w = shared.write().unwrap_or_else(|e| e.into_inner());
+    for (k, v) in slots {
+        match w.entry(k) {
+            Entry::Occupied(mut o) => {
+                let joined = o.get().join(&v);
+                if joined != *o.get() {
+                    *o.get_mut() = joined;
+                }
+            }
+            Entry::Vacant(vac) => {
+                vac.insert(v);
+            }
+        }
+    }
+}
+
+/// Everything the batch workers need, borrowed from the driver.
+pub(crate) struct BatchRunner<'s, 'a> {
+    pub program: &'a Program,
+    pub info: &'a TypeInfo,
+    pub config: &'s EngineConfig,
+    pub index: &'s Arc<ProgramIndex<'a>>,
+    pub top_env: &'s AbsEnv,
+    pub shared: &'s SharedSlots,
+    pub governors: &'s [Option<Governor>],
+    pub members: &'s [Vec<Symbol>],
+    pub need: &'s [bool],
+    pub hit: &'s [bool],
+}
+
+impl<'s, 'a: 's> BatchRunner<'s, 'a> {
+    /// Solves every needed SCC of one batch in ascending id order,
+    /// merging each component's slots into the shared map as it lands
+    /// (later SCCs of the same batch may read them).
+    fn run_batch(&self, batch: &Batch, out: &mut Vec<SccOutcome>) {
+        for id in batch.ids.clone() {
+            if !self.need[id] {
+                continue;
+            }
+            let governor = self.governors[id]
+                .clone()
+                .expect("solve set entry has a governor");
+            // A cache-hit SCC inside the solve set only contributes slot
+            // values; its summaries come from the cache, so the expensive
+            // per-parameter queries are skipped.
+            let mut o = solve_scc(
+                id,
+                self.program,
+                self.info,
+                self.config,
+                Arc::clone(self.index),
+                self.top_env.clone(),
+                governor,
+                &self.members[id],
+                self.shared,
+                !self.hit[id],
+            );
+            merge_into_shared(self.shared, std::mem::take(&mut o.slots));
+            out.push(o);
+        }
+    }
+
+    /// Runs all batches: in id order when serial, otherwise on `jobs`
+    /// work-stealing workers over a dependency-counted ready queue.
+    /// Returns the outcomes (arbitrary order) and the steal count.
+    pub(crate) fn run(&self, batches: &[Batch], jobs: usize) -> (Vec<SccOutcome>, usize) {
+        let mut outcomes = Vec::new();
+        if jobs <= 1 || batches.len() <= 1 {
+            for batch in batches {
+                self.run_batch(batch, &mut outcomes);
+            }
+            return (outcomes, 0);
+        }
+
+        let nb = batches.len();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        let mut indegree_init = vec![0usize; nb];
+        for (bi, b) in batches.iter().enumerate() {
+            indegree_init[bi] = b.deps.len();
+            for &d in &b.deps {
+                dependents[d].push(bi);
+            }
+        }
+        let indegree: Vec<AtomicUsize> =
+            indegree_init.iter().map(|&d| AtomicUsize::new(d)).collect();
+        let workers = jobs.min(nb).max(1);
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        // Seed ready batches round-robin across the workers.
+        let mut seed = 0usize;
+        for (bi, &d) in indegree_init.iter().enumerate() {
+            if d == 0 {
+                deques[seed % workers].lock().unwrap().push_back(bi);
+                seed += 1;
+            }
+        }
+        let pending = AtomicUsize::new(nb);
+        let steals = AtomicUsize::new(0);
+        let sink: Mutex<Vec<SccOutcome>> = Mutex::new(Vec::new());
+        let idle = (Mutex::new(()), Condvar::new());
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let deques = &deques;
+                    let dependents = &dependents;
+                    let indegree = &indegree;
+                    let pending = &pending;
+                    let steals = &steals;
+                    let sink = &sink;
+                    let idle = &idle;
+                    s.spawn(move || {
+                        let mut local: Vec<SccOutcome> = Vec::new();
+                        loop {
+                            // Own deque first (LIFO: freshly unlocked work
+                            // is cache-warm), then steal FIFO from others.
+                            let mut task = deques[w].lock().unwrap().pop_back();
+                            if task.is_none() {
+                                for (v, victim) in deques.iter().enumerate() {
+                                    if v == w {
+                                        continue;
+                                    }
+                                    task = victim.lock().unwrap().pop_front();
+                                    if task.is_some() {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                            }
+                            let Some(bi) = task else {
+                                if pending.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                // Nothing runnable yet: naps are bounded so
+                                // a missed notification can only cost a
+                                // millisecond, not a deadlock.
+                                let guard = idle.0.lock().unwrap();
+                                let _ = idle
+                                    .1
+                                    .wait_timeout(guard, std::time::Duration::from_millis(1))
+                                    .unwrap();
+                                continue;
+                            };
+                            self.run_batch(&batches[bi], &mut local);
+                            for &dep in &dependents[bi] {
+                                if indegree[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    deques[w].lock().unwrap().push_back(dep);
+                                }
+                            }
+                            pending.fetch_sub(1, Ordering::AcqRel);
+                            idle.1.notify_all();
+                        }
+                        sink.lock().unwrap().append(&mut local);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("SCC worker thread panicked");
+            }
+        });
+        outcomes = sink.into_inner().unwrap();
+        (outcomes, steals.into_inner())
+    }
 }
 
 /// Solves one SCC: a local slot fixpoint over its members against the
-/// seeded snapshot, then (unless served by the cache) the global escape
-/// test for each function member. Engine faults follow the same
-/// quarantine discipline as the whole-program driver, but confined to
-/// this component.
+/// shared slot map (read through lazily), then (unless served by the
+/// cache) the global escape test for each function member. Engine faults
+/// follow the same quarantine discipline as the whole-program driver,
+/// but confined to this component.
 #[allow(clippy::too_many_arguments)]
-fn solve_scc(
+pub(crate) fn solve_scc<'a>(
     id: usize,
-    program: &Program,
-    info: &TypeInfo,
+    program: &'a Program,
+    info: &'a TypeInfo,
     config: &EngineConfig,
+    index: Arc<ProgramIndex<'a>>,
+    top_env: AbsEnv,
     governor: Governor,
     members: &[Symbol],
-    snapshot: &HashMap<RecKey, AbsVal>,
+    base: &SharedSlots,
     run_queries: bool,
 ) -> SccOutcome {
     let scope: BTreeSet<Symbol> = members.iter().copied().collect();
     let build = |gov: Governor| {
-        let mut e = Engine::with_config(program, info, config.clone());
+        let mut e = Engine::with_index(program, info, config.clone(), Arc::clone(&index));
         e.set_governor(gov);
         e.set_scope(Some(scope.clone()));
-        e.seed_slots(snapshot);
+        e.set_base_slots(Some(Arc::clone(base)));
+        e.set_top_env(top_env.clone());
         e
     };
     let mut engine = build(governor.clone());
@@ -456,37 +662,100 @@ fn solve_scc(
     out
 }
 
-const CACHE_SALT: &str = "nml-scc-v1";
+const CACHE_SALT: &str = "nml-scc-v2";
 
-/// Content hashes for every SCC, in id order. Dependencies always have
-/// smaller ids (Tarjan emits callees first), so one forward sweep settles
-/// the transitive keys.
-fn scc_hashes(program: &Program, info: &TypeInfo, config: &EngineConfig, dag: &SccDag) -> Vec<u64> {
+/// The configuration part of every content hash. `max_spines` matters:
+/// it bounds the `B_e` domain, so summaries computed under a different
+/// spine depth are not interchangeable.
+pub(crate) fn config_salt(info: &TypeInfo, config: &EngineConfig) -> String {
+    format!(
+        "{} {} {} {}",
+        config.max_passes, config.widen_depth, config.widen_arity, info.max_spines
+    )
+}
+
+/// Content hash of one binding: name, pretty-printed source, signature.
+pub(crate) fn binding_hash(b: &Binding, info: &TypeInfo) -> u64 {
+    let mut h = ContentHash::new();
+    h.write_str(b.name.as_str());
+    h.write_str(&pretty_expr(&b.expr));
+    match info.sig(b.name) {
+        Some(sig) => h.write_str(&sig.to_string()),
+        None => h.write_str("?"),
+    }
+    h.finish()
+}
+
+/// Combines per-binding hashes into transitive per-SCC hashes, in id
+/// order. Dependencies always have smaller ids (Tarjan emits callees
+/// first), so one forward sweep settles the transitive keys. Shared by
+/// the disk cache and the in-process incremental re-solver, which is
+/// what makes "dirty" mean the same thing in both.
+pub(crate) fn combine_scc_hashes(salt: &str, dag: &SccDag, binding_hashes: &[u64]) -> Vec<u64> {
     let mut hashes = vec![0u64; dag.len()];
     for id in 0..dag.len() {
-        let mut h = ContentHash::new();
-        h.write_str(CACHE_SALT);
-        h.write_str(&format!(
-            "{} {} {}",
-            config.max_passes, config.widen_depth, config.widen_arity
-        ));
-        for &m in &dag.sccs[id].members {
-            let b = &program.bindings[m];
-            h.write_str(b.name.as_str());
-            h.write_str(&pretty_expr(&b.expr));
-            match info.sig(b.name) {
-                Some(sig) => h.write_str(&sig.to_string()),
-                None => h.write_str("?"),
-            }
-        }
-        let mut dep_hashes: Vec<u64> = dag.sccs[id].deps.iter().map(|&d| hashes[d]).collect();
-        dep_hashes.sort_unstable();
-        for dh in dep_hashes {
-            h.write_str(&format!("{dh:016x}"));
-        }
-        hashes[id] = h.finish();
+        hashes[id] = scc_hash_one(salt, dag, id, binding_hashes, &hashes);
     }
     hashes
+}
+
+/// Recomputes in place only the transitive hashes of the SCCs flagged in
+/// `changed`, leaving the rest untouched. Sound because `changed` is
+/// closed under dependents (a flag implies every dependent is flagged
+/// too) and dependencies have smaller ids, so each recomputation reads
+/// already-settled values.
+pub(crate) fn update_scc_hashes(
+    salt: &str,
+    dag: &SccDag,
+    binding_hashes: &[u64],
+    hashes: &mut [u64],
+    changed: &[bool],
+) {
+    for id in 0..dag.len() {
+        if changed[id] {
+            let h = scc_hash_one(salt, dag, id, binding_hashes, hashes);
+            hashes[id] = h;
+        }
+    }
+}
+
+/// The transitive content hash of one SCC, given settled hashes for every
+/// smaller id. This is the single definition of the hash layout; both the
+/// full and the partial sweep go through it.
+fn scc_hash_one(
+    salt: &str,
+    dag: &SccDag,
+    id: usize,
+    binding_hashes: &[u64],
+    hashes: &[u64],
+) -> u64 {
+    let mut h = ContentHash::new();
+    h.write_str(CACHE_SALT);
+    h.write_str(salt);
+    for &m in &dag.sccs[id].members {
+        h.write_str(&format!("{:016x}", binding_hashes[m]));
+    }
+    let mut dep_hashes: Vec<u64> = dag.sccs[id].deps.iter().map(|&d| hashes[d]).collect();
+    dep_hashes.sort_unstable();
+    for dh in dep_hashes {
+        h.write_str(&format!("{dh:016x}"));
+    }
+    h.finish()
+}
+
+/// Content hashes for every SCC, in id order.
+pub(crate) fn scc_hashes(
+    program: &Program,
+    info: &TypeInfo,
+    config: &EngineConfig,
+    dag: &SccDag,
+) -> Vec<u64> {
+    let per_binding: Vec<u64> = program
+        .bindings
+        .iter()
+        .map(|b| binding_hash(b, info))
+        .collect();
+    combine_scc_hashes(&config_salt(info, config), dag, &per_binding)
 }
 
 /// A cache hit for one SCC: the entry exists and reconstructs a summary

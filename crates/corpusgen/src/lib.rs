@@ -1,0 +1,674 @@
+//! # nml-corpusgen
+//!
+//! A seeded, fully deterministic generator of well-typed nml programs,
+//! used both as the scaling workload for the SCC scheduler benchmarks
+//! and as reusable property-test infrastructure (equivalence sweeps,
+//! incremental-invalidation tests, runtime differentials).
+//!
+//! The generator builds programs from two function roles that compose
+//! safely under Hindley–Milner inference and always terminate on finite
+//! lists:
+//!
+//! - **transformers** `int list -> int list` — structural recursion on
+//!   `cdr` behind a `null` guard, rebuilding (or extending) the spine;
+//! - **consumers** `int list -> int` — structural recursion that folds
+//!   the list into a scalar.
+//!
+//! Escape profiles map onto body templates: *local* sites are dead
+//! conses/pairs immediately taken apart (`car (cons x [])`), *escaping*
+//! sites flow into the result spine, and *unknown* sites escape only on
+//! a data-dependent branch. Call-graph topology (deep chains, wide
+//! independent fan-out, large mutual-recursion SCC rings, or mixed
+//! clusters) is a separate knob, so scheduler stress and lattice stress
+//! compose freely.
+//!
+//! Everything is derived from a single `u64` seed via splitmix64: the
+//! same `(seed, shape)` pair produces byte-identical source on every
+//! platform.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A tiny deterministic RNG (splitmix64), independent of any external
+/// crate so generated corpora never drift with dependency versions.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound = 0` yields `0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Percentage check: true with probability `pct`/100.
+    pub fn chance(&mut self, pct: u8) -> bool {
+        self.below(100) < pct as usize
+    }
+}
+
+/// Call-graph topology of a generated corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// One deep dependency chain of singleton SCCs: `f0 → f1 → … → leaf`.
+    Chain,
+    /// Many independent self-recursive functions — maximal parallelism.
+    Wide,
+    /// Disjoint mutual-recursion rings of `size` members each — large
+    /// artificial SCCs.
+    Scc {
+        /// Members per ring.
+        size: usize,
+    },
+    /// Independent clusters mixing short chains, small rings, fan-in and
+    /// leaves — the realistic large-codebase shape (and the scaling
+    /// benchmark workload).
+    Mixed,
+}
+
+/// Shape knobs for [`generate`]. Build with a preset ([`Shape::preset`],
+/// [`Shape::mega`]) or the builder methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shape {
+    /// Number of top-level functions.
+    pub functions: usize,
+    /// Call-graph topology.
+    pub topology: Topology,
+    /// Functions per independent cluster ([`Topology::Mixed`] only).
+    pub cluster: usize,
+    /// Extra dead allocation sites (cons/pair wrappers) per body, `0..=4`.
+    pub alloc_density: u8,
+    /// Percent of functions with a provably-local allocation profile.
+    pub pct_local: u8,
+    /// Percent with a provably-escaping profile (result-spine conses).
+    pub pct_escaping: u8,
+    // remainder: unknown / data-dependent escape
+}
+
+impl Shape {
+    /// Named presets: `chain`, `wide`, `scc`, `mixed`, `mega`.
+    pub fn preset(name: &str) -> Option<Shape> {
+        let base = Shape {
+            functions: 64,
+            topology: Topology::Mixed,
+            cluster: 8,
+            alloc_density: 1,
+            pct_local: 34,
+            pct_escaping: 33,
+        };
+        match name {
+            "chain" => Some(Shape {
+                topology: Topology::Chain,
+                functions: 48,
+                ..base
+            }),
+            "wide" => Some(Shape {
+                topology: Topology::Wide,
+                ..base
+            }),
+            "scc" => Some(Shape {
+                topology: Topology::Scc { size: 8 },
+                ..base
+            }),
+            "mixed" => Some(base),
+            "mega" => Some(Shape::mega()),
+            _ => None,
+        }
+    }
+
+    /// The fixed scaling-benchmark shape: 2000 functions in independent
+    /// mixed clusters of 8.
+    pub fn mega() -> Shape {
+        Shape {
+            functions: 2000,
+            topology: Topology::Mixed,
+            cluster: 8,
+            alloc_density: 2,
+            pct_local: 34,
+            pct_escaping: 33,
+        }
+    }
+
+    /// Sets the function count.
+    pub fn functions(mut self, n: usize) -> Shape {
+        self.functions = n.max(1);
+        self
+    }
+
+    /// Sets the cluster size (Mixed topology).
+    pub fn cluster(mut self, c: usize) -> Shape {
+        self.cluster = c.max(2);
+        self
+    }
+
+    /// Sets the dead-allocation density knob.
+    pub fn alloc_density(mut self, d: u8) -> Shape {
+        self.alloc_density = d.min(4);
+        self
+    }
+}
+
+/// Parses a CLI shape spec: a preset name optionally followed by
+/// `:functions` and topology-specific suffixes — `chain:64`, `wide:200`,
+/// `scc:96x12` (96 functions in rings of 12), `mixed:2000`,
+/// `mixed:2000/8` (clusters of 8), `mega`.
+pub fn parse_shape(spec: &str) -> Result<Shape, String> {
+    let (name, rest) = match spec.split_once(':') {
+        Some((n, r)) => (n, Some(r)),
+        None => (spec, None),
+    };
+    let mut shape = Shape::preset(name)
+        .ok_or_else(|| format!("unknown shape `{name}` (chain|wide|scc|mixed|mega)"))?;
+    if let Some(rest) = rest {
+        let (count, suffix) = if let Some((c, s)) = rest.split_once('x') {
+            (c, Some(('x', s)))
+        } else if let Some((c, s)) = rest.split_once('/') {
+            (c, Some(('/', s)))
+        } else {
+            (rest, None)
+        };
+        let n: usize = count
+            .parse()
+            .map_err(|_| format!("bad function count `{count}` in shape `{spec}`"))?;
+        shape = shape.functions(n);
+        match suffix {
+            Some(('x', s)) => {
+                let size: usize = s
+                    .parse()
+                    .map_err(|_| format!("bad scc size `{s}` in shape `{spec}`"))?;
+                shape.topology = Topology::Scc { size: size.max(2) };
+            }
+            Some(('/', s)) => {
+                let c: usize = s
+                    .parse()
+                    .map_err(|_| format!("bad cluster size `{s}` in shape `{spec}`"))?;
+                shape = shape.cluster(c);
+            }
+            _ => {}
+        }
+    }
+    Ok(shape)
+}
+
+/// What a generated function does with lists — fixes its type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// `int list -> int list`
+    Transformer,
+    /// `int list -> int`
+    Consumer,
+}
+
+/// One generated top-level binding: `name = lambda(l). …`.
+#[derive(Debug, Clone)]
+pub struct GenBinding {
+    /// Binding name (`f0`, `f1`, …).
+    pub name: String,
+    /// Right-hand side, a self-contained `lambda(l). …` expression.
+    pub rhs: String,
+    /// The role the body was generated for (mutations preserve it).
+    pub role: Role,
+    /// Dependencies: indices of other bindings referenced in `rhs`.
+    pub deps: Vec<usize>,
+    /// Whether the body recurses on itself.
+    pub self_rec: bool,
+}
+
+/// A generated corpus: bindings plus a scalar program body, assembled
+/// into source on demand so single-binding replacements stay cheap.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Seed the corpus was generated from.
+    pub seed: u64,
+    /// Shape the corpus was generated with.
+    pub shape: Shape,
+    /// The top-level bindings, in program order.
+    pub bindings: Vec<GenBinding>,
+    /// The program body (type `int`), exercising a sample of roots.
+    pub body: String,
+}
+
+/// A single type-preserving binding mutation produced by [`Corpus::mutate`].
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// Index of the rewritten binding.
+    pub index: usize,
+    /// Its name.
+    pub name: String,
+    /// The replacement right-hand side (same role, different content).
+    pub rhs: String,
+}
+
+impl Corpus {
+    /// Assembles the full program source.
+    pub fn source(&self) -> String {
+        self.source_with(None)
+    }
+
+    /// Assembles source with one binding's RHS replaced (scratch oracle
+    /// for incremental re-analysis tests).
+    pub fn source_replacing(&self, index: usize, rhs: &str) -> String {
+        self.source_with(Some((index, rhs)))
+    }
+
+    fn source_with(&self, replace: Option<(usize, &str)>) -> String {
+        let mut out = String::with_capacity(self.bindings.len() * 96 + 64);
+        out.push_str("letrec ");
+        for (i, b) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(";\n  ");
+            }
+            let rhs = match replace {
+                Some((j, r)) if j == i => r,
+                _ => b.rhs.as_str(),
+            };
+            let _ = write!(out, "{} = {}", b.name, rhs);
+        }
+        let _ = write!(out, "\nin {}", self.body);
+        out
+    }
+
+    /// Produces a deterministic, type- and role-preserving rewrite of one
+    /// randomly chosen binding. The replacement is guaranteed to differ
+    /// textually from the current RHS.
+    pub fn mutate(&self, mutation_seed: u64) -> Mutation {
+        let mut rng = Rng::new(self.seed ^ mutation_seed.rotate_left(17) ^ 0xc0de);
+        let index = rng.below(self.bindings.len());
+        let b = &self.bindings[index];
+        // Re-render the same structural template with fresh constants and
+        // template choices; loop (bounded) until the text actually changes.
+        for attempt in 0..16 {
+            let mut sub = Rng::new(rng.next_u64() ^ attempt);
+            let rhs = render_body(
+                &mut sub,
+                b.role,
+                index,
+                &b.deps,
+                b.self_rec,
+                &self.bindings,
+                self.shape.alloc_density,
+            );
+            if rhs != b.rhs {
+                return Mutation {
+                    index,
+                    name: b.name.clone(),
+                    rhs,
+                };
+            }
+        }
+        // Bounded fallback: constant-shift rewrite always differs.
+        let rhs = format!(
+            "lambda(l). (if (null l) then 0 else car l + {}) ",
+            rng.below(1000) + 1
+        );
+        Mutation {
+            index,
+            name: b.name.clone(),
+            rhs,
+        }
+    }
+}
+
+/// Generates a corpus from a seed and shape. Deterministic: identical
+/// inputs yield byte-identical source.
+pub fn generate(seed: u64, shape: &Shape) -> Corpus {
+    let mut rng = Rng::new(seed ^ CORPUS_SALT);
+    let n = shape.functions.max(1);
+
+    // 1. Wire the topology: per-binding dep sets + self-recursion flags
+    //    + roles. Dep edges always point to larger indices (callees later
+    //    in the program) except inside SCC rings, where the ring closes.
+    let mut plan: Vec<(Role, Vec<usize>, bool)> = Vec::with_capacity(n);
+    match shape.topology {
+        Topology::Chain => {
+            for i in 0..n {
+                let role = Role::Transformer;
+                if i + 1 < n {
+                    plan.push((role, vec![i + 1], false));
+                } else {
+                    plan.push((role, vec![], true)); // leaf recurses
+                }
+            }
+        }
+        Topology::Wide => {
+            for _ in 0..n {
+                plan.push((pick_role(&mut rng, shape), vec![], true));
+            }
+        }
+        Topology::Scc { size } => {
+            let size = size.max(2);
+            for i in 0..n {
+                let ring = i / size;
+                let pos = i % size;
+                let ring_len = (n - ring * size).min(size);
+                if ring_len < 2 {
+                    plan.push((Role::Transformer, vec![], true));
+                } else {
+                    // Ring member calls the next member, wrapping around.
+                    let next = ring * size + (pos + 1) % ring_len;
+                    plan.push((Role::Transformer, vec![next], false));
+                }
+            }
+        }
+        Topology::Mixed => {
+            let c = shape.cluster.max(2);
+            for i in 0..n {
+                let base = (i / c) * c;
+                let pos = i - base;
+                let len = (n - base).min(c);
+                if len >= 3 && pos == 0 {
+                    // Head of cluster: 2-ring with the next member.
+                    plan.push((Role::Transformer, vec![base + 1], false));
+                } else if len >= 3 && pos == 1 {
+                    plan.push((Role::Transformer, vec![base], false));
+                } else {
+                    // Interior: role by profile mix, 0–2 deps on earlier
+                    // cluster members, possible self-recursion.
+                    let role = pick_role(&mut rng, shape);
+                    let mut deps = Vec::new();
+                    let picks = rng.below(3);
+                    for _ in 0..picks {
+                        let d = base + rng.below(pos.max(1));
+                        if d < i && !deps.contains(&d) {
+                            deps.push(d);
+                        }
+                    }
+                    deps.sort_unstable();
+                    plan.push((role, deps, rng.chance(60)));
+                }
+            }
+        }
+    }
+
+    // 2. Render bodies.
+    let mut bindings: Vec<GenBinding> = Vec::with_capacity(n);
+    for (i, (role, deps, self_rec)) in plan.iter().enumerate() {
+        bindings.push(GenBinding {
+            name: format!("f{i}"),
+            rhs: String::new(),
+            role: *role,
+            deps: deps.clone(),
+            self_rec: *self_rec,
+        });
+    }
+    for i in 0..n {
+        let (role, deps, self_rec) = (
+            bindings[i].role,
+            bindings[i].deps.clone(),
+            bindings[i].self_rec,
+        );
+        bindings[i].rhs = render_body(
+            &mut rng,
+            role,
+            i,
+            &deps,
+            self_rec,
+            &bindings,
+            shape.alloc_density,
+        );
+    }
+
+    // 3. Program body: fold a sample of entry points (functions nothing
+    //    else depends on) over small literal lists; always type `int`.
+    let mut depended: Vec<bool> = vec![false; n];
+    for b in &bindings {
+        for &d in &b.deps {
+            depended[d] = true;
+        }
+    }
+    let mut roots: Vec<usize> = (0..n).filter(|&i| !depended[i]).collect();
+    if roots.is_empty() {
+        roots.push(0);
+    }
+    let sample = roots.len().min(6);
+    let step = (roots.len() / sample).max(1);
+    let mut body = String::from("0");
+    for k in 0..sample {
+        let i = roots[(k * step) % roots.len()];
+        let arg = literal_list(&mut rng);
+        let call = format!("{} {}", bindings[i].name, arg);
+        match bindings[i].role {
+            Role::Consumer => {
+                let _ = write!(body, " + {call}");
+            }
+            Role::Transformer => {
+                let _ = write!(body, " + (if (null ({call})) then 0 else car ({call}))");
+            }
+        }
+    }
+    Corpus {
+        seed,
+        shape: shape.clone(),
+        bindings,
+        body,
+    }
+}
+
+fn pick_role(rng: &mut Rng, shape: &Shape) -> Role {
+    let p = rng.below(100) as u8;
+    if p < shape.pct_local {
+        Role::Consumer
+    } else if p < shape.pct_local.saturating_add(shape.pct_escaping) {
+        Role::Transformer
+    } else {
+        // unknown profile: conditional-escape transformer
+        Role::Transformer
+    }
+}
+
+fn literal_list(rng: &mut Rng) -> String {
+    match rng.below(3) {
+        0 => format!("[{}, {}]", rng.below(9), rng.below(9)),
+        1 => format!("[{}, {}, {}]", rng.below(9), rng.below(9), rng.below(9)),
+        _ => format!("[{}]", rng.below(9)),
+    }
+}
+
+/// An `int`-typed expression built from `car l` (only used under a
+/// non-null guard) and dep calls, optionally wrapped in dead allocation
+/// sites according to `density`.
+fn int_expr(rng: &mut Rng, me: usize, deps: &[usize], all: &[GenBinding], density: u8) -> String {
+    let k = rng.below(9) + 1;
+    let mut e = match rng.below(4) {
+        0 => format!("car l + {k}"),
+        1 => format!("car l * {k}"),
+        2 => format!("{k} - car l"),
+        _ => {
+            // fold in a consumer dep if one exists
+            match deps.iter().find(|&&d| all[d].role == Role::Consumer) {
+                Some(&d) if d != me => format!("car l + {} (cdr l)", all[d].name),
+                _ => format!("car l + {k}"),
+            }
+        }
+    };
+    for _ in 0..density {
+        e = match rng.below(3) {
+            // dead cons, immediately deconstructed: provably local site
+            0 => format!("car (cons ({e}) [])"),
+            // dead pair, either projection
+            1 => format!("fst (({e}), {})", rng.below(9)),
+            _ => format!("snd ({}, ({e}))", rng.below(9)),
+        };
+    }
+    e
+}
+
+/// An `int list`-typed expression for transformer else-branches.
+fn list_expr(
+    rng: &mut Rng,
+    me: usize,
+    deps: &[usize],
+    self_rec: bool,
+    all: &[GenBinding],
+) -> String {
+    let trans: Vec<usize> = deps
+        .iter()
+        .copied()
+        .filter(|&d| all[d].role == Role::Transformer && d != me)
+        .collect();
+    let tail: String = if let Some(&d) = trans.first() {
+        format!("{} (cdr l)", all[d].name)
+    } else if self_rec {
+        format!("{} (cdr l)", all[me].name)
+    } else {
+        match rng.below(2) {
+            0 => "cdr l".to_string(),
+            _ => "l".to_string(),
+        }
+    };
+    tail
+}
+
+fn render_body(
+    rng: &mut Rng,
+    role: Role,
+    me: usize,
+    deps: &[usize],
+    self_rec: bool,
+    all: &[GenBinding],
+    density: u8,
+) -> String {
+    match role {
+        Role::Transformer => {
+            let head = int_expr(rng, me, deps, all, density);
+            let tail = list_expr(rng, me, deps, self_rec, all);
+            match rng.below(3) {
+                // unknown profile: escape depends on the data
+                0 => format!(
+                    "lambda(l). if (null l) then l else (if (car l < {}) then l else cons ({head}) ({tail}))",
+                    rng.below(9)
+                ),
+                // escaping with empty base
+                1 => format!("lambda(l). if (null l) then [] else cons ({head}) ({tail})"),
+                // escaping, parameter reaches the result
+                _ => format!("lambda(l). if (null l) then l else cons ({head}) ({tail})"),
+            }
+        }
+        Role::Consumer => {
+            let step = int_expr(rng, me, deps, all, density);
+            let mut terms = String::new();
+            for &d in deps.iter().filter(|&&d| d != me) {
+                match all[d].role {
+                    Role::Consumer => {
+                        let _ = write!(terms, " + {} (cdr l)", all[d].name);
+                    }
+                    Role::Transformer => {
+                        let _ = write!(
+                            terms,
+                            " + (if (null ({0} (cdr l))) then 0 else car ({0} (cdr l)))",
+                            all[d].name
+                        );
+                    }
+                }
+            }
+            let rec = if self_rec {
+                format!(" + {} (cdr l)", all[me].name)
+            } else {
+                String::new()
+            };
+            format!(
+                "lambda(l). if (null l) then {} else ({step}){terms}{rec}",
+                rng.below(4)
+            )
+        }
+    }
+}
+
+/// Stable salt so corpus seeds don't collide with other splitmix64
+/// users in the workspace ("nml_corp" in ASCII).
+const CORPUS_SALT: u64 = 0x6e6d_6c5f_636f_7270;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<Shape> {
+        vec![
+            Shape::preset("chain").unwrap().functions(24),
+            Shape::preset("wide").unwrap().functions(40),
+            Shape::preset("scc").unwrap().functions(32),
+            Shape::preset("mixed").unwrap().functions(48),
+            Shape::mega().functions(64),
+        ]
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for shape in shapes() {
+            let a = generate(7, &shape);
+            let b = generate(7, &shape);
+            assert_eq!(a.source(), b.source());
+            let c = generate(8, &shape);
+            assert_ne!(a.source(), c.source(), "distinct seeds must differ");
+        }
+    }
+
+    #[test]
+    fn corpora_parse_and_typecheck() {
+        for shape in shapes() {
+            for seed in 0..8u64 {
+                let corpus = generate(seed, &shape);
+                let src = corpus.source();
+                let program = nml_syntax::parse_program(&src).unwrap_or_else(|e| {
+                    panic!("seed {seed} {shape:?}: parse failed: {e:?}\n{src}")
+                });
+                nml_types::infer_program(&program)
+                    .unwrap_or_else(|e| panic!("seed {seed} {shape:?}: inference failed: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_type_preserving_and_local() {
+        let shape = Shape::preset("mixed").unwrap().functions(32);
+        for seed in 0..8u64 {
+            let corpus = generate(seed, &shape);
+            let m = corpus.mutate(seed.wrapping_mul(31) + 1);
+            assert_ne!(
+                m.rhs, corpus.bindings[m.index].rhs,
+                "mutation must change text"
+            );
+            let src = corpus.source_replacing(m.index, &m.rhs);
+            let program = nml_syntax::parse_program(&src).expect("mutated corpus parses");
+            nml_types::infer_program(&program).expect("mutated corpus typechecks");
+            // Only the chosen binding differs.
+            let orig = corpus.source();
+            let lines_changed = orig
+                .lines()
+                .zip(src.lines())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(lines_changed <= 1, "mutation touched {lines_changed} lines");
+        }
+    }
+
+    #[test]
+    fn shape_spec_parsing() {
+        assert_eq!(parse_shape("mega").unwrap(), Shape::mega());
+        assert_eq!(parse_shape("mixed:2000").unwrap().functions, 2000);
+        assert_eq!(parse_shape("mixed:2000/8").unwrap().cluster, 8);
+        match parse_shape("scc:96x12").unwrap().topology {
+            Topology::Scc { size } => assert_eq!(size, 12),
+            t => panic!("wrong topology {t:?}"),
+        }
+        assert!(parse_shape("bogus").is_err());
+    }
+}

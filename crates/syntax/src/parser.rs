@@ -108,6 +108,24 @@ pub fn parse_expr(src: &str) -> Result<Expr, SyntaxError> {
     Ok(e)
 }
 
+/// Parses a single nml expression that will live under the given names in
+/// scope — typically the RHS of a top-level binding being replaced, with
+/// `scope` the program's binding names. Unlike [`parse_expr`], occurrences
+/// of `nil` or primitive names that are shadowed by `scope` stay variable
+/// references instead of resolving to constants.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error encountered.
+pub fn parse_expr_in_scope(src: &str, scope: &[Symbol]) -> Result<Expr, SyntaxError> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let mut e = p.expr()?;
+    p.expect_eof()?;
+    resolve_consts(&mut e, &mut scope.to_vec());
+    Ok(e)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,

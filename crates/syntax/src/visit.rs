@@ -78,6 +78,46 @@ pub fn walk_exprs<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
     }
 }
 
+/// Shifts every node id of `e` (pre-order, in place) by `offset` and
+/// returns one past the largest resulting id.
+///
+/// Used when grafting a freshly parsed expression (whose ids start at 0)
+/// into an existing [`Program`](crate::ast::Program): offsetting by the
+/// program's `next_node_id` keeps all ids unique, and the return value is
+/// the program's new `next_node_id`. Ids are never reused, so per-node
+/// side tables keyed by the old subtree's ids simply go stale instead of
+/// aliasing.
+pub fn offset_node_ids(e: &mut Expr, offset: u32) -> u32 {
+    let mut max_plus_one = 0;
+    shift(e, offset, &mut max_plus_one);
+    max_plus_one
+}
+
+fn shift(e: &mut Expr, offset: u32, max_plus_one: &mut u32) {
+    e.id = crate::ast::NodeId(e.id.0 + offset);
+    *max_plus_one = (*max_plus_one).max(e.id.0 + 1);
+    match &mut e.kind {
+        ExprKind::Const(_) | ExprKind::Var(_) => {}
+        ExprKind::App(f, a) => {
+            shift(f, offset, max_plus_one);
+            shift(a, offset, max_plus_one);
+        }
+        ExprKind::Lambda(_, body) => shift(body, offset, max_plus_one),
+        ExprKind::If(c, t, el) => {
+            shift(c, offset, max_plus_one);
+            shift(t, offset, max_plus_one);
+            shift(el, offset, max_plus_one);
+        }
+        ExprKind::Letrec(bs, body) => {
+            for b in bs {
+                shift(&mut b.expr, offset, max_plus_one);
+            }
+            shift(body, offset, max_plus_one);
+        }
+        ExprKind::Annot(inner, _) => shift(inner, offset, max_plus_one),
+    }
+}
+
 /// Counts the occurrences of the variable `x` in `e`, respecting shadowing.
 pub fn count_occurrences(e: &Expr, x: Symbol) -> usize {
     match &e.kind {

@@ -21,7 +21,7 @@ use crate::unify::InferCtx;
 use nml_syntax::ast::{Binding, Const, Expr, ExprKind, NodeId, Prim, Program, TyExpr};
 use nml_syntax::visit::free_vars;
 use nml_syntax::{Span, Symbol};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// The result of type inference over a program.
 #[derive(Debug, Clone)]
@@ -98,6 +98,210 @@ pub fn infer_program(program: &Program) -> Result<TypeInfo, TypeError> {
     let top = inf.letrec_group(&program.bindings, &mut env, program.span)?;
     let body_ty = inf.infer(&program.body, &mut env)?;
     inf.finish(program, top, body_ty)
+}
+
+/// Re-infers only the `dirty` top-level bindings of `program`, updating
+/// `info` in place. The schemes of every clean binding are *pinned*: they
+/// are installed in the environment verbatim from the previous inference,
+/// so the dirty subset is checked against exactly the types the rest of
+/// the program was checked against. This is sound because top-level
+/// schemes are closed (their bodies mention no type variables outside
+/// `vars`), so pinning cannot leak inference state across runs.
+///
+/// The program body is re-inferred when `reinfer_body` is set (the caller
+/// edited it) or when any dirty binding's scheme changed — either way its
+/// node types are refreshed in place (body node ids are stable across
+/// binding edits).
+///
+/// On success, `info` is updated for the dirty bindings and (possibly) the
+/// body: `node_ty`, `car_spines`, `instantiations`, `defaulted_nodes`,
+/// `top_schemes`, `top_sigs`, `top_scheme_orig_vars`, and `max_spines`.
+/// The domain bound stays *exact* — it can decrease when an edit removes
+/// the deepest list type — but only the re-inferred expressions are
+/// re-walked: `spines` caches every other binding's deepest spine count,
+/// so restoring the bound costs a scan of one `u32` per binding instead
+/// of a whole-program walk. `spines` must be positionally in sync with
+/// `program.bindings` (kept bindings keep their entries; entries of
+/// re-inferred bindings are overwritten here). Entries for node ids that
+/// no longer occur in the program are left behind as harmless garbage —
+/// node ids are never reused by the grafting caller, so stale entries are
+/// never looked up. Returns whether any dirty binding's scheme changed.
+///
+/// On error, `info` and `spines` are untouched: all inference happens
+/// before any merge.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] in the dirty subset or re-inferred body.
+pub fn reinfer_program(
+    program: &Program,
+    info: &mut TypeInfo,
+    dirty: &BTreeSet<Symbol>,
+    reinfer_body: bool,
+    spines: &mut SpineTable,
+) -> Result<bool, TypeError> {
+    debug_assert_eq!(spines.bindings.len(), program.bindings.len());
+    let mut inf = Inferencer::new();
+    let mut env = Env::new();
+    // Clean schemes are closed, so they contribute no free type variables
+    // to generalization — only the ones the re-inferred expressions
+    // actually mention need to be in scope (keeping the environment
+    // proportional to the edit, not the program).
+    let mut needed: HashSet<Symbol> = HashSet::new();
+    for b in &program.bindings {
+        if dirty.contains(&b.name) {
+            needed.extend(nml_syntax::visit::free_vars(&b.expr));
+        }
+    }
+    let pinned = |name: Symbol| {
+        info.top_schemes
+            .get(&name)
+            .cloned()
+            .unwrap_or_else(|| panic!("reinfer: clean binding {name} has no pinned scheme"))
+    };
+    for b in &program.bindings {
+        if !dirty.contains(&b.name) && needed.contains(&b.name) {
+            env.push(b.name, pinned(b.name));
+        }
+    }
+    let dirty_bindings: Vec<Binding> = program
+        .bindings
+        .iter()
+        .filter(|b| dirty.contains(&b.name))
+        .cloned()
+        .collect();
+    inf.letrec_group(&dirty_bindings, &mut env, program.span)?;
+
+    // Normalize the fresh schemes exactly as `finish` does, so they are
+    // comparable with (and can replace) the pinned ones.
+    let mut fresh: Vec<(Symbol, Scheme, Ty, Vec<TyVar>)> = Vec::new();
+    let mut schemes_changed = false;
+    for b in &dirty_bindings {
+        let body_ty = inf.cx.resolve(&inf.node_ty[&b.expr.id]);
+        let vars = body_ty.vars();
+        let renaming: HashMap<TyVar, Ty> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, Ty::Var(TyVar(i as u32))))
+            .collect();
+        let scheme = Scheme {
+            vars: (0..vars.len() as u32).map(TyVar).collect(),
+            ty: body_ty.apply(&renaming),
+        };
+        if info.top_schemes.get(&b.name) != Some(&scheme) {
+            schemes_changed = true;
+        }
+        fresh.push((b.name, scheme, body_ty.default_vars(), vars));
+    }
+
+    let body_reinferred = reinfer_body || schemes_changed;
+    if body_reinferred {
+        let body_needs = nml_syntax::visit::free_vars(&program.body);
+        for b in &program.bindings {
+            if !dirty.contains(&b.name) && !needed.contains(&b.name) && body_needs.contains(&b.name)
+            {
+                env.push(b.name, pinned(b.name));
+            }
+        }
+        inf.infer(&program.body, &mut env)?;
+    }
+
+    // All inference succeeded — merge into `info`.
+    let cx = &inf.cx;
+    let mut defaulted_any = false;
+    for (&id, ty) in &inf.node_ty {
+        let resolved = cx.resolve(ty);
+        let ground = if resolved.has_vars() {
+            info.defaulted_nodes.push(id);
+            defaulted_any = true;
+            resolved.default_vars()
+        } else {
+            resolved
+        };
+        info.node_ty.insert(id, ground);
+    }
+    if defaulted_any {
+        info.defaulted_nodes.sort();
+        info.defaulted_nodes.dedup();
+    }
+    for id in &inf.car_nodes {
+        match &info.node_ty[id] {
+            Ty::Fun(dom, _) => {
+                info.car_spines.insert(*id, dom.spines());
+            }
+            other => unreachable!("car node {id} has non-function type {other}"),
+        }
+    }
+    for (id, (name, args)) in inf.inst {
+        let resolved: Vec<Ty> = args.iter().map(|a| cx.resolve(a)).collect();
+        info.instantiations.insert(id, (name, resolved));
+    }
+    for (name, scheme, sig, orig_vars) in fresh {
+        info.top_schemes.insert(name, scheme);
+        info.top_sigs.insert(name, sig);
+        info.top_scheme_orig_vars.insert(name, orig_vars);
+    }
+    for (i, b) in program.bindings.iter().enumerate() {
+        if dirty.contains(&b.name) {
+            spines.bindings[i] = expr_max_spines(info, &b.expr);
+        }
+    }
+    if body_reinferred {
+        spines.body = expr_max_spines(info, &program.body);
+    }
+    info.max_spines = spines.max();
+    Ok(schemes_changed)
+}
+
+/// Maximum spine count over every *live* node of `program` — the exact
+/// domain bound `d`, immune to stale `node_ty` entries left behind by
+/// [`reinfer_program`].
+pub fn program_max_spines(info: &TypeInfo, program: &Program) -> u32 {
+    SpineTable::build(info, program).max()
+}
+
+/// Maximum spine count over the live nodes of one expression.
+pub fn expr_max_spines(info: &TypeInfo, expr: &Expr) -> u32 {
+    let mut d = 0;
+    nml_syntax::visit::walk_exprs(expr, &mut |e: &Expr| {
+        if let Some(t) = info.node_ty.get(&e.id) {
+            d = d.max(deep_max_spines(t));
+        }
+    });
+    d
+}
+
+/// Per-binding cache of the deepest spine count, letting
+/// [`reinfer_program`] restore the exact domain bound `d` after an edit
+/// without walking the whole program: only the re-inferred expressions
+/// are re-walked, and the global bound is a scan of one `u32` per
+/// binding. The caller keeps the table positionally in sync with
+/// `Program::bindings` across graft/remove/reorder edits.
+#[derive(Debug, Clone)]
+pub struct SpineTable {
+    /// Deepest spine count per binding, by position in `Program::bindings`.
+    pub bindings: Vec<u32>,
+    /// Deepest spine count over the program body.
+    pub body: u32,
+}
+
+impl SpineTable {
+    /// Builds the table with one full program walk (cold start).
+    pub fn build(info: &TypeInfo, program: &Program) -> SpineTable {
+        SpineTable {
+            bindings: program
+                .bindings
+                .iter()
+                .map(|b| expr_max_spines(info, &b.expr))
+                .collect(),
+            body: expr_max_spines(info, &program.body),
+        }
+    }
+
+    /// The exact domain bound `d` for the current program.
+    pub fn max(&self) -> u32 {
+        self.bindings.iter().copied().fold(self.body, u32::max)
+    }
 }
 
 /// A lexical type environment.

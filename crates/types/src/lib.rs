@@ -43,7 +43,10 @@ pub mod ty;
 pub mod unify;
 
 pub use error::{TypeError, TypeErrorKind};
-pub use infer::{infer_program, scc_order, TypeInfo};
+pub use infer::{
+    expr_max_spines, infer_program, program_max_spines, reinfer_program, scc_order, SpineTable,
+    TypeInfo,
+};
 pub use mono::{infer_and_monomorphize, monomorphize, MonoProgram};
 pub use ty::{Scheme, Ty, TyVar};
 pub use unify::InferCtx;

@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "serve" => cmd_serve(rest),
         "call" => cmd_call(rest),
+        "gen-corpus" => cmd_gen_corpus(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -80,6 +81,10 @@ commands:
                                  delimited JSON on a unix socket
   call    --socket=PATH [call flags]
                                  send one request to a running server
+  gen-corpus --seed=N --shape=S [--out=PATH]
+                                 emit a deterministic well-typed synthetic
+                                 program; shapes: chain | wide | scc[:RxS] |
+                                 mixed[:N[/C]] | mega (2000 functions)
 
 execution engine flags (run):
   --engine=vm          compile to bytecode and run on the slot-resolved
@@ -105,6 +110,9 @@ analysis scheduling flags (analyze/ir/run):
                        threads (0 = one per available core; default serial)
   --summary-cache=PATH reuse escape summaries across runs; only SCCs whose
                        code or dependencies changed are re-analyzed
+  --watch              (analyze) keep running: re-read the file when it
+                       changes and incrementally re-solve only the SCCs
+                       whose transitive content hash moved
 
 fault-injection flags (run; deterministic, seeded):
   --fault-seed=N           RNG seed for the probabilistic faults (default 0)
@@ -383,7 +391,10 @@ fn cmd_fmt(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_analyze(rest: &[String]) -> Result<(), String> {
-    let (_, src) = read_file(rest)?;
+    let (path, src) = read_file(rest)?;
+    if has_flag(rest, "--watch") {
+        return cmd_analyze_watch(rest, &path, &src);
+    }
     let mode = if has_flag(rest, "--mono") {
         PolyMode::Monomorphize
     } else {
@@ -406,6 +417,15 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         println!("{report}");
         return Ok(());
     }
+    print_summaries(&analysis);
+    println!(
+        "fixpoint: {} passes, {} memoized applications",
+        analysis.stats.passes, analysis.stats.memo_entries
+    );
+    Ok(())
+}
+
+fn print_summaries(analysis: &Analysis) {
     for summary in analysis.summaries.values() {
         print!("{summary}");
         for p in &summary.params {
@@ -422,10 +442,96 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
             println!("    -> top {unshared} spine(s) of any call's result are unshared");
         }
     }
-    println!(
-        "fixpoint: {} passes, {} memoized applications",
-        analysis.stats.passes, analysis.stats.memo_entries
+}
+
+/// `analyze --watch`: analyze once, then poll the file and re-analyze
+/// incrementally on every change — only the SCCs whose transitive content
+/// hash moved are re-solved, everything else is reused in place.
+fn cmd_analyze_watch(rest: &[String], path: &str, src: &str) -> Result<(), String> {
+    use nml_escape_analysis::escape::{Incremental, UpdateError};
+    if has_flag(rest, "--mono") {
+        return Err(
+            "--watch re-analyzes incrementally in the default poly mode; drop --mono".to_owned(),
+        );
+    }
+    let budget = budget_from_flags(rest)?;
+    let map = SourceMap::new(src.to_owned());
+    let program = parse_program(src).map_err(|e| e.render(&map))?;
+    let info = infer_program(&program).map_err(|e| e.render(&map))?;
+    let start = std::time::Instant::now();
+    let mut inc = Incremental::new(program, info, EngineConfig::default(), budget);
+    eprintln!(
+        "watching {path}: initial analysis of {} SCCs in {:.1?}",
+        inc.analysis().schedule.scc_count,
+        start.elapsed()
     );
+    print_summaries(inc.analysis());
+    let mut last_src = src.to_owned();
+    let mut last_mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        if mtime == last_mtime {
+            continue;
+        }
+        last_mtime = mtime;
+        let new_src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("warning: cannot read {path}: {e}");
+                continue;
+            }
+        };
+        if new_src == last_src {
+            continue;
+        }
+        let t = std::time::Instant::now();
+        match inc.update_source(&new_src) {
+            Ok(analysis) => {
+                let s = &analysis.schedule;
+                eprintln!(
+                    "re-analyzed in {:.1?}: {} solved, {} reused of {} SCCs",
+                    t.elapsed(),
+                    s.sccs_solved,
+                    s.sccs_reused,
+                    s.scc_count
+                );
+                for d in &analysis.degradations {
+                    eprintln!("warning: {d}");
+                }
+            }
+            Err(e) => {
+                // The analysis rolled back to the last good source; keep
+                // watching so the user can fix the file in place.
+                let map = SourceMap::new(new_src.clone());
+                match e {
+                    UpdateError::Syntax(e) => eprintln!("{}", e.render(&map)),
+                    UpdateError::Type(e) => eprintln!("{}", e.render(&map)),
+                    other => eprintln!("error: {other}"),
+                }
+            }
+        }
+        last_src = new_src;
+    }
+}
+
+fn cmd_gen_corpus(rest: &[String]) -> Result<(), String> {
+    let seed = parse_num_flag::<u64>(rest, "--seed")?.unwrap_or(0);
+    let spec = flag_value(rest, "--shape").unwrap_or("mega");
+    let shape = nml_corpusgen::parse_shape(spec).map_err(|e| format!("--shape: {e}"))?;
+    let corpus = nml_corpusgen::generate(seed, &shape);
+    let src = corpus.source();
+    match flag_value(rest, "--out") {
+        Some(path) => {
+            std::fs::write(path, &src).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "wrote {path}: {} functions, {} bytes (seed {seed}, shape {spec})",
+                corpus.bindings.len(),
+                src.len()
+            );
+        }
+        None => print!("{src}"),
+    }
     Ok(())
 }
 

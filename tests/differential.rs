@@ -215,6 +215,66 @@ fn violation_quarantine_retry_converges() {
     }
 }
 
+/// Corpusgen differential smoke: on seeded generated programs (deep
+/// synthetic call graphs, dead allocation sites, higher-order plumbing),
+/// the bytecode VM and the tree-walking oracle must agree — on the
+/// rendered value, or on the exact resource error — under a bounded fuel
+/// budget, both unoptimized and fully optimized.
+#[test]
+fn corpusgen_vm_matches_tree_walker() {
+    let cases: u64 = std::env::var("NML_CORPUS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+    let shape = nml_corpusgen::parse_shape("mixed:16/4").expect("shape");
+    let fueled = InterpConfig {
+        fuel: Some(500_000),
+        ..InterpConfig::default()
+    };
+    for seed in 0..cases {
+        let src = nml_corpusgen::generate(seed, &shape).source();
+        for (label, compiled) in [
+            (
+                "plain",
+                compile_scheduled(
+                    &src,
+                    PolyMode::SimplestInstance,
+                    Budget::unlimited(),
+                    &sched(),
+                ),
+            ),
+            (
+                "optimized",
+                compile_optimized_scheduled(
+                    &src,
+                    PolyMode::SimplestInstance,
+                    Budget::unlimited(),
+                    &sched(),
+                ),
+            ),
+        ] {
+            let compiled = compiled.unwrap_or_else(|e| panic!("seed {seed} {label}: {e}"));
+            let tree = run_with_engine(&compiled.ir, fueled.clone(), Engine::Tree);
+            let vm = run_with_engine(&compiled.ir, fueled.clone(), Engine::Vm);
+            match (tree, vm) {
+                (Ok(t), Ok(v)) => {
+                    assert_eq!(t.result, v.result, "seed {seed} {label}: values differ")
+                }
+                (Err(t), Err(v)) => assert_eq!(
+                    t.to_string(),
+                    v.to_string(),
+                    "seed {seed} {label}: errors differ"
+                ),
+                (t, v) => panic!(
+                    "seed {seed} {label}: engines disagree on success: tree={:?} vm={:?}",
+                    t.map(|o| o.result),
+                    v.map(|o| o.result)
+                ),
+            }
+        }
+    }
+}
+
 /// Retry exhaustion: with `max_retries: 0` the first violation degrades
 /// straight to the unoptimized interpreter — still the right value,
 /// reported as a degradation.

@@ -300,3 +300,42 @@ proptest! {
         assert_equivalent("generated (jobs=4)", &reference, &par);
     }
 }
+
+/// Seeds the corpusgen sweeps cover. `NML_CORPUS_CASES` overrides (CI's
+/// corpus-scaling job and quick local runs tune it).
+fn corpus_cases(default: u64) -> u64 {
+    std::env::var("NML_CORPUS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The corpusgen seed sweep: 256 seeded well-typed programs, rotating
+/// through every generator topology, each checked for
+/// whole-program ≡ SCC-serial ≡ SCC-jobs4. Unlike the proptest sweep
+/// above, these programs have *deep synthetic call graphs* (chains,
+/// rings, fan-in clusters), so the scheduler's batching and stealing
+/// paths are exercised, not just leaf SCCs.
+#[test]
+fn corpusgen_seed_sweep_agrees_across_schedulers() {
+    let shapes = ["chain:10", "wide:10", "scc:8x4", "mixed:12/4"];
+    for seed in 0..corpus_cases(256) {
+        let spec = shapes[(seed % shapes.len() as u64) as usize];
+        let shape = nml_corpusgen::parse_shape(spec).expect("shape spec");
+        let src = nml_corpusgen::generate(seed, &shape).source();
+        let label = format!("corpusgen {spec} seed {seed}");
+        let reference = whole_program(&src);
+        let ser = scheduled(&src, &serial());
+        let par = scheduled(&src, &jobs4());
+        assert_equivalent(&format!("{label} (serial)"), &reference, &ser);
+        assert_equivalent(&format!("{label} (jobs=4)"), &reference, &par);
+        assert!(
+            ser.fully_precise() && par.fully_precise(),
+            "{label}: unlimited budget must not degrade"
+        );
+        assert_eq!(
+            ser.schedule.sccs_solved, ser.schedule.scc_count,
+            "{label}: cold run solves every SCC"
+        );
+    }
+}
