@@ -13,6 +13,12 @@
 //! - **degraded rate** — a checked-mode server whose compile was
 //!   sabotaged at every cons site, so each request recovers through
 //!   quarantine; the fraction of responses marked `degraded`.
+//! - **reload** — request p99 while a reload storm swaps epochs under
+//!   the traffic, versus the steady state on the same server, plus the
+//!   time from sending a reload to the first response off the new
+//!   epoch. The run fails if an eval admitted after a reload's ok
+//!   response is answered by the old epoch: the swap must never stall
+//!   the request path by more than one admission cycle.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nml_serve::{compile_program, serve, Client, ServeConfig};
@@ -36,6 +42,15 @@ in rev (mklist 8)";
 const WORK_N: i64 = 256;
 /// sum(1..=WORK_N), the expected result of every request.
 const EXPECT: i64 = WORK_N * (WORK_N + 1) / 2;
+
+/// Revision `k` of `SRC` for the reload storm: only the `pad` constant
+/// differs, so every revision answers the timed evals identically.
+fn reload_src(k: usize) -> String {
+    SRC.replace(
+        "in rev (mklist 8)",
+        &format!(";\n  pad n = n + {k}\nin rev (mklist 8)"),
+    )
+}
 
 fn socket_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("nml-serve-bench-{}-{tag}.sock", std::process::id()))
@@ -205,10 +220,107 @@ fn bench_serve(_c: &mut Criterion) {
         "sabotage must trip checked mode: {deg_report:?}"
     );
 
+    // Reload: the same eval traffic with and without an epoch-swap
+    // storm underneath, plus time-to-first-new-epoch-response.
+    const STORM_RELOADS: usize = 6;
+    const STORM_REQS: usize = 48;
+    let ((steady_p99, storm_p99, first_new), rl_report) =
+        with_server("reload", ServeConfig::default(), |path| {
+            let mut c = Client::connect_retry(path, Duration::from_secs(10)).expect("connect");
+            let expect = EXPECT.to_string();
+            let timed_evals = |c: &mut Client, n: usize, base: usize| -> Vec<Duration> {
+                let mut v: Vec<Duration> = (0..n)
+                    .map(|i| {
+                        let start = Instant::now();
+                        let resp = c.request(&eval_line(base + i)).expect("eval");
+                        let dt = start.elapsed();
+                        assert_ok_result(&resp, &expect);
+                        dt
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            let steady = timed_evals(&mut c, STORM_REQS, 0);
+
+            // The storm: a second connection swaps revisions while the
+            // timed evals run.
+            let storm = std::thread::scope(|s| {
+                s.spawn(|| {
+                    let mut r =
+                        Client::connect_retry(path, Duration::from_secs(10)).expect("reloader");
+                    for k in 1..=STORM_RELOADS {
+                        let req = nml_serve::json::Json::Obj(vec![
+                            (
+                                "op".to_owned(),
+                                nml_serve::json::Json::Str("reload".to_owned()),
+                            ),
+                            ("id".to_owned(), nml_serve::json::Json::Int(9000 + k as i64)),
+                            ("src".to_owned(), nml_serve::json::Json::Str(reload_src(k))),
+                        ]);
+                        let resp = r.request(&req.to_string()).expect("reload");
+                        assert_eq!(
+                            resp.get("status").and_then(nml_serve::json::Json::as_str),
+                            Some("ok"),
+                            "{resp}"
+                        );
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                });
+                timed_evals(&mut c, STORM_REQS, 1000)
+            });
+
+            // Time from sending one more reload to the first response
+            // off the new epoch — which must be the very next eval.
+            let req = nml_serve::json::Json::Obj(vec![
+                (
+                    "op".to_owned(),
+                    nml_serve::json::Json::Str("reload".to_owned()),
+                ),
+                ("id".to_owned(), nml_serve::json::Json::Int(9999)),
+                (
+                    "src".to_owned(),
+                    nml_serve::json::Json::Str(reload_src(STORM_RELOADS + 1)),
+                ),
+            ]);
+            let t0 = Instant::now();
+            let resp = c.request(&req.to_string()).expect("final reload");
+            let desc = resp
+                .get("result")
+                .and_then(nml_serve::json::Json::as_str)
+                .expect("reload desc");
+            let new_epoch: i64 = desc
+                .strip_prefix("epoch ")
+                .and_then(|s| s.split(' ').next())
+                .and_then(|s| s.parse().ok())
+                .expect("epoch id in reload description");
+            let resp = c.request(&eval_line(2000)).expect("first new-epoch eval");
+            let first_new = t0.elapsed();
+            assert_ok_result(&resp, &expect);
+            assert_eq!(
+                resp.get("epoch").and_then(nml_serve::json::Json::as_int),
+                Some(new_epoch),
+                "an eval admitted after the reload's ok response must land \
+                 on the new epoch: {resp}"
+            );
+            (
+                steady[steady.len() * 99 / 100],
+                storm[storm.len() * 99 / 100],
+                first_new,
+            )
+        });
+    assert_eq!(rl_report.reloads_ok, STORM_RELOADS as u64 + 1);
+    assert_eq!(rl_report.reloads_failed, 0);
+    assert_eq!(rl_report.epoch_leaks, 0, "{rl_report:?}");
+
     println!("bench serve/direct_vm: {direct:?} per call");
     println!("bench serve/latency: p50 {p50:?} p99 {p99:?} overhead {overhead:.3}x");
     println!("bench serve/throughput: {req_s:.0} req/s ({CLIENTS} clients)");
     println!("bench serve/degraded_rate: {degraded_rate:.3}");
+    println!(
+        "bench serve/reload: steady p99 {steady_p99:?}, storm p99 {storm_p99:?} \
+         ({STORM_RELOADS} reloads), first new-epoch response {first_new:?}"
+    );
 
     let mut json = String::from("{\n  \"serve\": {\n");
     let _ = writeln!(json, "    \"work_n\": {WORK_N},");
@@ -218,8 +330,17 @@ fn bench_serve(_c: &mut Criterion) {
     let _ = writeln!(json, "    \"overhead_vs_direct\": {overhead:.3},");
     let _ = writeln!(json, "    \"throughput_req_s\": {req_s:.1},");
     let _ = writeln!(json, "    \"throughput_clients\": {CLIENTS},");
-    let _ = writeln!(json, "    \"degraded_rate\": {degraded_rate:.3}");
-    json.push_str("  }\n}\n");
+    let _ = writeln!(json, "    \"degraded_rate\": {degraded_rate:.3},");
+    json.push_str("    \"reload\": {\n");
+    let _ = writeln!(json, "      \"storm_reloads\": {STORM_RELOADS},");
+    let _ = writeln!(json, "      \"steady_p99_ns\": {},", steady_p99.as_nanos());
+    let _ = writeln!(json, "      \"storm_p99_ns\": {},", storm_p99.as_nanos());
+    let _ = writeln!(
+        json,
+        "      \"time_to_first_new_epoch_ns\": {}",
+        first_new.as_nanos()
+    );
+    json.push_str("    }\n  }\n}\n");
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     if let Err(e) = std::fs::write(out, &json) {
         eprintln!("warning: cannot write {out}: {e}");

@@ -1,16 +1,129 @@
 //! A small blocking NDJSON client for the serve protocol, used by
 //! `nmlc call`, the chaos harness, and the throughput bench.
+//!
+//! Beyond raw request/response, the client is *self-healing*:
+//! [`Client::call_retry`] retries typed server errors that are safe to
+//! retry (`overloaded`, `worker_panicked` — requests that were shed or
+//! died before completing; never `runtime_error`, which is the guest's
+//! deterministic answer), under a per-call deadline and a
+//! per-connection retry budget, with decorrelated-jitter backoff. A
+//! [`CircuitBreaker`] trips after consecutive failures so a struggling
+//! server is not hammered; after a cooldown it *half-opens* and sends a
+//! single cheap `healthz` probe — the probe's answer decides whether
+//! the circuit closes again.
 
 use crate::json::Json;
+use crate::proto::ErrorKind;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+/// Retry/backoff policy for [`Client::call_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries per call (beyond the first attempt).
+    pub max_retries: u32,
+    /// Total retries this connection may spend across all calls — a
+    /// budget, so a failing server can't multiply load indefinitely.
+    pub retry_budget: u32,
+    /// First backoff sleep; also the decorrelated-jitter floor.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Overall per-call deadline (attempts + sleeps); `None` = none.
+    pub deadline: Option<Duration>,
+    /// Consecutive retryable failures that open the circuit.
+    pub breaker_threshold: u32,
+    /// How long an open circuit rejects calls before half-opening.
+    pub breaker_cooldown: Duration,
+    /// Jitter RNG seed (fixed seed = reproducible schedules in tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            retry_budget: 16,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            deadline: None,
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(250),
+            seed: 0x6e6d_6c63,
+        }
+    }
+}
+
+/// The circuit's observable state at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are rejected locally (cooldown running).
+    Open,
+    /// Cooldown elapsed: the next call sends one `healthz` probe first.
+    HalfOpen,
+}
+
+/// A consecutive-failure circuit breaker (time passed in explicitly,
+/// so state transitions are unit-testable without sleeping).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive: u32,
+    opened_at: Option<Instant>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures and half-opens `cooldown` later. `threshold` is clamped
+    /// to at least 1.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive: 0,
+            opened_at: None,
+        }
+    }
+
+    /// The state as of `now`.
+    pub fn state(&self, now: Instant) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(at) if now.duration_since(at) >= self.cooldown => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Records a successful call (or probe): closes the circuit.
+    pub fn record_success(&mut self) {
+        self.consecutive = 0;
+        self.opened_at = None;
+    }
+
+    /// Records a failed call (or probe) at `now`; opens the circuit at
+    /// the threshold and restarts the cooldown if already open.
+    pub fn record_failure(&mut self, now: Instant) {
+        self.consecutive = self.consecutive.saturating_add(1);
+        if self.consecutive >= self.threshold || self.opened_at.is_some() {
+            self.opened_at = Some(now);
+        }
+    }
+}
+
 /// A blocking connection to a running server.
 pub struct Client {
     reader: BufReader<UnixStream>,
     writer: UnixStream,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    rng: u64,
+    retries_used: u64,
+    budget_left: u32,
 }
 
 impl Client {
@@ -22,9 +135,18 @@ impl Client {
     pub fn connect(path: &Path) -> std::io::Result<Client> {
         let stream = UnixStream::connect(path)?;
         let writer = stream.try_clone()?;
+        let policy = RetryPolicy::default();
+        let breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown);
+        let rng = policy.seed;
+        let budget_left = policy.retry_budget;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            policy,
+            breaker,
+            rng,
+            retries_used: 0,
+            budget_left,
         })
     }
 
@@ -43,6 +165,20 @@ impl Client {
                 Err(_) => std::thread::sleep(Duration::from_millis(10)),
             }
         }
+    }
+
+    /// Replaces the retry policy (resets the breaker, jitter RNG, and
+    /// remaining retry budget).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown);
+        self.rng = policy.seed;
+        self.budget_left = policy.retry_budget;
+        self.policy = policy;
+    }
+
+    /// Retries spent by [`Client::call_retry`] over this connection.
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
     }
 
     /// Sends one already-rendered request line.
@@ -94,5 +230,185 @@ impl Client {
         })?;
         crate::json::parse(&resp)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends a request line, retrying retry-safe typed errors under the
+    /// connection's [`RetryPolicy`] (see the module docs). Returns the
+    /// final response — which may still be a typed error once retries,
+    /// budget, or the deadline run out.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failures (not retried: the connection is gone), or
+    /// a local circuit-open rejection (`ErrorKind::ConnectionRefused`
+    /// io error whose message mentions the circuit breaker — the server
+    /// was never contacted). The rejection applies only to calls that
+    /// *start* while the circuit is open; a call whose own retries
+    /// opened the circuit waits out the cooldown and continues through
+    /// the half-open probe instead of aborting mid-flight.
+    pub fn call_retry(&mut self, line: &str) -> std::io::Result<Json> {
+        let started = Instant::now();
+        let mut attempt: u32 = 0;
+        let mut prev_backoff = self.policy.base_backoff;
+        loop {
+            match self.breaker.state(Instant::now()) {
+                BreakerState::Closed => {}
+                BreakerState::Open => {
+                    if attempt == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionRefused,
+                            "circuit breaker open; not contacting the server",
+                        ));
+                    }
+                    // This call's own retries tripped the circuit: wait
+                    // for the cooldown, then half-open and probe.
+                    std::thread::sleep(self.policy.breaker_cooldown);
+                    continue;
+                }
+                BreakerState::HalfOpen => {
+                    // One cheap probe decides: answered by the reader
+                    // thread even when the workers are saturated.
+                    match self.request("{\"op\":\"healthz\"}") {
+                        Ok(probe) if probe.get("status").and_then(Json::as_str) == Some("ok") => {
+                            self.breaker.record_success();
+                        }
+                        _ => {
+                            self.breaker.record_failure(Instant::now());
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::ConnectionRefused,
+                                "circuit breaker half-open probe failed",
+                            ));
+                        }
+                    }
+                }
+            }
+            let resp = match self.request(line) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.breaker.record_failure(Instant::now());
+                    return Err(e);
+                }
+            };
+            let kind = resp
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(ErrorKind::from_wire);
+            let retryable = resp.get("status").and_then(Json::as_str) == Some("error")
+                && kind.is_some_and(ErrorKind::is_retryable);
+            if !retryable {
+                if resp.get("status").and_then(Json::as_str) == Some("ok") {
+                    self.breaker.record_success();
+                }
+                return Ok(resp);
+            }
+            self.breaker.record_failure(Instant::now());
+            if attempt >= self.policy.max_retries || self.budget_left == 0 {
+                return Ok(resp);
+            }
+            let mut sleep = self.next_backoff(&mut prev_backoff);
+            if self.breaker.state(Instant::now() + sleep) == BreakerState::Open {
+                // The failure just opened the circuit: stretch the sleep
+                // to the cooldown so the next attempt half-opens instead
+                // of rejecting, and so the deadline check sees the true
+                // wait.
+                sleep = sleep.max(self.policy.breaker_cooldown);
+            }
+            if let Some(deadline) = self.policy.deadline {
+                let elapsed = started.elapsed();
+                if elapsed + sleep >= deadline {
+                    return Ok(resp); // out of time: surface the last answer
+                }
+            }
+            attempt += 1;
+            self.budget_left -= 1;
+            self.retries_used += 1;
+            std::thread::sleep(sleep);
+        }
+    }
+
+    /// Decorrelated jitter: `sleep = min(cap, uniform(base, prev * 3))`.
+    fn next_backoff(&mut self, prev: &mut Duration) -> Duration {
+        let base = self.policy.base_backoff.max(Duration::from_millis(1));
+        let cap = self.policy.max_backoff.max(base);
+        let lo = base.as_millis() as u64;
+        let hi = (prev.saturating_mul(3)).as_millis().max(lo as u128) as u64;
+        let span = hi.saturating_sub(lo).saturating_add(1);
+        let pick = lo + self.next_u64() % span;
+        let sleep = Duration::from_millis(pick).min(cap);
+        *prev = sleep;
+        sleep
+    }
+
+    /// splitmix64, locally seeded — no external crates, reproducible.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens_after_cooldown() {
+        let mut b = CircuitBreaker::new(3, Duration::from_millis(100));
+        let now = t0();
+        assert_eq!(b.state(now), BreakerState::Closed);
+        b.record_failure(now);
+        b.record_failure(now);
+        assert_eq!(b.state(now), BreakerState::Closed, "below threshold");
+        b.record_failure(now);
+        assert_eq!(b.state(now), BreakerState::Open);
+        assert_eq!(b.state(now + Duration::from_millis(99)), BreakerState::Open);
+        assert_eq!(
+            b.state(now + Duration::from_millis(100)),
+            BreakerState::HalfOpen
+        );
+        b.record_success();
+        assert_eq!(
+            b.state(now + Duration::from_millis(100)),
+            BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn breaker_failure_while_open_restarts_cooldown() {
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(100));
+        let now = t0();
+        b.record_failure(now);
+        assert_eq!(
+            b.state(now + Duration::from_millis(100)),
+            BreakerState::HalfOpen
+        );
+        // A failed probe re-opens with a fresh cooldown.
+        b.record_failure(now + Duration::from_millis(100));
+        assert_eq!(
+            b.state(now + Duration::from_millis(150)),
+            BreakerState::Open
+        );
+        assert_eq!(
+            b.state(now + Duration::from_millis(200)),
+            BreakerState::HalfOpen
+        );
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(2, Duration::from_millis(50));
+        let now = t0();
+        b.record_failure(now);
+        b.record_success();
+        b.record_failure(now);
+        assert_eq!(b.state(now), BreakerState::Closed, "streak was broken");
+        b.record_failure(now);
+        assert_eq!(b.state(now), BreakerState::Open);
     }
 }

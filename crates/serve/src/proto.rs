@@ -13,14 +13,19 @@
 //! {"op":"eval","id":2}                      // run the program body
 //! {"op":"ping","id":3}
 //! {"op":"stats","id":4}
-//! {"op":"shutdown","id":5,"mode":"drain"}   // or "now"
+//! {"op":"healthz","id":5}                   // cheap inline health probe
+//! {"op":"reload","id":6}                    // re-read the source file
+//! {"op":"reload","id":7,"src":"..."}        // reload from inline source
+//! {"op":"shutdown","id":8,"mode":"drain"}   // or "now"
 //! ```
 //!
-//! Responses:
+//! Responses (`epoch` appears on responses produced by a worker, naming
+//! the program version the request ran under):
 //!
 //! ```text
-//! {"id":1,"status":"ok","result":"[3, 2, 1]","steps":812,"degraded":false}
-//! {"id":2,"status":"error","kind":"fuel_exhausted","message":"..."}
+//! {"id":1,"status":"ok","result":"[3, 2, 1]","steps":812,"degraded":false,"epoch":1}
+//! {"id":2,"status":"error","kind":"fuel_exhausted","message":"...","epoch":2}
+//! {"id":7,"status":"error","kind":"compile_error","message":"..."}
 //! {"id":null,"status":"error","kind":"bad_request","message":"..."}
 //! ```
 
@@ -60,6 +65,22 @@ pub enum Request {
         /// Correlation id.
         id: Option<i64>,
     },
+    /// Cheap inline health probe: answered by the reader thread even
+    /// when every worker is busy, so clients (and their circuit
+    /// breakers) can distinguish "alive but saturated" from "dead".
+    Healthz {
+        /// Correlation id.
+        id: Option<i64>,
+    },
+    /// Hot-reload the program: validate and re-analyze `src` (or the
+    /// server's source file when absent), then atomically swap in a new
+    /// epoch. Broken edits answer `compile_error` and change nothing.
+    Reload {
+        /// Correlation id.
+        id: Option<i64>,
+        /// Inline replacement source; `None` re-reads the source file.
+        src: Option<String>,
+    },
     /// Graceful (`now = false`) or immediate (`now = true`) shutdown.
     Shutdown {
         /// Correlation id.
@@ -86,6 +107,15 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<i64>, String)> {
     match op {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
+        "healthz" => Ok(Request::Healthz { id }),
+        "reload" => {
+            let src = match v.get("src") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(_) => return Err(fail("`src` must be a string".to_owned())),
+            };
+            Ok(Request::Reload { id, src })
+        }
         "shutdown" => {
             let now = match v.get("mode").and_then(Json::as_str) {
                 None | Some("drain") => false,
@@ -209,6 +239,9 @@ pub enum ErrorKind {
     StackOverflow,
     /// The request was cancelled (immediate shutdown).
     Cancelled,
+    /// A reload was rejected: the new source did not parse, type, or
+    /// analyze. The previous epoch stays live.
+    CompileError,
     /// Any other typed guest-program failure.
     Runtime,
 }
@@ -224,8 +257,25 @@ impl ErrorKind {
             ErrorKind::FuelExhausted => "fuel_exhausted",
             ErrorKind::StackOverflow => "stack_overflow",
             ErrorKind::Cancelled => "cancelled",
+            ErrorKind::CompileError => "compile_error",
             ErrorKind::Runtime => "runtime_error",
         }
+    }
+
+    /// The inverse of [`ErrorKind::wire`].
+    pub fn from_wire(name: &str) -> Option<ErrorKind> {
+        Some(match name {
+            "bad_request" => ErrorKind::BadRequest,
+            "overloaded" => ErrorKind::Overloaded,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "worker_panicked" => ErrorKind::WorkerPanicked,
+            "fuel_exhausted" => ErrorKind::FuelExhausted,
+            "stack_overflow" => ErrorKind::StackOverflow,
+            "cancelled" => ErrorKind::Cancelled,
+            "compile_error" => ErrorKind::CompileError,
+            "runtime_error" => ErrorKind::Runtime,
+            _ => return None,
+        })
     }
 
     /// Maps a guest-program failure onto the taxonomy.
@@ -236,6 +286,33 @@ impl ErrorKind {
             RuntimeError::Cancelled => ErrorKind::Cancelled,
             _ => ErrorKind::Runtime,
         }
+    }
+
+    /// The `nmlc call` process exit code for this kind: the whole
+    /// taxonomy maps to distinct nonzero codes (0 is success, 1 is a
+    /// transport/usage failure), so scripts can branch on the outcome
+    /// without parsing stderr.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::BadRequest => 2,
+            ErrorKind::Overloaded => 3,
+            ErrorKind::ShuttingDown => 4,
+            ErrorKind::WorkerPanicked => 5,
+            ErrorKind::FuelExhausted => 6,
+            ErrorKind::StackOverflow => 7,
+            ErrorKind::Cancelled => 8,
+            ErrorKind::Runtime => 9,
+            ErrorKind::CompileError => 10,
+        }
+    }
+
+    /// Whether a request answered with this kind is safe to retry: the
+    /// request either never ran (`overloaded`, `shutting_down` is *not*
+    /// retryable — the server is going away) or died before producing
+    /// an effect (`worker_panicked`). Deterministic guest failures
+    /// (`runtime_error`, `fuel_exhausted`, …) would just fail again.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorKind::Overloaded | ErrorKind::WorkerPanicked)
     }
 }
 
@@ -248,7 +325,19 @@ fn id_json(id: Option<i64>) -> Json {
 
 /// Renders a success response line (no trailing newline).
 pub fn ok_response(id: Option<i64>, result: &str, steps: u64, degraded: bool) -> String {
-    Json::Obj(vec![
+    ok_response_at(id, result, steps, degraded, None)
+}
+
+/// Renders a success response line carrying the epoch the request ran
+/// under (`None` for inline ops, which have no execution epoch).
+pub fn ok_response_at(
+    id: Option<i64>,
+    result: &str,
+    steps: u64,
+    degraded: bool,
+    epoch: Option<u64>,
+) -> String {
+    let mut fields = vec![
         ("id".to_owned(), id_json(id)),
         ("status".to_owned(), Json::Str("ok".to_owned())),
         ("result".to_owned(), Json::Str(result.to_owned())),
@@ -257,19 +346,36 @@ pub fn ok_response(id: Option<i64>, result: &str, steps: u64, degraded: bool) ->
             Json::Int(steps.min(i64::MAX as u64) as i64),
         ),
         ("degraded".to_owned(), Json::Bool(degraded)),
-    ])
-    .to_string()
+    ];
+    if let Some(e) = epoch {
+        fields.push(("epoch".to_owned(), Json::Int(e.min(i64::MAX as u64) as i64)));
+    }
+    Json::Obj(fields).to_string()
 }
 
 /// Renders an error response line (no trailing newline).
 pub fn error_response(id: Option<i64>, kind: ErrorKind, message: &str) -> String {
-    Json::Obj(vec![
+    error_response_at(id, kind, message, None)
+}
+
+/// Renders an error response line carrying the epoch the request ran
+/// under (`None` for failures that precede execution).
+pub fn error_response_at(
+    id: Option<i64>,
+    kind: ErrorKind,
+    message: &str,
+    epoch: Option<u64>,
+) -> String {
+    let mut fields = vec![
         ("id".to_owned(), id_json(id)),
         ("status".to_owned(), Json::Str("error".to_owned())),
         ("kind".to_owned(), Json::Str(kind.wire().to_owned())),
         ("message".to_owned(), Json::Str(message.to_owned())),
-    ])
-    .to_string()
+    ];
+    if let Some(e) = epoch {
+        fields.push(("epoch".to_owned(), Json::Int(e.min(i64::MAX as u64) as i64)));
+    }
+    Json::Obj(fields).to_string()
 }
 
 #[cfg(test)]
@@ -344,5 +450,64 @@ mod tests {
         let v = crate::json::parse(&err).unwrap();
         assert_eq!(v.get("id"), Some(&Json::Null));
         assert_eq!(v.get("kind").and_then(Json::as_str), Some("bad_request"));
+    }
+
+    #[test]
+    fn epoch_field_appears_only_on_worker_responses() {
+        let inline = ok_response(Some(1), "pong", 0, false);
+        assert!(crate::json::parse(&inline).unwrap().get("epoch").is_none());
+        let worker = ok_response_at(Some(1), "[]", 3, false, Some(7));
+        let v = crate::json::parse(&worker).unwrap();
+        assert_eq!(v.get("epoch").and_then(Json::as_int), Some(7));
+        let err = error_response_at(Some(2), ErrorKind::WorkerPanicked, "boom", Some(9));
+        let v = crate::json::parse(&err).unwrap();
+        assert_eq!(v.get("epoch").and_then(Json::as_int), Some(9));
+    }
+
+    #[test]
+    fn parses_reload_and_healthz() {
+        assert!(matches!(
+            parse_request("{\"op\":\"healthz\",\"id\":1}").unwrap(),
+            Request::Healthz { id: Some(1) }
+        ));
+        let Request::Reload { id, src } = parse_request("{\"op\":\"reload\",\"id\":2}").unwrap()
+        else {
+            panic!("not reload")
+        };
+        assert_eq!((id, src), (Some(2), None));
+        let Request::Reload { src, .. } =
+            parse_request("{\"op\":\"reload\",\"src\":\"letrec f x = x in f 1\"}").unwrap()
+        else {
+            panic!("not reload")
+        };
+        assert_eq!(src.as_deref(), Some("letrec f x = x in f 1"));
+        assert!(parse_request("{\"op\":\"reload\",\"src\":5}").is_err());
+    }
+
+    #[test]
+    fn wire_names_roundtrip_and_exit_codes_are_distinct() {
+        let kinds = [
+            ErrorKind::BadRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::ShuttingDown,
+            ErrorKind::WorkerPanicked,
+            ErrorKind::FuelExhausted,
+            ErrorKind::StackOverflow,
+            ErrorKind::Cancelled,
+            ErrorKind::CompileError,
+            ErrorKind::Runtime,
+        ];
+        let mut codes = std::collections::BTreeSet::new();
+        for k in kinds {
+            assert_eq!(ErrorKind::from_wire(k.wire()), Some(k));
+            let code = k.exit_code();
+            assert!(code > 1, "0 and 1 are reserved");
+            assert!(codes.insert(code), "duplicate exit code {code}");
+        }
+        assert_eq!(ErrorKind::from_wire("nope"), None);
+        assert!(ErrorKind::Overloaded.is_retryable());
+        assert!(ErrorKind::WorkerPanicked.is_retryable());
+        assert!(!ErrorKind::Runtime.is_retryable());
+        assert!(!ErrorKind::ShuttingDown.is_retryable());
     }
 }

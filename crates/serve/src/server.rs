@@ -1,9 +1,9 @@
-//! The server: compile once, serve many.
+//! The server: compile once, serve many — and recompile under load.
 //!
 //! One acceptor thread (inline in [`serve`]), one reader thread per
-//! connection, and a fixed worker pool over a shared immutable
-//! [`IrProgram`] — each worker owns its own `Vm` (and therefore its own
-//! heap), so requests never share mutable runtime state.
+//! connection, and a fixed worker pool over a shared immutable program —
+//! each worker owns its own `Vm` (and therefore its own heap), so
+//! requests never share mutable runtime state.
 //!
 //! Robustness layers:
 //!
@@ -18,25 +18,42 @@
 //!   fuel), the engine's depth limit, and a shared cancellation flag
 //!   for immediate shutdown; all surface as typed errors.
 //! - **checked mode** — a soundness violation quarantines the offending
-//!   site in a server-wide set, recompiles with the site disabled, and
-//!   retries *within the request*; other workers are never interrupted.
+//!   site in the epoch's quarantine set, recompiles with the site
+//!   disabled, and retries *within the request*; other workers are
+//!   never interrupted, and the decision is carried to future epochs
+//!   whose defining code is unchanged (see [`crate::epoch`]).
+//! - **hot reload** — `{"op":"reload"}` (or `--watch` on the source
+//!   file) re-analyzes the program through `core::incremental` off the
+//!   worker threads; a broken edit answers `compile_error` and keeps
+//!   the old epoch live, a good one atomically swaps the current
+//!   `Arc<Epoch>`. In-flight requests finish on their admission epoch;
+//!   the old epoch is reclaimed when its last request drains.
+//! - **flight recorder** — worker panics and soundness violations are
+//!   captured as replayable crash bundles in a bounded on-disk ring
+//!   (see [`crate::bundle`] and [`crate::replay`]); repeated crash
+//!   signatures escalate to a server-wide quarantine of the site.
 
+use crate::bundle::{BundleConfig, BundleRing, CrashBundle};
+use crate::epoch::{CarryMap, Epoch};
 use crate::json::Json;
 use crate::proto::{self, ErrorKind, EvalRequest, Request};
-use nml_escape::{analyze_source_scheduled, Budget, EngineConfig, PolyMode, ScheduleOptions};
+use nml_escape::{
+    analyze_source_scheduled, Analysis, Budget, EngineConfig, Incremental, PolyMode,
+    ScheduleOptions,
+};
 use nml_opt::{
     apply_quarantine, lower_program, sabotage_stack, AllocMode, IrProgram, OptOptions,
-    QuarantineSet, SabotagePlan,
+    QuarantineSet, SabotagePlan, SiteId,
 };
 use nml_runtime::{FaultPlan, Heap, HeapConfig, InterpConfig, RuntimeError, Value, Vm};
 use nml_syntax::Symbol;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind as IoKind, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::Duration;
 
 /// Default deadline→fuel calibration: a conservative estimate of VM
@@ -83,6 +100,19 @@ pub struct ServeConfig {
     /// violations quarantine them — exactly how a genuine analysis bug
     /// would be worn down at runtime.
     pub sabotage: SabotagePlan,
+    /// The source file the program was loaded from. Enables
+    /// `{"op":"reload"}` without inline source and `--watch`.
+    pub source_path: Option<PathBuf>,
+    /// Poll `source_path` for edits and hot-reload on change.
+    pub watch: bool,
+    /// Directory for the crash-bundle ring (`None` disables the flight
+    /// recorder).
+    pub crash_dir: Option<PathBuf>,
+    /// Maximum bundles kept in the crash ring.
+    pub crash_ring_cap: usize,
+    /// Crash-signature repeat count at which the implicated site is
+    /// quarantined server-wide.
+    pub crash_escalate_after: u32,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +133,11 @@ impl Default for ServeConfig {
             gen_gc: HeapConfig::default().gen_gc,
             nursery_kb: HeapConfig::default().nursery_kb,
             sabotage: SabotagePlan::default(),
+            source_path: None,
+            watch: false,
+            crash_dir: None,
+            crash_ring_cap: 16,
+            crash_escalate_after: 2,
         }
     }
 }
@@ -144,10 +179,21 @@ pub struct ServerReport {
     pub bad_frames: u64,
     /// Sites quarantined by checked-mode violations.
     pub quarantined_sites: u64,
+    /// Successful hot reloads (epoch swaps).
+    pub reloads_ok: u64,
+    /// Rejected reloads (broken edits; the old epoch stayed live).
+    pub reloads_failed: u64,
+    /// Replaced epochs fully drained and reclaimed.
+    pub epochs_retired: u64,
+    /// Epochs reclaimed while still carrying an in-flight count — a
+    /// request vanished without a response. Must stay zero.
+    pub epoch_leaks: u64,
+    /// Crash bundles written to the flight-recorder ring.
+    pub crash_bundles: u64,
 }
 
 #[derive(Default)]
-struct Stats {
+pub(crate) struct Stats {
     served_ok: AtomicU64,
     guest_errors: AtomicU64,
     panics: AtomicU64,
@@ -155,6 +201,11 @@ struct Stats {
     shed: AtomicU64,
     bad_frames: AtomicU64,
     quarantined_sites: AtomicU64,
+    reloads_ok: AtomicU64,
+    reloads_failed: AtomicU64,
+    pub(crate) epochs_retired: AtomicU64,
+    pub(crate) epoch_leaks: AtomicU64,
+    crash_bundles: AtomicU64,
 }
 
 impl Stats {
@@ -167,20 +218,31 @@ impl Stats {
             shed: self.shed.load(Ordering::Relaxed),
             bad_frames: self.bad_frames.load(Ordering::Relaxed),
             quarantined_sites: self.quarantined_sites.load(Ordering::Relaxed),
+            reloads_ok: self.reloads_ok.load(Ordering::Relaxed),
+            reloads_failed: self.reloads_failed.load(Ordering::Relaxed),
+            epochs_retired: self.epochs_retired.load(Ordering::Relaxed),
+            epoch_leaks: self.epoch_leaks.load(Ordering::Relaxed),
+            crash_bundles: self.crash_bundles.load(Ordering::Relaxed),
         }
     }
 
     fn render(&self) -> String {
         let r = self.report();
         format!(
-            "ok={} guest_errors={} panics={} degraded={} shed={} bad_frames={} quarantined={}",
+            "ok={} guest_errors={} panics={} degraded={} shed={} bad_frames={} quarantined={} \
+             reloads_ok={} reloads_failed={} epochs_retired={} epoch_leaks={} crash_bundles={}",
             r.served_ok,
             r.guest_errors,
             r.panics,
             r.degraded,
             r.shed,
             r.bad_frames,
-            r.quarantined_sites
+            r.quarantined_sites,
+            r.reloads_ok,
+            r.reloads_failed,
+            r.epochs_retired,
+            r.epoch_leaks,
+            r.crash_bundles
         )
     }
 }
@@ -188,7 +250,7 @@ impl Stats {
 /// Locks a mutex, recovering from poisoning: the protected values
 /// (queue, stats, client streams) stay structurally valid across a
 /// worker panic, and crash-only recovery must keep serving.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -263,6 +325,11 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Items currently queued (a point-in-time reading for `healthz`).
+    fn len(&self) -> usize {
+        lock(&self.inner).items.len()
+    }
+
     fn close(&self) {
         lock(&self.inner).closed = true;
         self.ready.notify_all();
@@ -277,7 +344,22 @@ type SharedWriter = Arc<Mutex<UnixStream>>;
 
 struct Job {
     req: EvalRequest,
+    /// The raw request line, verbatim, for crash bundles.
+    raw: String,
     out: SharedWriter,
+    /// The epoch the request was admitted under; the worker executes it
+    /// there even if a reload lands first.
+    epoch: Arc<Epoch>,
+}
+
+/// The reload engine: a lazily seeded incremental re-analyzer. Seeded
+/// from the live epoch's source on the first reload, then driven by
+/// `update_source` — which rolls back wholesale on broken edits, so a
+/// failed reload leaves both the engine and the epoch untouched. The
+/// solver state *is* the cross-epoch summary carryover: unchanged SCCs
+/// are reused, only dirtied ones re-solve.
+struct ReloadState {
+    inc: Option<Incremental>,
 }
 
 struct Shared {
@@ -288,9 +370,27 @@ struct Shared {
     cancel: Arc<AtomicBool>,
     /// All admitted work answered; readers may exit.
     done: AtomicBool,
-    stats: Stats,
-    /// Server-wide checked-mode quarantine (sites disproved at runtime).
-    quarantine: Mutex<QuarantineSet>,
+    stats: Arc<Stats>,
+    /// The current epoch; admission clones the `Arc`, reload swaps it.
+    current: RwLock<Arc<Epoch>>,
+    /// Next epoch id (the boot program is epoch 1).
+    epoch_seq: AtomicU64,
+    reload: Mutex<ReloadState>,
+    /// Quarantine carryover across epochs, keyed by content hash.
+    qmap: Mutex<CarryMap>,
+    /// Flight recorder (`None` when disabled or its dir was unusable).
+    recorder: Mutex<Option<BundleRing>>,
+    /// Crash-signature occurrence counts, for auto-escalation.
+    crash_counts: Mutex<HashMap<String, u32>>,
+}
+
+impl Shared {
+    fn current_epoch(&self) -> Arc<Epoch> {
+        self.current
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
 }
 
 fn respond(out: &SharedWriter, line: &str) {
@@ -302,10 +402,34 @@ fn respond(out: &SharedWriter, line: &str) {
     let _ = g.flush();
 }
 
+/// Writes the job's response and releases its in-flight pin, in that
+/// order — an epoch counts as drained only once every admitted request
+/// has its answer on the wire.
+fn finish(job: &Job, line: &str) {
+    respond(&job.out, line);
+    job.epoch.inflight.fetch_sub(1, Ordering::SeqCst);
+}
+
 // ---------------------------------------------------------------------
 // Compilation (self-contained glue over the leaf crates; the root
 // crate's pipeline depends on this crate's consumer, not vice versa)
 // ---------------------------------------------------------------------
+
+/// Runs the governed, SCC-scheduled analysis on `src`.
+fn analyze_for_serve(src: &str, cfg: &ServeConfig) -> Result<Analysis, String> {
+    let sched = ScheduleOptions {
+        jobs: cfg.jobs,
+        summary_cache: cfg.summary_cache.clone(),
+    };
+    analyze_source_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        EngineConfig::default(),
+        cfg.budget,
+        &sched,
+    )
+    .map_err(|e| e.to_string())
+}
 
 /// Compiles `src` through the governed, SCC-scheduled analysis and the
 /// optimization pass manager, minus any quarantined sites.
@@ -319,18 +443,7 @@ pub fn compile_program(
     quarantine: &QuarantineSet,
     optimize: bool,
 ) -> Result<IrProgram, String> {
-    let sched = ScheduleOptions {
-        jobs: cfg.jobs,
-        summary_cache: cfg.summary_cache.clone(),
-    };
-    let analysis = analyze_source_scheduled(
-        src,
-        PolyMode::SimplestInstance,
-        EngineConfig::default(),
-        cfg.budget,
-        &sched,
-    )
-    .map_err(|e| e.to_string())?;
+    let analysis = analyze_for_serve(src, cfg)?;
     let mut ir = lower_program(&analysis.program, &analysis.info);
     if optimize {
         nml_opt::optimize(&mut ir, &analysis, &OptOptions::default());
@@ -444,7 +557,7 @@ fn render_value(heap: &Heap<'_>, v: &Value<'_>) -> Result<String, RuntimeError> 
     Ok(out)
 }
 
-enum ReqError {
+pub(crate) enum ReqError {
     /// The request itself was unusable (bad argument shape).
     Bad(String),
     /// The guest program failed.
@@ -459,7 +572,7 @@ impl From<RuntimeError> for ReqError {
 
 /// The per-request fuel: explicit fuel, else the deadline mapping, else
 /// the server defaults.
-fn request_fuel(req: &EvalRequest, cfg: &ServeConfig) -> Option<u64> {
+pub(crate) fn request_fuel(req: &EvalRequest, cfg: &ServeConfig) -> Option<u64> {
     req.fuel
         .or_else(|| req.timeout_ms.map(|ms| ms.saturating_mul(cfg.steps_per_ms)))
         .or(cfg.default_fuel)
@@ -472,7 +585,7 @@ fn request_fuel(req: &EvalRequest, cfg: &ServeConfig) -> Option<u64> {
 /// Runs one request on `vm`, restoring the machine's inert fault plan
 /// and unlimited fuel afterwards (also on the error paths — the next
 /// request must not inherit this one's knobs).
-fn execute<'p>(
+pub(crate) fn execute<'p>(
     vm: &mut Vm<'p>,
     req: &EvalRequest,
     fuel: Option<u64>,
@@ -506,7 +619,9 @@ fn execute<'p>(
     r.map(|result| (result, steps))
 }
 
-fn worker_interp_config(cfg: &ServeConfig, sh: &Shared, checked: bool) -> InterpConfig {
+/// The execution-shaping interpreter configuration (no cancel flag);
+/// shared between workers and in-process replay.
+pub(crate) fn base_interp_config(cfg: &ServeConfig, checked: bool) -> InterpConfig {
     let mut c = InterpConfig {
         heap: HeapConfig {
             checked,
@@ -514,7 +629,6 @@ fn worker_interp_config(cfg: &ServeConfig, sh: &Shared, checked: bool) -> Interp
             nursery_kb: cfg.nursery_kb,
             ..HeapConfig::default()
         },
-        cancel: Some(sh.cancel.clone()),
         ..InterpConfig::default()
     };
     if let Some(d) = cfg.max_depth {
@@ -523,41 +637,137 @@ fn worker_interp_config(cfg: &ServeConfig, sh: &Shared, checked: bool) -> Interp
     c
 }
 
+fn worker_interp_config(cfg: &ServeConfig, sh: &Shared, checked: bool) -> InterpConfig {
+    let mut c = base_interp_config(cfg, checked);
+    c.cancel = Some(sh.cancel.clone());
+    c
+}
+
+// ---------------------------------------------------------------------
+// Crash forensics
+// ---------------------------------------------------------------------
+
+/// Extracts a printable message from a `catch_unwind` payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Records one crash: writes a bundle to the flight-recorder ring and
+/// counts the signature; a signature seen `crash_escalate_after` times
+/// escalates to quarantining the implicated site server-wide (in both
+/// the admission epoch and the current one, plus the carry map so the
+/// decision survives future reloads).
+fn record_crash(
+    sh: &Shared,
+    cfg: &ServeConfig,
+    job: &Job,
+    kind: &str,
+    signature: &str,
+    site: Option<SiteId>,
+    steps: u64,
+) {
+    // Capture the bundle before any escalation below mutates the
+    // epoch's quarantine: replay must see the set that produced the
+    // crash, or it cannot reproduce it.
+    let bundle = CrashBundle {
+        version: 1,
+        kind: kind.to_owned(),
+        signature: signature.to_owned(),
+        epoch: job.epoch.id,
+        program_hash: format!("{:016x}", job.epoch.program_hash),
+        src: job.epoch.src.clone(),
+        request: job.raw.trim().to_owned(),
+        site: site.map(|s| s.0),
+        config: BundleConfig::capture(
+            cfg,
+            job.epoch
+                .quarantine_snapshot()
+                .iter()
+                .map(|s| s.0)
+                .collect(),
+        ),
+        steps,
+    };
+    {
+        let mut rec = lock(&sh.recorder);
+        if let Some(ring) = rec.as_mut() {
+            match ring.push(&bundle) {
+                Ok(_) => {
+                    sh.stats.crash_bundles.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => eprintln!("serve: crash bundle write failed: {e}"),
+            }
+        }
+    }
+    let repeats = {
+        let mut g = lock(&sh.crash_counts);
+        let c = g.entry(signature.to_owned()).or_insert(0);
+        *c += 1;
+        *c
+    };
+    if repeats >= cfg.crash_escalate_after {
+        if let Some(site) = site {
+            let mut qmap = lock(&sh.qmap);
+            if job.epoch.record_quarantine(site, &mut qmap) {
+                sh.stats.quarantined_sites.fetch_add(1, Ordering::Relaxed);
+            }
+            let cur = sh.current_epoch();
+            if !Arc::ptr_eq(&cur, &job.epoch) && cur.record_quarantine(site, &mut qmap) {
+                sh.stats.quarantined_sites.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// Checked-mode recovery, entirely within the failing request: record
-/// the disproved site in the server-wide quarantine, recompile with
-/// every quarantined site's optimization disabled, and retry — up to
-/// `max_retries` times, then once more fully unoptimized (which makes
-/// no claims and cannot violate). Other workers keep serving the
-/// original program; requests that hit the same site degrade the same
-/// way, in isolation.
+/// the disproved site in the admission epoch's quarantine (and the
+/// cross-epoch carry map), recompile with every quarantined site's
+/// optimization disabled, and retry — up to `max_retries` times, then
+/// once more fully unoptimized (which makes no claims and cannot
+/// violate). Other workers keep serving the original program; requests
+/// that hit the same site degrade the same way, in isolation.
 fn recover_violation(
-    src: &str,
     cfg: &ServeConfig,
     sh: &Shared,
-    req: &EvalRequest,
+    job: &Job,
     fuel: Option<u64>,
     first: Box<nml_runtime::SoundnessViolation>,
 ) -> String {
+    let epoch = &job.epoch;
+    let req = &job.req;
+    let site_label = match first.site {
+        Some(s) => epoch.site_label(s),
+        None => "<unattributed>".to_owned(),
+    };
+    record_crash(
+        sh,
+        cfg,
+        job,
+        "soundness_violation",
+        &format!("soundness:{site_label}:{}", first.claim),
+        first.site,
+        0,
+    );
     let mut violation = Some(first);
     let mut attempt = 0u32;
     loop {
         if let Some(v) = violation.take() {
             if let Some(site) = v.site {
-                if lock(&sh.quarantine).insert(site) {
+                let mut qmap = lock(&sh.qmap);
+                if epoch.record_quarantine(site, &mut qmap) {
                     sh.stats.quarantined_sites.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
         attempt += 1;
         let exhausted = attempt > cfg.max_retries;
-        let q = {
-            let g = lock(&sh.quarantine);
-            let mut copy = QuarantineSet::new();
-            for s in g.iter() {
-                copy.insert(s);
-            }
-            copy
-        };
+        let q = epoch.quarantine_snapshot();
         // While retrying, stay optimized-but-checked minus the
         // quarantined sites; once exhausted, fall back to the
         // unoptimized, unchecked program.
@@ -578,13 +788,14 @@ fn recover_violation(
         } else {
             cfg
         };
-        let ir = match compile_program(src, compile_cfg, &q, optimize) {
+        let ir = match compile_program(&epoch.src, compile_cfg, &q, optimize) {
             Ok(ir) => ir,
             Err(m) => {
-                return proto::error_response(
+                return proto::error_response_at(
                     req.id,
                     ErrorKind::Runtime,
                     &format!("recovery recompile failed: {m}"),
+                    Some(epoch.id),
                 )
             }
         };
@@ -596,79 +807,219 @@ fn recover_violation(
             Ok((result, steps)) => {
                 sh.stats.served_ok.fetch_add(1, Ordering::Relaxed);
                 sh.stats.degraded.fetch_add(1, Ordering::Relaxed);
-                return proto::ok_response(req.id, &result, steps, true);
+                return proto::ok_response_at(req.id, &result, steps, true, Some(epoch.id));
             }
             Err(ReqError::Rt(RuntimeError::Soundness(v))) if !exhausted => {
                 violation = Some(v);
             }
-            Err(e) => return guest_error_response(req.id, sh, e),
+            Err(e) => return guest_error_response(req.id, sh, e, Some(epoch.id)),
         }
     }
 }
 
-fn guest_error_response(id: Option<i64>, sh: &Shared, e: ReqError) -> String {
+fn guest_error_response(id: Option<i64>, sh: &Shared, e: ReqError, epoch: Option<u64>) -> String {
     match e {
         ReqError::Bad(m) => {
             sh.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-            proto::error_response(id, ErrorKind::BadRequest, &m)
+            proto::error_response_at(id, ErrorKind::BadRequest, &m, epoch)
         }
         ReqError::Rt(e) => {
             sh.stats.guest_errors.fetch_add(1, Ordering::Relaxed);
-            proto::error_response(id, ErrorKind::of_runtime(&e), &e.to_string())
+            proto::error_response_at(id, ErrorKind::of_runtime(&e), &e.to_string(), epoch)
         }
     }
 }
 
-/// One worker: owns a `Vm` (heap included) over the shared program,
-/// serves jobs until the queue closes and drains. A panic during a
-/// request is caught, answered, and the machine rebuilt from scratch —
-/// crash-only recovery, nothing from the poisoned heap survives.
-fn worker_loop(program: &IrProgram, src: &str, cfg: &ServeConfig, sh: &Shared) {
-    let build = || Vm::with_config(program, worker_interp_config(cfg, sh, cfg.checked));
-    let mut vm = build().ok();
-    while let Some(job) = sh.queue.pop() {
-        if vm.is_none() {
-            vm = build().ok();
-        }
-        let Some(m) = vm.as_mut() else {
-            sh.stats.guest_errors.fetch_add(1, Ordering::Relaxed);
-            respond(
-                &job.out,
-                &proto::error_response(
-                    job.req.id,
-                    ErrorKind::Runtime,
-                    "worker failed to initialize the program",
-                ),
-            );
-            continue;
+/// One worker: owns a `Vm` (heap included) over its pinned epoch's
+/// program, serves jobs until the queue closes and drains. A panic
+/// during a request is caught, answered, recorded as a crash bundle,
+/// and the machine rebuilt from scratch — crash-only recovery, nothing
+/// from the poisoned heap survives. When a job from a *different* epoch
+/// arrives (a reload landed), the worker re-pins and rebuilds once;
+/// steady-state traffic still runs compile-once/run-many.
+fn worker_loop(cfg: &ServeConfig, sh: &Shared) {
+    // A job popped under an old pin, waiting for the machine rebuild.
+    let mut carried: Option<Job> = None;
+    'epoch: loop {
+        let first = match carried.take().or_else(|| sh.queue.pop()) {
+            Some(j) => j,
+            None => return,
         };
-        let req = &job.req;
-        let fuel = request_fuel(req, cfg);
-        let run = catch_unwind(AssertUnwindSafe(|| match execute(m, req, fuel) {
-            Ok((result, steps)) => {
-                sh.stats.served_ok.fetch_add(1, Ordering::Relaxed);
-                proto::ok_response(req.id, &result, steps, false)
+        let epoch = first.epoch.clone();
+        let build = || Vm::with_config(&epoch.program, worker_interp_config(cfg, sh, cfg.checked));
+        let mut vm = build().ok();
+        let mut next = Some(first);
+        loop {
+            let job = match next.take().or_else(|| sh.queue.pop()) {
+                Some(j) => j,
+                None => return,
+            };
+            if !Arc::ptr_eq(&job.epoch, &epoch) {
+                // Reload landed: finish this pin, rebuild on the job's
+                // epoch. `vm` (borrowing `epoch`) drops here, so the
+                // old epoch can drain.
+                carried = Some(job);
+                continue 'epoch;
             }
-            Err(ReqError::Rt(RuntimeError::Soundness(v))) if cfg.checked => {
-                recover_violation(src, cfg, sh, req, fuel, v)
+            if vm.is_none() {
+                vm = build().ok();
             }
-            Err(e) => guest_error_response(req.id, sh, e),
-        }));
-        match run {
-            Ok(line) => respond(&job.out, &line),
-            Err(_) => {
-                // Crash-only: the poisoned machine (heap and all) is
-                // dropped; the next job gets a fresh one.
-                vm = None;
-                sh.stats.panics.fetch_add(1, Ordering::Relaxed);
-                respond(
-                    &job.out,
-                    &proto::error_response(
-                        req.id,
-                        ErrorKind::WorkerPanicked,
-                        "worker panicked on this request and was replaced",
+            let Some(m) = vm.as_mut() else {
+                sh.stats.guest_errors.fetch_add(1, Ordering::Relaxed);
+                finish(
+                    &job,
+                    &proto::error_response_at(
+                        job.req.id,
+                        ErrorKind::Runtime,
+                        "worker failed to initialize the program",
+                        Some(epoch.id),
                     ),
                 );
+                continue;
+            };
+            let req = &job.req;
+            let fuel = request_fuel(req, cfg);
+            let run = catch_unwind(AssertUnwindSafe(|| match execute(m, req, fuel) {
+                Ok((result, steps)) => {
+                    sh.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                    proto::ok_response_at(req.id, &result, steps, false, Some(epoch.id))
+                }
+                Err(ReqError::Rt(RuntimeError::Soundness(v))) if cfg.checked => {
+                    recover_violation(cfg, sh, &job, fuel, v)
+                }
+                Err(e) => guest_error_response(req.id, sh, e, Some(epoch.id)),
+            }));
+            match run {
+                Ok(line) => finish(&job, &line),
+                Err(payload) => {
+                    let steps = vm.as_ref().map_or(0, |m| m.heap.stats.steps);
+                    // Crash-only: the poisoned machine (heap and all) is
+                    // dropped; the next job gets a fresh one.
+                    vm = None;
+                    sh.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    let msg = panic_message(payload.as_ref());
+                    record_crash(
+                        sh,
+                        cfg,
+                        &job,
+                        "worker_panicked",
+                        &format!("panic:{msg}"),
+                        None,
+                        steps,
+                    );
+                    finish(
+                        &job,
+                        &proto::error_response_at(
+                            job.req.id,
+                            ErrorKind::WorkerPanicked,
+                            "worker panicked on this request and was replaced",
+                            Some(epoch.id),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hot reload
+// ---------------------------------------------------------------------
+
+/// Validates and installs a new program epoch.
+///
+/// Compilation and re-analysis happen on the calling (reader or
+/// watcher) thread while the workers keep serving the old epoch; the
+/// current-slot write lock is held only for the pointer swap, so
+/// admission stalls by at most one lock handoff. Any error — syntax,
+/// type, analysis — leaves the live epoch and the reload engine
+/// untouched (the incremental engine rolls back wholesale).
+fn do_reload(sh: &Shared, cfg: &ServeConfig, new_src: &str) -> Result<String, String> {
+    let mut eng = lock(&sh.reload);
+    if eng.inc.is_none() {
+        // First reload: seed the incremental engine from the live
+        // epoch's source (which compiled at boot, so this cannot fail
+        // on a healthy server; surface the error if it somehow does).
+        let boot_src = sh.current_epoch().src.clone();
+        let program =
+            nml_syntax::parse_program(&boot_src).map_err(|e| format!("re-seed parse: {e}"))?;
+        let info = nml_types::infer_program(&program).map_err(|e| format!("re-seed types: {e}"))?;
+        eng.inc = Some(Incremental::new(
+            program,
+            info,
+            EngineConfig::default(),
+            cfg.budget,
+        ));
+    }
+    let inc = eng.inc.as_mut().expect("seeded above");
+    let analysis = inc.update_source(new_src).map_err(|e| e.to_string())?;
+    let solved = analysis.schedule.sccs_solved;
+    let reused = analysis.schedule.sccs_reused;
+    let id = sh.epoch_seq.fetch_add(1, Ordering::SeqCst);
+    let epoch = {
+        let qmap = lock(&sh.qmap);
+        Epoch::build(id, analysis, new_src, cfg, &qmap, sh.stats.clone())
+    };
+    let carried = epoch.quarantine_len();
+    let hash = epoch.program_hash;
+    let fresh = Arc::new(epoch);
+    {
+        let mut cur = sh
+            .current
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        cur.retire();
+        *cur = fresh;
+    }
+    Ok(format!(
+        "epoch {id} hash {hash:016x} sccs_solved {solved} sccs_reused {reused} carried_quarantine {carried}"
+    ))
+}
+
+/// Resolves the reload source (inline from the request, else the
+/// server's source file), runs [`do_reload`], and counts the outcome.
+fn reload_from(sh: &Shared, cfg: &ServeConfig, explicit: Option<String>) -> Result<String, String> {
+    let r = (|| {
+        let src = match explicit {
+            Some(s) => s,
+            None => match &cfg.source_path {
+                Some(p) => std::fs::read_to_string(p)
+                    .map_err(|e| format!("cannot re-read {}: {e}", p.display()))?,
+                None => {
+                    return Err(
+                        "reload needs inline \"src\" (server was not started from a file)"
+                            .to_owned(),
+                    )
+                }
+            },
+        };
+        do_reload(sh, cfg, &src)
+    })();
+    match &r {
+        Ok(_) => sh.stats.reloads_ok.fetch_add(1, Ordering::Relaxed),
+        Err(_) => sh.stats.reloads_failed.fetch_add(1, Ordering::Relaxed),
+    };
+    r
+}
+
+/// `--watch`: polls the source file (content-hash based, immune to the
+/// mtime-tick miss) and hot-reloads on change; a broken edit is
+/// reported and the old epoch stays live, exactly like `analyze
+/// --watch`.
+fn watch_loop(path: PathBuf, boot_src: &str, cfg: &ServeConfig, sh: &Shared) {
+    let mut fw = crate::watch::FileWatch::seeded(&path, boot_src);
+    loop {
+        // 100ms poll period, sliced so shutdown is prompt.
+        for _ in 0..10 {
+            if sh.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(new_src) = fw.poll() {
+            match reload_from(sh, cfg, Some(new_src)) {
+                Ok(d) => eprintln!("watch: reloaded: {d}"),
+                Err(m) => eprintln!("watch: reload rejected (old epoch stays live): {m}"),
             }
         }
     }
@@ -678,7 +1029,7 @@ fn worker_loop(program: &IrProgram, src: &str, cfg: &ServeConfig, sh: &Shared) {
 // Connection readers + acceptor
 // ---------------------------------------------------------------------
 
-fn handle_line(line: &str, out: &SharedWriter, sh: &Shared) {
+fn handle_line(line: &str, out: &SharedWriter, sh: &Shared, cfg: &ServeConfig) {
     let line = line.trim();
     if line.is_empty() {
         return;
@@ -692,8 +1043,28 @@ fn handle_line(line: &str, out: &SharedWriter, sh: &Shared) {
             respond(out, &proto::ok_response(id, "pong", 0, false));
         }
         Ok(Request::Stats { id }) => {
-            respond(out, &proto::ok_response(id, &sh.stats.render(), 0, false));
+            let ep = sh.current_epoch();
+            let msg = format!("{} epoch={}", sh.stats.render(), ep.id);
+            respond(out, &proto::ok_response(id, &msg, 0, false));
         }
+        Ok(Request::Healthz { id }) => {
+            // Cheap and inline: answered by the reader thread, so it
+            // stays responsive under a saturated worker pool — the
+            // client's circuit breaker probes it to half-open.
+            let ep = sh.current_epoch();
+            let msg = format!(
+                "ok epoch={} inflight={} queued={} quarantined={}",
+                ep.id,
+                ep.inflight.load(Ordering::SeqCst),
+                sh.queue.len(),
+                ep.quarantine_len()
+            );
+            respond(out, &proto::ok_response(id, &msg, 0, false));
+        }
+        Ok(Request::Reload { id, src }) => match reload_from(sh, cfg, src) {
+            Ok(desc) => respond(out, &proto::ok_response(id, &desc, 0, false)),
+            Err(m) => respond(out, &proto::error_response(id, ErrorKind::CompileError, &m)),
+        },
         Ok(Request::Shutdown { id, now }) => {
             // Respond first (the reply must not race the drain), then
             // stop admissions; "now" also cancels in-flight work.
@@ -708,13 +1079,21 @@ fn handle_line(line: &str, out: &SharedWriter, sh: &Shared) {
             sh.queue.close();
         }
         Ok(Request::Eval(req)) => {
+            // Admission pins the current epoch: the request runs there
+            // even if a reload swaps the slot before a worker picks it
+            // up. The pin is released by `finish` after the response.
+            let epoch = sh.current_epoch();
+            epoch.inflight.fetch_add(1, Ordering::SeqCst);
             let job = Job {
                 req,
+                raw: line.to_owned(),
                 out: out.clone(),
+                epoch,
             };
             match sh.queue.try_push(job) {
                 Ok(()) => {}
                 Err((AdmitError::Full, job)) => {
+                    job.epoch.inflight.fetch_sub(1, Ordering::SeqCst);
                     sh.stats.shed.fetch_add(1, Ordering::Relaxed);
                     respond(
                         &job.out,
@@ -726,6 +1105,7 @@ fn handle_line(line: &str, out: &SharedWriter, sh: &Shared) {
                     );
                 }
                 Err((AdmitError::Closed, job)) => {
+                    job.epoch.inflight.fetch_sub(1, Ordering::SeqCst);
                     sh.stats.shed.fetch_add(1, Ordering::Relaxed);
                     respond(
                         &job.out,
@@ -741,7 +1121,7 @@ fn handle_line(line: &str, out: &SharedWriter, sh: &Shared) {
     }
 }
 
-fn reader_loop(stream: UnixStream, sh: &Shared) {
+fn reader_loop(stream: UnixStream, sh: &Shared, cfg: &ServeConfig) {
     // The timeout doubles as the shutdown poll interval.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let Ok(writer) = stream.try_clone() else {
@@ -767,7 +1147,7 @@ fn reader_loop(stream: UnixStream, sh: &Shared) {
                 let eof = n == 0;
                 if !buf.is_empty() && (eof || buf.ends_with(b"\n")) {
                     match std::str::from_utf8(&buf) {
-                        Ok(line) => handle_line(line, &out, sh),
+                        Ok(line) => handle_line(line, &out, sh, cfg),
                         Err(_) => {
                             sh.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                             respond(
@@ -799,38 +1179,61 @@ fn reader_loop(stream: UnixStream, sh: &Shared) {
 // ---------------------------------------------------------------------
 
 /// Compiles `src` once and serves eval requests on a Unix socket at
-/// `socket` until a `shutdown` request. Returns the final counters
-/// after a clean drain (every admitted request answered, all threads
-/// joined, socket file removed).
+/// `socket` until a `shutdown` request, hot-reloading the program on
+/// `{"op":"reload"}` (and on source edits under `--watch`). Returns the
+/// final counters after a clean drain (every admitted request answered,
+/// all threads joined, socket file removed).
 ///
 /// # Errors
 ///
 /// [`ServeError::Compile`] if the program doesn't compile (the socket
 /// is never created), [`ServeError::Io`] for socket setup failures.
 pub fn serve(src: &str, socket: &Path, cfg: &ServeConfig) -> Result<ServerReport, ServeError> {
-    let program = compile_program(src, cfg, &QuarantineSet::new(), cfg.optimize)
-        .map_err(ServeError::Compile)?;
+    let stats = Arc::new(Stats::default());
+    let analysis = analyze_for_serve(src, cfg).map_err(ServeError::Compile)?;
+    let qmap = CarryMap::new();
+    let boot = Epoch::build(1, &analysis, src, cfg, &qmap, stats.clone());
+    drop(analysis);
     let _ = std::fs::remove_file(socket);
     let listener = UnixListener::bind(socket).map_err(ServeError::Io)?;
     listener.set_nonblocking(true).map_err(ServeError::Io)?;
-    let sh = Shared {
+    let recorder = match &cfg.crash_dir {
+        Some(dir) => match BundleRing::new(dir, cfg.crash_ring_cap) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("serve: flight recorder disabled ({}: {e})", dir.display());
+                None
+            }
+        },
+        None => None,
+    };
+    let shared = Shared {
         queue: BoundedQueue::new(cfg.queue_cap),
         stopping: AtomicBool::new(false),
         cancel: Arc::new(AtomicBool::new(false)),
         done: AtomicBool::new(false),
-        stats: Stats::default(),
-        quarantine: Mutex::new(QuarantineSet::new()),
+        stats: stats.clone(),
+        current: RwLock::new(Arc::new(boot)),
+        epoch_seq: AtomicU64::new(2),
+        reload: Mutex::new(ReloadState { inc: None }),
+        qmap: Mutex::new(qmap),
+        recorder: Mutex::new(recorder),
+        crash_counts: Mutex::new(HashMap::new()),
     };
-    let program = &program;
-    let sh = &sh;
+    let sh = &shared;
     std::thread::scope(|s| {
         let workers: Vec<_> = (0..cfg.workers.max(1))
-            .map(|_| s.spawn(move || worker_loop(program, src, cfg, sh)))
+            .map(|_| s.spawn(move || worker_loop(cfg, sh)))
             .collect();
+        if cfg.watch {
+            if let Some(path) = cfg.source_path.clone() {
+                s.spawn(move || watch_loop(path, src, cfg, sh));
+            }
+        }
         while !sh.stopping.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
-                    s.spawn(move || reader_loop(stream, sh));
+                    s.spawn(move || reader_loop(stream, sh, cfg));
                 }
                 Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -849,7 +1252,10 @@ pub fn serve(src: &str, socket: &Path, cfg: &ServeConfig) -> Result<ServerReport
         sh.done.store(true, Ordering::SeqCst);
     });
     let _ = std::fs::remove_file(socket);
-    Ok(sh.stats.report())
+    // Drop the final epoch before reading the counters, so its leak
+    // accounting (if any) lands in the report.
+    drop(shared);
+    Ok(stats.report())
 }
 
 #[cfg(test)]

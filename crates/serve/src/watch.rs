@@ -1,0 +1,167 @@
+//! Change detection for watched source files.
+//!
+//! Both `nmlc analyze --watch` and `nmlc serve --watch` poll a source file
+//! for edits. An mtime-only poll has a granularity bug: two saves landing
+//! within the same mtime tick (coarse filesystem clocks report whole
+//! seconds) are invisible, so the second edit is silently dropped. The
+//! [`FileWatch`] helper therefore treats mtime only as a cheap hint and
+//! always falls back to comparing an FNV-1a content hash, so a changed
+//! file is detected even when its mtime did not move.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// FNV-1a 64-bit hash of a byte string.
+///
+/// Used for cheap content-change detection and for fingerprinting program
+/// sources across reload epochs. Not cryptographic.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Polling change detector for a single source file.
+///
+/// Each [`FileWatch::poll`] call stats the file and, whenever the file is
+/// readable, compares an FNV-1a hash of its contents against the last
+/// seen hash. The mtime is recorded purely as a debugging aid; detection
+/// never relies on it, which fixes the same-mtime-tick miss. Transient
+/// read errors (editor rename-in-place windows) are treated as "no
+/// change" and retried on the next poll.
+#[derive(Debug)]
+pub struct FileWatch {
+    path: PathBuf,
+    last_hash: u64,
+    last_mtime: Option<SystemTime>,
+}
+
+impl FileWatch {
+    /// Creates a watcher whose baseline is the file's current contents
+    /// (or an empty baseline if the file is unreadable right now).
+    pub fn new(path: impl Into<PathBuf>) -> FileWatch {
+        let path = path.into();
+        let (last_hash, last_mtime) = match fs::read(&path) {
+            Ok(bytes) => (fnv64(&bytes), mtime_of(&path)),
+            Err(_) => (fnv64(b""), None),
+        };
+        FileWatch {
+            path,
+            last_hash,
+            last_mtime,
+        }
+    }
+
+    /// Creates a watcher whose baseline is `content`, for callers that
+    /// already loaded the file (avoids reporting the boot contents as a
+    /// spurious first change).
+    pub fn seeded(path: impl Into<PathBuf>, content: &str) -> FileWatch {
+        let path = path.into();
+        let last_mtime = mtime_of(&path);
+        FileWatch {
+            path,
+            last_hash: fnv64(content.as_bytes()),
+            last_mtime,
+        }
+    }
+
+    /// The watched path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Checks the file once. Returns the new contents iff they differ
+    /// from the last seen contents, even when the mtime is unchanged.
+    pub fn poll(&mut self) -> Option<String> {
+        let mtime = mtime_of(&self.path);
+        let bytes = match fs::read(&self.path) {
+            Ok(b) => b,
+            // Transient: file mid-rename or momentarily missing.
+            Err(_) => return None,
+        };
+        let hash = fnv64(&bytes);
+        self.last_mtime = mtime;
+        if hash == self.last_hash {
+            return None;
+        }
+        let text = String::from_utf8(bytes).ok()?;
+        self.last_hash = hash;
+        Some(text)
+    }
+}
+
+fn mtime_of(path: &Path) -> Option<SystemTime> {
+    fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nml-watch-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn fnv_is_stable_and_discriminates() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+        assert_eq!(fnv64(b"letrec"), fnv64(b"letrec"));
+    }
+
+    #[test]
+    fn detects_content_change_even_with_same_mtime() {
+        let p = tmp("same-tick.nml");
+        fs::write(&p, "one").unwrap();
+        let mut w = FileWatch::new(&p);
+        assert!(w.poll().is_none(), "baseline must not fire");
+        // Rewrite and force the mtime back to its previous value, so an
+        // mtime-based poll would miss the edit entirely.
+        let meta = fs::metadata(&p).unwrap();
+        let mtime = meta.modified().unwrap();
+        fs::write(&p, "two").unwrap();
+        let _ = filetime_set(&p, mtime);
+        assert_eq!(w.poll().as_deref(), Some("two"));
+        assert!(w.poll().is_none(), "change reported once");
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn seeded_baseline_suppresses_boot_contents() {
+        let p = tmp("seeded.nml");
+        fs::write(&p, "boot").unwrap();
+        let mut w = FileWatch::seeded(&p, "boot");
+        assert!(w.poll().is_none());
+        fs::write(&p, "edited").unwrap();
+        assert_eq!(w.poll().as_deref(), Some("edited"));
+        let _ = fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_is_transient() {
+        let p = tmp("missing.nml");
+        let _ = fs::remove_file(&p);
+        let mut w = FileWatch::new(&p);
+        assert!(w.poll().is_none());
+        fs::write(&p, "appeared").unwrap();
+        assert_eq!(w.poll().as_deref(), Some("appeared"));
+        let _ = fs::remove_file(&p);
+    }
+
+    /// Best-effort mtime restore without external crates: copy the
+    /// file's own times from a reference handle via `fs::File::set_times`
+    /// when available; otherwise the test still passes because detection
+    /// does not depend on mtime at all.
+    fn filetime_set(path: &Path, to: std::time::SystemTime) -> std::io::Result<()> {
+        let f = fs::OpenOptions::new().append(true).open(path)?;
+        let times = fs::FileTimes::new().set_modified(to);
+        f.set_times(times)
+    }
+}

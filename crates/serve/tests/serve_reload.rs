@@ -1,0 +1,252 @@
+//! End-to-end tests for hot reload: versioned epoch swaps, broken-edit
+//! rejection, quarantine carryover across epochs, and the self-healing
+//! client retrying through transient overload.
+
+use nml_serve::json::Json;
+use nml_serve::{serve, Client, RetryPolicy, ServeConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "nml-serve-reload-{}-{tag}.sock",
+        std::process::id()
+    ))
+}
+
+/// Serves `src`, runs `body`, drains, and returns the final report.
+fn with_server<F>(
+    tag: &str,
+    src: &'static str,
+    cfg: ServeConfig,
+    body: F,
+) -> nml_serve::ServerReport
+where
+    F: FnOnce(&mut Client),
+{
+    let path = socket_path(tag);
+    let server = {
+        let path = path.clone();
+        std::thread::spawn(move || serve(src, &path, &cfg))
+    };
+    let mut client = Client::connect_retry(&path, Duration::from_secs(5)).expect("connect");
+    body(&mut client);
+    let resp = client
+        .request("{\"op\":\"shutdown\",\"mode\":\"drain\"}")
+        .expect("shutdown");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    server
+        .join()
+        .expect("server thread")
+        .expect("server ran cleanly")
+}
+
+fn reload_request(id: i64, src: &str) -> String {
+    Json::Obj(vec![
+        ("op".to_owned(), Json::Str("reload".to_owned())),
+        ("id".to_owned(), Json::Int(id)),
+        ("src".to_owned(), Json::Str(src.to_owned())),
+    ])
+    .to_string()
+}
+
+fn assert_ok(resp: &Json, expect_result: &str) {
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{resp}"
+    );
+    assert_eq!(
+        resp.get("result").and_then(Json::as_str),
+        Some(expect_result),
+        "{resp}"
+    );
+}
+
+const V1: &str = "letrec mk n = if n = 0 then nil else cons n (mk (n - 1)); \
+                  sum l = if (null l) then 0 else car l + sum (cdr l) \
+                  in sum (mk 4)";
+const V2: &str = "letrec mk n = if n = 0 then nil else cons n (mk (n - 1)); \
+                  sum l = if (null l) then 0 else car l + sum (cdr l) \
+                  in sum (mk 5)";
+
+#[test]
+fn reload_swaps_epochs_and_rejects_broken_edits() {
+    let report = with_server("swap", V1, ServeConfig::default(), |c| {
+        // Epoch 1 serves the boot program; worker responses carry it.
+        let resp = c.request("{\"op\":\"eval\",\"id\":1}").expect("eval v1");
+        assert_ok(&resp, "10");
+        assert_eq!(resp.get("epoch").and_then(Json::as_int), Some(1), "{resp}");
+
+        // healthz is answered inline and names the live epoch.
+        let resp = c.request("{\"op\":\"healthz\",\"id\":2}").expect("healthz");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let health = resp.get("result").and_then(Json::as_str).unwrap();
+        assert!(health.contains("epoch=1"), "{health}");
+
+        // A valid reload swaps in epoch 2...
+        let resp = c.request(&reload_request(3, V2)).expect("reload");
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{resp}"
+        );
+        let desc = resp.get("result").and_then(Json::as_str).unwrap();
+        assert!(desc.contains("epoch 2"), "{desc}");
+
+        // ...and the very first eval admitted after the reload response
+        // already runs the new program on the new epoch.
+        let resp = c.request("{\"op\":\"eval\",\"id\":4}").expect("eval v2");
+        assert_ok(&resp, "15");
+        assert_eq!(resp.get("epoch").and_then(Json::as_int), Some(2), "{resp}");
+
+        // A broken edit is rejected as a typed compile_error and the
+        // live epoch stays untouched.
+        let resp = c
+            .request(&reload_request(5, "letrec oops = in oops"))
+            .expect("broken reload");
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("error"),
+            "{resp}"
+        );
+        assert_eq!(
+            resp.get("kind").and_then(Json::as_str),
+            Some("compile_error"),
+            "{resp}"
+        );
+        let resp = c.request("{\"op\":\"eval\",\"id\":6}").expect("eval after");
+        assert_ok(&resp, "15");
+        assert_eq!(resp.get("epoch").and_then(Json::as_int), Some(2), "{resp}");
+    });
+    assert_eq!(report.reloads_ok, 1, "{report:?}");
+    assert_eq!(report.reloads_failed, 1, "{report:?}");
+    assert_eq!(report.epochs_retired, 1, "epoch 1 drained: {report:?}");
+    assert_eq!(report.epoch_leaks, 0, "{report:?}");
+    assert_eq!(report.served_ok, 3, "{report:?}");
+}
+
+// Three revisions of one program: B edits only `pad` (the quarantined
+// site's owner `mk` is untouched), C edits `mk` itself.
+const SRC_A: &str = "letrec mk n = if n = 0 then nil else cons n (mk (n - 1)); \
+                     pad n = n + 0 in mk 3";
+const SRC_B: &str = "letrec mk n = if n = 0 then nil else cons n (mk (n - 1)); \
+                     pad n = n + 1 in mk 3";
+const SRC_C: &str = "letrec mk n = if n = 0 then nil else cons (n + 0) (mk (n - 1)); \
+                     pad n = n + 1 in mk 3";
+
+#[test]
+fn quarantine_carries_across_epochs_keyed_by_content() {
+    // Deliberately wrong stack claims on every site: the body's result
+    // reaches stack-freed cells, so the first checked eval must trip a
+    // violation and quarantine the culprit site in `mk`.
+    let cfg = ServeConfig {
+        workers: 1,
+        checked: true,
+        sabotage: nml_opt::SabotagePlan::stack((0..32).map(nml_opt::SiteId)),
+        ..ServeConfig::default()
+    };
+    let report = with_server("carry", SRC_A, cfg, |c| {
+        // Epoch 1: the violation is caught and recovered in-request.
+        let resp = c.request("{\"op\":\"eval\",\"id\":1}").expect("eval a");
+        assert_ok(&resp, "[3, 2, 1]");
+        assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)), "{resp}");
+
+        // Epoch 2 edits only `pad`: `mk` is byte-identical, so its
+        // quarantined site carries over and the same eval no longer
+        // needs the in-request recovery.
+        let resp = c.request(&reload_request(2, SRC_B)).expect("reload b");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let desc = resp.get("result").and_then(Json::as_str).unwrap();
+        let carried: u64 = desc
+            .split("carried_quarantine ")
+            .nth(1)
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        assert!(carried >= 1, "quarantine must carry over: {desc}");
+        let resp = c.request("{\"op\":\"eval\",\"id\":3}").expect("eval b");
+        assert_ok(&resp, "[3, 2, 1]");
+        assert_ne!(
+            resp.get("degraded"),
+            Some(&Json::Bool(true)),
+            "carried quarantine must pre-empt the violation: {resp}"
+        );
+
+        // Epoch 3 edits `mk` itself: the stale quarantine is dropped,
+        // the sabotage bites again, and checked mode re-learns it.
+        let resp = c.request(&reload_request(4, SRC_C)).expect("reload c");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let resp = c.request("{\"op\":\"eval\",\"id\":5}").expect("eval c");
+        assert_ok(&resp, "[3, 2, 1]");
+        assert_eq!(
+            resp.get("degraded"),
+            Some(&Json::Bool(true)),
+            "changed owner must be re-tried: {resp}"
+        );
+    });
+    assert_eq!(report.reloads_ok, 2, "{report:?}");
+    assert!(report.quarantined_sites >= 2, "{report:?}");
+    assert_eq!(report.epoch_leaks, 0, "{report:?}");
+}
+
+#[test]
+fn client_retries_through_transient_overload() {
+    // One worker, queue of one: two pipelined slow requests keep both
+    // slots busy, so a third connection's eval is shed `overloaded` —
+    // a retryable kind the self-healing client must ride out.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    };
+    let path = socket_path("retry");
+    let server = {
+        let path = path.clone();
+        let cfg = cfg.clone();
+        std::thread::spawn(move || serve("letrec spin n = spin n in spin 0", &path, &cfg))
+    };
+    let mut blocker = Client::connect_retry(&path, Duration::from_secs(5)).expect("connect");
+    blocker
+        .send_line("{\"op\":\"eval\",\"id\":1,\"call\":\"spin\",\"args\":[0],\"fuel\":5000000}")
+        .expect("slow 1");
+    blocker
+        .send_line("{\"op\":\"eval\",\"id\":2,\"call\":\"spin\",\"args\":[0],\"fuel\":5000000}")
+        .expect("slow 2");
+
+    let mut healer = Client::connect_retry(&path, Duration::from_secs(5)).expect("connect 2");
+    // Effectively deadline-bounded: retries are cheap (the server sheds
+    // at admission), so let the 60s deadline be the only real limit and
+    // keep the test robust across debug/release VM speeds.
+    healer.set_retry_policy(RetryPolicy {
+        max_retries: 1000,
+        retry_budget: 1000,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+        deadline: Some(Duration::from_secs(60)),
+        ..RetryPolicy::default()
+    });
+    // Give the admission path a moment to pop the first slow job and
+    // enqueue the second, so the eval below actually gets shed at
+    // least once before the fuel runs out.
+    std::thread::sleep(Duration::from_millis(5));
+    let resp = healer
+        .call_retry("{\"op\":\"eval\",\"id\":3,\"call\":\"spin\",\"args\":[0],\"fuel\":10}")
+        .expect("healed call");
+    assert_eq!(
+        resp.get("kind").and_then(Json::as_str),
+        Some("fuel_exhausted"),
+        "the healed call must eventually reach a worker: {resp}"
+    );
+
+    // Drain the pipelined responses, then shut down.
+    assert!(blocker.recv_line().expect("resp 1").is_some());
+    assert!(blocker.recv_line().expect("resp 2").is_some());
+    let resp = healer
+        .request("{\"op\":\"shutdown\",\"mode\":\"drain\"}")
+        .expect("shutdown");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    drop(healer);
+    drop(blocker);
+    let report = server.join().expect("thread").expect("serve");
+    assert!(report.shed >= 1, "{report:?}");
+}

@@ -24,13 +24,40 @@ use nml_escape_analysis::pipeline::{
 };
 use nml_escape_analysis::runtime::{Engine, FaultPlan, FaultRate, InterpConfig};
 use nml_escape_analysis::serve::json::Json;
-use nml_escape_analysis::serve::{Client, ServeConfig, DEFAULT_STEPS_PER_MS};
+use nml_escape_analysis::serve::proto::ErrorKind;
+use nml_escape_analysis::serve::{
+    minimize, render_report, replay, Client, CrashBundle, FileWatch, RetryPolicy, ServeConfig,
+    DEFAULT_STEPS_PER_MS,
+};
 use nml_escape_analysis::syntax::{parse_program, SourceMap};
 use nml_escape_analysis::types::infer_program;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::str::FromStr;
 use std::time::Duration;
+
+/// A command failure: a diagnostic for stderr plus the process exit
+/// code. Most commands exit 1 on any failure; `call` and `replay` map
+/// their outcomes onto distinct codes so scripts can branch on them.
+struct Failure {
+    code: u8,
+    msg: String,
+}
+
+impl Failure {
+    fn code(code: u8, msg: impl Into<String>) -> Failure {
+        Failure {
+            code,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Failure {
+        Failure { code: 1, msg }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,26 +68,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match cmd {
-        "check" => cmd_check(rest),
-        "fmt" => cmd_fmt(rest),
-        "analyze" => cmd_analyze(rest),
-        "ir" => cmd_ir(rest),
-        "run" => cmd_run(rest),
-        "serve" => cmd_serve(rest),
+    let result: Result<(), Failure> = match cmd {
+        "check" => cmd_check(rest).map_err(Failure::from),
+        "fmt" => cmd_fmt(rest).map_err(Failure::from),
+        "analyze" => cmd_analyze(rest).map_err(Failure::from),
+        "ir" => cmd_ir(rest).map_err(Failure::from),
+        "run" => cmd_run(rest).map_err(Failure::from),
+        "serve" => cmd_serve(rest).map_err(Failure::from),
         "call" => cmd_call(rest),
-        "gen-corpus" => cmd_gen_corpus(rest),
+        "replay" => cmd_replay(rest),
+        "gen-corpus" => cmd_gen_corpus(rest).map_err(Failure::from),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(Failure::from(format!("unknown command `{other}`\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(f) => {
+            if !f.msg.is_empty() {
+                eprintln!("{}", f.msg);
+            }
+            ExitCode::from(f.code)
         }
     }
 }
@@ -81,6 +111,11 @@ commands:
                                  delimited JSON on a unix socket
   call    --socket=PATH [call flags]
                                  send one request to a running server
+  replay  <bundle.json> [--minimize]
+                                 re-execute a crash bundle from the serve
+                                 flight recorder, in-process and
+                                 deterministically; exit 0 iff the recorded
+                                 outcome reproduces
   gen-corpus --seed=N --shape=S [--out=PATH]
                                  emit a deterministic well-typed synthetic
                                  program; shapes: chain | wide | scc[:RxS] |
@@ -157,11 +192,38 @@ serve flags (serve also accepts -O/--no-optimize, --checked,
   --queue-cap=N        admission-queue bound; past it requests are shed
                        with a typed `overloaded` response (default 64)
   --steps-per-ms=N     deadline-to-fuel calibration (default 200000)
+  --watch              poll the source file and hot-reload on change;
+                       broken edits are rejected, the old epoch stays live
+  --crash-dir=PATH|off crash-bundle ring directory (default:
+                       <socket>.crashes; off disables the flight recorder)
+  --crash-ring-cap=N   max bundles kept in the ring (default 16)
+  --crash-escalate-after=N
+                       repeats of one crash signature before the
+                       implicated site is quarantined server-wide
+                       (default 2)
 
 call flags (one of):
   --call=f --args=JSON [--fuel=N] [--timeout-ms=N]   evaluate f(args)
   --eval               evaluate the program body
-  --ping | --stats | --shutdown[=drain|now]
+  --ping | --stats | --healthz | --shutdown[=drain|now]
+  --reload             hot-reload the served file (server re-reads it)
+
+call retry flags (any of these turns on self-healing retries —
+deadline-aware, decorrelated-jitter backoff, retrying only transient
+kinds like overloaded/worker_panicked):
+  --retries=N          attempts beyond the first (default 3)
+  --retry-budget=N     total retries this connection may spend
+  --backoff-ms=N       base backoff sleep (default 5)
+  --backoff-cap-ms=N   backoff ceiling (default 200)
+  --call-deadline-ms=N overall per-call deadline across attempts
+
+call exit codes: 0 ok, 1 transport/usage, then per error kind:
+  2 bad_request, 3 overloaded, 4 shutting_down, 5 worker_panicked,
+  6 fuel_exhausted, 7 stack_overflow, 8 cancelled, 9 runtime_error,
+  10 compile_error
+
+call fault flags (forwarded in the request, for crash-drill testing):
+  --fault-panic-at-alloc=N  inject a worker panic at allocation #N
 
 run also accepts --profile (hottest allocation/reuse sites) and --stats";
 
@@ -466,25 +528,15 @@ fn cmd_analyze_watch(rest: &[String], path: &str, src: &str) -> Result<(), Strin
         start.elapsed()
     );
     print_summaries(inc.analysis());
-    let mut last_src = src.to_owned();
-    let mut last_mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+    // Content-hash change detection (FileWatch): an editor that writes
+    // twice within one mtime tick must still trigger a re-analysis, so
+    // the modification time is only ever a hint, never the decision.
+    let mut watch = FileWatch::seeded(path, src);
     loop {
         std::thread::sleep(Duration::from_millis(100));
-        let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
-        if mtime == last_mtime {
+        let Some(new_src) = watch.poll() else {
             continue;
-        }
-        last_mtime = mtime;
-        let new_src = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("warning: cannot read {path}: {e}");
-                continue;
-            }
         };
-        if new_src == last_src {
-            continue;
-        }
         let t = std::time::Instant::now();
         match inc.update_source(&new_src) {
             Ok(analysis) => {
@@ -511,7 +563,6 @@ fn cmd_analyze_watch(rest: &[String], path: &str, src: &str) -> Result<(), Strin
                 }
             }
         }
-        last_src = new_src;
     }
 }
 
@@ -742,18 +793,36 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     if let Some(n) = parse_num_flag::<u32>(rest, "--max-retries")? {
         cfg.max_retries = n;
     }
+    cfg.source_path = Some(PathBuf::from(&path));
+    cfg.watch = has_flag(rest, "--watch");
+    // The flight recorder is on by default (bounded ring next to the
+    // socket); `--crash-dir=off` disables it.
+    cfg.crash_dir = match flag_value(rest, "--crash-dir") {
+        Some("off") => None,
+        Some(dir) => Some(PathBuf::from(dir)),
+        None => Some(PathBuf::from(format!("{}.crashes", socket.display()))),
+    };
+    if let Some(n) = parse_num_flag::<usize>(rest, "--crash-ring-cap")? {
+        cfg.crash_ring_cap = n.max(1);
+    }
+    if let Some(n) = parse_num_flag::<u32>(rest, "--crash-escalate-after")? {
+        cfg.crash_escalate_after = n.max(1);
+    }
     eprintln!(
-        "serving {path} on {} ({} workers, queue {}{}{})",
+        "serving {path} on {} ({} workers, queue {}{}{}{})",
         socket.display(),
         cfg.workers,
         cfg.queue_cap,
         if cfg.optimize { ", optimized" } else { "" },
         if cfg.checked { ", checked" } else { "" },
+        if cfg.watch { ", watching" } else { "" },
     );
     let report =
         nml_escape_analysis::serve::serve(&src, &socket, &cfg).map_err(|e| e.to_string())?;
     eprintln!(
-        "server drained: ok={} guest_errors={} panics={} degraded={} shed={} bad_frames={} quarantined={}",
+        "server drained: ok={} guest_errors={} panics={} degraded={} shed={} bad_frames={} \
+         quarantined={} reloads_ok={} reloads_failed={} epochs_retired={} epoch_leaks={} \
+         crash_bundles={}",
         report.served_ok,
         report.guest_errors,
         report.panics,
@@ -761,23 +830,66 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         report.shed,
         report.bad_frames,
         report.quarantined_sites,
+        report.reloads_ok,
+        report.reloads_failed,
+        report.epochs_retired,
+        report.epoch_leaks,
+        report.crash_bundles,
     );
     Ok(())
 }
 
-/// `nmlc call`: one request against a running server, response on
-/// stdout. Exits non-zero when the server answers with an error.
-fn cmd_call(rest: &[String]) -> Result<(), String> {
+/// Builds a [`RetryPolicy`] from the `call` retry flags; `None` when no
+/// flag was given (plain single-attempt request).
+fn retry_policy_from_flags(rest: &[String]) -> Result<Option<RetryPolicy>, String> {
+    let mut policy = RetryPolicy::default();
+    let mut any = false;
+    if let Some(n) = parse_num_flag::<u32>(rest, "--retries")? {
+        policy.max_retries = n;
+        any = true;
+    }
+    if let Some(n) = parse_num_flag::<u32>(rest, "--retry-budget")? {
+        policy.retry_budget = n;
+        any = true;
+    }
+    if let Some(ms) = parse_num_flag::<u64>(rest, "--backoff-ms")? {
+        policy.base_backoff = Duration::from_millis(ms);
+        any = true;
+    }
+    if let Some(ms) = parse_num_flag::<u64>(rest, "--backoff-cap-ms")? {
+        policy.max_backoff = Duration::from_millis(ms);
+        any = true;
+    }
+    if let Some(ms) = parse_num_flag::<u64>(rest, "--call-deadline-ms")? {
+        policy.deadline = Some(Duration::from_millis(ms));
+        any = true;
+    }
+    Ok(any.then_some(policy))
+}
+
+/// `nmlc call`: one request against a running server. Successful
+/// responses go to stdout; error responses go to stderr with a distinct
+/// exit code per error kind (see `ErrorKind::exit_code`), so scripts
+/// can tell `fuel_exhausted` from `overloaded` without parsing JSON.
+/// Retry flags (`--retries` etc.) turn on deadline-aware retries with
+/// decorrelated-jitter backoff for retryable kinds only.
+fn cmd_call(rest: &[String]) -> Result<(), Failure> {
     let socket = flag_value(rest, "--socket")
-        .ok_or_else(|| format!("call requires --socket=PATH\n{USAGE}"))?;
+        .ok_or_else(|| Failure::from(format!("call requires --socket=PATH\n{USAGE}")))?;
     let line = if has_flag(rest, "--ping") {
         "{\"op\":\"ping\",\"id\":0}".to_owned()
     } else if has_flag(rest, "--stats") {
         "{\"op\":\"stats\",\"id\":0}".to_owned()
+    } else if has_flag(rest, "--healthz") {
+        "{\"op\":\"healthz\",\"id\":0}".to_owned()
+    } else if has_flag(rest, "--reload") {
+        "{\"op\":\"reload\",\"id\":0}".to_owned()
     } else if has_flag(rest, "--shutdown") || flag_value(rest, "--shutdown").is_some() {
         let mode = flag_value(rest, "--shutdown").unwrap_or("drain");
         if mode != "drain" && mode != "now" {
-            return Err(format!("--shutdown: `{mode}` is not a mode (drain or now)"));
+            return Err(Failure::from(format!(
+                "--shutdown: `{mode}` is not a mode (drain or now)"
+            )));
         }
         format!("{{\"op\":\"shutdown\",\"id\":0,\"mode\":\"{mode}\"}}")
     } else if has_flag(rest, "--eval") || flag_value(rest, "--call").is_some() {
@@ -792,7 +904,9 @@ fn cmd_call(rest: &[String]) -> Result<(), String> {
             let v =
                 nml_escape_analysis::serve::json::parse(a).map_err(|e| format!("--args: {e}"))?;
             if !matches!(v, Json::Arr(_)) {
-                return Err("--args must be a JSON array (one element per parameter)".to_owned());
+                return Err(Failure::from(
+                    "--args must be a JSON array (one element per parameter)".to_owned(),
+                ));
             }
             obj.push(("args".to_owned(), v));
         }
@@ -802,24 +916,64 @@ fn cmd_call(rest: &[String]) -> Result<(), String> {
         if let Some(t) = parse_num_flag::<i64>(rest, "--timeout-ms")? {
             obj.push(("timeout_ms".to_owned(), Json::Int(t)));
         }
+        if let Some(n) = parse_num_flag::<i64>(rest, "--fault-panic-at-alloc")? {
+            obj.push((
+                "fault".to_owned(),
+                Json::Obj(vec![("panic_at_alloc".to_owned(), Json::Int(n))]),
+            ));
+        }
         Json::Obj(obj).to_string()
     } else {
-        return Err(format!(
-            "call needs one of --call/--eval/--ping/--stats/--shutdown\n{USAGE}"
-        ));
+        return Err(Failure::from(format!(
+            "call needs one of --call/--eval/--ping/--stats/--healthz/--reload/--shutdown\n{USAGE}"
+        )));
     };
+    let policy = retry_policy_from_flags(rest)?;
     let mut client = Client::connect(std::path::Path::new(socket))
-        .map_err(|e| format!("connect {socket}: {e}"))?;
-    let resp = client
-        .request(&line)
-        .map_err(|e| format!("request failed: {e}"))?;
-    println!("{resp}");
+        .map_err(|e| Failure::from(format!("connect {socket}: {e}")))?;
+    let resp = match policy {
+        Some(p) => {
+            client.set_retry_policy(p);
+            client.call_retry(&line)
+        }
+        None => client.request(&line),
+    }
+    .map_err(|e| Failure::from(format!("request failed: {e}")))?;
     if resp.get("status").and_then(Json::as_str) == Some("error") {
         let kind = resp.get("kind").and_then(Json::as_str).unwrap_or("error");
         let msg = resp.get("message").and_then(Json::as_str).unwrap_or("");
-        return Err(format!("server answered {kind}: {msg}"));
+        let code = ErrorKind::from_wire(kind).map_or(1, ErrorKind::exit_code);
+        return Err(Failure::code(
+            code,
+            format!("{resp}\nserver answered {kind}: {msg}"),
+        ));
     }
+    println!("{resp}");
     Ok(())
+}
+
+/// `nmlc replay`: deterministically re-execute a crash bundle captured
+/// by the serve flight recorder, in-process (no server required).
+/// Exits 0 iff the recorded outcome reproduces; `--minimize` then
+/// shrinks the request while preserving the crash.
+fn cmd_replay(rest: &[String]) -> Result<(), Failure> {
+    let path = rest
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or_else(|| Failure::from(format!("replay requires a bundle path\n{USAGE}")))?;
+    let bundle = CrashBundle::load(std::path::Path::new(path))
+        .map_err(|e| Failure::from(format!("{path}: {e}")))?;
+    let report = replay(&bundle).map_err(|e| Failure::from(format!("{path}: {e}")))?;
+    print!("{}", render_report(&bundle, &report));
+    if has_flag(rest, "--minimize") {
+        let m = minimize(&bundle).map_err(|e| Failure::from(format!("{path}: {e}")))?;
+        println!("minimized ({} attempts): {}", m.attempts, m.request);
+    }
+    if report.reproduced {
+        Ok(())
+    } else {
+        Err(Failure::code(1, String::new()))
+    }
 }
 
 /// Runs with per-allocation-site attribution and prints the hottest

@@ -403,3 +403,192 @@ fn immediate_shutdown_cancels_in_flight_work() {
     let report = server.join().expect("server joined promptly");
     assert_eq!(report.guest_errors, 1, "{report:?}");
 }
+
+/// The source for the reload storm: revision `k` differs only in the
+/// `pad` constant, so every revision answers the eval traffic with the
+/// same values — an eval landing on either side of a swap is correct
+/// either way, which is what lets the storm assert exact results.
+fn revision(k: usize) -> String {
+    format!(
+        "letrec
+  append x y = if (null x) then y else cons (car x) (append (cdr x) y);
+  rev l = if (null l) then nil else append (rev (cdr l)) (cons (car l) nil);
+  sum l = if (null l) then 0 else car l + sum (cdr l);
+  pad n = n + {k}
+in rev [1, 2, 3]"
+    )
+}
+
+#[test]
+fn reload_storm_swaps_epochs_under_load_without_losing_a_response() {
+    use nml_escape_analysis::serve::{replay, CrashBundle};
+
+    const RELOADS: usize = 8;
+    const EVAL_CLIENTS: usize = 3;
+    const EVALS_PER_CLIENT: usize = 40;
+    const PANICS: usize = 3;
+
+    let crash_dir = std::env::temp_dir().join(format!(
+        "nml-serve-chaos-{}-reload.crashes",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    let cfg = ServeConfig {
+        workers: 4,
+        queue_cap: 64,
+        crash_dir: Some(crash_dir.clone()),
+        crash_ring_cap: 64,
+        ..ServeConfig::default()
+    };
+    let path = socket_path("reload-storm");
+    let boot = revision(0);
+    let server = {
+        let path = path.clone();
+        let cfg = cfg.clone();
+        std::thread::spawn(move || serve(&boot, &path, &cfg).expect("server runs"))
+    };
+    drop(Client::connect_retry(&path, Duration::from_secs(10)).expect("up"));
+
+    std::thread::scope(|s| {
+        // The reload storm: 8 valid revisions with 2 broken edits
+        // interleaved, all racing the eval traffic below.
+        s.spawn(|| {
+            let mut c = Client::connect_retry(&path, Duration::from_secs(5)).expect("reloader");
+            for k in 1..=RELOADS {
+                let req = Json::Obj(vec![
+                    ("op".to_owned(), Json::Str("reload".to_owned())),
+                    ("id".to_owned(), Json::Int(9000 + k as i64)),
+                    ("src".to_owned(), Json::Str(revision(k))),
+                ]);
+                let resp = c.request(&req.to_string()).expect("reload");
+                assert_eq!(
+                    resp.get("status").and_then(Json::as_str),
+                    Some("ok"),
+                    "valid revision {k} must swap: {resp}"
+                );
+                if k == 3 || k == 6 {
+                    let req = Json::Obj(vec![
+                        ("op".to_owned(), Json::Str("reload".to_owned())),
+                        ("id".to_owned(), Json::Int(9100 + k as i64)),
+                        (
+                            "src".to_owned(),
+                            Json::Str("letrec broken = in broken".to_owned()),
+                        ),
+                    ]);
+                    let resp = c.request(&req.to_string()).expect("broken reload");
+                    assert_eq!(
+                        resp.get("kind").and_then(Json::as_str),
+                        Some("compile_error"),
+                        "broken edits must be rejected: {resp}"
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        // Panic traffic racing the swaps: each one must be answered,
+        // recorded as a crash bundle, and must not take an epoch down.
+        s.spawn(|| {
+            let mut c = Client::connect_retry(&path, Duration::from_secs(5)).expect("panicker");
+            for i in 0..PANICS {
+                let resp = c
+                    .request(&format!(
+                        "{{\"op\":\"eval\",\"id\":{},\"call\":\"rev\",\"args\":[[9,8,7]],\
+                         \"fault\":{{\"panic_at_alloc\":2}}}}",
+                        8000 + i
+                    ))
+                    .expect("panic eval");
+                assert_eq!(
+                    resp.get("kind").and_then(Json::as_str),
+                    Some("worker_panicked"),
+                    "{resp}"
+                );
+                std::thread::sleep(Duration::from_millis(8));
+            }
+        });
+
+        // Steady eval traffic across every revision boundary.
+        for t in 0..EVAL_CLIENTS {
+            let path = &path;
+            s.spawn(move || {
+                let mut c = Client::connect_retry(path, Duration::from_secs(5)).expect("eval");
+                let mut epochs_seen = Vec::new();
+                for i in 0..EVALS_PER_CLIENT {
+                    let id = (t * 1000 + i) as i64;
+                    let (line, want) = if i % 2 == 0 {
+                        (
+                            format!("{{\"op\":\"eval\",\"id\":{id}}}"),
+                            "[3, 2, 1]",
+                        )
+                    } else {
+                        (
+                            format!(
+                                "{{\"op\":\"eval\",\"id\":{id},\"call\":\"sum\",\"args\":[[1,2,3,4]]}}"
+                            ),
+                            "10",
+                        )
+                    };
+                    let resp = c.request(&line).expect("eval");
+                    assert_eq!(resp.get("id").and_then(Json::as_int), Some(id), "{resp}");
+                    assert_eq!(
+                        resp.get("result").and_then(Json::as_str),
+                        Some(want),
+                        "an eval must be answered by a coherent epoch: {resp}"
+                    );
+                    let epoch = resp.get("epoch").and_then(Json::as_int).expect("epoch tag");
+                    assert!(
+                        (1..=(RELOADS as i64 + 1)).contains(&epoch),
+                        "epoch {epoch} out of range: {resp}"
+                    );
+                    epochs_seen.push(epoch);
+                }
+                // Admission order is monotone per connection: once this
+                // client is answered from epoch N, no later response may
+                // come from a retired (older) epoch.
+                for w in epochs_seen.windows(2) {
+                    assert!(w[1] >= w[0], "response from a retired epoch: {epochs_seen:?}");
+                }
+            });
+        }
+    });
+
+    let mut closer = Client::connect_retry(&path, Duration::from_secs(5)).expect("closer");
+    let resp = closer
+        .request("{\"op\":\"shutdown\",\"mode\":\"drain\"}")
+        .expect("shutdown");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let report = server.join().expect("server joined");
+
+    assert_eq!(report.reloads_ok, RELOADS as u64, "{report:?}");
+    assert_eq!(report.reloads_failed, 2, "{report:?}");
+    assert_eq!(
+        report.epochs_retired, RELOADS as u64,
+        "every replaced epoch drains and retires: {report:?}"
+    );
+    assert_eq!(report.epoch_leaks, 0, "no request may vanish: {report:?}");
+    assert_eq!(report.panics, PANICS as u64, "{report:?}");
+    assert_eq!(
+        report.served_ok,
+        (EVAL_CLIENTS * EVALS_PER_CLIENT) as u64,
+        "{report:?}"
+    );
+
+    // Every injected panic left a replayable bundle, and each bundle
+    // replays deterministically: two runs, identical reports.
+    assert_eq!(report.crash_bundles, PANICS as u64, "{report:?}");
+    let mut bundles: Vec<_> = std::fs::read_dir(&crash_dir)
+        .expect("crash dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    bundles.sort();
+    assert_eq!(bundles.len(), PANICS, "one bundle per panic: {bundles:?}");
+    for p in &bundles {
+        let bundle = CrashBundle::load(p).expect("bundle parses");
+        assert_eq!(bundle.kind, "worker_panicked", "{p:?}");
+        let r1 = replay(&bundle).expect("replay");
+        let r2 = replay(&bundle).expect("replay again");
+        assert!(r1.reproduced, "bundle must reproduce: {r1:?}");
+        assert_eq!(r1, r2, "replay must be deterministic");
+    }
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
