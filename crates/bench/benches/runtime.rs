@@ -145,7 +145,38 @@ fn engine_workloads() -> Vec<(&'static str, String)> {
         ),
         ("create_consume", create_consume_source(3000)),
         ("repeated_consume", repeated_consume_source(64, 250)),
+        // SROA-friendly shapes: a short-lived tuple (spelled as cons
+        // cells) built and immediately projected every iteration. The
+        // outer cell of each tuple never escapes and is never aliased,
+        // so the escape lattice licenses scalar replacement and the VM
+        // runs the loop without allocating it.
+        ("tuple_accumulate", tuple_accumulate_source(3000)),
+        ("pair_product", pair_product_source(2500)),
     ]
+}
+
+/// A fold whose step builds a local `(i, acc)` tuple and tears it apart
+/// in the same expression — the canonical scalar-replacement target.
+fn tuple_accumulate_source(n: usize) -> String {
+    format!(
+        "letrec
+           step i acc = letrec t = cons i (cons acc nil)
+                        in (car t) * 2 + car (cdr t);
+           loop n acc = if n = 0 then acc else loop (n - 1) (step n acc)
+         in loop {n} 0"
+    )
+}
+
+/// A product-of-pairs loop: each iteration's pair is projected twice and
+/// dies immediately.
+fn pair_product_source(n: usize) -> String {
+    format!(
+        "letrec
+           dot n acc = if n = 0 then acc
+                       else letrec p = cons (n * 3) (cons (n + 7) nil)
+                            in dot (n - 1) (acc + (car p) * car (cdr p))
+         in dot {n} 0"
+    )
 }
 
 /// Renders the generational-GC counters of a finished run as a JSON
@@ -153,8 +184,13 @@ fn engine_workloads() -> Vec<(&'static str, String)> {
 fn gc_counters(stats: &RuntimeStats) -> String {
     format!(
         "\"minor_gcs\": {}, \"major_gcs\": {}, \"promoted\": {}, \
-         \"pretenured\": {}, \"nursery_fallbacks\": {}",
-        stats.minor_gcs, stats.major_gcs, stats.promoted, stats.pretenured, stats.nursery_fallbacks
+         \"pretenured\": {}, \"nursery_fallbacks\": {}, \"allocs_elided\": {}",
+        stats.minor_gcs,
+        stats.major_gcs,
+        stats.promoted,
+        stats.pretenured,
+        stats.nursery_fallbacks,
+        stats.allocs_elided
     )
 }
 
@@ -287,6 +323,60 @@ fn bench_gen_heap_section() -> String {
     s
 }
 
+/// The scalar-replacement section: the VM on the same workload with and
+/// without SROA marks. The counters prove the allocations actually
+/// vanished (not merely got cheaper), and the timings price the win.
+fn bench_sroa_section() -> String {
+    let workloads = [
+        ("tuple_accumulate", tuple_accumulate_source(3000)),
+        ("pair_product", pair_product_source(2500)),
+    ];
+    let mut s = String::from("  \"sroa\": {\n");
+    for (wi, (name, src)) in workloads.iter().enumerate() {
+        let plain = build(src);
+        let mut elided = build(src);
+        let marked = nml_opt::annotate_sroa(&mut elided.ir, &elided.analysis);
+        assert!(marked > 0, "{name}: the lattice must license elision");
+        let mins = interleaved_mins(&mut [
+            &mut || {
+                let mut vm = Vm::with_config(&plain.ir, InterpConfig::default()).expect("vm");
+                black_box(vm.run().expect("vm run"));
+            },
+            &mut || {
+                let mut vm = Vm::with_config(&elided.ir, InterpConfig::default()).expect("vm");
+                black_box(vm.run().expect("vm run"));
+            },
+        ]);
+        let (off_t, on_t) = (mins[0], mins[1]);
+        let off_s = vm_stats(&plain, &InterpConfig::default());
+        let on_s = vm_stats(&elided, &InterpConfig::default());
+        assert_eq!(off_s.allocs_elided, 0, "{name}: unmarked IR never elides");
+        assert!(on_s.allocs_elided > 0, "{name}: VM must elide marked sites");
+        assert!(
+            on_s.heap_allocs < off_s.heap_allocs,
+            "{name}: elision must reduce real heap allocations"
+        );
+        let speedup = off_t.as_nanos() as f64 / on_t.as_nanos().max(1) as f64;
+        println!(
+            "bench sroa/{name}: off {off_t:?} on {on_t:?} ({speedup:.2}x, \
+             {} cells elided)",
+            on_s.allocs_elided
+        );
+        let _ = writeln!(s, "    \"{name}\": {{");
+        let _ = writeln!(s, "      \"vm_ns\": {},", off_t.as_nanos());
+        let _ = writeln!(s, "      \"vm_sroa_ns\": {},", on_t.as_nanos());
+        let _ = writeln!(s, "      \"speedup\": {speedup:.3},");
+        let _ = writeln!(s, "      \"gc\": {{ {} }}", gc_counters(&on_s));
+        let _ = writeln!(
+            s,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  },\n");
+    s
+}
+
 /// B-7: tree-walking interpreter vs bytecode VM on the scaled corpus.
 /// Each engine runs the *same* lowered IR under the default
 /// configuration; the medians, per-workload GC counters, the
@@ -299,7 +389,12 @@ fn bench_engine_comparison(_c: &mut Criterion) {
     let mut log_speedups: Vec<f64> = Vec::new();
     println!("group engine_comparison");
     for (wi, (name, src)) in workloads.iter().enumerate() {
-        let b = build(src);
+        let mut b = build(src);
+        // Mirror the CLI default for the VM: SROA marks ride the shared
+        // IR. The tree-walker treats a mark as plain heap (it stays the
+        // oracle), only the VM scalarizes — the correctness guard below
+        // therefore also exercises the elision.
+        nml_opt::annotate_sroa(&mut b.ir, &b.analysis);
         // Correctness guard: both engines must produce the same integer
         // before their timings are comparable at all.
         let tree_val = Interp::with_config(&b.ir, InterpConfig::default())
@@ -344,6 +439,7 @@ fn bench_engine_comparison(_c: &mut Criterion) {
     let geomean = (log_speedups.iter().sum::<f64>() / log_speedups.len() as f64).exp();
     json.push_str("  },\n");
     json.push_str(&bench_gen_heap_section());
+    json.push_str(&bench_sroa_section());
     let _ = writeln!(json, "  \"geomean_speedup\": {geomean:.3}");
     json.push_str("}\n");
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");

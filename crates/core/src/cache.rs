@@ -20,13 +20,21 @@
 //! budget-dependent accidents, not facts about the program, and caching
 //! one would freeze an avoidable imprecision across runs.
 //!
-//! ## Hardened format (v2)
+//! ## Hardened format (v2), lattice verdicts (v3)
 //!
 //! The file is line-oriented UTF-8, and since v2 it does not trust the
 //! bytes it finds on disk:
 //!
-//! - the header carries a **format version** (`nml-summary-cache v2`);
-//!   any other version starts cold rather than misparse;
+//! - the header carries a **format version** (`nml-summary-cache v3`);
+//!   any other version — including a well-formed v2 file — starts cold
+//!   rather than misparse;
+//! - since v3 every per-parameter verdict carries its escape-lattice
+//!   code letter ([`EscapeState::code`]): `esc:spines:letter`, e.g.
+//!   `1:0:R`. The letter is redundant with the escape bit today (cached
+//!   verdicts only distinguish no-escape from return-escape) and is
+//!   **verified on parse** — a mismatch drops the entry like any other
+//!   corruption, and the letter reserves room for finer-grained states
+//!   without another format break;
 //! - every entry's `end` record carries a **per-entry FNV checksum** over
 //!   the entry's canonical text, so a bit flip inside one entry drops
 //!   exactly that entry;
@@ -56,6 +64,7 @@
 //!    last-writer-wins per file) on filesystems without lock support.
 
 use crate::be::Be;
+use crate::escape_lattice::EscapeState;
 use crate::global::{EscapeSummary, ParamEscape};
 use nml_syntax::Symbol;
 use nml_types::Ty;
@@ -160,7 +169,18 @@ pub struct SummaryCache {
     entries: BTreeMap<u64, CachedScc>,
 }
 
-const HEADER: &str = "nml-summary-cache v2";
+const HEADER: &str = "nml-summary-cache v3";
+
+/// The lattice code letter a cached `(escapes, _)` verdict must carry:
+/// an escaping parameter reaches its caller's result (`R`), a
+/// non-escaping one stays at the lattice bottom (`N`).
+fn verdict_code(escapes: bool) -> char {
+    if escapes {
+        EscapeState::ReturnEscape.code()
+    } else {
+        EscapeState::NoEscape.code()
+    }
+}
 
 /// What a salvaging parse recovered from an on-disk cache file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -225,7 +245,13 @@ fn entry_body(hash: u64, scc: &CachedScc) -> String {
     for f in &scc.fns {
         let _ = write!(out, "fn {} {}", f.name, f.verdicts.len());
         for (escapes, spines) in &f.verdicts {
-            let _ = write!(out, " {}:{}", u8::from(*escapes), spines);
+            let _ = write!(
+                out,
+                " {}:{}:{}",
+                u8::from(*escapes),
+                spines,
+                verdict_code(*escapes)
+            );
         }
         out.push('\n');
     }
@@ -242,13 +268,33 @@ fn parse_fn_line<'a>(mut parts: impl Iterator<Item = &'a str>) -> Result<CachedF
     let mut verdicts = Vec::with_capacity(arity.min(64));
     for _ in 0..arity {
         let v = parts.next().ok_or("fn missing verdict")?;
-        let (esc, spines) = v.split_once(':').ok_or("bad verdict")?;
+        let mut fields = v.split(':');
+        let esc = fields.next().ok_or("bad verdict")?;
+        let spines = fields.next().ok_or("bad verdict")?;
+        let code = fields.next().ok_or("verdict missing lattice code")?;
+        if fields.next().is_some() {
+            return Err("bad verdict".to_string());
+        }
         let escapes = match esc {
             "1" => true,
             "0" => false,
             _ => return Err("bad escape flag".to_string()),
         };
         let spines: u32 = spines.parse().map_err(|e| format!("bad spines: {e}"))?;
+        // The lattice letter must agree with the escape bit and name a
+        // real state; anything else is corruption (or a future format
+        // this version does not understand).
+        let state = code
+            .chars()
+            .next()
+            .filter(|_| code.chars().count() == 1)
+            .and_then(EscapeState::from_code)
+            .ok_or("bad lattice code")?;
+        if state.code() != verdict_code(escapes) {
+            return Err(format!(
+                "lattice code `{code}` contradicts escape bit `{esc}`"
+            ));
+        }
         verdicts.push((escapes, spines));
     }
     Ok(CachedFn { name, verdicts })
@@ -547,6 +593,36 @@ mod tests {
     }
 
     #[test]
+    fn well_formed_v2_file_is_rejected_cleanly() {
+        // A byte-exact v2 cache (two-field verdicts, v2 header, correct
+        // v2 checksums). A v3 reader must refuse it at the header — a
+        // version mismatch, not a parse error or a partial salvage.
+        let entry = "scc 00000000deadbeef\nfn append 2 1:0 1:1\n";
+        let entry_sum = checksum(entry);
+        let mut v2 = format!("nml-summary-cache v2\n{entry}end {entry_sum:016x}\n");
+        let file_sum = checksum(&v2);
+        let _ = writeln!(v2, "file {file_sum:016x}");
+        let err = SummaryCache::parse(&v2).unwrap_err();
+        assert!(err.contains("version mismatch"), "{err}");
+        assert!(err.contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn contradictory_lattice_code_drops_the_entry() {
+        let cache = sample_cache();
+        // `1:0:N` claims escaping with the no-escape lattice letter.
+        let text = cache.render().replace("1:0:R", "1:0:N");
+        let (parsed, s) = SummaryCache::parse(&text).unwrap();
+        assert!(parsed.get(0xdead_beef).is_none(), "lying entry dropped");
+        assert!(parsed.get(0x42).is_some(), "honest entry salvaged");
+        assert_eq!(s.dropped, 1);
+        // An unknown letter is equally fatal for the entry.
+        let text = cache.render().replace("1:0:R", "1:0:Z");
+        let (parsed, _) = SummaryCache::parse(&text).unwrap();
+        assert!(parsed.get(0xdead_beef).is_none());
+    }
+
+    #[test]
     fn corrupt_entries_are_dropped_individually() {
         // No trailer at all: nothing verifiable, but nothing to drop.
         let (cache, s) = SummaryCache::parse(HEADER).unwrap();
@@ -570,7 +646,7 @@ mod tests {
             .filter(|l| !l.starts_with("file ") && *l != HEADER)
             .map(|l| format!("{l}\n"))
             .collect();
-        let text = format!("{HEADER}\nscc zz\nfn g 1 1:0\nend\n{good_entry}");
+        let text = format!("{HEADER}\nscc zz\nfn g 1 1:0:R\nend\n{good_entry}");
         let (cache, s) = SummaryCache::parse(&text).unwrap();
         assert_eq!(cache.len(), 1);
         assert!(cache.get(0x1f).is_some());
@@ -578,7 +654,7 @@ mod tests {
         assert_eq!(s.dropped, 1);
 
         // An entry with no checksum on its `end` fails verification.
-        let text = format!("{HEADER}\nscc 000000000000001f\nfn f 1 0:2\nend\n");
+        let text = format!("{HEADER}\nscc 000000000000001f\nfn f 1 0:2:N\nend\n");
         let (cache, s) = SummaryCache::parse(&text).unwrap();
         assert!(cache.is_empty());
         assert_eq!(s.dropped, 1);
@@ -600,7 +676,7 @@ mod tests {
         let cache = sample_cache();
         let text = cache.render();
         // Flip the verdict inside the 0xdeadbeef entry: "1:0" -> "1:9".
-        let corrupted = text.replace("fn append 2 1:0 1:1", "fn append 2 1:9 1:1");
+        let corrupted = text.replace("fn append 2 1:0:R 1:1:R", "fn append 2 1:9:R 1:1:R");
         assert_ne!(text, corrupted, "fixture must actually corrupt a line");
         let (parsed, s) = SummaryCache::parse(&corrupted).unwrap();
         assert!(parsed.get(0xdead_beef).is_none(), "corrupt entry dropped");

@@ -55,6 +55,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod escape_class;
+pub mod escape_lattice;
 pub mod global;
 pub mod incremental;
 pub mod local;
@@ -75,6 +76,7 @@ pub use cache::SummaryCache;
 pub use engine::{worst_value, Engine, EngineConfig, EngineStats};
 pub use error::{AnalyzeError, EscapeError};
 pub use escape_class::{classify_param, classify_result, EscapeClass};
+pub use escape_lattice::{class_of_state, state_of_param, AliasClasses, EscapeState};
 pub use global::{
     global_escape, global_escape_param, worst_case_summary, EscapeSummary, ParamEscape,
 };

@@ -662,7 +662,7 @@ pub(crate) fn solve_scc<'a>(
     out
 }
 
-const CACHE_SALT: &str = "nml-scc-v2";
+const CACHE_SALT: &str = "nml-scc-v3";
 
 /// The configuration part of every content hash. `max_spines` matters:
 /// it bounds the `B_e` domain, so summaries computed under a different

@@ -39,6 +39,14 @@ pub enum AllocMode {
     /// wasting a nursery slot and a promotion copy on it. Semantically
     /// identical to [`AllocMode::Heap`]; a pure placement hint.
     Pretenured,
+    /// A site the escape lattice proves no-escape *and* unaliased
+    /// ([`crate::sroa`]): the bytecode compiler may scalarize the cell
+    /// into frame slots and elide the allocation entirely. The
+    /// tree-walker and the heap treat it exactly like [`AllocMode::Heap`]
+    /// (it is the differential oracle for the elision), and the bytecode
+    /// compiler independently re-verifies slot-level eligibility before
+    /// scalarizing — an `Elided` mark alone never changes semantics.
+    Elided,
 }
 
 impl fmt::Display for AllocMode {
@@ -48,6 +56,7 @@ impl fmt::Display for AllocMode {
             AllocMode::Stack => f.write_str("stack"),
             AllocMode::Block => f.write_str("block"),
             AllocMode::Pretenured => f.write_str("pretenure"),
+            AllocMode::Elided => f.write_str("elided"),
         }
     }
 }

@@ -56,6 +56,7 @@ pub mod pretenure;
 pub mod quarantine;
 pub mod resolve;
 pub mod reuse;
+pub mod sroa;
 pub mod stack;
 
 pub use auto::{auto_reuse, default_reuse_param, AutoReuse};
@@ -69,11 +70,13 @@ pub use lastuse::{eligible_sites, occurs_under_lambda, select_sites, EligibleSit
 pub use pipeline::{auto_block, optimize, OptOptions, OptSummary};
 pub use pretenure::annotate_pretenure;
 pub use quarantine::{
-    apply_quarantine, body_cons_sites, sabotage_stack, walk_ir_mut, QuarantineSet, SabotagePlan,
+    apply_quarantine, body_cons_sites, sabotage_elide, sabotage_stack, walk_ir_mut, QuarantineSet,
+    SabotagePlan,
 };
 pub use resolve::{
     resolve_program, CaptureSrc, RExpr, RecGroup, ResolvedGlobal, ResolvedProgram, ResolvedUnit,
     SlotRef,
 };
 pub use reuse::{reuse_name, reuse_variant, rewrite_calls, ReuseOptions};
+pub use sroa::{analyze_sites, annotate_sroa, strip_sroa, SiteFact};
 pub use stack::{annotate_stack, plan_stack_allocation};

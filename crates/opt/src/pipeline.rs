@@ -17,6 +17,7 @@ use crate::auto::{auto_reuse, AutoReuse};
 use crate::block::block_call;
 use crate::ir::{IrExpr, IrProgram};
 use crate::pretenure::annotate_pretenure;
+use crate::sroa::annotate_sroa;
 use crate::stack::annotate_stack;
 use nml_escape::Analysis;
 use nml_syntax::Symbol;
@@ -34,6 +35,9 @@ pub struct OptOptions {
     /// Mark provably-escaping sites for old-space allocation (see
     /// [`crate::pretenure`]).
     pub pretenure: bool,
+    /// Mark no-escape, unaliased sites for scalar replacement (see
+    /// [`crate::sroa`]); only the bytecode engine acts on the mark.
+    pub sroa: bool,
 }
 
 impl Default for OptOptions {
@@ -43,6 +47,7 @@ impl Default for OptOptions {
             block: true,
             stack: true,
             pretenure: true,
+            sroa: true,
         }
     }
 }
@@ -58,6 +63,8 @@ pub struct OptSummary {
     pub stack_calls: usize,
     /// Cons sites marked for old-space allocation.
     pub pretenured_sites: usize,
+    /// Cons sites licensed for scalar replacement.
+    pub elided_sites: usize,
 }
 
 /// Runs the enabled passes in the sound order: reuse → block → stack →
@@ -81,6 +88,11 @@ pub fn optimize(ir: &mut IrProgram, analysis: &Analysis, opts: &OptOptions) -> O
     }
     if opts.pretenure {
         summary.pretenured_sites = annotate_pretenure(ir, analysis);
+    }
+    if opts.sroa {
+        // Last: only plain heap sites qualify, so every site a stronger
+        // pass claimed keeps its placement.
+        summary.elided_sites = annotate_sroa(ir, analysis);
     }
     summary
 }
@@ -239,11 +251,25 @@ mod tests {
                 block: false,
                 stack: true,
                 pretenure: false,
+                sroa: false,
             },
         );
         assert!(summary.reuse.is_none());
         assert_eq!(summary.block_calls, 0);
         assert!(summary.stack_calls >= 1);
+        assert_eq!(summary.elided_sites, 0);
         assert!(!ir.body.to_string().contains("rev_r"));
+    }
+
+    #[test]
+    fn sroa_gated_and_counted() {
+        let (mut ir, analysis) = prep(
+            "letrec f n = letrec p = cons n (cons 1 nil) in car p + car (cdr p)
+             in f 3",
+        );
+        let summary = optimize(&mut ir, &analysis, &OptOptions::default());
+        assert_eq!(summary.elided_sites, 1);
+        let f = ir.func(nml_syntax::Symbol::intern("f")).unwrap();
+        assert!(f.body.to_string().contains("cons[elided]"), "{}", f.body);
     }
 }

@@ -229,19 +229,36 @@ fn rewrite(e: &mut IrExpr, set: &QuarantineSet, n: &mut usize) {
 pub struct SabotagePlan {
     /// The `Cons` sites to force onto the stack.
     pub stack_sites: BTreeSet<SiteId>,
+    /// The `Cons` sites to force to [`AllocMode::Elided`] regardless of
+    /// what the lattice proved. Unlike a stack sabotage, a forced elide
+    /// mark cannot corrupt a run: the bytecode compiler re-verifies
+    /// slot-level eligibility and an escaping or aliased binding always
+    /// fails that check, so the site quietly allocates on the heap. The
+    /// sabotage exists to *prove* that refusal (checked mode must stay
+    /// silent and results must not change).
+    pub elide_sites: BTreeSet<SiteId>,
 }
 
 impl SabotagePlan {
-    /// A plan forcing the given sites.
+    /// A plan forcing the given sites onto the stack.
     pub fn stack(sites: impl IntoIterator<Item = SiteId>) -> Self {
         SabotagePlan {
             stack_sites: sites.into_iter().collect(),
+            elide_sites: BTreeSet::new(),
+        }
+    }
+
+    /// A plan forcing elide marks onto the given sites.
+    pub fn elide(sites: impl IntoIterator<Item = SiteId>) -> Self {
+        SabotagePlan {
+            stack_sites: BTreeSet::new(),
+            elide_sites: sites.into_iter().collect(),
         }
     }
 
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.stack_sites.is_empty()
+        self.stack_sites.is_empty() && self.elide_sites.is_empty()
     }
 }
 
@@ -274,6 +291,31 @@ pub fn sabotage_stack(ir: &mut IrProgram, plan: &SabotagePlan) -> usize {
             site,
         };
     }
+    forced
+}
+
+/// Forces [`AllocMode::Elided`] onto every listed heap `Cons` site,
+/// bypassing the lattice. Returns the number of sites forced. No region
+/// wrapping is needed: a bogus elide mark is defused by the bytecode
+/// compiler's independent slot-level check, so the sabotage is (and must
+/// be proven) harmless by construction.
+pub fn sabotage_elide(ir: &mut IrProgram, plan: &SabotagePlan) -> usize {
+    if plan.elide_sites.is_empty() {
+        return 0;
+    }
+    let mut forced = 0;
+    let mut force = |e: &mut IrExpr| {
+        if let IrExpr::Cons { alloc, site, .. } = e {
+            if plan.elide_sites.contains(site) && *alloc == AllocMode::Heap {
+                *alloc = AllocMode::Elided;
+                forced += 1;
+            }
+        }
+    };
+    for f in &mut ir.funcs {
+        walk_ir_mut(&mut f.body, &mut force);
+    }
+    walk_ir_mut(&mut ir.body, &mut force);
     forced
 }
 

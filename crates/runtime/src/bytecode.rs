@@ -28,8 +28,8 @@
 //!   *unreachability*).
 
 use nml_opt::{
-    resolve_program, AllocMode, CaptureSrc, IrProgram, RExpr, RegionKind, ResolvedGlobal, SiteId,
-    SlotRef,
+    resolve_program, AllocMode, CaptureSrc, IrProgram, RExpr, RecGroup, RegionKind, ResolvedGlobal,
+    SiteId, SlotRef,
 };
 use nml_syntax::ast::Const;
 use nml_syntax::{Prim, Symbol};
@@ -99,6 +99,12 @@ pub enum Op {
     /// Pop tail, head, and target cell; reuse the target in place (or
     /// copy-and-retire in checked mode).
     Dcons(SiteId),
+    /// A scalar-replaced (SROA'd) cons site: head and tail were just
+    /// stored into frame slots and **no cell exists**. Only bumps the
+    /// `allocs_elided` statistic — no stack effect, and no GC poll is
+    /// needed because nothing allocates (the scalar slots are rooted by
+    /// the frame scan like any other local).
+    ElideCons(SiteId),
     /// Pop one value, apply a unary primitive, push the result.
     Prim1(Prim),
     /// Pop two values, apply a binary primitive, push the result.
@@ -107,6 +113,13 @@ pub enum Op {
     /// frame slot `i` (peephole superinstruction — no operand-stack
     /// round trip).
     Prim1Local(Prim, u16),
+    /// Fused `Prim1Local(p1, i); Prim1(p2)`: apply `p1` to frame slot
+    /// `i`, then `p2` to the result — the chained pair projection
+    /// (`car (cdr x)`, `car (car l)`) that dominates tuple-shaped
+    /// workloads like `map_pair`. Unary primitives never allocate, so
+    /// the GC-poll instruction set is unaffected, and both applications
+    /// replay the generic path's type errors verbatim.
+    Proj2Local(Prim, Prim, u16),
     /// Fused `LoadLocal(i); Prim2(p)`: pop the left operand, take the
     /// *right* operand from frame slot `i`. Never emitted for
     /// allocating primitives (keeps the GC-poll sites exact).
@@ -214,12 +227,15 @@ pub fn compile(p: &IrProgram) -> BytecodeProgram {
                 closures: &mut closures,
                 recs: &mut recs,
                 globals: &globals,
+                next_slot: u.n_slots,
             };
             e.emit(&u.body, true);
+            let n_slots = e.next_slot;
             Chunk {
                 name: u.name,
                 n_params: u.n_params,
-                n_slots: u.n_slots,
+                // Includes any scalar slots minted for SROA'd cons cells.
+                n_slots,
                 // Two rounds: the second fuses pairs whose first half was
                 // itself produced by the first (e.g. the null-test branch).
                 code: peephole(peephole(e.code)),
@@ -264,6 +280,10 @@ fn peephole(code: Vec<Op>) -> Vec<Op> {
                 (Op::Prim1Local(Prim::Null, s), Op::JumpIfFalse(t)) => {
                     Some(Op::JumpIfPairLocal(s, t))
                 }
+                // Second-round fusion: the chained projection of a local
+                // (`car (cdr x)` and friends). Unary primitives never
+                // allocate, so GC-poll sites survive.
+                (Op::Prim1Local(p1, s), Op::Prim1(p2)) => Some(Op::Proj2Local(p1, p2, s)),
                 _ => None,
             }
         } else {
@@ -292,6 +312,9 @@ struct Emitter<'a> {
     closures: &'a mut Vec<ClosureSite>,
     recs: &'a mut Vec<RecSite>,
     globals: &'a [GlobalDef],
+    /// Next free frame slot; starts at the resolver's `n_slots` and
+    /// grows when SROA mints scalar slots for an elided cons cell.
+    next_slot: u16,
 }
 
 impl Emitter<'_> {
@@ -354,12 +377,25 @@ impl Emitter<'_> {
                     self.code.push(Op::MakeRec(idx));
                     bound.extend(&g.slots);
                 }
-                for (slot, v) in values {
-                    self.emit(v, false);
-                    self.code.push(Op::StoreLocal(*slot));
-                    bound.push(*slot);
+                let any_elided = values.iter().any(|(_, v)| {
+                    matches!(
+                        v,
+                        RExpr::Cons {
+                            alloc: AllocMode::Elided,
+                            ..
+                        }
+                    )
+                });
+                if !any_elided {
+                    for (slot, v) in values {
+                        self.emit(v, false);
+                        self.code.push(Op::StoreLocal(*slot));
+                        bound.push(*slot);
+                    }
+                    self.emit(body, tail);
+                } else {
+                    self.emit_letrec_scalarized(group, values, body, tail, &mut bound);
                 }
-                self.emit(body, tail);
                 if !tail {
                     // Scope exit: drop the bindings so the frame keeps
                     // nothing alive past its lexical extent. (In tail
@@ -458,6 +494,92 @@ impl Emitter<'_> {
         self.emit_arg_calls(&args, tail);
     }
 
+    /// The `letrec` path taken when at least one binding carries an
+    /// [`AllocMode::Elided`] license. Each licensed `cons` binding is
+    /// **re-verified syntactically** against everything that can see its
+    /// slot (the same letrec's rec-group captures, later sibling values,
+    /// and the body): every reference must be directly under `car`,
+    /// `cdr`, or `null`. Only then is the cell scalar-replaced — head
+    /// and tail land in two fresh frame slots, projections become plain
+    /// slot loads, `null` folds to `false`, and [`Op::ElideCons`] records
+    /// the vanished allocation. A binding that fails the re-check (a
+    /// wrong or sabotaged mark, a bare use, a capture, a dcons target,
+    /// slot exhaustion) is emitted unchanged and its `Elided` mode
+    /// allocates on the heap — the mark is a license, never an
+    /// obligation, so it can never change program meaning.
+    fn emit_letrec_scalarized(
+        &mut self,
+        group: &Option<RecGroup>,
+        values: &[(u16, RExpr)],
+        body: &RExpr,
+        tail: bool,
+        bound: &mut Vec<u16>,
+    ) {
+        let group_caps: &[CaptureSrc] = group.as_ref().map_or(&[], |g| &g.captures);
+        let mut rest: Vec<(u16, RExpr)> = values.to_vec();
+        let mut body = body.clone();
+        let mut i = 0;
+        while i < rest.len() {
+            let (slot, v) = rest[i].clone();
+            let scalarized = match &v {
+                RExpr::Cons {
+                    alloc: AllocMode::Elided,
+                    head,
+                    tail: t,
+                    site,
+                } if self.scalarize_ok(slot, head, t, group_caps, &rest[i + 1..], &body) => {
+                    let h = self.next_slot;
+                    let ts = self.next_slot + 1;
+                    self.next_slot += 2;
+                    // Same evaluation order as the cons it replaces:
+                    // head first, then tail. The head is rooted in its
+                    // slot before the tail can allocate.
+                    self.emit(head, false);
+                    self.code.push(Op::StoreLocal(h));
+                    self.emit(t, false);
+                    self.code.push(Op::StoreLocal(ts));
+                    self.code.push(Op::ElideCons(*site));
+                    for (_, r) in rest[i + 1..].iter_mut() {
+                        subst_scalar(r, slot, h, ts);
+                    }
+                    subst_scalar(&mut body, slot, h, ts);
+                    bound.push(h);
+                    bound.push(ts);
+                    true
+                }
+                _ => false,
+            };
+            if !scalarized {
+                self.emit(&v, false);
+                self.code.push(Op::StoreLocal(slot));
+                bound.push(slot);
+            }
+            i += 1;
+        }
+        self.emit(&body, tail);
+    }
+
+    /// The authoritative SROA safety check: slot budget, no
+    /// self-reference from the cell's own head/tail, no capture by the
+    /// letrec's own rec group, and projection-only use everywhere the
+    /// slot is visible.
+    fn scalarize_ok(
+        &self,
+        slot: u16,
+        head: &RExpr,
+        tail: &RExpr,
+        group_caps: &[CaptureSrc],
+        later: &[(u16, RExpr)],
+        body: &RExpr,
+    ) -> bool {
+        self.next_slot as u32 + 2 <= u16::MAX as u32
+            && !group_caps.contains(&CaptureSrc::Local(slot))
+            && !uses_slot(head, slot)
+            && !uses_slot(tail, slot)
+            && later.iter().all(|(_, r)| scalar_safe(r, slot))
+            && scalar_safe(body, slot)
+    }
+
     fn emit_arg_calls(&mut self, args: &[&RExpr], tail: bool) {
         for (k, a) in args.iter().enumerate() {
             self.emit(a, false);
@@ -497,6 +619,125 @@ impl Emitter<'_> {
             Op::Jump(t) | Op::JumpIfFalse(t) => *t = target,
             other => unreachable!("patching a non-jump {other:?}"),
         }
+    }
+}
+
+/// Does `e` reference frame slot `slot` in any way — bare load,
+/// projection operand, `dcons` target, or closure capture? (Slots are
+/// allocated monotonically per unit, so a slot index is never reused by
+/// shadowing; a plain scan is exact.)
+fn uses_slot(e: &RExpr, slot: u16) -> bool {
+    match e {
+        RExpr::Const(_) => false,
+        RExpr::Var(_, s) => *s == SlotRef::Local(slot),
+        RExpr::App(f, a) => uses_slot(f, slot) || uses_slot(a, slot),
+        RExpr::MakeClosure { captures, .. } => captures.contains(&CaptureSrc::Local(slot)),
+        RExpr::If(c, t, f) => uses_slot(c, slot) || uses_slot(t, slot) || uses_slot(f, slot),
+        RExpr::Letrec {
+            group,
+            values,
+            body,
+        } => {
+            group
+                .as_ref()
+                .is_some_and(|g| g.captures.contains(&CaptureSrc::Local(slot)))
+                || values.iter().any(|(_, v)| uses_slot(v, slot))
+                || uses_slot(body, slot)
+        }
+        RExpr::Cons { head, tail, .. } => uses_slot(head, slot) || uses_slot(tail, slot),
+        RExpr::Dcons {
+            target, head, tail, ..
+        } => *target == SlotRef::Local(slot) || uses_slot(head, slot) || uses_slot(tail, slot),
+        RExpr::Prim1(_, a) => uses_slot(a, slot),
+        RExpr::Prim2(_, a, b) => uses_slot(a, slot) || uses_slot(b, slot),
+        RExpr::Region { inner, .. } => uses_slot(inner, slot),
+    }
+}
+
+/// Is every reference to `slot` in `e` directly under `car`, `cdr`, or
+/// `null`? Those are the only shapes [`subst_scalar`] can rewrite; any
+/// other use (a bare load, a capture, a `dcons` target, `fst`/`snd`)
+/// makes the cell observable as a value and vetoes scalarization.
+fn scalar_safe(e: &RExpr, slot: u16) -> bool {
+    match e {
+        RExpr::Const(_) => true,
+        RExpr::Var(_, s) => *s != SlotRef::Local(slot),
+        RExpr::App(f, a) => scalar_safe(f, slot) && scalar_safe(a, slot),
+        RExpr::MakeClosure { captures, .. } => !captures.contains(&CaptureSrc::Local(slot)),
+        RExpr::If(c, t, f) => scalar_safe(c, slot) && scalar_safe(t, slot) && scalar_safe(f, slot),
+        RExpr::Letrec {
+            group,
+            values,
+            body,
+        } => {
+            !group
+                .as_ref()
+                .is_some_and(|g| g.captures.contains(&CaptureSrc::Local(slot)))
+                && values.iter().all(|(_, v)| scalar_safe(v, slot))
+                && scalar_safe(body, slot)
+        }
+        RExpr::Cons { head, tail, .. } => scalar_safe(head, slot) && scalar_safe(tail, slot),
+        RExpr::Dcons {
+            target, head, tail, ..
+        } => *target != SlotRef::Local(slot) && scalar_safe(head, slot) && scalar_safe(tail, slot),
+        RExpr::Prim1(p, a) => {
+            if let RExpr::Var(_, SlotRef::Local(s)) = **a {
+                if s == slot {
+                    return matches!(p, Prim::Car | Prim::Cdr | Prim::Null);
+                }
+            }
+            scalar_safe(a, slot)
+        }
+        RExpr::Prim2(_, a, b) => scalar_safe(a, slot) && scalar_safe(b, slot),
+        RExpr::Region { inner, .. } => scalar_safe(inner, slot),
+    }
+}
+
+/// Rewrites every projection of `slot` to its scalar form: `car` →
+/// load of `h`, `cdr` → load of `t`, `null` → `false` (the cell is a
+/// cons by construction). Callers must have established
+/// [`scalar_safe`]; no other reference shape can remain.
+fn subst_scalar(e: &mut RExpr, slot: u16, h: u16, t: u16) {
+    if let RExpr::Prim1(p, a) = e {
+        if let RExpr::Var(x, SlotRef::Local(s)) = **a {
+            if s == slot {
+                *e = match p {
+                    Prim::Car => RExpr::Var(x, SlotRef::Local(h)),
+                    Prim::Cdr => RExpr::Var(x, SlotRef::Local(t)),
+                    Prim::Null => RExpr::Const(Const::Bool(false)),
+                    other => unreachable!("scalar_safe admits only car/cdr/null, got {other:?}"),
+                };
+                return;
+            }
+        }
+    }
+    match e {
+        RExpr::Const(_) | RExpr::Var(..) | RExpr::MakeClosure { .. } => {}
+        RExpr::App(f, a) => {
+            subst_scalar(f, slot, h, t);
+            subst_scalar(a, slot, h, t);
+        }
+        RExpr::If(c, th, el) => {
+            subst_scalar(c, slot, h, t);
+            subst_scalar(th, slot, h, t);
+            subst_scalar(el, slot, h, t);
+        }
+        RExpr::Letrec { values, body, .. } => {
+            for (_, v) in values.iter_mut() {
+                subst_scalar(v, slot, h, t);
+            }
+            subst_scalar(body, slot, h, t);
+        }
+        RExpr::Cons { head, tail, .. } | RExpr::Dcons { head, tail, .. } => {
+            subst_scalar(head, slot, h, t);
+            subst_scalar(tail, slot, h, t);
+        }
+        RExpr::Prim1(_, a) => subst_scalar(a, slot, h, t),
+        RExpr::Prim2(_, a, b) => {
+            subst_scalar(a, slot, h, t);
+            subst_scalar(b, slot, h, t);
+        }
+        RExpr::Region { inner, .. } => subst_scalar(inner, slot, h, t),
     }
 }
 
@@ -583,6 +824,28 @@ mod tests {
     }
 
     #[test]
+    fn chained_projection_fuses_into_proj2local() {
+        // `car (cdr x)` — map_pair's hot pair-projection sequence — must
+        // collapse to a single superinstruction in the second peephole
+        // round: LoadLocal;Cdr;Car → Prim1Local(Cdr);Car → Proj2Local.
+        let b = compile_src("letrec second x = car (cdr x) in second [1, 2]");
+        let c = chunk(&b, "second");
+        assert!(
+            c.code
+                .iter()
+                .any(|o| matches!(o, Op::Proj2Local(Prim::Cdr, Prim::Car, 0))),
+            "{:?}",
+            c.code
+        );
+        assert_eq!(
+            count_op(c, |o| matches!(o, Op::Prim1(_) | Op::Prim1Local(..))),
+            0,
+            "{:?}",
+            c.code
+        );
+    }
+
+    #[test]
     fn letrec_bindings_clear_on_scope_exit_in_non_tail_position() {
         // The letrec is an operand of `+`, so its body is non-tail and
         // its slot must be cleared afterwards.
@@ -621,6 +884,159 @@ mod tests {
         let head = c.code.iter().position(|o| matches!(o, Op::PushInt(9)));
         let (check, head) = (check.expect("CheckPair"), head.expect("head push"));
         assert!(check < head, "target checked before head evaluates");
+    }
+
+    /// Forces the SROA license onto every cons site, then compiles. The
+    /// emitter's syntactic re-check must sort the safe sites from the
+    /// unsafe ones on its own — exactly the sabotage scenario.
+    fn compile_all_elided(src: &str) -> BytecodeProgram {
+        let p = parse_program(src).expect("parse");
+        let info = infer_program(&p).expect("infer");
+        let mut ir = lower_program(&p, &info);
+        let mut mark = |e: &mut nml_opt::IrExpr| {
+            if let nml_opt::IrExpr::Cons { alloc, .. } = e {
+                *alloc = AllocMode::Elided;
+            }
+        };
+        let mut funcs = std::mem::take(&mut ir.funcs);
+        for f in &mut funcs {
+            nml_opt::walk_ir_mut(&mut f.body, &mut mark);
+        }
+        ir.funcs = funcs;
+        nml_opt::walk_ir_mut(&mut ir.body, &mut mark);
+        compile(&ir)
+    }
+
+    fn count_op(c: &Chunk, pred: impl Fn(&Op) -> bool) -> usize {
+        c.code.iter().filter(|o| pred(o)).count()
+    }
+
+    #[test]
+    fn projected_binding_scalarizes() {
+        let b = compile_all_elided("letrec f n = letrec p = cons n nil in car p + 1 in f 3");
+        let c = chunk(&b, "f");
+        assert_eq!(
+            count_op(c, |o| matches!(o, Op::ElideCons(_))),
+            1,
+            "{:?}",
+            c.code
+        );
+        assert_eq!(
+            count_op(c, |o| matches!(o, Op::Cons { .. })),
+            0,
+            "{:?}",
+            c.code
+        );
+    }
+
+    #[test]
+    fn bare_use_defuses_the_license() {
+        // `p` is returned as a value: the cell is observable, so the
+        // forced mark must fall back to a plain heap allocation.
+        let b = compile_all_elided("letrec f n = letrec p = cons n nil in p in f 3");
+        let c = chunk(&b, "f");
+        assert_eq!(
+            count_op(c, |o| matches!(o, Op::ElideCons(_))),
+            0,
+            "{:?}",
+            c.code
+        );
+        assert_eq!(
+            count_op(c, |o| matches!(
+                o,
+                Op::Cons {
+                    mode: AllocMode::Elided,
+                    ..
+                }
+            )),
+            1,
+            "{:?}",
+            c.code
+        );
+    }
+
+    #[test]
+    fn null_projection_folds_to_false() {
+        let b = compile_all_elided(
+            "letrec f n = letrec p = cons n nil in if null p then 0 else car p in f 7",
+        );
+        let c = chunk(&b, "f");
+        assert_eq!(
+            count_op(c, |o| matches!(o, Op::ElideCons(_))),
+            1,
+            "{:?}",
+            c.code
+        );
+        assert!(
+            c.code.iter().any(|o| matches!(o, Op::PushBool(false))),
+            "null of a scalarized cons folds to false: {:?}",
+            c.code
+        );
+    }
+
+    #[test]
+    fn closure_capture_defuses_the_license() {
+        // The nested letrec's rec group captures `p`'s slot (rec-group
+        // members see the scope *outside* their own letrec), so the cell
+        // must stay materialized.
+        let b = compile_all_elided(
+            "letrec f n = letrec p = cons n nil in
+                          letrec g x = x + car p in g 1
+             in f 5",
+        );
+        let c = chunk(&b, "f");
+        assert_eq!(
+            count_op(c, |o| matches!(o, Op::ElideCons(_))),
+            0,
+            "{:?}",
+            c.code
+        );
+        assert_eq!(
+            count_op(c, |o| matches!(
+                o,
+                Op::Cons {
+                    mode: AllocMode::Elided,
+                    ..
+                }
+            )),
+            1,
+            "{:?}",
+            c.code
+        );
+    }
+
+    #[test]
+    fn sibling_projections_scalarize_in_chain() {
+        // `p` feeds `q` through a projection and `q` is itself only
+        // projected: both cells vanish.
+        let b = compile_all_elided(
+            "letrec f n = letrec p = cons n nil; q = cons (car p) nil in car q in f 2",
+        );
+        let c = chunk(&b, "f");
+        assert_eq!(
+            count_op(c, |o| matches!(o, Op::ElideCons(_))),
+            2,
+            "{:?}",
+            c.code
+        );
+        assert_eq!(
+            count_op(c, |o| matches!(o, Op::Cons { .. })),
+            0,
+            "{:?}",
+            c.code
+        );
+    }
+
+    #[test]
+    fn scalar_slots_extend_the_frame() {
+        let src = "letrec f n = letrec p = cons n nil in car p + 1 in f 3";
+        let plain = compile_src(src);
+        let elided = compile_all_elided(src);
+        assert_eq!(
+            chunk(&elided, "f").n_slots,
+            chunk(&plain, "f").n_slots + 2,
+            "one scalarized cell mints exactly two scalar slots"
+        );
     }
 
     #[test]

@@ -449,7 +449,10 @@ impl<'p> Heap<'p> {
             bump_site(&mut self.site_allocs, site);
         }
         let wanted = match mode {
-            AllocMode::Heap | AllocMode::Pretenured => None,
+            // An `Elided` mark reaching the allocator means the engine
+            // chose not to scalarize the site (tree-walker, or a VM
+            // fallback): it is a plain heap cons.
+            AllocMode::Heap | AllocMode::Pretenured | AllocMode::Elided => None,
             AllocMode::Stack => Some(RegionKind::Stack),
             AllocMode::Block => Some(RegionKind::Block),
         };
@@ -461,7 +464,7 @@ impl<'p> Heap<'p> {
             idx
         });
         match (mode, region_idx.is_some()) {
-            (AllocMode::Heap, _) => self.stats.heap_allocs += 1,
+            (AllocMode::Heap | AllocMode::Elided, _) => self.stats.heap_allocs += 1,
             (AllocMode::Pretenured, _) => {
                 self.stats.heap_allocs += 1;
                 self.stats.pretenured += 1;

@@ -17,6 +17,11 @@ pub struct RuntimeStats {
     pub block_allocs: u64,
     /// `DCONS` in-place reuses (allocations avoided entirely).
     pub dcons_reuses: u64,
+    /// Cons cells scalar-replaced (SROA) by the bytecode compiler: the
+    /// cell never existed, its head/tail lived in frame slots. Like
+    /// `dcons_reuses`, these are allocations *avoided*, not performed,
+    /// so they do not count toward [`RuntimeStats::total_allocs`].
+    pub allocs_elided: u64,
     /// Heap allocations served from the free list (vs. fresh growth).
     pub freelist_reuses: u64,
     /// Stack/block allocations that found no active region and fell back
@@ -97,11 +102,12 @@ impl fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "allocs: heap={} stack={} block={} dcons-reuse={} (freelist {})",
+            "allocs: heap={} stack={} block={} dcons-reuse={} elided={} (freelist {})",
             self.heap_allocs,
             self.stack_allocs,
             self.block_allocs,
             self.dcons_reuses,
+            self.allocs_elided,
             self.freelist_reuses
         )?;
         writeln!(

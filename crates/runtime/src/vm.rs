@@ -18,10 +18,14 @@
 //!   checked-mode tombstone semantics).
 //!
 //! The engine is observationally equivalent to the tree-walker: same
-//! results, same errors, same allocation sequence (so deterministic
-//! fault plans fire identically under both). The differential suite in
-//! `tests/differential.rs` holds the two engines against each other
-//! over generated programs; the tree-walker stays as the oracle.
+//! results, same errors, and — absent SROA — the same allocation
+//! sequence (so deterministic fault plans fire identically under both).
+//! [`nml_opt::AllocMode::Elided`] marks break the sequence match on
+//! purpose: the VM scalarizes those cons cells into frame slots and
+//! never allocates them, so fault-plan differentials must strip the
+//! marks first. The differential suite in `tests/differential.rs` holds
+//! the two engines against each other over generated programs; the
+//! tree-walker stays as the oracle.
 
 use crate::bytecode::{compile, BytecodeProgram, GlobalDef, Op};
 use crate::error::RuntimeError;
@@ -669,6 +673,11 @@ impl<'p> Machine<'_, 'p> {
                         self.stack.push(Value::Pair(cell));
                     }
                 }
+                Op::ElideCons(_) => {
+                    // Scalar-replaced cons: head and tail already sit in
+                    // frame slots, no cell exists. Just count it.
+                    self.heap.stats.allocs_elided += 1;
+                }
                 Op::Prim1(p) => {
                     let v = self.pop("missing prim operand")?;
                     let r = prim1(self.heap, p, v)?;
@@ -706,6 +715,27 @@ impl<'p> Machine<'_, 'p> {
                         (Prim::Null, Value::Nil) => Value::Bool(true),
                         (Prim::Null, Value::Pair(_)) => Value::Bool(false),
                         (_, v) => prim1(self.heap, p, v.clone())?,
+                    };
+                    self.stack.push(r);
+                }
+                Op::Proj2Local(p1, p2, i) => {
+                    // The chained pair projection: `p1` straight off the
+                    // frame slot, `p2` on its result, no operand-stack
+                    // round trips. Fast paths mirror `Prim1Local`; the
+                    // generic calls reproduce the unfused type errors.
+                    let mid = match (p1, &self.locals[self.lb + i as usize]) {
+                        (Prim::Car, Value::Pair(c)) => self.heap.car(*c)?,
+                        (Prim::Cdr, Value::Pair(c)) => self.heap.cdr(*c)?,
+                        (Prim::Null, Value::Nil) => Value::Bool(true),
+                        (Prim::Null, Value::Pair(_)) => Value::Bool(false),
+                        (_, v) => prim1(self.heap, p1, v.clone())?,
+                    };
+                    let r = match (p2, mid) {
+                        (Prim::Car, Value::Pair(c)) => self.heap.car(c)?,
+                        (Prim::Cdr, Value::Pair(c)) => self.heap.cdr(c)?,
+                        (Prim::Null, Value::Nil) => Value::Bool(true),
+                        (Prim::Null, Value::Pair(_)) => Value::Bool(false),
+                        (_, v) => prim1(self.heap, p2, v)?,
                     };
                     self.stack.push(r);
                 }
@@ -1049,6 +1079,64 @@ mod tests {
     #[test]
     fn value_bindings_and_sequencing() {
         assert_eq!(both_int("letrec k = 2 + 3; f x = x * k in f 4"), 20);
+    }
+
+    /// Lowers `src` and runs the real escape lattice + SROA annotator
+    /// over it, then executes both engines on the *same* annotated IR.
+    /// Returns (result, tree stats, vm stats).
+    fn both_with_sroa(src: &str) -> (i64, crate::RuntimeStats, crate::RuntimeStats) {
+        let mut ir = lower(src);
+        let analysis = nml_escape::analyze_source(src).expect("analysis");
+        nml_opt::annotate_sroa(&mut ir, &analysis);
+        let mut interp = Interp::new(&ir).expect("tree startup");
+        let tree = match interp.run().expect("tree run") {
+            Value::Int(n) => n,
+            other => panic!("tree returned {other}"),
+        };
+        let tree_stats = interp.heap.stats;
+        let mut vm = Vm::new(&ir).expect("vm startup");
+        let got = match vm.run().expect("vm run") {
+            Value::Int(n) => n,
+            other => panic!("vm returned {other}"),
+        };
+        assert_eq!(got, tree, "engines disagree on {src}");
+        (got, tree_stats, vm.heap.stats)
+    }
+
+    #[test]
+    fn sroa_elides_allocation_and_matches_tree() {
+        let (v, tree, vm) = both_with_sroa(
+            "letrec f n = letrec p = cons n (cons 1 nil) in car p + car (cdr p) in f 20",
+        );
+        assert_eq!(v, 21);
+        // Tree-walker treats the mark as plain heap; only the VM elides.
+        assert_eq!(tree.allocs_elided, 0);
+        assert_eq!(tree.heap_allocs, 2);
+        assert_eq!(vm.allocs_elided, 1, "outer pair scalarized");
+        assert_eq!(vm.heap_allocs, 1, "inner cell still materialized");
+    }
+
+    #[test]
+    fn sroa_in_a_loop_elides_per_iteration() {
+        let src = "letrec loop n acc =
+                     if n = 0 then acc
+                     else letrec p = cons n (cons acc nil)
+                          in loop (n - 1) (car p + car (cdr p))
+                   in loop 100 0";
+        let (v, tree, vm) = both_with_sroa(src);
+        assert_eq!(v, both_int(src), "same value as the unannotated IR");
+        assert_eq!(vm.allocs_elided, 100, "one elision per iteration");
+        assert_eq!(tree.heap_allocs, vm.heap_allocs + 100);
+        assert_eq!(v, tree_int_unannotated(src));
+    }
+
+    fn tree_int_unannotated(src: &str) -> i64 {
+        let ir = lower(src);
+        let mut interp = Interp::new(&ir).expect("tree startup");
+        match interp.run().expect("tree run") {
+            Value::Int(n) => n,
+            other => panic!("tree returned {other}"),
+        }
     }
 
     #[test]

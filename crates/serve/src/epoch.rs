@@ -300,6 +300,7 @@ fn mode_tag(mode: AllocMode) -> &'static str {
         AllocMode::Stack => "s",
         AllocMode::Block => "b",
         AllocMode::Pretenured => "p",
+        AllocMode::Elided => "e",
     }
 }
 

@@ -132,6 +132,13 @@ optimization flags (ir/run):
   --stack-alloc        stack regions from the global escape test
   --local-stack-alloc  stack regions from the local test (monomorphizes first)
   --auto-reuse         DCONS variants + Theorem-2-guided call rewriting
+  --sroa / --no-sroa   scalar replacement of cons cells the escape lattice
+                       proves never-escaping and never-aliased: the bytecode
+                       compiler re-verifies each site, puts head/tail in
+                       frame slots, and elides the allocation (--stats shows
+                       elided=N). Defaults on under --engine=vm, off under
+                       --engine=tree (the tree-walking oracle never
+                       scalarizes, so the mark is inert there)
 
 analysis budget flags (analyze/ir/run; over-budget functions degrade to
 the sound worst-case summary and a warning is printed):
@@ -168,6 +175,11 @@ checked-optimization flags (run):
   --fault-unsound-stack=i,j,...
                            deliberately inject wrong stack claims at the
                            given cons sites (sentinel demonstration)
+  --fault-unsound-elide=i,j,...
+                           deliberately force SROA elide marks at the given
+                           cons sites; the bytecode compiler's re-check
+                           refuses unsafe ones, so the run must stay silent
+                           (license-not-obligation demonstration)
 
 generational-heap flags (run/serve):
   --gen-gc=on|off      generational collection: allocate into a nursery,
@@ -255,6 +267,18 @@ fn parse_num_flag<T: FromStr>(rest: &[String], flag: &str) -> Result<Option<T>, 
             .map(Some)
             .map_err(|_| format!("{flag}: `{v}` is not a valid number")),
     }
+}
+
+/// Parses a comma-separated list of cons site ids for a sabotage flag.
+fn parse_site_list(list: &str, flag: &str) -> Result<Vec<SiteId>, String> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<u32>()
+                .map(SiteId)
+                .map_err(|_| format!("{flag}: `{s}` is not a cons site id"))
+        })
+        .collect()
 }
 
 /// Parses `--engine=tree|vm`; absent means the default engine (the VM).
@@ -618,10 +642,32 @@ fn compile_for(rest: &[String], src: &str) -> Result<Compiled, String> {
     } else {
         compile_scheduled(src, mode, budget, &options)
     };
-    let compiled = compiled.map_err(|e| render_pipeline_err(e, src))?;
+    let mut compiled = compiled.map_err(|e| render_pipeline_err(e, src))?;
+    apply_sroa_policy(rest, &mut compiled)?;
     report_schedule(&compiled.analysis, rest);
     report_degradations(&compiled.analysis, has_flag(rest, "--strict"))?;
     Ok(compiled)
+}
+
+/// SROA defaults on under the VM (the only engine that scalarizes) and
+/// off under the tree-walking oracle; `--sroa` / `--no-sroa` override.
+/// The mark is only a license — the bytecode compiler independently
+/// re-verifies each site — so forcing it on is always safe.
+fn apply_sroa_policy(rest: &[String], compiled: &mut Compiled) -> Result<(), String> {
+    let on = if has_flag(rest, "--no-sroa") {
+        false
+    } else if has_flag(rest, "--sroa") {
+        true
+    } else {
+        engine_from_flags(rest)? == Engine::Vm
+    };
+    if on {
+        nml_escape_analysis::opt::annotate_sroa(&mut compiled.ir, &compiled.analysis);
+    } else {
+        // Undo any marks the `-O` pass manager already placed.
+        nml_escape_analysis::opt::strip_sroa(&mut compiled.ir);
+    }
+    Ok(())
 }
 
 fn cmd_ir(rest: &[String]) -> Result<(), String> {
@@ -685,6 +731,7 @@ fn cmd_run_checked(rest: &[String], src: &str) -> Result<(), String> {
             block: false,
             stack: true,
             pretenure: false,
+            sroa: false,
         };
     } else if has_flag(rest, "--auto-reuse") {
         copts.opt = OptOptions {
@@ -692,19 +739,22 @@ fn cmd_run_checked(rest: &[String], src: &str) -> Result<(), String> {
             block: false,
             stack: false,
             pretenure: false,
+            sroa: false,
         };
     }
+    if has_flag(rest, "--sroa") {
+        copts.opt.sroa = true;
+    }
+    if has_flag(rest, "--no-sroa") {
+        copts.opt.sroa = false;
+    }
     if let Some(list) = flag_value(rest, "--fault-unsound-stack") {
-        let sites: Vec<SiteId> = list
-            .split(',')
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                s.parse::<u32>()
-                    .map(SiteId)
-                    .map_err(|_| format!("--fault-unsound-stack: `{s}` is not a cons site id"))
-            })
-            .collect::<Result<_, _>>()?;
-        copts.sabotage = SabotagePlan::stack(sites);
+        copts.sabotage = SabotagePlan::stack(parse_site_list(list, "--fault-unsound-stack")?);
+    }
+    if let Some(list) = flag_value(rest, "--fault-unsound-elide") {
+        copts.sabotage.elide_sites = parse_site_list(list, "--fault-unsound-elide")?
+            .into_iter()
+            .collect();
     }
     let mut config = InterpConfig {
         fault: fault_from_flags(rest)?,

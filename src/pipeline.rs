@@ -10,8 +10,8 @@ use nml_escape::{
     Budget, EngineConfig, PolyMode, ScheduleOptions,
 };
 use nml_opt::{
-    annotate_stack, apply_quarantine, lower_program, sabotage_stack, IrProgram, OptOptions,
-    QuarantineSet, SabotagePlan, SiteId,
+    annotate_stack, apply_quarantine, lower_program, sabotage_elide, sabotage_stack, IrProgram,
+    OptOptions, QuarantineSet, SabotagePlan, SiteId,
 };
 use nml_runtime::{
     Engine, Heap, Interp, InterpConfig, RuntimeError, RuntimeStats, SoundnessViolation, Value, Vm,
@@ -238,8 +238,11 @@ pub fn run_with(ir: &IrProgram, config: InterpConfig) -> Result<RunOutcome, Pipe
 }
 
 /// Runs the IR on the selected execution engine. Both engines produce
-/// identical results, errors, and allocation statistics; the VM is the
-/// production path, the tree-walker the oracle.
+/// identical results and errors; the VM is the production path, the
+/// tree-walker the oracle. Allocation statistics agree too, unless the
+/// IR carries [`nml_opt::AllocMode::Elided`] marks — the VM scalarizes
+/// those sites away (`allocs_elided`) while the tree-walker, by design,
+/// still allocates them.
 ///
 /// # Errors
 ///
@@ -374,6 +377,7 @@ pub fn run_checked(
         let mut compiled = compile_scheduled(src, mode, budget, sched)?;
         nml_opt::optimize(&mut compiled.ir, &compiled.analysis, &opts.opt);
         sabotage_stack(&mut compiled.ir, &opts.sabotage);
+        sabotage_elide(&mut compiled.ir, &opts.sabotage);
         apply_quarantine(&mut compiled.ir, &quarantine);
         let mut config = base_config.clone();
         config.heap.checked = true;

@@ -622,6 +622,236 @@ proptest! {
     }
 }
 
+// --- SROA: the scalar-replacement differential -------------------------
+//
+// PR 10's scalar replacement is VM-only: `AllocMode::Elided` is a
+// *license* the bytecode compiler may act on after its own slot-level
+// re-verification, while the tree-walker treats the mark exactly like a
+// heap allocation and serves as the oracle. Three claims:
+//
+// 1. With SROA marks applied, both engines still agree on every program
+//    — the elision is observationally invisible — and stripping the
+//    marks changes nothing but the allocation counters.
+// 2. The license is narrow: the pass only marks sites the lattice
+//    proved `NoEscape` *and* unaliased, never Unknown, escaping, or
+//    aliased sites.
+// 3. A deliberately wrong `Elided` mark is a dud: the bytecode verifier
+//    refuses to scalarize it, checked mode stays silent, and the value
+//    matches the oracle.
+//
+// Fault-plan and heap-capacity differentials elsewhere in this suite
+// stay SROA-off (`compile_scheduled` lowers all-heap): elision removes
+// allocations, so a deterministic fault plan would fire at different
+// events on the two engines.
+
+use nml_escape_analysis::escape::EscapeState;
+use nml_escape_analysis::opt::{
+    analyze_sites, annotate_sroa, strip_sroa, walk_ir, AllocMode, IrExpr, SiteId,
+};
+
+/// Collects every cons site the SROA pass marked `Elided`.
+fn elided_sites(ir: &IrProgram) -> Vec<SiteId> {
+    let mut out = Vec::new();
+    let mut visit = |e: &IrExpr| {
+        if let IrExpr::Cons {
+            alloc: AllocMode::Elided,
+            site,
+            ..
+        } = e
+        {
+            out.push(*site);
+        }
+    };
+    for f in &ir.funcs {
+        walk_ir(&f.body, &mut visit);
+    }
+    walk_ir(&ir.body, &mut visit);
+    out
+}
+
+/// SROA on/off over the whole workload corpus, on both engines: the
+/// fully optimized IR (pass manager runs SROA by default) and the same
+/// IR with the marks stripped produce the same value everywhere.
+#[test]
+fn corpus_agrees_across_engines_with_and_without_sroa() {
+    for w in nml_escape_analysis::corpus::ALL {
+        let compiled = compile_optimized_scheduled(
+            w.source,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+        )
+        .unwrap_or_else(|e| panic!("{}: optimizer: {e}", w.name));
+        let on_vm = observe(&compiled.ir, Engine::Vm);
+        assert_eq!(
+            observe(&compiled.ir, Engine::Tree),
+            on_vm,
+            "{}: engines diverge with SROA",
+            w.name
+        );
+        let mut off = compiled.ir.clone();
+        strip_sroa(&mut off);
+        let off_vm = observe(&off, Engine::Vm);
+        assert_eq!(
+            observe(&off, Engine::Tree),
+            off_vm,
+            "{}: engines diverge without SROA",
+            w.name
+        );
+        assert_eq!(on_vm, off_vm, "{}: SROA changes the VM's value", w.name);
+    }
+}
+
+/// A pinned SROA-friendly workload: the pass fires, the VM actually
+/// elides allocations (fewer heap cells, nonzero `allocs_elided`), and
+/// the tree-walker oracle — which never elides — still agrees.
+#[test]
+fn sroa_elision_fires_and_engines_agree() {
+    let src = "letrec
+       step i acc = letrec t = cons i (cons acc nil)
+                    in (car t) * 2 + car (cdr t);
+       loop n acc = if n = 0 then acc else loop (n - 1) (step n acc)
+     in loop 50 0";
+    let mut compiled = compile_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .expect("front end");
+    let marked = annotate_sroa(&mut compiled.ir, &compiled.analysis);
+    assert!(marked > 0, "the workload must have elidable sites");
+    let tree = run_with_engine(&compiled.ir, InterpConfig::default(), Engine::Tree).expect("tree");
+    let vm = run_with_engine(&compiled.ir, InterpConfig::default(), Engine::Vm).expect("vm");
+    assert_eq!(tree.result, vm.result);
+    assert_eq!(tree.stats.allocs_elided, 0, "the oracle never elides");
+    assert!(vm.stats.allocs_elided > 0, "the VM must actually elide");
+    assert!(
+        vm.stats.heap_allocs < tree.stats.heap_allocs,
+        "elision must remove heap allocations: vm={} tree={}",
+        vm.stats.heap_allocs,
+        tree.stats.heap_allocs
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The 128-case SROA sweep: random list programs agree across both
+    /// engines with SROA marks applied and with them stripped, and the
+    /// two configurations agree with each other.
+    #[test]
+    fn generated_programs_agree_under_sroa_on_and_off(src in program()) {
+        let mut on = compile_scheduled(
+            &src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+        )
+        .expect("front end");
+        annotate_sroa(&mut on.ir, &on.analysis);
+        let mut off = on.ir.clone();
+        strip_sroa(&mut off);
+        let on_vm = observe(&on.ir, Engine::Vm);
+        prop_assert_eq!(
+            observe(&on.ir, Engine::Tree),
+            on_vm.clone(),
+            "sroa on: {}",
+            src
+        );
+        let off_vm = observe(&off, Engine::Vm);
+        prop_assert_eq!(
+            observe(&off, Engine::Tree),
+            off_vm.clone(),
+            "sroa off: {}",
+            src
+        );
+        prop_assert_eq!(on_vm, off_vm, "sroa changes the value: {}", src);
+    }
+
+    /// The license is narrow: every site the pass marks `Elided` carries
+    /// a lattice fact proving `NoEscape` *and* unaliased. Sites with no
+    /// fact (Unknown), escaping states, or alias-class company are never
+    /// marked.
+    #[test]
+    fn sroa_never_marks_unproven_sites(src in program()) {
+        let mut c = compile_scheduled(
+            &src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+        )
+        .expect("front end");
+        let facts = analyze_sites(&c.ir, &c.analysis);
+        annotate_sroa(&mut c.ir, &c.analysis);
+        for site in elided_sites(&c.ir) {
+            let fact = facts.get(&site);
+            prop_assert!(
+                fact.is_some(),
+                "elided site {:?} has no lattice fact (Unknown): {}",
+                site,
+                src
+            );
+            let fact = fact.unwrap();
+            prop_assert_eq!(
+                fact.state,
+                EscapeState::NoEscape,
+                "elided site {:?} escapes: {}",
+                site,
+                src
+            );
+            prop_assert!(!fact.aliased, "elided site {:?} is aliased: {}", site, src);
+        }
+    }
+}
+
+/// A wrong `Elided` mark is a dud: force the mark onto every body cons
+/// site of a program whose cells all flow into the result. The bytecode
+/// verifier must refuse to scalarize them, so checked mode stays silent
+/// on both engines — no violations, no retries, no quarantine — and the
+/// value matches the oracle. (Contrast with the stack sabotage above,
+/// where wrong claims *do* fire the sentinel.)
+#[test]
+fn sabotaged_elide_marks_are_inert_on_both_engines() {
+    let src = "letrec rev l a = if (null l) then a
+                                else rev (cdr l) (cons (car l) a)
+               in rev [1, 2, 3, 4] nil";
+    let want = oracle(src);
+    let compiled = compile_scheduled(
+        src,
+        PolyMode::SimplestInstance,
+        Budget::unlimited(),
+        &sched(),
+    )
+    .expect("front end");
+    let sites = body_cons_sites(&compiled.ir);
+    assert!(!sites.is_empty());
+    for engine in [Engine::Vm, Engine::Tree] {
+        let opts = CheckedOptions {
+            sabotage: SabotagePlan::elide(sites.clone()),
+            engine,
+            ..CheckedOptions::default()
+        };
+        let (out, _) = run_checked(
+            src,
+            PolyMode::SimplestInstance,
+            Budget::unlimited(),
+            &sched(),
+            &opts,
+            &InterpConfig::default(),
+        )
+        .expect("checked run");
+        assert_eq!(out.result, want, "{engine}");
+        assert_eq!(
+            out.stats.violations, 0,
+            "{engine}: elide sabotage must be silent"
+        );
+        assert_eq!(out.attempts, 1, "{engine}");
+        assert!(out.quarantined.is_empty(), "{engine}");
+        assert!(!out.degraded_unoptimized, "{engine}");
+    }
+}
+
 /// Non-claim runtime errors pass through the retry loop untouched.
 #[test]
 fn unrelated_runtime_errors_propagate() {

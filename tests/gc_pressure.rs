@@ -223,6 +223,10 @@ in keepfirst [7, 8, 9] (sum (mklist 400))";
                 block: false,
                 stack: false,
                 pretenure: false,
+                // SROA would *remove* the storm's allocations outright
+                // (and desynchronize the engines' allocation sequences
+                // under pressure); keep every cell real.
+                sroa: false,
             },
             ..CheckedOptions::default()
         };
